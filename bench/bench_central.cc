@@ -1,0 +1,157 @@
+// E11 — §4.2: "centralised architectures, where one machine must be visible
+// to all others, are not appropriate in a mobile environment."
+//
+// Mobile clients wander an arena containing one fixed central server
+// (TSpaces/JavaSpaces shape) or, in the Tiamat configuration, coordinate
+// among themselves. Series, vs radio range (i.e. how often the server is
+// reachable): operation success rate.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/central.h"
+#include "bench/bench_util.h"
+#include "sim/mobility.h"
+
+namespace {
+
+using namespace tiamat;  // NOLINT
+using bench::World;
+using tuples::any_int;
+using tuples::Pattern;
+using tuples::Tuple;
+
+struct Result {
+  double success_rate = 0;
+  double server_visibility = 0;  ///< fraction of samples in range
+};
+
+constexpr double kArena = 400.0;
+constexpr std::size_t kClients = 8;
+constexpr sim::Duration kRun = sim::seconds(60);
+
+sim::RandomWaypointParams mobility_params() {
+  sim::RandomWaypointParams mp;
+  mp.arena_w = kArena;
+  mp.arena_h = kArena;
+  mp.min_speed = 20;
+  mp.max_speed = 60;
+  mp.pause = sim::milliseconds(100);
+  return mp;
+}
+
+Result run_central(double range, std::uint64_t seed) {
+  World w(seed);
+  w.net.set_radio_range(range);
+  baselines::CentralServer server(w.net, {kArena / 2, kArena / 2});
+
+  std::vector<std::unique_ptr<baselines::CentralClient>> clients;
+  sim::RandomWaypoint mob(w.net, w.rng, mobility_params());
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.push_back(std::make_unique<baselines::CentralClient>(
+        w.net, server.node(),
+        sim::Position{w.rng.real(0, kArena), w.rng.real(0, kArena)}));
+    mob.add(clients.back()->node());
+  }
+  mob.start();
+
+  std::uint64_t ok = 0, fail = 0, vis_samples = 0, vis_hits = 0;
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    auto* c = clients[i].get();
+    auto loop = std::make_shared<std::function<void()>>();
+    *loop = [&, c, loop] {
+      ++vis_samples;
+      if (w.net.visible(c->node(), server.node())) ++vis_hits;
+      c->out(Tuple{"pkt", 1});
+      c->inp(Pattern{"pkt", any_int()}, [&, loop](auto r) {
+        if (r) {
+          ++ok;
+        } else {
+          ++fail;
+        }
+        w.queue.schedule_after(sim::milliseconds(200), *loop);
+      });
+    };
+    w.queue.schedule_after(sim::milliseconds(10 * (i + 1)), *loop);
+  }
+  w.queue.run_for(kRun);
+  mob.stop();
+
+  Result r;
+  r.success_rate = (ok + fail) ? static_cast<double>(ok) / (ok + fail) : 0;
+  r.server_visibility =
+      vis_samples ? static_cast<double>(vis_hits) / vis_samples : 0;
+  return r;
+}
+
+Result run_tiamat(double range, std::uint64_t seed) {
+  World w(seed);
+  w.net.set_radio_range(range);
+
+  std::vector<std::unique_ptr<core::Instance>> nodes;
+  sim::RandomWaypoint mob(w.net, w.rng, mobility_params());
+  for (std::size_t i = 0; i < kClients; ++i) {
+    nodes.push_back(std::make_unique<core::Instance>(
+        w.net, bench::bench_config("n" + std::to_string(i), sim::seconds(5)),
+        nullptr,
+        sim::Position{w.rng.real(0, kArena), w.rng.real(0, kArena)}));
+    mob.add(nodes.back()->node());
+  }
+  mob.start();
+
+  std::uint64_t ok = 0, fail = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    auto* inst = nodes[i].get();
+    auto loop = std::make_shared<std::function<void()>>();
+    *loop = [&, inst, loop] {
+      inst->out(Tuple{"pkt", 1});
+      inst->inp(Pattern{"pkt", any_int()}, [&, loop](auto r) {
+        if (r) {
+          ++ok;
+        } else {
+          ++fail;
+        }
+        w.queue.schedule_after(sim::milliseconds(200), *loop);
+      });
+    };
+    w.queue.schedule_after(sim::milliseconds(10 * (i + 1)), *loop);
+  }
+  w.queue.run_for(kRun);
+  mob.stop();
+  nodes.clear();
+
+  Result r;
+  r.success_rate = (ok + fail) ? static_cast<double>(ok) / (ok + fail) : 0;
+  r.server_visibility = 1.0;  // n/a: no server to lose
+  return r;
+}
+
+void BM_Central(benchmark::State& state) {
+  const double range = static_cast<double>(state.range(0));
+  const bool central = state.range(1) != 0;
+  Result r;
+  std::uint64_t seed = 29;
+  for (auto _ : state) {
+    r = central ? run_central(range, seed++) : run_tiamat(range, seed++);
+  }
+  state.counters["success_rate"] = r.success_rate;
+  if (central) state.counters["server_visibility"] = r.server_visibility;
+  state.SetLabel(central ? "central-server" : "Tiamat");
+}
+
+}  // namespace
+
+// radio range x {central, tiamat}. Smaller range = server reachable less
+// often; Tiamat always has at least its local space.
+BENCHMARK(BM_Central)
+    ->Args({600, 1})  // server always visible: the LAN case
+    ->Args({600, 0})
+    ->Args({250, 1})
+    ->Args({250, 0})
+    ->Args({150, 1})
+    ->Args({150, 0})
+    ->Args({80, 1})
+    ->Args({80, 0})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

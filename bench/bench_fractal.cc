@@ -1,0 +1,114 @@
+// E10 — §3.2 (fractal generator): "The load balancing server was removed
+// and the data producers communicated with the entities performing the
+// calculations through the space ... the number of entities performing
+// calculations could be increased and decreased without perturbing the
+// clients."
+//
+// Series: completion time (virtual) vs worker count, for Tiamat's
+// bag-of-tasks and the load-balancing-server baseline; and completion with
+// a worker join/leave mid-run.
+
+#include <benchmark/benchmark.h>
+
+#include "apps/fractal.h"
+#include "apps/loadbalance.h"
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace tiamat;  // NOLINT
+using bench::World;
+using apps::fractal::Params;
+
+Params image() {
+  Params p;
+  p.width = 32;
+  p.height = 32;
+  p.max_iter = 64;
+  return p;
+}
+
+double run_tiamat(int workers, bool churn, std::uint64_t seed) {
+  World w(seed);
+  core::Instance m_node(w.net, bench::bench_config("master"));
+  std::vector<std::unique_ptr<core::Instance>> nodes;
+  std::vector<std::unique_ptr<apps::fractal::Worker>> ws;
+  for (int i = 0; i < workers; ++i) {
+    nodes.push_back(std::make_unique<core::Instance>(
+        w.net, bench::bench_config("w" + std::to_string(i))));
+    ws.push_back(std::make_unique<apps::fractal::Worker>(
+        *nodes.back(), sim::milliseconds(50)));
+    ws.back()->start();
+  }
+  apps::fractal::Master master(m_node, image(), 1);
+  master.reissue_interval = sim::seconds(3);
+  bool done = false;
+  master.start([&] { done = true; });
+  if (churn && workers > 1) {
+    // One worker dies at 500 ms; a fresh one joins at 1 s.
+    w.queue.schedule_after(sim::milliseconds(500), [&] {
+      ws[0]->stop();
+      nodes[0].reset();
+    });
+    w.queue.schedule_after(sim::seconds(1), [&] {
+      nodes.push_back(std::make_unique<core::Instance>(
+          w.net, bench::bench_config("late")));
+      ws.push_back(std::make_unique<apps::fractal::Worker>(
+          *nodes.back(), sim::milliseconds(50)));
+      ws.back()->start();
+    });
+  }
+  w.queue.run_for(sim::seconds(300));
+  return done ? bench::sim_ms(static_cast<double>(master.elapsed())) : -1;
+}
+
+double run_lb(int workers, std::uint64_t seed) {
+  World w(seed);
+  apps::loadbalance::LoadBalancingServer server(w.net);
+  std::vector<std::unique_ptr<apps::loadbalance::LbWorker>> ws;
+  for (int i = 0; i < workers; ++i) {
+    ws.push_back(std::make_unique<apps::loadbalance::LbWorker>(
+        w.net, server.node(), sim::milliseconds(50)));
+    ws.back()->start();
+  }
+  apps::loadbalance::LbMaster master(w.net, server.node(), image(), 1);
+  bool done = false;
+  w.queue.run_for(sim::milliseconds(50));
+  master.start([&] { done = true; });
+  w.queue.run_for(sim::seconds(300));
+  return done ? bench::sim_ms(static_cast<double>(master.elapsed())) : -1;
+}
+
+void BM_Fractal(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const int mode = static_cast<int>(state.range(1));  // 0=tiamat 1=lb 2=churn
+  double ms = 0;
+  std::uint64_t seed = 23;
+  for (auto _ : state) {
+    ms = mode == 1 ? run_lb(workers, seed++)
+                   : run_tiamat(workers, mode == 2, seed++);
+  }
+  state.counters["completion_sim_ms"] = ms;
+  state.SetLabel(mode == 1   ? "lb-server"
+                 : mode == 2 ? "tiamat+churn"
+                             : "tiamat");
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fractal)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({4, 2})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

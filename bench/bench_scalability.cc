@@ -1,0 +1,210 @@
+// E4 — §4.4: "[LIME] is likely to prove unworkable in large networks due to
+// large latencies. ... the prototype implementation of LIME cannot function
+// with more than six hosts forming a single federated space." Tiamat's
+// opportunistic model has no global barrier, so it should scale smoothly.
+//
+// Series, vs host count: (a) operation throughput over a fixed virtual-time
+// window, (b) cost of one host joining (engagement stall for LIME; first
+// probe for Tiamat), (c) messages per completed operation.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/lime.h"
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace tiamat;  // NOLINT
+using bench::World;
+using tuples::any_int;
+using tuples::Pattern;
+using tuples::Tuple;
+
+constexpr sim::Duration kWindow = sim::seconds(20);
+
+struct Result {
+  double ops_completed = 0;
+  double join_cost_ms = 0;      // virtual ms for the last host to join
+  double msgs_per_op = 0;
+  double stall_ms = 0;          // LIME engagement stall total
+};
+
+// Workload: every host alternates producing and consuming small tuples.
+// With `churn`, one host bounces (leaves and rejoins) every 2 virtual
+// seconds — Tiamat rides it out opportunistically; LIME runs a pause-the-
+// world engagement barrier each time.
+Result run_tiamat(std::size_t hosts, bool churn, std::uint64_t seed) {
+  World w(seed);
+  std::vector<std::unique_ptr<core::Instance>> nodes;
+  for (std::size_t i = 0; i < hosts - 1; ++i) {
+    nodes.push_back(std::make_unique<core::Instance>(
+        w.net, bench::bench_config("h" + std::to_string(i))));
+  }
+  w.queue.run_for(sim::milliseconds(100));
+
+  // Join cost: time until a new instance can complete its first logical op.
+  const sim::Time join_start = w.net.now();
+  nodes.push_back(std::make_unique<core::Instance>(
+      w.net, bench::bench_config("joiner")));
+  nodes[0]->out(Tuple{"join-probe", 1});
+  sim::Time join_done = join_start;
+  nodes.back()->rdp(Pattern{"join-probe", any_int()},
+                    [&](auto) { join_done = w.net.now(); });
+  w.queue.run_for(sim::seconds(2));
+
+  std::uint64_t completed = 0;
+  const std::uint64_t msg_before = w.net.stats().unicasts_sent +
+                                   w.net.stats().multicasts_sent;
+  // Each host produces tuples keyed by its own index and consumes its
+  // ring-partner's — every take crosses the network.
+  for (std::size_t i = 0; i < hosts; ++i) {
+    auto* inst = nodes[i].get();
+    const auto mine = static_cast<std::int64_t>(i);
+    const auto partner = static_cast<std::int64_t>((i + 1) % hosts);
+    auto loop = std::make_shared<std::function<void()>>();
+    *loop = [&, inst, mine, partner, loop] {
+      inst->out(Tuple{"work", mine});
+      inst->inp(Pattern{"work", partner}, [&, loop](auto r) {
+        if (r) ++completed;
+        w.queue.schedule_after(sim::milliseconds(20), *loop);
+      });
+    };
+    w.queue.schedule_after(sim::milliseconds(1), *loop);
+  }
+  if (churn) {
+    // Bounce host 0's radio every 2 s (down 500 ms each time).
+    auto bounce = std::make_shared<std::function<void()>>();
+    *bounce = [&w, &nodes, bounce] {
+      sim::NodeId victim = nodes[0]->node();
+      w.net.set_online(victim, false);
+      w.queue.schedule_after(sim::milliseconds(500), [&w, victim] {
+        w.net.set_online(victim, true);
+      });
+      w.queue.schedule_after(sim::seconds(2), *bounce);
+    };
+    w.queue.schedule_after(sim::seconds(1), *bounce);
+  }
+  w.queue.run_for(kWindow);
+  // Stop cleanly: destroy instances before the queue drains further.
+  const std::uint64_t msgs = w.net.stats().unicasts_sent +
+                             w.net.stats().multicasts_sent - msg_before;
+  nodes.clear();
+
+  Result r;
+  r.ops_completed = static_cast<double>(completed);
+  r.join_cost_ms = bench::sim_ms(static_cast<double>(join_done - join_start));
+  r.msgs_per_op = completed ? static_cast<double>(msgs) / completed : 0;
+  return r;
+}
+
+Result run_lime(std::size_t hosts, bool churn, std::uint64_t seed) {
+  World w(seed);
+  constexpr sim::GroupId kFed = 9;
+  std::vector<std::unique_ptr<baselines::LimeHost>> nodes;
+  nodes.push_back(std::make_unique<baselines::LimeHost>(w.net, kFed, true));
+  for (std::size_t i = 1; i + 1 < hosts; ++i) {
+    nodes.push_back(std::make_unique<baselines::LimeHost>(w.net, kFed, false));
+    nodes.back()->engage();
+    w.queue.run_for(sim::seconds(2));
+  }
+  // Pre-populate so engagement has state to ship.
+  for (int k = 0; k < 50; ++k) {
+    nodes[0]->out(Tuple{"state", k});
+  }
+  w.queue.run_for(sim::seconds(1));
+
+  // Join cost: last host's engagement barrier.
+  const sim::Time join_start = w.net.now();
+  nodes.push_back(std::make_unique<baselines::LimeHost>(w.net, kFed, false));
+  sim::Time join_done = join_start;
+  nodes.back()->engage([&](bool) { join_done = w.net.now(); });
+  w.queue.run_for(sim::seconds(5));
+
+  std::uint64_t completed = 0;
+  const std::uint64_t msg_before = w.net.stats().unicasts_sent +
+                                   w.net.stats().multicasts_sent;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    auto* h = nodes[i].get();
+    const auto mine = static_cast<std::int64_t>(i);
+    const auto partner = static_cast<std::int64_t>((i + 1) % nodes.size());
+    auto loop = std::make_shared<std::function<void()>>();
+    *loop = [&, h, mine, partner, loop] {
+      h->out(Tuple{"work", mine});
+      h->inp(Pattern{"work", partner}, [&, loop](auto r) {
+        if (r) ++completed;
+        w.queue.schedule_after(sim::milliseconds(20), *loop);
+      });
+    };
+    w.queue.schedule_after(sim::milliseconds(1), *loop);
+  }
+  if (churn) {
+    // The last host disengages and re-engages every 2 s: each rejoin is an
+    // atomic engagement barrier stalling the whole federation.
+    auto bounce = std::make_shared<std::function<void()>>();
+    *bounce = [&w, &nodes, bounce] {
+      auto* h = nodes.back().get();
+      h->disengage();
+      w.queue.schedule_after(sim::milliseconds(500),
+                             [h] { h->engage(); });
+      w.queue.schedule_after(sim::seconds(2), *bounce);
+    };
+    w.queue.schedule_after(sim::seconds(1), *bounce);
+  }
+  w.queue.run_for(kWindow);
+  const std::uint64_t msgs = w.net.stats().unicasts_sent +
+                             w.net.stats().multicasts_sent - msg_before;
+
+  Result r;
+  r.ops_completed = static_cast<double>(completed);
+  r.join_cost_ms = bench::sim_ms(static_cast<double>(join_done - join_start));
+  r.msgs_per_op = completed ? static_cast<double>(msgs) / completed : 0;
+  double stall = 0;
+  for (auto& n : nodes) {
+    stall += static_cast<double>(n->stats().total_engagement_stall);
+  }
+  r.stall_ms = bench::sim_ms(stall);
+  nodes.clear();
+  return r;
+}
+
+void BM_Scalability(benchmark::State& state) {
+  const auto hosts = static_cast<std::size_t>(state.range(0));
+  const bool lime = state.range(1) != 0;
+  const bool churn = state.range(2) != 0;
+  Result r;
+  std::uint64_t seed = 3;
+  for (auto _ : state) {
+    r = lime ? run_lime(hosts, churn, seed++)
+             : run_tiamat(hosts, churn, seed++);
+  }
+  state.counters["ops_in_window"] = r.ops_completed;
+  state.counters["join_cost_sim_ms"] = r.join_cost_ms;
+  state.counters["msgs_per_op"] = r.msgs_per_op;
+  if (lime) state.counters["engagement_stall_ms"] = r.stall_ms;
+  state.SetLabel(std::string(lime ? "LIME" : "Tiamat") +
+                 (churn ? "+churn" : ""));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Scalability)
+    ->Args({2, 0, 0})
+    ->Args({2, 1, 0})
+    ->Args({4, 0, 0})
+    ->Args({4, 1, 0})
+    ->Args({6, 0, 0})
+    ->Args({6, 1, 0})
+    ->Args({12, 0, 0})
+    ->Args({12, 1, 0})
+    ->Args({24, 0, 0})
+    ->Args({24, 1, 0})
+    ->Args({6, 0, 1})
+    ->Args({6, 1, 1})
+    ->Args({12, 0, 1})
+    ->Args({12, 1, 1})
+    ->Args({24, 0, 1})
+    ->Args({24, 1, 1})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

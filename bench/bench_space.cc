@@ -1,0 +1,153 @@
+// E12 — §3.1.2: microbenchmarks of the tuple-space engine itself (the one
+// piece the paper calls "a basic, custom built tuple space system"). Real
+// wall-clock measurements: out/rdp/inp throughput vs space size, keyed vs
+// unkeyed pattern matching, waiter wake-up, and codec throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "space/local_space.h"
+#include "tuple/codec.h"
+
+namespace {
+
+using namespace tiamat;  // NOLINT
+using space::LocalTupleSpace;
+using tuples::any_int;
+using tuples::any_string;
+using tuples::Pattern;
+using tuples::Tuple;
+
+void BM_Out(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::Rng rng(1);
+  LocalTupleSpace space(q, rng);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    space.out(Tuple{"key", i++, "payload"});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Out);
+
+void BM_RdpKeyed(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::Rng rng(1);
+  LocalTupleSpace space(q, rng);
+  const auto n = state.range(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    space.out(Tuple{"k" + std::to_string(i % 64), i});
+  }
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    auto t = space.rdp(Pattern{"k" + std::to_string(i++ % 64), any_int()});
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RdpKeyed)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_RdpUnkeyedScan(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::Rng rng(1);
+  LocalTupleSpace space(q, rng);
+  const auto n = state.range(0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    space.out(Tuple{"k" + std::to_string(i), i});
+  }
+  for (auto _ : state) {
+    // Unkeyed: must scan all buckets of the arity.
+    auto t = space.rdp(Pattern{any_string(), 42});
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RdpUnkeyedScan)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_InpOutCycle(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::Rng rng(1);
+  LocalTupleSpace space(q, rng);
+  space.out(Tuple{"cycle", 0});
+  for (auto _ : state) {
+    auto t = space.inp(Pattern{"cycle", any_int()});
+    space.out(std::move(*t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InpOutCycle);
+
+void BM_WaiterWakeup(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::Rng rng(1);
+  LocalTupleSpace space(q, rng);
+  for (auto _ : state) {
+    bool got = false;
+    space.in(Pattern{"w", any_int()}, sim::kNever,
+             [&](auto t) { got = t.has_value(); });
+    space.out(Tuple{"w", 1});
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WaiterWakeup);
+
+void BM_ManyWaitersOneOut(benchmark::State& state) {
+  const auto n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::EventQueue q;
+    sim::Rng rng(1);
+    LocalTupleSpace space(q, rng);
+    for (std::int64_t i = 0; i < n; ++i) {
+      space.rd(Pattern{"evt", static_cast<std::int64_t>(i)}, sim::kNever,
+               [](auto) {});
+    }
+    state.ResumeTiming();
+    space.out(Tuple{"evt", static_cast<std::int64_t>(n / 2)});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ManyWaitersOneOut)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_CodecEncode(benchmark::State& state) {
+  Tuple t{"request", 123456789, 3.14159, true,
+          std::string(static_cast<std::size_t>(state.range(0)), 'x')};
+  for (auto _ : state) {
+    auto bytes = tuples::encode_tuple(t);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(t.footprint()));
+}
+BENCHMARK(BM_CodecEncode)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_CodecDecode(benchmark::State& state) {
+  Tuple t{"request", 123456789, 3.14159, true,
+          std::string(static_cast<std::size_t>(state.range(0)), 'x')};
+  auto bytes = tuples::encode_tuple(t);
+  for (auto _ : state) {
+    auto back = tuples::try_decode_tuple(bytes);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_CodecDecode)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_PatternMatch(benchmark::State& state) {
+  Tuple t{"tag", 42, 2.5, "http://example.org/page", true};
+  Pattern p{"tag", any_int(), tuples::any_double(),
+            tuples::Field::prefix("http://"), tuples::any_bool()};
+  for (auto _ : state) {
+    bool m = p.matches(t);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PatternMatch);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Shared helpers for the experiment benches (E3–E12). Each bench binary
+// regenerates one paper-shaped series; since the paper's claims are about
+// protocol behaviour, the interesting measurements are *simulated* metrics
+// (virtual-time latency, message/byte counts) reported through
+// google-benchmark counters, alongside the usual wall-clock timing of the
+// simulation itself.
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/random.h"
+
+namespace tiamat::bench {
+
+struct World {
+  explicit World(std::uint64_t seed = 42) : rng(seed), net(queue, rng, model()) {}
+
+  static sim::LinkModel model() {
+    sim::LinkModel m;
+    m.base_latency = 2 * sim::kMillisecond;
+    m.per_kilobyte = 100;
+    m.jitter = 200;
+    m.loss = 0.0;
+    return m;
+  }
+
+  sim::EventQueue queue;
+  sim::Rng rng;
+  sim::Network net;
+};
+
+inline core::Config bench_config(const std::string& name,
+                                 sim::Duration ttl = sim::seconds(30)) {
+  core::Config cfg;
+  cfg.name = name;
+  cfg.lease_caps.default_ttl = ttl;
+  cfg.lease_caps.max_ttl = ttl * 4;
+  cfg.lease_caps.default_contacts = 64;
+  cfg.lease_caps.max_contacts = 128;
+  return cfg;
+}
+
+/// Milliseconds of virtual time, for counters.
+inline double sim_ms(double microseconds) { return microseconds / 1000.0; }
+
+}  // namespace tiamat::bench

@@ -1,0 +1,182 @@
+#include "apps/fractal.h"
+
+namespace tiamat::apps::fractal {
+
+using core::ReadResult;
+using lease::FlexibleRequester;
+using lease::LeaseTerms;
+using tuples::any_blob;
+using tuples::any_double;
+using tuples::any_int;
+using tuples::Pattern;
+using tuples::Tuple;
+
+std::vector<std::uint16_t> compute_row(const Params& p, int row) {
+  std::vector<std::uint16_t> out(static_cast<std::size_t>(p.width));
+  const double cy = p.y0 + (p.y1 - p.y0) * row / (p.height - 1.0);
+  for (int col = 0; col < p.width; ++col) {
+    const double cx = p.x0 + (p.x1 - p.x0) * col / (p.width - 1.0);
+    double zx = 0.0, zy = 0.0;
+    int it = 0;
+    while (zx * zx + zy * zy <= 4.0 && it < p.max_iter) {
+      const double nzx = zx * zx - zy * zy + cx;
+      zy = 2.0 * zx * zy + cy;
+      zx = nzx;
+      ++it;
+    }
+    out[static_cast<std::size_t>(col)] = static_cast<std::uint16_t>(it);
+  }
+  return out;
+}
+
+tuples::Blob pack_row(const std::vector<std::uint16_t>& row) {
+  tuples::Blob b;
+  b.reserve(row.size() * 2);
+  for (std::uint16_t v : row) {
+    b.push_back(static_cast<std::uint8_t>(v));
+    b.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  return b;
+}
+
+std::vector<std::uint16_t> unpack_row(const tuples::Blob& b) {
+  std::vector<std::uint16_t> row(b.size() / 2);
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    row[i] = static_cast<std::uint16_t>(b[2 * i] |
+                                        (static_cast<std::uint16_t>(
+                                             b[2 * i + 1])
+                                         << 8));
+  }
+  return row;
+}
+
+Master::Master(core::Instance& instance, Params params, std::uint64_t job_id)
+    : instance_(instance), params_(params), job_(job_id) {
+  image_.resize(static_cast<std::size_t>(params_.height));
+}
+
+void Master::start(std::function<void()> done, sim::Duration task_ttl) {
+  done_ = std::move(done);
+  started_at_ = instance_.now();
+  result_ttl_ = task_ttl;
+  for (int row = 0; row < params_.height; ++row) {
+    out_task(row, task_ttl);
+  }
+  collect_one();
+}
+
+void Master::out_task(int row, sim::Duration ttl) {
+  LeaseTerms store;
+  store.ttl = ttl;
+  Tuple task{kTaskTag,
+             static_cast<std::int64_t>(job_),
+             row,
+             params_.width,
+             params_.height,
+             params_.max_iter,
+             params_.x0,
+             params_.x1,
+             params_.y0,
+             params_.y1};
+  instance_.out(std::move(task), FlexibleRequester{store});
+}
+
+void Master::collect_one() {
+  if (complete()) {
+    finished_at_ = instance_.now();
+    if (done_) done_();
+    return;
+  }
+  LeaseTerms wait;
+  wait.ttl = reissue_interval;
+  Pattern result{kResultTag, static_cast<std::int64_t>(job_), any_int(),
+                 any_blob()};
+  instance_.in(
+      result,
+      [this](std::optional<ReadResult> r) {
+        if (r) {
+          const int row = static_cast<int>(r->tuple[2].as_int());
+          if (row >= 0 && row < params_.height &&
+              image_[static_cast<std::size_t>(row)].empty()) {
+            image_[static_cast<std::size_t>(row)] =
+                unpack_row(r->tuple[3].as_blob());
+            ++rows_done_;
+          }
+        } else if (!complete()) {
+          // Stall: a worker may have taken a task tuple and died with it.
+          // Re-out every missing row; duplicates are filtered on receipt.
+          ++reissues_;
+          for (int row = 0; row < params_.height; ++row) {
+            if (image_[static_cast<std::size_t>(row)].empty()) {
+              out_task(row, result_ttl_);
+            }
+          }
+        }
+        // Keep collecting (a lease expiry just re-arms the in).
+        collect_one();
+      },
+      FlexibleRequester{wait});
+}
+
+Worker::~Worker() {
+  auto& q = instance_.endpoint().network().queue();
+  for (sim::EventId ev : pending_) q.cancel(ev);
+}
+
+void Worker::start() {
+  if (running_) return;
+  running_ = true;
+  await_task();
+}
+
+void Worker::await_task() {
+  if (!running_) return;
+  LeaseTerms wait;
+  wait.ttl = sim::seconds(30);
+  Pattern task{kTaskTag,      any_int(),    any_int(),
+               any_int(),     any_int(),    any_int(),
+               any_double(),  any_double(), any_double(),
+               any_double()};
+  instance_.in(
+      task,
+      [this](std::optional<ReadResult> r) {
+        if (!running_) {
+          if (r) instance_.out(r->tuple);  // hand the task back
+          return;
+        }
+        if (!r) {
+          await_task();  // lease lapsed with nothing to do; re-arm
+          return;
+        }
+        const Tuple t = r->tuple;
+        Params p;
+        const auto job = t[1].as_int();
+        const int row = static_cast<int>(t[2].as_int());
+        p.width = static_cast<int>(t[3].as_int());
+        p.height = static_cast<int>(t[4].as_int());
+        p.max_iter = static_cast<int>(t[5].as_int());
+        p.x0 = t[6].as_double();
+        p.x1 = t[7].as_double();
+        p.y0 = t[8].as_double();
+        p.y1 = t[9].as_double();
+        // The computation takes simulated time on this device...
+        auto ev = std::make_shared<sim::EventId>(sim::kInvalidEvent);
+        *ev = instance_.endpoint().network().queue().schedule_after(
+            row_cost_, [this, p, job, row, ev] {
+              pending_.erase(*ev);
+              if (!running_) return;
+              // ...and is really performed.
+              auto pixels = compute_row(p, row);
+              ++stats_.rows_computed;
+              LeaseTerms store;
+              store.ttl = sim::seconds(120);
+              instance_.out(Tuple{kResultTag, job, row, pack_row(pixels)},
+                            FlexibleRequester{store});
+              await_task();
+            });
+        pending_.insert(*ev);
+      },
+      FlexibleRequester{wait});
+}
+
+}  // namespace tiamat::apps::fractal

@@ -1,0 +1,114 @@
+// The fractal-generator application from §3.2: a Mandelbrot renderer whose
+// load-balancing server was "removed and the data producers communicated
+// with the entities performing the calculations through the space".
+//
+// Masters out one task tuple per row; anonymous workers take tasks, really
+// compute the row (this is a genuine Mandelbrot implementation, not a stub),
+// and out the result keyed by (job, row). "The number of entities performing
+// calculations could be increased and decreased without perturbing the
+// clients." E10 measures completion time vs worker count and mid-run churn;
+// loadbalance.h is the directed-assignment baseline the space replaced.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/instance.h"
+#include "tuple/value.h"
+
+namespace tiamat::apps::fractal {
+
+inline constexpr const char* kTaskTag = "frac:task";
+inline constexpr const char* kResultTag = "frac:result";
+
+struct Params {
+  int width = 64;
+  int height = 64;
+  int max_iter = 64;
+  double x0 = -2.0, x1 = 1.0;
+  double y0 = -1.5, y1 = 1.5;
+};
+
+/// Actually computes one row of the escape-time Mandelbrot set.
+std::vector<std::uint16_t> compute_row(const Params& p, int row);
+
+/// Serialises a row of iteration counts into a tuple blob and back.
+tuples::Blob pack_row(const std::vector<std::uint16_t>& row);
+std::vector<std::uint16_t> unpack_row(const tuples::Blob& b);
+
+/// The master: slices the image into row tasks, collects results.
+class Master {
+ public:
+  Master(core::Instance& instance, Params params, std::uint64_t job_id);
+
+  /// Outs every task tuple and blocks (logically) on results. `done` fires
+  /// when the full image is assembled. `task_ttl` leases the task tuples.
+  void start(std::function<void()> done,
+             sim::Duration task_ttl = sim::seconds(120));
+
+  std::size_t rows_done() const { return rows_done_; }
+
+  /// If no result arrives for this long, the master re-outs task tuples
+  /// for every missing row — the bag-of-tasks answer to a worker that took
+  /// a task and then vanished. (Duplicate results are ignored.)
+  sim::Duration reissue_interval = sim::seconds(5);
+  std::uint64_t reissues() const { return reissues_; }
+  bool complete() const { return rows_done_ == static_cast<std::size_t>(params_.height); }
+  const std::vector<std::vector<std::uint16_t>>& image() const {
+    return image_;
+  }
+  sim::Duration elapsed() const { return finished_at_ - started_at_; }
+  const Params& params() const { return params_; }
+
+ private:
+  void collect_one();
+
+  core::Instance& instance_;
+  Params params_;
+  std::uint64_t job_;
+  std::vector<std::vector<std::uint16_t>> image_;
+  std::size_t rows_done_ = 0;
+  std::uint64_t reissues_ = 0;
+  sim::Time started_at_ = 0;
+  sim::Time finished_at_ = 0;
+  sim::Duration result_ttl_ = sim::seconds(120);
+  std::function<void()> done_;
+
+  void out_task(int row, sim::Duration ttl);
+};
+
+/// An anonymous worker: takes any task tuple, computes, produces a result.
+class Worker {
+ public:
+  struct Stats {
+    std::uint64_t rows_computed = 0;
+  };
+
+  /// `row_cost` is the simulated wall time one row takes on this device —
+  /// heterogeneous hardware is modelled by varying it per worker.
+  Worker(core::Instance& instance,
+         sim::Duration row_cost = sim::milliseconds(20))
+      : instance_(instance), row_cost_(row_cost) {}
+  ~Worker();
+
+  void start();
+  void stop() { running_ = false; }
+  bool running() const { return running_; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void await_task();
+
+  core::Instance& instance_;
+  sim::Duration row_cost_;
+  bool running_ = false;
+  std::set<sim::EventId> pending_;
+  Stats stats_;
+};
+
+}  // namespace tiamat::apps::fractal

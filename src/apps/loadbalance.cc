@@ -1,0 +1,226 @@
+#include "apps/loadbalance.h"
+
+#include <algorithm>
+
+namespace tiamat::apps::loadbalance {
+
+using fractal::compute_row;
+using fractal::pack_row;
+using fractal::Params;
+
+// ---- Server ------------------------------------------------------------------
+
+LoadBalancingServer::LoadBalancingServer(sim::Network& net, sim::Position pos)
+    : net_(net), endpoint_(net, net.add_node(pos)) {
+  auto handler = [this](sim::NodeId from, const net::Message& m) {
+    handle(from, m);
+  };
+  for (std::uint16_t t : {kLbRegister, kLbResult, kLbSubmit}) {
+    endpoint_.on(t, handler);
+  }
+}
+
+void LoadBalancingServer::handle(sim::NodeId from, const net::Message& m) {
+  switch (m.type) {
+    case kLbRegister: {
+      if (std::find(workers_.begin(), workers_.end(), from) ==
+          workers_.end()) {
+        workers_.push_back(from);
+      }
+      pump();
+      return;
+    }
+    case kLbSubmit: {
+      Task t;
+      t.id = next_task_++;
+      t.payload = m;
+      t.master = from;
+      queue_.push_back(t.id);
+      tasks_.emplace(t.id, std::move(t));
+      pump();
+      return;
+    }
+    case kLbResult: {
+      // header 0 = server task id; the rest is forwarded to the master.
+      if (m.headers.empty()) return;
+      const auto task_id = static_cast<std::uint64_t>(m.hint(0));
+      auto it = tasks_.find(task_id);
+      if (it == tasks_.end()) return;  // duplicate after reassignment
+      if (it->second.timeout != sim::kInvalidEvent) {
+        net_.queue().cancel(it->second.timeout);
+      }
+      net::Message deliver = m;
+      deliver.type = kLbDeliver;
+      ++stats_.results_forwarded;
+      endpoint_.send(it->second.master, deliver);
+      tasks_.erase(it);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void LoadBalancingServer::pump() {
+  while (!queue_.empty() && !workers_.empty()) {
+    std::uint64_t id = queue_.front();
+    queue_.pop_front();
+    assign(id);
+  }
+}
+
+void LoadBalancingServer::assign(std::uint64_t task_id) {
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end() || workers_.empty()) return;
+  Task& t = it->second;
+  sim::NodeId worker = workers_[next_worker_ % workers_.size()];
+  ++next_worker_;
+  t.assigned_to = worker;
+  ++stats_.tasks_assigned;
+
+  net::Message task = t.payload;
+  task.type = kLbTask;
+  task.op_id = task_id;
+  endpoint_.send(worker, task);
+
+  // Hand-rolled failover: if the worker never answers, drop it and retry.
+  t.timeout = net_.queue().schedule_after(task_timeout, [this, task_id] {
+    auto it2 = tasks_.find(task_id);
+    if (it2 == tasks_.end()) return;
+    ++stats_.reassignments;
+    workers_.erase(std::remove(workers_.begin(), workers_.end(),
+                               it2->second.assigned_to),
+                   workers_.end());
+    it2->second.assigned_to = sim::kNoNode;
+    it2->second.timeout = sim::kInvalidEvent;
+    queue_.push_back(task_id);
+    pump();
+  });
+}
+
+// ---- Worker ------------------------------------------------------------------
+
+LbWorker::LbWorker(sim::Network& net, sim::NodeId server,
+                   sim::Duration row_cost, sim::Position pos)
+    : net_(net),
+      endpoint_(net, net.add_node(pos)),
+      server_(server),
+      row_cost_(row_cost) {
+  endpoint_.on(kLbTask, [this](sim::NodeId from, const net::Message& m) {
+    handle(from, m);
+  });
+}
+
+LbWorker::~LbWorker() {
+  for (sim::EventId ev : pending_) net_.queue().cancel(ev);
+}
+
+void LbWorker::start() {
+  running_ = true;
+  net::Message reg;
+  reg.type = kLbRegister;
+  reg.origin = node();
+  endpoint_.send(server_, reg);
+}
+
+void LbWorker::handle(sim::NodeId, const net::Message& m) {
+  if (!running_ || m.headers.size() < 9) return;
+  if (busy_) {
+    backlog_.push_back(m);  // one CPU: queue behind the current row
+    return;
+  }
+  work_on(m);
+}
+
+void LbWorker::next_from_backlog() {
+  if (backlog_.empty() || !running_) return;
+  net::Message m = std::move(backlog_.front());
+  backlog_.pop_front();
+  work_on(m);
+}
+
+void LbWorker::work_on(const net::Message& m) {
+  busy_ = true;
+  Params p;
+  const auto job = m.hint(0);
+  const int row = static_cast<int>(m.hint(1));
+  p.width = static_cast<int>(m.hint(2));
+  p.height = static_cast<int>(m.hint(3));
+  p.max_iter = static_cast<int>(m.hint(4));
+  p.x0 = m.hdouble(5);
+  p.x1 = m.hdouble(6);
+  p.y0 = m.hdouble(7);
+  p.y1 = m.hdouble(8);
+  const std::uint64_t task_id = m.op_id;
+  auto ev = std::make_shared<sim::EventId>(sim::kInvalidEvent);
+  *ev = net_.queue().schedule_after(row_cost_, [this, p, job, row, task_id,
+                                                ev] {
+    pending_.erase(*ev);
+    if (!running_) return;
+    auto pixels = compute_row(p, row);
+    ++rows_computed_;
+    net::Message res;
+    res.type = kLbResult;
+    res.origin = node();
+    res.h(static_cast<std::int64_t>(task_id));
+    res.h(job);
+    res.h(row);
+    res.tuple = tuples::Tuple{tuples::Value(pack_row(pixels))};
+    endpoint_.send(server_, res);
+    busy_ = false;
+    next_from_backlog();
+  });
+  pending_.insert(*ev);
+}
+
+// ---- Master ---------------------------------------------------------------------
+
+LbMaster::LbMaster(sim::Network& net, sim::NodeId server,
+                   fractal::Params params, std::uint64_t job,
+                   sim::Position pos)
+    : net_(net),
+      endpoint_(net, net.add_node(pos)),
+      server_(server),
+      params_(params),
+      job_(job) {
+  image_.resize(static_cast<std::size_t>(params_.height));
+  endpoint_.on(kLbDeliver, [this](sim::NodeId from, const net::Message& m) {
+    handle(from, m);
+  });
+}
+
+void LbMaster::start(std::function<void()> done) {
+  done_ = std::move(done);
+  started_at_ = net_.now();
+  for (int row = 0; row < params_.height; ++row) {
+    net::Message submit;
+    submit.type = kLbSubmit;
+    submit.origin = node();
+    submit.h(static_cast<std::int64_t>(job_));
+    submit.h(row);
+    submit.h(params_.width);
+    submit.h(params_.height);
+    submit.h(params_.max_iter);
+    submit.h(params_.x0);
+    submit.h(params_.x1);
+    submit.h(params_.y0);
+    submit.h(params_.y1);
+    endpoint_.send(server_, submit);
+  }
+}
+
+void LbMaster::handle(sim::NodeId, const net::Message& m) {
+  if (m.headers.size() < 3 || !m.tuple) return;
+  const int row = static_cast<int>(m.hint(2));
+  if (row < 0 || row >= params_.height) return;
+  auto& slot = image_[static_cast<std::size_t>(row)];
+  if (!slot.empty()) return;  // duplicate after reassignment
+  slot = fractal::unpack_row((*m.tuple)[0].as_blob());
+  ++rows_done_;
+  if (complete()) {
+    finished_at_ = net_.now();
+    if (done_) done_();
+  }
+}
+
+}  // namespace tiamat::apps::loadbalance

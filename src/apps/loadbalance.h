@@ -1,0 +1,131 @@
+// The directed load-balancing architecture the fractal application used
+// *before* its port to Tiamat (§3.2): a central server that workers
+// register with and that assigns tasks round-robin. Everything the tuple
+// space gives for free — anonymous workers, failover, queueing while no
+// worker is available — must be hand-rolled here; E10 compares the two.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "apps/fractal.h"
+#include "net/endpoint.h"
+
+namespace tiamat::apps::loadbalance {
+
+enum LbMsg : std::uint16_t {
+  kLbRegister = 601,  ///< worker -> server
+  kLbTask = 602,      ///< server -> worker
+  kLbResult = 603,    ///< worker -> server
+  kLbSubmit = 604,    ///< master -> server
+  kLbDeliver = 605,   ///< server -> master
+};
+
+class LoadBalancingServer {
+ public:
+  struct Stats {
+    std::uint64_t tasks_assigned = 0;
+    std::uint64_t reassignments = 0;  ///< worker presumed dead
+    std::uint64_t results_forwarded = 0;
+  };
+
+  explicit LoadBalancingServer(sim::Network& net, sim::Position pos = {});
+
+  sim::NodeId node() const { return endpoint_.node(); }
+  std::size_t workers() const { return workers_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  /// How long a worker may sit on a task before it is reassigned.
+  sim::Duration task_timeout = sim::seconds(2);
+
+ private:
+  struct Task {
+    std::uint64_t id;
+    net::Message payload;       // the original kLbSubmit
+    sim::NodeId master;
+    sim::NodeId assigned_to = sim::kNoNode;
+    sim::EventId timeout = sim::kInvalidEvent;
+  };
+
+  void handle(sim::NodeId from, const net::Message& m);
+  void pump();
+  void assign(std::uint64_t task_id);
+
+  sim::Network& net_;
+  net::Endpoint endpoint_;
+  std::vector<sim::NodeId> workers_;
+  std::size_t next_worker_ = 0;
+  std::uint64_t next_task_ = 1;
+  std::deque<std::uint64_t> queue_;       // unassigned task ids
+  std::map<std::uint64_t, Task> tasks_;   // outstanding
+  Stats stats_;
+};
+
+class LbWorker {
+ public:
+  LbWorker(sim::Network& net, sim::NodeId server,
+           sim::Duration row_cost = sim::milliseconds(20),
+           sim::Position pos = {});
+  ~LbWorker();
+
+  sim::NodeId node() const { return endpoint_.node(); }
+  void start();  ///< registers with the server
+  void stop() { running_ = false; }
+
+  std::uint64_t rows_computed() const { return rows_computed_; }
+
+ private:
+  void handle(sim::NodeId from, const net::Message& m);
+
+  sim::Network& net_;
+  net::Endpoint endpoint_;
+  sim::NodeId server_;
+  sim::Duration row_cost_;
+  bool running_ = false;
+  bool busy_ = false;  ///< one CPU: tasks are computed serially
+  std::deque<net::Message> backlog_;
+  std::uint64_t rows_computed_ = 0;
+  std::set<sim::EventId> pending_;
+
+  void work_on(const net::Message& m);
+  void next_from_backlog();
+};
+
+class LbMaster {
+ public:
+  LbMaster(sim::Network& net, sim::NodeId server, fractal::Params params,
+           std::uint64_t job, sim::Position pos = {});
+
+  sim::NodeId node() const { return endpoint_.node(); }
+  void start(std::function<void()> done);
+
+  std::size_t rows_done() const { return rows_done_; }
+  bool complete() const {
+    return rows_done_ == static_cast<std::size_t>(params_.height);
+  }
+  sim::Duration elapsed() const { return finished_at_ - started_at_; }
+  const std::vector<std::vector<std::uint16_t>>& image() const {
+    return image_;
+  }
+
+ private:
+  void handle(sim::NodeId from, const net::Message& m);
+
+  sim::Network& net_;
+  net::Endpoint endpoint_;
+  sim::NodeId server_;
+  fractal::Params params_;
+  std::uint64_t job_;
+  std::vector<std::vector<std::uint16_t>> image_;
+  std::size_t rows_done_ = 0;
+  sim::Time started_at_ = 0;
+  sim::Time finished_at_ = 0;
+  std::function<void()> done_;
+};
+
+}  // namespace tiamat::apps::loadbalance

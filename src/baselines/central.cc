@@ -1,0 +1,151 @@
+#include "baselines/central.h"
+
+namespace tiamat::baselines {
+
+CentralServer::CentralServer(sim::Network& net, sim::Position pos)
+    : net_(net),
+      endpoint_(net, net.add_node(pos)),
+      rng_(net.rng().fork()),
+      space_(net.queue(), rng_, space::SpaceOptions{"central", true}) {
+  auto handler = [this](sim::NodeId from, const net::Message& m) {
+    handle(from, m);
+  };
+  for (std::uint16_t t :
+       {kCentralOut, kCentralRdp, kCentralInp, kCentralRd, kCentralIn}) {
+    endpoint_.on(t, handler);
+  }
+}
+
+void CentralServer::reply(sim::NodeId to, std::uint64_t op_id,
+                          const std::optional<Tuple>& t) {
+  net::Message r;
+  r.type = kCentralReply;
+  r.op_id = op_id;
+  r.origin = node();
+  r.h(t.has_value());
+  if (t) r.tuple = *t;
+  endpoint_.send(to, r);
+}
+
+void CentralServer::handle(sim::NodeId from, const net::Message& m) {
+  ++stats_.ops_served;
+  switch (m.type) {
+    case kCentralOut: {
+      if (m.tuple) space_.out(*m.tuple);
+      net::Message ack;
+      ack.type = kCentralOutAck;
+      ack.op_id = m.op_id;
+      ack.origin = node();
+      endpoint_.send(from, ack);
+      return;
+    }
+    case kCentralRdp: {
+      if (m.pattern) reply(from, m.op_id, space_.rdp(*m.pattern));
+      return;
+    }
+    case kCentralInp: {
+      if (m.pattern) reply(from, m.op_id, space_.inp(*m.pattern));
+      return;
+    }
+    case kCentralRd:
+    case kCentralIn: {
+      if (!m.pattern || m.headers.empty()) return;
+      const sim::Time deadline = static_cast<sim::Time>(m.hint(0));
+      ++stats_.waiters_created;
+      auto cb = [this, from, op_id = m.op_id](std::optional<Tuple> t) {
+        reply(from, op_id, t);
+      };
+      if (m.type == kCentralRd) {
+        space_.rd(*m.pattern, deadline, cb);
+      } else {
+        space_.in(*m.pattern, deadline, cb);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+CentralClient::CentralClient(sim::Network& net, sim::NodeId server,
+                             sim::Position pos)
+    : net_(net),
+      endpoint_(net, net.add_node(pos)),
+      correlator_(net.queue()),
+      server_(server) {
+  endpoint_.on(kCentralReply, [this](sim::NodeId from, const net::Message& m) {
+    correlator_.route(from, m);
+  });
+  endpoint_.on(kCentralOutAck,
+               [this](sim::NodeId from, const net::Message& m) {
+                 correlator_.route(from, m);
+               });
+}
+
+void CentralClient::out(Tuple t, std::function<void(bool)> cb) {
+  ++stats_.ops;
+  const std::uint64_t id = correlator_.next_op_id();
+  net::Message m;
+  m.type = kCentralOut;
+  m.op_id = id;
+  m.origin = node();
+  m.tuple = std::move(t);
+  correlator_.expect(
+      id,
+      [this, cb](sim::NodeId, const net::Message&) {
+        if (cb) cb(true);
+        return false;  // one ack ends the exchange
+      },
+      net_.now() + rpc_timeout,
+      [this, cb] {
+        ++stats_.failures;
+        if (cb) cb(false);
+      });
+  endpoint_.send(server_, m);
+}
+
+void CentralClient::request(std::uint16_t type, const Pattern& p,
+                            sim::Time deadline, MatchCb cb) {
+  ++stats_.ops;
+  const std::uint64_t id = correlator_.next_op_id();
+  net::Message m;
+  m.type = type;
+  m.op_id = id;
+  m.origin = node();
+  m.pattern = p;
+  m.h(static_cast<std::int64_t>(deadline));
+  const sim::Time local_timeout =
+      (deadline == sim::kNever ? net_.now() + sim::seconds(3600) : deadline) +
+      rpc_timeout;
+  correlator_.expect(
+      id,
+      [cb](sim::NodeId, const net::Message& r) {
+        if (!r.headers.empty() && r.hbool(0) && r.tuple) {
+          cb(*r.tuple);
+        } else {
+          cb(std::nullopt);
+        }
+        return false;
+      },
+      local_timeout,
+      [this, cb] {
+        ++stats_.failures;
+        cb(std::nullopt);
+      });
+  endpoint_.send(server_, m);
+}
+
+void CentralClient::rdp(const Pattern& p, MatchCb cb) {
+  request(kCentralRdp, p, net_.now(), std::move(cb));
+}
+void CentralClient::inp(const Pattern& p, MatchCb cb) {
+  request(kCentralInp, p, net_.now(), std::move(cb));
+}
+void CentralClient::rd(const Pattern& p, sim::Time deadline, MatchCb cb) {
+  request(kCentralRd, p, deadline, std::move(cb));
+}
+void CentralClient::in(const Pattern& p, sim::Time deadline, MatchCb cb) {
+  request(kCentralIn, p, deadline, std::move(cb));
+}
+
+}  // namespace tiamat::baselines

@@ -1,0 +1,95 @@
+// Centralised client/server tuple space — the TSpaces / JavaSpaces shape
+// (§4.2): "Both systems offer the tuple space abstraction to devices on a
+// client/server basis. ... centralised architectures, where one machine must
+// be visible to all others, are not appropriate in a mobile environment."
+//
+// One server node owns the space; clients RPC every operation to it. When
+// the server is not visible the operation fails — exactly the availability
+// weakness E11 measures.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "baselines/common.h"
+#include "net/endpoint.h"
+#include "net/rpc.h"
+#include "space/local_space.h"
+
+namespace tiamat::baselines {
+
+/// Message codes (central block).
+enum CentralMsg : std::uint16_t {
+  kCentralOut = net::kCentralBase + 1,
+  kCentralRdp = net::kCentralBase + 2,
+  kCentralInp = net::kCentralBase + 3,
+  kCentralRd = net::kCentralBase + 4,
+  kCentralIn = net::kCentralBase + 5,
+  kCentralReply = net::kCentralBase + 6,
+  kCentralOutAck = net::kCentralBase + 7,
+};
+
+class CentralServer {
+ public:
+  explicit CentralServer(sim::Network& net, sim::Position pos = {});
+
+  sim::NodeId node() const { return endpoint_.node(); }
+  space::LocalTupleSpace& space() { return space_; }
+
+  struct Stats {
+    std::uint64_t ops_served = 0;
+    std::uint64_t waiters_created = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void handle(sim::NodeId from, const net::Message& m);
+  void reply(sim::NodeId to, std::uint64_t op_id,
+             const std::optional<Tuple>& t);
+
+  sim::Network& net_;
+  net::Endpoint endpoint_;
+  sim::Rng rng_;
+  space::LocalTupleSpace space_;
+  Stats stats_;
+};
+
+class CentralClient {
+ public:
+  CentralClient(sim::Network& net, sim::NodeId server, sim::Position pos = {});
+
+  sim::NodeId node() const { return endpoint_.node(); }
+
+  /// Fire-and-forget out with ack tracking. `cb` (optional) reports whether
+  /// the server acknowledged within the timeout.
+  void out(Tuple t, std::function<void(bool)> cb = nullptr);
+
+  void rdp(const Pattern& p, MatchCb cb);
+  void inp(const Pattern& p, MatchCb cb);
+  /// Blocking forms carry an absolute deadline enforced server-side; the
+  /// client also times out locally (covers server loss).
+  void rd(const Pattern& p, sim::Time deadline, MatchCb cb);
+  void in(const Pattern& p, sim::Time deadline, MatchCb cb);
+
+  struct Stats {
+    std::uint64_t ops = 0;
+    std::uint64_t failures = 0;  ///< timeout / server unreachable
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Extra slack past the deadline before declaring the server lost.
+  sim::Duration rpc_timeout = sim::milliseconds(200);
+
+ private:
+  void request(std::uint16_t type, const Pattern& p, sim::Time deadline,
+               MatchCb cb);
+
+  sim::Network& net_;
+  net::Endpoint endpoint_;
+  net::Correlator correlator_;
+  sim::NodeId server_;
+  Stats stats_;
+};
+
+}  // namespace tiamat::baselines

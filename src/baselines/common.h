@@ -1,0 +1,26 @@
+// Shared surface for the §4 baseline systems.
+//
+// Each baseline implements the paper's description of a competing
+// distributed tuple-space architecture over the *same* simulator substrate
+// as Tiamat, so the comparison benches measure architecture, not substrate.
+
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "sim/clock.h"
+#include "sim/network.h"
+#include "tuple/pattern.h"
+#include "tuple/tuple.h"
+
+namespace tiamat::baselines {
+
+using tuples::Pattern;
+using tuples::Tuple;
+
+/// Callback for read/take operations: the tuple, or nullopt on
+/// miss/timeout/failure.
+using MatchCb = std::function<void(std::optional<Tuple>)>;
+
+}  // namespace tiamat::baselines

@@ -1,0 +1,74 @@
+#include "baselines/corelime.h"
+
+namespace tiamat::baselines {
+
+CoreLimeHost::CoreLimeHost(sim::Network& net, sim::Position pos)
+    : net_(net),
+      endpoint_(net, net.add_node(pos)),
+      rng_(net.rng().fork()),
+      space_(net.queue(), rng_, space::SpaceOptions{"corelime-host", false}),
+      correlator_(net.queue()) {
+  endpoint_.on(kAgentGo, [this](sim::NodeId from, const net::Message& m) {
+    handle(from, m);
+  });
+  endpoint_.on(kAgentReturn,
+               [this](sim::NodeId from, const net::Message& m) {
+                 correlator_.route(from, m);
+               });
+}
+
+void CoreLimeHost::agent_op(sim::NodeId dest, bool destructive,
+                            const Pattern& p, MatchCb cb,
+                            sim::Duration timeout) {
+  ++stats_.agents_sent;
+  const std::uint64_t id = correlator_.next_op_id();
+  net::Message m;
+  m.type = kAgentGo;
+  m.op_id = id;
+  m.origin = node();
+  m.h(destructive);
+  // Model the agent's code+state shipped with the migration.
+  m.h(tuples::Value(tuples::Blob(agent_code_size, 0xA6)));
+  m.pattern = p;
+  correlator_.expect(
+      id,
+      [cb](sim::NodeId, const net::Message& r) {
+        if (!r.headers.empty() && r.hbool(0) && r.tuple) {
+          cb(*r.tuple);
+        } else {
+          cb(std::nullopt);
+        }
+        return false;
+      },
+      net_.now() + timeout,
+      [this, cb] {
+        ++stats_.agents_lost;
+        cb(std::nullopt);
+      });
+  endpoint_.send(dest, m);
+}
+
+void CoreLimeHost::handle(sim::NodeId from, const net::Message& m) {
+  if (!m.pattern || m.headers.empty()) return;
+  ++stats_.agents_hosted;
+  const bool destructive = m.hbool(0);
+  // The agent engages with the host-level space and performs its op.
+  std::optional<Tuple> result =
+      destructive ? space_.inp(*m.pattern) : space_.rdp(*m.pattern);
+  // ... then migrates home carrying the result (and its own code again —
+  // the same payload it arrived with, not this host's default).
+  const std::size_t incoming_code =
+      m.headers.size() > 1 && m.headers[1].is_blob()
+          ? m.headers[1].as_blob().size()
+          : agent_code_size;
+  net::Message back;
+  back.type = kAgentReturn;
+  back.op_id = m.op_id;
+  back.origin = node();
+  back.h(result.has_value());
+  back.h(tuples::Value(tuples::Blob(incoming_code, 0xA6)));
+  if (result) back.tuple = *result;
+  endpoint_.send(from, back);
+}
+
+}  // namespace tiamat::baselines

@@ -1,0 +1,70 @@
+// CoreLime baseline (§4.5): host-level tuple spaces only, no federation;
+// remote access happens by migrating a mobile agent to the target host,
+// performing the operation there, and migrating back.
+//
+// "If a client wants to perform an operation on a remote, host-level tuple
+// space, it must create a new mobile agent and migrate it to the desired
+// host. Once there, the agent would engage with the host-level space,
+// perform the operation and finally migrate back to the originating host."
+//
+// "The burden ... is placed on the application developer. The application
+// developer has to discover which tuple spaces are available, connect to
+// them and begin making use of them." — hence agent_op takes an explicit
+// destination; there is no discovery here by design.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "baselines/common.h"
+#include "net/endpoint.h"
+#include "net/rpc.h"
+#include "space/local_space.h"
+
+namespace tiamat::baselines {
+
+enum CoreLimeMsg : std::uint16_t {
+  kAgentGo = net::kCoreLimeBase + 1,      ///< agent migrating out
+  kAgentReturn = net::kCoreLimeBase + 2,  ///< agent migrating home
+};
+
+class CoreLimeHost {
+ public:
+  struct Stats {
+    std::uint64_t agents_sent = 0;
+    std::uint64_t agents_hosted = 0;
+    std::uint64_t agents_lost = 0;  ///< migration failed / timed out
+  };
+
+  explicit CoreLimeHost(sim::Network& net, sim::Position pos = {});
+
+  sim::NodeId node() const { return endpoint_.node(); }
+
+  /// The host-level tuple space; local agents/clients use it directly.
+  space::LocalTupleSpace& space() { return space_; }
+
+  /// Performs `destructive ? inp : rdp` at `dest` by migrating an agent
+  /// there and back. `agent_code_size` pads the migration messages to model
+  /// shipping the agent's code+state both ways. Times out (cb nullopt)
+  /// after `timeout`.
+  void agent_op(sim::NodeId dest, bool destructive, const Pattern& p,
+                MatchCb cb, sim::Duration timeout = sim::milliseconds(500));
+
+  /// Bytes of agent code/state shipped per migration leg.
+  std::size_t agent_code_size = 2048;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void handle(sim::NodeId from, const net::Message& m);
+
+  sim::Network& net_;
+  net::Endpoint endpoint_;
+  sim::Rng rng_;
+  space::LocalTupleSpace space_;
+  net::Correlator correlator_;
+  Stats stats_;
+};
+
+}  // namespace tiamat::baselines

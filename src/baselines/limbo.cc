@@ -1,0 +1,267 @@
+#include "baselines/limbo.h"
+
+#include <set>
+
+namespace tiamat::baselines {
+
+LimboNode::LimboNode(sim::Network& net, sim::GroupId space_group,
+                     sim::Position pos)
+    : net_(net), endpoint_(net, net.add_node(pos)), group_(space_group) {
+  endpoint_.join_group(group_);
+  auto handler = [this](sim::NodeId from, const net::Message& m) {
+    handle(from, m);
+  };
+  for (std::uint16_t t : {kLimboAdd, kLimboDel, kLimboSyncReq,
+                          kLimboSyncState, kLimboTransfer}) {
+    endpoint_.on(t, handler);
+  }
+}
+
+// ---- Replica maintenance ------------------------------------------------------
+
+void LimboNode::apply_add(const GlobalId& id, Tuple t, sim::NodeId owner) {
+  const std::uint64_t k = id.key();
+  if (tombstones_.count(k) != 0) return;  // deleted before we saw the add
+  if (replica_.count(k) != 0) return;     // duplicate
+  replica_bytes_ += t.footprint();
+  serve_waiters(t);
+  ids_[k] = id;
+  replica_.emplace(k, Entry{std::move(t), owner});
+}
+
+void LimboNode::apply_del(const GlobalId& id) {
+  const std::uint64_t k = id.key();
+  tombstones_.insert(k);
+  auto it = replica_.find(k);
+  if (it == replica_.end()) return;
+  replica_bytes_ -= it->second.tuple.footprint();
+  replica_.erase(it);
+  ids_.erase(k);
+}
+
+void LimboNode::broadcast_add(const GlobalId& id, const Tuple& t,
+                              sim::NodeId owner) {
+  net::Message m;
+  m.type = kLimboAdd;
+  m.origin = node();
+  m.h(static_cast<std::int64_t>(id.creator));
+  m.h(static_cast<std::int64_t>(id.seq));
+  m.h(static_cast<std::int64_t>(owner));
+  m.tuple = t;
+  if (connected_) {
+    ++stats_.adds_sent;
+    endpoint_.multicast(group_, m);
+  } else {
+    oplog_.push_back(std::move(m));
+  }
+}
+
+void LimboNode::broadcast_del(const GlobalId& id) {
+  net::Message m;
+  m.type = kLimboDel;
+  m.origin = node();
+  m.h(static_cast<std::int64_t>(id.creator));
+  m.h(static_cast<std::int64_t>(id.seq));
+  if (connected_) {
+    ++stats_.dels_sent;
+    endpoint_.multicast(group_, m);
+  } else {
+    // "The client must retain information as to which tuples were removed
+    // during its disconnection so that it can inform others ... once it
+    // reconnects."
+    oplog_.push_back(std::move(m));
+  }
+}
+
+// ---- Operations ------------------------------------------------------------------
+
+GlobalId LimboNode::out(Tuple t) {
+  GlobalId id{node(), next_seq_++};
+  apply_add(id, t, node());
+  broadcast_add(id, t, node());
+  return id;
+}
+
+std::optional<Tuple> LimboNode::rd(const Pattern& p) {
+  auto r = rd_with_id(p);
+  if (!r) return std::nullopt;
+  return r->second;
+}
+
+std::optional<std::pair<GlobalId, Tuple>> LimboNode::rd_with_id(
+    const Pattern& p) {
+  for (const auto& [k, e] : replica_) {
+    if (p.matches(e.tuple)) return std::make_pair(ids_.at(k), e.tuple);
+  }
+  return std::nullopt;
+}
+
+void LimboNode::rd_blocking(const Pattern& p, sim::Time deadline,
+                            MatchCb cb) {
+  if (auto t = rd(p)) {
+    cb(t);
+    return;
+  }
+  if (deadline <= net_.now()) {
+    cb(std::nullopt);
+    return;
+  }
+  Waiter w;
+  w.pattern = p;
+  w.cb = std::move(cb);
+  w.id = next_waiter_++;
+  const std::uint64_t wid = w.id;
+  w.deadline_event = net_.queue().schedule_at(deadline, [this, wid] {
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      if (it->id == wid) {
+        auto cb2 = std::move(it->cb);
+        waiters_.erase(it);
+        cb2(std::nullopt);
+        return;
+      }
+    }
+  });
+  waiters_.push_back(std::move(w));
+}
+
+void LimboNode::serve_waiters(const Tuple& t) {
+  for (auto it = waiters_.begin(); it != waiters_.end();) {
+    if (it->pattern.matches(t)) {
+      if (it->deadline_event != sim::kInvalidEvent) {
+        net_.queue().cancel(it->deadline_event);
+      }
+      auto cb = std::move(it->cb);
+      it = waiters_.erase(it);
+      cb(t);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<Tuple> LimboNode::in_owned(const Pattern& p) {
+  for (const auto& [k, e] : replica_) {
+    if (e.owner == node() && p.matches(e.tuple)) {
+      GlobalId id = ids_.at(k);
+      Tuple t = e.tuple;
+      apply_del(id);
+      broadcast_del(id);
+      return t;
+    }
+  }
+  return std::nullopt;  // nothing we own matches — even if others' do
+}
+
+bool LimboNode::transfer_ownership(const GlobalId& id, sim::NodeId new_owner) {
+  auto it = replica_.find(id.key());
+  if (it == replica_.end() || it->second.owner != node()) return false;
+  // Ownership handover requires direct, synchronous contact with the
+  // recipient — the identity/time/space decoupling break of §4.3.
+  if (!net_.visible(node(), new_owner)) return false;
+  it->second.owner = new_owner;
+  net::Message m;
+  m.type = kLimboTransfer;
+  m.origin = node();
+  m.h(static_cast<std::int64_t>(id.creator));
+  m.h(static_cast<std::int64_t>(id.seq));
+  m.h(static_cast<std::int64_t>(new_owner));
+  endpoint_.multicast(group_, m);
+  endpoint_.send(new_owner, m);  // make sure the recipient learns even if
+                                 // it missed the multicast
+  return true;
+}
+
+// ---- Disconnection ------------------------------------------------------------------
+
+void LimboNode::disconnect() {
+  connected_ = false;
+  net_.set_online(node(), false);
+}
+
+void LimboNode::reconnect() {
+  net_.set_online(node(), true);
+  connected_ = true;
+  // Replay the disconnected-op log.
+  for (auto& m : oplog_) {
+    ++stats_.log_replays;
+    if (m.type == kLimboAdd) ++stats_.adds_sent;
+    if (m.type == kLimboDel) ++stats_.dels_sent;
+    endpoint_.multicast(group_, m);
+  }
+  oplog_.clear();
+  // "After reconnection, the client ... subsequently requests copies of any
+  // new tuples."
+  net::Message req;
+  req.type = kLimboSyncReq;
+  req.origin = node();
+  ++stats_.sync_requests;
+  endpoint_.multicast(group_, req);
+}
+
+std::size_t LimboNode::owned_tuples() const {
+  std::size_t n = 0;
+  for (const auto& [k, e] : replica_) {
+    (void)k;
+    if (e.owner == node()) ++n;
+  }
+  return n;
+}
+
+// ---- Protocol -----------------------------------------------------------------------
+
+void LimboNode::handle(sim::NodeId from, const net::Message& m) {
+  switch (m.type) {
+    case kLimboAdd: {
+      if (!m.tuple || m.headers.size() < 3) return;
+      GlobalId id{static_cast<sim::NodeId>(m.hint(0)),
+                  static_cast<std::uint64_t>(m.hint(1))};
+      apply_add(id, *m.tuple, static_cast<sim::NodeId>(m.hint(2)));
+      return;
+    }
+    case kLimboDel: {
+      if (m.headers.size() < 2) return;
+      GlobalId id{static_cast<sim::NodeId>(m.hint(0)),
+                  static_cast<std::uint64_t>(m.hint(1))};
+      apply_del(id);
+      return;
+    }
+    case kLimboTransfer: {
+      if (m.headers.size() < 3) return;
+      auto it = replica_.find(GlobalId{static_cast<sim::NodeId>(m.hint(0)),
+                                       static_cast<std::uint64_t>(m.hint(1))}
+                                  .key());
+      if (it != replica_.end()) {
+        it->second.owner = static_cast<sim::NodeId>(m.hint(2));
+      }
+      return;
+    }
+    case kLimboSyncReq: {
+      // Ship our full replica to the requester, one tuple per message
+      // (models the real per-tuple retransmission traffic).
+      for (const auto& [k, e] : replica_) {
+        const GlobalId& id = ids_.at(k);
+        net::Message s;
+        s.type = kLimboSyncState;
+        s.origin = node();
+        s.h(static_cast<std::int64_t>(id.creator));
+        s.h(static_cast<std::int64_t>(id.seq));
+        s.h(static_cast<std::int64_t>(e.owner));
+        s.tuple = e.tuple;
+        endpoint_.send(from, s);
+      }
+      return;
+    }
+    case kLimboSyncState: {
+      if (!m.tuple || m.headers.size() < 3) return;
+      ++stats_.sync_tuples_received;
+      GlobalId id{static_cast<sim::NodeId>(m.hint(0)),
+                  static_cast<std::uint64_t>(m.hint(1))};
+      apply_add(id, *m.tuple, static_cast<sim::NodeId>(m.hint(2)));
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace tiamat::baselines

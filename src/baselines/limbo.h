@@ -1,0 +1,145 @@
+// L²imbo baseline (§4.3): a replicated tuple space over multicast with
+// tuple ownership, after Davies et al.'s Distributed Tuple Space protocol.
+//
+// "Each tuple space has its own multicast group, and clients attempt to
+// maintain a consistent replica of the space by multicasting a copy of every
+// operation to the group. ... Each tuple has a single owner ... only the
+// owner of a tuple may remove it from the space. ... The client must retain
+// information as to which tuples were removed during its disconnection so
+// that it can inform others ... After reconnection, the client ... requests
+// copies of any new tuples."
+//
+// The paper's criticisms that E5 measures fall straight out of this design:
+// every node stores the whole space (replica burden), a removed tuple can
+// still be read at a node that missed the DEL (stale reads), and a departed
+// owner's tuples are stuck forever.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "baselines/common.h"
+#include "net/endpoint.h"
+
+namespace tiamat::baselines {
+
+enum LimboMsg : std::uint16_t {
+  kLimboAdd = net::kLimboBase + 1,
+  kLimboDel = net::kLimboBase + 2,
+  kLimboSyncReq = net::kLimboBase + 3,
+  kLimboSyncState = net::kLimboBase + 4,
+  kLimboTransfer = net::kLimboBase + 5,
+};
+
+/// Globally unique tuple identity: creator node + creator-local sequence.
+struct GlobalId {
+  sim::NodeId creator = 0;
+  std::uint64_t seq = 0;
+
+  std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(creator) << 40) ^ seq;
+  }
+  friend bool operator==(const GlobalId& a, const GlobalId& b) {
+    return a.creator == b.creator && a.seq == b.seq;
+  }
+};
+
+class LimboNode {
+ public:
+  LimboNode(sim::Network& net, sim::GroupId space_group,
+            sim::Position pos = {});
+
+  sim::NodeId node() const { return endpoint_.node(); }
+
+  // ---- Operations (all answered from the local replica) -----------------
+
+  GlobalId out(Tuple t);
+
+  /// Read from the local replica — instant, but possibly stale.
+  std::optional<Tuple> rd(const Pattern& p);
+
+  /// Read that also reports identity (the stale-read oracle uses this).
+  std::optional<std::pair<GlobalId, Tuple>> rd_with_id(const Pattern& p);
+
+  /// Blocking read: waits for a replica insert until `deadline`.
+  void rd_blocking(const Pattern& p, sim::Time deadline, MatchCb cb);
+
+  /// Take: permitted only on tuples this node owns (§4.3).
+  std::optional<Tuple> in_owned(const Pattern& p);
+
+  /// Hands ownership of a tuple to another node. Requires knowing (and
+  /// being able to reach) the recipient — the decoupling break the paper
+  /// criticises. Returns false if the tuple is not present or not ours.
+  bool transfer_ownership(const GlobalId& id, sim::NodeId new_owner);
+
+  // ---- Disconnected operation -------------------------------------------
+
+  /// Explicit disconnect: operations continue against the replica and are
+  /// logged. The node's radio is switched off.
+  void disconnect();
+
+  /// Reconnect: replays the op log to the group and requests a state sync.
+  void reconnect();
+
+  bool connected() const { return connected_; }
+
+  // ---- Introspection (E5) --------------------------------------------------
+
+  std::size_t replica_tuples() const { return replica_.size(); }
+  std::size_t replica_bytes() const { return replica_bytes_; }
+  std::size_t owned_tuples() const;
+  std::size_t tombstones() const { return tombstones_.size(); }
+
+  struct Stats {
+    std::uint64_t adds_sent = 0;
+    std::uint64_t dels_sent = 0;
+    std::uint64_t sync_requests = 0;
+    std::uint64_t sync_tuples_received = 0;
+    std::uint64_t log_replays = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    Tuple tuple;
+    sim::NodeId owner;
+  };
+  struct Waiter {
+    Pattern pattern;
+    MatchCb cb;
+    sim::EventId deadline_event = sim::kInvalidEvent;
+    std::uint64_t id = 0;
+  };
+
+  void apply_add(const GlobalId& id, Tuple t, sim::NodeId owner);
+  void apply_del(const GlobalId& id);
+  void broadcast_add(const GlobalId& id, const Tuple& t, sim::NodeId owner);
+  void broadcast_del(const GlobalId& id);
+  void handle(sim::NodeId from, const net::Message& m);
+  void serve_waiters(const Tuple& t);
+
+  sim::Network& net_;
+  net::Endpoint endpoint_;
+  sim::GroupId group_;
+  bool connected_ = true;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_waiter_ = 1;
+
+  std::map<std::uint64_t, Entry> replica_;  // key() -> entry
+  std::map<std::uint64_t, GlobalId> ids_;   // key() -> full id
+  std::set<std::uint64_t> tombstones_;
+  std::size_t replica_bytes_ = 0;
+  std::list<Waiter> waiters_;
+
+  /// Ops performed while disconnected, replayed on reconnect.
+  std::vector<net::Message> oplog_;
+
+  Stats stats_;
+};
+
+}  // namespace tiamat::baselines

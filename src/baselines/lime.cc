@@ -1,0 +1,538 @@
+#include "baselines/lime.h"
+
+#include <algorithm>
+
+namespace tiamat::baselines {
+
+LimeHost::LimeHost(sim::Network& net, sim::GroupId federation, bool first,
+                   sim::Position pos)
+    : net_(net), endpoint_(net, net.add_node(pos)), group_(federation) {
+  auto handler = [this](sim::NodeId from, const net::Message& m) {
+    handle(from, m);
+  };
+  for (std::uint16_t t = net::kLimeBase + 1; t <= net::kLimeBase + 10; ++t) {
+    endpoint_.on(t, handler);
+  }
+  if (first) {
+    endpoint_.join_group(group_);
+    engaged_ = true;
+    members_.insert(node());
+  }
+}
+
+sim::NodeId LimeHost::coordinator() const {
+  if (members_.empty()) return node();
+  return *members_.begin();  // lowest node id
+}
+
+// ---- Engagement -----------------------------------------------------------------
+
+void LimeHost::engage(std::function<void(bool)> done) {
+  if (engaged_) {
+    if (done) done(true);
+    return;
+  }
+  join_done_ = std::move(done);
+  joining_ = true;
+  pause_started_ = net_.now();
+  endpoint_.join_group(group_);
+  net::Message m;
+  m.type = kLimeJoinReq;
+  m.origin = node();
+  endpoint_.multicast(group_, m);
+  // Retry until some coordinator lets us in (it may be mid-engagement).
+  engage_timeout_ = net_.queue().schedule_after(sim::seconds(1), [this] {
+    engage_timeout_ = sim::kInvalidEvent;
+    if (joining_) {
+      joining_ = false;
+      engage(std::move(join_done_));
+    }
+  });
+}
+
+void LimeHost::begin_engagement(sim::NodeId newcomer) {
+  if (pausing_) return;  // barrier already running; newcomer will retry
+  ++stats_.engagements;
+  pausing_ = true;
+  pause_started_ = net_.now();
+  pending_newcomer_ = newcomer;
+  pause_acks_pending_.clear();
+  for (sim::NodeId m : members_) {
+    if (m == node()) continue;
+    pause_acks_pending_.insert(m);
+    net::Message p;
+    p.type = kLimePause;
+    p.origin = node();
+    p.h(static_cast<std::int64_t>(newcomer));
+    endpoint_.send(m, p);
+  }
+  if (pause_acks_pending_.empty()) {
+    finish_engagement();
+  } else {
+    // Expel silent members rather than deadlock.
+    net_.queue().schedule_after(ack_timeout, [this, newcomer] {
+      if (pausing_ && pending_newcomer_ == newcomer &&
+          !pause_acks_pending_.empty()) {
+        for (sim::NodeId dead : pause_acks_pending_) members_.erase(dead);
+        pause_acks_pending_.clear();
+        finish_engagement();
+      }
+    });
+  }
+}
+
+void LimeHost::finish_engagement() {
+  // Full state transfer to the newcomer (atomic engagement's big cost).
+  for (const auto& [key, t] : replica_) {
+    net::Message s;
+    s.type = kLimeState;
+    s.origin = node();
+    s.h(static_cast<std::int64_t>(key));
+    s.tuple = t;
+    endpoint_.send(pending_newcomer_, s);
+    ++stats_.state_tuples_sent;
+  }
+  members_.insert(pending_newcomer_);
+  ++epoch_;
+  net::Message end;
+  end.type = kLimeEngageEnd;
+  end.origin = node();
+  for (sim::NodeId m : members_) end.h(static_cast<std::int64_t>(m));
+  endpoint_.multicast(group_, end);
+  // Apply locally too (multicast skips the sender).
+  stats_.total_engagement_stall += net_.now() - pause_started_;
+  pausing_ = false;
+  pending_newcomer_ = 0;
+  flush_queue();
+}
+
+void LimeHost::disengage() {
+  if (!engaged_) return;
+  net::Message m;
+  m.type = kLimeLeave;
+  m.origin = node();
+  endpoint_.multicast(group_, m);
+  endpoint_.leave_group(group_);
+  engaged_ = false;
+  members_.clear();
+  replica_.clear();
+}
+
+// ---- Operations (originator side) ----------------------------------------------------
+
+std::optional<Tuple> LimeHost::local_match(const Pattern& p) const {
+  for (const auto& [key, t] : replica_) {
+    (void)key;
+    if (p.matches(t)) return t;
+  }
+  return std::nullopt;
+}
+
+void LimeHost::out(Tuple t, std::function<void(bool)> done) {
+  PendingOp op;
+  op.is_out = true;
+  op.tuple = std::move(t);
+  op.out_done = std::move(done);
+  submit(std::move(op));
+}
+
+void LimeHost::rdp(const Pattern& p, MatchCb cb) {
+  PendingOp op;
+  op.pattern = p;
+  op.cb = std::move(cb);
+  submit(std::move(op));
+}
+
+void LimeHost::inp(const Pattern& p, MatchCb cb) {
+  PendingOp op;
+  op.destructive = true;
+  op.pattern = p;
+  op.cb = std::move(cb);
+  submit(std::move(op));
+}
+
+void LimeHost::submit(PendingOp op) {
+  if (!engaged_ && !joining_) {
+    ++stats_.ops_failed;
+    if (op.is_out) {
+      if (op.out_done) op.out_done(false);
+    } else if (op.cb) {
+      op.cb(std::nullopt);
+    }
+    return;
+  }
+  if (pausing_ || joining_) {
+    // "Other operations cannot proceed while hosts are engaging."
+    ++stats_.ops_stalled_by_engagement;
+    queued_.push_back(std::move(op));
+    return;
+  }
+  if (!op.is_out && !op.destructive) {
+    // rdp: the replica is consistent; answer locally.
+    ++stats_.ops_completed;
+    op.cb(local_match(*op.pattern));
+    return;
+  }
+  op.id = next_op_++;
+  net::Message m;
+  m.type = kLimeOpFwd;
+  m.op_id = op.id;
+  m.origin = node();
+  m.h(op.is_out);
+  if (op.is_out) {
+    m.tuple = op.tuple;
+  } else {
+    m.pattern = *op.pattern;
+  }
+  const sim::NodeId coord = coordinator();
+  in_flight_.emplace(op.id, std::move(op));
+  if (coord == node()) {
+    coord_sequence(node(), m);
+  } else {
+    endpoint_.send(coord, m);
+  }
+  // Originator-side failure timeout (coordinator loss).
+  const std::uint64_t op_id = m.op_id;
+  net_.queue().schedule_after(ack_timeout * 3, [this, op_id] {
+    auto it = in_flight_.find(op_id);
+    if (it == in_flight_.end()) return;
+    PendingOp failed = std::move(it->second);
+    in_flight_.erase(it);
+    ++stats_.ops_failed;
+    if (failed.is_out) {
+      if (failed.out_done) failed.out_done(false);
+    } else if (failed.cb) {
+      failed.cb(std::nullopt);
+    }
+  });
+}
+
+void LimeHost::flush_queue() {
+  auto q = std::move(queued_);
+  queued_.clear();
+  for (auto& op : q) submit(std::move(op));
+}
+
+// ---- Coordinator side ------------------------------------------------------------------
+
+void LimeHost::coord_sequence(sim::NodeId origin, const net::Message& m) {
+  CoordOp c;
+  c.seq = next_seq_++;
+  c.origin = origin;
+  c.origin_op = m.op_id;
+  c.is_out = !m.headers.empty() && m.hbool(0);
+
+  net::Message apply;
+  apply.type = kLimeApply;
+  apply.op_id = c.seq;
+  apply.origin = node();
+
+  if (c.is_out) {
+    if (!m.tuple) return;
+    c.tuple = *m.tuple;
+    c.found = true;
+    const std::uint64_t key = (static_cast<std::uint64_t>(origin) << 40) ^
+                              c.seq;
+    c.victim = key;
+    apply.h(true);
+    apply.h(static_cast<std::int64_t>(key));
+    apply.tuple = c.tuple;
+    replica_[key] = c.tuple;
+    serve_waiters_on_insert(c.tuple);
+  } else {
+    if (!m.pattern) return;
+    // Pick the victim here so every member removes the *same* tuple.
+    std::uint64_t victim = 0;
+    for (const auto& [key, t] : replica_) {
+      if (m.pattern->matches(t)) {
+        victim = key;
+        c.tuple = t;
+        break;
+      }
+    }
+    if (victim == 0) {
+      // No match federation-wide (replica is authoritative).
+      net::Message res;
+      res.type = kLimeOpResult;
+      res.op_id = c.origin_op;
+      res.origin = node();
+      res.h(false);
+      if (origin == node()) {
+        handle(node(), res);
+      } else {
+        endpoint_.send(origin, res);
+      }
+      return;
+    }
+    c.victim = victim;
+    c.found = true;
+    apply.h(false);
+    apply.h(static_cast<std::int64_t>(victim));
+    replica_.erase(victim);
+  }
+
+  for (sim::NodeId member : members_) {
+    if (member == node()) continue;
+    c.awaiting.insert(member);
+    endpoint_.send(member, apply);
+  }
+  const std::uint64_t seq = c.seq;
+  if (!c.awaiting.empty()) {
+    c.timeout = net_.queue().schedule_after(ack_timeout, [this, seq] {
+      auto it = coord_ops_.find(seq);
+      if (it == coord_ops_.end()) return;
+      // Expel silent members and finish.
+      for (sim::NodeId dead : it->second.awaiting) members_.erase(dead);
+      it->second.awaiting.clear();
+      ++epoch_;
+      coord_maybe_finish(seq);
+    });
+  }
+  coord_ops_.emplace(seq, std::move(c));
+  coord_maybe_finish(seq);
+}
+
+void LimeHost::coord_maybe_finish(std::uint64_t seq) {
+  auto it = coord_ops_.find(seq);
+  if (it == coord_ops_.end() || !it->second.awaiting.empty()) return;
+  CoordOp c = std::move(it->second);
+  coord_ops_.erase(it);
+  if (c.timeout != sim::kInvalidEvent) net_.queue().cancel(c.timeout);
+  net::Message res;
+  res.type = kLimeOpResult;
+  res.op_id = c.origin_op;
+  res.origin = node();
+  res.h(c.found);
+  if (c.found && !c.is_out) res.tuple = c.tuple;
+  if (c.origin == node()) {
+    handle(node(), res);
+  } else {
+    endpoint_.send(c.origin, res);
+  }
+}
+
+// ---- Member side ---------------------------------------------------------------------------
+
+void LimeHost::apply(const net::Message& m) {
+  if (m.headers.size() < 2) return;
+  const bool is_out = m.hbool(0);
+  const std::uint64_t key = static_cast<std::uint64_t>(m.hint(1));
+  if (is_out) {
+    if (!m.tuple) return;
+    replica_[key] = *m.tuple;
+    serve_waiters_on_insert(*m.tuple);
+  } else {
+    replica_.erase(key);
+  }
+}
+
+// ---- Blocking waiters -------------------------------------------------------------------------
+
+void LimeHost::rd(const Pattern& p, sim::Time deadline, MatchCb cb) {
+  if (auto t = local_match(p)) {
+    cb(t);
+    return;
+  }
+  if (deadline <= net_.now()) {
+    cb(std::nullopt);
+    return;
+  }
+  Waiter w;
+  w.id = next_waiter_++;
+  w.pattern = p;
+  w.destructive = false;
+  w.deadline = deadline;
+  w.cb = std::move(cb);
+  const std::uint64_t wid = w.id;
+  w.deadline_event = net_.queue().schedule_at(deadline, [this, wid] {
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      if (it->id == wid) {
+        auto cb2 = std::move(it->cb);
+        waiters_.erase(it);
+        cb2(std::nullopt);
+        return;
+      }
+    }
+  });
+  waiters_.push_back(std::move(w));
+}
+
+void LimeHost::in(const Pattern& p, sim::Time deadline, MatchCb cb) {
+  // Optimistic: try a coordinated take; if the federation has no match,
+  // wait for an insert and retry.
+  inp(p, [this, p, deadline, cb](std::optional<Tuple> t) {
+    if (t) {
+      cb(t);
+      return;
+    }
+    if (deadline <= net_.now()) {
+      cb(std::nullopt);
+      return;
+    }
+    Waiter w;
+    w.id = next_waiter_++;
+    w.pattern = p;
+    w.destructive = true;
+    w.deadline = deadline;
+    w.cb = cb;
+    const std::uint64_t wid = w.id;
+    w.deadline_event = net_.queue().schedule_at(deadline, [this, wid] {
+      for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+        if (it->id == wid) {
+          auto cb2 = std::move(it->cb);
+          waiters_.erase(it);
+          cb2(std::nullopt);
+          return;
+        }
+      }
+    });
+    waiters_.push_back(std::move(w));
+  });
+}
+
+void LimeHost::serve_waiters_on_insert(const Tuple& t) {
+  // Non-destructive waiters get copies; destructive waiters re-run their
+  // coordinated take (they may lose the race and re-arm).
+  std::vector<std::uint64_t> retries;
+  for (auto it = waiters_.begin(); it != waiters_.end();) {
+    if (!it->pattern.matches(t)) {
+      ++it;
+      continue;
+    }
+    if (!it->destructive) {
+      if (it->deadline_event != sim::kInvalidEvent) {
+        net_.queue().cancel(it->deadline_event);
+      }
+      auto cb = std::move(it->cb);
+      it = waiters_.erase(it);
+      cb(t);
+    } else {
+      retries.push_back(it->id);
+      ++it;
+    }
+  }
+  for (std::uint64_t wid : retries) waiter_retry_in(wid);
+}
+
+void LimeHost::waiter_retry_in(std::uint64_t waiter_id) {
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    if (it->id != waiter_id) continue;
+    Waiter w = std::move(*it);
+    if (w.deadline_event != sim::kInvalidEvent) {
+      net_.queue().cancel(w.deadline_event);
+    }
+    waiters_.erase(it);
+    in(w.pattern, w.deadline, std::move(w.cb));  // re-runs the take
+    return;
+  }
+}
+
+// ---- Dispatch ------------------------------------------------------------------------------------
+
+void LimeHost::handle(sim::NodeId from, const net::Message& m) {
+  switch (m.type) {
+    case kLimeJoinReq:
+      if (engaged_ && is_coordinator()) begin_engagement(m.origin);
+      return;
+    case kLimePause: {
+      if (!engaged_) return;
+      if (!pausing_) {
+        pausing_ = true;
+        pause_started_ = net_.now();
+      }
+      net::Message ack;
+      ack.type = kLimePauseAck;
+      ack.origin = node();
+      endpoint_.send(from, ack);
+      return;
+    }
+    case kLimePauseAck: {
+      pause_acks_pending_.erase(from);
+      if (pausing_ && pending_newcomer_ != 0 && pause_acks_pending_.empty()) {
+        finish_engagement();
+      }
+      return;
+    }
+    case kLimeState: {
+      if (m.tuple && m.headers.size() >= 1) {
+        replica_[static_cast<std::uint64_t>(m.hint(0))] = *m.tuple;
+        serve_waiters_on_insert(*m.tuple);
+      }
+      return;
+    }
+    case kLimeEngageEnd: {
+      members_.clear();
+      for (const auto& h : m.headers) {
+        members_.insert(static_cast<sim::NodeId>(h.as_int()));
+      }
+      ++epoch_;
+      if (joining_ && members_.count(node()) != 0) {
+        joining_ = false;
+        engaged_ = true;
+        if (engage_timeout_ != sim::kInvalidEvent) {
+          net_.queue().cancel(engage_timeout_);
+          engage_timeout_ = sim::kInvalidEvent;
+        }
+        stats_.total_engagement_stall += net_.now() - pause_started_;
+        if (join_done_) {
+          auto d = std::move(join_done_);
+          join_done_ = nullptr;
+          d(true);
+        }
+      }
+      if (pausing_) {
+        pausing_ = false;
+        stats_.total_engagement_stall += net_.now() - pause_started_;
+      }
+      flush_queue();
+      return;
+    }
+    case kLimeLeave: {
+      members_.erase(m.origin);
+      ++epoch_;
+      return;
+    }
+    case kLimeOpFwd:
+      if (engaged_ && is_coordinator()) coord_sequence(m.origin, m);
+      return;
+    case kLimeApply: {
+      apply(m);
+      net::Message ack;
+      ack.type = kLimeApplyAck;
+      ack.op_id = m.op_id;
+      ack.origin = node();
+      if (from == node()) return;
+      endpoint_.send(from, ack);
+      return;
+    }
+    case kLimeApplyAck: {
+      auto it = coord_ops_.find(m.op_id);
+      if (it == coord_ops_.end()) return;
+      it->second.awaiting.erase(m.origin);
+      coord_maybe_finish(m.op_id);
+      return;
+    }
+    case kLimeOpResult: {
+      auto it = in_flight_.find(m.op_id);
+      if (it == in_flight_.end()) return;
+      PendingOp op = std::move(it->second);
+      in_flight_.erase(it);
+      ++stats_.ops_completed;
+      const bool found = !m.headers.empty() && m.hbool(0);
+      if (op.is_out) {
+        if (op.out_done) op.out_done(found);
+      } else if (op.cb) {
+        if (found && m.tuple) {
+          op.cb(*m.tuple);
+        } else {
+          op.cb(std::nullopt);
+        }
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace tiamat::baselines

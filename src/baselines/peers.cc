@@ -1,0 +1,118 @@
+#include "baselines/peers.h"
+
+namespace tiamat::baselines {
+
+PeersNode::PeersNode(sim::Network& net, sim::Position pos)
+    : net_(net),
+      endpoint_(net, net.add_node(pos)),
+      rng_(net.rng().fork()),
+      space_(net.queue(), rng_, space::SpaceOptions{"peer", false}) {
+  endpoint_.on(kPeersRequest, [this](sim::NodeId from, const net::Message& m) {
+    handle_request(from, m);
+  });
+  endpoint_.on(kPeersResponse,
+               [this](sim::NodeId from, const net::Message& m) {
+                 handle_response(from, m);
+               });
+}
+
+void PeersNode::lookup(const Pattern& p, int ttl, sim::Duration lease,
+                       MatchCb cb, bool destructive) {
+  ++stats_.requests_originated;
+  // Local space first — free.
+  auto local = destructive ? space_.inp(p) : space_.rdp(p);
+  if (local) {
+    ++stats_.hits;
+    cb(local);
+    return;
+  }
+  const std::uint64_t op = next_op_++;
+  Origin o;
+  o.cb = std::move(cb);
+  o.lease_event = net_.queue().schedule_after(lease, [this, op] {
+    auto it = origins_.find(op);
+    if (it == origins_.end()) return;
+    auto cb2 = std::move(it->second.cb);
+    origins_.erase(it);
+    ++stats_.timeouts;
+    cb2(std::nullopt);  // the fault-tolerance lease expired
+  });
+  origins_.emplace(op, std::move(o));
+
+  net::Message m;
+  m.type = kPeersRequest;
+  m.op_id = op;
+  m.origin = node();
+  m.h(static_cast<std::int64_t>(ttl));
+  m.h(destructive);
+  m.pattern = p;
+  seen_.insert(OpKeyHash{}(OpKey{node(), op}));
+  forward(m, sim::kNoNode);
+}
+
+void PeersNode::forward(const net::Message& m, sim::NodeId except) {
+  for (sim::NodeId n : net_.visible_from(node())) {
+    if (n == except || n == m.origin) continue;
+    ++stats_.requests_forwarded;
+    endpoint_.send(n, m);
+  }
+}
+
+void PeersNode::handle_request(sim::NodeId from, const net::Message& m) {
+  if (!m.pattern || m.headers.size() < 2) return;
+  const OpKey key{m.origin, m.op_id};
+  const std::uint64_t kh = OpKeyHash{}(key);
+  if (seen_.count(kh) != 0) {
+    ++stats_.duplicates_suppressed;
+    return;
+  }
+  seen_.insert(kh);
+  route_back_[key] = from;
+
+  const bool destructive = m.hbool(1);
+  auto local = destructive ? space_.inp(*m.pattern) : space_.rdp(*m.pattern);
+  if (local) {
+    ++stats_.responses_sent;
+    net::Message r;
+    r.type = kPeersResponse;
+    r.op_id = m.op_id;
+    r.origin = m.origin;  // route target
+    r.h(true);
+    r.tuple = *local;
+    endpoint_.send(from, r);  // back along the reverse path
+    return;
+  }
+
+  const int ttl = static_cast<int>(m.hint(0));
+  if (ttl <= 1) return;  // flood exhausted here
+  net::Message fwd = m;
+  fwd.headers[0] = tuples::Value(static_cast<std::int64_t>(ttl - 1));
+  forward(fwd, from);
+}
+
+void PeersNode::handle_response(sim::NodeId, const net::Message& m) {
+  if (m.origin == node()) {
+    // It is ours.
+    auto it = origins_.find(m.op_id);
+    if (it == origins_.end()) return;  // late duplicate: dropped
+    if (it->second.lease_event != sim::kInvalidEvent) {
+      net_.queue().cancel(it->second.lease_event);
+    }
+    auto cb = std::move(it->second.cb);
+    origins_.erase(it);
+    ++stats_.hits;
+    if (m.tuple) {
+      cb(*m.tuple);
+    } else {
+      cb(std::nullopt);
+    }
+    return;
+  }
+  // Relay along the reverse path.
+  auto it = route_back_.find(OpKey{m.origin, m.op_id});
+  if (it == route_back_.end()) return;  // route evaporated
+  ++stats_.responses_sent;
+  endpoint_.send(it->second, m);
+}
+
+}  // namespace tiamat::baselines

@@ -1,0 +1,94 @@
+// Peers baseline (§4.6): JXTA-style peer-to-peer tuple lookup by flooding.
+//
+// "Each JXTA node contains a tuple space and reading operations are sent out
+// in a flooding broadcast to other nodes in the network in order to find
+// matches. While Peers does include the concept of leasing while searching
+// the network, it is included only to ensure fault-tolerance."
+//
+// Requests flood hop-by-hop with a TTL, duplicate-suppressed by op id;
+// responses route back along the reverse path. The per-operation "lease" is
+// just a timeout, exactly as the paper characterises it. E6 compares this
+// traffic pattern against Tiamat's cached responder list.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "baselines/common.h"
+#include "net/endpoint.h"
+#include "space/local_space.h"
+
+namespace tiamat::baselines {
+
+enum PeersMsg : std::uint16_t {
+  kPeersRequest = net::kPeersBase + 1,
+  kPeersResponse = net::kPeersBase + 2,
+};
+
+class PeersNode {
+ public:
+  struct Stats {
+    std::uint64_t requests_originated = 0;
+    std::uint64_t requests_forwarded = 0;
+    std::uint64_t duplicates_suppressed = 0;
+    std::uint64_t responses_sent = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t timeouts = 0;
+  };
+
+  explicit PeersNode(sim::Network& net, sim::Position pos = {});
+
+  sim::NodeId node() const { return endpoint_.node(); }
+  space::LocalTupleSpace& space() { return space_; }
+
+  void out(Tuple t) { space_.out(std::move(t)); }
+
+  /// Flooding lookup. `destructive` removes at the responding node (naive:
+  /// concurrent floods can remove several copies — a known weakness of the
+  /// scheme). `lease` is the fault-tolerance timeout; the first response
+  /// wins, later ones are dropped.
+  void lookup(const Pattern& p, int ttl, sim::Duration lease, MatchCb cb,
+              bool destructive = false);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct OpKey {
+    sim::NodeId origin;
+    std::uint64_t op;
+    bool operator==(const OpKey& o) const {
+      return origin == o.origin && op == o.op;
+    }
+  };
+  struct OpKeyHash {
+    std::size_t operator()(const OpKey& k) const {
+      return (static_cast<std::size_t>(k.origin) << 32) ^ k.op;
+    }
+  };
+
+  void handle_request(sim::NodeId from, const net::Message& m);
+  void handle_response(sim::NodeId from, const net::Message& m);
+  void forward(const net::Message& m, sim::NodeId except);
+
+  sim::Network& net_;
+  net::Endpoint endpoint_;
+  sim::Rng rng_;
+  space::LocalTupleSpace space_;
+  std::uint64_t next_op_ = 1;
+
+  /// Reverse-path routing state: who to send a response back through.
+  std::unordered_map<OpKey, sim::NodeId, OpKeyHash> route_back_;
+  std::unordered_set<std::uint64_t> seen_;  // OpKeyHash values (dedupe)
+
+  struct Origin {
+    MatchCb cb;
+    sim::EventId lease_event = sim::kInvalidEvent;
+  };
+  std::unordered_map<std::uint64_t, Origin> origins_;  // my own op id -> cb
+
+  Stats stats_;
+};
+
+}  // namespace tiamat::baselines

@@ -1,0 +1,88 @@
+#include "core/adaptation.h"
+
+#include <algorithm>
+
+namespace tiamat::core {
+
+AdaptiveLeasePolicy::AdaptiveLeasePolicy(lease::DefaultLeasePolicy::Caps caps,
+                                         Tuning tuning)
+    : base_(caps),
+      tuning_(tuning),
+      ttl_(caps.default_ttl),
+      contacts_(caps.default_contacts) {}
+
+std::optional<lease::LeaseTerms> AdaptiveLeasePolicy::offer(
+    const lease::LeaseTerms& requested, const lease::ResourceUsage& usage,
+    sim::Time now) {
+  // Resource pressure always wins (§5.6): delegate saturation/refusal and
+  // clamping to the base policy, but substitute the *adapted* defaults for
+  // unbounded request dimensions.
+  lease::LeaseTerms effective = requested;
+  if (!effective.ttl) effective.ttl = ttl_;
+  if (!effective.max_remote_contacts) effective.max_remote_contacts = contacts_;
+  return base_.offer(effective, usage, now);
+}
+
+void AdaptiveLeasePolicy::observe_match(sim::Duration used,
+                                        sim::Duration granted) {
+  ++observations_;
+  if (granted > 0 && used * 4 <= granted) ++quick_matches_;
+  maybe_adapt();
+}
+
+void AdaptiveLeasePolicy::observe_expiry() {
+  ++observations_;
+  ++expiries_;
+  maybe_adapt();
+}
+
+void AdaptiveLeasePolicy::observe_budget_exhausted(bool found_anyway) {
+  if (!found_anyway) ++budget_exhausted_;
+  // Counted alongside the match/expiry observation that accompanies it.
+}
+
+void AdaptiveLeasePolicy::maybe_adapt() {
+  if (observations_ < tuning_.window) return;
+  ++rounds_;
+  const double expiry_rate =
+      static_cast<double>(expiries_) / observations_;
+  const double quick_rate =
+      static_cast<double>(quick_matches_) / observations_;
+  const double exhausted_rate =
+      static_cast<double>(budget_exhausted_) / observations_;
+
+  if (expiry_rate > tuning_.expiry_rate_high) {
+    // Matches take longer to appear than we wait: stretch grants.
+    ttl_ = std::min<sim::Duration>(
+        tuning_.max_ttl,
+        static_cast<sim::Duration>(static_cast<double>(ttl_) * tuning_.grow));
+  } else if (expiry_rate < tuning_.expiry_rate_low && quick_rate > 0.7) {
+    // Nearly everything matches almost immediately: stop over-promising.
+    ttl_ = std::max<sim::Duration>(
+        tuning_.min_ttl, static_cast<sim::Duration>(static_cast<double>(ttl_) *
+                                                    tuning_.shrink));
+  }
+
+  if (exhausted_rate > 0.5) {
+    // Contacting more instances is not producing matches; widening the
+    // budget further would just burn radio time — but a *high* expiry rate
+    // alongside suggests the match exists somewhere we did not reach, so
+    // widen; otherwise tighten.
+    if (expiry_rate > tuning_.expiry_rate_high) {
+      contacts_ = std::min(tuning_.max_contacts,
+                           static_cast<std::uint32_t>(contacts_ * 2));
+    } else {
+      contacts_ = std::max(tuning_.min_contacts, contacts_ / 2);
+    }
+  } else if (quick_rate > 0.7 && contacts_ > tuning_.min_contacts) {
+    contacts_ = std::max(tuning_.min_contacts,
+                         static_cast<std::uint32_t>(contacts_ * 0.75));
+  }
+
+  observations_ = 0;
+  expiries_ = 0;
+  quick_matches_ = 0;
+  budget_exhausted_ = 0;
+}
+
+}  // namespace tiamat::core

@@ -1,0 +1,94 @@
+// Adaptive lease policy — an implementation of the paper's §5.4/§5.5
+// challenges ("Modelling Application Behaviour" / "Adapting to Application
+// Behaviour").
+//
+// The policy watches the outcomes of the operations it leased:
+//
+//   * A high rate of *lease expiries* on blocking operations means the
+//     granted TTLs are too short for how long matches actually take to
+//     appear in this environment — the policy stretches its TTL grants.
+//   * A high rate of operations satisfied within a small fraction of the
+//     lease means grants are wastefully long (each blocked op pins remote
+//     waiters and local state for its whole TTL) — the policy shrinks them.
+//   * Remote-contact budgets adapt the same way: if operations keep
+//     exhausting their contact budget without a match, there is no point
+//     contacting even more instances; if matches consistently come from
+//     the first contact or two, budgets shrink toward that.
+//
+// It also resolves the §5.6 conflict between applications and the RTS the
+// simplest defensible way: resource pressure (from the usage probe) always
+// wins — adaptation only ever adjusts *within* the configured caps.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "lease/policy.h"
+
+namespace tiamat::core {
+
+struct AdaptiveTuning {
+  /// Bounds adaptation may move the default TTL within.
+  sim::Duration min_ttl = sim::seconds(1);
+  sim::Duration max_ttl = sim::seconds(120);
+  /// Bounds for the default contact budget.
+  std::uint32_t min_contacts = 2;
+  std::uint32_t max_contacts = 64;
+  /// Multiplicative step per adaptation round.
+  double grow = 1.5;
+  double shrink = 0.75;
+  /// Observations per adaptation round.
+  std::uint32_t window = 32;
+  /// Expiry-rate thresholds driving TTL adaptation.
+  double expiry_rate_high = 0.3;
+  double expiry_rate_low = 0.05;
+};
+
+class AdaptiveLeasePolicy final : public lease::LeasePolicy {
+ public:
+  using Tuning = AdaptiveTuning;
+
+  explicit AdaptiveLeasePolicy(lease::DefaultLeasePolicy::Caps caps = {},
+                               Tuning tuning = {});
+
+  // ---- LeasePolicy -------------------------------------------------------
+  std::optional<lease::LeaseTerms> offer(const lease::LeaseTerms& requested,
+                                         const lease::ResourceUsage& usage,
+                                         sim::Time now) override;
+
+  // ---- Behaviour feedback (§5.4: run-time monitoring) ---------------------
+
+  /// An operation finished with a match, `used` of its `granted` TTL spent.
+  void observe_match(sim::Duration used, sim::Duration granted);
+
+  /// An operation's lease expired without a match.
+  void observe_expiry();
+
+  /// An operation exhausted its contact budget without finding a match at
+  /// any of the contacted instances.
+  void observe_budget_exhausted(bool found_anyway);
+
+  // ---- Introspection --------------------------------------------------------
+
+  sim::Duration current_ttl() const { return ttl_; }
+  std::uint32_t current_contacts() const { return contacts_; }
+  std::uint64_t adaptation_rounds() const { return rounds_; }
+
+ private:
+  void maybe_adapt();
+
+  lease::DefaultLeasePolicy base_;
+  Tuning tuning_;
+  sim::Duration ttl_;
+  std::uint32_t contacts_;
+
+  // Current observation window.
+  std::uint32_t observations_ = 0;
+  std::uint32_t expiries_ = 0;
+  std::uint32_t quick_matches_ = 0;  ///< matched within 25% of the TTL
+  std::uint32_t budget_exhausted_ = 0;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace tiamat::core

@@ -1,0 +1,447 @@
+// Instance construction, local out/eval, directed out, handle discovery and
+// the synchronous test conveniences. The logical-space originator protocol
+// lives in logical_space.cc; the serving side in remote_ops.cc.
+
+#include "core/instance.h"
+
+#include <utility>
+
+#include "tuple/codec.h"
+
+namespace tiamat::core {
+
+const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kRd:
+      return "rd";
+    case OpKind::kRdp:
+      return "rdp";
+    case OpKind::kIn:
+      return "in";
+    case OpKind::kInp:
+      return "inp";
+  }
+  return "?";
+}
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kLeaseRefused:
+      return "lease-refused";
+    case Status::kRefusedBySpace:
+      return "refused-by-space";
+    case Status::kUnavailable:
+      return "unavailable";
+    case Status::kQueued:
+      return "queued";
+  }
+  return "?";
+}
+
+namespace {
+std::unique_ptr<lease::LeasePolicy> make_policy(
+    std::unique_ptr<lease::LeasePolicy> injected, const Config& cfg) {
+  if (injected) return injected;
+  return std::make_unique<lease::DefaultLeasePolicy>(cfg.lease_caps);
+}
+}  // namespace
+
+Instance::Instance(sim::Network& net, Config cfg,
+                   std::unique_ptr<lease::LeasePolicy> policy,
+                   sim::Position pos)
+    : net_(net),
+      cfg_(std::move(cfg)),
+      node_(net_.add_node(pos)),
+      rng_(net_.rng().fork()),
+      endpoint_(net_, node_),
+      leases_(net_.queue(), make_policy(std::move(policy), cfg_)),
+      space_(net_.queue(), rng_,
+             space::SpaceOptions{cfg_.name, cfg_.persistent_space}),
+      evals_(net_.queue(), space_),
+      cache_(cfg_.cache_ordering),
+      discovery_(endpoint_, net_.queue(), cache_),
+      correlator_(net_.queue()),
+      router_(net_.queue(), cfg_.route_retry,
+              [this](sim::NodeId dest, const Tuple& t, std::uint64_t id,
+                     sim::Duration ttl) { send_remote_out(dest, t, id, ttl); }) {
+  leases_.set_usage_probe([this] {
+    lease::ResourceUsage u;
+    u.stored_bytes = space_.footprint();
+    u.stored_tuples = space_.size();
+    return u;
+  });
+  // If the injected policy is the §5 adaptive one, feed it op outcomes.
+  adaptive_ = dynamic_cast<AdaptiveLeasePolicy*>(&leases_.policy());
+  discovery_.enable_responder();
+  install_handlers();
+  // Publish this space's handle tuple (§2.4). It carries no lease: the
+  // handle lives exactly as long as the instance.
+  space_.out(space::make_handle_tuple(handle()));
+}
+
+Instance::~Instance() {
+  // Cancel every timer that captures `this` before members are torn down.
+  auto& q = net_.queue();
+  for (auto& [id, op] : ops_) {
+    (void)id;
+    for (auto& [node, ev] : op.ack_timers) {
+      (void)node;
+      q.cancel(ev);
+    }
+    if (op.repoll_timer != sim::kInvalidEvent) q.cancel(op.repoll_timer);
+  }
+  for (auto& [key, s] : serving_) {
+    (void)key;
+    if (s.hold_timer != sim::kInvalidEvent) q.cancel(s.hold_timer);
+  }
+  for (auto& [id, pc] : confirms_) {
+    (void)id;
+    if (pc.timer != sim::kInvalidEvent) q.cancel(pc.timer);
+  }
+  // Model departure from the environment: in-flight packets to this node
+  // are dropped and it stops being visible.
+  if (net_.node_exists(node_)) net_.remove_node(node_);
+}
+
+space::SpaceHandle Instance::handle() const {
+  return space::SpaceHandle{node_, cfg_.name, cfg_.persistent_space};
+}
+
+// ---- out / eval -------------------------------------------------------------
+
+Status Instance::out(Tuple t) {
+  return do_out(std::move(t), lease::FlexibleRequester{});
+}
+
+Status Instance::out(Tuple t, const lease::LeaseRequester& requester) {
+  return do_out(std::move(t), requester);
+}
+
+Status Instance::do_out(Tuple t, const lease::LeaseRequester& requester) {
+  auto l = leases_.negotiate(requester);
+  if (!l) {
+    ++monitor_.counters().outs_refused;
+    return Status::kLeaseRefused;
+  }
+  if (!l->charge_bytes(t.footprint())) {
+    // "The local space may be refusing to accept the tuple due to resource
+    // shortages" (§2.4): the granted byte budget cannot cover the tuple.
+    ++monitor_.counters().outs_refused;
+    l->release();
+    return Status::kRefusedBySpace;
+  }
+  tuples::TupleId id = space_.out(std::move(t));
+  ++monitor_.counters().outs_local;
+  if (id == tuples::kNoTuple) {
+    // Consumed synchronously by a blocked waiter; storage never happened.
+    l->release();
+    return Status::kOk;
+  }
+  // The tuple lives exactly as long as its storage lease (§2.5): expiry or
+  // revocation reclaims it; an explicit release would leave it (the holder
+  // gave the lease back without asking for reclamation — not used by the
+  // public API, which lets leases run their course).
+  l->on_end([this, id](lease::LeaseState st) {
+    if (st != lease::LeaseState::kReleased) space_.reclaim(id);
+  });
+  return Status::kOk;
+}
+
+Status Instance::eval(space::ActiveTuple at) {
+  return do_eval(std::move(at), lease::FlexibleRequester{});
+}
+
+Status Instance::eval(space::ActiveTuple at,
+                      const lease::LeaseRequester& requester) {
+  return do_eval(std::move(at), requester);
+}
+
+Status Instance::do_eval(space::ActiveTuple at,
+                         const lease::LeaseRequester& requester) {
+  auto l = leases_.negotiate(requester);
+  if (!l) {
+    ++monitor_.counters().outs_refused;
+    return Status::kLeaseRefused;
+  }
+  ++monitor_.counters().evals_started;
+  const sim::Time halt_by = l->expiry_time();
+  // The resultant tuple inherits the operation's lease horizon: "when the
+  // lease expires the resultant computation (if it has not already
+  // finished) may be halted and the tuple may be removed" (§2.5).
+  space::EvalId eid = evals_.submit(std::move(at), halt_by, halt_by);
+  l->on_end([this, eid](lease::LeaseState st) {
+    if (st == lease::LeaseState::kRevoked) evals_.halt(eid);
+  });
+  return Status::kOk;
+}
+
+// ---- Directed out (§2.4) ------------------------------------------------------
+
+Status Instance::out_at(const space::SpaceHandle& dest, Tuple t,
+                        UnavailablePolicy policy) {
+  return do_directed_out(dest.node, std::move(t), lease::FlexibleRequester{},
+                         policy);
+}
+
+Status Instance::out_at(const space::SpaceHandle& dest, Tuple t,
+                        const lease::LeaseRequester& requester,
+                        UnavailablePolicy policy) {
+  return do_directed_out(dest.node, std::move(t), requester, policy);
+}
+
+Status Instance::out_to_origin(const ReadResult& from, Tuple t,
+                               UnavailablePolicy policy) {
+  return do_directed_out(from.source, std::move(t),
+                         lease::FlexibleRequester{}, policy);
+}
+
+Status Instance::out_to_origin(const ReadResult& from, Tuple t,
+                               const lease::LeaseRequester& requester,
+                               UnavailablePolicy policy) {
+  return do_directed_out(from.source, std::move(t), requester, policy);
+}
+
+Status Instance::do_directed_out(sim::NodeId dest, Tuple t,
+                                 const lease::LeaseRequester& requester,
+                                 UnavailablePolicy policy) {
+  if (dest == node_) return do_out(std::move(t), requester);
+
+  auto l = leases_.negotiate(requester);
+  if (!l) {
+    ++monitor_.counters().outs_refused;
+    return Status::kLeaseRefused;
+  }
+  const sim::Time expiry = l->expiry_time();
+  // The local negotiation bounds *our* effort; the destination negotiates
+  // its own storage lease when the tuple arrives (§2.5: leases are not
+  // transferable across instances).
+  l->release();
+
+  if (net_.visible(node_, dest)) {
+    std::uint64_t route_id = router_.enqueue(dest, std::move(t), expiry);
+    (void)route_id;  // first attempt fires inside enqueue
+    ++monitor_.counters().remote_outs_delivered;
+    return Status::kOk;
+  }
+
+  switch (policy) {
+    case UnavailablePolicy::kAbandon:
+      ++monitor_.counters().remote_outs_abandoned;
+      return Status::kUnavailable;
+    case UnavailablePolicy::kLocal: {
+      Status s = do_out(std::move(t), requester);
+      return s;
+    }
+    case UnavailablePolicy::kRoute:
+      router_.enqueue(dest, std::move(t), expiry);
+      ++monitor_.counters().remote_outs_routed;
+      return Status::kQueued;
+  }
+  return Status::kUnavailable;
+}
+
+void Instance::send_remote_out(sim::NodeId dest, const Tuple& t,
+                               std::uint64_t route_id, sim::Duration ttl) {
+  Message m;
+  m.type = net::kRemoteOut;
+  m.op_id = route_id;
+  m.origin = node_;
+  m.h(static_cast<std::int64_t>(ttl == sim::kNever ? -1 : ttl));
+  m.tuple = t;
+  endpoint_.send(dest, m);
+}
+
+Status Instance::eval_at(const space::SpaceHandle& dest,
+                         const std::string& name, Tuple args,
+                         std::function<void(bool)> done) {
+  if (dest.node == node_) {
+    const auto* c = registry_.find(name);
+    if (c == nullptr) {
+      if (done) done(false);
+      return Status::kUnavailable;
+    }
+    auto l = leases_.negotiate(lease::FlexibleRequester{});
+    if (!l) {
+      ++monitor_.counters().outs_refused;
+      if (done) done(false);
+      return Status::kLeaseRefused;
+    }
+    ++monitor_.counters().evals_started;
+    const sim::Time halt_by = l->expiry_time();
+    space::EvalId eid = evals_.submit_fn([c, args] { return c->fn(args); },
+                                         c->cost(args), halt_by, halt_by);
+    l->on_end([this, eid](lease::LeaseState st) {
+      if (st == lease::LeaseState::kRevoked) evals_.halt(eid);
+    });
+    if (done) done(true);
+    return Status::kOk;
+  }
+
+  auto l = leases_.negotiate(lease::FlexibleRequester{});
+  if (!l) {
+    ++monitor_.counters().outs_refused;
+    if (done) done(false);
+    return Status::kLeaseRefused;
+  }
+  const sim::Time expiry = l->expiry_time();
+  l->release();  // local effort only; the destination leases the real work
+  if (!net_.visible(node_, dest.node)) {
+    ++monitor_.counters().remote_outs_abandoned;
+    if (done) done(false);
+    return Status::kUnavailable;
+  }
+  const std::uint64_t id = correlator_.next_op_id();
+  Message m;
+  m.type = net::kRemoteEval;
+  m.op_id = id;
+  m.origin = node_;
+  m.h(name);
+  m.h(static_cast<std::int64_t>(
+      expiry == sim::kNever ? -1 : expiry - net_.now()));
+  m.tuple = std::move(args);
+  if (done) {
+    correlator_.expect(
+        id,
+        [done](sim::NodeId, const Message& r) {
+          done(!r.headers.empty() && r.hbool(0));
+          return false;
+        },
+        net_.now() + cfg_.response_timeout * 4,
+        [done] { done(false); });
+  }
+  endpoint_.send(dest.node, m);
+  return Status::kOk;
+}
+
+// ---- Logical-space entry points ----------------------------------------------
+
+bool Instance::rd(const Pattern& p, ReadCallback cb) {
+  return start_op(OpKind::kRd, p, std::move(cb), lease::FlexibleRequester{});
+}
+bool Instance::rd(const Pattern& p, ReadCallback cb,
+                  const lease::LeaseRequester& requester) {
+  return start_op(OpKind::kRd, p, std::move(cb), requester);
+}
+bool Instance::rdp(const Pattern& p, ReadCallback cb) {
+  return start_op(OpKind::kRdp, p, std::move(cb), lease::FlexibleRequester{});
+}
+bool Instance::rdp(const Pattern& p, ReadCallback cb,
+                   const lease::LeaseRequester& requester) {
+  return start_op(OpKind::kRdp, p, std::move(cb), requester);
+}
+bool Instance::in(const Pattern& p, ReadCallback cb) {
+  return start_op(OpKind::kIn, p, std::move(cb), lease::FlexibleRequester{});
+}
+bool Instance::in(const Pattern& p, ReadCallback cb,
+                  const lease::LeaseRequester& requester) {
+  return start_op(OpKind::kIn, p, std::move(cb), requester);
+}
+bool Instance::inp(const Pattern& p, ReadCallback cb) {
+  return start_op(OpKind::kInp, p, std::move(cb), lease::FlexibleRequester{});
+}
+bool Instance::inp(const Pattern& p, ReadCallback cb,
+                   const lease::LeaseRequester& requester) {
+  return start_op(OpKind::kInp, p, std::move(cb), requester);
+}
+
+bool Instance::rd_at(const space::SpaceHandle& dest, const Pattern& p,
+                     ReadCallback cb) {
+  return op_at(OpKind::kRd, dest, p, std::move(cb),
+               lease::FlexibleRequester{});
+}
+bool Instance::rdp_at(const space::SpaceHandle& dest, const Pattern& p,
+                      ReadCallback cb) {
+  return op_at(OpKind::kRdp, dest, p, std::move(cb),
+               lease::FlexibleRequester{});
+}
+bool Instance::in_at(const space::SpaceHandle& dest, const Pattern& p,
+                     ReadCallback cb) {
+  return op_at(OpKind::kIn, dest, p, std::move(cb),
+               lease::FlexibleRequester{});
+}
+bool Instance::inp_at(const space::SpaceHandle& dest, const Pattern& p,
+                      ReadCallback cb) {
+  return op_at(OpKind::kInp, dest, p, std::move(cb),
+               lease::FlexibleRequester{});
+}
+
+// ---- Handle discovery ----------------------------------------------------------
+
+void Instance::enumerate_handles(
+    std::function<void(std::vector<space::SpaceHandle>)> cb) {
+  discovery_.probe(cfg_.probe_window, [this, cb = std::move(cb)](std::size_t) {
+    auto handles = std::make_shared<std::vector<space::SpaceHandle>>();
+    handles->push_back(handle());
+    const auto order = cache_.contact_order();
+    auto remaining = std::make_shared<std::size_t>(order.size());
+    if (order.empty()) {
+      cb(*handles);
+      return;
+    }
+    auto done_one = [handles, remaining, cb](std::optional<ReadResult> r) {
+      if (r) {
+        if (auto h = space::parse_handle_tuple(r->tuple)) {
+          handles->push_back(*h);
+        }
+      }
+      if (--*remaining == 0) cb(*handles);
+    };
+    for (sim::NodeId target : order) {
+      space::SpaceHandle dest;
+      dest.node = target;
+      if (!rdp_at(dest, space::handle_pattern(), done_one)) {
+        if (--*remaining == 0) cb(*handles);
+      }
+    }
+  });
+}
+
+// ---- Synchronous conveniences ---------------------------------------------------
+
+namespace {
+std::optional<ReadResult> run_op(Instance& i, OpKind kind, const Pattern& p) {
+  auto out = std::make_shared<std::optional<ReadResult>>();
+  auto fired = std::make_shared<bool>(false);
+  auto cb = [out, fired](std::optional<ReadResult> r) {
+    *out = std::move(r);
+    *fired = true;
+  };
+  bool granted = false;
+  switch (kind) {
+    case OpKind::kRd:
+      granted = i.rd(p, cb);
+      break;
+    case OpKind::kRdp:
+      granted = i.rdp(p, cb);
+      break;
+    case OpKind::kIn:
+      granted = i.in(p, cb);
+      break;
+    case OpKind::kInp:
+      granted = i.inp(p, cb);
+      break;
+  }
+  if (!granted) return std::nullopt;
+  auto& q = i.endpoint().network().queue();
+  while (!*fired && q.step()) {
+  }
+  return *out;
+}
+}  // namespace
+
+std::optional<ReadResult> run_rd(Instance& i, const Pattern& p) {
+  return run_op(i, OpKind::kRd, p);
+}
+std::optional<ReadResult> run_rdp(Instance& i, const Pattern& p) {
+  return run_op(i, OpKind::kRdp, p);
+}
+std::optional<ReadResult> run_in(Instance& i, const Pattern& p) {
+  return run_op(i, OpKind::kIn, p);
+}
+std::optional<ReadResult> run_inp(Instance& i, const Pattern& p) {
+  return run_op(i, OpKind::kInp, p);
+}
+
+}  // namespace tiamat::core

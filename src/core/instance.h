@@ -1,0 +1,303 @@
+// A Tiamat instance (§3.1, Figure 2): lease manager + local tuple space +
+// communications manager, presenting the *opportunistic logical tuple
+// space* to applications.
+//
+// Public-API summary
+// ------------------
+//   Instance node(network);                       // joins the environment
+//   node.out({"greeting", "hello"});              // local space (default)
+//   node.rd(Pattern{"greeting", any_string()},    // logical space: local +
+//           [](auto r){ ... });                   //   every visible instance
+//   node.in_at(handle, pattern, cb);              // directed at one space
+//   node.out_to_origin(result, policy);           // §2.4 reply-to-source
+//
+// All read/take operations are continuation-style (the simulator owns the
+// clock); every operation is leased — a refused lease fails the operation
+// before any other work happens (Figure 2's flow).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "core/adaptation.h"
+#include "core/config.h"
+#include "core/monitor.h"
+#include "core/routing.h"
+#include "lease/manager.h"
+#include "net/discovery.h"
+#include "net/endpoint.h"
+#include "net/responder_cache.h"
+#include "net/rpc.h"
+#include "sim/network.h"
+#include "space/eval.h"
+#include "space/registry.h"
+#include "space/handle.h"
+#include "space/local_space.h"
+
+namespace tiamat::core {
+
+using tuples::Pattern;
+using tuples::Tuple;
+
+/// Outcome of out/eval entry points (synchronous part).
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kLeaseRefused = 1,   ///< negotiation failed: no work performed (Fig. 2)
+  kRefusedBySpace = 2, ///< lease byte budget cannot cover the tuple
+  kUnavailable = 3,    ///< directed op abandoned (UnavailablePolicy::kAbandon)
+  kQueued = 4,         ///< directed op handed to store-and-forward routing
+};
+
+const char* to_string(Status s);
+
+/// A successful read/take: the tuple plus the node it came from, which is
+/// what out_to_origin (§2.4) consumes.
+struct ReadResult {
+  Tuple tuple;
+  sim::NodeId source = sim::kNoNode;
+};
+
+/// Invoked exactly once per read/take operation: a result, or nullopt when
+/// the operation's lease expired / no match was reachable.
+using ReadCallback = std::function<void(std::optional<ReadResult>)>;
+
+class Instance {
+ public:
+  using Message = net::Message;
+  /// Creates the instance on a fresh network node. A null `policy` gets the
+  /// stock DefaultLeasePolicy with cfg.lease_caps.
+  Instance(sim::Network& net, Config cfg = {},
+           std::unique_ptr<lease::LeasePolicy> policy = nullptr,
+           sim::Position pos = {});
+
+  ~Instance();
+
+  Instance(const Instance&) = delete;
+  Instance& operator=(const Instance&) = delete;
+
+  // ---- Identity -----------------------------------------------------------
+
+  sim::NodeId node() const { return node_; }
+  const std::string& name() const { return cfg_.name; }
+  space::SpaceHandle handle() const;
+
+  // ---- out / eval (local space by default, §2.2) -------------------------
+
+  /// Places `t` in the local space under a negotiated storage lease (the
+  /// tuple's expiry is the lease's TTL; its footprint is charged against
+  /// the byte budget — "the local space may be refusing to accept the tuple
+  /// due to resource shortages").
+  Status out(Tuple t);
+  Status out(Tuple t, const lease::LeaseRequester& requester);
+
+  /// Starts an active tuple; the resultant tuple appears in the local space
+  /// when the computation completes, unless the lease expires first.
+  Status eval(space::ActiveTuple at);
+  Status eval(space::ActiveTuple at, const lease::LeaseRequester& requester);
+
+  // ---- Logical-space read/take operations (§2.2) --------------------------
+
+  /// Each returns false — without invoking `cb` — when the lease was
+  /// refused; otherwise `cb` fires exactly once, possibly synchronously.
+  bool rd(const Pattern& p, ReadCallback cb);
+  bool rd(const Pattern& p, ReadCallback cb,
+          const lease::LeaseRequester& requester);
+  bool rdp(const Pattern& p, ReadCallback cb);
+  bool rdp(const Pattern& p, ReadCallback cb,
+           const lease::LeaseRequester& requester);
+  bool in(const Pattern& p, ReadCallback cb);
+  bool in(const Pattern& p, ReadCallback cb,
+          const lease::LeaseRequester& requester);
+  bool inp(const Pattern& p, ReadCallback cb);
+  bool inp(const Pattern& p, ReadCallback cb,
+           const lease::LeaseRequester& requester);
+
+  // ---- Direct remote operations (§2.4) ------------------------------------
+
+  /// out/eval directed at a specific space. `policy` governs the
+  /// unreachable-destination case.
+  Status out_at(const space::SpaceHandle& dest, Tuple t,
+                UnavailablePolicy policy = UnavailablePolicy::kAbandon);
+  Status out_at(const space::SpaceHandle& dest, Tuple t,
+                const lease::LeaseRequester& requester,
+                UnavailablePolicy policy);
+
+  /// "These take in a tuple which was returned as a result of a prior in,
+  /// inp, rd or rdp operation. Tiamat will then attempt to satisfy the
+  /// operation at the remote instance where the given tuple was obtained."
+  Status out_to_origin(const ReadResult& from, Tuple t,
+                       UnavailablePolicy policy = UnavailablePolicy::kRoute);
+  Status out_to_origin(const ReadResult& from, Tuple t,
+                       const lease::LeaseRequester& requester,
+                       UnavailablePolicy policy);
+
+  /// eval directed at a specific space: the *named* computation (shared
+  /// via ComputationRegistry — see space/registry.h for why names replace
+  /// shipped code in C++) runs at the destination, consuming its leased
+  /// resources; the resultant tuple appears in the destination's space.
+  /// `done(accepted)` reports whether the destination took the job.
+  Status eval_at(const space::SpaceHandle& dest, const std::string& name,
+                 Tuple args, std::function<void(bool)> done = nullptr);
+
+  /// Read/take directed at one specific remote space (no propagation).
+  bool rd_at(const space::SpaceHandle& dest, const Pattern& p, ReadCallback cb);
+  bool rdp_at(const space::SpaceHandle& dest, const Pattern& p,
+              ReadCallback cb);
+  bool in_at(const space::SpaceHandle& dest, const Pattern& p, ReadCallback cb);
+  bool inp_at(const space::SpaceHandle& dest, const Pattern& p,
+              ReadCallback cb);
+  bool op_at(OpKind kind, const space::SpaceHandle& dest, const Pattern& p,
+             ReadCallback cb, const lease::LeaseRequester& requester);
+
+  // ---- Handle discovery (§2.4) ---------------------------------------------
+
+  /// Probes for visible instances and collects their space-handle tuples
+  /// (including this instance's own).
+  void enumerate_handles(
+      std::function<void(std::vector<space::SpaceHandle>)> cb);
+
+  // ---- Introspection --------------------------------------------------------
+
+  /// Named computations this instance can run for itself and for peers.
+  space::ComputationRegistry& computations() { return registry_; }
+
+  space::LocalTupleSpace& local_space() { return space_; }
+  const space::LocalTupleSpace& local_space() const { return space_; }
+  lease::LeaseManager& leases() { return leases_; }
+  net::ResponderCache& responders() { return cache_; }
+  net::Discovery& discovery() { return discovery_; }
+  net::Endpoint& endpoint() { return endpoint_; }
+  space::EvalEngine& evals() { return evals_; }
+  Monitor& monitor() { return monitor_; }
+  DeferredRouter& router() { return router_; }
+  const Config& config() const { return cfg_; }
+  sim::Time now() const { return net_.now(); }
+
+  /// Number of logical-space operations currently outstanding.
+  std::size_t open_ops() const { return ops_.size(); }
+  /// Remote requests this instance is currently serving.
+  std::size_t serving_count() const { return serving_.size(); }
+
+ private:
+  // ---- Originator side of the logical-space protocol (logical_space.cc) --
+  struct LogicalOp {
+    std::uint64_t id = 0;
+    OpKind kind{};
+    Pattern pattern;
+    std::shared_ptr<lease::Lease> lease;
+    ReadCallback cb;
+    sim::Time started_at = 0;
+    space::WaiterId local_waiter = space::kNoWaiter;
+    std::set<sim::NodeId> contacted;        ///< OpRequest sent
+    std::set<sim::NodeId> awaiting_first;   ///< no reply yet (ack timeout)
+    std::set<sim::NodeId> exhausted;        ///< replied not-serving / no match
+    std::vector<sim::NodeId> contact_queue; ///< responders still to try
+    std::unordered_map<sim::NodeId, sim::EventId> ack_timers;
+    sim::EventId repoll_timer = sim::kInvalidEvent;
+    bool probing = false;
+    bool probed_once = false;
+    bool directed = false;  ///< §2.4 single-target op: no propagation
+    bool done = false;
+  };
+
+  bool start_op(OpKind kind, const Pattern& p, ReadCallback cb,
+                const lease::LeaseRequester& requester);
+  void op_try_local(LogicalOp& op);
+  void op_advance(std::uint64_t op_id);
+  void op_contact(LogicalOp& op, sim::NodeId target);
+  void op_probe(std::uint64_t op_id);
+  void op_schedule_repoll(LogicalOp& op);
+  void op_on_response(std::uint64_t op_id, sim::NodeId from, const Message& m);
+  void op_ack_timeout(std::uint64_t op_id, sim::NodeId target);
+  void op_finish(std::uint64_t op_id, std::optional<ReadResult> result);
+  void op_lease_ended(std::uint64_t op_id, lease::LeaseState state);
+  LogicalOp* find_op(std::uint64_t op_id);
+  /// Decides whether a non-blocking op has run out of places to look.
+  void op_maybe_conclude_nonblocking(LogicalOp& op);
+
+  // ---- Serving side (remote_ops.cc) ---------------------------------------
+  struct Serving {
+    std::uint64_t op_id = 0;         ///< originator's op id
+    sim::NodeId origin = sim::kNoNode;
+    OpKind kind{};
+    std::shared_ptr<lease::Lease> lease;
+    space::WaiterId waiter = space::kNoWaiter;
+    tuples::TupleId tentative = tuples::kNoTuple;
+    sim::EventId hold_timer = sim::kInvalidEvent;
+    Pattern pattern;          ///< for re-arming blocking in (lost reply)
+    sim::Time deadline = 0;   ///< effective waiter deadline
+  };
+
+  /// (Re-)arms a blocking destructive waiter for a served `in` request;
+  /// also the retransmission path when a "found" reply was lost.
+  void arm_serving_in(std::uint64_t key);
+
+  void install_handlers();
+  void serve_op_request(sim::NodeId from, const Message& m);
+  void serve_cancel(sim::NodeId from, const Message& m);
+  void serve_confirm(sim::NodeId from, const Message& m);
+  void serve_release(sim::NodeId from, const Message& m);
+  void serve_remote_out(sim::NodeId from, const Message& m);
+  void serve_remote_eval(sim::NodeId from, const Message& m);
+  void serving_deliver(std::uint64_t key, std::optional<Tuple> t,
+                       tuples::TupleId tentative_id);
+  void serving_drop(std::uint64_t key, bool release_tentative);
+  /// Serving table key: origin node + their op id (op ids are per-instance).
+  static std::uint64_t serving_key(sim::NodeId origin, std::uint64_t op_id);
+
+  Status do_out(Tuple t, const lease::LeaseRequester& requester);
+  Status do_eval(space::ActiveTuple at, const lease::LeaseRequester& requester);
+  Status do_directed_out(sim::NodeId dest, Tuple t,
+                         const lease::LeaseRequester& requester,
+                         UnavailablePolicy policy);
+  void send_remote_out(sim::NodeId dest, const Tuple& t, std::uint64_t route_id,
+                       sim::Duration ttl);
+
+  sim::Network& net_;
+  Config cfg_;
+  AdaptiveLeasePolicy* adaptive_ = nullptr;  ///< set iff the policy adapts
+  sim::NodeId node_;
+  sim::Rng rng_;
+  net::Endpoint endpoint_;
+  lease::LeaseManager leases_;
+  space::LocalTupleSpace space_;
+  space::EvalEngine evals_;
+  net::ResponderCache cache_;
+  net::Discovery discovery_;
+  net::Correlator correlator_;
+  DeferredRouter router_;
+  space::ComputationRegistry registry_;
+  Monitor monitor_;
+
+  std::map<std::uint64_t, LogicalOp> ops_;
+  std::map<std::uint64_t, Serving> serving_;
+
+  /// Confirm messages are retransmitted until acknowledged: a lost Confirm
+  /// would otherwise make the serving side put an already-delivered tuple
+  /// back (duplicate delivery).
+  struct PendingConfirm {
+    sim::NodeId winner = sim::kNoNode;
+    int tries_left = 6;
+    sim::EventId timer = sim::kInvalidEvent;
+  };
+  std::map<std::uint64_t, PendingConfirm> confirms_;  // op_id ->
+  void send_confirm(std::uint64_t op_id);
+};
+
+// ---- Synchronous conveniences (drive the simulator until resolution) ------
+
+/// Runs the network's event queue until the operation completes; returns its
+/// result. Only for tests/examples — real applications stay asynchronous.
+std::optional<ReadResult> run_rd(Instance& i, const Pattern& p);
+std::optional<ReadResult> run_rdp(Instance& i, const Pattern& p);
+std::optional<ReadResult> run_in(Instance& i, const Pattern& p);
+std::optional<ReadResult> run_inp(Instance& i, const Pattern& p);
+
+}  // namespace tiamat::core

@@ -1,0 +1,428 @@
+// Originator side of the opportunistic logical tuple space (§2.2, §3.1.3).
+//
+// A logical-space operation runs this state machine:
+//
+//   negotiate lease ──refused──> fail (no work at all, Figure 2)
+//        │
+//   try local space ──hit──> finish(local)
+//        │ miss
+//   contact responder list from the top, removing non-responders;
+//   destructive matches are removed *tentatively* at the responder:
+//   first response wins (kConfirm), everyone else is released (kRelease /
+//   kCancelOp);
+//        │ list exhausted & unsatisfied
+//   multicast probe; new responders join the bottom of the list; continue;
+//        │ still unsatisfied
+//   non-blocking: return nothing.
+//   blocking: hold a local waiter + remote waiters; optionally re-probe so
+//   instances that become visible during the operation participate (§2.2 —
+//   the "model" behaviour; the paper's prototype omitted it);
+//   lease expiry ends everything and returns nothing (§2.5).
+
+#include "core/instance.h"
+
+#include <algorithm>
+
+namespace tiamat::core {
+
+namespace {
+constexpr std::int64_t kNoDeadline = -1;
+
+std::int64_t encode_deadline(sim::Time t) {
+  return t == sim::kNever ? kNoDeadline : static_cast<std::int64_t>(t);
+}
+}  // namespace
+
+Instance::LogicalOp* Instance::find_op(std::uint64_t op_id) {
+  auto it = ops_.find(op_id);
+  return it == ops_.end() ? nullptr : &it->second;
+}
+
+bool Instance::start_op(OpKind kind, const Pattern& p, ReadCallback cb,
+                        const lease::LeaseRequester& requester) {
+  ++monitor_.counters().ops_started;
+  auto l = leases_.negotiate(requester);
+  if (!l) {
+    // Figure 2: "If a lease is refused, no further work is carried out on
+    // the operation."
+    ++monitor_.counters().ops_lease_refused;
+    return false;
+  }
+
+  const std::uint64_t id = correlator_.next_op_id();
+  LogicalOp& op = ops_[id];
+  op.id = id;
+  op.kind = kind;
+  op.pattern = p;
+  op.lease = l;
+  op.cb = std::move(cb);
+  op.started_at = net_.now();
+
+  l->on_end([this, id](lease::LeaseState st) { op_lease_ended(id, st); });
+
+  op_try_local(op);
+  // A synchronous local hit finishes the op and erases it from ops_,
+  // invalidating `op` — re-find before touching it again.
+  LogicalOp* live = find_op(id);
+  if (live == nullptr || live->done) return true;
+
+  // Route kOpResponse traffic for this op id. Lifetime is lease-driven, so
+  // the correlator itself carries no deadline.
+  correlator_.expect(id, [this, id](sim::NodeId from, const Message& m) {
+    op_on_response(id, from, m);
+    return ops_.count(id) != 0;  // keep routing while the op is open
+  });
+
+  // Seed the contact queue from the responder list, top first (§3.1.3).
+  live->contact_queue = cache_.contact_order();
+  op_advance(id);
+  return true;
+}
+
+bool Instance::op_at(OpKind kind, const space::SpaceHandle& dest,
+                     const Pattern& p, ReadCallback cb,
+                     const lease::LeaseRequester& requester) {
+  ++monitor_.counters().ops_started;
+  if (dest.node == node_) {
+    // Directed at ourselves: equivalent to a purely local operation.
+    return start_op(kind, p, std::move(cb), requester);
+  }
+  auto l = leases_.negotiate(requester);
+  if (!l) {
+    ++monitor_.counters().ops_lease_refused;
+    return false;
+  }
+  const std::uint64_t id = correlator_.next_op_id();
+  LogicalOp& op = ops_[id];
+  op.id = id;
+  op.kind = kind;
+  op.pattern = p;
+  op.lease = l;
+  op.cb = std::move(cb);
+  op.started_at = net_.now();
+  op.directed = true;
+
+  l->on_end([this, id](lease::LeaseState st) { op_lease_ended(id, st); });
+  correlator_.expect(id, [this, id](sim::NodeId from, const Message& m) {
+    op_on_response(id, from, m);
+    return ops_.count(id) != 0;
+  });
+  op.contact_queue.push_back(dest.node);
+  op_advance(id);
+  return true;
+}
+
+void Instance::op_try_local(LogicalOp& op) {
+  const std::uint64_t id = op.id;
+  switch (op.kind) {
+    case OpKind::kRdp: {
+      if (auto t = space_.rdp(op.pattern)) {
+        op_finish(id, ReadResult{*t, node_});
+      }
+      return;
+    }
+    case OpKind::kInp: {
+      if (auto t = space_.inp(op.pattern)) {
+        op_finish(id, ReadResult{*t, node_});
+      }
+      return;
+    }
+    case OpKind::kRd: {
+      // Register a deadline-less waiter; the lease governs its lifetime.
+      auto wid = space_.rd(op.pattern, sim::kNever,
+                           [this, id](std::optional<Tuple> t) {
+                             if (!t) return;
+                             if (LogicalOp* o = find_op(id)) {
+                               o->local_waiter = space::kNoWaiter;
+                               op_finish(id, ReadResult{*t, node_});
+                             }
+                           });
+      if (LogicalOp* o = find_op(id); o != nullptr && !o->done) {
+        o->local_waiter = wid;
+      }
+      return;
+    }
+    case OpKind::kIn: {
+      auto wid = space_.in(op.pattern, sim::kNever,
+                           [this, id](std::optional<Tuple> t) {
+                             if (!t) return;
+                             if (LogicalOp* o = find_op(id)) {
+                               o->local_waiter = space::kNoWaiter;
+                               op_finish(id, ReadResult{*t, node_});
+                             }
+                           });
+      if (LogicalOp* o = find_op(id); o != nullptr && !o->done) {
+        o->local_waiter = wid;
+      }
+      return;
+    }
+  }
+}
+
+void Instance::op_advance(std::uint64_t op_id) {
+  LogicalOp* op = find_op(op_id);
+  if (op == nullptr || op->done) return;
+
+  // Contact the next responder(s). Non-blocking ops probe the list
+  // sequentially (one outstanding contact); blocking ops arm a waiter at
+  // every reachable instance at once.
+  while (!op->contact_queue.empty()) {
+    if (!is_blocking(op->kind) && !op->awaiting_first.empty()) return;
+
+    sim::NodeId target = op->contact_queue.front();
+    op->contact_queue.erase(op->contact_queue.begin());
+    if (target == node_ || op->contacted.count(target) != 0) continue;
+
+    if (!op->lease->charge_contact()) break;  // contact budget spent
+    op_contact(*op, target);
+    op = find_op(op_id);  // re-find: sends never reenter, but stay safe
+    if (op == nullptr || op->done) return;
+  }
+
+  // Queue drained (or budget spent).
+  if (!is_blocking(op->kind)) {
+    op_maybe_conclude_nonblocking(*op);
+    return;
+  }
+
+  // Blocking: if the whole reachable world is armed and the model asks for
+  // late arrivals, keep re-probing on a timer. Directed ops never widen.
+  if (op->directed) return;
+  if (!op->probed_once && !op->probing && op->lease->contacts_remaining()) {
+    op_probe(op_id);
+  } else if (cfg_.propagate_to_late_arrivals) {
+    op_schedule_repoll(*op);
+  }
+}
+
+void Instance::op_contact(LogicalOp& op, sim::NodeId target) {
+  op.contacted.insert(target);
+  op.awaiting_first.insert(target);
+
+  Message m;
+  m.type = net::kOpRequest;
+  m.op_id = op.id;
+  m.origin = node_;
+  m.h(static_cast<std::int64_t>(op.kind));
+  m.h(encode_deadline(op.lease->expiry_time()));
+  m.pattern = op.pattern;
+  endpoint_.send(target, m);
+
+  const std::uint64_t id = op.id;
+  op.ack_timers[target] = net_.queue().schedule_after(
+      cfg_.response_timeout,
+      [this, id, target] { op_ack_timeout(id, target); });
+}
+
+void Instance::op_probe(std::uint64_t op_id) {
+  LogicalOp* op = find_op(op_id);
+  if (op == nullptr || op->done || op->probing) return;
+  op->probing = true;
+  ++monitor_.counters().probes_triggered;
+  discovery_.probe(cfg_.probe_window, [this, op_id](std::size_t) {
+    LogicalOp* o = find_op(op_id);
+    if (o == nullptr || o->done) return;
+    o->probing = false;
+    o->probed_once = true;
+    // Anyone in the refreshed list we have not tried yet joins the queue.
+    for (sim::NodeId n : cache_.contact_order()) {
+      if (n != node_ && o->contacted.count(n) == 0 &&
+          std::find(o->contact_queue.begin(), o->contact_queue.end(), n) ==
+              o->contact_queue.end()) {
+        o->contact_queue.push_back(n);
+      }
+    }
+    op_advance(op_id);
+  });
+}
+
+void Instance::op_schedule_repoll(LogicalOp& op) {
+  if (op.repoll_timer != sim::kInvalidEvent) return;
+  const std::uint64_t id = op.id;
+  op.repoll_timer =
+      net_.queue().schedule_after(cfg_.late_arrival_poll, [this, id] {
+        LogicalOp* o = find_op(id);
+        if (o == nullptr || o->done) return;
+        o->repoll_timer = sim::kInvalidEvent;
+        if (!o->lease->contacts_remaining()) {
+          // Cannot contact anyone new; keep the armed waiters and stop
+          // polling.
+          return;
+        }
+        o->probed_once = false;  // allow another probe round
+        op_probe(id);
+        if (LogicalOp* o2 = find_op(id); o2 != nullptr && !o2->done) {
+          op_schedule_repoll(*o2);
+        }
+      });
+}
+
+void Instance::op_on_response(std::uint64_t op_id, sim::NodeId from,
+                              const Message& m) {
+  LogicalOp* op = find_op(op_id);
+  if (op == nullptr) return;
+  if (m.type != net::kOpResponse || m.headers.size() < 2) return;
+
+  const bool found = m.hbool(0);
+  const bool serving = m.hbool(1);
+
+  // First word from this responder: it is alive.
+  op->awaiting_first.erase(from);
+  auto at = op->ack_timers.find(from);
+  if (at != op->ack_timers.end()) {
+    net_.queue().cancel(at->second);
+    op->ack_timers.erase(at);
+  }
+  cache_.record_success(from);
+
+  if (found && m.tuple) {
+    if (!op->done) {
+      // First response wins (§3.1.3).
+      op_finish(op_id, ReadResult{*m.tuple, from});
+    } else if (is_destructive(op->kind)) {
+      // Late winner: "the remaining instances place the tuples back into
+      // their respective spaces."
+      Message rel;
+      rel.type = net::kRelease;
+      rel.op_id = op_id;
+      rel.origin = node_;
+      endpoint_.send(from, rel);
+    }
+    return;
+  }
+
+  // No match (or the responder refused to serve).
+  if (!serving) op->exhausted.insert(from);
+  if (!is_blocking(op->kind)) {
+    op->exhausted.insert(from);
+    op_advance(op_id);
+  }
+}
+
+void Instance::op_ack_timeout(std::uint64_t op_id, sim::NodeId target) {
+  LogicalOp* op = find_op(op_id);
+  if (op == nullptr || op->done) return;
+  op->ack_timers.erase(target);
+  if (op->awaiting_first.erase(target) == 0) return;  // it did reply
+  // "...removing any which do not respond" (§3.1.3).
+  cache_.remove(target);
+  cache_.record_failure(target);
+  op->exhausted.insert(target);
+  op_advance(op_id);
+}
+
+void Instance::op_maybe_conclude_nonblocking(LogicalOp& op) {
+  if (op.done || is_blocking(op.kind)) return;
+  if (!op.contact_queue.empty()) return;
+  if (!op.awaiting_first.empty()) return;
+  if (op.probing) return;
+  // Directed ops never probe; propagated ops get one probe round if the
+  // budget allows.
+  if (!op.directed && !op.probed_once && op.lease->contacts_remaining()) {
+    op_probe(op.id);
+    return;
+  }
+  op_finish(op.id, std::nullopt);
+}
+
+void Instance::op_finish(std::uint64_t op_id,
+                         std::optional<ReadResult> result) {
+  auto it = ops_.find(op_id);
+  if (it == ops_.end() || it->second.done) return;
+  LogicalOp op = std::move(it->second);
+  op.done = true;
+  ops_.erase(it);
+
+  // Tear down every pending arm of the operation.
+  if (op.local_waiter != space::kNoWaiter) {
+    space_.cancel_waiter(op.local_waiter);
+  }
+  if (op.repoll_timer != sim::kInvalidEvent) {
+    net_.queue().cancel(op.repoll_timer);
+  }
+  for (auto& [node, ev] : op.ack_timers) {
+    (void)node;
+    net_.queue().cancel(ev);
+  }
+  correlator_.finish(op_id);
+
+  const sim::NodeId winner =
+      result && result->source != node_ ? result->source : sim::kNoNode;
+  for (sim::NodeId contacted : op.contacted) {
+    if (contacted == winner) continue;
+    // Non-blocking responders that already reported a miss hold no state.
+    if (!is_blocking(op.kind) && op.exhausted.count(contacted) != 0) continue;
+    Message cancel;
+    cancel.type = net::kCancelOp;
+    cancel.op_id = op_id;
+    cancel.origin = node_;
+    endpoint_.send(contacted, cancel);
+  }
+  if (winner != sim::kNoNode && is_destructive(op.kind)) {
+    confirms_[op_id] = PendingConfirm{winner, 6, sim::kInvalidEvent};
+    send_confirm(op_id);
+  }
+
+  // Account the outcome.
+  auto& c = monitor_.counters();
+  if (result) {
+    if (result->source == node_) {
+      ++c.satisfied_local;
+    } else {
+      ++c.satisfied_remote;
+    }
+  } else if (op.lease->active()) {
+    ++c.no_match;
+  } else {
+    ++c.lease_expired;
+  }
+  monitor_.op_finished(net_.now() - op.started_at);
+
+  // §5.4/§5.5: feed the adaptive policy, if installed.
+  if (adaptive_ != nullptr) {
+    const sim::Duration granted =
+        op.lease->terms().ttl ? *op.lease->terms().ttl : 0;
+    if (result) {
+      adaptive_->observe_match(net_.now() - op.started_at, granted);
+    } else if (!op.lease->active()) {
+      adaptive_->observe_expiry();
+    }
+    if (!op.lease->contacts_remaining() && !op.lease->active()) {
+      adaptive_->observe_budget_exhausted(result.has_value());
+    }
+  }
+
+  if (op.lease->active()) op.lease->release();
+  if (op.cb) op.cb(std::move(result));
+}
+
+void Instance::op_lease_ended(std::uint64_t op_id, lease::LeaseState state) {
+  if (state == lease::LeaseState::kReleased) return;  // normal completion
+  // Expired or revoked: "the Tiamat instance may stop trying to satisfy the
+  // request and, assuming no match has already been found, return nothing."
+  op_finish(op_id, std::nullopt);
+}
+
+void Instance::send_confirm(std::uint64_t op_id) {
+  auto it = confirms_.find(op_id);
+  if (it == confirms_.end()) return;
+  PendingConfirm& pc = it->second;
+  if (pc.tries_left-- <= 0) {
+    // Give up: the winner is unreachable; its hold timer will decide.
+    confirms_.erase(it);
+    return;
+  }
+  Message confirm;
+  confirm.type = net::kConfirm;
+  confirm.op_id = op_id;
+  confirm.origin = node_;
+  endpoint_.send(pc.winner, confirm);
+  pc.timer = net_.queue().schedule_after(
+      cfg_.response_timeout, [this, op_id] { send_confirm(op_id); });
+}
+
+std::uint64_t Instance::serving_key(sim::NodeId origin, std::uint64_t op_id) {
+  return (static_cast<std::uint64_t>(origin) << 32) ^ (op_id & 0xffffffffull);
+}
+
+}  // namespace tiamat::core

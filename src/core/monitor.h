@@ -1,0 +1,50 @@
+// Run-time-support monitoring (§5.2/§6 extension).
+//
+// Collects the information an adapting instance needs: per-operation
+// outcome/latency figures and per-peer reliability history (the latter lives
+// in the ResponderCache and feeds the §6 stability-ordered contact list).
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/clock.h"
+#include "sim/stats.h"
+
+namespace tiamat::core {
+
+class Monitor {
+ public:
+  struct Counters {
+    std::uint64_t ops_started = 0;
+    std::uint64_t ops_lease_refused = 0;
+    std::uint64_t satisfied_local = 0;
+    std::uint64_t satisfied_remote = 0;
+    std::uint64_t no_match = 0;       ///< non-blocking miss everywhere
+    std::uint64_t lease_expired = 0;  ///< blocking op returned nothing
+    std::uint64_t cancelled = 0;
+    std::uint64_t remote_requests_served = 0;
+    std::uint64_t remote_serving_refused = 0;  ///< our policy refused to help
+    std::uint64_t outs_local = 0;
+    std::uint64_t outs_refused = 0;
+    std::uint64_t evals_started = 0;
+    std::uint64_t remote_outs_delivered = 0;
+    std::uint64_t remote_outs_routed = 0;    ///< deferred via store-and-forward
+    std::uint64_t remote_outs_abandoned = 0;
+    std::uint64_t probes_triggered = 0;
+  };
+
+  void op_finished(sim::Duration latency) {
+    op_latency_.add(static_cast<double>(latency));
+  }
+
+  Counters& counters() { return counters_; }
+  const Counters& counters() const { return counters_; }
+  sim::Summary& op_latency() { return op_latency_; }
+
+ private:
+  Counters counters_;
+  sim::Summary op_latency_;
+};
+
+}  // namespace tiamat::core

@@ -1,0 +1,369 @@
+// Serving side of the logical-space protocol: how an instance satisfies
+// operations propagated to it by others (§2.2), including the tentative
+// removal / confirm / release dance (§3.1.3) and directed remote outs
+// (§2.4). Per §2.5, "any Tiamat instance which, during the course of
+// performing an operation, places demands on another, is responsible for
+// negotiating any further leases": every request served here is covered by
+// a lease negotiated with the *local* lease manager.
+
+#include <algorithm>
+
+#include "core/instance.h"
+
+namespace tiamat::core {
+
+namespace {
+constexpr std::int64_t kNoDeadline = -1;
+
+sim::Time decode_deadline(std::int64_t v) {
+  return v == kNoDeadline ? sim::kNever : static_cast<sim::Time>(v);
+}
+}  // namespace
+
+void Instance::install_handlers() {
+  endpoint_.on(net::kOpRequest, [this](sim::NodeId from, const Message& m) {
+    serve_op_request(from, m);
+  });
+  endpoint_.on(net::kOpResponse, [this](sim::NodeId from, const Message& m) {
+    if (!correlator_.route(from, m)) {
+      // Stale response to a finished operation. If it carried a match the
+      // responder is holding a tentative tuple for us: release it.
+      if (m.headers.size() >= 1 && m.hbool(0)) {
+        Message rel;
+        rel.type = net::kRelease;
+        rel.op_id = m.op_id;
+        rel.origin = node_;
+        endpoint_.send(from, rel);
+      }
+    }
+  });
+  endpoint_.on(net::kCancelOp, [this](sim::NodeId from, const Message& m) {
+    serve_cancel(from, m);
+  });
+  endpoint_.on(net::kConfirm, [this](sim::NodeId from, const Message& m) {
+    serve_confirm(from, m);
+  });
+  endpoint_.on(net::kConfirmAck, [this](sim::NodeId, const Message& m) {
+    auto it = confirms_.find(m.op_id);
+    if (it != confirms_.end()) {
+      if (it->second.timer != sim::kInvalidEvent) {
+        net_.queue().cancel(it->second.timer);
+      }
+      confirms_.erase(it);
+    }
+  });
+  endpoint_.on(net::kRelease, [this](sim::NodeId from, const Message& m) {
+    serve_release(from, m);
+  });
+  endpoint_.on(net::kRemoteOut, [this](sim::NodeId from, const Message& m) {
+    serve_remote_out(from, m);
+  });
+  endpoint_.on(net::kRemoteOutAck, [this](sim::NodeId, const Message& m) {
+    if (!m.headers.empty() && m.hbool(0)) router_.acked(m.op_id);
+  });
+  endpoint_.on(net::kRemoteEval, [this](sim::NodeId from, const Message& m) {
+    serve_remote_eval(from, m);
+  });
+  endpoint_.on(net::kRemoteEvalAck,
+               [this](sim::NodeId from, const Message& m) {
+                 correlator_.route(from, m);
+               });
+}
+
+void Instance::serve_op_request(sim::NodeId from, const Message& m) {
+  if (m.headers.size() < 2 || !m.pattern) return;
+  const auto kind = static_cast<OpKind>(m.hint(0));
+  const sim::Time requester_deadline = decode_deadline(m.hint(1));
+  const sim::NodeId origin = m.origin != sim::kNoNode ? m.origin : from;
+  const std::uint64_t op_id = m.op_id;
+  const std::uint64_t key = serving_key(origin, op_id);
+
+  auto reply = [this, origin, op_id](bool found, bool serving,
+                                     const std::optional<Tuple>& t) {
+    Message r;
+    r.type = net::kOpResponse;
+    r.op_id = op_id;
+    r.origin = node_;
+    r.h(found);
+    r.h(serving);
+    if (t) r.tuple = *t;
+    endpoint_.send(origin, r);
+  };
+
+  // Negotiate a local lease covering the served work; refusal means this
+  // instance declines to participate in the operation.
+  lease::LeaseTerms want;
+  if (requester_deadline != sim::kNever) {
+    const sim::Duration remaining = requester_deadline - net_.now();
+    if (remaining <= 0) return;  // arrived after the originator gave up
+    want.ttl = remaining;
+  }
+  auto l = leases_.negotiate(lease::FlexibleRequester{want});
+  if (!l) {
+    ++monitor_.counters().remote_serving_refused;
+    reply(false, false, std::nullopt);
+    return;
+  }
+  ++monitor_.counters().remote_requests_served;
+
+  const sim::Time deadline =
+      std::min(requester_deadline, l->expiry_time());
+
+  switch (kind) {
+    case OpKind::kRdp: {
+      auto t = space_.rdp(*m.pattern);
+      reply(t.has_value(), true, t);
+      l->release();
+      return;
+    }
+    case OpKind::kInp: {
+      auto taken = space_.take_tentative(*m.pattern);
+      if (!taken) {
+        reply(false, true, std::nullopt);
+        l->release();
+        return;
+      }
+      Serving s;
+      s.op_id = op_id;
+      s.origin = origin;
+      s.kind = kind;
+      s.lease = l;
+      s.tentative = taken->first;
+      s.hold_timer = net_.queue().schedule_after(
+          cfg_.tentative_hold, [this, key] { serving_drop(key, true); });
+      serving_[key] = std::move(s);
+      reply(true, true, taken->second);
+      return;
+    }
+    case OpKind::kRd: {
+      Serving s;
+      s.op_id = op_id;
+      s.origin = origin;
+      s.kind = kind;
+      s.lease = l;
+      // Arm the waiter first; if it fires synchronously the entry must
+      // already exist, so stage it before calling into the space.
+      serving_[key] = std::move(s);
+      auto fired = std::make_shared<bool>(false);
+      auto wid = space_.rd(
+          *m.pattern, deadline,
+          [this, key, reply, fired](std::optional<Tuple> t) {
+            *fired = true;
+            if (t) {
+              reply(true, true, t);
+            }
+            serving_drop(key, false);
+          });
+      if (*fired) return;  // matched (or timed out) synchronously
+      // No immediate match: ack so the originator keeps us on its list.
+      reply(false, true, std::nullopt);
+      auto it = serving_.find(key);
+      if (it != serving_.end()) {
+        it->second.waiter = wid;
+        auto lease_ref = it->second.lease;
+        lease_ref->on_end([this, key](lease::LeaseState st) {
+          if (st != lease::LeaseState::kReleased) serving_drop(key, true);
+        });
+      }
+      return;
+    }
+    case OpKind::kIn: {
+      Serving s;
+      s.op_id = op_id;
+      s.origin = origin;
+      s.kind = kind;
+      s.lease = l;
+      s.pattern = *m.pattern;
+      s.deadline = deadline;
+      serving_[key] = std::move(s);
+      const bool immediate =
+          space_.count_matches(*m.pattern) == 0;  // will it block?
+      if (immediate) {
+        // No match yet: ack so the originator keeps us on its list.
+        reply(false, true, std::nullopt);
+      }
+      arm_serving_in(key);
+      auto it = serving_.find(key);
+      if (it == serving_.end()) return;  // resolved synchronously
+      auto lease_ref = it->second.lease;
+      lease_ref->on_end([this, key](lease::LeaseState st) {
+        if (st != lease::LeaseState::kReleased) serving_drop(key, true);
+      });
+      return;
+    }
+  }
+}
+
+void Instance::arm_serving_in(std::uint64_t key) {
+  auto sit = serving_.find(key);
+  if (sit == serving_.end()) return;
+  Serving& s = sit->second;
+  const sim::NodeId origin = s.origin;
+  const std::uint64_t op_id = s.op_id;
+  auto reply = [this, origin, op_id](bool found, const std::optional<Tuple>& t) {
+    Message r;
+    r.type = net::kOpResponse;
+    r.op_id = op_id;
+    r.origin = node_;
+    r.h(found);
+    r.h(true);
+    if (t) r.tuple = *t;
+    endpoint_.send(origin, r);
+  };
+  s.waiter = space_.take_tentative_blocking(
+      s.pattern, s.deadline,
+      [this, key, reply](std::optional<std::pair<tuples::TupleId, Tuple>> r) {
+        auto it = serving_.find(key);
+        if (!r) {
+          serving_drop(key, false);
+          return;
+        }
+        if (it == serving_.end()) {
+          // Entry vanished (cancelled) yet the waiter fired: put the tuple
+          // straight back.
+          space_.release_tentative(r->first);
+          return;
+        }
+        it->second.tentative = r->first;
+        it->second.waiter = space::kNoWaiter;
+        // Hold the tentative removal awaiting Confirm/Release. If neither
+        // arrives (the reply was lost — the originator moved out of range),
+        // put the tuple back and re-arm: the next match retransmits the
+        // reply, converging once the originator is reachable again.
+        it->second.hold_timer = net_.queue().schedule_after(
+            cfg_.tentative_hold, [this, key] {
+              auto it2 = serving_.find(key);
+              if (it2 == serving_.end()) return;
+              it2->second.hold_timer = sim::kInvalidEvent;
+              if (it2->second.tentative != tuples::kNoTuple) {
+                space_.release_tentative(it2->second.tentative);
+                it2->second.tentative = tuples::kNoTuple;
+              }
+              if (it2->second.deadline > net_.now()) {
+                arm_serving_in(key);
+              } else {
+                serving_drop(key, false);
+              }
+            });
+        reply(true, r->second);
+      });
+  // If the waiter fired synchronously the entry may already be gone or
+  // holding a tentative; nothing more to do either way.
+}
+
+void Instance::serving_drop(std::uint64_t key, bool release_tentative) {
+  auto it = serving_.find(key);
+  if (it == serving_.end()) return;
+  Serving s = std::move(it->second);
+  serving_.erase(it);
+  if (s.waiter != space::kNoWaiter) space_.cancel_waiter(s.waiter);
+  if (s.hold_timer != sim::kInvalidEvent) net_.queue().cancel(s.hold_timer);
+  if (s.tentative != tuples::kNoTuple && release_tentative) {
+    space_.release_tentative(s.tentative);
+  }
+  if (s.lease && s.lease->active()) s.lease->release();
+}
+
+void Instance::serve_cancel(sim::NodeId from, const Message& m) {
+  // Originator is done with us; put any tentative tuple back.
+  serving_drop(serving_key(from, m.op_id), true);
+}
+
+void Instance::serve_confirm(sim::NodeId from, const Message& m) {
+  const std::uint64_t key = serving_key(from, m.op_id);
+  auto it = serving_.find(key);
+  if (it != serving_.end()) {
+    if (it->second.tentative != tuples::kNoTuple) {
+      space_.confirm_tentative(it->second.tentative);
+      it->second.tentative = tuples::kNoTuple;
+    }
+    serving_drop(key, false);
+  }
+  // Always acknowledge — the confirm may be a retransmission for an entry
+  // we already settled, and the winner keeps retransmitting until acked.
+  Message ack;
+  ack.type = net::kConfirmAck;
+  ack.op_id = m.op_id;
+  ack.origin = node_;
+  endpoint_.send(from, ack);
+}
+
+void Instance::serve_release(sim::NodeId from, const Message& m) {
+  serving_drop(serving_key(from, m.op_id), true);
+}
+
+void Instance::serve_remote_out(sim::NodeId from, const Message& m) {
+  if (m.headers.empty() || !m.tuple) return;
+  const std::int64_t ttl = m.hint(0);
+
+  auto ack = [this, from, &m](bool accepted) {
+    Message a;
+    a.type = net::kRemoteOutAck;
+    a.op_id = m.op_id;
+    a.origin = node_;
+    a.h(accepted);
+    endpoint_.send(from, a);
+  };
+
+  lease::LeaseTerms want;
+  if (ttl >= 0) want.ttl = ttl;
+  want.max_bytes = m.tuple->footprint();
+  auto l = leases_.negotiate(lease::FlexibleRequester{want});
+  if (!l || !l->charge_bytes(m.tuple->footprint())) {
+    if (l) l->release();
+    ack(false);
+    return;
+  }
+  tuples::TupleId id = space_.out(*m.tuple);
+  if (id != tuples::kNoTuple) {
+    l->on_end([this, id](lease::LeaseState st) {
+      if (st != lease::LeaseState::kReleased) space_.reclaim(id);
+    });
+  } else {
+    l->release();  // consumed synchronously by a waiter
+  }
+  ack(true);
+}
+
+void Instance::serve_remote_eval(sim::NodeId from, const Message& m) {
+  if (m.headers.size() < 2 || !m.tuple) return;
+  const std::string& name = m.hstr(0);
+  const std::int64_t ttl = m.hint(1);
+
+  auto ack = [this, from, &m](bool accepted) {
+    Message a;
+    a.type = net::kRemoteEvalAck;
+    a.op_id = m.op_id;
+    a.origin = node_;
+    a.h(accepted);
+    endpoint_.send(from, a);
+  };
+
+  const auto* c = registry_.find(name);
+  if (c == nullptr) {
+    ack(false);  // we do not know this computation
+    return;
+  }
+  // "Any Tiamat instance which ... places demands on another, is
+  // responsible for negotiating any further leases" — the served eval runs
+  // under a lease from *our* manager.
+  lease::LeaseTerms want;
+  if (ttl >= 0) want.ttl = ttl;
+  auto l = leases_.negotiate(lease::FlexibleRequester{want});
+  if (!l) {
+    ++monitor_.counters().remote_serving_refused;
+    ack(false);
+    return;
+  }
+  ++monitor_.counters().evals_started;
+  const sim::Time halt_by = l->expiry_time();
+  const Tuple args = *m.tuple;
+  space::EvalId eid = evals_.submit_fn([c, args] { return c->fn(args); },
+                                       c->cost(args), halt_by, halt_by);
+  l->on_end([this, eid](lease::LeaseState st) {
+    if (st == lease::LeaseState::kRevoked) evals_.halt(eid);
+  });
+  ack(true);
+}
+
+}  // namespace tiamat::core

@@ -1,0 +1,68 @@
+// Store-and-forward routing for directed out/eval (§2.4, UnavailablePolicy
+// ::kRoute): when the destination space is unreachable, the tuple is queued
+// and delivery is re-attempted periodically for as long as its lease lasts.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/clock.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "tuple/tuple.h"
+
+namespace tiamat::core {
+
+class DeferredRouter {
+ public:
+  struct Stats {
+    std::uint64_t queued = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t attempts = 0;
+  };
+
+  /// `attempt(dest, tuple, route_id, remaining_ttl)` transmits one delivery
+  /// try; the owner must call `acked(route_id)` when the destination
+  /// acknowledges.
+  using AttemptFn = std::function<void(sim::NodeId, const tuples::Tuple&,
+                                       std::uint64_t, sim::Duration)>;
+
+  DeferredRouter(sim::EventQueue& queue, sim::Duration retry_interval,
+                 AttemptFn attempt);
+  ~DeferredRouter();
+
+  DeferredRouter(const DeferredRouter&) = delete;
+  DeferredRouter& operator=(const DeferredRouter&) = delete;
+
+  /// Queues `t` for `dest`; tries immediately, then every retry interval
+  /// until `expiry`. Returns the route id.
+  std::uint64_t enqueue(sim::NodeId dest, tuples::Tuple t, sim::Time expiry);
+
+  /// Destination acknowledged; stops retrying. False if unknown (stale ack).
+  bool acked(std::uint64_t route_id);
+
+  std::size_t pending() const { return entries_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    sim::NodeId dest;
+    tuples::Tuple tuple;
+    sim::Time expiry;
+    sim::EventId timer = sim::kInvalidEvent;
+  };
+
+  void try_deliver(std::uint64_t id);
+
+  sim::EventQueue& queue_;
+  sim::Duration retry_interval_;
+  AttemptFn attempt_;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace tiamat::core

@@ -1,0 +1,90 @@
+// Resource pools / factory objects (§3.1.1).
+//
+// "All resources that an instance wishes to manage (e.g., threads, sockets)
+// are allocated through factory objects controlled by the lease manager."
+// A ResourcePool is a counting factory handing out RAII tokens; the lease
+// manager owns named pools and consults their occupancy when granting.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace tiamat::lease {
+
+class ResourcePool {
+ public:
+  ResourcePool(std::string name, std::size_t capacity)
+      : name_(std::move(name)), capacity_(capacity) {}
+
+  ResourcePool(const ResourcePool&) = delete;
+  ResourcePool& operator=(const ResourcePool&) = delete;
+
+  /// RAII occupancy token. Default-constructed/empty tokens hold nothing.
+  class Token {
+   public:
+    Token() = default;
+    Token(Token&& other) noexcept : pool_(other.pool_) { other.pool_ = nullptr; }
+    Token& operator=(Token&& other) noexcept {
+      if (this != &other) {
+        reset();
+        pool_ = other.pool_;
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Token(const Token&) = delete;
+    Token& operator=(const Token&) = delete;
+    ~Token() { reset(); }
+
+    explicit operator bool() const { return pool_ != nullptr; }
+
+    void reset() {
+      if (pool_ != nullptr) {
+        pool_->release_one();
+        pool_ = nullptr;
+      }
+    }
+
+   private:
+    friend class ResourcePool;
+    explicit Token(ResourcePool* pool) : pool_(pool) {}
+    ResourcePool* pool_ = nullptr;
+  };
+
+  /// Empty token when the pool is exhausted.
+  Token try_acquire() {
+    if (in_use_ >= capacity_) {
+      ++refusals_;
+      return Token{};
+    }
+    ++in_use_;
+    ++grants_;
+    return Token{this};
+  }
+
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t in_use() const { return in_use_; }
+  std::size_t available() const { return capacity_ - in_use_; }
+  std::uint64_t grants() const { return grants_; }
+  std::uint64_t refusals() const { return refusals_; }
+
+  /// Capacity may shrink below in_use; outstanding tokens stay valid and
+  /// new acquisitions fail until occupancy drains.
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+
+ private:
+  void release_one() {
+    if (in_use_ > 0) --in_use_;
+  }
+
+  std::string name_;
+  std::size_t capacity_;
+  std::size_t in_use_ = 0;
+  std::uint64_t grants_ = 0;
+  std::uint64_t refusals_ = 0;
+};
+
+}  // namespace tiamat::lease

@@ -1,0 +1,115 @@
+// Leases: Tiamat's fine-grained resource-management primitive (paper §2.5).
+//
+// Every operation is leased. A lease represents "the effort a Tiamat
+// instance is willing to dedicate to carrying out the operation" and may be
+// bounded in time *or in other measures* — this implementation supports a
+// virtual-time TTL, a remote-contact budget, and a byte budget, any
+// combination. Leases are valid only at the instance that granted them, are
+// best-effort (revocable as a last resort), and expiry allows the leased
+// resource to be reclaimed.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace tiamat::lease {
+
+using LeaseId = std::uint64_t;
+inline constexpr LeaseId kNoLease = 0;
+
+/// The dimensions a lease bounds. An absent field means "unbounded in that
+/// dimension" as far as the *request* goes; the granting policy will usually
+/// clamp it.
+struct LeaseTerms {
+  std::optional<sim::Duration> ttl;                ///< virtual time to live
+  std::optional<std::uint32_t> max_remote_contacts;  ///< instances contacted
+  std::optional<std::uint64_t> max_bytes;          ///< storage/transfer bytes
+
+  bool is_bounded() const {
+    return ttl.has_value() || max_remote_contacts.has_value() ||
+           max_bytes.has_value();
+  }
+
+  std::string to_string() const;
+};
+
+/// Convenience constructors for the common shapes.
+LeaseTerms for_duration(sim::Duration ttl);
+LeaseTerms for_contacts(std::uint32_t n);
+LeaseTerms for_bytes(std::uint64_t n);
+LeaseTerms unbounded();
+
+enum class LeaseState : std::uint8_t {
+  kActive,
+  kExpired,   ///< TTL ran out
+  kRevoked,   ///< instance reclaimed it early (last resort, §2.5)
+  kReleased,  ///< holder finished with it
+};
+
+const char* to_string(LeaseState s);
+
+/// A granted lease. Owned jointly (shared_ptr) by the LeaseManager, which
+/// drives expiry, and the operation holding it, which charges budgets.
+class Lease {
+ public:
+  Lease(LeaseId id, LeaseTerms terms, sim::Time granted_at);
+
+  LeaseId id() const { return id_; }
+  const LeaseTerms& terms() const { return terms_; }
+  sim::Time granted_at() const { return granted_at_; }
+
+  /// Absolute expiry instant, or sim::kNever without a TTL.
+  sim::Time expiry_time() const;
+
+  /// Manager-only: replaces the TTL after a successful renewal.
+  void set_ttl(sim::Duration ttl) { terms_.ttl = ttl; }
+
+  LeaseState state() const { return state_; }
+  bool active() const { return state_ == LeaseState::kActive; }
+
+  // ---- Budget accounting -------------------------------------------------
+
+  /// Charges one remote-instance contact. Returns false — and charges
+  /// nothing — when the lease is not active or the contact budget is spent.
+  bool charge_contact();
+
+  /// Charges `n` bytes against the byte budget, same contract.
+  bool charge_bytes(std::uint64_t n);
+
+  /// True if at least one more remote contact may be charged.
+  bool contacts_remaining() const;
+
+  std::uint32_t contacts_used() const { return contacts_used_; }
+  std::uint64_t bytes_used() const { return bytes_used_; }
+
+  // ---- Lifecycle ----------------------------------------------------------
+
+  /// Registers a callback fired exactly once when the lease stops being
+  /// active for any reason (expiry, revocation or release). Operations use
+  /// this to cancel outstanding work and reclaim resources.
+  void on_end(std::function<void(LeaseState)> fn);
+
+  /// Transitions; each is idempotent and fires the end callbacks once.
+  void expire() { finish(LeaseState::kExpired); }
+  void revoke() { finish(LeaseState::kRevoked); }
+  void release() { finish(LeaseState::kReleased); }
+
+ private:
+  void finish(LeaseState s);
+
+  LeaseId id_;
+  LeaseTerms terms_;
+  sim::Time granted_at_;
+  LeaseState state_ = LeaseState::kActive;
+  std::uint32_t contacts_used_ = 0;
+  std::uint64_t bytes_used_ = 0;
+  std::vector<std::function<void(LeaseState)>> end_callbacks_;
+};
+
+}  // namespace tiamat::lease

@@ -1,0 +1,161 @@
+#include "lease/manager.h"
+
+#include <utility>
+#include <vector>
+
+namespace tiamat::lease {
+
+LeaseManager::LeaseManager(sim::EventQueue& queue,
+                           std::unique_ptr<LeasePolicy> policy)
+    : queue_(queue), policy_(std::move(policy)) {}
+
+LeaseManager::~LeaseManager() {
+  for (auto& [id, entry] : active_) {
+    (void)id;
+    if (entry.expiry_event != sim::kInvalidEvent) {
+      queue_.cancel(entry.expiry_event);
+    }
+  }
+}
+
+std::shared_ptr<Lease> LeaseManager::negotiate(
+    const LeaseRequester& requester) {
+  ResourceUsage usage;
+  if (usage_probe_) usage = usage_probe_();
+  usage.active_leases = active_.size();
+  usage.active_ops = active_.size();
+
+  auto offer = policy_->offer(requester.desired(), usage, queue_.now());
+  if (!offer) {
+    ++stats_.refused_by_policy;
+    return nullptr;
+  }
+  if (!requester.accept(*offer)) {
+    ++stats_.refused_by_requester;
+    return nullptr;
+  }
+
+  LeaseId id = next_id_++;
+  auto lease = std::make_shared<Lease>(id, *offer, queue_.now());
+  Active entry;
+  entry.lease = lease;
+  if (offer->ttl) {
+    entry.expiry_event = queue_.schedule_at(
+        lease->expiry_time(), [this, id] {
+          auto it = active_.find(id);
+          if (it == active_.end()) return;
+          auto l = it->second.lease;
+          it->second.expiry_event = sim::kInvalidEvent;
+          l->expire();  // fires end callbacks; bookkeeping below
+          finish_bookkeeping(id, LeaseState::kExpired);
+        });
+  }
+  // Bookkeeping when the *holder* ends the lease (release) or it is revoked
+  // through the Lease object directly.
+  lease->on_end([this, id](LeaseState state) {
+    if (state != LeaseState::kExpired) finish_bookkeeping(id, state);
+  });
+  active_.emplace(id, std::move(entry));
+  ++stats_.granted;
+  return lease;
+}
+
+void LeaseManager::finish_bookkeeping(LeaseId id, LeaseState state) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return;
+  if (it->second.expiry_event != sim::kInvalidEvent) {
+    queue_.cancel(it->second.expiry_event);
+  }
+  active_.erase(it);
+  switch (state) {
+    case LeaseState::kExpired:
+      ++stats_.expired;
+      break;
+    case LeaseState::kRevoked:
+      ++stats_.revoked;
+      break;
+    case LeaseState::kReleased:
+      ++stats_.released;
+      break;
+    case LeaseState::kActive:
+      break;
+  }
+}
+
+std::optional<sim::Time> LeaseManager::renew(LeaseId id,
+                                             sim::Duration extra) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return std::nullopt;
+  auto lease = it->second.lease;
+  if (!lease->active()) return std::nullopt;
+
+  // Re-negotiate the extension against current conditions.
+  ResourceUsage usage;
+  if (usage_probe_) usage = usage_probe_();
+  usage.active_leases = active_.size();
+  usage.active_ops = active_.size();
+  const sim::Time now = queue_.now();
+  const sim::Duration remaining =
+      lease->expiry_time() == sim::kNever ? 0 : lease->expiry_time() - now;
+  LeaseTerms ask;
+  ask.ttl = (remaining > 0 ? remaining : 0) + extra;
+  auto offer = policy_->offer(ask, usage, now);
+  if (!offer || !offer->ttl) return std::nullopt;
+
+  // Rebase the lease's TTL at `now` and reschedule expiry.
+  const sim::Time new_expiry = now + *offer->ttl;
+  lease->set_ttl(new_expiry - lease->granted_at());
+  if (it->second.expiry_event != sim::kInvalidEvent) {
+    queue_.cancel(it->second.expiry_event);
+  }
+  it->second.expiry_event =
+      queue_.schedule_at(new_expiry, [this, id] {
+        auto it2 = active_.find(id);
+        if (it2 == active_.end()) return;
+        auto l = it2->second.lease;
+        it2->second.expiry_event = sim::kInvalidEvent;
+        l->expire();
+        finish_bookkeeping(id, LeaseState::kExpired);
+      });
+  return new_expiry;
+}
+
+bool LeaseManager::revoke(LeaseId id) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return false;
+  auto lease = it->second.lease;  // keep alive across callbacks
+  lease->revoke();                // triggers finish_bookkeeping via on_end
+  return true;
+}
+
+void LeaseManager::revoke_all() {
+  std::vector<std::shared_ptr<Lease>> leases;
+  leases.reserve(active_.size());
+  for (auto& [id, entry] : active_) {
+    (void)id;
+    leases.push_back(entry.lease);
+  }
+  for (auto& l : leases) l->revoke();
+}
+
+void LeaseManager::set_usage_probe(std::function<ResourceUsage()> probe) {
+  usage_probe_ = std::move(probe);
+}
+
+void LeaseManager::set_policy(std::unique_ptr<LeasePolicy> policy) {
+  policy_ = std::move(policy);
+}
+
+ResourcePool& LeaseManager::pool(const std::string& name,
+                                 std::size_t default_capacity) {
+  auto it = pools_.find(name);
+  if (it == pools_.end()) {
+    it = pools_
+             .emplace(name,
+                      std::make_unique<ResourcePool>(name, default_capacity))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace tiamat::lease

@@ -1,0 +1,98 @@
+// The lease manager: first point of contact for every operation (§3.1,
+// Figure 2). Performs the two-step negotiation with a LeaseRequester,
+// schedules TTL expiry on the simulator clock, tracks active leases, owns
+// named resource pools, and can revoke leases as a last resort.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "lease/factory.h"
+#include "lease/lease.h"
+#include "lease/policy.h"
+#include "lease/requester.h"
+#include "sim/event_queue.h"
+
+namespace tiamat::lease {
+
+class LeaseManager {
+ public:
+  struct Stats {
+    std::uint64_t granted = 0;
+    std::uint64_t refused_by_policy = 0;
+    std::uint64_t refused_by_requester = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t revoked = 0;
+    std::uint64_t released = 0;
+  };
+
+  LeaseManager(sim::EventQueue& queue, std::unique_ptr<LeasePolicy> policy);
+
+  /// Cancels every scheduled expiry event *without* firing lease-end
+  /// callbacks: at destruction time the structures those callbacks touch
+  /// are going away too.
+  ~LeaseManager();
+
+  LeaseManager(const LeaseManager&) = delete;
+  LeaseManager& operator=(const LeaseManager&) = delete;
+
+  /// Two-step negotiation (§3.1.1): the requester's desired terms go to the
+  /// policy; the policy's offer goes back to the requester; acceptance
+  /// produces an active lease with TTL expiry scheduled. Returns nullptr if
+  /// either side refuses — in which case no further work may be performed
+  /// on the operation.
+  std::shared_ptr<Lease> negotiate(const LeaseRequester& requester);
+
+  /// Renewal: extends an active lease's TTL by `extra` (re-negotiated
+  /// against the policy: the instance may grant less than asked, or refuse
+  /// — renewal is a fresh request, not a right). Returns the new expiry
+  /// time, or nullopt if the lease is unknown/inactive or the policy
+  /// refuses. Budgets (contacts/bytes) are unchanged.
+  std::optional<sim::Time> renew(LeaseId id, sim::Duration extra);
+
+  /// Last-resort revocation (§2.5): ends the lease early, firing its end
+  /// callbacks so held resources are reclaimed.
+  bool revoke(LeaseId id);
+
+  /// Revokes every active lease; models a device about to power down.
+  void revoke_all();
+
+  /// The instance installs a probe so policies see live resource usage
+  /// (local space footprint etc.). Ops/lease counts are added by the
+  /// manager itself.
+  void set_usage_probe(std::function<ResourceUsage()> probe);
+
+  void set_policy(std::unique_ptr<LeasePolicy> policy);
+  LeasePolicy& policy() { return *policy_; }
+
+  /// Named counting pools for instance-managed resources (threads, sockets,
+  /// ...). Created on first use with `default_capacity`.
+  ResourcePool& pool(const std::string& name,
+                     std::size_t default_capacity = 16);
+
+  std::size_t active() const { return active_.size(); }
+  const Stats& stats() const { return stats_; }
+  sim::Time now() const { return queue_.now(); }
+
+ private:
+  void finish_bookkeeping(LeaseId id, LeaseState state);
+
+  sim::EventQueue& queue_;
+  std::unique_ptr<LeasePolicy> policy_;
+  std::function<ResourceUsage()> usage_probe_;
+  LeaseId next_id_ = 1;
+
+  struct Active {
+    std::shared_ptr<Lease> lease;
+    sim::EventId expiry_event = sim::kInvalidEvent;
+  };
+  std::unordered_map<LeaseId, Active> active_;
+  std::map<std::string, std::unique_ptr<ResourcePool>> pools_;
+  Stats stats_;
+};
+
+}  // namespace tiamat::lease

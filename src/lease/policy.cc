@@ -1,0 +1,57 @@
+#include "lease/policy.h"
+
+#include <algorithm>
+
+namespace tiamat::lease {
+
+std::optional<LeaseTerms> DefaultLeasePolicy::offer(
+    const LeaseTerms& requested, const ResourceUsage& usage, sim::Time) {
+  // Saturated instances refuse outright.
+  if (usage.stored_bytes >= caps_.max_stored_bytes) return std::nullopt;
+  if (usage.active_ops >= caps_.max_active_ops) return std::nullopt;
+
+  // Pressure factor in (0, 1]: offers shrink as storage fills past the
+  // threshold, hitting ~0 at saturation.
+  double factor = 1.0;
+  const double used =
+      static_cast<double>(usage.stored_bytes) / caps_.max_stored_bytes;
+  if (used > caps_.pressure_threshold) {
+    factor = std::max(
+        0.05, 1.0 - (used - caps_.pressure_threshold) /
+                        (1.0 - caps_.pressure_threshold));
+  }
+
+  auto scale_dur = [factor](sim::Duration d) {
+    return static_cast<sim::Duration>(static_cast<double>(d) * factor);
+  };
+
+  LeaseTerms granted;
+  {
+    sim::Duration want = requested.ttl.value_or(caps_.default_ttl);
+    granted.ttl = std::min(scale_dur(want), caps_.max_ttl);
+  }
+  {
+    std::uint32_t want =
+        requested.max_remote_contacts.value_or(caps_.default_contacts);
+    std::uint32_t scaled = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(want * factor));
+    granted.max_remote_contacts = std::min(scaled, caps_.max_contacts);
+  }
+  {
+    std::uint64_t want = requested.max_bytes.value_or(caps_.default_bytes);
+    std::uint64_t scaled = std::max<std::uint64_t>(
+        16, static_cast<std::uint64_t>(static_cast<double>(want) * factor));
+    granted.max_bytes = std::min(scaled, caps_.max_bytes);
+  }
+  return granted;
+}
+
+std::unique_ptr<LeasePolicy> default_policy() {
+  return std::make_unique<DefaultLeasePolicy>();
+}
+
+std::unique_ptr<LeasePolicy> default_policy(DefaultLeasePolicy::Caps caps) {
+  return std::make_unique<DefaultLeasePolicy>(caps);
+}
+
+}  // namespace tiamat::lease

@@ -1,0 +1,101 @@
+// Lease-granting policies.
+//
+// "The final decision as to what lease is actually granted, or if a lease is
+// granted at all, is made by the Tiamat instance" (§2.5). A policy inspects
+// the requested terms and the instance's current resource usage and returns
+// the offer the instance is willing to make, or refuses.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "lease/lease.h"
+
+namespace tiamat::lease {
+
+/// Snapshot of the granting instance's resource situation, provided by the
+/// instance via a probe callback (see LeaseManager::set_usage_probe).
+struct ResourceUsage {
+  std::size_t stored_bytes = 0;   ///< local tuple-space footprint
+  std::size_t stored_tuples = 0;
+  std::size_t active_ops = 0;     ///< operations currently holding leases
+  std::size_t active_leases = 0;
+};
+
+class LeasePolicy {
+ public:
+  virtual ~LeasePolicy() = default;
+
+  /// The terms this instance offers for `requested` given `usage`, or
+  /// nullopt to refuse outright.
+  virtual std::optional<LeaseTerms> offer(const LeaseTerms& requested,
+                                          const ResourceUsage& usage,
+                                          sim::Time now) = 0;
+};
+
+/// The stock policy: clamps requests to per-dimension caps, substitutes
+/// defaults for unbounded requests (every grant is bounded — the point of
+/// the leasing model), shrinks offers as local storage fills, and refuses
+/// when the instance is saturated. Suitable for the "resource-limited PDA"
+/// end of the device spectrum with small caps, or a workstation with large
+/// ones.
+class DefaultLeasePolicy final : public LeasePolicy {
+ public:
+  struct Caps {
+    sim::Duration max_ttl = sim::seconds(60);
+    sim::Duration default_ttl = sim::seconds(10);
+    std::uint32_t max_contacts = 32;
+    std::uint32_t default_contacts = 8;
+    std::uint64_t max_bytes = 1 << 20;      // 1 MiB per lease
+    std::uint64_t default_bytes = 64 << 10; // 64 KiB per lease
+
+    /// Saturation limits: refuse new leases beyond these.
+    std::size_t max_stored_bytes = 8 << 20;
+    std::size_t max_active_ops = 256;
+
+    /// Offers shrink linearly once storage passes this fraction of
+    /// max_stored_bytes (models "leases represent the effort the instance
+    /// is willing to dedicate").
+    double pressure_threshold = 0.5;
+  };
+
+  DefaultLeasePolicy() = default;
+  explicit DefaultLeasePolicy(Caps caps) : caps_(caps) {}
+
+  std::optional<LeaseTerms> offer(const LeaseTerms& requested,
+                                  const ResourceUsage& usage,
+                                  sim::Time now) override;
+
+  const Caps& caps() const { return caps_; }
+  void set_caps(Caps caps) { caps_ = caps; }
+
+ private:
+  Caps caps_;
+};
+
+/// Grants exactly what is asked (still bounded by nothing); for tests and
+/// for modelling resource-rich fixed nodes.
+class AcceptAllPolicy final : public LeasePolicy {
+ public:
+  std::optional<LeaseTerms> offer(const LeaseTerms& requested,
+                                  const ResourceUsage&, sim::Time) override {
+    return requested;
+  }
+};
+
+/// Refuses everything; models a device that is out of resources (and drives
+/// the Figure-2 "lease refused => no further work" path).
+class DenyAllPolicy final : public LeasePolicy {
+ public:
+  std::optional<LeaseTerms> offer(const LeaseTerms&, const ResourceUsage&,
+                                  sim::Time) override {
+    return std::nullopt;
+  }
+};
+
+std::unique_ptr<LeasePolicy> default_policy();
+std::unique_ptr<LeasePolicy> default_policy(DefaultLeasePolicy::Caps caps);
+
+}  // namespace tiamat::lease

@@ -1,0 +1,28 @@
+#include "lease/requester.h"
+
+namespace tiamat::lease {
+
+bool StrictRequester::accept(const LeaseTerms& offer) const {
+  if (desired_.ttl) {
+    const double want = static_cast<double>(*desired_.ttl);
+    const double got =
+        offer.ttl ? static_cast<double>(*offer.ttl) : want;  // no TTL: fine
+    if (got < want * min_fraction_) return false;
+  }
+  if (desired_.max_remote_contacts) {
+    const double want = *desired_.max_remote_contacts;
+    const double got = offer.max_remote_contacts
+                           ? static_cast<double>(*offer.max_remote_contacts)
+                           : want;
+    if (got < want * min_fraction_) return false;
+  }
+  if (desired_.max_bytes) {
+    const double want = static_cast<double>(*desired_.max_bytes);
+    const double got =
+        offer.max_bytes ? static_cast<double>(*offer.max_bytes) : want;
+    if (got < want * min_fraction_) return false;
+  }
+  return true;
+}
+
+}  // namespace tiamat::lease

@@ -1,0 +1,57 @@
+// Lease requesters: the application side of lease negotiation (§3.1.1).
+//
+// "The leasing of operations is performed by applications passing lease
+// requester objects to the system along with their tuples. ... Firstly, a
+// lease requester makes a request to the lease manager. The lease manager
+// then informs the lease requester of what lease it is willing to offer. If
+// the lease requester refuses this lease, then the operation fails."
+
+#pragma once
+
+#include "lease/lease.h"
+
+namespace tiamat::lease {
+
+class LeaseRequester {
+ public:
+  virtual ~LeaseRequester() = default;
+
+  /// The terms the application would like.
+  virtual LeaseTerms desired() const = 0;
+
+  /// Second negotiation step: inspect the instance's offer and accept or
+  /// refuse it (refusal fails the operation).
+  virtual bool accept(const LeaseTerms& offer) const = 0;
+};
+
+/// Takes whatever the instance offers. The right default for best-effort
+/// pervasive applications.
+class FlexibleRequester final : public LeaseRequester {
+ public:
+  FlexibleRequester() = default;
+  explicit FlexibleRequester(LeaseTerms desired) : desired_(std::move(desired)) {}
+
+  LeaseTerms desired() const override { return desired_; }
+  bool accept(const LeaseTerms&) const override { return true; }
+
+ private:
+  LeaseTerms desired_;
+};
+
+/// Refuses offers that fall below a fraction of what was requested in any
+/// requested dimension — an application that would rather fail fast than
+/// run with too little budget.
+class StrictRequester final : public LeaseRequester {
+ public:
+  StrictRequester(LeaseTerms desired, double min_fraction = 1.0)
+      : desired_(std::move(desired)), min_fraction_(min_fraction) {}
+
+  LeaseTerms desired() const override { return desired_; }
+  bool accept(const LeaseTerms& offer) const override;
+
+ private:
+  LeaseTerms desired_;
+  double min_fraction_;
+};
+
+}  // namespace tiamat::lease

@@ -1,0 +1,68 @@
+#include "net/discovery.h"
+
+namespace tiamat::net {
+
+Discovery::Discovery(Endpoint& endpoint, sim::EventQueue& queue,
+                     ResponderCache& cache)
+    : endpoint_(endpoint), queue_(queue), cache_(cache) {
+  endpoint_.on(kProbeReply, [this](sim::NodeId from, const Message& m) {
+    ++stats_.replies_received;
+    if (!probe_open_ || m.op_id != probe_id_) return;  // stale reply
+    if (!cache_.contains(from)) {
+      cache_.add(from);  // "added to the bottom of the list"
+      ++new_in_window_;
+    }
+  });
+}
+
+Discovery::~Discovery() {
+  if (window_event_ != sim::kInvalidEvent) queue_.cancel(window_event_);
+}
+
+void Discovery::enable_responder(std::function<bool()> available) {
+  endpoint_.join_group(kDiscoveryGroup);
+  endpoint_.on(kProbe, [this, available = std::move(available)](
+                           sim::NodeId from, const Message& m) {
+    if (available && !available()) return;
+    Message reply;
+    reply.type = kProbeReply;
+    reply.op_id = m.op_id;
+    reply.origin = endpoint_.node();
+    ++stats_.replies_sent;
+    endpoint_.send(from, reply);
+  });
+}
+
+void Discovery::probe(sim::Duration window,
+                      std::function<void(std::size_t)> done) {
+  waiting_.push_back(std::move(done));
+  if (probe_open_) return;  // share the in-flight probe
+
+  probe_open_ = true;
+  ++probe_id_;
+  new_in_window_ = 0;
+  ++stats_.probes_sent;
+
+  Message m;
+  m.type = kProbe;
+  m.op_id = probe_id_;
+  m.origin = endpoint_.node();
+  endpoint_.multicast(kDiscoveryGroup, m);
+
+  window_event_ = queue_.schedule_after(window, [this] {
+    window_event_ = sim::kInvalidEvent;
+    finish_probe();
+  });
+}
+
+void Discovery::finish_probe() {
+  probe_open_ = false;
+  auto waiting = std::move(waiting_);
+  waiting_.clear();
+  const std::size_t found = new_in_window_;
+  for (auto& cb : waiting) {
+    if (cb) cb(found);
+  }
+}
+
+}  // namespace tiamat::net

@@ -1,0 +1,65 @@
+// Multicast discovery (§3.1.3).
+//
+// "Normally, when an operation is performed the Tiamat instance involved
+// sends out a multicast packet. Other instances which receive this packet
+// respond, informing the sender of the address and port number on which they
+// should be contacted."
+//
+// A probe is a multicast on the discovery group; visible instances reply
+// with a unicast kProbeReply. Replies arriving within the probe window are
+// appended to the responder cache (at the bottom, per the paper's list
+// discipline) and the completion callback reports how many were new.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/endpoint.h"
+#include "net/responder_cache.h"
+#include "sim/event_queue.h"
+
+namespace tiamat::net {
+
+/// Well-known multicast group all Tiamat instances join.
+inline constexpr sim::GroupId kDiscoveryGroup = 1;
+
+class Discovery {
+ public:
+  struct Stats {
+    std::uint64_t probes_sent = 0;
+    std::uint64_t replies_sent = 0;
+    std::uint64_t replies_received = 0;
+  };
+
+  Discovery(Endpoint& endpoint, sim::EventQueue& queue, ResponderCache& cache);
+  ~Discovery();
+
+  /// Joins the discovery group and starts answering probes. `available`
+  /// lets the instance decline (e.g. lease policy refusing all work).
+  void enable_responder(std::function<bool()> available = nullptr);
+
+  /// Sends one probe; after `window`, calls `done(new_responders)`.
+  /// Concurrent probes coalesce: callers during an open window share it.
+  void probe(sim::Duration window, std::function<void(std::size_t)> done);
+
+  bool probing() const { return probe_open_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void finish_probe();
+
+  Endpoint& endpoint_;
+  sim::EventQueue& queue_;
+  ResponderCache& cache_;
+  Stats stats_;
+
+  bool probe_open_ = false;
+  sim::EventId window_event_ = sim::kInvalidEvent;
+  std::uint64_t probe_id_ = 0;
+  std::size_t new_in_window_ = 0;
+  std::vector<std::function<void(std::size_t)>> waiting_;
+};
+
+}  // namespace tiamat::net

@@ -1,0 +1,57 @@
+#include "net/endpoint.h"
+
+namespace tiamat::net {
+
+Endpoint::Endpoint(sim::Network& net, sim::NodeId node)
+    : net_(net), node_(node) {
+  net_.bind(node_, [this](sim::NodeId from, const sim::Payload& bytes) {
+    deliver(from, bytes);
+  });
+}
+
+Endpoint::~Endpoint() {
+  if (net_.node_exists(node_)) net_.bind(node_, nullptr);
+}
+
+void Endpoint::on(std::uint16_t type, Handler handler) {
+  handlers_[type] = std::move(handler);
+}
+
+void Endpoint::set_default_handler(Handler handler) {
+  default_handler_ = std::move(handler);
+}
+
+void Endpoint::send(sim::NodeId to, const Message& m) {
+  ++stats_.sent;
+  net_.send(node_, to, encode_message(m));
+}
+
+void Endpoint::multicast(sim::GroupId group, const Message& m) {
+  ++stats_.multicast;
+  net_.multicast(node_, group, encode_message(m));
+}
+
+void Endpoint::join_group(sim::GroupId group) { net_.join_group(node_, group); }
+
+void Endpoint::leave_group(sim::GroupId group) {
+  net_.leave_group(node_, group);
+}
+
+void Endpoint::deliver(sim::NodeId from, const sim::Payload& bytes) {
+  auto m = decode_message(bytes);
+  if (!m) {
+    ++stats_.decode_failures;
+    return;
+  }
+  ++stats_.received;
+  auto it = handlers_.find(m->type);
+  if (it != handlers_.end()) {
+    it->second(from, *m);
+  } else if (default_handler_) {
+    default_handler_(from, *m);
+  } else {
+    ++stats_.unhandled;
+  }
+}
+
+}  // namespace tiamat::net

@@ -1,0 +1,63 @@
+// Endpoint: a node's attachment to the simulated network, with typed
+// message dispatch. Encoding/decoding happens here, so everything above it
+// deals in Message values and everything below in raw bytes.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/message.h"
+#include "sim/network.h"
+
+namespace tiamat::net {
+
+class Endpoint {
+ public:
+  using Handler = std::function<void(sim::NodeId from, const Message&)>;
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t multicast = 0;
+    std::uint64_t received = 0;
+    std::uint64_t decode_failures = 0;
+    std::uint64_t unhandled = 0;
+  };
+
+  Endpoint(sim::Network& net, sim::NodeId node);
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  ~Endpoint();
+
+  sim::NodeId node() const { return node_; }
+  sim::Network& network() { return net_; }
+
+  /// Registers the handler for one message type (replacing any previous).
+  void on(std::uint16_t type, Handler handler);
+
+  /// Fallback for types with no specific handler.
+  void set_default_handler(Handler handler);
+
+  void send(sim::NodeId to, const Message& m);
+  void multicast(sim::GroupId group, const Message& m);
+
+  void join_group(sim::GroupId group);
+  void leave_group(sim::GroupId group);
+
+  const Stats& stats() const { return stats_; }
+  sim::Time now() const { return net_.now(); }
+
+ private:
+  void deliver(sim::NodeId from, const sim::Payload& bytes);
+
+  sim::Network& net_;
+  sim::NodeId node_;
+  std::unordered_map<std::uint16_t, Handler> handlers_;
+  Handler default_handler_;
+  Stats stats_;
+};
+
+}  // namespace tiamat::net

@@ -1,0 +1,79 @@
+// Wire message envelope shared by Tiamat and the baseline protocols.
+//
+// Every protocol in this repository speaks Messages serialized through the
+// tuple codec, so traffic accounting (bytes, packet counts) is uniform and
+// honest across the compared systems.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tuple/codec.h"
+#include "tuple/pattern.h"
+#include "tuple/tuple.h"
+
+namespace tiamat::net {
+
+/// Message type codes. Tiamat proper uses 1..99; each baseline protocol has
+/// its own hundred-block so a stray cross-protocol packet is detectable.
+enum MsgType : std::uint16_t {
+  kInvalid = 0,
+
+  // Discovery (§3.1.3)
+  kProbe = 1,       ///< multicast "who is visible?"
+  kProbeReply = 2,  ///< unicast "I am, contact me here"
+
+  // Logical-space operation propagation (§2.2, §3.1.3)
+  kOpRequest = 10,   ///< propagate rd/rdp/in/inp to a remote instance
+  kOpResponse = 11,  ///< match found (tuple attached) or not
+  kConfirm = 12,     ///< winner: make the tentative removal permanent
+  kRelease = 13,     ///< loser: put the tentative tuple back
+  kCancelOp = 14,    ///< originator's lease ended; drop remote waiters
+  kConfirmAck = 15,  ///< serving side acknowledges a Confirm
+
+  // Direct remote operations (§2.4)
+  kRemoteOut = 20,  ///< out directed at a specific space
+  kRemoteOutAck = 21,
+  kRemoteEval = 22,  ///< eval (named computation) at a specific space
+  kRemoteEvalAck = 23,
+
+  // Baseline protocol blocks.
+  kCentralBase = 100,
+  kLimboBase = 200,
+  kLimeBase = 300,
+  kCoreLimeBase = 400,
+  kPeersBase = 500,
+};
+
+/// Generic envelope: a type code, a correlation id, the logical originator,
+/// typed scalar headers, and optional tuple/pattern payloads.
+struct Message {
+  std::uint16_t type = kInvalid;
+  std::uint64_t op_id = 0;
+  std::uint32_t origin = 0;  ///< logical source (survives multi-hop relays)
+  std::vector<tuples::Value> headers;
+  std::optional<tuples::Tuple> tuple;
+  std::optional<tuples::Pattern> pattern;
+
+  // ---- header conveniences ----
+  Message& h(tuples::Value v) {
+    headers.push_back(std::move(v));
+    return *this;
+  }
+  std::int64_t hint(std::size_t i) const { return headers.at(i).as_int(); }
+  const std::string& hstr(std::size_t i) const {
+    return headers.at(i).as_string();
+  }
+  bool hbool(std::size_t i) const { return headers.at(i).as_bool(); }
+  double hdouble(std::size_t i) const { return headers.at(i).as_double(); }
+
+  std::string to_string() const;
+};
+
+tuples::Bytes encode_message(const Message& m);
+std::optional<Message> decode_message(const tuples::Bytes& b);
+
+}  // namespace tiamat::net

@@ -1,0 +1,53 @@
+#include "net/responder_cache.h"
+
+#include <algorithm>
+
+namespace tiamat::net {
+
+void ResponderCache::add(sim::NodeId id) {
+  if (!contains(id)) list_.push_back(id);
+}
+
+void ResponderCache::remove(sim::NodeId id) {
+  list_.erase(std::remove(list_.begin(), list_.end(), id), list_.end());
+}
+
+bool ResponderCache::contains(sim::NodeId id) const {
+  return std::find(list_.begin(), list_.end(), id) != list_.end();
+}
+
+std::vector<sim::NodeId> ResponderCache::contact_order() const {
+  std::vector<sim::NodeId> order = list_;
+  if (ordering_ == Ordering::kByStability) {
+    std::vector<std::size_t> pos(order.size());
+    std::unordered_map<sim::NodeId, std::size_t> at;
+    for (std::size_t i = 0; i < order.size(); ++i) at[order[i]] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [this, &at](sim::NodeId a, sim::NodeId b) {
+                       double ra = response_rate(a);
+                       double rb = response_rate(b);
+                       if (ra != rb) return ra > rb;
+                       return at.at(a) < at.at(b);
+                     });
+  }
+  return order;
+}
+
+void ResponderCache::record_success(sim::NodeId id) {
+  ++history_[id].successes;
+}
+
+void ResponderCache::record_failure(sim::NodeId id) {
+  ++history_[id].failures;
+}
+
+double ResponderCache::response_rate(sim::NodeId id) const {
+  auto it = history_.find(id);
+  if (it == history_.end()) return 0.5;  // unknown peers rank mid-table
+  const auto& h = it->second;
+  const std::uint64_t total = h.successes + h.failures;
+  if (total == 0) return 0.5;
+  return static_cast<double>(h.successes) / static_cast<double>(total);
+}
+
+}  // namespace tiamat::net

@@ -1,0 +1,52 @@
+#include "net/rpc.h"
+
+namespace tiamat::net {
+
+Correlator::~Correlator() {
+  for (auto& [id, open] : open_) {
+    (void)id;
+    if (open.deadline_event != sim::kInvalidEvent) {
+      queue_.cancel(open.deadline_event);
+    }
+  }
+}
+
+void Correlator::expect(std::uint64_t op_id, OnMessage on_message,
+                        sim::Time deadline, OnDeadline on_deadline) {
+  Open open;
+  open.on_message = std::move(on_message);
+  open.on_deadline = std::move(on_deadline);
+  if (deadline != sim::kNever) {
+    open.deadline_event = queue_.schedule_at(deadline, [this, op_id] {
+      auto it = open_.find(op_id);
+      if (it == open_.end()) return;
+      Open o = std::move(it->second);
+      open_.erase(it);
+      if (o.on_deadline) o.on_deadline();
+    });
+  }
+  open_[op_id] = std::move(open);
+}
+
+bool Correlator::route(sim::NodeId from, const Message& m) {
+  auto it = open_.find(m.op_id);
+  if (it == open_.end()) return false;
+  // Copy the handler out: it may register new exchanges (rehashing the map)
+  // or finish this one while running.
+  OnMessage handler = it->second.on_message;
+  bool keep = handler(from, m);
+  if (!keep) finish(m.op_id);
+  return true;
+}
+
+bool Correlator::finish(std::uint64_t op_id) {
+  auto it = open_.find(op_id);
+  if (it == open_.end()) return false;
+  if (it->second.deadline_event != sim::kInvalidEvent) {
+    queue_.cancel(it->second.deadline_event);
+  }
+  open_.erase(it);
+  return true;
+}
+
+}  // namespace tiamat::net

@@ -1,0 +1,63 @@
+// Correlation of multi-party exchanges.
+//
+// Tiamat's operation propagation is not simple request/response: one op id
+// fans out to many responders, responses dribble in, and the exchange ends
+// on first-match, lease expiry, or cancellation. The Correlator owns op-id
+// allocation, per-op routing, and the deadline timer; protocol code supplies
+// the policy.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/message.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+
+namespace tiamat::net {
+
+class Correlator {
+ public:
+  /// Called for every message routed to the op. Return false to finish the
+  /// exchange (deadline timer cancelled, state dropped).
+  using OnMessage = std::function<bool(sim::NodeId from, const Message&)>;
+  using OnDeadline = std::function<void()>;
+
+  explicit Correlator(sim::EventQueue& queue) : queue_(queue) {}
+  ~Correlator();
+
+  Correlator(const Correlator&) = delete;
+  Correlator& operator=(const Correlator&) = delete;
+
+  std::uint64_t next_op_id() { return next_id_++; }
+
+  /// Registers an exchange. `deadline` == sim::kNever disables the timer.
+  void expect(std::uint64_t op_id, OnMessage on_message,
+              sim::Time deadline = sim::kNever,
+              OnDeadline on_deadline = nullptr);
+
+  /// Routes an incoming message by op id. Returns false when no exchange is
+  /// waiting for it (stale response — common and harmless after expiry).
+  bool route(sim::NodeId from, const Message& m);
+
+  /// Ends an exchange early (lease released / cancelled).
+  bool finish(std::uint64_t op_id);
+
+  bool active(std::uint64_t op_id) const { return open_.count(op_id) != 0; }
+  std::size_t open_count() const { return open_.size(); }
+
+ private:
+  struct Open {
+    OnMessage on_message;
+    OnDeadline on_deadline;
+    sim::EventId deadline_event = sim::kInvalidEvent;
+  };
+
+  sim::EventQueue& queue_;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, Open> open_;
+};
+
+}  // namespace tiamat::net

@@ -1,0 +1,33 @@
+// Virtual-time primitives for the deterministic discrete-event simulator.
+//
+// All of Tiamat and every baseline protocol in this repository runs against
+// simulated time, never the wall clock: a run is a pure function of its
+// configuration and RNG seed, which is what makes the churn/mobility
+// experiments reproducible.
+
+#pragma once
+
+#include <cstdint>
+
+namespace tiamat::sim {
+
+/// A point in virtual time, in microseconds since the start of the run.
+using Time = std::int64_t;
+
+/// A span of virtual time, in microseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+
+/// Sentinel used for "no deadline" / "never expires".
+inline constexpr Time kNever = INT64_MAX;
+
+constexpr Duration milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr Duration seconds(std::int64_t n) { return n * kSecond; }
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+}  // namespace tiamat::sim

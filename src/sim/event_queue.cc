@@ -1,0 +1,70 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace tiamat::sim {
+
+EventId EventQueue::schedule_at(Time when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::move(fn)});
+  pending_ids_.insert(id);
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (pending_ids_.erase(id) == 0) return false;  // fired, cancelled, bogus
+  --live_;
+  return true;
+}
+
+bool EventQueue::pop_one(Entry& out) {
+  while (!heap_.empty()) {
+    // priority_queue::top returns const&; we need to move the callback out.
+    Entry& top = const_cast<Entry&>(heap_.top());
+    Entry e{top.when, top.id, std::move(top.fn)};
+    heap_.pop();
+    if (pending_ids_.erase(e.id) == 0) continue;  // cancelled tombstone
+    out = std::move(e);
+    return true;
+  }
+  return false;
+}
+
+bool EventQueue::step() {
+  Entry e;
+  if (!pop_one(e)) return false;
+  now_ = e.when;
+  --live_;
+  e.fn();
+  return true;
+}
+
+std::size_t EventQueue::run_until_idle() {
+  std::size_t fired = 0;
+  while (step()) ++fired;
+  return fired;
+}
+
+std::size_t EventQueue::run_until(Time deadline) {
+  std::size_t fired = 0;
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    if (pending_ids_.count(top.id) == 0) {  // cancelled tombstone
+      heap_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    Entry e;
+    if (!pop_one(e)) break;
+    now_ = e.when;
+    --live_;
+    e.fn();
+    ++fired;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return fired;
+}
+
+}  // namespace tiamat::sim

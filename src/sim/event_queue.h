@@ -1,0 +1,98 @@
+// Deterministic discrete-event queue.
+//
+// Events scheduled for the same instant fire in scheduling order (a strictly
+// increasing sequence number breaks ties), so a run never depends on
+// container iteration order or any other incidental source of
+// nondeterminism.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace tiamat::sim {
+
+/// Identifies a scheduled event so it can be cancelled before it fires.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Priority queue of timed callbacks over virtual time.
+///
+/// The queue is the single driver of a simulation: everything that "takes
+/// time" (message latency, lease expiry, compute delays, mobility ticks) is
+/// an event. `run_until_idle` therefore terminates exactly when the modelled
+/// system has quiesced.
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Current virtual time. Starts at 0.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (>= now) and returns a
+  /// handle usable with `cancel`. Scheduling in the past clamps to `now`.
+  EventId schedule_at(Time when, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` from now.
+  EventId schedule_after(Duration delay, std::function<void()> fn) {
+    return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns false if it already fired, was already
+  /// cancelled, or never existed. Cancellation is O(1); the tombstone is
+  /// discarded when the event surfaces.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue is empty. Returns the number fired.
+  std::size_t run_until_idle();
+
+  /// Runs events with firing time <= `deadline`, then advances the clock to
+  /// `deadline` (even if the queue emptied earlier). Returns events fired.
+  std::size_t run_until(Time deadline);
+
+  /// Runs events for `d` of virtual time from now.
+  std::size_t run_for(Duration d) { return run_until(now_ + d); }
+
+  /// Fires the single earliest pending event, if any. Returns whether an
+  /// event fired. Cancelled tombstones are skipped transparently.
+  bool step();
+
+  /// Number of live (non-cancelled) pending events.
+  std::size_t pending() const { return live_; }
+
+  bool idle() const { return live_ == 0; }
+
+ private:
+  struct Entry {
+    Time when;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // ids are monotone, so earlier-scheduled wins
+    }
+  };
+
+  bool pop_one(Entry& out);
+
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Ids of scheduled-but-not-yet-fired events; an id absent from this set is
+  // either fired or cancelled. Entries for cancelled ids are discarded when
+  // they surface from the heap.
+  std::unordered_set<EventId> pending_ids_;
+};
+
+}  // namespace tiamat::sim

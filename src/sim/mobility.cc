@@ -1,0 +1,125 @@
+#include "sim/mobility.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tiamat::sim {
+
+RandomWaypoint::RandomWaypoint(Network& net, Rng& rng, Params params)
+    : net_(net), rng_(rng), params_(params) {}
+
+void RandomWaypoint::add(NodeId node) {
+  State s;
+  pick_target(node, s);
+  states_[node] = s;
+}
+
+void RandomWaypoint::remove(NodeId node) { states_.erase(node); }
+
+void RandomWaypoint::pick_target(NodeId, State& s) {
+  s.target = Position{rng_.real(0.0, params_.arena_w),
+                      rng_.real(0.0, params_.arena_h)};
+  s.speed = rng_.real(params_.min_speed, params_.max_speed);
+}
+
+void RandomWaypoint::start() {
+  if (running_) return;
+  running_ = true;
+  tick_event_ =
+      net_.queue().schedule_after(params_.tick, [this] { tick(); });
+}
+
+void RandomWaypoint::stop() {
+  running_ = false;
+  if (tick_event_ != kInvalidEvent) {
+    net_.queue().cancel(tick_event_);
+    tick_event_ = kInvalidEvent;
+  }
+}
+
+void RandomWaypoint::tick() {
+  if (!running_) return;
+  const Time now = net_.now();
+  const double dt = to_seconds(params_.tick);
+  // Iterate in node-id order for determinism.
+  std::vector<NodeId> ids;
+  ids.reserve(states_.size());
+  for (const auto& [id, s] : states_) {
+    (void)s;
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (NodeId id : ids) {
+    if (!net_.node_exists(id)) {
+      states_.erase(id);
+      continue;
+    }
+    State& s = states_[id];
+    if (now < s.pause_until) continue;
+    Position p = net_.position(id);
+    const double dx = s.target.x - p.x;
+    const double dy = s.target.y - p.y;
+    const double dist = std::sqrt(dx * dx + dy * dy);
+    const double step = s.speed * dt;
+    if (dist <= step) {
+      net_.set_position(id, s.target);
+      s.pause_until = now + params_.pause;
+      pick_target(id, s);
+    } else {
+      net_.set_position(id, Position{p.x + dx / dist * step,
+                                     p.y + dy / dist * step});
+    }
+  }
+  tick_event_ =
+      net_.queue().schedule_after(params_.tick, [this] { tick(); });
+}
+
+ChurnProcess::ChurnProcess(Network& net, Rng& rng, Params params)
+    : net_(net), rng_(rng), params_(params) {}
+
+void ChurnProcess::manage(NodeId node) { managed_.push_back(node); }
+
+void ChurnProcess::start() {
+  if (running_) return;
+  running_ = true;
+  tick_event_ =
+      net_.queue().schedule_after(params_.interval, [this] { tick(); });
+}
+
+void ChurnProcess::stop() {
+  running_ = false;
+  if (tick_event_ != kInvalidEvent) {
+    net_.queue().cancel(tick_event_);
+    tick_event_ = kInvalidEvent;
+  }
+}
+
+void ChurnProcess::tick() {
+  if (!running_) return;
+  if (!managed_.empty()) {
+    NodeId victim = managed_[rng_.index(managed_.size())];
+    if (net_.node_exists(victim)) {
+      const bool is_online = net_.online(victim);
+      std::size_t online_count = 0;
+      for (NodeId n : managed_) {
+        if (net_.node_exists(n) && net_.online(n)) ++online_count;
+      }
+      if (is_online) {
+        if (online_count > params_.min_online &&
+            rng_.chance(params_.leave_probability)) {
+          net_.set_online(victim, false);
+          ++transitions_;
+          if (on_toggle) on_toggle(victim, false);
+        }
+      } else {
+        net_.set_online(victim, true);
+        ++transitions_;
+        if (on_toggle) on_toggle(victim, true);
+      }
+    }
+  }
+  tick_event_ =
+      net_.queue().schedule_after(params_.interval, [this] { tick(); });
+}
+
+}  // namespace tiamat::sim

@@ -1,0 +1,96 @@
+// Mobility models that drive node positions (and hence visibility) over
+// virtual time. Used by the churn and scalability experiments (E4, E8).
+
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace tiamat::sim {
+
+/// Classic random-waypoint mobility inside a rectangular arena: each node
+/// picks a uniform destination, moves toward it at a uniform speed, pauses,
+/// and repeats. Positions are updated on a fixed tick.
+struct RandomWaypointParams {
+  double arena_w = 500.0;
+  double arena_h = 500.0;
+  double min_speed = 1.0;   ///< units per second
+  double max_speed = 10.0;  ///< units per second
+  Duration pause = seconds(1);
+  Duration tick = milliseconds(100);
+};
+
+class RandomWaypoint {
+ public:
+  using Params = RandomWaypointParams;
+
+  RandomWaypoint(Network& net, Rng& rng, Params params = {});
+
+  /// Starts moving `node`; its current network position is the origin.
+  void add(NodeId node);
+  void remove(NodeId node);
+
+  /// Begins (or restarts) the periodic tick. `stop` halts it.
+  void start();
+  void stop();
+
+  const Params& params() const { return params_; }
+
+ private:
+  struct State {
+    Position target;
+    double speed = 0.0;        // units per second
+    Time pause_until = 0;
+  };
+
+  void tick();
+  void pick_target(NodeId id, State& s);
+
+  Network& net_;
+  Rng& rng_;
+  Params params_;
+  std::unordered_map<NodeId, State> states_;
+  EventId tick_event_ = kInvalidEvent;
+  bool running_ = false;
+};
+
+/// Membership churn: periodically toggles random nodes offline/online.
+/// Models devices sleeping, dying, or roaming out of the environment
+/// entirely — the paper's "devices come and go frequently".
+struct ChurnParams {
+  Duration interval = milliseconds(500);  ///< how often to act
+  double leave_probability = 0.5;         ///< else a downed node rejoins
+  std::size_t min_online = 1;             ///< never sink below this
+};
+
+class ChurnProcess {
+ public:
+  using Params = ChurnParams;
+
+  ChurnProcess(Network& net, Rng& rng, Params params = {});
+
+  void manage(NodeId node);
+  void start();
+  void stop();
+
+  std::uint64_t transitions() const { return transitions_; }
+
+  /// Invoked with (node, now_online) on every toggle.
+  std::function<void(NodeId, bool)> on_toggle;
+
+ private:
+  void tick();
+
+  Network& net_;
+  Rng& rng_;
+  Params params_;
+  std::vector<NodeId> managed_;
+  EventId tick_event_ = kInvalidEvent;
+  bool running_ = false;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace tiamat::sim

@@ -1,0 +1,155 @@
+#include "sim/network.h"
+
+#include <cmath>
+#include <utility>
+
+namespace tiamat::sim {
+
+double distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Network::Network(EventQueue& queue, Rng& rng, LinkModel model)
+    : queue_(queue), rng_(rng), model_(model) {}
+
+NodeId Network::add_node(Position pos) {
+  NodeId id = next_id_++;
+  nodes_[id].pos = pos;
+  return id;
+}
+
+void Network::remove_node(NodeId id) { nodes_.erase(id); }
+
+void Network::set_online(NodeId id, bool online) {
+  auto it = nodes_.find(id);
+  if (it != nodes_.end()) it->second.online = online;
+}
+
+bool Network::online(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it != nodes_.end() && it->second.online;
+}
+
+void Network::set_position(NodeId id, Position pos) {
+  auto it = nodes_.find(id);
+  if (it != nodes_.end()) it->second.pos = pos;
+}
+
+Position Network::position(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? Position{} : it->second.pos;
+}
+
+std::uint64_t Network::link_key(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+void Network::set_link(NodeId a, NodeId b, bool up) {
+  overrides_[link_key(a, b)] = up;
+}
+
+void Network::clear_link_override(NodeId a, NodeId b) {
+  overrides_.erase(link_key(a, b));
+}
+
+bool Network::visible(NodeId a, NodeId b) const {
+  if (a == b) return node_exists(a) && online(a);
+  auto ia = nodes_.find(a);
+  auto ib = nodes_.find(b);
+  if (ia == nodes_.end() || ib == nodes_.end()) return false;
+  if (!ia->second.online || !ib->second.online) return false;
+  auto ov = overrides_.find(link_key(a, b));
+  if (ov != overrides_.end()) return ov->second;
+  if (radio_range_ <= 0.0) return true;
+  return distance(ia->second.pos, ib->second.pos) <= radio_range_;
+}
+
+std::vector<NodeId> Network::visible_from(NodeId id) const {
+  std::vector<NodeId> out;
+  for (const auto& [other, state] : nodes_) {
+    (void)state;
+    if (other != id && visible(id, other)) out.push_back(other);
+  }
+  return out;
+}
+
+void Network::bind(NodeId id, DeliveryHandler handler) {
+  auto it = nodes_.find(id);
+  if (it != nodes_.end()) it->second.handler = std::move(handler);
+}
+
+void Network::join_group(NodeId id, GroupId group) {
+  auto it = nodes_.find(id);
+  if (it != nodes_.end()) it->second.groups.insert(group);
+}
+
+void Network::leave_group(NodeId id, GroupId group) {
+  auto it = nodes_.find(id);
+  if (it != nodes_.end()) it->second.groups.erase(group);
+}
+
+Duration Network::transmission_delay(std::size_t bytes) {
+  Duration d = model_.base_latency;
+  d += static_cast<Duration>(bytes) * model_.per_kilobyte / 1024;
+  if (model_.jitter > 0) d += rng_.uniform(0, model_.jitter);
+  return d;
+}
+
+void Network::deliver_later(NodeId from, NodeId to, Payload payload) {
+  stats_.bytes_sent += payload.size();
+  if (model_.loss > 0.0 && rng_.chance(model_.loss)) {
+    ++stats_.drops_loss;
+    return;
+  }
+  Duration delay = transmission_delay(payload.size());
+  queue_.schedule_after(
+      delay, [this, from, to, payload = std::move(payload)]() mutable {
+        auto it = nodes_.find(to);
+        if (it == nodes_.end() || !it->second.online) {
+          ++stats_.drops_dead;
+          return;
+        }
+        // Packets in flight are lost if the pair moved apart before arrival.
+        if (!visible(from, to)) {
+          ++stats_.drops_invisible;
+          return;
+        }
+        ++stats_.deliveries;
+        if (it->second.handler) it->second.handler(from, payload);
+      });
+}
+
+void Network::send(NodeId from, NodeId to, Payload payload) {
+  ++stats_.unicasts_sent;
+  if (!visible(from, to)) {
+    stats_.bytes_sent += payload.size();
+    ++stats_.drops_invisible;
+    return;
+  }
+  deliver_later(from, to, std::move(payload));
+}
+
+void Network::multicast(NodeId from, GroupId group, Payload payload) {
+  ++stats_.multicasts_sent;
+  for (const auto& [id, state] : nodes_) {
+    if (id == from) continue;
+    if (state.groups.count(group) == 0) continue;
+    if (!visible(from, id)) continue;
+    deliver_later(from, id, payload);  // copy per receiver
+  }
+}
+
+std::vector<NodeId> Network::node_ids() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, state] : nodes_) {
+    (void)state;
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace tiamat::sim

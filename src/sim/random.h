@@ -1,0 +1,58 @@
+// Seeded random-number utilities.
+//
+// Every stochastic decision in the simulator and in Tiamat itself
+// (nondeterministic tuple selection, jitter, mobility) draws from an
+// explicitly seeded Rng so that runs are reproducible.
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace tiamat::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x7113a7u) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Uniform real in [lo, hi).
+  double real(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return real() < p;
+  }
+
+  /// Exponentially distributed duration with the given mean (> 0).
+  double exponential(double mean) {
+    std::exponential_distribution<double> d(1.0 / mean);
+    return d(engine_);
+  }
+
+  /// Derives an independent child stream; used to give each node its own
+  /// stream so adding a node never perturbs the draws of existing ones.
+  Rng fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ull); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tiamat::sim

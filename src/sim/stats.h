@@ -1,0 +1,90 @@
+// Small statistics accumulators used by the benchmark harnesses to report
+// the latency/traffic series that stand in for the paper's (qualitative)
+// performance claims.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tiamat::sim {
+
+/// Accumulates scalar samples and reports summary statistics.
+class Summary {
+ public:
+  void add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double sum() const {
+    double s = 0.0;
+    for (double v : samples_) s += v;
+    return s;
+  }
+
+  double mean() const { return empty() ? 0.0 : sum() / count(); }
+
+  double min() const {
+    return empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double max() const {
+    return empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  double stddev() const {
+    if (count() < 2) return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double v : samples_) acc += (v - m) * (v - m);
+    return std::sqrt(acc / (count() - 1));
+  }
+
+  /// Percentile in [0,100] by nearest-rank; 0 on empty.
+  double percentile(double p) {
+    if (empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    const double rank = p / 100.0 * (samples_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - lo;
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  double median() { return percentile(50.0); }
+  double p95() { return percentile(95.0); }
+
+  void clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+/// Success/failure counter with a derived rate.
+struct RateCounter {
+  std::uint64_t ok = 0;
+  std::uint64_t fail = 0;
+
+  void success() { ++ok; }
+  void failure() { ++fail; }
+  std::uint64_t total() const { return ok + fail; }
+  double rate() const {
+    return total() == 0 ? 0.0 : static_cast<double>(ok) / total();
+  }
+};
+
+}  // namespace tiamat::sim

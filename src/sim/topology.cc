@@ -1,0 +1,80 @@
+#include "sim/topology.h"
+
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tiamat::sim {
+
+std::vector<NodeId> make_clique(Network& net, std::size_t n) {
+  net.set_radio_range(0.0);
+  std::vector<NodeId> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back(net.add_node(Position{static_cast<double>(i), 0.0}));
+  }
+  return ids;
+}
+
+std::vector<NodeId> make_line(Network& net, std::size_t n, double spacing) {
+  net.set_radio_range(spacing * 1.5);
+  std::vector<NodeId> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back(
+        net.add_node(Position{static_cast<double>(i) * spacing, 0.0}));
+  }
+  return ids;
+}
+
+std::vector<NodeId> make_grid(Network& net, std::size_t rows,
+                              std::size_t cols, double spacing) {
+  net.set_radio_range(spacing * 1.1);  // 4-neighbourhood, not diagonals
+  std::vector<NodeId> ids;
+  ids.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      ids.push_back(net.add_node(Position{static_cast<double>(c) * spacing,
+                                          static_cast<double>(r) * spacing}));
+    }
+  }
+  return ids;
+}
+
+std::vector<NodeId> make_random_geometric(Network& net, Rng& rng,
+                                          std::size_t n, double w, double h,
+                                          double range) {
+  net.set_radio_range(range);
+  std::vector<NodeId> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back(net.add_node(Position{rng.real(0.0, w), rng.real(0.0, h)}));
+  }
+  return ids;
+}
+
+std::size_t connected_components(const Network& net,
+                                 const std::vector<NodeId>& nodes) {
+  std::unordered_set<NodeId> unvisited(nodes.begin(), nodes.end());
+  std::size_t components = 0;
+  while (!unvisited.empty()) {
+    ++components;
+    NodeId start = *unvisited.begin();
+    std::queue<NodeId> frontier;
+    frontier.push(start);
+    unvisited.erase(start);
+    while (!frontier.empty()) {
+      NodeId cur = frontier.front();
+      frontier.pop();
+      for (NodeId other : nodes) {
+        if (unvisited.count(other) != 0 && net.visible(cur, other)) {
+          unvisited.erase(other);
+          frontier.push(other);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace tiamat::sim

@@ -1,0 +1,37 @@
+// Topology construction helpers: lay out N nodes in standard shapes so that
+// the derived visibility graph has a known structure. Used by tests and by
+// the flooding/scalability benches.
+
+#pragma once
+
+#include <vector>
+
+#include "sim/network.h"
+
+namespace tiamat::sim {
+
+/// Creates n nodes that are all mutually visible (radio range disabled).
+std::vector<NodeId> make_clique(Network& net, std::size_t n);
+
+/// Creates n nodes on a line with `spacing` between neighbours and sets the
+/// radio range so that only adjacent nodes see each other.
+std::vector<NodeId> make_line(Network& net, std::size_t n,
+                              double spacing = 10.0);
+
+/// Creates an r x c grid with `spacing` between neighbours; radio range set
+/// so each node sees its 4-neighbourhood.
+std::vector<NodeId> make_grid(Network& net, std::size_t rows,
+                              std::size_t cols, double spacing = 10.0);
+
+/// Creates n nodes uniformly at random in a w x h arena with the given radio
+/// range (a random geometric graph).
+std::vector<NodeId> make_random_geometric(Network& net, Rng& rng,
+                                          std::size_t n, double w, double h,
+                                          double range);
+
+/// Number of connected components of the current visibility graph over the
+/// given nodes — handy for asserting that a generated topology is connected.
+std::size_t connected_components(const Network& net,
+                                 const std::vector<NodeId>& nodes);
+
+}  // namespace tiamat::sim

@@ -1,0 +1,34 @@
+#include "space/handle.h"
+
+namespace tiamat::space {
+
+using tuples::any_bool;
+using tuples::any_int;
+using tuples::any_string;
+using tuples::Pattern;
+using tuples::Tuple;
+
+Tuple make_handle_tuple(const SpaceHandle& h) {
+  return Tuple{kHandleTag, static_cast<std::int64_t>(h.node), h.name,
+               h.persistent};
+}
+
+std::optional<SpaceHandle> parse_handle_tuple(const Tuple& t) {
+  if (!is_handle_tuple(t)) return std::nullopt;
+  SpaceHandle h;
+  h.node = static_cast<std::uint32_t>(t[1].as_int());
+  h.name = t[2].as_string();
+  h.persistent = t[3].as_bool();
+  return h;
+}
+
+Pattern handle_pattern() {
+  return Pattern{kHandleTag, any_int(), any_string(), any_bool()};
+}
+
+bool is_handle_tuple(const Tuple& t) {
+  return t.arity() == 4 && t[0].is_string() && t[0].as_string() == kHandleTag &&
+         t[1].is_int() && t[2].is_string() && t[3].is_bool();
+}
+
+}  // namespace tiamat::space

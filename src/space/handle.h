@@ -1,0 +1,50 @@
+// Space-handle tuples (§2.4).
+//
+// "Each tuple space in Tiamat contains a special tuple. This tuple contains
+// a handle on the space as well as some information about that space, e.g.
+// whether the local space provides a persistence mechanism or not.
+// Applications can read these tuples and use the handles to perform
+// operations on specific remote spaces."
+//
+// A handle is encoded as an ordinary tuple with a reserved leading tag so it
+// travels through every existing mechanism (matching, codec, propagation).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "tuple/pattern.h"
+#include "tuple/tuple.h"
+
+namespace tiamat::space {
+
+/// Reserved first field of every space-handle tuple.
+inline constexpr const char* kHandleTag = "__tiamat:space";
+
+struct SpaceHandle {
+  std::uint32_t node = 0;  ///< network address of the hosting instance
+  std::string name;        ///< space name (usually the instance name)
+  bool persistent = false; ///< does the space survive instance restarts?
+
+  friend bool operator==(const SpaceHandle& a, const SpaceHandle& b) {
+    return a.node == b.node && a.name == b.name &&
+           a.persistent == b.persistent;
+  }
+};
+
+/// The tuple form: (kHandleTag, node, name, persistent).
+tuples::Tuple make_handle_tuple(const SpaceHandle& h);
+
+/// Parses a handle tuple; nullopt if `t` is not one.
+std::optional<SpaceHandle> parse_handle_tuple(const tuples::Tuple& t);
+
+/// Matches every space-handle tuple.
+tuples::Pattern handle_pattern();
+
+/// True if `t` is shaped like a handle tuple (used to keep handle tuples
+/// out of application-level wildcard matches where undesired).
+bool is_handle_tuple(const tuples::Tuple& t);
+
+}  // namespace tiamat::space

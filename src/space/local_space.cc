@@ -1,0 +1,367 @@
+#include "space/local_space.h"
+
+#include <algorithm>
+
+namespace tiamat::space {
+
+LocalTupleSpace::LocalTupleSpace(sim::EventQueue& queue, sim::Rng& rng,
+                                 Options opts)
+    : queue_(queue), rng_(rng), opts_(std::move(opts)) {}
+
+LocalTupleSpace::~LocalTupleSpace() {
+  // Cancel outstanding timers so no event fires into a dead object.
+  for (auto& [id, ev] : expiry_events_) {
+    (void)id;
+    queue_.cancel(ev);
+  }
+  for (auto& w : waiters_) {
+    if (w.deadline_event != sim::kInvalidEvent) queue_.cancel(w.deadline_event);
+  }
+}
+
+// ---- out ------------------------------------------------------------------
+
+TupleId LocalTupleSpace::out(Tuple t, sim::Time expiry) {
+  ++stats_.outs;
+  if (expiry != sim::kNever && expiry <= queue_.now()) {
+    // Lease already expired: the tuple may be reclaimed at any time — and
+    // "any time" includes immediately.
+    ++stats_.tuples_expired;
+    return tuples::kNoTuple;
+  }
+  TupleId id = next_tuple_id_++;
+  if (offer_to_waiters(id, t)) {
+    // A destructive waiter consumed the tuple before it hit storage.
+    return tuples::kNoTuple;
+  }
+  index_.insert(id, std::move(t));
+  if (expiry != sim::kNever) {
+    expiries_[id] = expiry;
+    schedule_tuple_expiry(id, expiry);
+  }
+  return id;
+}
+
+// ---- Selection & non-blocking ops ------------------------------------------
+
+std::optional<TupleId> LocalTupleSpace::select_match(const Pattern& p) {
+  auto ids = index_.find_matches(p);
+  if (ids.empty()) return std::nullopt;
+  return ids[rng_.index(ids.size())];
+}
+
+std::optional<Tuple> LocalTupleSpace::rdp(const Pattern& p) {
+  ++stats_.reads;
+  auto id = select_match(p);
+  if (!id) return std::nullopt;
+  ++stats_.hits;
+  return *index_.get(*id);
+}
+
+std::optional<Tuple> LocalTupleSpace::inp(const Pattern& p) {
+  ++stats_.takes;
+  auto id = select_match(p);
+  if (!id) return std::nullopt;
+  ++stats_.hits;
+  drop_tuple_timer(*id);
+  expiries_.erase(*id);
+  return index_.erase(*id);
+}
+
+// ---- Blocking ops -----------------------------------------------------------
+
+WaiterId LocalTupleSpace::rd(const Pattern& p, sim::Time deadline,
+                             MatchCallback cb) {
+  ++stats_.reads;
+  if (auto id = select_match(p)) {
+    ++stats_.hits;
+    cb(*index_.get(*id));
+    return kNoWaiter;
+  }
+  if (deadline <= queue_.now()) {
+    ++stats_.waiter_timed_out;
+    cb(std::nullopt);
+    return kNoWaiter;
+  }
+  Waiter w;
+  w.pattern = p;
+  w.destructive = false;
+  w.tentative = false;
+  w.deadline = deadline;
+  w.cb = std::move(cb);
+  return add_waiter(std::move(w));
+}
+
+WaiterId LocalTupleSpace::in(const Pattern& p, sim::Time deadline,
+                             MatchCallback cb) {
+  ++stats_.takes;
+  if (auto id = select_match(p)) {
+    ++stats_.hits;
+    drop_tuple_timer(*id);
+    expiries_.erase(*id);
+    cb(index_.erase(*id));
+    return kNoWaiter;
+  }
+  if (deadline <= queue_.now()) {
+    ++stats_.waiter_timed_out;
+    cb(std::nullopt);
+    return kNoWaiter;
+  }
+  Waiter w;
+  w.pattern = p;
+  w.destructive = true;
+  w.tentative = false;
+  w.deadline = deadline;
+  w.cb = std::move(cb);
+  return add_waiter(std::move(w));
+}
+
+bool LocalTupleSpace::cancel_waiter(WaiterId id) {
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    if (it->id == id) {
+      if (it->deadline_event != sim::kInvalidEvent) {
+        queue_.cancel(it->deadline_event);
+      }
+      waiters_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+WaiterId LocalTupleSpace::add_waiter(Waiter w) {
+  w.id = next_waiter_id_++;
+  WaiterId id = w.id;
+  if (w.deadline != sim::kNever) {
+    w.deadline_event = queue_.schedule_at(
+        w.deadline, [this, id] { waiter_deadline(id); });
+  }
+  waiters_.push_back(std::move(w));
+  return id;
+}
+
+void LocalTupleSpace::waiter_deadline(WaiterId id) {
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    if (it->id == id) {
+      Waiter w = std::move(*it);
+      waiters_.erase(it);
+      ++stats_.waiter_timed_out;
+      // "Once the lease expires ... assuming no match has already been
+      // found, return nothing." (§2.5)
+      if (w.tentative) {
+        if (w.tcb) w.tcb(std::nullopt);
+      } else if (w.cb) {
+        w.cb(std::nullopt);
+      }
+      return;
+    }
+  }
+}
+
+bool LocalTupleSpace::offer_to_waiters(TupleId id, const Tuple& t) {
+  // All matching non-destructive waiters are satisfied with copies; then
+  // the oldest matching destructive waiter (if any) consumes the tuple.
+  // Callbacks may re-enter the space (e.g. a proxy loop immediately issuing
+  // its next `in`), so collect first, call after mutation is settled.
+  std::vector<Waiter> fired_readers;
+  for (auto it = waiters_.begin(); it != waiters_.end();) {
+    if (!it->destructive && it->pattern.matches(t)) {
+      if (it->deadline_event != sim::kInvalidEvent) {
+        queue_.cancel(it->deadline_event);
+      }
+      fired_readers.push_back(std::move(*it));
+      it = waiters_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  std::optional<Waiter> taker;
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    if (it->destructive && it->pattern.matches(t)) {
+      if (it->deadline_event != sim::kInvalidEvent) {
+        queue_.cancel(it->deadline_event);
+      }
+      taker = std::move(*it);
+      waiters_.erase(it);
+      break;
+    }
+  }
+
+  stats_.waiter_satisfied += fired_readers.size() + (taker ? 1 : 0);
+
+  bool consumed = false;
+  if (taker) {
+    if (taker->tentative) {
+      // The tuple is consumed from the visible space but parked as
+      // tentative so a remote loser can put it back.
+      tentative_.emplace(id, t);
+      if (taker->tcb) taker->tcb(std::make_pair(id, t));
+    } else {
+      if (taker->cb) taker->cb(t);
+    }
+    consumed = true;
+  }
+  for (auto& r : fired_readers) {
+    if (r.cb) r.cb(t);
+  }
+  return consumed;
+}
+
+// ---- Tentative removal -------------------------------------------------------
+
+std::optional<std::pair<TupleId, Tuple>> LocalTupleSpace::take_tentative(
+    const Pattern& p) {
+  ++stats_.takes;
+  auto id = select_match(p);
+  if (!id) return std::nullopt;
+  ++stats_.hits;
+  // Keep the expiry on file: a released tuple resumes its old lease.
+  auto expiry_it = expiries_.find(*id);
+  if (expiry_it != expiries_.end()) {
+    tentative_expiry_[*id] = expiry_it->second;
+    expiries_.erase(expiry_it);
+  }
+  drop_tuple_timer(*id);
+  auto t = index_.erase(*id);
+  tentative_.emplace(*id, *t);
+  return std::make_pair(*id, *t);
+}
+
+WaiterId LocalTupleSpace::take_tentative_blocking(
+    const Pattern& p, sim::Time deadline,
+    std::function<void(std::optional<std::pair<TupleId, Tuple>>)> cb) {
+  if (auto taken = take_tentative(p)) {
+    cb(taken);
+    return kNoWaiter;
+  }
+  if (deadline <= queue_.now()) {
+    ++stats_.waiter_timed_out;
+    cb(std::nullopt);
+    return kNoWaiter;
+  }
+  Waiter w;
+  w.pattern = p;
+  w.destructive = true;
+  w.tentative = true;
+  w.deadline = deadline;
+  w.tcb = std::move(cb);
+  return add_waiter(std::move(w));
+}
+
+bool LocalTupleSpace::release_tentative(TupleId id) {
+  auto it = tentative_.find(id);
+  if (it == tentative_.end()) return false;
+  Tuple t = std::move(it->second);
+  tentative_.erase(it);
+  ++stats_.tentative_released;
+
+  sim::Time expiry = sim::kNever;
+  auto eit = tentative_expiry_.find(id);
+  if (eit != tentative_expiry_.end()) {
+    expiry = eit->second;
+    tentative_expiry_.erase(eit);
+  }
+  if (expiry != sim::kNever && expiry <= queue_.now()) {
+    ++stats_.tuples_expired;
+    return true;  // released, but its lease lapsed meanwhile: reclaim now
+  }
+  if (offer_to_waiters(id, t)) return true;
+  index_.insert(id, std::move(t));
+  if (expiry != sim::kNever) {
+    expiries_[id] = expiry;
+    schedule_tuple_expiry(id, expiry);
+  }
+  return true;
+}
+
+bool LocalTupleSpace::confirm_tentative(TupleId id) {
+  auto it = tentative_.find(id);
+  if (it == tentative_.end()) return false;
+  tentative_.erase(it);
+  tentative_expiry_.erase(id);
+  ++stats_.tentative_confirmed;
+  return true;
+}
+
+// ---- Expiry ---------------------------------------------------------------------
+
+void LocalTupleSpace::schedule_tuple_expiry(TupleId id, sim::Time expiry) {
+  expiry_events_[id] = queue_.schedule_at(expiry, [this, id] {
+    expiry_events_.erase(id);
+    if (index_.contains(id)) {
+      index_.erase(id);
+      expiries_.erase(id);
+      ++stats_.tuples_expired;
+    }
+  });
+}
+
+void LocalTupleSpace::drop_tuple_timer(TupleId id) {
+  auto it = expiry_events_.find(id);
+  if (it != expiry_events_.end()) {
+    queue_.cancel(it->second);
+    expiry_events_.erase(it);
+  }
+}
+
+void LocalTupleSpace::purge_expired() {
+  const sim::Time now = queue_.now();
+  std::vector<TupleId> doomed;
+  for (const auto& [id, expiry] : expiries_) {
+    if (expiry <= now) doomed.push_back(id);
+  }
+  for (TupleId id : doomed) {
+    drop_tuple_timer(id);
+    index_.erase(id);
+    expiries_.erase(id);
+    ++stats_.tuples_expired;
+  }
+}
+
+bool LocalTupleSpace::reclaim(TupleId id) {
+  if (!index_.contains(id)) return false;
+  drop_tuple_timer(id);
+  expiries_.erase(id);
+  index_.erase(id);
+  ++stats_.tuples_expired;
+  return true;
+}
+
+bool LocalTupleSpace::set_tuple_expiry(TupleId id, sim::Time expiry) {
+  if (!index_.contains(id)) return false;
+  drop_tuple_timer(id);
+  if (expiry == sim::kNever) {
+    expiries_.erase(id);
+  } else {
+    expiries_[id] = expiry;
+    schedule_tuple_expiry(id, expiry);
+  }
+  return true;
+}
+
+// ---- Introspection ------------------------------------------------------------
+
+std::vector<Tuple> LocalTupleSpace::snapshot() const {
+  std::vector<Tuple> out;
+  out.reserve(index_.size());
+  index_.for_each([&](TupleId, const Tuple& t) { out.push_back(t); });
+  return out;
+}
+
+std::vector<std::pair<Tuple, sim::Time>>
+LocalTupleSpace::snapshot_with_expiry() const {
+  std::vector<std::pair<Tuple, sim::Time>> out;
+  out.reserve(index_.size());
+  index_.for_each([&](TupleId id, const Tuple& t) {
+    auto it = expiries_.find(id);
+    out.emplace_back(t, it == expiries_.end() ? sim::kNever : it->second);
+  });
+  return out;
+}
+
+std::size_t LocalTupleSpace::count_matches(const Pattern& p) const {
+  return index_.find_matches(p).size();
+}
+
+}  // namespace tiamat::space

@@ -1,0 +1,189 @@
+// The local tuple space: one per Tiamat instance (§2.2, §3.1.2).
+//
+// Implements the six Linda operations with Tiamat's lease-aware extensions:
+// per-tuple expiry times, deadline-bounded blocking operations (the paper's
+// deliberate semantic deviation: a blocked in/rd returns nothing when its
+// lease expires), nondeterministic selection among multiple matches, and a
+// tentative-removal protocol used by the distributed first-response-wins
+// resolution (§3.1.3) so that losing responders can put tuples back.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "tuple/index.h"
+#include "tuple/pattern.h"
+#include "tuple/tuple.h"
+
+namespace tiamat::space {
+
+using tuples::Pattern;
+using tuples::Tuple;
+using tuples::TupleId;
+
+/// Invoked exactly once per blocking operation: with the matched tuple, or
+/// with nullopt when the deadline passed or the waiter was cancelled.
+using MatchCallback = std::function<void(std::optional<Tuple>)>;
+
+using WaiterId = std::uint64_t;
+inline constexpr WaiterId kNoWaiter = 0;
+
+struct SpaceStats {
+  std::uint64_t outs = 0;
+  std::uint64_t reads = 0;          ///< rd/rdp attempts
+  std::uint64_t takes = 0;          ///< in/inp attempts
+  std::uint64_t hits = 0;           ///< non-blocking op satisfied
+  std::uint64_t waiter_satisfied = 0;
+  std::uint64_t waiter_timed_out = 0;
+  std::uint64_t tuples_expired = 0;
+  std::uint64_t tentative_released = 0;
+  std::uint64_t tentative_confirmed = 0;
+};
+
+struct SpaceOptions {
+  std::string name = "local";
+  bool persistent = false;  ///< advertised in the space-handle tuple
+};
+
+class LocalTupleSpace {
+ public:
+  using Options = SpaceOptions;
+
+  LocalTupleSpace(sim::EventQueue& queue, sim::Rng& rng, Options opts = {});
+
+  LocalTupleSpace(const LocalTupleSpace&) = delete;
+  LocalTupleSpace& operator=(const LocalTupleSpace&) = delete;
+
+  ~LocalTupleSpace();
+
+  // ---- The six Linda operations (local forms) ---------------------------
+
+  /// Places a tuple in the space. `expiry` is the lease-derived instant
+  /// after which the tuple may be reclaimed (kNever = no expiry). If a
+  /// blocked destructive waiter matches, the tuple goes straight to it and
+  /// is never stored. Returns the stored tuple's id (kNoTuple when it was
+  /// consumed immediately by a waiter).
+  TupleId out(Tuple t, sim::Time expiry = sim::kNever);
+
+  /// Non-blocking read: copy of a matching tuple, chosen nondeterministically
+  /// among all matches, or nullopt.
+  std::optional<Tuple> rdp(const Pattern& p);
+
+  /// Non-blocking take: as rdp but removes the tuple.
+  std::optional<Tuple> inp(const Pattern& p);
+
+  /// Blocking read: calls back immediately on a present match, otherwise
+  /// registers a waiter until `deadline` (the lease expiry). Returns a
+  /// waiter id (kNoWaiter if satisfied synchronously).
+  WaiterId rd(const Pattern& p, sim::Time deadline, MatchCallback cb);
+
+  /// Blocking take; otherwise as rd.
+  WaiterId in(const Pattern& p, sim::Time deadline, MatchCallback cb);
+
+  /// Cancels a pending waiter without invoking its callback. Returns false
+  /// if it already completed.
+  bool cancel_waiter(WaiterId id);
+
+  // ---- Tentative removal (first-response-wins support, §3.1.3) ----------
+
+  /// Removes a matching tuple from visibility but keeps it recoverable.
+  std::optional<std::pair<TupleId, Tuple>> take_tentative(const Pattern& p);
+
+  /// Same, but waits until `deadline` for a match (remote blocking in).
+  /// The callback receives the id+tuple once tentatively removed.
+  WaiterId take_tentative_blocking(
+      const Pattern& p, sim::Time deadline,
+      std::function<void(std::optional<std::pair<TupleId, Tuple>>)> cb);
+
+  /// Loser path: puts a tentatively-removed tuple back (it becomes visible
+  /// again and may satisfy pending waiters).
+  bool release_tentative(TupleId id);
+
+  /// Winner path: the removal becomes permanent.
+  bool confirm_tentative(TupleId id);
+
+  std::size_t tentative_count() const { return tentative_.size(); }
+
+  // ---- Maintenance & introspection ---------------------------------------
+
+  /// Drops every tuple whose expiry has passed. Called automatically via
+  /// per-tuple timers; exposed for tests.
+  void purge_expired();
+
+  /// Re-leases a stored tuple (e.g. its producer renewed).
+  bool set_tuple_expiry(TupleId id, sim::Time expiry);
+
+  /// Lease-driven reclamation: removes a stored tuple because its storage
+  /// lease ended (counts as an expiry). False if it is no longer stored.
+  bool reclaim(TupleId id);
+
+  bool contains(TupleId id) const { return index_.contains(id); }
+
+  std::size_t size() const { return index_.size(); }
+  std::size_t footprint() const { return index_.total_footprint(); }
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+  /// Copy of every visible tuple (tests / examples).
+  std::vector<Tuple> snapshot() const;
+
+  /// Copy of every visible tuple with its absolute expiry instant
+  /// (sim::kNever when unleased). Feeds the persistence mechanism.
+  std::vector<std::pair<Tuple, sim::Time>> snapshot_with_expiry() const;
+
+  /// Number of visible tuples matching `p`.
+  std::size_t count_matches(const Pattern& p) const;
+
+  const SpaceStats& stats() const { return stats_; }
+  const Options& options() const { return opts_; }
+  sim::Time now() const { return queue_.now(); }
+
+ private:
+  struct Waiter {
+    WaiterId id;
+    Pattern pattern;
+    bool destructive;
+    bool tentative;  ///< deliver (id, tuple) and keep it recoverable
+    sim::Time deadline;
+    sim::EventId deadline_event = sim::kInvalidEvent;
+    MatchCallback cb;  // used when !tentative
+    std::function<void(std::optional<std::pair<TupleId, Tuple>>)> tcb;
+  };
+
+  /// Picks one candidate id uniformly at random (the paper: "one is
+  /// selected in a non-deterministic manner").
+  std::optional<TupleId> select_match(const Pattern& p);
+
+  WaiterId add_waiter(Waiter w);
+  void waiter_deadline(WaiterId id);
+  /// Offers a newly visible tuple to waiters; returns true if a destructive
+  /// waiter consumed it.
+  bool offer_to_waiters(TupleId id, const Tuple& t);
+  void schedule_tuple_expiry(TupleId id, sim::Time expiry);
+  void drop_tuple_timer(TupleId id);
+
+  sim::EventQueue& queue_;
+  sim::Rng& rng_;
+  Options opts_;
+  tuples::TupleIndex index_;
+  TupleId next_tuple_id_ = 1;
+  WaiterId next_waiter_id_ = 1;
+  std::list<Waiter> waiters_;  // FIFO order: oldest waiter wins
+  std::unordered_map<TupleId, Tuple> tentative_;
+  std::unordered_map<TupleId, sim::Time> tentative_expiry_;
+  std::unordered_map<TupleId, sim::EventId> expiry_events_;
+  std::unordered_map<TupleId, sim::Time> expiries_;
+  SpaceStats stats_;
+};
+
+}  // namespace tiamat::space

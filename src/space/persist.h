@@ -1,0 +1,34 @@
+// Space persistence (§2.4): a space-handle tuple advertises "whether the
+// local space provides a persistence mechanism or not". This module is that
+// mechanism: a snapshot serialises every stored tuple together with the
+// *remaining* life of its lease, and a restore re-leases each tuple
+// relative to the new clock — so a device that sleeps and wakes (or an
+// instance that restarts) honours exactly the storage promises it made.
+//
+// Tentative tuples are NOT persisted: a tentative removal belongs to an
+// in-flight distributed operation that cannot survive a restart; losing it
+// is equivalent to the originator's Confirm winning (the tuple was taken).
+// Space-handle tuples are not persisted either — they are identity-bound
+// and republished by the restarted instance.
+
+#pragma once
+
+#include <optional>
+
+#include "space/local_space.h"
+#include "tuple/codec.h"
+
+namespace tiamat::space {
+
+/// Serialises the visible contents of `space` at time `now`. Format:
+/// varint count, then per tuple: varint remaining-ttl-plus-one (0 = no
+/// expiry) and the encoded tuple.
+tuples::Bytes snapshot(const LocalTupleSpace& space, sim::Time now);
+
+/// Loads a snapshot into `space` (which need not be empty; tuples are
+/// added). Tuples whose remaining lease was <= 0 at snapshot time are
+/// dropped. Returns the number restored, or nullopt on a malformed image.
+std::optional<std::size_t> restore(LocalTupleSpace& space,
+                                   const tuples::Bytes& image);
+
+}  // namespace tiamat::space

@@ -1,0 +1,67 @@
+// Named-computation registry: the substitution that makes *remote eval*
+// (§2.4) possible in C++.
+//
+// The paper's Java prototype can ship an active tuple's code to another
+// instance. C++ cannot serialise closures, so instances that want to run
+// each other's computations share a registry of *named* computations
+// (registered at both ends, like any RPC scheme); a remote eval ships the
+// computation's name plus its argument tuple, and the serving instance
+// materialises the result with its own registry entry. This preserves the
+// behaviour that matters to the model: the computation runs *at the remote
+// instance*, consumes that instance's (leased) resources, and its resultant
+// tuple appears in that instance's space.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "sim/clock.h"
+#include "space/eval.h"
+#include "tuple/tuple.h"
+
+namespace tiamat::space {
+
+/// A named computation: args tuple -> result tuple, with a simulated cost
+/// (which may depend on the arguments — e.g. proportional to input size).
+struct NamedComputation {
+  std::function<tuples::Tuple(const tuples::Tuple& args)> fn;
+  std::function<sim::Duration(const tuples::Tuple& args)> cost =
+      [](const tuples::Tuple&) { return sim::milliseconds(1); };
+};
+
+class ComputationRegistry {
+ public:
+  /// Registers (or replaces) a computation under `name`.
+  void install(std::string name, NamedComputation c) {
+    entries_[std::move(name)] = std::move(c);
+  }
+
+  /// Convenience: fixed cost.
+  void install(std::string name,
+               std::function<tuples::Tuple(const tuples::Tuple&)> fn,
+               sim::Duration cost = sim::milliseconds(1)) {
+    NamedComputation c;
+    c.fn = std::move(fn);
+    c.cost = [cost](const tuples::Tuple&) { return cost; };
+    install(std::move(name), std::move(c));
+  }
+
+  bool knows(const std::string& name) const {
+    return entries_.count(name) != 0;
+  }
+
+  const NamedComputation* find(const std::string& name) const {
+    auto it = entries_.find(name);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, NamedComputation> entries_;
+};
+
+}  // namespace tiamat::space

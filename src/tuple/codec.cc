@@ -1,0 +1,259 @@
+#include "tuple/codec.h"
+
+#include <cstring>
+
+namespace tiamat::tuples {
+
+void Writer::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void Writer::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void Writer::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void Writer::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  u8(static_cast<std::uint8_t>(v));
+}
+
+void Writer::bytes(const std::uint8_t* data, std::size_t n) {
+  out_.insert(out_.end(), data, data + n);
+}
+
+void Writer::str(const std::string& s) {
+  varint(s.size());
+  bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+void Writer::blob(const Blob& b) {
+  varint(b.size());
+  bytes(b.data(), b.size());
+}
+
+void Reader::need(std::size_t n) const {
+  if (remaining() < n) throw DecodeError("truncated input");
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return *data_++;
+}
+
+std::uint16_t Reader::u16() {
+  std::uint16_t lo = u8();
+  std::uint16_t hi = u8();
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+std::uint32_t Reader::u32() {
+  std::uint32_t lo = u16();
+  std::uint32_t hi = u16();
+  return lo | (hi << 16);
+}
+
+std::uint64_t Reader::u64() {
+  std::uint64_t lo = u32();
+  std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+double Reader::f64() {
+  std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::uint64_t Reader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    std::uint8_t b = u8();
+    if (shift >= 63 && (b & 0x7e) != 0) throw DecodeError("varint overflow");
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+std::string Reader::str() {
+  std::uint64_t n = varint();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(data_), n);
+  data_ += n;
+  return s;
+}
+
+Blob Reader::blob() {
+  std::uint64_t n = varint();
+  need(n);
+  Blob b(data_, data_ + n);
+  data_ += n;
+  return b;
+}
+
+void encode(Writer& w, const Value& v) {
+  w.u8(static_cast<std::uint8_t>(v.type()));
+  switch (v.type()) {
+    case Type::kInt:
+      w.i64(v.as_int());
+      break;
+    case Type::kDouble:
+      w.f64(v.as_double());
+      break;
+    case Type::kBool:
+      w.u8(v.as_bool() ? 1 : 0);
+      break;
+    case Type::kString:
+      w.str(v.as_string());
+      break;
+    case Type::kBlob:
+      w.blob(v.as_blob());
+      break;
+  }
+}
+
+Value decode_value(Reader& r) {
+  std::uint8_t tag = r.u8();
+  switch (static_cast<Type>(tag)) {
+    case Type::kInt:
+      return Value(r.i64());
+    case Type::kDouble:
+      return Value(r.f64());
+    case Type::kBool:
+      return Value(r.u8() != 0);
+    case Type::kString:
+      return Value(r.str());
+    case Type::kBlob:
+      return Value(r.blob());
+  }
+  throw DecodeError("bad value tag");
+}
+
+void encode(Writer& w, const Tuple& t) {
+  w.varint(t.arity());
+  for (const Value& v : t) encode(w, v);
+}
+
+Tuple decode_tuple(Reader& r) {
+  std::uint64_t n = r.varint();
+  if (n > r.remaining()) throw DecodeError("tuple arity exceeds input");
+  std::vector<Value> fields;
+  fields.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) fields.push_back(decode_value(r));
+  return Tuple(std::move(fields));
+}
+
+void encode(Writer& w, const Field& f) {
+  w.u8(static_cast<std::uint8_t>(f.kind()));
+  switch (f.kind()) {
+    case Field::Kind::kActual:
+      encode(w, f.actual());
+      break;
+    case Field::Kind::kFormal:
+      w.u8(static_cast<std::uint8_t>(f.formal_type()));
+      break;
+    case Field::Kind::kWildcard:
+      break;
+    case Field::Kind::kRange:
+      w.f64(f.range_lo());
+      w.f64(f.range_hi());
+      break;
+    case Field::Kind::kPrefix:
+      w.str(f.prefix_str());
+      break;
+  }
+}
+
+Field decode_field(Reader& r) {
+  std::uint8_t tag = r.u8();
+  switch (static_cast<Field::Kind>(tag)) {
+    case Field::Kind::kActual:
+      return Field(decode_value(r));
+    case Field::Kind::kFormal: {
+      std::uint8_t t = r.u8();
+      if (t > static_cast<std::uint8_t>(Type::kBlob)) {
+        throw DecodeError("bad formal type");
+      }
+      return Field::formal(static_cast<Type>(t));
+    }
+    case Field::Kind::kWildcard:
+      return Field::wildcard();
+    case Field::Kind::kRange: {
+      double lo = r.f64();
+      double hi = r.f64();
+      return Field::range(lo, hi);
+    }
+    case Field::Kind::kPrefix:
+      return Field::prefix(r.str());
+  }
+  throw DecodeError("bad field tag");
+}
+
+void encode(Writer& w, const Pattern& p) {
+  w.varint(p.arity());
+  for (const Field& f : p.fields()) encode(w, f);
+}
+
+Pattern decode_pattern(Reader& r) {
+  std::uint64_t n = r.varint();
+  if (n > r.remaining()) throw DecodeError("pattern arity exceeds input");
+  std::vector<Field> fields;
+  fields.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) fields.push_back(decode_field(r));
+  return Pattern(std::move(fields));
+}
+
+Bytes encode_tuple(const Tuple& t) {
+  Writer w;
+  encode(w, t);
+  return std::move(w).take();
+}
+
+Bytes encode_pattern(const Pattern& p) {
+  Writer w;
+  encode(w, p);
+  return std::move(w).take();
+}
+
+std::optional<Tuple> try_decode_tuple(const Bytes& b) {
+  try {
+    Reader r(b);
+    Tuple t = decode_tuple(r);
+    if (!r.done()) return std::nullopt;
+    return t;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<Pattern> try_decode_pattern(const Bytes& b) {
+  try {
+    Reader r(b);
+    Pattern p = decode_pattern(r);
+    if (!r.done()) return std::nullopt;
+    return p;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace tiamat::tuples

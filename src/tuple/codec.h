@@ -1,0 +1,94 @@
+// Binary wire codec for values, tuples and patterns.
+//
+// Everything that crosses the simulated network is really encoded and
+// decoded through this codec (not passed by pointer), so byte counts in the
+// benches are honest and corruption/compatibility bugs are caught by tests.
+//
+// Format: little-endian fixed-width scalars, LEB128 varints for lengths,
+// one tag byte per value/field.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "tuple/pattern.h"
+#include "tuple/tuple.h"
+#include "tuple/value.h"
+
+namespace tiamat::tuples {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Thrown by Reader / decode_* on malformed input.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only byte sink.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void varint(std::uint64_t v);
+  void bytes(const std::uint8_t* data, std::size_t n);
+  void str(const std::string& s);  ///< varint length + raw bytes
+  void blob(const Blob& b);        ///< varint length + raw bytes
+
+  const Bytes& data() const& { return out_; }
+  Bytes take() && { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  Bytes out_;
+};
+
+/// Bounds-checked byte source.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t n) : data_(data), end_(data + n) {}
+  explicit Reader(const Bytes& b) : Reader(b.data(), b.size()) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  std::uint64_t varint();
+  std::string str();
+  Blob blob();
+
+  bool done() const { return data_ == end_; }
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - data_); }
+
+ private:
+  void need(std::size_t n) const;
+  const std::uint8_t* data_;
+  const std::uint8_t* end_;
+};
+
+void encode(Writer& w, const Value& v);
+void encode(Writer& w, const Tuple& t);
+void encode(Writer& w, const Field& f);
+void encode(Writer& w, const Pattern& p);
+
+Value decode_value(Reader& r);
+Tuple decode_tuple(Reader& r);
+Field decode_field(Reader& r);
+Pattern decode_pattern(Reader& r);
+
+Bytes encode_tuple(const Tuple& t);
+Bytes encode_pattern(const Pattern& p);
+std::optional<Tuple> try_decode_tuple(const Bytes& b);
+std::optional<Pattern> try_decode_pattern(const Bytes& b);
+
+}  // namespace tiamat::tuples

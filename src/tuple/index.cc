@@ -1,0 +1,92 @@
+#include "tuple/index.h"
+
+namespace tiamat::tuples {
+
+void TupleIndex::insert(TupleId id, Tuple t) {
+  footprint_ += t.footprint();
+  if (t.arity() == 0) {
+    nullary_.insert(id);
+  } else {
+    buckets_[t.arity()][t[0]].insert(id);
+  }
+  by_id_.emplace(id, std::move(t));
+}
+
+std::optional<Tuple> TupleIndex::erase(TupleId id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return std::nullopt;
+  Tuple t = std::move(it->second);
+  by_id_.erase(it);
+  footprint_ -= t.footprint();
+  if (t.arity() == 0) {
+    nullary_.erase(id);
+  } else {
+    auto ait = buckets_.find(t.arity());
+    if (ait != buckets_.end()) {
+      auto vit = ait->second.find(t[0]);
+      if (vit != ait->second.end()) {
+        vit->second.erase(id);
+        if (vit->second.empty()) ait->second.erase(vit);
+      }
+      if (ait->second.empty()) buckets_.erase(ait);
+    }
+  }
+  return t;
+}
+
+const Tuple* TupleIndex::get(TupleId id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &it->second;
+}
+
+std::vector<TupleId> TupleIndex::find_matches(const Pattern& p,
+                                              std::size_t limit) const {
+  std::vector<TupleId> out;
+  auto consider = [&](TupleId id) {
+    const Tuple* t = get(id);
+    if (t != nullptr && p.matches(*t)) out.push_back(id);
+    return limit != 0 && out.size() >= limit;
+  };
+
+  if (p.arity() == 0) {
+    for (TupleId id : nullary_) {
+      if (consider(id)) break;
+    }
+    return out;
+  }
+
+  auto ait = buckets_.find(p.arity());
+  if (ait == buckets_.end()) return out;
+
+  if (auto key = p.key()) {
+    auto vit = ait->second.find(*key);
+    if (vit != ait->second.end()) {
+      for (TupleId id : vit->second) {
+        if (consider(id)) break;
+      }
+    }
+    return out;
+  }
+
+  // Unkeyed pattern: scan every first-field bucket of this arity.
+  for (const auto& [value, ids] : ait->second) {
+    (void)value;
+    for (TupleId id : ids) {
+      if (consider(id)) return out;
+    }
+  }
+  return out;
+}
+
+std::optional<TupleId> TupleIndex::find_first(const Pattern& p) const {
+  auto ids = find_matches(p, 1);
+  if (ids.empty()) return std::nullopt;
+  return ids.front();
+}
+
+void TupleIndex::for_each(
+    const std::function<void(TupleId, const Tuple&)>& fn) const {
+  for (const auto& [id, t] : by_id_) fn(id, t);
+}
+
+}  // namespace tiamat::tuples

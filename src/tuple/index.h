@@ -1,0 +1,66 @@
+// Indexed tuple storage.
+//
+// Spaces index tuples by (arity, first field): Linda programs almost always
+// key tuples with a leading string/int tag ("req", "resp", "task", ...), so
+// a keyed pattern probes one bucket instead of scanning the space. Unkeyed
+// patterns fall back to scanning every bucket of the right arity.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "tuple/pattern.h"
+#include "tuple/tuple.h"
+
+namespace tiamat::tuples {
+
+/// Identifies a stored tuple within one space for the lifetime of a run.
+using TupleId = std::uint64_t;
+inline constexpr TupleId kNoTuple = 0;
+
+class TupleIndex {
+ public:
+  /// Stores `t` under caller-supplied id (ids must be unique and non-zero).
+  void insert(TupleId id, Tuple t);
+
+  /// Removes by id; returns the tuple if it was present.
+  std::optional<Tuple> erase(TupleId id);
+
+  const Tuple* get(TupleId id) const;
+  bool contains(TupleId id) const { return by_id_.count(id) != 0; }
+
+  /// Ids of all stored tuples matching `p`, in ascending id order (the
+  /// caller applies its own selection policy). `limit` == 0 means no limit.
+  std::vector<TupleId> find_matches(const Pattern& p,
+                                    std::size_t limit = 0) const;
+
+  /// First match by id order, if any — cheaper than find_matches when the
+  /// caller only needs existence.
+  std::optional<TupleId> find_first(const Pattern& p) const;
+
+  std::size_t size() const { return by_id_.size(); }
+  bool empty() const { return by_id_.empty(); }
+
+  /// Sum of footprints of stored tuples; the storage figure leases charge.
+  std::size_t total_footprint() const { return footprint_; }
+
+  /// Visits every (id, tuple) in ascending id order.
+  void for_each(const std::function<void(TupleId, const Tuple&)>& fn) const;
+
+ private:
+  // arity -> first-field value -> ids. Nullary tuples live in nullary_.
+  using ValueBuckets = std::map<Value, std::set<TupleId>>;
+
+  std::map<TupleId, Tuple> by_id_;
+  std::map<std::size_t, ValueBuckets> buckets_;  // arity >= 1
+  std::set<TupleId> nullary_;                    // arity == 0
+  std::size_t footprint_ = 0;
+};
+
+}  // namespace tiamat::tuples

@@ -1,0 +1,133 @@
+#include "tuple/pattern.h"
+
+#include <sstream>
+
+namespace tiamat::tuples {
+
+Field Field::formal(Type t) {
+  Field f;
+  f.kind_ = Kind::kFormal;
+  f.formal_type_ = t;
+  return f;
+}
+
+Field Field::wildcard() {
+  Field f;
+  f.kind_ = Kind::kWildcard;
+  return f;
+}
+
+Field Field::range(double lo, double hi) {
+  Field f;
+  f.kind_ = Kind::kRange;
+  f.lo_ = lo;
+  f.hi_ = hi;
+  return f;
+}
+
+Field Field::prefix(std::string p) {
+  Field f;
+  f.kind_ = Kind::kPrefix;
+  f.value_ = Value(std::move(p));
+  return f;
+}
+
+bool Field::matches(const Value& v) const {
+  switch (kind_) {
+    case Kind::kActual:
+      return v == value_;
+    case Kind::kFormal:
+      return v.type() == formal_type_;
+    case Kind::kWildcard:
+      return true;
+    case Kind::kRange: {
+      double x;
+      if (v.is_int()) {
+        x = static_cast<double>(v.as_int());
+      } else if (v.is_double()) {
+        x = v.as_double();
+      } else {
+        return false;
+      }
+      return x >= lo_ && x <= hi_;
+    }
+    case Kind::kPrefix: {
+      if (!v.is_string()) return false;
+      const std::string& s = v.as_string();
+      const std::string& p = value_.as_string();
+      return s.size() >= p.size() && s.compare(0, p.size(), p) == 0;
+    }
+  }
+  return false;
+}
+
+std::string Field::to_string() const {
+  switch (kind_) {
+    case Kind::kActual:
+      return value_.to_string();
+    case Kind::kFormal:
+      return std::string("?") + type_name(formal_type_);
+    case Kind::kWildcard:
+      return "*";
+    case Kind::kRange: {
+      std::ostringstream os;
+      os << "[" << lo_ << ".." << hi_ << "]";
+      return os.str();
+    }
+    case Kind::kPrefix:
+      return value_.to_string() + "...";
+  }
+  return "?";
+}
+
+bool operator==(const Field& a, const Field& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Field::Kind::kActual:
+      return a.value_ == b.value_;
+    case Field::Kind::kFormal:
+      return a.formal_type_ == b.formal_type_;
+    case Field::Kind::kWildcard:
+      return true;
+    case Field::Kind::kRange:
+      return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+    case Field::Kind::kPrefix:
+      return a.value_ == b.value_;
+  }
+  return false;
+}
+
+Pattern Pattern::exactly(const Tuple& t) {
+  std::vector<Field> fields;
+  fields.reserve(t.arity());
+  for (const Value& v : t) fields.emplace_back(v);
+  return Pattern(std::move(fields));
+}
+
+bool Pattern::matches(const Tuple& t) const {
+  if (t.arity() != arity()) return false;
+  for (std::size_t i = 0; i < arity(); ++i) {
+    if (!fields_[i].matches(t[i])) return false;
+  }
+  return true;
+}
+
+std::optional<Value> Pattern::key() const {
+  if (!fields_.empty() && fields_[0].kind() == Field::Kind::kActual) {
+    return fields_[0].actual();
+  }
+  return std::nullopt;
+}
+
+std::string Pattern::to_string() const {
+  std::ostringstream os;
+  os << '<';
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i) os << ", ";
+    os << fields_[i].to_string();
+  }
+  os << '>';
+  return os.str();
+}
+
+}  // namespace tiamat::tuples

@@ -1,0 +1,111 @@
+// Anti-tuples: the patterns handed to rd/rdp/in/inp.
+//
+// A pattern has the same arity as the tuples it matches; each field is
+// either an *actual* (must equal the tuple's field), a *formal* (must only
+// agree in type — classic Linda ?x), a wildcard, or one of two constrained
+// formals (numeric range, string prefix) that the example applications use.
+
+#pragma once
+
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tuple/tuple.h"
+#include "tuple/value.h"
+
+namespace tiamat::tuples {
+
+/// One position of an anti-tuple.
+class Field {
+ public:
+  enum class Kind : std::uint8_t {
+    kActual = 0,    ///< equals a concrete value
+    kFormal = 1,    ///< any value of a given type
+    kWildcard = 2,  ///< any value of any type
+    kRange = 3,     ///< numeric (int/double) in [lo, hi]
+    kPrefix = 4,    ///< string starting with a given prefix
+  };
+
+  /// Implicit from anything a Value is implicit from, so patterns read as
+  /// naturally as tuples: Pattern{"resp", 42, Field::wildcard()}.
+  Field(Value v) : kind_(Kind::kActual), value_(std::move(v)) {}  // NOLINT
+  Field(int v) : Field(Value(v)) {}                               // NOLINT
+  Field(std::int64_t v) : Field(Value(v)) {}                      // NOLINT
+  Field(double v) : Field(Value(v)) {}                            // NOLINT
+  Field(bool v) : Field(Value(v)) {}                              // NOLINT
+  Field(const char* v) : Field(Value(v)) {}                       // NOLINT
+  Field(std::string v) : Field(Value(std::move(v))) {}            // NOLINT
+
+  static Field formal(Type t);
+  static Field wildcard();
+  static Field range(double lo, double hi);
+  static Field prefix(std::string p);
+
+  Kind kind() const { return kind_; }
+  Type formal_type() const { return formal_type_; }
+  const Value& actual() const { return value_; }
+  double range_lo() const { return lo_; }
+  double range_hi() const { return hi_; }
+  const std::string& prefix_str() const { return value_.as_string(); }
+
+  bool matches(const Value& v) const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const Field& a, const Field& b);
+  friend bool operator!=(const Field& a, const Field& b) { return !(a == b); }
+
+ private:
+  Field() = default;
+
+  Kind kind_ = Kind::kWildcard;
+  Value value_;                  // actual, or prefix string
+  Type formal_type_ = Type::kInt;
+  double lo_ = 0.0, hi_ = 0.0;
+};
+
+/// Shorthands so patterns stay terse at call sites.
+inline Field any() { return Field::wildcard(); }
+inline Field any_int() { return Field::formal(Type::kInt); }
+inline Field any_double() { return Field::formal(Type::kDouble); }
+inline Field any_bool() { return Field::formal(Type::kBool); }
+inline Field any_string() { return Field::formal(Type::kString); }
+inline Field any_blob() { return Field::formal(Type::kBlob); }
+
+/// An anti-tuple. Matches a tuple iff arities agree and every field matches.
+class Pattern {
+ public:
+  Pattern() = default;
+  Pattern(std::initializer_list<Field> fields) : fields_(fields) {}
+  explicit Pattern(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  /// A pattern that matches `t` exactly (every field an actual).
+  static Pattern exactly(const Tuple& t);
+
+  std::size_t arity() const { return fields_.size(); }
+  const Field& at(std::size_t i) const { return fields_.at(i); }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  bool matches(const Tuple& t) const;
+
+  /// If the first field is an actual, returns it. Spaces index tuples by
+  /// their first field; a "keyed" pattern probes the index instead of
+  /// scanning.
+  std::optional<Value> key() const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const Pattern& a, const Pattern& b) {
+    return a.fields_ == b.fields_;
+  }
+  friend bool operator!=(const Pattern& a, const Pattern& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace tiamat::tuples

@@ -1,0 +1,32 @@
+#include "tuple/tuple.h"
+
+#include <sstream>
+
+namespace tiamat::tuples {
+
+std::size_t Tuple::footprint() const {
+  std::size_t total = 8;  // arity + bookkeeping overhead
+  for (const Value& v : fields_) total += v.footprint();
+  return total;
+}
+
+std::string Tuple::to_string() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i) os << ", ";
+    os << fields_[i].to_string();
+  }
+  os << ')';
+  return os.str();
+}
+
+std::size_t Tuple::hash() const {
+  std::size_t h = fields_.size();
+  for (const Value& v : fields_) {
+    h ^= v.hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace tiamat::tuples

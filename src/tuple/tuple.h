@@ -1,0 +1,59 @@
+// The unit of communication: an ordered collection of typed values.
+
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "tuple/value.h"
+
+namespace tiamat::tuples {
+
+/// An immutable-by-convention ordered collection of typed fields.
+///
+///   Tuple t{"req", 42, "http://example.org/"};
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(std::initializer_list<Value> fields) : fields_(fields) {}
+  explicit Tuple(std::vector<Value> fields) : fields_(std::move(fields)) {}
+
+  std::size_t arity() const { return fields_.size(); }
+  bool empty() const { return fields_.empty(); }
+
+  const Value& at(std::size_t i) const { return fields_.at(i); }
+  const Value& operator[](std::size_t i) const { return fields_[i]; }
+
+  const std::vector<Value>& fields() const { return fields_; }
+
+  void push_back(Value v) { fields_.push_back(std::move(v)); }
+
+  /// Approximate footprint in bytes (sum of field footprints + overhead);
+  /// the unit the leasing subsystem charges storage budgets in.
+  std::size_t footprint() const;
+
+  std::string to_string() const;
+
+  std::size_t hash() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.fields_ == b.fields_;
+  }
+  friend bool operator!=(const Tuple& a, const Tuple& b) { return !(a == b); }
+  friend bool operator<(const Tuple& a, const Tuple& b) {
+    return a.fields_ < b.fields_;
+  }
+
+  auto begin() const { return fields_.begin(); }
+  auto end() const { return fields_.end(); }
+
+ private:
+  std::vector<Value> fields_;
+};
+
+struct TupleHash {
+  std::size_t operator()(const Tuple& t) const { return t.hash(); }
+};
+
+}  // namespace tiamat::tuples

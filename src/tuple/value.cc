@@ -1,0 +1,92 @@
+#include "tuple/value.h"
+
+#include <functional>
+#include <sstream>
+
+namespace tiamat::tuples {
+
+const char* type_name(Type t) {
+  switch (t) {
+    case Type::kInt:
+      return "int";
+    case Type::kDouble:
+      return "double";
+    case Type::kBool:
+      return "bool";
+    case Type::kString:
+      return "string";
+    case Type::kBlob:
+      return "blob";
+  }
+  return "?";
+}
+
+std::size_t Value::footprint() const {
+  switch (type()) {
+    case Type::kInt:
+      return 8;
+    case Type::kDouble:
+      return 8;
+    case Type::kBool:
+      return 1;
+    case Type::kString:
+      return as_string().size() + 4;
+    case Type::kBlob:
+      return as_blob().size() + 4;
+  }
+  return 0;
+}
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  switch (type()) {
+    case Type::kInt:
+      os << as_int();
+      break;
+    case Type::kDouble:
+      os << as_double();
+      break;
+    case Type::kBool:
+      os << (as_bool() ? "true" : "false");
+      break;
+    case Type::kString:
+      os << '"' << as_string() << '"';
+      break;
+    case Type::kBlob:
+      os << "blob[" << as_blob().size() << "]";
+      break;
+  }
+  return os.str();
+}
+
+std::size_t Value::hash() const {
+  std::size_t h = std::hash<std::uint8_t>{}(static_cast<std::uint8_t>(type()));
+  auto mix = [&h](std::size_t x) {
+    h ^= x + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  switch (type()) {
+    case Type::kInt:
+      mix(std::hash<std::int64_t>{}(as_int()));
+      break;
+    case Type::kDouble:
+      mix(std::hash<double>{}(as_double()));
+      break;
+    case Type::kBool:
+      mix(std::hash<bool>{}(as_bool()));
+      break;
+    case Type::kString:
+      mix(std::hash<std::string>{}(as_string()));
+      break;
+    case Type::kBlob: {
+      std::size_t bh = as_blob().size();
+      for (std::uint8_t b : as_blob()) {
+        bh = bh * 131 + b;
+      }
+      mix(bh);
+      break;
+    }
+  }
+  return h;
+}
+
+}  // namespace tiamat::tuples

@@ -1,0 +1,282 @@
+// Edge cases of the core protocol that the main integration suite does not
+// cover: lease revocation mid-operation, contact-budget exhaustion on
+// blocking ops, malformed/cross-protocol traffic, tentative-hold recovery
+// after originator death, eval/space interactions, and config extremes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/peers.h"
+#include "core/instance.h"
+#include "tests/test_util.h"
+
+namespace tiamat::core {
+namespace {
+
+using tuples::any_int;
+using tuples::any_string;
+using tuples::Pattern;
+using tuples::Tuple;
+using tiamat::testing::World;
+
+Config cfg(const char* name) {
+  Config c;
+  c.name = name;
+  c.lease_caps.default_ttl = sim::seconds(20);
+  c.lease_caps.max_ttl = sim::seconds(60);
+  return c;
+}
+
+// ---------------- Revocation (§2.5 last resort) ----------------
+
+TEST(Revocation, MidOperationRevocationReturnsNothing) {
+  World w;
+  Instance a(w.net, cfg("a"));
+  Instance b(w.net, cfg("b"));
+  bool fired = false;
+  std::optional<ReadResult> got;
+  ASSERT_TRUE(a.in(Pattern{"never"}, [&](auto r) {
+    fired = true;
+    got = r;
+  }));
+  w.run_for(sim::milliseconds(500));
+  EXPECT_FALSE(fired);
+  // The instance reclaims everything (device shutting down).
+  a.leases().revoke_all();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(a.open_ops(), 0u);
+  // b's remote waiter is cancelled too (after the CancelOp propagates).
+  w.run_for(sim::seconds(1));
+  EXPECT_EQ(b.serving_count(), 0u);
+  EXPECT_EQ(b.local_space().waiter_count(), 0u);
+}
+
+TEST(Revocation, RevokedStorageLeaseReclaimsTuple) {
+  World w;
+  Instance a(w.net, cfg("a"));
+  a.out(Tuple{"doomed"});
+  EXPECT_EQ(a.local_space().count_matches(Pattern{"doomed"}), 1u);
+  a.leases().revoke_all();
+  EXPECT_EQ(a.local_space().count_matches(Pattern{"doomed"}), 0u);
+}
+
+// ---------------- Contact budget on blocking ops ----------------
+
+TEST(Budget, BlockingOpStopsContactingWhenBudgetSpent) {
+  World w;
+  Config c = cfg("a");
+  c.lease_caps.default_contacts = 2;
+  c.lease_caps.max_contacts = 2;
+  Instance a(w.net, c);
+  std::vector<std::unique_ptr<Instance>> peers;
+  for (int i = 0; i < 6; ++i) {
+    peers.push_back(std::make_unique<Instance>(
+        w.net, cfg(("p" + std::to_string(i)).c_str())));
+  }
+  ASSERT_TRUE(a.rd(Pattern{"scarce"}, [](auto) {}));
+  w.run_for(sim::seconds(2));
+  // At most 2 peers are serving the op (budget), not all 6.
+  std::size_t serving = 0;
+  for (auto& p : peers) serving += p->serving_count();
+  EXPECT_LE(serving, 2u);
+  EXPECT_GE(serving, 1u);
+}
+
+TEST(Budget, LateProducerBeyondBudgetStillMissed) {
+  // With a tiny budget the op cannot widen to late arrivals once spent —
+  // the documented meaning of a contact-bounded lease.
+  World w;
+  Config c = cfg("a");
+  c.lease_caps.default_contacts = 1;
+  c.lease_caps.max_contacts = 1;
+  c.lease_caps.default_ttl = sim::seconds(5);
+  c.lease_caps.max_ttl = sim::seconds(5);
+  Instance a(w.net, c);
+  Instance first(w.net, cfg("first"));  // consumes the only contact
+  bool got = false;
+  ASSERT_TRUE(a.rd(Pattern{"late"}, [&](auto r) { got = r.has_value(); }));
+  w.run_for(sim::seconds(1));
+  Instance late(w.net, cfg("late"));
+  late.out(Tuple{"late"});
+  w.run_for(sim::seconds(10));
+  EXPECT_FALSE(got) << "the single contact went to `first`; the lease "
+                       "does not permit contacting `late`";
+}
+
+// ---------------- Hostile / foreign traffic ----------------
+
+TEST(Robustness, GarbageAndForeignMessagesIgnored) {
+  World w;
+  Instance a(w.net, cfg("a"));
+  auto attacker = w.net.add_node();
+  // Raw garbage.
+  w.net.send(attacker, a.node(), sim::Payload{0xDE, 0xAD, 0xBE, 0xEF});
+  // A well-formed message of a baseline protocol (Peers request).
+  net::Message foreign;
+  foreign.type = baselines::kPeersRequest;
+  foreign.op_id = 7;
+  foreign.origin = attacker;
+  foreign.h(3).h(false);
+  foreign.pattern = Pattern{any_string()};
+  w.net.send(attacker, a.node(), net::encode_message(foreign));
+  // Confirm/release/cancel for operations that never existed.
+  for (std::uint16_t t : {net::kConfirm, net::kRelease, net::kCancelOp,
+                          net::kOpResponse}) {
+    net::Message stray;
+    stray.type = t;
+    stray.op_id = 12345;
+    stray.origin = attacker;
+    w.net.send(attacker, a.node(), net::encode_message(stray));
+  }
+  w.run_all();
+  EXPECT_EQ(a.endpoint().stats().decode_failures, 1u);
+  EXPECT_GE(a.endpoint().stats().unhandled, 1u);  // the Peers request
+  // The instance still works.
+  a.out(Tuple{"alive"});
+  EXPECT_EQ(a.local_space().count_matches(Pattern{"alive"}), 1u);
+}
+
+TEST(Robustness, TruncatedOpRequestIgnored) {
+  World w;
+  Instance a(w.net, cfg("a"));
+  auto attacker = w.net.add_node();
+  net::Message bad;
+  bad.type = net::kOpRequest;  // missing headers and pattern
+  bad.op_id = 1;
+  bad.origin = attacker;
+  w.net.send(attacker, a.node(), net::encode_message(bad));
+  w.run_all();
+  EXPECT_EQ(a.serving_count(), 0u);
+}
+
+// ---------------- Originator death with tentative outstanding ----------------
+
+TEST(TentativeRecovery, OriginatorDiesBeforeConfirm) {
+  World w;
+  auto taker = std::make_unique<Instance>(w.net, cfg("taker"));
+  Instance holder(w.net, cfg("holder"));
+  holder.out(Tuple{"prize"},
+             lease::FlexibleRequester{lease::for_duration(sim::seconds(50))});
+
+  // Let the take begin, then kill the taker the instant the request is
+  // sent (before any response can arrive, 2 ms link latency).
+  taker->inp(Pattern{"prize"}, [](auto) {});
+  w.run_for(sim::milliseconds(1));
+  taker.reset();  // in-flight messages to it will be dropped
+
+  // The holder's tentative hold expires and the tuple returns.
+  w.run_for(sim::seconds(5));
+  EXPECT_EQ(holder.local_space().tentative_count(), 0u);
+  EXPECT_EQ(holder.local_space().count_matches(Pattern{"prize"}), 1u)
+      << "the tuple must come back when the winner never confirms";
+}
+
+// ---------------- Misc semantics ----------------
+
+TEST(Misc, RdDoesNotConsumeEvenRemotely) {
+  World w;
+  Instance a(w.net, cfg("a"));
+  Instance b(w.net, cfg("b"));
+  b.out(Tuple{"shared"},
+        lease::FlexibleRequester{lease::for_duration(sim::seconds(50))});
+  for (int i = 0; i < 5; ++i) {
+    auto r = run_rd(a, Pattern{"shared"});
+    ASSERT_TRUE(r.has_value());
+  }
+  EXPECT_EQ(b.local_space().count_matches(Pattern{"shared"}), 1u);
+}
+
+TEST(Misc, ConcurrentOpsOnOneInstanceAreIndependent) {
+  World w;
+  Instance a(w.net, cfg("a"));
+  Instance b(w.net, cfg("b"));
+  int fired = 0;
+  std::optional<ReadResult> r1, r2, r3;
+  a.in(Pattern{"x", 1}, [&](auto r) { ++fired; r1 = r; });
+  a.in(Pattern{"x", 2}, [&](auto r) { ++fired; r2 = r; });
+  a.rd(Pattern{"x", 3}, [&](auto r) { ++fired; r3 = r; });
+  b.out(Tuple{"x", 2});
+  b.out(Tuple{"x", 3});
+  w.run_for(sim::seconds(2));
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(r1.has_value());
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r2->tuple[1].as_int(), 2);
+  ASSERT_TRUE(r3.has_value());
+  w.run_for(sim::seconds(30));  // first op's lease expires
+  EXPECT_EQ(fired, 3);
+  EXPECT_FALSE(r1.has_value());
+}
+
+TEST(Misc, SelfDirectedOpsBehaveLikeLocal) {
+  World w;
+  Instance a(w.net, cfg("a"));
+  a.out(Tuple{"mine", 5});
+  std::optional<ReadResult> got;
+  ASSERT_TRUE(a.inp_at(a.handle(), Pattern{"mine", any_int()},
+                       [&](auto r) { got = r; }));
+  w.run_for(sim::milliseconds(100));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->source, a.node());
+  EXPECT_EQ(a.endpoint().stats().sent, 0u) << "no network for self ops";
+}
+
+TEST(Misc, ZeroArityTuplesWorkEndToEnd) {
+  World w;
+  Instance a(w.net, cfg("a"));
+  Instance b(w.net, cfg("b"));
+  b.out(Tuple{});
+  auto r = run_inp(a, Pattern{});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->tuple.arity(), 0u);
+}
+
+TEST(Misc, LargeTupleCrossesNetworkIntact) {
+  World w;
+  Instance a(w.net, cfg("a"));
+  Instance b(w.net, cfg("b"));
+  tuples::Blob big(64 * 1024, 0x5A);
+  // The default byte budget (64 KiB) cannot cover the tuple + overhead:
+  EXPECT_EQ(b.out(Tuple{"blob", tuples::Value(big)},
+                  lease::FlexibleRequester{lease::for_duration(
+                      sim::seconds(50))}),
+            Status::kRefusedBySpace);
+  // An explicit budget gets it stored.
+  lease::LeaseTerms roomy;
+  roomy.ttl = sim::seconds(50);
+  roomy.max_bytes = 128 * 1024;
+  EXPECT_EQ(b.out(Tuple{"blob", tuples::Value(big)},
+                  lease::FlexibleRequester{roomy}),
+            Status::kOk);
+  auto r = run_inp(a, Pattern{"blob", tuples::any_blob()});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->tuple[1].as_blob(), big);
+}
+
+TEST(Misc, StatusToStringCoversAll) {
+  EXPECT_STREQ(to_string(Status::kOk), "ok");
+  EXPECT_STREQ(to_string(Status::kLeaseRefused), "lease-refused");
+  EXPECT_STREQ(to_string(Status::kRefusedBySpace), "refused-by-space");
+  EXPECT_STREQ(to_string(Status::kUnavailable), "unavailable");
+  EXPECT_STREQ(to_string(Status::kQueued), "queued");
+  EXPECT_STREQ(to_string(OpKind::kRd), "rd");
+  EXPECT_STREQ(to_string(OpKind::kInp), "inp");
+}
+
+TEST(Misc, OutRefusedWhenByteBudgetTooSmall) {
+  World w;
+  Instance a(w.net, cfg("a"));
+  lease::LeaseTerms tiny;
+  tiny.max_bytes = 4;  // cannot cover any real tuple
+  EXPECT_EQ(a.out(Tuple{"big", std::string(100, 'x')},
+                  lease::FlexibleRequester{tiny}),
+            Status::kRefusedBySpace);
+  EXPECT_EQ(a.local_space().count_matches(
+                Pattern{"big", tuples::any_string()}),
+            0u);
+}
+
+}  // namespace
+}  // namespace tiamat::core

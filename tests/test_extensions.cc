@@ -1,0 +1,265 @@
+// Tests for the extension features: remote eval via the computation
+// registry (§2.4 "special versions" of eval), space persistence (the
+// handle's `persistent` flag), and the generalised eval engine.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/instance.h"
+#include "space/persist.h"
+#include "space/registry.h"
+#include "tests/test_util.h"
+
+namespace tiamat {
+namespace {
+
+using core::Instance;
+using tuples::any_int;
+using tuples::Pattern;
+using tuples::Tuple;
+using tiamat::testing::World;
+
+core::Config cfg(const char* name) {
+  core::Config c;
+  c.name = name;
+  c.lease_caps.default_ttl = sim::seconds(30);
+  c.lease_caps.max_ttl = sim::seconds(60);
+  return c;
+}
+
+// ---------------- ComputationRegistry ----------------
+
+TEST(Registry, InstallAndFind) {
+  space::ComputationRegistry reg;
+  EXPECT_FALSE(reg.knows("square"));
+  reg.install("square", [](const Tuple& args) {
+    return Tuple{"result", args[0].as_int() * args[0].as_int()};
+  });
+  ASSERT_TRUE(reg.knows("square"));
+  const auto* c = reg.find("square");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->fn(Tuple{6})[1].as_int(), 36);
+  EXPECT_EQ(reg.find("missing"), nullptr);
+}
+
+TEST(Registry, CostMayDependOnArgs) {
+  space::ComputationRegistry reg;
+  space::NamedComputation c;
+  c.fn = [](const Tuple& args) { return args; };
+  c.cost = [](const Tuple& args) {
+    return sim::milliseconds(args[0].as_int());
+  };
+  reg.install("variable", std::move(c));
+  EXPECT_EQ(reg.find("variable")->cost(Tuple{25}), sim::milliseconds(25));
+}
+
+// ---------------- EvalEngine::submit_fn ----------------
+
+TEST(EvalFn, WholeTupleComputation) {
+  World w;
+  sim::Rng rng(3);
+  space::LocalTupleSpace sp(w.queue, rng);
+  space::EvalEngine engine(w.queue, sp);
+  engine.submit_fn([] { return Tuple{"computed", 99}; }, sim::seconds(1));
+  EXPECT_EQ(sp.size(), 0u);
+  w.queue.run_until(sim::seconds(2));
+  ASSERT_EQ(sp.size(), 1u);
+  EXPECT_TRUE(sp.rdp(Pattern{"computed", 99}).has_value());
+}
+
+TEST(EvalFn, HaltBeforeCompletion) {
+  World w;
+  sim::Rng rng(3);
+  space::LocalTupleSpace sp(w.queue, rng);
+  space::EvalEngine engine(w.queue, sp);
+  engine.submit_fn([] { return Tuple{"never"}; }, sim::seconds(10),
+                   /*halt_by=*/sim::seconds(1));
+  w.run_all();
+  EXPECT_EQ(sp.size(), 0u);
+  EXPECT_EQ(engine.stats().halted, 1u);
+}
+
+// ---------------- Remote eval ----------------
+
+struct RemoteEvalFixture : ::testing::Test {
+  World w;
+  Instance a{w.net, cfg("a")};
+  Instance b{w.net, cfg("b")};
+
+  void SetUp() override {
+    // Both ends know "square" — the registry models pre-shared code.
+    auto square = [](const Tuple& args) {
+      return Tuple{"sq", args[0].as_int(), args[0].as_int() * args[0].as_int()};
+    };
+    a.computations().install("square", square, sim::milliseconds(50));
+    b.computations().install("square", square, sim::milliseconds(50));
+  }
+};
+
+TEST_F(RemoteEvalFixture, RunsAtDestinationAndResultStaysThere) {
+  bool accepted = false;
+  EXPECT_EQ(a.eval_at(b.handle(), "square", Tuple{7},
+                      [&](bool ok) { accepted = ok; }),
+            core::Status::kOk);
+  w.run_for(sim::seconds(1));
+  EXPECT_TRUE(accepted);
+  // The resultant tuple is in b's space, not a's.
+  EXPECT_EQ(b.local_space().count_matches(Pattern{"sq", 7, 49}), 1u);
+  EXPECT_EQ(a.local_space().count_matches(Pattern{"sq", 7, 49}), 0u);
+  // ...and a can read it through the logical space.
+  auto r = core::run_rdp(a, Pattern{"sq", 7, any_int()});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->tuple[2].as_int(), 49);
+}
+
+TEST_F(RemoteEvalFixture, UnknownComputationRefused) {
+  bool accepted = true;
+  a.eval_at(b.handle(), "cube", Tuple{3}, [&](bool ok) { accepted = ok; });
+  w.run_for(sim::seconds(1));
+  EXPECT_FALSE(accepted);
+  EXPECT_EQ(b.local_space().size(), 1u);  // just the handle tuple
+}
+
+TEST_F(RemoteEvalFixture, SelfEvalRunsLocally) {
+  bool accepted = false;
+  EXPECT_EQ(a.eval_at(a.handle(), "square", Tuple{4},
+                      [&](bool ok) { accepted = ok; }),
+            core::Status::kOk);
+  w.run_for(sim::seconds(1));
+  EXPECT_TRUE(accepted);
+  EXPECT_EQ(a.local_space().count_matches(Pattern{"sq", 4, 16}), 1u);
+}
+
+TEST_F(RemoteEvalFixture, UnreachableDestinationFails) {
+  w.net.set_link(a.node(), b.node(), false);
+  bool accepted = true;
+  auto s = a.eval_at(b.handle(), "square", Tuple{5},
+                     [&](bool ok) { accepted = ok; });
+  w.run_for(sim::seconds(1));
+  EXPECT_EQ(s, core::Status::kUnavailable);
+  EXPECT_FALSE(accepted);
+}
+
+TEST_F(RemoteEvalFixture, ServingLeaseHaltsLongComputation) {
+  // b's policy caps leases at 60 s; a 10-minute computation is halted.
+  auto slow = [](const Tuple&) { return Tuple{"slow-done"}; };
+  b.computations().install("slow", slow, sim::seconds(600));
+  bool accepted = false;
+  a.eval_at(b.handle(), "slow", Tuple{}, [&](bool ok) { accepted = ok; });
+  w.run_for(sim::seconds(700));
+  EXPECT_TRUE(accepted) << "the job was taken...";
+  EXPECT_EQ(b.local_space().count_matches(Pattern{"slow-done"}), 0u)
+      << "...but its lease lapsed before completion (§2.5 eval semantics)";
+  EXPECT_EQ(b.evals().stats().halted, 1u);
+}
+
+// ---------------- Persistence ----------------
+
+struct PersistFixture : ::testing::Test {
+  World w;
+  sim::Rng rng{5};
+};
+
+TEST_F(PersistFixture, SnapshotRestoreRoundTrip) {
+  space::LocalTupleSpace sp(w.queue, rng);
+  sp.out(Tuple{"a", 1});
+  sp.out(Tuple{"b", 2, "payload"});
+  sp.out(Tuple{"c", 3.5, true});
+  auto image = space::snapshot(sp, w.queue.now());
+
+  space::LocalTupleSpace sp2(w.queue, rng);
+  auto n = space::restore(sp2, image);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, 3u);
+  EXPECT_EQ(sp2.count_matches(Pattern{"a", any_int()}), 1u);
+  EXPECT_EQ(sp2.count_matches(Pattern{"b", any_int(), tuples::any_string()}),
+            1u);
+}
+
+TEST_F(PersistFixture, RemainingLeaseSurvivesRestore) {
+  space::LocalTupleSpace sp(w.queue, rng);
+  sp.out(Tuple{"leased"}, sim::seconds(10));
+  sp.out(Tuple{"forever"});
+  w.queue.run_until(sim::seconds(4));  // 6 s of lease left
+  auto image = space::snapshot(sp, w.queue.now());
+
+  // "Restart" into a fresh space 100 s later: the lease is *relative*.
+  w.queue.run_until(sim::seconds(100));
+  space::LocalTupleSpace sp2(w.queue, rng);
+  ASSERT_TRUE(space::restore(sp2, image).has_value());
+  EXPECT_EQ(sp2.size(), 2u);
+  w.queue.run_until(sim::seconds(104));  // 4 of the 6 s consumed
+  EXPECT_EQ(sp2.count_matches(Pattern{"leased"}), 1u);
+  w.queue.run_until(sim::seconds(107));  // past the 6 s
+  EXPECT_EQ(sp2.count_matches(Pattern{"leased"}), 0u);
+  EXPECT_EQ(sp2.count_matches(Pattern{"forever"}), 1u);
+}
+
+TEST_F(PersistFixture, ExpiredAtSnapshotIsDropped) {
+  space::LocalTupleSpace sp(w.queue, rng);
+  sp.out(Tuple{"dying"}, sim::seconds(1));
+  // Snapshot exactly at expiry: remaining <= 0.
+  auto image = space::snapshot(sp, sim::seconds(1));
+  space::LocalTupleSpace sp2(w.queue, rng);
+  auto n = space::restore(sp2, image);
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(*n, 0u);
+}
+
+TEST_F(PersistFixture, TentativeTuplesNotPersisted) {
+  space::LocalTupleSpace sp(w.queue, rng);
+  sp.out(Tuple{"kept"});
+  sp.out(Tuple{"taken"});
+  auto t = sp.take_tentative(Pattern{"taken"});
+  ASSERT_TRUE(t.has_value());
+  auto image = space::snapshot(sp, w.queue.now());
+  space::LocalTupleSpace sp2(w.queue, rng);
+  ASSERT_TRUE(space::restore(sp2, image).has_value());
+  EXPECT_EQ(sp2.count_matches(Pattern{"kept"}), 1u);
+  EXPECT_EQ(sp2.count_matches(Pattern{"taken"}), 0u);
+}
+
+TEST_F(PersistFixture, MalformedImageRejected) {
+  space::LocalTupleSpace sp(w.queue, rng);
+  EXPECT_FALSE(space::restore(sp, tuples::Bytes{0xFF, 0x01, 0x02}).has_value());
+  EXPECT_EQ(sp.size(), 0u);
+  // Truncations of a valid image are rejected too.
+  sp.out(Tuple{"x", 1});
+  auto image = space::snapshot(sp, w.queue.now());
+  for (std::size_t cut = 1; cut < image.size(); ++cut) {
+    tuples::Bytes prefix(image.begin(), image.begin() + cut);
+    space::LocalTupleSpace target(w.queue, rng);
+    EXPECT_FALSE(space::restore(target, prefix).has_value());
+  }
+}
+
+TEST_F(PersistFixture, RestartedInstanceScenario) {
+  // End-to-end: a "persistent kiosk" instance restarts; its advertised
+  // persistence is real — remote tuples deposited before the restart are
+  // available after it.
+  core::Config kiosk_cfg = cfg("kiosk");
+  kiosk_cfg.persistent_space = true;
+  auto kiosk = std::make_unique<Instance>(w.net, kiosk_cfg);
+  Instance visitor(w.net, cfg("visitor"));
+  visitor.out_at(kiosk->handle(), Tuple{"note", "remember me"},
+                 core::UnavailablePolicy::kAbandon);
+  w.run_for(sim::seconds(1));
+  ASSERT_EQ(kiosk->local_space().count_matches(
+                Pattern{"note", tuples::any_string()}),
+            1u);
+
+  // Snapshot, destroy, restart, restore.
+  auto image = space::snapshot(kiosk->local_space(), w.queue.now());
+  kiosk.reset();
+  w.run_for(sim::seconds(1));
+  auto kiosk2 = std::make_unique<Instance>(w.net, kiosk_cfg);
+  ASSERT_TRUE(space::restore(kiosk2->local_space(), image).has_value());
+
+  auto r = core::run_rdp(visitor, Pattern{"note", tuples::any_string()});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->tuple[1].as_string(), "remember me");
+}
+
+}  // namespace
+}  // namespace tiamat

@@ -1,0 +1,438 @@
+// Unit tests for the leasing subsystem: terms, budgets, negotiation,
+// expiry/revocation, policies, and resource pools.
+
+#include <gtest/gtest.h>
+
+#include "lease/factory.h"
+#include "lease/lease.h"
+#include "lease/manager.h"
+#include "lease/policy.h"
+#include "lease/requester.h"
+#include "sim/event_queue.h"
+
+namespace tiamat::lease {
+namespace {
+
+using sim::EventQueue;
+using sim::milliseconds;
+using sim::seconds;
+
+// ---------------- LeaseTerms ----------------
+
+TEST(LeaseTerms, BoundedDetection) {
+  EXPECT_FALSE(unbounded().is_bounded());
+  EXPECT_TRUE(for_duration(seconds(1)).is_bounded());
+  EXPECT_TRUE(for_contacts(3).is_bounded());
+  EXPECT_TRUE(for_bytes(100).is_bounded());
+}
+
+TEST(LeaseTerms, ToStringMentionsDimensions) {
+  auto s = for_duration(seconds(1)).to_string();
+  EXPECT_NE(s.find("ttl"), std::string::npos);
+  EXPECT_EQ(unbounded().to_string(), "{unbounded}");
+}
+
+// ---------------- Lease budgets ----------------
+
+TEST(Lease, ContactBudgetEnforced) {
+  Lease l(1, for_contacts(2), 0);
+  EXPECT_TRUE(l.contacts_remaining());
+  EXPECT_TRUE(l.charge_contact());
+  EXPECT_TRUE(l.charge_contact());
+  EXPECT_FALSE(l.contacts_remaining());
+  EXPECT_FALSE(l.charge_contact());
+  EXPECT_EQ(l.contacts_used(), 2u);
+}
+
+TEST(Lease, ByteBudgetEnforced) {
+  Lease l(1, for_bytes(100), 0);
+  EXPECT_TRUE(l.charge_bytes(60));
+  EXPECT_FALSE(l.charge_bytes(50));  // would exceed; not charged
+  EXPECT_EQ(l.bytes_used(), 60u);
+  EXPECT_TRUE(l.charge_bytes(40));
+  EXPECT_FALSE(l.charge_bytes(1));
+}
+
+TEST(Lease, UnboundedChargesAlwaysSucceed) {
+  Lease l(1, unbounded(), 0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(l.charge_contact());
+    EXPECT_TRUE(l.charge_bytes(1 << 20));
+  }
+}
+
+TEST(Lease, ExpiryTimeFromTtl) {
+  Lease l(1, for_duration(seconds(5)), 100);
+  EXPECT_EQ(l.expiry_time(), 100 + seconds(5));
+  Lease l2(2, unbounded(), 100);
+  EXPECT_EQ(l2.expiry_time(), sim::kNever);
+}
+
+TEST(Lease, EndCallbacksFireOnceWithState) {
+  Lease l(1, unbounded(), 0);
+  int calls = 0;
+  LeaseState seen{};
+  l.on_end([&](LeaseState s) {
+    ++calls;
+    seen = s;
+  });
+  l.expire();
+  l.expire();   // idempotent
+  l.revoke();   // already finished
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen, LeaseState::kExpired);
+}
+
+TEST(Lease, OnEndAfterFinishFiresImmediately) {
+  Lease l(1, unbounded(), 0);
+  l.release();
+  bool fired = false;
+  l.on_end([&](LeaseState s) {
+    fired = true;
+    EXPECT_EQ(s, LeaseState::kReleased);
+  });
+  EXPECT_TRUE(fired);
+}
+
+TEST(Lease, InactiveLeaseRefusesCharges) {
+  Lease l(1, unbounded(), 0);
+  l.expire();
+  EXPECT_FALSE(l.charge_contact());
+  EXPECT_FALSE(l.charge_bytes(1));
+  EXPECT_FALSE(l.contacts_remaining());
+}
+
+// ---------------- Policies ----------------
+
+TEST(DefaultPolicy, ClampsToMaxAndDefaults) {
+  DefaultLeasePolicy::Caps caps;
+  caps.max_ttl = seconds(10);
+  caps.default_ttl = seconds(2);
+  caps.max_contacts = 4;
+  caps.default_contacts = 2;
+  DefaultLeasePolicy p(caps);
+  ResourceUsage idle;
+
+  // Unbounded request gets the defaults (every grant is bounded).
+  auto g1 = p.offer(unbounded(), idle, 0);
+  ASSERT_TRUE(g1.has_value());
+  EXPECT_EQ(*g1->ttl, seconds(2));
+  EXPECT_EQ(*g1->max_remote_contacts, 2u);
+
+  // Oversized request is clamped.
+  auto g2 = p.offer(for_duration(seconds(100)), idle, 0);
+  ASSERT_TRUE(g2.has_value());
+  EXPECT_EQ(*g2->ttl, seconds(10));
+  auto g3 = p.offer(for_contacts(100), idle, 0);
+  EXPECT_EQ(*g3->max_remote_contacts, 4u);
+
+  // Modest request granted as asked.
+  auto g4 = p.offer(for_duration(seconds(1)), idle, 0);
+  EXPECT_EQ(*g4->ttl, seconds(1));
+}
+
+TEST(DefaultPolicy, RefusesWhenSaturated) {
+  DefaultLeasePolicy::Caps caps;
+  caps.max_stored_bytes = 1000;
+  DefaultLeasePolicy p(caps);
+  ResourceUsage full;
+  full.stored_bytes = 1000;
+  EXPECT_FALSE(p.offer(unbounded(), full, 0).has_value());
+
+  ResourceUsage busy;
+  busy.active_ops = caps.max_active_ops;
+  EXPECT_FALSE(p.offer(unbounded(), busy, 0).has_value());
+}
+
+TEST(DefaultPolicy, OffersShrinkUnderPressure) {
+  DefaultLeasePolicy::Caps caps;
+  caps.max_stored_bytes = 1000;
+  caps.pressure_threshold = 0.5;
+  caps.default_ttl = seconds(10);
+  caps.max_ttl = seconds(10);
+  DefaultLeasePolicy p(caps);
+
+  ResourceUsage relaxed;
+  relaxed.stored_bytes = 100;
+  ResourceUsage pressured;
+  pressured.stored_bytes = 900;
+
+  auto easy = p.offer(unbounded(), relaxed, 0);
+  auto tight = p.offer(unbounded(), pressured, 0);
+  ASSERT_TRUE(easy && tight);
+  EXPECT_LT(*tight->ttl, *easy->ttl);
+  EXPECT_LE(*tight->max_remote_contacts, *easy->max_remote_contacts);
+}
+
+TEST(Policies, AcceptAllGrantsVerbatim) {
+  AcceptAllPolicy p;
+  auto g = p.offer(for_contacts(999), {}, 0);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(*g->max_remote_contacts, 999u);
+  EXPECT_FALSE(g->ttl.has_value());
+}
+
+TEST(Policies, DenyAllRefuses) {
+  DenyAllPolicy p;
+  EXPECT_FALSE(p.offer(unbounded(), {}, 0).has_value());
+}
+
+// ---------------- Requesters ----------------
+
+TEST(Requesters, FlexibleAcceptsAnything) {
+  FlexibleRequester r(for_duration(seconds(100)));
+  EXPECT_TRUE(r.accept(for_duration(1)));
+  EXPECT_TRUE(r.accept(unbounded()));
+}
+
+TEST(Requesters, StrictRefusesShortfall) {
+  StrictRequester r(for_duration(seconds(10)), 0.5);
+  EXPECT_TRUE(r.accept(for_duration(seconds(10))));
+  EXPECT_TRUE(r.accept(for_duration(seconds(5))));
+  EXPECT_FALSE(r.accept(for_duration(seconds(4))));
+}
+
+TEST(Requesters, StrictChecksEveryRequestedDimension) {
+  LeaseTerms want;
+  want.ttl = seconds(10);
+  want.max_remote_contacts = 10;
+  StrictRequester r(want, 1.0);
+  LeaseTerms offer;
+  offer.ttl = seconds(10);
+  offer.max_remote_contacts = 9;
+  EXPECT_FALSE(r.accept(offer));
+  offer.max_remote_contacts = 10;
+  EXPECT_TRUE(r.accept(offer));
+}
+
+TEST(Requesters, StrictTreatsAbsentOfferDimensionAsGenerous) {
+  StrictRequester r(for_contacts(5), 1.0);
+  EXPECT_TRUE(r.accept(unbounded()));  // no cap at all: at least as good
+}
+
+// ---------------- LeaseManager ----------------
+
+TEST(Manager, NegotiationGrantsAndExpires) {
+  EventQueue q;
+  LeaseManager m(q, default_policy());
+  auto l = m.negotiate(FlexibleRequester{for_duration(seconds(1))});
+  ASSERT_TRUE(l != nullptr);
+  EXPECT_TRUE(l->active());
+  EXPECT_EQ(m.active(), 1u);
+
+  bool ended = false;
+  l->on_end([&](LeaseState s) {
+    ended = true;
+    EXPECT_EQ(s, LeaseState::kExpired);
+  });
+  q.run_until_idle();
+  EXPECT_TRUE(ended);
+  EXPECT_EQ(q.now(), seconds(1));
+  EXPECT_EQ(m.active(), 0u);
+  EXPECT_EQ(m.stats().expired, 1u);
+}
+
+TEST(Manager, PolicyRefusalReturnsNull) {
+  EventQueue q;
+  LeaseManager m(q, std::make_unique<DenyAllPolicy>());
+  EXPECT_EQ(m.negotiate(FlexibleRequester{}), nullptr);
+  EXPECT_EQ(m.stats().refused_by_policy, 1u);
+}
+
+TEST(Manager, RequesterRefusalReturnsNull) {
+  EventQueue q;
+  DefaultLeasePolicy::Caps caps;
+  caps.max_ttl = seconds(1);
+  LeaseManager m(q, default_policy(caps));
+  StrictRequester strict(for_duration(seconds(100)), 0.9);
+  EXPECT_EQ(m.negotiate(strict), nullptr);
+  EXPECT_EQ(m.stats().refused_by_requester, 1u);
+}
+
+TEST(Manager, ReleaseCancelsExpiryTimer) {
+  EventQueue q;
+  LeaseManager m(q, default_policy());
+  auto l = m.negotiate(FlexibleRequester{for_duration(seconds(5))});
+  ASSERT_TRUE(l);
+  l->release();
+  EXPECT_EQ(m.active(), 0u);
+  EXPECT_EQ(m.stats().released, 1u);
+  q.run_until_idle();
+  EXPECT_EQ(l->state(), LeaseState::kReleased);  // not expired later
+}
+
+TEST(Manager, RevokeEndsLeaseEarly) {
+  EventQueue q;
+  LeaseManager m(q, default_policy());
+  auto l = m.negotiate(FlexibleRequester{for_duration(seconds(5))});
+  ASSERT_TRUE(l);
+  bool revoked = false;
+  l->on_end([&](LeaseState s) { revoked = (s == LeaseState::kRevoked); });
+  EXPECT_TRUE(m.revoke(l->id()));
+  EXPECT_TRUE(revoked);
+  EXPECT_EQ(m.stats().revoked, 1u);
+  EXPECT_FALSE(m.revoke(l->id()));  // second revoke: gone
+}
+
+TEST(Manager, RevokeAllSweepsEverything) {
+  EventQueue q;
+  LeaseManager m(q, default_policy());
+  auto a = m.negotiate(FlexibleRequester{});
+  auto b = m.negotiate(FlexibleRequester{});
+  ASSERT_TRUE(a && b);
+  m.revoke_all();
+  EXPECT_EQ(m.active(), 0u);
+  EXPECT_EQ(a->state(), LeaseState::kRevoked);
+  EXPECT_EQ(b->state(), LeaseState::kRevoked);
+}
+
+TEST(Manager, UsageProbeFeedsPolicy) {
+  EventQueue q;
+  DefaultLeasePolicy::Caps caps;
+  caps.max_stored_bytes = 100;
+  LeaseManager m(q, default_policy(caps));
+  std::size_t reported = 0;
+  m.set_usage_probe([&] {
+    ResourceUsage u;
+    u.stored_bytes = reported;
+    return u;
+  });
+  EXPECT_NE(m.negotiate(FlexibleRequester{}), nullptr);
+  reported = 100;  // saturated now
+  EXPECT_EQ(m.negotiate(FlexibleRequester{}), nullptr);
+}
+
+TEST(Manager, GrantStatsCount) {
+  EventQueue q;
+  LeaseManager m(q, default_policy());
+  m.negotiate(FlexibleRequester{});
+  m.negotiate(FlexibleRequester{});
+  EXPECT_EQ(m.stats().granted, 2u);
+}
+
+// ---------------- ResourcePool ----------------
+
+TEST(Pool, TokensCountAndRelease) {
+  ResourcePool p("threads", 2);
+  auto t1 = p.try_acquire();
+  auto t2 = p.try_acquire();
+  EXPECT_TRUE(t1 && t2);
+  EXPECT_EQ(p.in_use(), 2u);
+  auto t3 = p.try_acquire();
+  EXPECT_FALSE(t3);
+  EXPECT_EQ(p.refusals(), 1u);
+  t1.reset();
+  EXPECT_EQ(p.in_use(), 1u);
+  auto t4 = p.try_acquire();
+  EXPECT_TRUE(t4);
+}
+
+TEST(Pool, TokenMoveTransfersOwnership) {
+  ResourcePool p("sockets", 1);
+  auto t1 = p.try_acquire();
+  ResourcePool::Token t2 = std::move(t1);
+  EXPECT_FALSE(t1);
+  EXPECT_TRUE(t2);
+  EXPECT_EQ(p.in_use(), 1u);
+  t2.reset();
+  EXPECT_EQ(p.in_use(), 0u);
+}
+
+TEST(Pool, TokenDestructorReleases) {
+  ResourcePool p("x", 1);
+  {
+    auto t = p.try_acquire();
+    EXPECT_EQ(p.in_use(), 1u);
+  }
+  EXPECT_EQ(p.in_use(), 0u);
+}
+
+TEST(Pool, ShrinkingCapacityBelowUseBlocksNewAcquires) {
+  ResourcePool p("x", 2);
+  auto a = p.try_acquire();
+  auto b = p.try_acquire();
+  p.set_capacity(1);
+  EXPECT_FALSE(p.try_acquire());
+  a.reset();
+  b.reset();
+  EXPECT_TRUE(p.try_acquire());
+}
+
+TEST(Pool, ManagerOwnsNamedPools) {
+  EventQueue q;
+  LeaseManager m(q, default_policy());
+  auto& threads = m.pool("threads", 4);
+  EXPECT_EQ(threads.capacity(), 4u);
+  auto& again = m.pool("threads", 999);
+  EXPECT_EQ(&threads, &again);  // same pool, capacity unchanged
+  EXPECT_EQ(again.capacity(), 4u);
+}
+
+}  // namespace
+}  // namespace tiamat::lease
+
+// ---------------- Renewal (appended suite) ----------------
+
+namespace tiamat::lease {
+namespace {
+
+using sim::seconds;
+
+TEST(Renewal, ExtendsActiveLease) {
+  sim::EventQueue q;
+  LeaseManager m(q, default_policy());
+  auto l = m.negotiate(FlexibleRequester{for_duration(seconds(2))});
+  ASSERT_TRUE(l);
+  q.run_until(seconds(1));
+  auto new_expiry = m.renew(l->id(), seconds(5));
+  ASSERT_TRUE(new_expiry.has_value());
+  EXPECT_EQ(*new_expiry, seconds(1) + seconds(6));  // remaining 1 + extra 5
+  q.run_until(seconds(3));
+  EXPECT_TRUE(l->active()) << "original expiry must have been cancelled";
+  q.run_until_idle();
+  EXPECT_EQ(l->state(), LeaseState::kExpired);
+  EXPECT_EQ(q.now(), seconds(7));
+}
+
+TEST(Renewal, UnknownOrEndedLeaseRefused) {
+  sim::EventQueue q;
+  LeaseManager m(q, default_policy());
+  EXPECT_FALSE(m.renew(999, seconds(1)).has_value());
+  auto l = m.negotiate(FlexibleRequester{for_duration(seconds(1))});
+  ASSERT_TRUE(l);
+  l->release();
+  EXPECT_FALSE(m.renew(l->id(), seconds(1)).has_value());
+}
+
+TEST(Renewal, PolicyMayGrantLessThanAsked) {
+  sim::EventQueue q;
+  DefaultLeasePolicy::Caps caps;
+  caps.max_ttl = seconds(3);
+  LeaseManager m(q, default_policy(caps));
+  auto l = m.negotiate(FlexibleRequester{for_duration(seconds(2))});
+  ASSERT_TRUE(l);
+  auto e = m.renew(l->id(), seconds(100));
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(*e, seconds(3));  // clamped to the cap
+}
+
+TEST(Renewal, SaturatedPolicyRefusesRenewal) {
+  sim::EventQueue q;
+  DefaultLeasePolicy::Caps caps;
+  caps.max_stored_bytes = 100;
+  LeaseManager m(q, default_policy(caps));
+  std::size_t reported = 0;
+  m.set_usage_probe([&] {
+    ResourceUsage u;
+    u.stored_bytes = reported;
+    return u;
+  });
+  auto l = m.negotiate(FlexibleRequester{for_duration(seconds(2))});
+  ASSERT_TRUE(l);
+  reported = 100;  // device filled up since the grant
+  EXPECT_FALSE(m.renew(l->id(), seconds(5)).has_value());
+  EXPECT_TRUE(l->active()) << "a refused renewal does not end the lease";
+}
+
+}  // namespace
+}  // namespace tiamat::lease

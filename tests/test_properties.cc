@@ -1,0 +1,230 @@
+// Property-based / stress tests: randomised multi-instance workloads whose
+// *invariants* must hold under any interleaving, packet loss, and churn.
+//
+//   P1  exactly-once removal: a tuple is never delivered to two takers;
+//   P2  no tentative leaks: every tentative removal is eventually confirmed
+//       or released;
+//   P3  every operation terminates: a match, or nothing at lease expiry —
+//       never a hang, never a double callback;
+//   P4  determinism: identical seeds give identical traces;
+//   P5  lease accounting: no active leases survive the workload.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/instance.h"
+#include "sim/mobility.h"
+#include "tests/test_util.h"
+
+namespace tiamat::core {
+namespace {
+
+using tuples::any_int;
+using tuples::Pattern;
+using tuples::Tuple;
+using tiamat::testing::World;
+
+struct Trace {
+  std::uint64_t produced = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t empty = 0;
+  std::uint64_t callbacks = 0;
+  std::multiset<std::int64_t> taken_ids;  // multiset to detect duplicates
+  std::uint64_t net_bytes = 0;
+};
+
+Config stress_config(const std::string& name) {
+  Config cfg;
+  cfg.name = name;
+  cfg.lease_caps.default_ttl = sim::seconds(5);
+  cfg.lease_caps.max_ttl = sim::seconds(10);
+  cfg.lease_caps.default_contacts = 16;
+  cfg.lease_caps.max_contacts = 32;
+  return cfg;
+}
+
+/// Runs a random produce/take workload over `n` instances and returns the
+/// observable trace. Every produced tuple carries a unique id; takers use
+/// destructive ops so duplicate delivery is detectable.
+Trace run_workload(std::uint64_t seed, std::size_t n, int ops_per_node,
+                   double loss, bool churn) {
+  sim::LinkModel lm = World::quiet_links();
+  lm.loss = loss;
+  lm.jitter = 300;
+  World w(seed, lm);
+
+  std::vector<std::unique_ptr<Instance>> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<Instance>(
+        w.net, stress_config("s" + std::to_string(i))));
+  }
+
+  Trace trace;
+  std::int64_t next_id = 1;
+  sim::Rng driver(seed ^ 0xABCDEF);
+
+  // The driver loops are self-referencing shared_ptr<function> cycles;
+  // keep handles so the cycles can be broken at the end of the run.
+  std::vector<std::shared_ptr<std::function<void()>>> steppers;
+
+  // Each node interleaves random outs and random takes on its own timer.
+  for (std::size_t i = 0; i < n; ++i) {
+    auto* inst = nodes[i].get();
+    auto remaining = std::make_shared<int>(ops_per_node);
+    auto step = std::make_shared<std::function<void()>>();
+    *step = [&, inst, remaining, step] {
+      if (*remaining <= 0) return;
+      --*remaining;
+      if (driver.chance(0.55)) {
+        ++trace.produced;
+        inst->out(Tuple{"item", next_id++});
+        w.queue.schedule_after(sim::milliseconds(driver.uniform(1, 30)),
+                               *step);
+      } else {
+        const bool blocking = driver.chance(0.4);
+        auto cb = [&, step, inst](std::optional<ReadResult> r) {
+          ++trace.callbacks;
+          if (r) {
+            ++trace.delivered;
+            trace.taken_ids.insert(r->tuple[1].as_int());
+          } else {
+            ++trace.empty;
+          }
+          w.queue.schedule_after(sim::milliseconds(driver.uniform(1, 30)),
+                                 *step);
+        };
+        bool granted = blocking ? inst->in(Pattern{"item", any_int()}, cb)
+                                : inst->inp(Pattern{"item", any_int()}, cb);
+        if (!granted) {
+          w.queue.schedule_after(sim::milliseconds(5), *step);
+        }
+      }
+    };
+    steppers.push_back(step);
+    w.queue.schedule_after(sim::milliseconds(driver.uniform(1, 20)), *step);
+  }
+
+  sim::ChurnProcess churner(w.net, w.rng,
+                            sim::ChurnParams{sim::milliseconds(300), 0.4, 2});
+  if (churn) {
+    for (auto& nd : nodes) churner.manage(nd->node());
+    churner.start();
+  }
+
+  w.queue.run_for(sim::seconds(120));
+  churner.stop();
+  w.queue.run_for(sim::seconds(30));  // drain every outstanding lease
+
+  // ---- Invariants checked while the world is still alive ----
+  for (auto& nd : nodes) {
+    EXPECT_EQ(nd->local_space().tentative_count(), 0u)
+        << "P2: tentative tuple leaked at " << nd->name();
+    EXPECT_EQ(nd->open_ops(), 0u)
+        << "P3/P5: operation outlived its lease at " << nd->name();
+    EXPECT_EQ(nd->serving_count(), 0u)
+        << "P5: serving entry leaked at " << nd->name();
+    EXPECT_EQ(nd->leases().active(), 0u)
+        << "P5: active lease leaked at " << nd->name();
+  }
+  trace.net_bytes = w.net.stats().bytes_sent;
+  for (auto& s2 : steppers) *s2 = nullptr;  // break the self-cycles
+  return trace;
+}
+
+class StressSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StressSweep, CleanNetworkInvariants) {
+  Trace t = run_workload(GetParam(), 5, 40, /*loss=*/0.0, /*churn=*/false);
+  // P3: every take op called back exactly once.
+  EXPECT_EQ(t.callbacks, t.delivered + t.empty);
+  // P1: no tuple delivered twice.
+  std::set<std::int64_t> unique_ids(t.taken_ids.begin(), t.taken_ids.end());
+  EXPECT_EQ(unique_ids.size(), t.taken_ids.size())
+      << "a tuple id was taken twice";
+  // Sanity: the workload did real distributed work.
+  EXPECT_GT(t.delivered, 0u);
+  EXPECT_LE(t.delivered, t.produced);
+}
+
+TEST_P(StressSweep, LossyNetworkInvariants) {
+  Trace t = run_workload(GetParam() ^ 0x5050, 5, 30, /*loss=*/0.15,
+                         /*churn=*/false);
+  std::set<std::int64_t> unique_ids(t.taken_ids.begin(), t.taken_ids.end());
+  EXPECT_EQ(unique_ids.size(), t.taken_ids.size())
+      << "packet loss must never cause duplicate delivery";
+  EXPECT_EQ(t.callbacks, t.delivered + t.empty);
+}
+
+TEST_P(StressSweep, ChurningNetworkInvariants) {
+  Trace t = run_workload(GetParam() ^ 0xC0C0, 6, 30, /*loss=*/0.05,
+                         /*churn=*/true);
+  std::set<std::int64_t> unique_ids(t.taken_ids.begin(), t.taken_ids.end());
+  EXPECT_EQ(unique_ids.size(), t.taken_ids.size())
+      << "churn must never cause duplicate delivery";
+  EXPECT_EQ(t.callbacks, t.delivered + t.empty);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 23, 47));
+
+TEST(Determinism, IdenticalSeedsIdenticalTraces) {
+  auto a = run_workload(99, 4, 25, 0.1, true);
+  auto b = run_workload(99, 4, 25, 0.1, true);
+  EXPECT_EQ(a.produced, b.produced);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.empty, b.empty);
+  EXPECT_EQ(a.taken_ids, b.taken_ids);
+  EXPECT_EQ(a.net_bytes, b.net_bytes);
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  auto a = run_workload(100, 4, 25, 0.1, true);
+  auto b = run_workload(101, 4, 25, 0.1, true);
+  // Overwhelmingly likely to differ somewhere.
+  EXPECT_TRUE(a.net_bytes != b.net_bytes || a.taken_ids != b.taken_ids ||
+              a.delivered != b.delivered);
+}
+
+// P1 at maximum contention: every node fights over a single tuple, many
+// rounds; exactly one winner per round.
+class ContentionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ContentionSweep, SingleTupleSingleWinner) {
+  World w(GetParam());
+  constexpr std::size_t kNodes = 6;
+  std::vector<std::unique_ptr<Instance>> nodes;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    nodes.push_back(std::make_unique<Instance>(
+        w.net, stress_config("c" + std::to_string(i))));
+  }
+  for (int round = 0; round < 10; ++round) {
+    nodes[round % kNodes]->out(Tuple{"prize", round});
+    int winners = 0, losers = 0;
+    for (auto& nd : nodes) {
+      nd->inp(Pattern{"prize", round}, [&](auto r) {
+        if (r) {
+          ++winners;
+        } else {
+          ++losers;
+        }
+      });
+    }
+    w.queue.run_for(sim::seconds(12));
+    ASSERT_EQ(winners, 1) << "round " << round;
+    ASSERT_EQ(losers, static_cast<int>(kNodes) - 1) << "round " << round;
+    for (auto& nd : nodes) {
+      ASSERT_EQ(nd->local_space().count_matches(Pattern{"prize", round}), 0u);
+      ASSERT_EQ(nd->local_space().tentative_count(), 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContentionSweep,
+                         ::testing::Values(7, 8, 9, 10));
+
+}  // namespace
+}  // namespace tiamat::core

@@ -1,0 +1,39 @@
+// Shared fixtures/helpers for the test suites.
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/random.h"
+
+namespace tiamat::testing {
+
+/// A simulated world: queue + rng + network. Link jitter/loss are disabled
+/// by default so tests are easy to reason about; individual tests opt in.
+struct World {
+  explicit World(std::uint64_t seed = 42, sim::LinkModel model = quiet_links())
+      : rng(seed), net(queue, rng, model) {}
+
+  static sim::LinkModel quiet_links() {
+    sim::LinkModel m;
+    m.base_latency = 2 * sim::kMillisecond;
+    m.per_kilobyte = 0;
+    m.jitter = 0;
+    m.loss = 0.0;
+    return m;
+  }
+
+  void run_all() { queue.run_until_idle(); }
+  void run_for(sim::Duration d) { queue.run_for(d); }
+
+  sim::EventQueue queue;
+  sim::Rng rng;
+  sim::Network net;
+};
+
+}  // namespace tiamat::testing
