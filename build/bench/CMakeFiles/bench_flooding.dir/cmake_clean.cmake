@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flooding.dir/bench_flooding.cc.o"
+  "CMakeFiles/bench_flooding.dir/bench_flooding.cc.o.d"
+  "bench_flooding"
+  "bench_flooding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flooding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fractal.dir/bench_fractal.cc.o"
+  "CMakeFiles/bench_fractal.dir/bench_fractal.cc.o.d"
+  "bench_fractal"
+  "bench_fractal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fractal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fractal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_leases.dir/bench_leases.cc.o"
+  "CMakeFiles/bench_leases.dir/bench_leases.cc.o.d"
+  "bench_leases"
+  "bench_leases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_leases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_webapp.dir/bench_webapp.cc.o"
+  "CMakeFiles/bench_webapp.dir/bench_webapp.cc.o.d"
+  "bench_webapp"
+  "bench_webapp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_webapp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_logical_spaces.dir/figure1_logical_spaces.cpp.o"
+  "CMakeFiles/figure1_logical_spaces.dir/figure1_logical_spaces.cpp.o.d"
+  "figure1_logical_spaces"
+  "figure1_logical_spaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_logical_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

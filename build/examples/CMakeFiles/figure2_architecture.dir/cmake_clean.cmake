@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_architecture.dir/figure2_architecture.cpp.o"
+  "CMakeFiles/figure2_architecture.dir/figure2_architecture.cpp.o.d"
+  "figure2_architecture"
+  "figure2_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fractal.dir/fractal.cpp.o"
+  "CMakeFiles/fractal.dir/fractal.cpp.o.d"
+  "fractal"
+  "fractal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fractal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_proxy.dir/web_proxy.cpp.o"
+  "CMakeFiles/web_proxy.dir/web_proxy.cpp.o.d"
+  "web_proxy"
+  "web_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

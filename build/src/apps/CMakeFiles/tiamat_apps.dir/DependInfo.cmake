@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/fractal.cc" "src/apps/CMakeFiles/tiamat_apps.dir/fractal.cc.o" "gcc" "src/apps/CMakeFiles/tiamat_apps.dir/fractal.cc.o.d"
+  "/root/repo/src/apps/loadbalance.cc" "src/apps/CMakeFiles/tiamat_apps.dir/loadbalance.cc.o" "gcc" "src/apps/CMakeFiles/tiamat_apps.dir/loadbalance.cc.o.d"
+  "/root/repo/src/apps/web.cc" "src/apps/CMakeFiles/tiamat_apps.dir/web.cc.o" "gcc" "src/apps/CMakeFiles/tiamat_apps.dir/web.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tiamat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/space/CMakeFiles/tiamat_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/lease/CMakeFiles/tiamat_lease.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tiamat_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/tiamat_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tiamat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiamat_apps.dir/fractal.cc.o"
+  "CMakeFiles/tiamat_apps.dir/fractal.cc.o.d"
+  "CMakeFiles/tiamat_apps.dir/loadbalance.cc.o"
+  "CMakeFiles/tiamat_apps.dir/loadbalance.cc.o.d"
+  "CMakeFiles/tiamat_apps.dir/web.cc.o"
+  "CMakeFiles/tiamat_apps.dir/web.cc.o.d"
+  "libtiamat_apps.a"
+  "libtiamat_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiamat_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/central.cc" "src/baselines/CMakeFiles/tiamat_baselines.dir/central.cc.o" "gcc" "src/baselines/CMakeFiles/tiamat_baselines.dir/central.cc.o.d"
+  "/root/repo/src/baselines/corelime.cc" "src/baselines/CMakeFiles/tiamat_baselines.dir/corelime.cc.o" "gcc" "src/baselines/CMakeFiles/tiamat_baselines.dir/corelime.cc.o.d"
+  "/root/repo/src/baselines/limbo.cc" "src/baselines/CMakeFiles/tiamat_baselines.dir/limbo.cc.o" "gcc" "src/baselines/CMakeFiles/tiamat_baselines.dir/limbo.cc.o.d"
+  "/root/repo/src/baselines/lime.cc" "src/baselines/CMakeFiles/tiamat_baselines.dir/lime.cc.o" "gcc" "src/baselines/CMakeFiles/tiamat_baselines.dir/lime.cc.o.d"
+  "/root/repo/src/baselines/peers.cc" "src/baselines/CMakeFiles/tiamat_baselines.dir/peers.cc.o" "gcc" "src/baselines/CMakeFiles/tiamat_baselines.dir/peers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/space/CMakeFiles/tiamat_space.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tiamat_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/tiamat_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tiamat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiamat_baselines.dir/central.cc.o"
+  "CMakeFiles/tiamat_baselines.dir/central.cc.o.d"
+  "CMakeFiles/tiamat_baselines.dir/corelime.cc.o"
+  "CMakeFiles/tiamat_baselines.dir/corelime.cc.o.d"
+  "CMakeFiles/tiamat_baselines.dir/limbo.cc.o"
+  "CMakeFiles/tiamat_baselines.dir/limbo.cc.o.d"
+  "CMakeFiles/tiamat_baselines.dir/lime.cc.o"
+  "CMakeFiles/tiamat_baselines.dir/lime.cc.o.d"
+  "CMakeFiles/tiamat_baselines.dir/peers.cc.o"
+  "CMakeFiles/tiamat_baselines.dir/peers.cc.o.d"
+  "libtiamat_baselines.a"
+  "libtiamat_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiamat_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

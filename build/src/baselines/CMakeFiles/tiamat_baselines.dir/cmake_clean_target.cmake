@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtiamat_baselines.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiamat_core.dir/adaptation.cc.o"
+  "CMakeFiles/tiamat_core.dir/adaptation.cc.o.d"
+  "CMakeFiles/tiamat_core.dir/instance.cc.o"
+  "CMakeFiles/tiamat_core.dir/instance.cc.o.d"
+  "CMakeFiles/tiamat_core.dir/logical_space.cc.o"
+  "CMakeFiles/tiamat_core.dir/logical_space.cc.o.d"
+  "CMakeFiles/tiamat_core.dir/remote_ops.cc.o"
+  "CMakeFiles/tiamat_core.dir/remote_ops.cc.o.d"
+  "CMakeFiles/tiamat_core.dir/routing.cc.o"
+  "CMakeFiles/tiamat_core.dir/routing.cc.o.d"
+  "libtiamat_core.a"
+  "libtiamat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiamat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

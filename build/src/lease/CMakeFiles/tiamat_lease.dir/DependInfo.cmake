@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lease/lease.cc" "src/lease/CMakeFiles/tiamat_lease.dir/lease.cc.o" "gcc" "src/lease/CMakeFiles/tiamat_lease.dir/lease.cc.o.d"
+  "/root/repo/src/lease/manager.cc" "src/lease/CMakeFiles/tiamat_lease.dir/manager.cc.o" "gcc" "src/lease/CMakeFiles/tiamat_lease.dir/manager.cc.o.d"
+  "/root/repo/src/lease/policy.cc" "src/lease/CMakeFiles/tiamat_lease.dir/policy.cc.o" "gcc" "src/lease/CMakeFiles/tiamat_lease.dir/policy.cc.o.d"
+  "/root/repo/src/lease/requester.cc" "src/lease/CMakeFiles/tiamat_lease.dir/requester.cc.o" "gcc" "src/lease/CMakeFiles/tiamat_lease.dir/requester.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tiamat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiamat_lease.dir/lease.cc.o"
+  "CMakeFiles/tiamat_lease.dir/lease.cc.o.d"
+  "CMakeFiles/tiamat_lease.dir/manager.cc.o"
+  "CMakeFiles/tiamat_lease.dir/manager.cc.o.d"
+  "CMakeFiles/tiamat_lease.dir/policy.cc.o"
+  "CMakeFiles/tiamat_lease.dir/policy.cc.o.d"
+  "CMakeFiles/tiamat_lease.dir/requester.cc.o"
+  "CMakeFiles/tiamat_lease.dir/requester.cc.o.d"
+  "libtiamat_lease.a"
+  "libtiamat_lease.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiamat_lease.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

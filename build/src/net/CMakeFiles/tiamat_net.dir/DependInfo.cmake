@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/discovery.cc" "src/net/CMakeFiles/tiamat_net.dir/discovery.cc.o" "gcc" "src/net/CMakeFiles/tiamat_net.dir/discovery.cc.o.d"
+  "/root/repo/src/net/endpoint.cc" "src/net/CMakeFiles/tiamat_net.dir/endpoint.cc.o" "gcc" "src/net/CMakeFiles/tiamat_net.dir/endpoint.cc.o.d"
+  "/root/repo/src/net/message.cc" "src/net/CMakeFiles/tiamat_net.dir/message.cc.o" "gcc" "src/net/CMakeFiles/tiamat_net.dir/message.cc.o.d"
+  "/root/repo/src/net/responder_cache.cc" "src/net/CMakeFiles/tiamat_net.dir/responder_cache.cc.o" "gcc" "src/net/CMakeFiles/tiamat_net.dir/responder_cache.cc.o.d"
+  "/root/repo/src/net/rpc.cc" "src/net/CMakeFiles/tiamat_net.dir/rpc.cc.o" "gcc" "src/net/CMakeFiles/tiamat_net.dir/rpc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuple/CMakeFiles/tiamat_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tiamat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

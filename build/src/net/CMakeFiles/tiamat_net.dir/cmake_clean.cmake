@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiamat_net.dir/discovery.cc.o"
+  "CMakeFiles/tiamat_net.dir/discovery.cc.o.d"
+  "CMakeFiles/tiamat_net.dir/endpoint.cc.o"
+  "CMakeFiles/tiamat_net.dir/endpoint.cc.o.d"
+  "CMakeFiles/tiamat_net.dir/message.cc.o"
+  "CMakeFiles/tiamat_net.dir/message.cc.o.d"
+  "CMakeFiles/tiamat_net.dir/responder_cache.cc.o"
+  "CMakeFiles/tiamat_net.dir/responder_cache.cc.o.d"
+  "CMakeFiles/tiamat_net.dir/rpc.cc.o"
+  "CMakeFiles/tiamat_net.dir/rpc.cc.o.d"
+  "libtiamat_net.a"
+  "libtiamat_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiamat_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiamat_sim.dir/event_queue.cc.o"
+  "CMakeFiles/tiamat_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/tiamat_sim.dir/mobility.cc.o"
+  "CMakeFiles/tiamat_sim.dir/mobility.cc.o.d"
+  "CMakeFiles/tiamat_sim.dir/network.cc.o"
+  "CMakeFiles/tiamat_sim.dir/network.cc.o.d"
+  "CMakeFiles/tiamat_sim.dir/topology.cc.o"
+  "CMakeFiles/tiamat_sim.dir/topology.cc.o.d"
+  "libtiamat_sim.a"
+  "libtiamat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiamat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

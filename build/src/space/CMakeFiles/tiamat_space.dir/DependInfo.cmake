@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/space/eval.cc" "src/space/CMakeFiles/tiamat_space.dir/eval.cc.o" "gcc" "src/space/CMakeFiles/tiamat_space.dir/eval.cc.o.d"
+  "/root/repo/src/space/handle.cc" "src/space/CMakeFiles/tiamat_space.dir/handle.cc.o" "gcc" "src/space/CMakeFiles/tiamat_space.dir/handle.cc.o.d"
+  "/root/repo/src/space/local_space.cc" "src/space/CMakeFiles/tiamat_space.dir/local_space.cc.o" "gcc" "src/space/CMakeFiles/tiamat_space.dir/local_space.cc.o.d"
+  "/root/repo/src/space/persist.cc" "src/space/CMakeFiles/tiamat_space.dir/persist.cc.o" "gcc" "src/space/CMakeFiles/tiamat_space.dir/persist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuple/CMakeFiles/tiamat_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tiamat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiamat_space.dir/eval.cc.o"
+  "CMakeFiles/tiamat_space.dir/eval.cc.o.d"
+  "CMakeFiles/tiamat_space.dir/handle.cc.o"
+  "CMakeFiles/tiamat_space.dir/handle.cc.o.d"
+  "CMakeFiles/tiamat_space.dir/local_space.cc.o"
+  "CMakeFiles/tiamat_space.dir/local_space.cc.o.d"
+  "CMakeFiles/tiamat_space.dir/persist.cc.o"
+  "CMakeFiles/tiamat_space.dir/persist.cc.o.d"
+  "libtiamat_space.a"
+  "libtiamat_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiamat_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

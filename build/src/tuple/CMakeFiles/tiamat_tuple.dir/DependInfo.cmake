@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuple/codec.cc" "src/tuple/CMakeFiles/tiamat_tuple.dir/codec.cc.o" "gcc" "src/tuple/CMakeFiles/tiamat_tuple.dir/codec.cc.o.d"
+  "/root/repo/src/tuple/index.cc" "src/tuple/CMakeFiles/tiamat_tuple.dir/index.cc.o" "gcc" "src/tuple/CMakeFiles/tiamat_tuple.dir/index.cc.o.d"
+  "/root/repo/src/tuple/pattern.cc" "src/tuple/CMakeFiles/tiamat_tuple.dir/pattern.cc.o" "gcc" "src/tuple/CMakeFiles/tiamat_tuple.dir/pattern.cc.o.d"
+  "/root/repo/src/tuple/tuple.cc" "src/tuple/CMakeFiles/tiamat_tuple.dir/tuple.cc.o" "gcc" "src/tuple/CMakeFiles/tiamat_tuple.dir/tuple.cc.o.d"
+  "/root/repo/src/tuple/value.cc" "src/tuple/CMakeFiles/tiamat_tuple.dir/value.cc.o" "gcc" "src/tuple/CMakeFiles/tiamat_tuple.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

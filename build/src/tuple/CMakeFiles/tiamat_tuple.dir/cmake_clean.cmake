@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiamat_tuple.dir/codec.cc.o"
+  "CMakeFiles/tiamat_tuple.dir/codec.cc.o.d"
+  "CMakeFiles/tiamat_tuple.dir/index.cc.o"
+  "CMakeFiles/tiamat_tuple.dir/index.cc.o.d"
+  "CMakeFiles/tiamat_tuple.dir/pattern.cc.o"
+  "CMakeFiles/tiamat_tuple.dir/pattern.cc.o.d"
+  "CMakeFiles/tiamat_tuple.dir/tuple.cc.o"
+  "CMakeFiles/tiamat_tuple.dir/tuple.cc.o.d"
+  "CMakeFiles/tiamat_tuple.dir/value.cc.o"
+  "CMakeFiles/tiamat_tuple.dir/value.cc.o.d"
+  "libtiamat_tuple.a"
+  "libtiamat_tuple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiamat_tuple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_edge.dir/test_core_edge.cc.o"
+  "CMakeFiles/test_core_edge.dir/test_core_edge.cc.o.d"
+  "test_core_edge"
+  "test_core_edge.pdb"
+  "test_core_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

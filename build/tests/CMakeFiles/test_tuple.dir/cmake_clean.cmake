@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tuple.dir/test_tuple.cc.o"
+  "CMakeFiles/test_tuple.dir/test_tuple.cc.o.d"
+  "test_tuple"
+  "test_tuple.pdb"
+  "test_tuple[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tuple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
