@@ -238,4 +238,4 @@ BENCHMARK(BM_ProbeWindow)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TIAMAT_BENCH_MAIN("ablation");

@@ -154,4 +154,4 @@ BENCHMARK(BM_Central)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+TIAMAT_BENCH_MAIN("central");

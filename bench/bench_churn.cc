@@ -30,7 +30,7 @@ struct Result {
 };
 
 Result run(std::size_t nodes_n, double speed, bool late_arrivals,
-           std::uint64_t seed) {
+           std::uint64_t seed, const std::string& scenario) {
   World w(seed);
   w.net.set_radio_range(120.0);  // arena 300x300: partial visibility
 
@@ -69,7 +69,9 @@ Result run(std::size_t nodes_n, double speed, bool late_arrivals,
       inst->in(Pattern{"pkt", partner}, [&, t0, loop](auto r) {
         if (r) {
           ++ok;
-          latency.add(static_cast<double>(w.net.now() - t0));
+          const auto us = static_cast<double>(w.net.now() - t0);
+          latency.add(us);
+          bench::observe_latency(scenario, us);
         } else {
           ++fail;
         }
@@ -86,6 +88,7 @@ Result run(std::size_t nodes_n, double speed, bool late_arrivals,
     expiries += static_cast<double>(n->monitor().counters().lease_expired);
   }
   nodes.clear();
+  bench::export_net(w, scenario);
 
   Result r;
   r.success_rate = (ok + fail) ? static_cast<double>(ok) / (ok + fail) : 0;
@@ -98,10 +101,13 @@ void BM_Churn(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const double speed = static_cast<double>(state.range(1));
   const bool late = state.range(2) != 0;
+  const std::string scenario = "n" + std::to_string(n) + "_s" +
+                               std::to_string(state.range(1)) +
+                               (late ? "_model" : "_prototype");
   Result r;
   std::uint64_t seed = 13;
   for (auto _ : state) {
-    r = run(n, speed, late, seed++);
+    r = run(n, speed, late, seed++, scenario);
   }
   state.counters["success_rate"] = r.success_rate;
   state.counters["sim_latency_ms"] = r.mean_latency_ms;
@@ -125,4 +131,4 @@ BENCHMARK(BM_Churn)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+TIAMAT_BENCH_MAIN("churn");

@@ -30,7 +30,7 @@ struct Result {
 };
 
 Result run_scenario(std::size_t peers, bool cached, double churn_rate,
-                    std::uint64_t seed) {
+                    std::uint64_t seed, const std::string& scenario) {
   World w(seed);
   auto cfg = bench::bench_config("origin");
   core::Instance origin(w.net, cfg);
@@ -71,7 +71,9 @@ Result run_scenario(std::size_t peers, bool cached, double churn_rate,
     if (!cached) origin.responders().clear();  // naive: re-discover each op
     const sim::Time t0 = w.net.now();
     origin.rdp(Pattern{"data", any_int()}, [&, t0](auto r) {
-      latency.add(static_cast<double>(w.net.now() - t0));
+      const auto us = static_cast<double>(w.net.now() - t0);
+      latency.add(us);
+      bench::observe_latency(scenario, us);
       if (r) ++hits;
       w.queue.schedule_after(sim::milliseconds(5), next);
     });
@@ -79,6 +81,7 @@ Result run_scenario(std::size_t peers, bool cached, double churn_rate,
   next();
   w.queue.run_for(sim::seconds(600));
   churn.stop();
+  bench::export_net(w, scenario);
 
   Result res;
   res.mean_latency_ms = bench::sim_ms(latency.mean());
@@ -97,10 +100,13 @@ void BM_Discovery(benchmark::State& state) {
   const auto peers = static_cast<std::size_t>(state.range(0));
   const bool cached = state.range(1) != 0;
   const double churn = state.range(2) / 100.0;
+  const std::string scenario =
+      "p" + std::to_string(peers) + (cached ? "_cached" : "_naive") +
+      (churn > 0 ? "_churn" : "");
   Result r;
   std::uint64_t seed = 1;
   for (auto _ : state) {
-    r = run_scenario(peers, cached, churn, seed++);
+    r = run_scenario(peers, cached, churn, seed++, scenario);
   }
   state.counters["sim_latency_ms"] = r.mean_latency_ms;
   state.counters["probes_per_op"] = r.probes_per_op;
@@ -125,4 +131,4 @@ BENCHMARK(BM_Discovery)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+TIAMAT_BENCH_MAIN("discovery");

@@ -27,7 +27,8 @@ struct Result {
   double hit_rate = 0;
 };
 
-Result run_peers(std::size_t n, int ttl, std::uint64_t seed) {
+Result run_peers(std::size_t n, int ttl, std::uint64_t seed,
+                 const std::string& scenario) {
   World w(seed);
   std::vector<std::unique_ptr<baselines::PeersNode>> nodes;
   for (std::size_t i = 0; i < n; ++i) {
@@ -48,13 +49,16 @@ Result run_peers(std::size_t n, int ttl, std::uint64_t seed) {
     const sim::Time t0 = w.net.now();
     nodes[0]->lookup(Pattern{"item", key}, ttl, sim::seconds(2),
                      [&, t0](auto r) {
-                       latency.add(static_cast<double>(w.net.now() - t0));
+                       const auto us = static_cast<double>(w.net.now() - t0);
+                       latency.add(us);
+                       bench::observe_latency(scenario, us);
                        if (r) ++hits;
                        w.queue.schedule_after(sim::milliseconds(5), next);
                      });
   };
   next();
   w.queue.run_for(sim::seconds(300));
+  bench::export_net(w, scenario);
 
   Result r;
   r.msgs_per_lookup =
@@ -65,7 +69,8 @@ Result run_peers(std::size_t n, int ttl, std::uint64_t seed) {
   return r;
 }
 
-Result run_tiamat(std::size_t n, std::uint64_t seed) {
+Result run_tiamat(std::size_t n, std::uint64_t seed,
+                  const std::string& scenario) {
   World w(seed);
   std::vector<std::unique_ptr<core::Instance>> nodes;
   for (std::size_t i = 0; i < n; ++i) {
@@ -86,13 +91,16 @@ Result run_tiamat(std::size_t n, std::uint64_t seed) {
     const int key = issued++;
     const sim::Time t0 = w.net.now();
     nodes[0]->rdp(Pattern{"item", key}, [&, t0](auto r) {
-      latency.add(static_cast<double>(w.net.now() - t0));
+      const auto us = static_cast<double>(w.net.now() - t0);
+      latency.add(us);
+      bench::observe_latency(scenario, us);
       if (r) ++hits;
       w.queue.schedule_after(sim::milliseconds(5), next);
     });
   };
   next();
   w.queue.run_for(sim::seconds(300));
+  bench::export_net(w, scenario);
 
   Result r;
   r.msgs_per_lookup = static_cast<double>(w.net.stats().unicasts_sent +
@@ -108,10 +116,14 @@ Result run_tiamat(std::size_t n, std::uint64_t seed) {
 void BM_Flooding(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const int ttl = static_cast<int>(state.range(1));  // 0 = Tiamat
+  const std::string scenario =
+      "n" + std::to_string(n) +
+      (ttl == 0 ? "_tiamat" : "_peers_ttl" + std::to_string(ttl));
   Result r;
   std::uint64_t seed = 7;
   for (auto _ : state) {
-    r = ttl == 0 ? run_tiamat(n, seed++) : run_peers(n, ttl, seed++);
+    r = ttl == 0 ? run_tiamat(n, seed++, scenario)
+                 : run_peers(n, ttl, seed++, scenario);
   }
   state.counters["msgs_per_lookup"] = r.msgs_per_lookup;
   state.counters["sim_latency_ms"] = r.latency_ms;
@@ -134,4 +146,4 @@ BENCHMARK(BM_Flooding)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+TIAMAT_BENCH_MAIN("flooding");

@@ -111,4 +111,4 @@ BENCHMARK(BM_Fractal)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+TIAMAT_BENCH_MAIN("fractal");

@@ -1,0 +1,78 @@
+// Shared main() for the bench binaries: standard google-benchmark flags
+// plus `--json[=path]`, which writes a metrics snapshot of everything the
+// bench recorded into the export registry. With no explicit path the file
+// is `BENCH_<name>.json` in the current directory — commit those at the
+// repo root so the perf trajectory stays diffable PR-over-PR.
+//
+// Usage:
+//   ... register benchmarks, record into tiamat::bench::registry() ...
+//   TIAMAT_BENCH_MAIN("churn");
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace tiamat::bench {
+
+/// Process-wide registry the bench bodies record exportable metrics into.
+inline obs::Registry& registry() {
+  static obs::Registry r;
+  return r;
+}
+
+inline int run_main(int argc, char** argv, const std::string& bench_name) {
+  std::string json_path;
+  bool want_json = false;
+
+  // Strip --json[=path] (or --json <path>) before benchmark::Initialize,
+  // which rejects flags it does not know.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      want_json = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      want_json = true;
+      json_path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (want_json && json_path.empty()) {
+    json_path = "BENCH_" + bench_name + ".json";
+  }
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (want_json) {
+    obs::json::Object doc;
+    doc.emplace_back("bench", obs::json::Value(bench_name));
+    doc.emplace_back("metrics", registry().snapshot());
+    std::ofstream f(json_path, std::ios::out | std::ios::trunc);
+    f << obs::json::Value(std::move(doc)).dump(2) << '\n';
+    if (!f.good()) {
+      std::cerr << "failed to write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "metrics snapshot written to " << json_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace tiamat::bench
+
+#define TIAMAT_BENCH_MAIN(name)                         \
+  int main(int argc, char** argv) {                     \
+    return ::tiamat::bench::run_main(argc, argv, name); \
+  }

@@ -144,4 +144,4 @@ BENCHMARK(BM_Replication)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+TIAMAT_BENCH_MAIN("replication");

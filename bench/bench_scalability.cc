@@ -207,4 +207,4 @@ BENCHMARK(BM_Scalability)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+TIAMAT_BENCH_MAIN("scalability");

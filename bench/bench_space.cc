@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "space/local_space.h"
@@ -150,4 +151,4 @@ BENCHMARK(BM_PatternMatch);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TIAMAT_BENCH_MAIN("space");

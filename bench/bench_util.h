@@ -13,7 +13,9 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_main.h"
 #include "core/instance.h"
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
 #include "sim/random.h"
@@ -50,5 +52,39 @@ inline core::Config bench_config(const std::string& name,
 
 /// Milliseconds of virtual time, for counters.
 inline double sim_ms(double microseconds) { return microseconds / 1000.0; }
+
+/// Observe one virtual-time operation latency (µs) into the exportable
+/// registry under `op.latency_us{scenario=...}` — fixed-bucket, so p50/p95/
+/// p99 come out in BENCH_<name>.json without storing samples.
+inline void observe_latency(const std::string& scenario, double us) {
+  registry().histogram("op.latency_us", {{"scenario", scenario}}).observe(us);
+}
+
+/// Fold a finished World's network accounting into the exportable registry:
+/// scenario-labeled totals plus per-peer (source node) message/byte counts
+/// aggregated from the per-link ledger.
+inline void export_net(const World& w, const std::string& scenario) {
+  auto& r = registry();
+  const obs::Labels base{{"scenario", scenario}};
+  const sim::NetStats& s = w.net.stats();
+  r.counter("net.unicasts", base).add(s.unicasts_sent);
+  r.counter("net.multicasts", base).add(s.multicasts_sent);
+  r.counter("net.deliveries", base).add(s.deliveries);
+  r.counter("net.drops", base)
+      .add(s.drops_invisible + s.drops_loss + s.drops_dead);
+  r.counter("net.bytes", base).add(s.bytes_sent);
+  std::map<sim::NodeId, sim::LinkStats> per_peer;
+  for (const auto& [link, ls] : w.net.link_stats()) {
+    auto& agg = per_peer[link.first];
+    agg.messages += ls.messages;
+    agg.bytes += ls.bytes;
+  }
+  for (const auto& [from, ls] : per_peer) {
+    obs::Labels l = base;
+    l.emplace_back("peer", std::to_string(from));
+    r.counter("net.peer.messages", l).add(ls.messages);
+    r.counter("net.peer.bytes", l).add(ls.bytes);
+  }
+}
 
 }  // namespace tiamat::bench

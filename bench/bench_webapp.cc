@@ -162,4 +162,4 @@ BENCHMARK(BM_WebThroughput)
 
 BENCHMARK(BM_WebFailover)->Iterations(1)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+TIAMAT_BENCH_MAIN("webapp");

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full local gate: build + test the release tree (the tier-1 configuration),
+# then the asan/ubsan tree. Usage: scripts/check.sh [--release-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+run_preset() {
+  local preset=$1
+  echo "== ${preset}: configure =="
+  cmake --preset "${preset}"
+  echo "== ${preset}: build =="
+  cmake --build --preset "${preset}" -j "${jobs}"
+  echo "== ${preset}: test =="
+  ctest --preset "${preset}" -j "${jobs}"
+}
+
+run_preset release
+if [[ "${1:-}" != "--release-only" ]]; then
+  run_preset asan
+fi
+
+echo "All checks passed."

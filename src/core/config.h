@@ -68,6 +68,13 @@ struct Config {
   /// Responder-list discipline (§3.1.3 list vs §6 stability extension).
   net::ResponderCache::Ordering cache_ordering =
       net::ResponderCache::Ordering::kPaperList;
+
+  /// Operation tracing (obs/trace.h). Off by default — a disabled tracer
+  /// costs one predicted branch per instrumentation point. Enable (or
+  /// install a sink via Instance::tracer()) to capture the causal event
+  /// chain of every logical-space operation.
+  bool trace_ops = false;
+  std::size_t trace_capacity = 512;  ///< ring-buffer size per instance
 };
 
 }  // namespace tiamat::core

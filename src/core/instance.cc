@@ -54,6 +54,7 @@ Instance::Instance(sim::Network& net, Config cfg,
     : net_(net),
       cfg_(std::move(cfg)),
       node_(net_.add_node(pos)),
+      tracer_(node_, cfg_.trace_capacity),
       rng_(net_.rng().fork()),
       endpoint_(net_, node_),
       leases_(net_.queue(), make_policy(std::move(policy), cfg_)),
@@ -74,6 +75,11 @@ Instance::Instance(sim::Network& net, Config cfg,
   });
   // If the injected policy is the §5 adaptive one, feed it op outcomes.
   adaptive_ = dynamic_cast<AdaptiveLeasePolicy*>(&leases_.policy());
+  // One registry (the Monitor's) aggregates every subsystem's telemetry.
+  tracer_.set_enabled(cfg_.trace_ops);
+  leases_.bind_metrics(monitor_.registry());
+  cache_.bind_metrics(monitor_.registry());
+  correlator_.bind_metrics(monitor_.registry());
   discovery_.enable_responder();
   install_handlers();
   // Publish this space's handle tuple (§2.4). It carries no lease: the

@@ -35,6 +35,7 @@
 #include "net/endpoint.h"
 #include "net/responder_cache.h"
 #include "net/rpc.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "space/eval.h"
 #include "space/registry.h"
@@ -176,6 +177,11 @@ class Instance {
   net::Endpoint& endpoint() { return endpoint_; }
   space::EvalEngine& evals() { return evals_; }
   Monitor& monitor() { return monitor_; }
+  /// The instance's metric registry (owned by the Monitor): every counter,
+  /// gauge and histogram this instance emits, snapshot-able to JSON.
+  obs::Registry& metrics() { return monitor_.registry(); }
+  /// Per-instance operation tracer (ring buffer + optional sink).
+  obs::Tracer& tracer() { return tracer_; }
   DeferredRouter& router() { return router_; }
   const Config& config() const { return cfg_; }
   sim::Time now() const { return net_.now(); }
@@ -260,10 +266,21 @@ class Instance {
   void send_remote_out(sim::NodeId dest, const Tuple& t, std::uint64_t route_id,
                        sim::Duration ttl);
 
+  /// Records one step of an operation's causal chain; `origin` + `op_id`
+  /// identify the operation globally (also across instances, for served
+  /// requests). Free when tracing is disabled.
+  void trace(obs::EventKind kind, sim::NodeId origin, std::uint64_t op_id,
+             sim::NodeId peer = sim::kNoNode, std::int64_t detail = 0) {
+    if (tracer_.enabled()) {
+      tracer_.record(net_.now(), origin, op_id, kind, peer, detail);
+    }
+  }
+
   sim::Network& net_;
   Config cfg_;
   AdaptiveLeasePolicy* adaptive_ = nullptr;  ///< set iff the policy adapts
   sim::NodeId node_;
+  obs::Tracer tracer_;
   sim::Rng rng_;
   net::Endpoint endpoint_;
   lease::LeaseManager leases_;

@@ -41,15 +41,20 @@ Instance::LogicalOp* Instance::find_op(std::uint64_t op_id) {
 bool Instance::start_op(OpKind kind, const Pattern& p, ReadCallback cb,
                         const lease::LeaseRequester& requester) {
   ++monitor_.counters().ops_started;
+  const std::uint64_t id = correlator_.next_op_id();
+  trace(obs::EventKind::kOpIssued, node_, id, sim::kNoNode,
+        static_cast<std::int64_t>(kind));
   auto l = leases_.negotiate(requester);
   if (!l) {
     // Figure 2: "If a lease is refused, no further work is carried out on
     // the operation."
     ++monitor_.counters().ops_lease_refused;
+    trace(obs::EventKind::kLeaseRefused, node_, id);
     return false;
   }
+  trace(obs::EventKind::kLeaseGranted, node_, id, sim::kNoNode,
+        static_cast<std::int64_t>(l->id()));
 
-  const std::uint64_t id = correlator_.next_op_id();
   LogicalOp& op = ops_[id];
   op.id = id;
   op.kind = kind;
@@ -87,12 +92,17 @@ bool Instance::op_at(OpKind kind, const space::SpaceHandle& dest,
     // Directed at ourselves: equivalent to a purely local operation.
     return start_op(kind, p, std::move(cb), requester);
   }
+  const std::uint64_t id = correlator_.next_op_id();
+  trace(obs::EventKind::kOpIssued, node_, id, dest.node,
+        static_cast<std::int64_t>(kind));
   auto l = leases_.negotiate(requester);
   if (!l) {
     ++monitor_.counters().ops_lease_refused;
+    trace(obs::EventKind::kLeaseRefused, node_, id);
     return false;
   }
-  const std::uint64_t id = correlator_.next_op_id();
+  trace(obs::EventKind::kLeaseGranted, node_, id, sim::kNoNode,
+        static_cast<std::int64_t>(l->id()));
   LogicalOp& op = ops_[id];
   op.id = id;
   op.kind = kind;
@@ -207,6 +217,7 @@ void Instance::op_contact(LogicalOp& op, sim::NodeId target) {
   m.h(encode_deadline(op.lease->expiry_time()));
   m.pattern = op.pattern;
   endpoint_.send(target, m);
+  trace(obs::EventKind::kPeerRequest, node_, op.id, target);
 
   const std::uint64_t id = op.id;
   op.ack_timers[target] = net_.queue().schedule_after(
@@ -219,6 +230,7 @@ void Instance::op_probe(std::uint64_t op_id) {
   if (op == nullptr || op->done || op->probing) return;
   op->probing = true;
   ++monitor_.counters().probes_triggered;
+  trace(obs::EventKind::kProbe, node_, op_id);
   discovery_.probe(cfg_.probe_window, [this, op_id](std::size_t) {
     LogicalOp* o = find_op(op_id);
     if (o == nullptr || o->done) return;
@@ -265,6 +277,8 @@ void Instance::op_on_response(std::uint64_t op_id, sim::NodeId from,
 
   const bool found = m.hbool(0);
   const bool serving = m.hbool(1);
+  trace(obs::EventKind::kPeerResponse, node_, op_id, from,
+        (found ? 2 : 0) | (serving ? 1 : 0));
 
   // First word from this responder: it is alive.
   op->awaiting_first.erase(from);
@@ -287,6 +301,7 @@ void Instance::op_on_response(std::uint64_t op_id, sim::NodeId from,
       rel.op_id = op_id;
       rel.origin = node_;
       endpoint_.send(from, rel);
+      trace(obs::EventKind::kReinsert, node_, op_id, from);
     }
     return;
   }
@@ -305,6 +320,8 @@ void Instance::op_ack_timeout(std::uint64_t op_id, sim::NodeId target) {
   op->ack_timers.erase(target);
   if (op->awaiting_first.erase(target) == 0) return;  // it did reply
   // "...removing any which do not respond" (§3.1.3).
+  monitor_.peer_timeout(target);
+  trace(obs::EventKind::kPeerTimeout, node_, op_id, target);
   cache_.remove(target);
   cache_.record_failure(target);
   op->exhausted.insert(target);
@@ -357,10 +374,13 @@ void Instance::op_finish(std::uint64_t op_id,
     cancel.op_id = op_id;
     cancel.origin = node_;
     endpoint_.send(contacted, cancel);
+    ++monitor_.counters().cancelled;
+    trace(obs::EventKind::kCancel, node_, op_id, contacted);
   }
   if (winner != sim::kNoNode && is_destructive(op.kind)) {
     confirms_[op_id] = PendingConfirm{winner, 6, sim::kInvalidEvent};
     send_confirm(op_id);
+    trace(obs::EventKind::kConfirm, node_, op_id, winner);
   }
 
   // Account the outcome.
@@ -371,12 +391,15 @@ void Instance::op_finish(std::uint64_t op_id,
     } else {
       ++c.satisfied_remote;
     }
+    trace(obs::EventKind::kAccept, node_, op_id, result->source);
   } else if (op.lease->active()) {
     ++c.no_match;
+    trace(obs::EventKind::kOpNoMatch, node_, op_id);
   } else {
     ++c.lease_expired;
+    trace(obs::EventKind::kOpExpired, node_, op_id);
   }
-  monitor_.op_finished(net_.now() - op.started_at);
+  monitor_.op_finished(to_string(op.kind), net_.now() - op.started_at);
 
   // §5.4/§5.5: feed the adaptive policy, if installed.
   if (adaptive_ != nullptr) {

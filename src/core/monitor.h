@@ -1,50 +1,99 @@
 // Run-time-support monitoring (§5.2/§6 extension).
 //
-// Collects the information an adapting instance needs: per-operation
-// outcome/latency figures and per-peer reliability history (the latter lives
-// in the ResponderCache and feeds the §6 stability-ordered contact list).
+// The Monitor owns the instance's obs::Registry — the single source of
+// truth for every metric the instance emits. Counters keeps the familiar
+// field-access API (++monitor.counters().x, monitor.counters().x == 1u) but
+// every field is a reference into the registry, so the same numbers appear
+// in JSON snapshots with no second bookkeeping path. Per-operation latency
+// goes into fixed-bucket histograms (aggregate + per-op-kind), replacing
+// the old unbounded sim::Summary sample vector on the hot path.
 
 #pragma once
 
 #include <cstdint>
 
+#include "obs/metrics.h"
 #include "sim/clock.h"
-#include "sim/stats.h"
 
 namespace tiamat::core {
 
 class Monitor {
  public:
   struct Counters {
-    std::uint64_t ops_started = 0;
-    std::uint64_t ops_lease_refused = 0;
-    std::uint64_t satisfied_local = 0;
-    std::uint64_t satisfied_remote = 0;
-    std::uint64_t no_match = 0;       ///< non-blocking miss everywhere
-    std::uint64_t lease_expired = 0;  ///< blocking op returned nothing
-    std::uint64_t cancelled = 0;
-    std::uint64_t remote_requests_served = 0;
-    std::uint64_t remote_serving_refused = 0;  ///< our policy refused to help
-    std::uint64_t outs_local = 0;
-    std::uint64_t outs_refused = 0;
-    std::uint64_t evals_started = 0;
-    std::uint64_t remote_outs_delivered = 0;
-    std::uint64_t remote_outs_routed = 0;    ///< deferred via store-and-forward
-    std::uint64_t remote_outs_abandoned = 0;
-    std::uint64_t probes_triggered = 0;
+    explicit Counters(obs::Registry& r)
+        : ops_started(r.counter("op.started")),
+          ops_lease_refused(r.counter("op.lease_refused")),
+          satisfied_local(r.counter("op.satisfied_local")),
+          satisfied_remote(r.counter("op.satisfied_remote")),
+          no_match(r.counter("op.no_match")),
+          lease_expired(r.counter("op.lease_expired")),
+          cancelled(r.counter("op.cancels_sent")),
+          remote_requests_served(r.counter("serve.requests")),
+          remote_serving_refused(r.counter("serve.refused")),
+          outs_local(r.counter("out.local")),
+          outs_refused(r.counter("out.refused")),
+          evals_started(r.counter("eval.started")),
+          remote_outs_delivered(r.counter("remote_out.delivered")),
+          remote_outs_routed(r.counter("remote_out.routed")),
+          remote_outs_abandoned(r.counter("remote_out.abandoned")),
+          probes_triggered(r.counter("op.probes")),
+          rpc_timeouts(r.counter("rpc.timeouts")),
+          tuples_reinserted(r.counter("serve.reinserted")),
+          // Same instrument LeaseManager::bind_metrics updates — one
+          // source of truth, readable through either API.
+          lease_revocations(r.counter("lease.revoked")) {}
+
+    obs::Counter& ops_started;
+    obs::Counter& ops_lease_refused;
+    obs::Counter& satisfied_local;
+    obs::Counter& satisfied_remote;
+    obs::Counter& no_match;       ///< non-blocking miss everywhere
+    obs::Counter& lease_expired;  ///< blocking op returned nothing
+    obs::Counter& cancelled;  ///< CancelOp notices sent to armed responders
+    obs::Counter& remote_requests_served;
+    obs::Counter& remote_serving_refused;  ///< our policy refused to help
+    obs::Counter& outs_local;
+    obs::Counter& outs_refused;
+    obs::Counter& evals_started;
+    obs::Counter& remote_outs_delivered;
+    obs::Counter& remote_outs_routed;  ///< deferred via store-and-forward
+    obs::Counter& remote_outs_abandoned;
+    obs::Counter& probes_triggered;
+    obs::Counter& rpc_timeouts;        ///< responders that never answered
+    obs::Counter& tuples_reinserted;   ///< tentative removals put back (§2.2)
+    obs::Counter& lease_revocations;   ///< leases ended by force (§2.5)
   };
 
-  void op_finished(sim::Duration latency) {
-    op_latency_.add(static_cast<double>(latency));
+  Monitor()
+      : counters_(registry_),
+        op_latency_(registry_.histogram("op.latency_us")) {}
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  /// `kind` labels the per-op-kind histogram ("rd", "inp", ...).
+  void op_finished(const char* kind, sim::Duration latency) {
+    const auto v = static_cast<double>(latency);
+    op_latency_.observe(v);
+    registry_.histogram("op.latency_us", {{"op", kind}}).observe(v);
+  }
+
+  /// Per-peer reliability accounting (ack timeouts by responder).
+  void peer_timeout(std::uint32_t peer) {
+    ++counters_.rpc_timeouts;
+    ++registry_.counter("rpc.timeouts", {{"peer", std::to_string(peer)}});
   }
 
   Counters& counters() { return counters_; }
   const Counters& counters() const { return counters_; }
-  sim::Summary& op_latency() { return op_latency_; }
+  obs::Histogram& op_latency() { return op_latency_; }
+  obs::Registry& registry() { return registry_; }
+  const obs::Registry& registry() const { return registry_; }
 
  private:
+  obs::Registry registry_;
   Counters counters_;
-  sim::Summary op_latency_;
+  obs::Histogram& op_latency_;
 };
 
 }  // namespace tiamat::core

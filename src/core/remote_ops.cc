@@ -34,6 +34,7 @@ void Instance::install_handlers() {
         rel.op_id = m.op_id;
         rel.origin = node_;
         endpoint_.send(from, rel);
+        trace(obs::EventKind::kReinsert, node_, m.op_id, from);
       }
     }
   });
@@ -101,10 +102,13 @@ void Instance::serve_op_request(sim::NodeId from, const Message& m) {
   auto l = leases_.negotiate(lease::FlexibleRequester{want});
   if (!l) {
     ++monitor_.counters().remote_serving_refused;
+    trace(obs::EventKind::kServeRefused, origin, op_id, origin);
     reply(false, false, std::nullopt);
     return;
   }
   ++monitor_.counters().remote_requests_served;
+  trace(obs::EventKind::kServeStart, origin, op_id, origin,
+        static_cast<std::int64_t>(kind));
 
   const sim::Time deadline =
       std::min(requester_deadline, l->expiry_time());
@@ -112,6 +116,7 @@ void Instance::serve_op_request(sim::NodeId from, const Message& m) {
   switch (kind) {
     case OpKind::kRdp: {
       auto t = space_.rdp(*m.pattern);
+      if (t) trace(obs::EventKind::kServeMatch, origin, op_id, origin);
       reply(t.has_value(), true, t);
       l->release();
       return;
@@ -123,6 +128,7 @@ void Instance::serve_op_request(sim::NodeId from, const Message& m) {
         l->release();
         return;
       }
+      trace(obs::EventKind::kServeMatch, origin, op_id, origin);
       Serving s;
       s.op_id = op_id;
       s.origin = origin;
@@ -147,9 +153,10 @@ void Instance::serve_op_request(sim::NodeId from, const Message& m) {
       auto fired = std::make_shared<bool>(false);
       auto wid = space_.rd(
           *m.pattern, deadline,
-          [this, key, reply, fired](std::optional<Tuple> t) {
+          [this, key, origin, op_id, reply, fired](std::optional<Tuple> t) {
             *fired = true;
             if (t) {
+              trace(obs::EventKind::kServeMatch, origin, op_id, origin);
               reply(true, true, t);
             }
             serving_drop(key, false);
@@ -212,7 +219,8 @@ void Instance::arm_serving_in(std::uint64_t key) {
   };
   s.waiter = space_.take_tentative_blocking(
       s.pattern, s.deadline,
-      [this, key, reply](std::optional<std::pair<tuples::TupleId, Tuple>> r) {
+      [this, key, origin, op_id,
+       reply](std::optional<std::pair<tuples::TupleId, Tuple>> r) {
         auto it = serving_.find(key);
         if (!r) {
           serving_drop(key, false);
@@ -222,6 +230,8 @@ void Instance::arm_serving_in(std::uint64_t key) {
           // Entry vanished (cancelled) yet the waiter fired: put the tuple
           // straight back.
           space_.release_tentative(r->first);
+          ++monitor_.counters().tuples_reinserted;
+          trace(obs::EventKind::kServeReinsert, origin, op_id, origin);
           return;
         }
         it->second.tentative = r->first;
@@ -238,6 +248,9 @@ void Instance::arm_serving_in(std::uint64_t key) {
               if (it2->second.tentative != tuples::kNoTuple) {
                 space_.release_tentative(it2->second.tentative);
                 it2->second.tentative = tuples::kNoTuple;
+                ++monitor_.counters().tuples_reinserted;
+                trace(obs::EventKind::kServeReinsert, it2->second.origin,
+                      it2->second.op_id, it2->second.origin);
               }
               if (it2->second.deadline > net_.now()) {
                 arm_serving_in(key);
@@ -245,6 +258,8 @@ void Instance::arm_serving_in(std::uint64_t key) {
                 serving_drop(key, false);
               }
             });
+        trace(obs::EventKind::kServeMatch, it->second.origin,
+              it->second.op_id, it->second.origin);
         reply(true, r->second);
       });
   // If the waiter fired synchronously the entry may already be gone or
@@ -260,6 +275,10 @@ void Instance::serving_drop(std::uint64_t key, bool release_tentative) {
   if (s.hold_timer != sim::kInvalidEvent) net_.queue().cancel(s.hold_timer);
   if (s.tentative != tuples::kNoTuple && release_tentative) {
     space_.release_tentative(s.tentative);
+    // §2.2 multi-match protocol: we matched but another instance won the
+    // operation (or the originator vanished) — the tuple goes back.
+    ++monitor_.counters().tuples_reinserted;
+    trace(obs::EventKind::kServeReinsert, s.origin, s.op_id, s.origin);
   }
   if (s.lease && s.lease->active()) s.lease->release();
 }
@@ -276,6 +295,7 @@ void Instance::serve_confirm(sim::NodeId from, const Message& m) {
     if (it->second.tentative != tuples::kNoTuple) {
       space_.confirm_tentative(it->second.tentative);
       it->second.tentative = tuples::kNoTuple;
+      trace(obs::EventKind::kServeConfirm, from, m.op_id, from);
     }
     serving_drop(key, false);
   }

@@ -28,10 +28,12 @@ std::shared_ptr<Lease> LeaseManager::negotiate(
   auto offer = policy_->offer(requester.desired(), usage, queue_.now());
   if (!offer) {
     ++stats_.refused_by_policy;
+    if (metrics_.refused_by_policy) ++*metrics_.refused_by_policy;
     return nullptr;
   }
   if (!requester.accept(*offer)) {
     ++stats_.refused_by_requester;
+    if (metrics_.refused_by_requester) ++*metrics_.refused_by_requester;
     return nullptr;
   }
 
@@ -57,6 +59,8 @@ std::shared_ptr<Lease> LeaseManager::negotiate(
   });
   active_.emplace(id, std::move(entry));
   ++stats_.granted;
+  if (metrics_.granted) ++*metrics_.granted;
+  if (metrics_.active) metrics_.active->set(static_cast<double>(active_.size()));
   return lease;
 }
 
@@ -70,16 +74,20 @@ void LeaseManager::finish_bookkeeping(LeaseId id, LeaseState state) {
   switch (state) {
     case LeaseState::kExpired:
       ++stats_.expired;
+      if (metrics_.expired) ++*metrics_.expired;
       break;
     case LeaseState::kRevoked:
       ++stats_.revoked;
+      if (metrics_.revoked) ++*metrics_.revoked;
       break;
     case LeaseState::kReleased:
       ++stats_.released;
+      if (metrics_.released) ++*metrics_.released;
       break;
     case LeaseState::kActive:
       break;
   }
+  if (metrics_.active) metrics_.active->set(static_cast<double>(active_.size()));
 }
 
 std::optional<sim::Time> LeaseManager::renew(LeaseId id,
@@ -140,6 +148,16 @@ void LeaseManager::revoke_all() {
 
 void LeaseManager::set_usage_probe(std::function<ResourceUsage()> probe) {
   usage_probe_ = std::move(probe);
+}
+
+void LeaseManager::bind_metrics(obs::Registry& r) {
+  metrics_.granted = &r.counter("lease.granted");
+  metrics_.refused_by_policy = &r.counter("lease.refused_by_policy");
+  metrics_.refused_by_requester = &r.counter("lease.refused_by_requester");
+  metrics_.expired = &r.counter("lease.expired");
+  metrics_.revoked = &r.counter("lease.revoked");
+  metrics_.released = &r.counter("lease.released");
+  metrics_.active = &r.gauge("lease.active");
 }
 
 void LeaseManager::set_policy(std::unique_ptr<LeasePolicy> policy) {

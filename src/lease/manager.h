@@ -15,6 +15,7 @@
 #include "lease/lease.h"
 #include "lease/policy.h"
 #include "lease/requester.h"
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 
 namespace tiamat::lease {
@@ -69,6 +70,11 @@ class LeaseManager {
   void set_policy(std::unique_ptr<LeasePolicy> policy);
   LeasePolicy& policy() { return *policy_; }
 
+  /// Mirrors grant/refuse/expiry/revocation accounting into `r` under the
+  /// "lease.*" namespace, so the owning instance's snapshot carries lease
+  /// telemetry without a second bookkeeping path.
+  void bind_metrics(obs::Registry& r);
+
   /// Named counting pools for instance-managed resources (threads, sockets,
   /// ...). Created on first use with `default_capacity`.
   ResourcePool& pool(const std::string& name,
@@ -93,6 +99,16 @@ class LeaseManager {
   std::unordered_map<LeaseId, Active> active_;
   std::map<std::string, std::unique_ptr<ResourcePool>> pools_;
   Stats stats_;
+
+  struct Metrics {
+    obs::Counter* granted = nullptr;
+    obs::Counter* refused_by_policy = nullptr;
+    obs::Counter* refused_by_requester = nullptr;
+    obs::Counter* expired = nullptr;
+    obs::Counter* revoked = nullptr;
+    obs::Counter* released = nullptr;
+    obs::Gauge* active = nullptr;
+  } metrics_;
 };
 
 }  // namespace tiamat::lease

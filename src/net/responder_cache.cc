@@ -5,11 +5,17 @@
 namespace tiamat::net {
 
 void ResponderCache::add(sim::NodeId id) {
-  if (!contains(id)) list_.push_back(id);
+  if (contains(id)) return;
+  list_.push_back(id);
+  if (added_) ++*added_;
+  gauge_size();
 }
 
 void ResponderCache::remove(sim::NodeId id) {
+  const std::size_t before = list_.size();
   list_.erase(std::remove(list_.begin(), list_.end(), id), list_.end());
+  if (removed_ && list_.size() != before) ++*removed_;
+  gauge_size();
 }
 
 bool ResponderCache::contains(sim::NodeId id) const {
@@ -35,10 +41,35 @@ std::vector<sim::NodeId> ResponderCache::contact_order() const {
 
 void ResponderCache::record_success(sim::NodeId id) {
   ++history_[id].successes;
+  gauge_rate(id);
 }
 
 void ResponderCache::record_failure(sim::NodeId id) {
   ++history_[id].failures;
+  gauge_rate(id);
+}
+
+void ResponderCache::bind_metrics(obs::Registry& r) {
+  registry_ = &r;
+  added_ = &r.counter("responders.added");
+  removed_ = &r.counter("responders.removed");
+  size_ = &r.gauge("responders.size");
+}
+
+void ResponderCache::gauge_size() {
+  if (size_) size_->set(static_cast<double>(list_.size()));
+}
+
+void ResponderCache::gauge_rate(sim::NodeId id) {
+  if (registry_ == nullptr) return;
+  auto it = rate_gauges_.find(id);
+  if (it == rate_gauges_.end()) {
+    it = rate_gauges_
+             .emplace(id, &registry_->gauge("peer.response_rate",
+                                            {{"peer", std::to_string(id)}}))
+             .first;
+  }
+  it->second->set(response_rate(id));
 }
 
 double ResponderCache::response_rate(sim::NodeId id) const {

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/network.h"
 
 namespace tiamat::net {
@@ -45,7 +46,10 @@ class ResponderCache {
   bool contains(sim::NodeId id) const;
   std::size_t size() const { return list_.size(); }
   bool empty() const { return list_.empty(); }
-  void clear() { list_.clear(); }
+  void clear() {
+    list_.clear();
+    gauge_size();
+  }
 
   /// Contact order for the next operation: top first. In kByStability mode
   /// the list is ordered by response rate (descending, list position as
@@ -60,7 +64,15 @@ class ResponderCache {
   Ordering ordering() const { return ordering_; }
   void set_ordering(Ordering o) { ordering_ = o; }
 
+  /// Mirrors list churn and per-peer reliability into `r`: counters
+  /// "responders.added"/"responders.removed", gauge "responders.size", and
+  /// a per-peer "peer.response_rate" gauge updated on every observation —
+  /// the telemetry an opportunistic deployment needs to judge its peers.
+  void bind_metrics(obs::Registry& r);
+
  private:
+  void gauge_size();
+  void gauge_rate(sim::NodeId id);
   struct History {
     std::uint64_t successes = 0;
     std::uint64_t failures = 0;
@@ -69,6 +81,11 @@ class ResponderCache {
   Ordering ordering_;
   std::vector<sim::NodeId> list_;  // top = front
   std::unordered_map<sim::NodeId, History> history_;
+  obs::Registry* registry_ = nullptr;
+  obs::Counter* added_ = nullptr;
+  obs::Counter* removed_ = nullptr;
+  obs::Gauge* size_ = nullptr;
+  std::unordered_map<sim::NodeId, obs::Gauge*> rate_gauges_;
 };
 
 }  // namespace tiamat::net

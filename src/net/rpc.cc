@@ -22,15 +22,22 @@ void Correlator::expect(std::uint64_t op_id, OnMessage on_message,
       if (it == open_.end()) return;
       Open o = std::move(it->second);
       open_.erase(it);
+      if (metrics_.deadline_expired) ++*metrics_.deadline_expired;
+      gauge_open();
       if (o.on_deadline) o.on_deadline();
     });
   }
   open_[op_id] = std::move(open);
+  gauge_open();
 }
 
 bool Correlator::route(sim::NodeId from, const Message& m) {
   auto it = open_.find(m.op_id);
-  if (it == open_.end()) return false;
+  if (it == open_.end()) {
+    if (metrics_.stale) ++*metrics_.stale;
+    return false;
+  }
+  if (metrics_.routed) ++*metrics_.routed;
   // Copy the handler out: it may register new exchanges (rehashing the map)
   // or finish this one while running.
   OnMessage handler = it->second.on_message;
@@ -46,7 +53,15 @@ bool Correlator::finish(std::uint64_t op_id) {
     queue_.cancel(it->second.deadline_event);
   }
   open_.erase(it);
+  gauge_open();
   return true;
+}
+
+void Correlator::bind_metrics(obs::Registry& r) {
+  metrics_.routed = &r.counter("rpc.routed");
+  metrics_.stale = &r.counter("rpc.stale");
+  metrics_.deadline_expired = &r.counter("rpc.deadline_expired");
+  metrics_.open = &r.gauge("rpc.open_exchanges");
 }
 
 }  // namespace tiamat::net

@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "net/message.h"
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
 
@@ -48,6 +49,10 @@ class Correlator {
   bool active(std::uint64_t op_id) const { return open_.count(op_id) != 0; }
   std::size_t open_count() const { return open_.size(); }
 
+  /// Mirrors routing outcomes into `r` ("rpc.routed" / "rpc.stale" /
+  /// "rpc.deadline_expired") and tracks the open-exchange count as a gauge.
+  void bind_metrics(obs::Registry& r);
+
  private:
   struct Open {
     OnMessage on_message;
@@ -58,6 +63,16 @@ class Correlator {
   sim::EventQueue& queue_;
   std::uint64_t next_id_ = 1;
   std::unordered_map<std::uint64_t, Open> open_;
+
+  struct Metrics {
+    obs::Counter* routed = nullptr;
+    obs::Counter* stale = nullptr;
+    obs::Counter* deadline_expired = nullptr;
+    obs::Gauge* open = nullptr;
+  } metrics_;
+  void gauge_open() {
+    if (metrics_.open) metrics_.open->set(static_cast<double>(open_.size()));
+  }
 };
 
 }  // namespace tiamat::net

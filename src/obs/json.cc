@@ -1,0 +1,305 @@
+#include "obs/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace tiamat::obs::json {
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Value::set(std::string key, Value v) {
+  as_object().emplace_back(std::move(key), std::move(v));
+}
+
+// ---- dump -------------------------------------------------------------------
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_double(double d, std::string& out) {
+  if (!std::isfinite(d)) {  // JSON has no inf/nan; null is the least-bad
+    out += "null";
+    return;
+  }
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  out.append(buf, ptr);
+  // Keep doubles distinguishable from ints after a round trip.
+  if (out.find_first_of(".eE", out.size() - (ptr - buf)) == std::string::npos) {
+    out += ".0";
+  }
+}
+
+void dump_value(const Value& v, std::string& out, int indent, int depth) {
+  const bool pretty = indent >= 0;
+  auto newline = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_int()) {
+    char buf[24];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v.as_int());
+    out.append(buf, ptr);
+  } else if (v.is_double()) {
+    dump_double(v.as_double(), out);
+  } else if (v.is_string()) {
+    dump_string(v.as_string(), out);
+  } else if (v.is_array()) {
+    const auto& a = v.as_array();
+    if (a.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (i) out += ',';
+      newline(depth + 1);
+      dump_value(a[i], out, indent, depth + 1);
+    }
+    newline(depth);
+    out += ']';
+  } else {
+    const auto& o = v.as_object();
+    if (o.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      if (i) out += ',';
+      newline(depth + 1);
+      dump_string(o[i].first, out);
+      out += pretty ? ": " : ":";
+      dump_value(o[i].second, out, indent, depth + 1);
+    }
+    newline(depth);
+    out += '}';
+  }
+}
+
+}  // namespace
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_value(*this, out, indent, 0);
+  return out;
+}
+
+// ---- parse ------------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!eat('"')) return std::nullopt;
+    std::string out;
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos >= text.size()) return std::nullopt;
+        char e = text[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return std::nullopt;
+            }
+            // Only the escapes we emit (< 0x20) need exactness; encode the
+            // rest as UTF-8 best-effort.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Value> parse_number() {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    std::string_view tok = text.substr(start, pos - start);
+    if (tok.empty()) return std::nullopt;
+    const bool is_float =
+        tok.find_first_of(".eE") != std::string_view::npos;
+    if (!is_float) {
+      std::int64_t n = 0;
+      auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), n);
+      if (ec == std::errc() && ptr == tok.data() + tok.size()) return Value(n);
+    }
+    double d = 0;
+    auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (ec != std::errc() || ptr != tok.data() + tok.size()) {
+      return std::nullopt;
+    }
+    return Value(d);
+  }
+
+  std::optional<Value> parse_value(int depth) {
+    if (depth > 128) return std::nullopt;
+    skip_ws();
+    if (pos >= text.size()) return std::nullopt;
+    char c = text[pos];
+    if (c == 'n') return literal("null") ? std::optional<Value>(Value())
+                                         : std::nullopt;
+    if (c == 't') return literal("true") ? std::optional<Value>(Value(true))
+                                         : std::nullopt;
+    if (c == 'f') return literal("false") ? std::optional<Value>(Value(false))
+                                          : std::nullopt;
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s) return std::nullopt;
+      return Value(std::move(*s));
+    }
+    if (c == '[') {
+      ++pos;
+      Array a;
+      skip_ws();
+      if (eat(']')) return Value(std::move(a));
+      while (true) {
+        auto v = parse_value(depth + 1);
+        if (!v) return std::nullopt;
+        a.push_back(std::move(*v));
+        if (eat(']')) return Value(std::move(a));
+        if (!eat(',')) return std::nullopt;
+      }
+    }
+    if (c == '{') {
+      ++pos;
+      Object o;
+      skip_ws();
+      if (eat('}')) return Value(std::move(o));
+      while (true) {
+        skip_ws();
+        auto k = parse_string();
+        if (!k) return std::nullopt;
+        if (!eat(':')) return std::nullopt;
+        auto v = parse_value(depth + 1);
+        if (!v) return std::nullopt;
+        o.emplace_back(std::move(*k), std::move(*v));
+        if (eat('}')) return Value(std::move(o));
+        if (!eat(',')) return std::nullopt;
+      }
+    }
+    return parse_number();
+  }
+};
+
+}  // namespace
+
+std::optional<Value> Value::parse(std::string_view text) {
+  Parser p{text};
+  auto v = p.parse_value(0);
+  if (!v) return std::nullopt;
+  p.skip_ws();
+  if (p.pos != text.size()) return std::nullopt;  // trailing garbage
+  return v;
+}
+
+}  // namespace tiamat::obs::json

@@ -1,0 +1,82 @@
+// Minimal JSON value used by the observability layer for machine-readable
+// export (metrics snapshots, JSONL trace sinks) and for round-tripping
+// snapshots in tests. Deliberately small: objects preserve insertion order
+// so dumps are deterministic and diffable PR-over-PR; numbers are kept as
+// int64 where possible so counter values survive a round trip exactly.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace tiamat::obs::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Object = std::vector<std::pair<std::string, Value>>;
+
+class Value {
+ public:
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}  // NOLINT(runtime/explicit)
+  Value(bool b) : v_(b) {}                // NOLINT(runtime/explicit)
+  Value(std::int64_t n) : v_(n) {}        // NOLINT(runtime/explicit)
+  Value(std::uint64_t n) : v_(static_cast<std::int64_t>(n)) {}  // NOLINT
+  Value(int n) : v_(static_cast<std::int64_t>(n)) {}            // NOLINT
+  Value(double d) : v_(d) {}              // NOLINT(runtime/explicit)
+  Value(std::string s) : v_(std::move(s)) {}        // NOLINT(runtime/explicit)
+  Value(const char* s) : v_(std::string(s)) {}      // NOLINT(runtime/explicit)
+  Value(Array a) : v_(std::move(a)) {}    // NOLINT(runtime/explicit)
+  Value(Object o) : v_(std::move(o)) {}   // NOLINT(runtime/explicit)
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  std::int64_t as_int() const {
+    if (is_double()) return static_cast<std::int64_t>(std::get<double>(v_));
+    return std::get<std::int64_t>(v_);
+  }
+  double as_double() const {
+    if (is_int()) return static_cast<double>(std::get<std::int64_t>(v_));
+    return std::get<double>(v_);
+  }
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const Array& as_array() const { return std::get<Array>(v_); }
+  Array& as_array() { return std::get<Array>(v_); }
+  const Object& as_object() const { return std::get<Object>(v_); }
+  Object& as_object() { return std::get<Object>(v_); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+
+  /// Appends (object) — no de-duplication; callers keep keys unique.
+  void set(std::string key, Value v);
+
+  /// Serialization. indent < 0 produces a compact single line; >= 0 pretty
+  /// prints with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Parses a single JSON document (surrounding whitespace allowed).
+  /// Returns nullopt on any syntax error or trailing garbage.
+  static std::optional<Value> parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      v_;
+};
+
+}  // namespace tiamat::obs::json

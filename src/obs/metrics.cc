@@ -1,0 +1,228 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace tiamat::obs {
+
+// ---- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  sum_ += v;
+  ++count_;
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double lo_edge = i == 0 ? 0.0 : bounds_[i - 1];
+    const double hi_edge = i < bounds_.size() ? bounds_[i]
+                                              // Overflow bucket: no upper
+                                              // bound; report its lower edge.
+                                              : lo_edge;
+    const std::uint64_t next = seen + counts_[i];
+    if (static_cast<double>(next) >= target) {
+      const double into =
+          (target - static_cast<double>(seen)) / counts_[i];
+      return lo_edge + (hi_edge - lo_edge) * std::clamp(into, 0.0, 1.0);
+    }
+    seen = next;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void Histogram::restore(std::vector<std::uint64_t> counts, double sum,
+                        std::uint64_t count) {
+  if (counts.size() == counts_.size()) counts_ = std::move(counts);
+  sum_ = sum;
+  count_ = count;
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t n) {
+  std::vector<double> out;
+  out.reserve(n);
+  double v = start;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(v);
+    v *= factor;
+  }
+  return out;
+}
+
+const std::vector<double>& Histogram::latency_bounds_us() {
+  // 100us * 2^k, 21 buckets: top bound ~104.8s of virtual time.
+  static const std::vector<double> kBounds =
+      exponential_bounds(100.0, 2.0, 21);
+  return kBounds;
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+namespace {
+
+template <typename Map, typename Make>
+decltype(auto) lookup(Map& map, const std::string& name, Labels labels,
+                      Make make) {
+  std::sort(labels.begin(), labels.end());
+  auto key = std::make_pair(name, std::move(labels));
+  auto it = map.find(key);
+  if (it == map.end()) it = map.emplace(std::move(key), make()).first;
+  return *it->second;
+}
+
+json::Value labels_json(const Labels& labels) {
+  json::Object o;
+  for (const auto& [k, v] : labels) o.emplace_back(k, json::Value(v));
+  return json::Value(std::move(o));
+}
+
+bool labels_from_json(const json::Value& v, Labels& out) {
+  if (!v.is_object()) return false;
+  for (const auto& [k, lv] : v.as_object()) {
+    if (!lv.is_string()) return false;
+    out.emplace_back(k, lv.as_string());
+  }
+  return true;
+}
+
+}  // namespace
+
+Counter& Registry::counter(const std::string& name, Labels labels) {
+  return lookup(counters_, name, std::move(labels),
+                [] { return std::make_unique<Counter>(); });
+}
+
+Gauge& Registry::gauge(const std::string& name, Labels labels) {
+  return lookup(gauges_, name, std::move(labels),
+                [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram& Registry::histogram(const std::string& name, Labels labels,
+                               std::vector<double> bounds) {
+  return lookup(histograms_, name, std::move(labels), [&] {
+    return std::make_unique<Histogram>(
+        bounds.empty() ? Histogram::latency_bounds_us() : std::move(bounds));
+  });
+}
+
+json::Value Registry::snapshot() const {
+  json::Array counters;
+  for (const auto& [key, c] : counters_) {
+    json::Object e;
+    e.emplace_back("name", json::Value(key.first));
+    e.emplace_back("labels", labels_json(key.second));
+    e.emplace_back("value", json::Value(c->value()));
+    counters.emplace_back(std::move(e));
+  }
+  json::Array gauges;
+  for (const auto& [key, g] : gauges_) {
+    json::Object e;
+    e.emplace_back("name", json::Value(key.first));
+    e.emplace_back("labels", labels_json(key.second));
+    e.emplace_back("value", json::Value(g->value()));
+    gauges.emplace_back(std::move(e));
+  }
+  json::Array histograms;
+  for (const auto& [key, h] : histograms_) {
+    json::Object e;
+    e.emplace_back("name", json::Value(key.first));
+    e.emplace_back("labels", labels_json(key.second));
+    json::Array bounds;
+    for (double b : h->bounds()) bounds.emplace_back(b);
+    e.emplace_back("bounds", json::Value(std::move(bounds)));
+    json::Array counts;
+    for (std::uint64_t c : h->bucket_counts()) counts.emplace_back(c);
+    e.emplace_back("counts", json::Value(std::move(counts)));
+    e.emplace_back("count", json::Value(h->count()));
+    e.emplace_back("sum", json::Value(h->sum()));
+    e.emplace_back("mean", json::Value(h->mean()));
+    e.emplace_back("p50", json::Value(h->percentile(50)));
+    e.emplace_back("p95", json::Value(h->percentile(95)));
+    e.emplace_back("p99", json::Value(h->percentile(99)));
+    histograms.emplace_back(std::move(e));
+  }
+  json::Object doc;
+  doc.emplace_back("counters", json::Value(std::move(counters)));
+  doc.emplace_back("gauges", json::Value(std::move(gauges)));
+  doc.emplace_back("histograms", json::Value(std::move(histograms)));
+  return json::Value(std::move(doc));
+}
+
+std::string Registry::snapshot_json(int indent) const {
+  return snapshot().dump(indent);
+}
+
+bool Registry::load(const json::Value& doc) {
+  if (!doc.is_object()) return false;
+
+  auto each = [&](const char* section, auto&& fn) {
+    const json::Value* arr = doc.find(section);
+    if (arr == nullptr || !arr->is_array()) return false;
+    for (const json::Value& e : arr->as_array()) {
+      const json::Value* name = e.find("name");
+      const json::Value* labels = e.find("labels");
+      if (name == nullptr || !name->is_string() || labels == nullptr) {
+        return false;
+      }
+      Labels l;
+      if (!labels_from_json(*labels, l)) return false;
+      if (!fn(e, name->as_string(), std::move(l))) return false;
+    }
+    return true;
+  };
+
+  bool ok = each("counters", [&](const json::Value& e, const std::string& name,
+                                 Labels l) {
+    const json::Value* v = e.find("value");
+    if (v == nullptr || !v->is_number()) return false;
+    counter(name, std::move(l)).add(static_cast<std::uint64_t>(v->as_int()));
+    return true;
+  });
+  ok = ok && each("gauges", [&](const json::Value& e, const std::string& name,
+                                Labels l) {
+    const json::Value* v = e.find("value");
+    if (v == nullptr || !v->is_number()) return false;
+    gauge(name, std::move(l)).set(v->as_double());
+    return true;
+  });
+  ok = ok && each("histograms", [&](const json::Value& e,
+                                    const std::string& name, Labels l) {
+    const json::Value* bounds = e.find("bounds");
+    const json::Value* counts = e.find("counts");
+    const json::Value* count = e.find("count");
+    const json::Value* sum = e.find("sum");
+    if (bounds == nullptr || !bounds->is_array() || counts == nullptr ||
+        !counts->is_array() || count == nullptr || !count->is_number() ||
+        sum == nullptr || !sum->is_number()) {
+      return false;
+    }
+    std::vector<double> b;
+    for (const json::Value& x : bounds->as_array()) {
+      if (!x.is_number()) return false;
+      b.push_back(x.as_double());
+    }
+    std::vector<std::uint64_t> c;
+    for (const json::Value& x : counts->as_array()) {
+      if (!x.is_number()) return false;
+      c.push_back(static_cast<std::uint64_t>(x.as_int()));
+    }
+    histogram(name, std::move(l), std::move(b))
+        .restore(std::move(c), sum->as_double(),
+                 static_cast<std::uint64_t>(count->as_int()));
+    return true;
+  });
+  return ok;
+}
+
+}  // namespace tiamat::obs

@@ -1,0 +1,141 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms with
+// optional labels (per-peer, per-op-kind, ...), snapshot-able to JSON.
+//
+// Design constraints, in order:
+//   1. Hot-path cost. An instrument is looked up (or created) once and held
+//      by reference; updating it is an integer add. Histograms use fixed
+//      buckets so observation is a binary search plus two adds — no
+//      unbounded sample vectors on per-op paths (sim::Summary keeps that
+//      role for bench-side aggregation only).
+//   2. Determinism. The registry iterates instruments in lexicographic
+//      (name, labels) order, so two runs with the same seed produce
+//      byte-identical snapshots — which is what makes BENCH_*.json
+//      trajectories diffable PR-over-PR.
+//   3. Stability. Instrument references remain valid for the registry's
+//      lifetime (node-based map storage).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace tiamat::obs {
+
+/// Sorted key/value label pairs identifying one instrument of a metric.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing integer. Supports the increment idioms already
+/// used throughout the codebase (++c.counters().x) and reads back as the
+/// underlying integer.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_ += n; }
+  Counter& operator++() {
+    ++v_;
+    return *this;
+  }
+  Counter& operator+=(std::uint64_t n) {
+    v_ += n;
+    return *this;
+  }
+  std::uint64_t value() const { return v_; }
+  operator std::uint64_t() const { return v_; }  // NOLINT(runtime/explicit)
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// A value that can go up and down.
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  void add(double d) { v_ += d; }
+  double value() const { return v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the first
+/// N buckets; one implicit overflow bucket catches the rest. Percentiles are
+/// estimated by linear interpolation inside the containing bucket, which is
+/// exact enough for p50/p95/p99 latency tracking at a fraction of the cost
+/// and memory of keeping every sample.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  /// Percentile estimate, p in [0,100]; 0 on empty.
+  double percentile(double p) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+  /// Restores accumulated state from a snapshot (JSON round-trip).
+  void restore(std::vector<std::uint64_t> counts, double sum,
+               std::uint64_t count);
+
+  /// Exponentially spaced bounds: start, start*factor, ... (n values).
+  static std::vector<double> exponential_bounds(double start, double factor,
+                                                std::size_t n);
+  /// Default bounds for virtual-time latencies in microseconds
+  /// (100us .. ~100s).
+  static const std::vector<double>& latency_bounds_us();
+
+ private:
+  std::vector<double> bounds_;          ///< ascending upper bounds
+  std::vector<std::uint64_t> counts_;   ///< bounds_.size() + 1 (overflow)
+  double sum_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+/// Owns every instrument. Lookup-or-create by (name, labels); references
+/// stay valid for the registry's lifetime.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name, Labels labels = {});
+  Gauge& gauge(const std::string& name, Labels labels = {});
+  /// `bounds` is used on first creation only; later calls with the same
+  /// (name, labels) return the existing histogram unchanged.
+  Histogram& histogram(const std::string& name, Labels labels = {},
+                       std::vector<double> bounds = {});
+
+  /// Serializes every instrument. Histograms carry bounds/counts/sum plus
+  /// derived p50/p95/p99 so exported files are directly consumable.
+  json::Value snapshot() const;
+  std::string snapshot_json(int indent = 2) const;
+
+  /// Rebuilds instruments from a snapshot() document. Returns false (and
+  /// leaves the registry partially populated) on malformed input. Used to
+  /// prove snapshots round-trip and to diff persisted BENCH_*.json files.
+  bool load(const json::Value& doc);
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  using Key = std::pair<std::string, Labels>;
+
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace tiamat::obs

@@ -1,0 +1,85 @@
+#include "obs/trace.h"
+
+namespace tiamat::obs {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kOpIssued:
+      return "op_issued";
+    case EventKind::kLeaseGranted:
+      return "lease_granted";
+    case EventKind::kLeaseRefused:
+      return "lease_refused";
+    case EventKind::kPeerRequest:
+      return "peer_request";
+    case EventKind::kPeerResponse:
+      return "peer_response";
+    case EventKind::kPeerTimeout:
+      return "peer_timeout";
+    case EventKind::kProbe:
+      return "probe";
+    case EventKind::kAccept:
+      return "accept";
+    case EventKind::kReinsert:
+      return "reinsert";
+    case EventKind::kCancel:
+      return "cancel";
+    case EventKind::kConfirm:
+      return "confirm";
+    case EventKind::kOpNoMatch:
+      return "op_no_match";
+    case EventKind::kOpExpired:
+      return "op_expired";
+    case EventKind::kServeStart:
+      return "serve_start";
+    case EventKind::kServeRefused:
+      return "serve_refused";
+    case EventKind::kServeMatch:
+      return "serve_match";
+    case EventKind::kServeReinsert:
+      return "serve_reinsert";
+    case EventKind::kServeConfirm:
+      return "serve_confirm";
+  }
+  return "?";
+}
+
+json::Value TraceEvent::to_json() const {
+  json::Object o;
+  o.emplace_back("at", json::Value(at));
+  o.emplace_back("node", json::Value(static_cast<std::int64_t>(node)));
+  o.emplace_back("origin", json::Value(static_cast<std::int64_t>(origin)));
+  o.emplace_back("op", json::Value(static_cast<std::int64_t>(op_id)));
+  o.emplace_back("kind", json::Value(to_string(kind)));
+  if (peer != sim::kNoNode) {
+    o.emplace_back("peer", json::Value(static_cast<std::int64_t>(peer)));
+  }
+  if (detail != 0) o.emplace_back("detail", json::Value(detail));
+  return json::Value(std::move(o));
+}
+
+void Tracer::record(sim::Time at, sim::NodeId origin, std::uint64_t op_id,
+                    EventKind kind, sim::NodeId peer, std::int64_t detail) {
+  if (!enabled_) return;
+  TraceEvent e{at, node_, origin, op_id, kind, peer, detail};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+  } else {
+    ring_[next_] = e;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+  if (sink_) sink_->on_event(e);
+}
+
+std::vector<TraceEvent> Tracer::recent() const {
+  if (ring_.size() < capacity_) return ring_;
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % capacity_]);
+  }
+  return out;
+}
+
+}  // namespace tiamat::obs

@@ -98,8 +98,15 @@ Duration Network::transmission_delay(std::size_t bytes) {
   return d;
 }
 
+void Network::account_link(NodeId from, NodeId to, std::size_t bytes) {
+  LinkStats& ls = link_stats_[{from, to}];
+  ++ls.messages;
+  ls.bytes += bytes;
+}
+
 void Network::deliver_later(NodeId from, NodeId to, Payload payload) {
   stats_.bytes_sent += payload.size();
+  account_link(from, to, payload.size());
   if (model_.loss > 0.0 && rng_.chance(model_.loss)) {
     ++stats_.drops_loss;
     return;
@@ -126,6 +133,7 @@ void Network::send(NodeId from, NodeId to, Payload payload) {
   ++stats_.unicasts_sent;
   if (!visible(from, to)) {
     stats_.bytes_sent += payload.size();
+    account_link(from, to, payload.size());
     ++stats_.drops_invisible;
     return;
   }

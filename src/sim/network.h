@@ -16,6 +16,7 @@
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "sim/clock.h"
@@ -58,6 +59,14 @@ struct NetStats {
   std::uint64_t bytes_sent = 0;       ///< sum of payload sizes transmitted
 
   void reset() { *this = NetStats{}; }
+};
+
+/// Per-directed-link traffic (messages given to the medium and their bytes,
+/// whether or not they were ultimately delivered). Keyed by (from, to), so
+/// asymmetric traffic — one chatty peer, one silent — is visible.
+struct LinkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
 };
 
 using Payload = std::vector<std::uint8_t>;
@@ -126,6 +135,13 @@ class Network {
 
   NetStats& stats() { return stats_; }
   const NetStats& stats() const { return stats_; }
+
+  /// Per-link traffic, keyed by directed (from, to). Iteration order is
+  /// deterministic (ordered map) so exports are diffable run-over-run.
+  const std::map<std::pair<NodeId, NodeId>, LinkStats>& link_stats() const {
+    return link_stats_;
+  }
+  void reset_link_stats() { link_stats_.clear(); }
   EventQueue& queue() { return queue_; }
   Rng& rng() { return rng_; }
   Time now() const { return queue_.now(); }
@@ -144,6 +160,7 @@ class Network {
 
   Duration transmission_delay(std::size_t bytes);
   void deliver_later(NodeId from, NodeId to, Payload payload);
+  void account_link(NodeId from, NodeId to, std::size_t bytes);
   static std::uint64_t link_key(NodeId a, NodeId b);
 
   EventQueue& queue_;
@@ -154,6 +171,7 @@ class Network {
   std::map<NodeId, NodeState> nodes_;  // ordered: deterministic iteration
   std::unordered_map<std::uint64_t, bool> overrides_;
   NetStats stats_;
+  std::map<std::pair<NodeId, NodeId>, LinkStats> link_stats_;
 };
 
 }  // namespace tiamat::sim

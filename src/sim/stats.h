@@ -1,6 +1,12 @@
 // Small statistics accumulators used by the benchmark harnesses to report
 // the latency/traffic series that stand in for the paper's (qualitative)
 // performance claims.
+//
+// Summary is for bench-side aggregation only: per-operation hot paths in
+// the core use obs::Histogram (fixed buckets, no per-sample storage). Here,
+// sum/min/max/mean are maintained incrementally, percentile sorts lazily
+// (at most once per batch of adds), and an optional bounded mode keeps a
+// uniform reservoir instead of growing without limit.
 
 #pragma once
 
@@ -15,41 +21,59 @@ namespace tiamat::sim {
 /// Accumulates scalar samples and reports summary statistics.
 class Summary {
  public:
+  Summary() = default;
+
+  /// Bounded mode: retains at most `max_samples` via uniform reservoir
+  /// sampling (deterministic — no external RNG). sum/mean/min/max/count
+  /// always reflect every sample added; percentiles are estimated from the
+  /// reservoir.
+  explicit Summary(std::size_t max_samples) : max_samples_(max_samples) {
+    samples_.reserve(max_samples);
+  }
+
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
   void add(double v) {
-    samples_.push_back(v);
+    ++count_;
+    sum_ += v;
+    if (count_ == 1) {
+      min_ = max_ = v;
+    } else {
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+    }
+    if (max_samples_ == 0 || samples_.size() < max_samples_) {
+      samples_.push_back(v);
+    } else {
+      // Vitter's algorithm R: keep each of the `count_` samples with equal
+      // probability `max_samples_ / count_`.
+      const std::uint64_t j = next_random() % count_;
+      if (j < max_samples_) samples_[static_cast<std::size_t>(j)] = v;
+    }
     sorted_ = false;
   }
 
-  std::size_t count() const { return samples_.size(); }
-  bool empty() const { return samples_.empty(); }
+  std::size_t count() const { return static_cast<std::size_t>(count_); }
+  bool empty() const { return count_ == 0; }
 
-  double sum() const {
-    double s = 0.0;
-    for (double v : samples_) s += v;
-    return s;
-  }
-
-  double mean() const { return empty() ? 0.0 : sum() / count(); }
-
-  double min() const {
-    return empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
-  }
-
-  double max() const {
-    return empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
-  }
+  double sum() const { return sum_; }
+  double mean() const { return empty() ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return empty() ? 0.0 : min_; }
+  double max() const { return empty() ? 0.0 : max_; }
 
   double stddev() const {
-    if (count() < 2) return 0.0;
+    if (samples_.size() < 2) return 0.0;
     const double m = mean();
     double acc = 0.0;
     for (double v : samples_) acc += (v - m) * (v - m);
-    return std::sqrt(acc / (count() - 1));
+    return std::sqrt(acc / (samples_.size() - 1));
   }
 
-  /// Percentile in [0,100] by nearest-rank; 0 on empty.
+  /// Percentile in [0,100] by nearest-rank over the retained samples; 0 on
+  /// empty. Sorts lazily, so interleaved add/percentile batches pay one
+  /// sort per batch, not one per call.
   double percentile(double p) {
-    if (empty()) return 0.0;
+    if (samples_.empty()) return 0.0;
     if (!sorted_) {
       std::sort(samples_.begin(), samples_.end());
       sorted_ = true;
@@ -64,14 +88,38 @@ class Summary {
   double median() { return percentile(50.0); }
   double p95() { return percentile(95.0); }
 
+  /// Samples currently retained (== count() unless bounded mode kicked in).
+  std::size_t retained() const { return samples_.size(); }
+  std::size_t max_samples() const { return max_samples_; }
+
   void clear() {
     samples_.clear();
     sorted_ = false;
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = max_ = 0.0;
+    rng_state_ = kRngSeed;
   }
 
  private:
+  static constexpr std::uint64_t kRngSeed = 0x9e3779b97f4a7c15ull;
+
+  std::uint64_t next_random() {
+    // splitmix64: cheap, deterministic, good enough for reservoir indices.
+    std::uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
   std::vector<double> samples_;
   bool sorted_ = false;
+  std::size_t max_samples_ = 0;  ///< 0: unbounded
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t rng_state_ = kRngSeed;
 };
 
 /// Success/failure counter with a derived rate.
