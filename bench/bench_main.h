@@ -15,6 +15,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <string>
 
 #include "obs/metrics.h"
@@ -59,13 +60,33 @@ inline int run_main(int argc, char** argv, const std::string& bench_name) {
     obs::json::Object doc;
     doc.emplace_back("bench", obs::json::Value(bench_name));
     doc.emplace_back("metrics", registry().snapshot());
-    std::ofstream f(json_path, std::ios::out | std::ios::trunc);
-    f << obs::json::Value(std::move(doc)).dump(2) << '\n';
-    if (!f.good()) {
-      std::cerr << "failed to write " << json_path << "\n";
+    {
+      std::ofstream f(json_path, std::ios::out | std::ios::trunc);
+      f << obs::json::Value(std::move(doc)).dump(2) << '\n';
+      if (!f.good()) {
+        std::cerr << "failed to write " << json_path << "\n";
+        return 1;
+      }
+    }
+    // Self-check: the exported file must round-trip through the obs reader
+    // (parse, then rebuild a registry from the metrics section), so a
+    // malformed export fails the bench run instead of a later consumer.
+    std::ifstream in(json_path);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    auto parsed = obs::json::Value::parse(text);
+    if (!parsed) {
+      std::cerr << json_path << " is not valid JSON\n";
       return 1;
     }
-    std::cout << "metrics snapshot written to " << json_path << "\n";
+    const obs::json::Value* metrics = parsed->find("metrics");
+    obs::Registry reloaded;
+    if (metrics == nullptr || !reloaded.load(*metrics)) {
+      std::cerr << json_path << " does not reload as a metrics snapshot\n";
+      return 1;
+    }
+    std::cout << "metrics snapshot written to " << json_path << " ("
+              << reloaded.size() << " instruments, reload verified)\n";
   }
   return 0;
 }

@@ -21,4 +21,19 @@ if [[ "${1:-}" != "--release-only" ]]; then
   run_preset asan
 fi
 
+# Matching-engine bench smoke: a sub-second run whose --json export is
+# self-validated by the bench binary (parse + registry reload); a broken
+# exporter or a crashing engine fails the gate here, not in a later PR's
+# perf diff.
+echo "== bench_match: smoke =="
+smoke_json=$(mktemp /tmp/BENCH_match_smoke.XXXXXX.json)
+trap 'rm -f "${smoke_json}"' EXIT
+build/bench/bench_match --benchmark_min_time=0.01 \
+  --benchmark_filter='BM_(KeyedFindFirst|UnkeyedFindFirst|WaiterOffer)' \
+  --json="${smoke_json}" >/dev/null
+grep -q '"engine.bucket_probes"' "${smoke_json}" || {
+  echo "bench_match smoke: engine counters missing from ${smoke_json}" >&2
+  exit 1
+}
+
 echo "All checks passed."

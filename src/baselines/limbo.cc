@@ -22,20 +22,18 @@ LimboNode::LimboNode(sim::Network& net, sim::GroupId space_group,
 void LimboNode::apply_add(const GlobalId& id, Tuple t, sim::NodeId owner) {
   const std::uint64_t k = id.key();
   if (tombstones_.count(k) != 0) return;  // deleted before we saw the add
-  if (replica_.count(k) != 0) return;     // duplicate
-  replica_bytes_ += t.footprint();
+  if (replica_.contains(k)) return;       // duplicate
   serve_waiters(t);
   ids_[k] = id;
-  replica_.emplace(k, Entry{std::move(t), owner});
+  owners_[k] = owner;
+  replica_.insert(k, std::move(t));
 }
 
 void LimboNode::apply_del(const GlobalId& id) {
   const std::uint64_t k = id.key();
   tombstones_.insert(k);
-  auto it = replica_.find(k);
-  if (it == replica_.end()) return;
-  replica_bytes_ -= it->second.tuple.footprint();
-  replica_.erase(it);
+  replica_.erase(k);
+  owners_.erase(k);
   ids_.erase(k);
 }
 
@@ -90,10 +88,9 @@ std::optional<Tuple> LimboNode::rd(const Pattern& p) {
 
 std::optional<std::pair<GlobalId, Tuple>> LimboNode::rd_with_id(
     const Pattern& p) {
-  for (const auto& [k, e] : replica_) {
-    if (p.matches(e.tuple)) return std::make_pair(ids_.at(k), e.tuple);
-  }
-  return std::nullopt;
+  auto k = replica_.find_first(p);
+  if (!k) return std::nullopt;
+  return std::make_pair(ids_.at(*k), *replica_.get(*k));
 }
 
 void LimboNode::rd_blocking(const Pattern& p, sim::Time deadline,
@@ -106,59 +103,58 @@ void LimboNode::rd_blocking(const Pattern& p, sim::Time deadline,
     cb(std::nullopt);
     return;
   }
+  const std::uint64_t wid = next_waiter_++;
   Waiter w;
-  w.pattern = p;
   w.cb = std::move(cb);
-  w.id = next_waiter_++;
-  const std::uint64_t wid = w.id;
   w.deadline_event = net_.queue().schedule_at(deadline, [this, wid] {
-    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
-      if (it->id == wid) {
-        auto cb2 = std::move(it->cb);
-        waiters_.erase(it);
-        cb2(std::nullopt);
-        return;
-      }
-    }
+    if (auto e = waiters_.extract(wid)) e->payload.cb(std::nullopt);
   });
-  waiters_.push_back(std::move(w));
+  waiters_.add(wid, tuples::CompiledPattern(p), std::move(w));
 }
 
 void LimboNode::serve_waiters(const Tuple& t) {
-  for (auto it = waiters_.begin(); it != waiters_.end();) {
-    if (it->pattern.matches(t)) {
-      if (it->deadline_event != sim::kInvalidEvent) {
-        net_.queue().cancel(it->deadline_event);
-      }
-      auto cb = std::move(it->cb);
-      it = waiters_.erase(it);
-      cb(t);
-    } else {
-      ++it;
+  // Collect-extract-then-fire: callbacks may re-enter (issue another
+  // blocking rd), so the index must be settled before any cb runs.
+  std::vector<Waiter> fired;
+  for (std::uint64_t wid : waiters_.candidates(t)) {
+    const tuples::CompiledPattern* cp = waiters_.pattern_of(wid);
+    if (cp == nullptr || !cp->matches(t)) continue;
+    auto e = waiters_.extract(wid);
+    if (e->payload.deadline_event != sim::kInvalidEvent) {
+      net_.queue().cancel(e->payload.deadline_event);
     }
+    fired.push_back(std::move(e->payload));
   }
+  for (auto& w : fired) w.cb(t);
 }
 
 std::optional<Tuple> LimboNode::in_owned(const Pattern& p) {
-  for (const auto& [k, e] : replica_) {
-    if (e.owner == node() && p.matches(e.tuple)) {
-      GlobalId id = ids_.at(k);
-      Tuple t = e.tuple;
-      apply_del(id);
-      broadcast_del(id);
-      return t;
-    }
+  // First owned match in ascending key order (what the old map scan chose);
+  // deletion waits until the engine iteration has finished.
+  std::optional<std::uint64_t> victim;
+  replica_.for_each_match(
+      tuples::CompiledPattern(p), [&](tuples::TupleId k, const Tuple&) {
+        if (owners_.at(k) != node()) return true;  // someone else's — skip
+        victim = k;
+        return false;
+      });
+  if (!victim) {
+    return std::nullopt;  // nothing we own matches — even if others' do
   }
-  return std::nullopt;  // nothing we own matches — even if others' do
+  GlobalId id = ids_.at(*victim);
+  Tuple t = *replica_.get(*victim);
+  apply_del(id);
+  broadcast_del(id);
+  return t;
 }
 
 bool LimboNode::transfer_ownership(const GlobalId& id, sim::NodeId new_owner) {
-  auto it = replica_.find(id.key());
-  if (it == replica_.end() || it->second.owner != node()) return false;
+  auto it = owners_.find(id.key());
+  if (it == owners_.end() || it->second != node()) return false;
   // Ownership handover requires direct, synchronous contact with the
   // recipient — the identity/time/space decoupling break of §4.3.
   if (!net_.visible(node(), new_owner)) return false;
-  it->second.owner = new_owner;
+  it->second = new_owner;
   net::Message m;
   m.type = kLimboTransfer;
   m.origin = node();
@@ -200,9 +196,9 @@ void LimboNode::reconnect() {
 
 std::size_t LimboNode::owned_tuples() const {
   std::size_t n = 0;
-  for (const auto& [k, e] : replica_) {
+  for (const auto& [k, owner] : owners_) {
     (void)k;
-    if (e.owner == node()) ++n;
+    if (owner == node()) ++n;
   }
   return n;
 }
@@ -227,28 +223,28 @@ void LimboNode::handle(sim::NodeId from, const net::Message& m) {
     }
     case kLimboTransfer: {
       if (m.headers.size() < 3) return;
-      auto it = replica_.find(GlobalId{static_cast<sim::NodeId>(m.hint(0)),
-                                       static_cast<std::uint64_t>(m.hint(1))}
-                                  .key());
-      if (it != replica_.end()) {
-        it->second.owner = static_cast<sim::NodeId>(m.hint(2));
+      auto it = owners_.find(GlobalId{static_cast<sim::NodeId>(m.hint(0)),
+                                      static_cast<std::uint64_t>(m.hint(1))}
+                                 .key());
+      if (it != owners_.end()) {
+        it->second = static_cast<sim::NodeId>(m.hint(2));
       }
       return;
     }
     case kLimboSyncReq: {
       // Ship our full replica to the requester, one tuple per message
       // (models the real per-tuple retransmission traffic).
-      for (const auto& [k, e] : replica_) {
+      replica_.for_each([&](tuples::TupleId k, const Tuple& t) {
         const GlobalId& id = ids_.at(k);
         net::Message s;
         s.type = kLimboSyncState;
         s.origin = node();
         s.h(static_cast<std::int64_t>(id.creator));
         s.h(static_cast<std::int64_t>(id.seq));
-        s.h(static_cast<std::int64_t>(e.owner));
-        s.tuple = e.tuple;
+        s.h(static_cast<std::int64_t>(owners_.at(k)));
+        s.tuple = t;
         endpoint_.send(from, s);
-      }
+      });
       return;
     }
     case kLimboSyncState: {

@@ -17,7 +17,6 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <map>
 #include <optional>
 #include <set>
@@ -25,6 +24,8 @@
 
 #include "baselines/common.h"
 #include "net/endpoint.h"
+#include "tuple/index.h"
+#include "tuple/waiter_index.h"
 
 namespace tiamat::baselines {
 
@@ -91,7 +92,7 @@ class LimboNode {
   // ---- Introspection (E5) --------------------------------------------------
 
   std::size_t replica_tuples() const { return replica_.size(); }
-  std::size_t replica_bytes() const { return replica_bytes_; }
+  std::size_t replica_bytes() const { return replica_.total_footprint(); }
   std::size_t owned_tuples() const;
   std::size_t tombstones() const { return tombstones_.size(); }
 
@@ -105,15 +106,9 @@ class LimboNode {
   const Stats& stats() const { return stats_; }
 
  private:
-  struct Entry {
-    Tuple tuple;
-    sim::NodeId owner;
-  };
   struct Waiter {
-    Pattern pattern;
     MatchCb cb;
     sim::EventId deadline_event = sim::kInvalidEvent;
-    std::uint64_t id = 0;
   };
 
   void apply_add(const GlobalId& id, Tuple t, sim::NodeId owner);
@@ -130,11 +125,15 @@ class LimboNode {
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_waiter_ = 1;
 
-  std::map<std::uint64_t, Entry> replica_;  // key() -> entry
-  std::map<std::uint64_t, GlobalId> ids_;   // key() -> full id
+  // Replica stored in the shared matching engine, keyed by GlobalId::key():
+  // keyed rd/in probe one hash bucket instead of scanning every tuple, and
+  // ascending-key iteration reproduces the old std::map scan order. Owner
+  // and full-id bookkeeping ride in side maps.
+  tuples::TupleIndex replica_;
+  std::map<std::uint64_t, sim::NodeId> owners_;  // key() -> owner
+  std::map<std::uint64_t, GlobalId> ids_;        // key() -> full id
   std::set<std::uint64_t> tombstones_;
-  std::size_t replica_bytes_ = 0;
-  std::list<Waiter> waiters_;
+  tuples::WaiterIndex<Waiter> waiters_;
 
   /// Ops performed while disconnected, replayed on reconnect.
   std::vector<net::Message> oplog_;

@@ -83,7 +83,7 @@ void LimeHost::begin_engagement(sim::NodeId newcomer) {
 
 void LimeHost::finish_engagement() {
   // Full state transfer to the newcomer (atomic engagement's big cost).
-  for (const auto& [key, t] : replica_) {
+  replica_.for_each([&](tuples::TupleId key, const Tuple& t) {
     net::Message s;
     s.type = kLimeState;
     s.origin = node();
@@ -91,7 +91,7 @@ void LimeHost::finish_engagement() {
     s.tuple = t;
     endpoint_.send(pending_newcomer_, s);
     ++stats_.state_tuples_sent;
-  }
+  });
   members_.insert(pending_newcomer_);
   ++epoch_;
   net::Message end;
@@ -115,17 +115,23 @@ void LimeHost::disengage() {
   endpoint_.leave_group(group_);
   engaged_ = false;
   members_.clear();
-  replica_.clear();
+  replica_ = tuples::TupleIndex{};
 }
 
 // ---- Operations (originator side) ----------------------------------------------------
 
 std::optional<Tuple> LimeHost::local_match(const Pattern& p) const {
-  for (const auto& [key, t] : replica_) {
-    (void)key;
-    if (p.matches(t)) return t;
-  }
-  return std::nullopt;
+  auto key = replica_.find_first(p);
+  if (!key) return std::nullopt;
+  return *replica_.get(*key);
+}
+
+void LimeHost::replica_put(std::uint64_t key, const Tuple& t) {
+  // Replays (state transfer after re-engagement, duplicated applies) may
+  // re-send a key the replica already holds; last write wins, as it did
+  // when the replica was a plain map.
+  replica_.erase(key);
+  replica_.insert(key, t);
 }
 
 void LimeHost::out(Tuple t, std::function<void(bool)> done) {
@@ -237,18 +243,17 @@ void LimeHost::coord_sequence(sim::NodeId origin, const net::Message& m) {
     apply.h(true);
     apply.h(static_cast<std::int64_t>(key));
     apply.tuple = c.tuple;
-    replica_[key] = c.tuple;
+    replica_put(key, c.tuple);
     serve_waiters_on_insert(c.tuple);
   } else {
     if (!m.pattern) return;
-    // Pick the victim here so every member removes the *same* tuple.
+    // Pick the victim here so every member removes the *same* tuple. The
+    // engine yields the first match in ascending key order — the same
+    // tuple the old whole-replica scan chose.
     std::uint64_t victim = 0;
-    for (const auto& [key, t] : replica_) {
-      if (m.pattern->matches(t)) {
-        victim = key;
-        c.tuple = t;
-        break;
-      }
+    if (auto key = replica_.find_first(*m.pattern)) {
+      victim = *key;
+      c.tuple = *replica_.get(*key);
     }
     if (victim == 0) {
       // No match federation-wide (replica is authoritative).
@@ -319,7 +324,7 @@ void LimeHost::apply(const net::Message& m) {
   const std::uint64_t key = static_cast<std::uint64_t>(m.hint(1));
   if (is_out) {
     if (!m.tuple) return;
-    replica_[key] = *m.tuple;
+    replica_put(key, *m.tuple);
     serve_waiters_on_insert(*m.tuple);
   } else {
     replica_.erase(key);
@@ -337,24 +342,15 @@ void LimeHost::rd(const Pattern& p, sim::Time deadline, MatchCb cb) {
     cb(std::nullopt);
     return;
   }
+  const std::uint64_t wid = next_waiter_++;
   Waiter w;
-  w.id = next_waiter_++;
-  w.pattern = p;
   w.destructive = false;
   w.deadline = deadline;
   w.cb = std::move(cb);
-  const std::uint64_t wid = w.id;
   w.deadline_event = net_.queue().schedule_at(deadline, [this, wid] {
-    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
-      if (it->id == wid) {
-        auto cb2 = std::move(it->cb);
-        waiters_.erase(it);
-        cb2(std::nullopt);
-        return;
-      }
-    }
+    if (auto e = waiters_.extract(wid)) e->payload.cb(std::nullopt);
   });
-  waiters_.push_back(std::move(w));
+  waiters_.add(wid, tuples::CompiledPattern(p), std::move(w));
 }
 
 void LimeHost::in(const Pattern& p, sim::Time deadline, MatchCb cb) {
@@ -369,62 +365,48 @@ void LimeHost::in(const Pattern& p, sim::Time deadline, MatchCb cb) {
       cb(std::nullopt);
       return;
     }
+    const std::uint64_t wid = next_waiter_++;
     Waiter w;
-    w.id = next_waiter_++;
-    w.pattern = p;
     w.destructive = true;
     w.deadline = deadline;
     w.cb = cb;
-    const std::uint64_t wid = w.id;
     w.deadline_event = net_.queue().schedule_at(deadline, [this, wid] {
-      for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
-        if (it->id == wid) {
-          auto cb2 = std::move(it->cb);
-          waiters_.erase(it);
-          cb2(std::nullopt);
-          return;
-        }
-      }
+      if (auto e = waiters_.extract(wid)) e->payload.cb(std::nullopt);
     });
-    waiters_.push_back(std::move(w));
+    waiters_.add(wid, tuples::CompiledPattern(p), std::move(w));
   });
 }
 
 void LimeHost::serve_waiters_on_insert(const Tuple& t) {
   // Non-destructive waiters get copies; destructive waiters re-run their
-  // coordinated take (they may lose the race and re-arm).
+  // coordinated take (they may lose the race and re-arm). The waiter index
+  // yields candidates oldest-first from the tuple's bucket plus the
+  // unkeyed overflow.
   std::vector<std::uint64_t> retries;
-  for (auto it = waiters_.begin(); it != waiters_.end();) {
-    if (!it->pattern.matches(t)) {
-      ++it;
+  for (std::uint64_t wid : waiters_.candidates(t)) {
+    const tuples::CompiledPattern* cp = waiters_.pattern_of(wid);
+    if (cp == nullptr || !cp->matches(t)) continue;
+    if (waiters_.payload(wid)->destructive) {
+      retries.push_back(wid);
       continue;
     }
-    if (!it->destructive) {
-      if (it->deadline_event != sim::kInvalidEvent) {
-        net_.queue().cancel(it->deadline_event);
-      }
-      auto cb = std::move(it->cb);
-      it = waiters_.erase(it);
-      cb(t);
-    } else {
-      retries.push_back(it->id);
-      ++it;
+    auto e = waiters_.extract(wid);
+    if (e->payload.deadline_event != sim::kInvalidEvent) {
+      net_.queue().cancel(e->payload.deadline_event);
     }
+    e->payload.cb(t);
   }
   for (std::uint64_t wid : retries) waiter_retry_in(wid);
 }
 
 void LimeHost::waiter_retry_in(std::uint64_t waiter_id) {
-  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
-    if (it->id != waiter_id) continue;
-    Waiter w = std::move(*it);
-    if (w.deadline_event != sim::kInvalidEvent) {
-      net_.queue().cancel(w.deadline_event);
-    }
-    waiters_.erase(it);
-    in(w.pattern, w.deadline, std::move(w.cb));  // re-runs the take
-    return;
+  auto e = waiters_.extract(waiter_id);
+  if (!e) return;
+  if (e->payload.deadline_event != sim::kInvalidEvent) {
+    net_.queue().cancel(e->payload.deadline_event);
   }
+  // Re-runs the coordinated take.
+  in(e->pattern.pattern(), e->payload.deadline, std::move(e->payload.cb));
 }
 
 // ---- Dispatch ------------------------------------------------------------------------------------
@@ -455,7 +437,7 @@ void LimeHost::handle(sim::NodeId from, const net::Message& m) {
     }
     case kLimeState: {
       if (m.tuple && m.headers.size() >= 1) {
-        replica_[static_cast<std::uint64_t>(m.hint(0))] = *m.tuple;
+        replica_put(static_cast<std::uint64_t>(m.hint(0)), *m.tuple);
         serve_waiters_on_insert(*m.tuple);
       }
       return;

@@ -20,7 +20,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <list>
 #include <map>
 #include <optional>
 #include <set>
@@ -28,6 +27,8 @@
 
 #include "baselines/common.h"
 #include "net/endpoint.h"
+#include "tuple/index.h"
+#include "tuple/waiter_index.h"
 
 namespace tiamat::baselines {
 
@@ -119,6 +120,8 @@ class LimeHost {
   void submit(PendingOp op);
   void flush_queue();
   std::optional<Tuple> local_match(const Pattern& p) const;
+  /// Insert-or-overwrite into the replica index (map semantics).
+  void replica_put(std::uint64_t key, const Tuple& t);
 
   // coordinator side
   void coord_sequence(sim::NodeId origin, const net::Message& m);
@@ -137,9 +140,12 @@ class LimeHost {
   std::set<sim::NodeId> members_;  // includes self when engaged
   std::uint64_t epoch_ = 0;        // bumped on every membership change
 
-  // Consistent replica: key -> tuple (key = creator<<32|seq via coordinator
-  // sequence numbers, unique federation-wide).
-  std::map<std::uint64_t, Tuple> replica_;
+  // Consistent replica, stored in the shared matching engine: tuple id =
+  // the federation-wide key (creator<<40 ^ seq via coordinator sequence
+  // numbers), so keyed rdp/inp probe one bucket instead of scanning and the
+  // coordinator's victim pick stays deterministic (first match in ascending
+  // key order, exactly the old std::map scan's answer).
+  tuples::TupleIndex replica_;
 
   // Engagement state.
   bool pausing_ = false;   // coordinator barrier in progress (all hosts)
@@ -158,16 +164,15 @@ class LimeHost {
   std::uint64_t next_seq_ = 1;                   // coordinator sequence
   std::map<std::uint64_t, CoordOp> coord_ops_;
 
-  // Blocking waiters (local, replica is consistent).
+  // Blocking waiters (local, replica is consistent), indexed by the shared
+  // engine; the pattern lives in the WaiterIndex entry.
   struct Waiter {
-    std::uint64_t id;
-    Pattern pattern;
     bool destructive;
     sim::Time deadline;
     sim::EventId deadline_event = sim::kInvalidEvent;
     MatchCb cb;
   };
-  std::list<Waiter> waiters_;
+  tuples::WaiterIndex<Waiter> waiters_;
   std::uint64_t next_waiter_ = 1;
   void serve_waiters_on_insert(const Tuple& t);
   void waiter_retry_in(std::uint64_t waiter_id);

@@ -78,6 +78,7 @@ Instance::Instance(sim::Network& net, Config cfg,
   // One registry (the Monitor's) aggregates every subsystem's telemetry.
   tracer_.set_enabled(cfg_.trace_ops);
   leases_.bind_metrics(monitor_.registry());
+  space_.bind_metrics(monitor_.registry());
   cache_.bind_metrics(monitor_.registry());
   correlator_.bind_metrics(monitor_.registry());
   discovery_.enable_responder();

@@ -183,8 +183,7 @@ void Instance::serve_op_request(sim::NodeId from, const Message& m) {
       s.pattern = *m.pattern;
       s.deadline = deadline;
       serving_[key] = std::move(s);
-      const bool immediate =
-          space_.count_matches(*m.pattern) == 0;  // will it block?
+      const bool immediate = !space_.has_match(*m.pattern);  // will it block?
       if (immediate) {
         // No match yet: ack so the originator keeps us on its list.
         reply(false, true, std::nullopt);

@@ -14,9 +14,9 @@ LocalTupleSpace::~LocalTupleSpace() {
     (void)id;
     queue_.cancel(ev);
   }
-  for (auto& w : waiters_) {
+  waiters_.for_each([this](WaiterId, Waiter& w) {
     if (w.deadline_event != sim::kInvalidEvent) queue_.cancel(w.deadline_event);
-  }
+  });
 }
 
 // ---- out ------------------------------------------------------------------
@@ -44,7 +44,8 @@ TupleId LocalTupleSpace::out(Tuple t, sim::Time expiry) {
 
 // ---- Selection & non-blocking ops ------------------------------------------
 
-std::optional<TupleId> LocalTupleSpace::select_match(const Pattern& p) {
+std::optional<TupleId> LocalTupleSpace::select_match(
+    const tuples::CompiledPattern& p) {
   auto ids = index_.find_matches(p);
   if (ids.empty()) return std::nullopt;
   return ids[rng_.index(ids.size())];
@@ -52,7 +53,7 @@ std::optional<TupleId> LocalTupleSpace::select_match(const Pattern& p) {
 
 std::optional<Tuple> LocalTupleSpace::rdp(const Pattern& p) {
   ++stats_.reads;
-  auto id = select_match(p);
+  auto id = select_match(tuples::CompiledPattern(p));
   if (!id) return std::nullopt;
   ++stats_.hits;
   return *index_.get(*id);
@@ -60,7 +61,7 @@ std::optional<Tuple> LocalTupleSpace::rdp(const Pattern& p) {
 
 std::optional<Tuple> LocalTupleSpace::inp(const Pattern& p) {
   ++stats_.takes;
-  auto id = select_match(p);
+  auto id = select_match(tuples::CompiledPattern(p));
   if (!id) return std::nullopt;
   ++stats_.hits;
   drop_tuple_timer(*id);
@@ -73,7 +74,8 @@ std::optional<Tuple> LocalTupleSpace::inp(const Pattern& p) {
 WaiterId LocalTupleSpace::rd(const Pattern& p, sim::Time deadline,
                              MatchCallback cb) {
   ++stats_.reads;
-  if (auto id = select_match(p)) {
+  tuples::CompiledPattern cp(p);
+  if (auto id = select_match(cp)) {
     ++stats_.hits;
     cb(*index_.get(*id));
     return kNoWaiter;
@@ -84,18 +86,18 @@ WaiterId LocalTupleSpace::rd(const Pattern& p, sim::Time deadline,
     return kNoWaiter;
   }
   Waiter w;
-  w.pattern = p;
   w.destructive = false;
   w.tentative = false;
   w.deadline = deadline;
   w.cb = std::move(cb);
-  return add_waiter(std::move(w));
+  return add_waiter(std::move(cp), std::move(w));
 }
 
 WaiterId LocalTupleSpace::in(const Pattern& p, sim::Time deadline,
                              MatchCallback cb) {
   ++stats_.takes;
-  if (auto id = select_match(p)) {
+  tuples::CompiledPattern cp(p);
+  if (auto id = select_match(cp)) {
     ++stats_.hits;
     drop_tuple_timer(*id);
     expiries_.erase(*id);
@@ -108,53 +110,43 @@ WaiterId LocalTupleSpace::in(const Pattern& p, sim::Time deadline,
     return kNoWaiter;
   }
   Waiter w;
-  w.pattern = p;
   w.destructive = true;
   w.tentative = false;
   w.deadline = deadline;
   w.cb = std::move(cb);
-  return add_waiter(std::move(w));
+  return add_waiter(std::move(cp), std::move(w));
 }
 
 bool LocalTupleSpace::cancel_waiter(WaiterId id) {
-  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
-    if (it->id == id) {
-      if (it->deadline_event != sim::kInvalidEvent) {
-        queue_.cancel(it->deadline_event);
-      }
-      waiters_.erase(it);
-      return true;
-    }
+  auto e = waiters_.extract(id);
+  if (!e) return false;
+  if (e->payload.deadline_event != sim::kInvalidEvent) {
+    queue_.cancel(e->payload.deadline_event);
   }
-  return false;
+  return true;
 }
 
-WaiterId LocalTupleSpace::add_waiter(Waiter w) {
-  w.id = next_waiter_id_++;
-  WaiterId id = w.id;
+WaiterId LocalTupleSpace::add_waiter(tuples::CompiledPattern p, Waiter w) {
+  const WaiterId id = next_waiter_id_++;
   if (w.deadline != sim::kNever) {
     w.deadline_event = queue_.schedule_at(
         w.deadline, [this, id] { waiter_deadline(id); });
   }
-  waiters_.push_back(std::move(w));
+  waiters_.add(id, std::move(p), std::move(w));
   return id;
 }
 
 void LocalTupleSpace::waiter_deadline(WaiterId id) {
-  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
-    if (it->id == id) {
-      Waiter w = std::move(*it);
-      waiters_.erase(it);
-      ++stats_.waiter_timed_out;
-      // "Once the lease expires ... assuming no match has already been
-      // found, return nothing." (§2.5)
-      if (w.tentative) {
-        if (w.tcb) w.tcb(std::nullopt);
-      } else if (w.cb) {
-        w.cb(std::nullopt);
-      }
-      return;
-    }
+  auto e = waiters_.extract(id);
+  if (!e) return;
+  Waiter w = std::move(e->payload);
+  ++stats_.waiter_timed_out;
+  // "Once the lease expires ... assuming no match has already been
+  // found, return nothing." (§2.5)
+  if (w.tentative) {
+    if (w.tcb) w.tcb(std::nullopt);
+  } else if (w.cb) {
+    w.cb(std::nullopt);
   }
 }
 
@@ -162,29 +154,23 @@ bool LocalTupleSpace::offer_to_waiters(TupleId id, const Tuple& t) {
   // All matching non-destructive waiters are satisfied with copies; then
   // the oldest matching destructive waiter (if any) consumes the tuple.
   // Callbacks may re-enter the space (e.g. a proxy loop immediately issuing
-  // its next `in`), so collect first, call after mutation is settled.
+  // its next `in`), so collect first, call after mutation is settled. The
+  // waiter index yields candidates oldest-first from the tuple's bucket
+  // plus the unkeyed overflow; no waiter outside that list can match.
   std::vector<Waiter> fired_readers;
-  for (auto it = waiters_.begin(); it != waiters_.end();) {
-    if (!it->destructive && it->pattern.matches(t)) {
-      if (it->deadline_event != sim::kInvalidEvent) {
-        queue_.cancel(it->deadline_event);
-      }
-      fired_readers.push_back(std::move(*it));
-      it = waiters_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-
   std::optional<Waiter> taker;
-  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
-    if (it->destructive && it->pattern.matches(t)) {
-      if (it->deadline_event != sim::kInvalidEvent) {
-        queue_.cancel(it->deadline_event);
-      }
-      taker = std::move(*it);
-      waiters_.erase(it);
-      break;
+  for (WaiterId wid : waiters_.candidates(t)) {
+    const tuples::CompiledPattern* cp = waiters_.pattern_of(wid);
+    if (cp == nullptr || !cp->matches(t)) continue;
+    if (taker && waiters_.payload(wid)->destructive) continue;
+    auto e = waiters_.extract(wid);
+    if (e->payload.deadline_event != sim::kInvalidEvent) {
+      queue_.cancel(e->payload.deadline_event);
+    }
+    if (e->payload.destructive) {
+      taker = std::move(e->payload);
+    } else {
+      fired_readers.push_back(std::move(e->payload));
     }
   }
 
@@ -213,7 +199,7 @@ bool LocalTupleSpace::offer_to_waiters(TupleId id, const Tuple& t) {
 std::optional<std::pair<TupleId, Tuple>> LocalTupleSpace::take_tentative(
     const Pattern& p) {
   ++stats_.takes;
-  auto id = select_match(p);
+  auto id = select_match(tuples::CompiledPattern(p));
   if (!id) return std::nullopt;
   ++stats_.hits;
   // Keep the expiry on file: a released tuple resumes its old lease.
@@ -241,12 +227,11 @@ WaiterId LocalTupleSpace::take_tentative_blocking(
     return kNoWaiter;
   }
   Waiter w;
-  w.pattern = p;
   w.destructive = true;
   w.tentative = true;
   w.deadline = deadline;
   w.tcb = std::move(cb);
-  return add_waiter(std::move(w));
+  return add_waiter(tuples::CompiledPattern(p), std::move(w));
 }
 
 bool LocalTupleSpace::release_tentative(TupleId id) {
@@ -361,7 +346,11 @@ LocalTupleSpace::snapshot_with_expiry() const {
 }
 
 std::size_t LocalTupleSpace::count_matches(const Pattern& p) const {
-  return index_.find_matches(p).size();
+  return index_.count_matches(p);
+}
+
+bool LocalTupleSpace::has_match(const Pattern& p) const {
+  return index_.find_first(p).has_value();
 }
 
 }  // namespace tiamat::space

@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <map>
 #include <optional>
 #include <string>
@@ -19,12 +18,15 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/clock.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "tuple/index.h"
+#include "tuple/matcher.h"
 #include "tuple/pattern.h"
 #include "tuple/tuple.h"
+#include "tuple/waiter_index.h"
 
 namespace tiamat::space {
 
@@ -141,17 +143,36 @@ class LocalTupleSpace {
   /// (sim::kNever when unleased). Feeds the persistence mechanism.
   std::vector<std::pair<Tuple, sim::Time>> snapshot_with_expiry() const;
 
-  /// Number of visible tuples matching `p`.
+  /// Number of visible tuples matching `p`, via the engine's counting path
+  /// (no match vector is materialized).
   std::size_t count_matches(const Pattern& p) const;
+
+  /// True iff at least one visible tuple matches `p`; short-circuits on
+  /// the first match.
+  bool has_match(const Pattern& p) const;
 
   const SpaceStats& stats() const { return stats_; }
   const Options& options() const { return opts_; }
   sim::Time now() const { return queue_.now(); }
 
+  /// Engine accounting: keyed bucket probes vs unkeyed scan fallbacks for
+  /// tuple lookups and waiter wakeups.
+  const tuples::MatchStats& index_stats() const {
+    return index_.match_stats();
+  }
+  const tuples::MatchStats& waiter_stats() const {
+    return waiters_.match_stats();
+  }
+
+  /// Mirrors the engine's accounting into `r` ("match.*", "waiters.*").
+  void bind_metrics(obs::Registry& r) {
+    index_.bind_metrics(r);
+    waiters_.bind_metrics(r);
+  }
+
  private:
+  /// Waiter bookkeeping; the pattern lives in the WaiterIndex entry.
   struct Waiter {
-    WaiterId id;
-    Pattern pattern;
     bool destructive;
     bool tentative;  ///< deliver (id, tuple) and keep it recoverable
     sim::Time deadline;
@@ -162,9 +183,9 @@ class LocalTupleSpace {
 
   /// Picks one candidate id uniformly at random (the paper: "one is
   /// selected in a non-deterministic manner").
-  std::optional<TupleId> select_match(const Pattern& p);
+  std::optional<TupleId> select_match(const tuples::CompiledPattern& p);
 
-  WaiterId add_waiter(Waiter w);
+  WaiterId add_waiter(tuples::CompiledPattern p, Waiter w);
   void waiter_deadline(WaiterId id);
   /// Offers a newly visible tuple to waiters; returns true if a destructive
   /// waiter consumed it.
@@ -178,7 +199,9 @@ class LocalTupleSpace {
   tuples::TupleIndex index_;
   TupleId next_tuple_id_ = 1;
   WaiterId next_waiter_id_ = 1;
-  std::list<Waiter> waiters_;  // FIFO order: oldest waiter wins
+  // Waiters indexed like tuples; monotonic ids preserve FIFO ("oldest
+  // waiter wins") within and across buckets.
+  tuples::WaiterIndex<Waiter> waiters_;
   std::unordered_map<TupleId, Tuple> tentative_;
   std::unordered_map<TupleId, sim::Time> tentative_expiry_;
   std::unordered_map<TupleId, sim::EventId> expiry_events_;

@@ -1,14 +1,34 @@
 #include "tuple/index.h"
 
+#include <algorithm>
+
 namespace tiamat::tuples {
+
+namespace {
+
+/// Inserts `id` keeping `v` sorted ascending. Ids are allocated
+/// monotonically, so the common case is a pure push_back; out-of-order
+/// inserts (tentative releases putting an old id back) binary-search.
+void sorted_insert(std::vector<TupleId>& v, TupleId id) {
+  if (v.empty() || v.back() < id) {
+    v.push_back(id);
+    return;
+  }
+  v.insert(std::lower_bound(v.begin(), v.end(), id), id);
+}
+
+void sorted_erase(std::vector<TupleId>& v, TupleId id) {
+  auto it = std::lower_bound(v.begin(), v.end(), id);
+  if (it != v.end() && *it == id) v.erase(it);
+}
+
+}  // namespace
 
 void TupleIndex::insert(TupleId id, Tuple t) {
   footprint_ += t.footprint();
-  if (t.arity() == 0) {
-    nullary_.insert(id);
-  } else {
-    buckets_[t.arity()][t[0]].insert(id);
-  }
+  Shard& shard = shards_[t.arity()];
+  sorted_insert(shard.ids, id);
+  if (t.arity() > 0) sorted_insert(shard.buckets[t[0]], id);
   by_id_.emplace(id, std::move(t));
 }
 
@@ -18,18 +38,18 @@ std::optional<Tuple> TupleIndex::erase(TupleId id) {
   Tuple t = std::move(it->second);
   by_id_.erase(it);
   footprint_ -= t.footprint();
-  if (t.arity() == 0) {
-    nullary_.erase(id);
-  } else {
-    auto ait = buckets_.find(t.arity());
-    if (ait != buckets_.end()) {
-      auto vit = ait->second.find(t[0]);
-      if (vit != ait->second.end()) {
-        vit->second.erase(id);
-        if (vit->second.empty()) ait->second.erase(vit);
+  auto sit = shards_.find(t.arity());
+  if (sit != shards_.end()) {
+    Shard& shard = sit->second;
+    sorted_erase(shard.ids, id);
+    if (t.arity() > 0) {
+      auto bit = shard.buckets.find(t[0]);
+      if (bit != shard.buckets.end()) {
+        sorted_erase(bit->second, id);
+        if (bit->second.empty()) shard.buckets.erase(bit);
       }
-      if (ait->second.empty()) buckets_.erase(ait);
     }
+    if (shard.ids.empty()) shards_.erase(sit);
   }
   return t;
 }
@@ -39,49 +59,45 @@ const Tuple* TupleIndex::get(TupleId id) const {
   return it == by_id_.end() ? nullptr : &it->second;
 }
 
-std::vector<TupleId> TupleIndex::find_matches(const Pattern& p,
+std::vector<TupleId> TupleIndex::find_matches(const CompiledPattern& p,
                                               std::size_t limit) const {
   std::vector<TupleId> out;
-  auto consider = [&](TupleId id) {
-    const Tuple* t = get(id);
-    if (t != nullptr && p.matches(*t)) out.push_back(id);
-    return limit != 0 && out.size() >= limit;
-  };
-
-  if (p.arity() == 0) {
-    for (TupleId id : nullary_) {
-      if (consider(id)) break;
-    }
-    return out;
-  }
-
-  auto ait = buckets_.find(p.arity());
-  if (ait == buckets_.end()) return out;
-
-  if (auto key = p.key()) {
-    auto vit = ait->second.find(*key);
-    if (vit != ait->second.end()) {
-      for (TupleId id : vit->second) {
-        if (consider(id)) break;
-      }
-    }
-    return out;
-  }
-
-  // Unkeyed pattern: scan every first-field bucket of this arity.
-  for (const auto& [value, ids] : ait->second) {
-    (void)value;
-    for (TupleId id : ids) {
-      if (consider(id)) return out;
-    }
-  }
+  lookup(p, [&](TupleId id, const Tuple&) {
+    out.push_back(id);
+    return limit == 0 || out.size() < limit;
+  });
   return out;
 }
 
+std::vector<TupleId> TupleIndex::find_matches(const Pattern& p,
+                                              std::size_t limit) const {
+  return find_matches(CompiledPattern(p), limit);
+}
+
+std::optional<TupleId> TupleIndex::find_first(const CompiledPattern& p) const {
+  std::optional<TupleId> found;
+  lookup(p, [&](TupleId id, const Tuple&) {
+    found = id;
+    return false;  // short-circuit after the first match
+  });
+  return found;
+}
+
 std::optional<TupleId> TupleIndex::find_first(const Pattern& p) const {
-  auto ids = find_matches(p, 1);
-  if (ids.empty()) return std::nullopt;
-  return ids.front();
+  return find_first(CompiledPattern(p));
+}
+
+std::size_t TupleIndex::count_matches(const CompiledPattern& p) const {
+  std::size_t n = 0;
+  lookup(p, [&](TupleId, const Tuple&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+std::size_t TupleIndex::count_matches(const Pattern& p) const {
+  return count_matches(CompiledPattern(p));
 }
 
 void TupleIndex::for_each(

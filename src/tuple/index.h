@@ -1,9 +1,15 @@
-// Indexed tuple storage.
+// Indexed tuple storage — the storage half of the matching engine.
 //
 // Spaces index tuples by (arity, first field): Linda programs almost always
 // key tuples with a leading string/int tag ("req", "resp", "task", ...), so
-// a keyed pattern probes one bucket instead of scanning the space. Unkeyed
-// patterns fall back to scanning every bucket of the right arity.
+// a keyed pattern probes one hash bucket instead of scanning the space.
+// Unkeyed patterns fall back to walking the per-arity id list.
+//
+// Determinism contract (select_match and the seed tests depend on it):
+// every lookup visits candidates in ascending id order — keyed probes walk
+// a sorted-vector bucket, unkeyed scans walk the arity shard's sorted id
+// list — so two runs with the same seed always see the same candidate
+// sequence even though the buckets themselves live in unordered_maps.
 
 #pragma once
 
@@ -11,10 +17,10 @@
 #include <functional>
 #include <map>
 #include <optional>
-#include <set>
 #include <unordered_map>
 #include <vector>
 
+#include "tuple/matcher.h"
 #include "tuple/pattern.h"
 #include "tuple/tuple.h"
 
@@ -39,10 +45,25 @@ class TupleIndex {
   /// caller applies its own selection policy). `limit` == 0 means no limit.
   std::vector<TupleId> find_matches(const Pattern& p,
                                     std::size_t limit = 0) const;
+  std::vector<TupleId> find_matches(const CompiledPattern& p,
+                                    std::size_t limit = 0) const;
 
-  /// First match by id order, if any — cheaper than find_matches when the
-  /// caller only needs existence.
+  /// First match in candidate order, if any — short-circuits after one
+  /// match instead of materializing a vector.
   std::optional<TupleId> find_first(const Pattern& p) const;
+  std::optional<TupleId> find_first(const CompiledPattern& p) const;
+
+  /// Number of matches, without materializing ids.
+  std::size_t count_matches(const Pattern& p) const;
+  std::size_t count_matches(const CompiledPattern& p) const;
+
+  /// Visits matches in ascending id order until `fn` returns false.
+  /// The baselines use this for filtered first-match lookups (e.g. L²imbo's
+  /// owner-restricted take) without materializing the full match set.
+  template <typename Fn>  // Fn: (TupleId, const Tuple&) -> bool keep_going
+  void for_each_match(const CompiledPattern& p, Fn&& fn) const {
+    lookup(p, [&](TupleId id, const Tuple& t) { return fn(id, t); });
+  }
 
   std::size_t size() const { return by_id_.size(); }
   bool empty() const { return by_id_.empty(); }
@@ -53,14 +74,82 @@ class TupleIndex {
   /// Visits every (id, tuple) in ascending id order.
   void for_each(const std::function<void(TupleId, const Tuple&)>& fn) const;
 
+  /// Engine accounting: bucket probes vs scan fallbacks, candidates
+  /// examined/rejected. Always maintained; bind_metrics() additionally
+  /// mirrors the stream into registry instruments under "match.*".
+  const MatchStats& match_stats() const { return stats_; }
+  void reset_match_stats() { stats_.reset(); }
+  void bind_metrics(obs::Registry& r) { metrics_.bind(r, "match"); }
+
  private:
-  // arity -> first-field value -> ids. Nullary tuples live in nullary_.
-  using ValueBuckets = std::map<Value, std::set<TupleId>>;
+  // One shard per arity: hash buckets by first field for keyed probes, plus
+  // the shard-wide ascending id list for deterministic unkeyed scans.
+  // Bucket id vectors are kept sorted; ids arrive mostly in increasing
+  // order (spaces allocate them monotonically) so inserts are usually an
+  // amortized-O(1) push_back.
+  struct Shard {
+    std::unordered_map<Value, std::vector<TupleId>, ValueHash> buckets;
+    std::vector<TupleId> ids;
+  };
+
+  /// Shared lookup core: visits matching ids ascending until `fn` says
+  /// stop. Records probe/scan + candidate accounting.
+  template <typename Fn>  // Fn: (TupleId, const Tuple&) -> bool keep_going
+  void lookup(const CompiledPattern& p, Fn&& fn) const;
 
   std::map<TupleId, Tuple> by_id_;
-  std::map<std::size_t, ValueBuckets> buckets_;  // arity >= 1
-  std::set<TupleId> nullary_;                    // arity == 0
+  std::unordered_map<std::size_t, Shard> shards_;  // by arity
   std::size_t footprint_ = 0;
+  mutable MatchStats stats_;
+  MatchMetrics metrics_;
 };
+
+template <typename Fn>
+void TupleIndex::lookup(const CompiledPattern& p, Fn&& fn) const {
+  auto sit = shards_.find(p.arity());
+  if (sit == shards_.end()) return;
+  const Shard& shard = sit->second;
+
+  std::uint64_t examined = 0;
+  std::uint64_t rejected = 0;
+  auto done = [&] { metrics_.on_lookup_done(examined, rejected); };
+
+  if (p.keyed()) {
+    ++stats_.bucket_probes;
+    metrics_.on_probe();
+    auto bit = shard.buckets.find(p.key());
+    if (bit != shard.buckets.end()) {
+      for (TupleId id : bit->second) {
+        ++examined;
+        const Tuple& t = by_id_.find(id)->second;
+        // Bucket membership already proves arity and first-field equality.
+        if (!p.matches_rest(t)) {
+          ++rejected;
+          continue;
+        }
+        if (!fn(id, t)) break;
+      }
+    }
+    stats_.candidates += examined;
+    stats_.rejected += rejected;
+    done();
+    return;
+  }
+
+  ++stats_.scan_fallbacks;
+  metrics_.on_scan();
+  for (TupleId id : shard.ids) {
+    ++examined;
+    const Tuple& t = by_id_.find(id)->second;
+    if (!p.matches(t)) {
+      ++rejected;
+      continue;
+    }
+    if (!fn(id, t)) break;
+  }
+  stats_.candidates += examined;
+  stats_.rejected += rejected;
+  done();
+}
 
 }  // namespace tiamat::tuples

@@ -1,0 +1,23 @@
+#include "tuple/matcher.h"
+
+namespace tiamat::tuples {
+
+CompiledPattern::CompiledPattern(Pattern p) : pattern_(std::move(p)) {
+  const auto& fields = pattern_.fields();
+  checks_.reserve(fields.size());
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    const Field& f = fields[i];
+    if (f.kind() != Field::Kind::kWildcard) {
+      checks_.push_back(static_cast<std::uint32_t>(i));
+    }
+    if (i < 20) {
+      signature_ |= static_cast<std::uint64_t>(
+                        static_cast<std::uint8_t>(f.kind()) + 1)
+                    << (3 * i);
+    }
+  }
+  keyed_ = !fields.empty() && fields[0].kind() == Field::Kind::kActual;
+  if (keyed_) key_hash_ = fields[0].actual().hash();
+}
+
+}  // namespace tiamat::tuples

@@ -70,4 +70,10 @@ class Value {
   std::variant<std::int64_t, double, bool, std::string, Blob> v_;
 };
 
+/// Hash functor for unordered containers keyed by Value (the matching
+/// engine's first-field buckets).
+struct ValueHash {
+  std::size_t operator()(const Value& v) const { return v.hash(); }
+};
+
 }  // namespace tiamat::tuples

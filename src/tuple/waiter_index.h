@@ -1,0 +1,165 @@
+// The waiter half of the matching engine: blocked rd/in registrations
+// indexed the same way tuples are, so a newly visible tuple probes one
+// bucket instead of scanning every blocked waiter.
+//
+// Keyed waiter patterns (leading actual) live in an (arity, first-field)
+// hash bucket; unkeyed patterns go to a single overflow bucket that every
+// insert must still consult. Waiter ids are caller-allocated and strictly
+// increasing, so "ascending id" is exactly registration order — candidate
+// lists are produced in FIFO order ("oldest waiter wins") by merging two
+// sorted vectors.
+//
+// The index deliberately does not invoke callbacks itself: offer paths are
+// re-entrant (a satisfied waiter's callback may immediately issue the next
+// operation), so callers collect candidates first, extract the winners, and
+// only then fire callbacks — the same discipline the pre-engine linear
+// lists used.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "tuple/matcher.h"
+#include "tuple/tuple.h"
+#include "tuple/value.h"
+
+namespace tiamat::tuples {
+
+template <typename W>
+class WaiterIndex {
+ public:
+  struct Extracted {
+    CompiledPattern pattern;
+    W payload;
+  };
+
+  /// Registers a waiter. `id` must be non-zero, unique, and greater than
+  /// every id added before it (FIFO order == ascending id).
+  void add(std::uint64_t id, CompiledPattern p, W payload) {
+    if (p.keyed()) {
+      buckets_[p.arity()][p.key()].push_back(id);
+    } else {
+      overflow_.push_back(id);
+    }
+    entries_.emplace(id, Entry{std::move(p), std::move(payload)});
+  }
+
+  /// Removes a waiter and hands back its pattern + payload.
+  std::optional<Extracted> extract(std::uint64_t id) {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) return std::nullopt;
+    Extracted out{std::move(it->second.pattern), std::move(it->second.payload)};
+    unindex(id, out.pattern);
+    entries_.erase(it);
+    return out;
+  }
+
+  bool contains(std::uint64_t id) const { return entries_.count(id) != 0; }
+
+  W* payload(std::uint64_t id) {
+    auto it = entries_.find(id);
+    return it == entries_.end() ? nullptr : &it->second.payload;
+  }
+
+  const CompiledPattern* pattern_of(std::uint64_t id) const {
+    auto it = entries_.find(id);
+    return it == entries_.end() ? nullptr : &it->second.pattern;
+  }
+
+  /// Ids of waiters whose bucket covers `t`, oldest first: the keyed
+  /// (arity, first-field) bucket merged with the unkeyed overflow (filtered
+  /// to the tuple's arity). Candidacy, not a full match — the caller still
+  /// applies pattern_of(id)->matches(t) (or matches_rest for keyed ones);
+  /// the index only guarantees no waiter outside the list can match.
+  std::vector<std::uint64_t> candidates(const Tuple& t) const {
+    std::uint64_t examined = 0;
+    std::uint64_t skipped = 0;
+    std::vector<std::uint64_t> keyed;
+    if (t.arity() > 0) {
+      auto ait = buckets_.find(t.arity());
+      if (ait != buckets_.end()) {
+        auto bit = ait->second.find(t[0]);
+        if (bit != ait->second.end()) keyed = bit->second;
+      }
+    }
+    ++stats_.bucket_probes;
+    metrics_.on_probe();
+
+    std::vector<std::uint64_t> out;
+    out.reserve(keyed.size() + overflow_.size());
+    auto kit = keyed.begin();
+    for (std::uint64_t oid : overflow_) {
+      const Entry& e = entries_.find(oid)->second;
+      ++examined;
+      if (e.pattern.arity() != t.arity()) {
+        ++skipped;
+        continue;  // wrong arity can never match
+      }
+      while (kit != keyed.end() && *kit < oid) out.push_back(*kit++);
+      out.push_back(oid);
+    }
+    out.insert(out.end(), kit, keyed.end());
+    examined += keyed.size();
+    stats_.candidates += examined;
+    stats_.rejected += skipped;
+    metrics_.on_lookup_done(examined, skipped);
+    return out;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  std::size_t overflow_size() const { return overflow_.size(); }
+
+  /// Visits every waiter oldest-first (tests / teardown).
+  template <typename Fn>  // Fn: (std::uint64_t id, W& payload)
+  void for_each(Fn&& fn) {
+    for (auto& [id, e] : entries_) fn(id, e.payload);
+  }
+
+  const MatchStats& match_stats() const { return stats_; }
+  void reset_match_stats() { stats_.reset(); }
+  void bind_metrics(obs::Registry& r) { metrics_.bind(r, "waiters"); }
+
+ private:
+  struct Entry {
+    CompiledPattern pattern;
+    W payload;
+  };
+
+  void unindex(std::uint64_t id, const CompiledPattern& p) {
+    auto drop = [id](std::vector<std::uint64_t>& v) {
+      auto it = std::lower_bound(v.begin(), v.end(), id);
+      if (it != v.end() && *it == id) v.erase(it);
+    };
+    if (p.keyed()) {
+      auto ait = buckets_.find(p.arity());
+      if (ait == buckets_.end()) return;
+      auto bit = ait->second.find(p.key());
+      if (bit == ait->second.end()) return;
+      drop(bit->second);
+      if (bit->second.empty()) ait->second.erase(bit);
+      if (ait->second.empty()) buckets_.erase(ait);
+    } else {
+      drop(overflow_);
+    }
+  }
+
+  // id -> entry; std::map keeps oldest-first iteration for for_each.
+  std::map<std::uint64_t, Entry> entries_;
+  // arity -> first-field value -> ascending waiter ids (keyed patterns).
+  std::unordered_map<std::size_t,
+                     std::unordered_map<Value, std::vector<std::uint64_t>,
+                                        ValueHash>>
+      buckets_;
+  std::vector<std::uint64_t> overflow_;  ///< ascending ids, unkeyed patterns
+  mutable MatchStats stats_;
+  MatchMetrics metrics_;
+};
+
+}  // namespace tiamat::tuples
