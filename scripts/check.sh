@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Full local gate: build + test the release tree (the tier-1 configuration),
-# then the asan/ubsan tree. Usage: scripts/check.sh [--release-only]
+# Full local gate: lint, then build + test the release tree (the tier-1
+# configuration), the asan/ubsan tree, and the invariant-audit tree.
+# Usage: scripts/check.sh [--release-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== lint =="
+scripts/lint.sh
 
 run_preset() {
   local preset=$1
@@ -19,6 +23,10 @@ run_preset() {
 run_preset release
 if [[ "${1:-}" != "--release-only" ]]; then
   run_preset asan
+  # Same suite again with the invariant checkpoints compiled in: every
+  # mutation re-verifies the engine's structural invariants, and the
+  # corruption-trap tests (test_audit) prove the auditor actually fires.
+  run_preset audit
 fi
 
 # Matching-engine bench smoke: a sub-second run whose --json export is

@@ -1,0 +1,350 @@
+#!/usr/bin/env python3
+"""Tiamat repo linter: structural determinism + hygiene rules over src/.
+
+The matching engine's correctness contract (DESIGN.md #7, #8) rests on
+ordering invariants that ordinary C++ review tools do not see: candidate
+lists must be produced in ascending id order, waiter wakeup must be FIFO,
+and nothing in library code may consult a nondeterministic source (hash-map
+iteration order, wall clocks, raw PRNGs). This linter enforces those repo
+invariants mechanically so refactors are machine-checked, not hoped-safe.
+
+Rules (each finding is `path:line: [rule] message`):
+
+  unordered-iter  Range-for over (or *.begin() of) a container declared as
+                  std::unordered_map/std::unordered_set anywhere in the
+                  file's direct include scope. Results, replies and victim
+                  selection must flow through sorted-id or engine paths.
+  wall-clock      std::chrono clocks / time() / gettimeofday in src/:
+                  simulation code must use sim::Clock time only.
+  raw-random      rand()/srand()/std::random_device/std::mt19937 outside
+                  src/sim/random.h: all randomness flows through sim::Rng
+                  so runs are seed-reproducible.
+  stdio           std::cout / std::cerr / printf-family in src/: library
+                  code reports through obs:: or return values, never the
+                  process's stdio (the audit trap dump is allowlisted).
+  pragma-once     Every header in src/ starts its include guard with
+                  #pragma once.
+  include-path    Quoted project includes are root-relative ("tuple/x.h",
+                  never "x.h" or "../tuple/x.h") and must resolve to a file
+                  under src/.
+  layering        The engine layers may only include downward:
+                  src/sim -> {sim}; src/obs -> {obs};
+                  src/tuple -> {tuple, obs}; src/audit -> {audit, tuple,
+                  sim, obs}.
+  unused-include  #include <unordered_map> / <unordered_set> / <iostream> /
+                  <cstdio> with no matching token use in the file.
+
+Audited exceptions live in scripts/lint_allowlist.txt; see that file for
+the format and policy.
+
+Usage: scripts/lint_tiamat.py [--root DIR] [--list-rules]
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import argparse
+import fnmatch
+import os
+import re
+import sys
+
+SRC_EXTS = (".h", ".cc")
+
+# Layer -> project include prefixes it may use. Directories not listed are
+# unconstrained (they sit above the engine layers).
+LAYERS = {
+    "audit": ("audit/",),  # trap infra sits below everything it audits
+    "sim": ("sim/",),
+    "obs": ("obs/", "sim/"),
+    "tuple": ("tuple/", "obs/", "sim/", "audit/"),
+}
+
+UNUSED_INCLUDE_TOKENS = {
+    "unordered_map": "unordered_map",
+    "unordered_set": "unordered_set",
+    "iostream": r"std::(cin|cout|cerr|clog)",
+    "cstdio": r"\b(printf|fprintf|sprintf|snprintf|puts|fputs|fopen)\b",
+}
+
+RULES = (
+    "unordered-iter",
+    "wall-clock",
+    "raw-random",
+    "stdio",
+    "pragma-once",
+    "include-path",
+    "layering",
+    "unused-include",
+)
+
+WALL_CLOCK_RE = re.compile(
+    r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"
+    r"|\bgettimeofday\b|\bclock_gettime\b|\blocaltime\b|\bgmtime\b"
+    r"|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"
+)
+RAW_RANDOM_RE = re.compile(
+    r"\brand\s*\(|\bsrand\s*\(|std::random_device|std::mt19937"
+)
+STDIO_RE = re.compile(
+    r"std::cout|std::cerr|\bprintf\s*\(|\bfprintf\s*\(|\bputs\s*\(|\bfputs\s*\("
+)
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+RANGE_FOR_RE = re.compile(
+    r"for\s*\(\s*(?:const\s+)?[^;()]*?:\s*(\*?[A-Za-z_][\w.>\-]*)\s*\)"
+)
+BEGIN_DEREF_RE = re.compile(r"\*\s*([A-Za-z_]\w*)\.begin\s*\(\s*\)")
+UNORDERED_DECL_RE = re.compile(r"std::unordered_(?:map|set)\s*<")
+IDENT_AFTER_TYPE_RE = re.compile(r"\s*([A-Za-z_]\w*)\s*(?:;|=|\{|\()")
+
+
+def strip_comments(text):
+    """Blanks out // and /* */ comments, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    in_block = False
+    while i < n:
+        if in_block:
+            if text.startswith("*/", i):
+                in_block = False
+                i += 2
+            else:
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+        elif text.startswith("//", i):
+            while i < n and text[i] != "\n":
+                i += 1
+        elif text.startswith("/*", i):
+            in_block = True
+            i += 2
+        elif text[i] in "\"'":
+            quote = text[i]
+            out.append(text[i])
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append(text[i : i + 2])
+                    i += 2
+                    continue
+                out.append(text[i])
+                i += 1
+            if i < n:
+                out.append(text[i])
+                i += 1
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def unordered_decl_names(text):
+    """Names declared in `text` with an unordered_map/unordered_set type."""
+    names = set()
+    for m in UNORDERED_DECL_RE.finditer(text):
+        # Walk the template argument list to its matching '>'.
+        depth = 1
+        i = m.end()
+        while i < len(text) and depth > 0:
+            if text[i] == "<":
+                depth += 1
+            elif text[i] == ">":
+                depth -= 1
+            i += 1
+        if depth != 0:
+            continue
+        ident = IDENT_AFTER_TYPE_RE.match(text, i)
+        if ident:
+            names.add(ident.group(1))
+    return names
+
+
+class Allowlist:
+    """Audited exceptions: `path-glob<TAB/space>rule<TAB/space>substring`."""
+
+    def __init__(self, path):
+        self.entries = []
+        if not os.path.exists(path):
+            return
+        with open(path, encoding="utf-8") as f:
+            for raw in f:
+                line = raw.split("#", 1)[0].strip()
+                if not line:
+                    continue
+                parts = line.split(None, 2)
+                if len(parts) < 2:
+                    continue
+                glob, rule = parts[0], parts[1]
+                sub = parts[2] if len(parts) > 2 else "*"
+                self.entries.append((glob, rule, sub))
+
+    def allows(self, rel, rule, line_text):
+        for glob, arule, sub in self.entries:
+            if arule != rule and arule != "*":
+                continue
+            if not fnmatch.fnmatch(rel, glob):
+                continue
+            if sub == "*" or sub in line_text:
+                return True
+        return False
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = root
+        self.src = os.path.join(root, "src")
+        self.allow = Allowlist(os.path.join(root, "scripts",
+                                            "lint_allowlist.txt"))
+        self.findings = []
+        self._decl_cache = {}
+
+    def rel(self, path):
+        return os.path.relpath(path, self.root).replace(os.sep, "/")
+
+    def report(self, path, lineno, rule, msg, line_text=""):
+        rel = self.rel(path)
+        if self.allow.allows(rel, rule, line_text):
+            return
+        self.findings.append(f"{rel}:{lineno}: [{rule}] {msg}")
+
+    def source_files(self):
+        for dirpath, _, files in os.walk(self.src):
+            for f in sorted(files):
+                if f.endswith(SRC_EXTS):
+                    yield os.path.join(dirpath, f)
+
+    def decls_of(self, path):
+        if path not in self._decl_cache:
+            try:
+                with open(path, encoding="utf-8") as f:
+                    text = strip_comments(f.read())
+            except OSError:
+                text = ""
+            self._decl_cache[path] = unordered_decl_names(text)
+        return self._decl_cache[path]
+
+    def include_scope(self, path, text):
+        """Unordered names visible to `path`: its own + direct includes'."""
+        names = set(unordered_decl_names(text))
+        for line in text.splitlines():
+            m = INCLUDE_RE.match(line)
+            if m and m.group(1) == '"':
+                target = os.path.join(self.src, m.group(2))
+                if os.path.exists(target):
+                    names |= self.decls_of(target)
+        return names
+
+    def lint_file(self, path):
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        text = strip_comments(raw)
+        lines = text.splitlines()
+        rel = self.rel(path)
+        is_header = path.endswith(".h")
+
+        unordered = self.include_scope(path, text)
+
+        if is_header and "#pragma once" not in raw:
+            self.report(path, 1, "pragma-once",
+                        "header lacks '#pragma once'")
+
+        self._lint_includes(path, rel, lines, text)
+
+        for i, line in enumerate(lines, 1):
+            self._lint_line(path, i, line, unordered)
+
+    def _lint_includes(self, path, rel, lines, text):
+        layer = rel.split("/")[1] if rel.count("/") >= 2 else ""
+        allowed = LAYERS.get(layer)
+        for i, line in enumerate(lines, 1):
+            m = INCLUDE_RE.match(line)
+            if not m:
+                continue
+            kind, inc = m.groups()
+            if kind == '"':
+                if inc.startswith(".") or "/" not in inc:
+                    self.report(path, i, "include-path",
+                                f'"{inc}" must be root-relative '
+                                '(e.g. "tuple/index.h")', line)
+                elif not os.path.exists(os.path.join(self.src, inc)):
+                    self.report(path, i, "include-path",
+                                f'"{inc}" does not resolve under src/', line)
+                if allowed and "/" in inc and not inc.startswith(allowed):
+                    self.report(path, i, "layering",
+                                f"src/{layer} may only include "
+                                f"{{{', '.join(allowed)}}}, got \"{inc}\"",
+                                line)
+            else:
+                token = UNUSED_INCLUDE_TOKENS.get(inc)
+                if token:
+                    body = "\n".join(l for j, l in enumerate(lines, 1)
+                                     if j != i)
+                    if not re.search(token, body):
+                        self.report(path, i, "unused-include",
+                                    f"<{inc}> included but never used", line)
+
+    def _lint_line(self, path, lineno, line, unordered):
+        m = WALL_CLOCK_RE.search(line)
+        if m:
+            self.report(path, lineno, "wall-clock",
+                        f"wall-clock source '{m.group(0).strip()}' in "
+                        "library code (use sim::Clock)", line)
+        m = RAW_RANDOM_RE.search(line)
+        if m:
+            self.report(path, lineno, "raw-random",
+                        f"raw randomness '{m.group(0).strip()}' (use "
+                        "sim::Rng)", line)
+        m = STDIO_RE.search(line)
+        if m:
+            self.report(path, lineno, "stdio",
+                        f"stdio output '{m.group(0).strip()}' in src/", line)
+
+        for m in RANGE_FOR_RE.finditer(line):
+            expr = m.group(1).lstrip("*")
+            if expr.endswith(")"):
+                continue  # function-call result, not a member walk
+            tail = re.split(r"\.|->", expr)[-1]
+            if tail in unordered:
+                self.report(path, lineno, "unordered-iter",
+                            f"range-for over unordered container '{expr}' "
+                            "(iterate a sorted copy or an ordered index)",
+                            line)
+        for m in BEGIN_DEREF_RE.finditer(line):
+            if m.group(1) in unordered:
+                self.report(path, lineno, "unordered-iter",
+                            f"*{m.group(1)}.begin() on unordered container "
+                            "is a nondeterministic pick", line)
+
+    def run(self):
+        for path in self.source_files():
+            self.lint_file(path)
+        return self.findings
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of this script)")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for r in RULES:
+            print(r)
+        return 0
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"lint_tiamat: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings = Linter(root).run()
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_tiamat: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint_tiamat: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

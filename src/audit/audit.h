@@ -1,0 +1,70 @@
+// Invariant-audit infrastructure (DESIGN.md §9).
+//
+// The matching engine's correctness rests on structural invariants (every
+// tuple in exactly one bucket, shard id lists sorted, waiter FIFO monotonic
+// across the keyed/overflow merge, lease table entries live) that ordinary
+// tests exercise only incidentally. The audit build (`cmake --preset
+// audit`, which defines TIAMAT_AUDIT) compiles checkpoint calls into
+// LocalTupleSpace, TupleIndex, WaiterIndex and LeaseManager that re-verify
+// those invariants after every mutation, plus a sampled differential check
+// of keyed bucket probes against a linear-scan oracle. Violations trap
+// through audit::fail with a diagnostic dump.
+//
+// This header is dependency-free on purpose: the engine layers include it
+// unconditionally (the macros must exist in every build), so it must sit
+// below all of them. In non-audit builds the checkpoint macro expands to
+// nothing — zero code, zero cost.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#if defined(TIAMAT_AUDIT)
+#define TIAMAT_AUDIT_ENABLED 1
+/// Statement-level checkpoint: compiled in only under the audit preset.
+#define TIAMAT_AUDIT_CHECK(stmt) \
+  do {                           \
+    stmt;                        \
+  } while (false)
+#else
+#define TIAMAT_AUDIT_ENABLED 0
+#define TIAMAT_AUDIT_CHECK(stmt) \
+  do {                           \
+  } while (false)
+#endif
+
+namespace tiamat::audit {
+
+/// Receives the formatted diagnostic on invariant violation. The default
+/// handler writes the dump to stderr and aborts the process; tests install
+/// their own to assert on trap content without dying.
+using FailureHandler = std::function<void(const std::string& report)>;
+
+/// Replaces the failure handler; pass nullptr to restore the default
+/// (dump + abort). Returns nothing; not thread-safe (the engine is
+/// single-threaded; see the tsan preset note in DESIGN.md §9).
+void set_failure_handler(FailureHandler handler);
+
+/// Reports an invariant violation: formats a diagnostic dump from the
+/// pieces and routes it to the failure handler. `component` names the
+/// structure ("TupleIndex"), `checkpoint` the call site ("out"),
+/// `invariant` the broken rule ("bucket-membership"), `detail` the
+/// specifics (ids, keys, sizes).
+void fail(const std::string& component, const std::string& checkpoint,
+          const std::string& invariant, const std::string& detail);
+
+/// Deterministic sampler for the differential probe-vs-oracle check:
+/// returns true on every `period`-th call (a plain counter — the audit
+/// build must stay seed-reproducible, so no randomness here).
+bool sample(std::uint64_t period = 64);
+
+/// Resets the sampler (tests).
+void reset_sampler();
+
+/// Number of invariant violations reported since process start (whether or
+/// not the installed handler aborted). Lets tests assert "no silent traps".
+std::uint64_t failure_count();
+
+}  // namespace tiamat::audit

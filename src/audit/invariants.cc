@@ -1,0 +1,61 @@
+#include "audit/audit.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+namespace tiamat::audit {
+
+namespace {
+
+FailureHandler& handler_slot() {
+  static FailureHandler handler;
+  return handler;
+}
+
+std::uint64_t& sample_counter() {
+  static std::uint64_t n = 0;
+  return n;
+}
+
+std::uint64_t& failure_counter() {
+  static std::uint64_t n = 0;
+  return n;
+}
+
+}  // namespace
+
+void set_failure_handler(FailureHandler handler) {
+  handler_slot() = std::move(handler);
+}
+
+void fail(const std::string& component, const std::string& checkpoint,
+          const std::string& invariant, const std::string& detail) {
+  ++failure_counter();
+  std::ostringstream out;
+  out << "TIAMAT AUDIT TRAP\n"
+      << "  component:  " << component << "\n"
+      << "  checkpoint: " << checkpoint << "\n"
+      << "  invariant:  " << invariant << "\n"
+      << "  detail:     " << detail << "\n";
+  const std::string report = out.str();
+  if (handler_slot()) {
+    handler_slot()(report);
+    return;
+  }
+  // No return path and no registry left to report through: dump and trap.
+  std::cerr << report << std::flush;
+  std::abort();
+}
+
+bool sample(std::uint64_t period) {
+  if (period == 0) return true;
+  return ++sample_counter() % period == 0;
+}
+
+void reset_sampler() { sample_counter() = 0; }
+
+std::uint64_t failure_count() { return failure_counter(); }
+
+}  // namespace tiamat::audit

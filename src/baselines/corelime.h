@@ -15,7 +15,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "baselines/common.h"
 #include "net/endpoint.h"

@@ -21,7 +21,7 @@ LimboNode::LimboNode(sim::Network& net, sim::GroupId space_group,
 
 void LimboNode::apply_add(const GlobalId& id, Tuple t, sim::NodeId owner) {
   const std::uint64_t k = id.key();
-  if (tombstones_.count(k) != 0) return;  // deleted before we saw the add
+  if (tombstones_.contains(k)) return;  // deleted before we saw the add
   if (replica_.contains(k)) return;       // duplicate
   serve_waiters(t);
   ids_[k] = id;

@@ -448,7 +448,7 @@ void LimeHost::handle(sim::NodeId from, const net::Message& m) {
         members_.insert(static_cast<sim::NodeId>(h.as_int()));
       }
       ++epoch_;
-      if (joining_ && members_.count(node()) != 0) {
+      if (joining_ && members_.contains(node())) {
         joining_ = false;
         engaged_ = true;
         if (engage_timeout_ != sim::kInvalidEvent) {

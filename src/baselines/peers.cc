@@ -62,7 +62,7 @@ void PeersNode::handle_request(sim::NodeId from, const net::Message& m) {
   if (!m.pattern || m.headers.size() < 2) return;
   const OpKey key{m.origin, m.op_id};
   const std::uint64_t kh = OpKeyHash{}(key);
-  if (seen_.count(kh) != 0) {
+  if (seen_.contains(kh)) {
     ++stats_.duplicates_suppressed;
     return;
   }

@@ -23,7 +23,6 @@
 #include <memory>
 #include <optional>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "core/adaptation.h"
@@ -205,7 +204,8 @@ class Instance {
     std::set<sim::NodeId> awaiting_first;   ///< no reply yet (ack timeout)
     std::set<sim::NodeId> exhausted;        ///< replied not-serving / no match
     std::vector<sim::NodeId> contact_queue; ///< responders still to try
-    std::unordered_map<sim::NodeId, sim::EventId> ack_timers;
+    // Ordered: op teardown cancels these in node-id order (determinism).
+    std::map<sim::NodeId, sim::EventId> ack_timers;
     sim::EventId repoll_timer = sim::kInvalidEvent;
     bool probing = false;
     bool probed_once = false;

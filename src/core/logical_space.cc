@@ -75,7 +75,7 @@ bool Instance::start_op(OpKind kind, const Pattern& p, ReadCallback cb,
   // the correlator itself carries no deadline.
   correlator_.expect(id, [this, id](sim::NodeId from, const Message& m) {
     op_on_response(id, from, m);
-    return ops_.count(id) != 0;  // keep routing while the op is open
+    return ops_.contains(id);  // keep routing while the op is open
   });
 
   // Seed the contact queue from the responder list, top first (§3.1.3).
@@ -115,7 +115,7 @@ bool Instance::op_at(OpKind kind, const space::SpaceHandle& dest,
   l->on_end([this, id](lease::LeaseState st) { op_lease_ended(id, st); });
   correlator_.expect(id, [this, id](sim::NodeId from, const Message& m) {
     op_on_response(id, from, m);
-    return ops_.count(id) != 0;
+    return ops_.contains(id);
   });
   op.contact_queue.push_back(dest.node);
   op_advance(id);
@@ -181,7 +181,7 @@ void Instance::op_advance(std::uint64_t op_id) {
 
     sim::NodeId target = op->contact_queue.front();
     op->contact_queue.erase(op->contact_queue.begin());
-    if (target == node_ || op->contacted.count(target) != 0) continue;
+    if (target == node_ || op->contacted.contains(target)) continue;
 
     if (!op->lease->charge_contact()) break;  // contact budget spent
     op_contact(*op, target);
@@ -238,7 +238,7 @@ void Instance::op_probe(std::uint64_t op_id) {
     o->probed_once = true;
     // Anyone in the refreshed list we have not tried yet joins the queue.
     for (sim::NodeId n : cache_.contact_order()) {
-      if (n != node_ && o->contacted.count(n) == 0 &&
+      if (n != node_ && !o->contacted.contains(n) &&
           std::find(o->contact_queue.begin(), o->contact_queue.end(), n) ==
               o->contact_queue.end()) {
         o->contact_queue.push_back(n);
@@ -368,7 +368,7 @@ void Instance::op_finish(std::uint64_t op_id,
   for (sim::NodeId contacted : op.contacted) {
     if (contacted == winner) continue;
     // Non-blocking responders that already reported a miss hold no state.
-    if (!is_blocking(op.kind) && op.exhausted.count(contacted) != 0) continue;
+    if (!is_blocking(op.kind) && op.exhausted.contains(contacted)) continue;
     Message cancel;
     cancel.type = net::kCancelOp;
     cancel.op_id = op_id;

@@ -6,7 +6,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 
 #include "sim/clock.h"
 #include "sim/event_queue.h"
@@ -61,7 +61,8 @@ class DeferredRouter {
   sim::Duration retry_interval_;
   AttemptFn attempt_;
   std::uint64_t next_id_ = 1;
-  std::unordered_map<std::uint64_t, Entry> entries_;
+  // Ordered: teardown cancels retry timers in ascending route-id order.
+  std::map<std::uint64_t, Entry> entries_;
   Stats stats_;
 };
 

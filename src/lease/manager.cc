@@ -3,7 +3,77 @@
 #include <utility>
 #include <vector>
 
+#if TIAMAT_AUDIT_ENABLED
+#include <sstream>
+#endif
+
 namespace tiamat::lease {
+
+#if TIAMAT_AUDIT_ENABLED
+void LeaseManager::audit_check(const char* checkpoint) const {
+  auto trap = [&](const std::string& invariant, const std::string& detail) {
+    std::ostringstream os;
+    os << detail << " | active " << active_.size() << ", next id "
+       << next_id_;
+    audit::fail("LeaseManager", checkpoint, invariant, os.str());
+  };
+  for (const auto& [id, entry] : active_) {
+    if (!entry.lease) {
+      std::ostringstream os;
+      os << "active table holds null lease under id " << id;
+      trap("lease-live", os.str());
+      return;
+    }
+    if (entry.lease->id() != id) {
+      std::ostringstream os;
+      os << "lease " << entry.lease->id() << " registered under id " << id;
+      trap("lease-live", os.str());
+      return;
+    }
+    if (id >= next_id_) {
+      std::ostringstream os;
+      os << "lease id " << id << " >= next id " << next_id_;
+      trap("id-allocation", os.str());
+      return;
+    }
+    // A terminal lease may only appear here mid-reclamation: the expiry
+    // timer fired (event already cleared, deadline passed) and expire()'s
+    // end callbacks are still running — one of them may re-enter the
+    // manager and land on this checkpoint before finish_bookkeeping
+    // erases the entry. Anything else is a stale entry that would keep
+    // charging the policy's usage accounting forever.
+    if (!entry.lease->active()) {
+      const bool mid_expiry = entry.lease->state() == LeaseState::kExpired &&
+                              entry.expiry_event == sim::kInvalidEvent &&
+                              entry.lease->expiry_time() != sim::kNever &&
+                              entry.lease->expiry_time() <= queue_.now();
+      if (!mid_expiry) {
+        std::ostringstream os;
+        os << "lease " << id << " tracked as active but in a terminal state";
+        trap("lease-live", os.str());
+        return;
+      }
+      continue;
+    }
+    const sim::Time expiry = entry.lease->expiry_time();
+    if (expiry != sim::kNever) {
+      if (entry.expiry_event == sim::kInvalidEvent) {
+        std::ostringstream os;
+        os << "lease " << id << " has a TTL but no expiry timer armed";
+        trap("expiry-armed", os.str());
+        return;
+      }
+      if (expiry < queue_.now()) {
+        std::ostringstream os;
+        os << "lease " << id << " expiry " << expiry
+           << " already passed (now " << queue_.now() << ")";
+        trap("expiry-armed", os.str());
+        return;
+      }
+    }
+  }
+}
+#endif  // TIAMAT_AUDIT_ENABLED
 
 LeaseManager::LeaseManager(sim::EventQueue& queue,
                            std::unique_ptr<LeasePolicy> policy)
@@ -61,6 +131,7 @@ std::shared_ptr<Lease> LeaseManager::negotiate(
   ++stats_.granted;
   if (metrics_.granted) ++*metrics_.granted;
   if (metrics_.active) metrics_.active->set(static_cast<double>(active_.size()));
+  TIAMAT_AUDIT_CHECK(audit_check("negotiate"));
   return lease;
 }
 
@@ -88,6 +159,7 @@ void LeaseManager::finish_bookkeeping(LeaseId id, LeaseState state) {
       break;
   }
   if (metrics_.active) metrics_.active->set(static_cast<double>(active_.size()));
+  TIAMAT_AUDIT_CHECK(audit_check("finish_bookkeeping"));
 }
 
 std::optional<sim::Time> LeaseManager::renew(LeaseId id,
@@ -125,6 +197,7 @@ std::optional<sim::Time> LeaseManager::renew(LeaseId id,
         l->expire();
         finish_bookkeeping(id, LeaseState::kExpired);
       });
+  TIAMAT_AUDIT_CHECK(audit_check("renew"));
   return new_expiry;
 }
 

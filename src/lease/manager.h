@@ -9,8 +9,8 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 
+#include "audit/audit.h"
 #include "lease/factory.h"
 #include "lease/lease.h"
 #include "lease/policy.h"
@@ -84,6 +84,14 @@ class LeaseManager {
   const Stats& stats() const { return stats_; }
   sim::Time now() const { return queue_.now(); }
 
+#if TIAMAT_AUDIT_ENABLED
+  /// Lease-table re-verification (audit builds only): every tracked lease
+  /// is live (state kActive), registered under its own id, allocated below
+  /// next_id_, and — when it carries a TTL — has its expiry timer armed
+  /// with a non-past deadline. Traps through audit::fail on violation.
+  void audit_check(const char* checkpoint) const;
+#endif
+
  private:
   void finish_bookkeeping(LeaseId id, LeaseState state);
 
@@ -96,7 +104,10 @@ class LeaseManager {
     std::shared_ptr<Lease> lease;
     sim::EventId expiry_event = sim::kInvalidEvent;
   };
-  std::unordered_map<LeaseId, Active> active_;
+  // Ordered so teardown and revoke_all fire in ascending-id (grant) order —
+  // lease-end callbacks are observable, so their order must be
+  // deterministic.
+  std::map<LeaseId, Active> active_;
   std::map<std::string, std::unique_ptr<ResourcePool>> pools_;
   Stats stats_;
 

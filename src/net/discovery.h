@@ -14,7 +14,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <vector>
 
 #include "net/endpoint.h"
 #include "net/responder_cache.h"

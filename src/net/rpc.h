@@ -10,7 +10,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 
 #include "net/message.h"
 #include "obs/metrics.h"
@@ -46,7 +46,7 @@ class Correlator {
   /// Ends an exchange early (lease released / cancelled).
   bool finish(std::uint64_t op_id);
 
-  bool active(std::uint64_t op_id) const { return open_.count(op_id) != 0; }
+  bool active(std::uint64_t op_id) const { return open_.contains(op_id); }
   std::size_t open_count() const { return open_.size(); }
 
   /// Mirrors routing outcomes into `r` ("rpc.routed" / "rpc.stale" /
@@ -62,7 +62,8 @@ class Correlator {
 
   sim::EventQueue& queue_;
   std::uint64_t next_id_ = 1;
-  std::unordered_map<std::uint64_t, Open> open_;
+  // Ordered: teardown cancels deadline events in ascending op-id order.
+  std::map<std::uint64_t, Open> open_;
 
   struct Metrics {
     obs::Counter* routed = nullptr;

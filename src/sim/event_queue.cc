@@ -51,7 +51,7 @@ std::size_t EventQueue::run_until(Time deadline) {
   std::size_t fired = 0;
   while (!heap_.empty()) {
     const Entry& top = heap_.top();
-    if (pending_ids_.count(top.id) == 0) {  // cancelled tombstone
+    if (!pending_ids_.contains(top.id)) {  // cancelled tombstone
       heap_.pop();
       continue;
     }

@@ -1,6 +1,5 @@
 #include "sim/mobility.h"
 
-#include <algorithm>
 #include <cmath>
 
 namespace tiamat::sim {
@@ -41,20 +40,16 @@ void RandomWaypoint::tick() {
   if (!running_) return;
   const Time now = net_.now();
   const double dt = to_seconds(params_.tick);
-  // Iterate in node-id order for determinism.
-  std::vector<NodeId> ids;
-  ids.reserve(states_.size());
-  for (const auto& [id, s] : states_) {
-    (void)s;
-    ids.push_back(id);
-  }
-  std::sort(ids.begin(), ids.end());
-  for (NodeId id : ids) {
+  // states_ is ordered, so this walk (and the rng_ draws it makes) visits
+  // nodes in ascending id order.
+  for (auto it = states_.begin(); it != states_.end();) {
+    const NodeId id = it->first;
     if (!net_.node_exists(id)) {
-      states_.erase(id);
+      it = states_.erase(it);
       continue;
     }
-    State& s = states_[id];
+    State& s = it->second;
+    ++it;
     if (now < s.pause_until) continue;
     Position p = net_.position(id);
     const double dx = s.target.x - p.x;

@@ -4,7 +4,7 @@
 #pragma once
 
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "sim/network.h"
@@ -52,7 +52,9 @@ class RandomWaypoint {
   Network& net_;
   Rng& rng_;
   Params params_;
-  std::unordered_map<NodeId, State> states_;
+  // Ordered: tick() walks every node, and movement consumes rng_ draws,
+  // so the walk order decides which node gets which draw.
+  std::map<NodeId, State> states_;
   EventId tick_event_ = kInvalidEvent;
   bool running_ = false;
 };

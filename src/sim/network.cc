@@ -144,7 +144,7 @@ void Network::multicast(NodeId from, GroupId group, Payload payload) {
   ++stats_.multicasts_sent;
   for (const auto& [id, state] : nodes_) {
     if (id == from) continue;
-    if (state.groups.count(group) == 0) continue;
+    if (!state.groups.contains(group)) continue;
     if (!visible(from, id)) continue;
     deliver_later(from, id, payload);  // copy per receiver
   }

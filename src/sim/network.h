@@ -89,7 +89,7 @@ class Network {
   /// Permanently removes a node; in-flight packets to it are dropped.
   void remove_node(NodeId id);
 
-  bool node_exists(NodeId id) const { return nodes_.count(id) != 0; }
+  bool node_exists(NodeId id) const { return nodes_.contains(id); }
 
   /// Radio on/off. An offline node is invisible and receives nothing, but
   /// keeps its state — models a device sleeping or moving out of coverage.

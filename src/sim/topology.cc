@@ -1,7 +1,6 @@
 #include "sim/topology.h"
 
 #include <queue>
-#include <unordered_map>
 #include <unordered_set>
 
 namespace tiamat::sim {
@@ -55,20 +54,22 @@ std::vector<NodeId> make_random_geometric(Network& net, Rng& rng,
 
 std::size_t connected_components(const Network& net,
                                  const std::vector<NodeId>& nodes) {
-  std::unordered_set<NodeId> unvisited(nodes.begin(), nodes.end());
+  // Each BFS starts from the first unvisited node in the caller's order, so
+  // traversal (and any instrumentation hung off it) is deterministic; the
+  // set is only probed, never iterated.
+  std::unordered_set<NodeId> visited;
   std::size_t components = 0;
-  while (!unvisited.empty()) {
+  for (NodeId start : nodes) {
+    if (!visited.insert(start).second) continue;
     ++components;
-    NodeId start = *unvisited.begin();
     std::queue<NodeId> frontier;
     frontier.push(start);
-    unvisited.erase(start);
     while (!frontier.empty()) {
       NodeId cur = frontier.front();
       frontier.pop();
       for (NodeId other : nodes) {
-        if (unvisited.count(other) != 0 && net.visible(cur, other)) {
-          unvisited.erase(other);
+        if (!visited.contains(other) && net.visible(cur, other)) {
+          visited.insert(other);
           frontier.push(other);
         }
       }

@@ -10,7 +10,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <variant>
 #include <vector>
 
@@ -111,7 +111,8 @@ class EvalEngine {
   sim::EventQueue& queue_;
   LocalTupleSpace& target_;
   EvalId next_id_ = 1;
-  std::unordered_map<EvalId, Running> running_;
+  // Ordered: teardown cancels completion/halt events in id order.
+  std::map<EvalId, Running> running_;
   Stats stats_;
 };
 

@@ -2,7 +2,73 @@
 
 #include <algorithm>
 
+#if TIAMAT_AUDIT_ENABLED
+#include <sstream>
+#endif
+
 namespace tiamat::space {
+
+#if TIAMAT_AUDIT_ENABLED
+void LocalTupleSpace::audit_check(const char* checkpoint) const {
+  index_.audit_check(checkpoint);
+  waiters_.audit_check(checkpoint);
+  auto trap = [&](const std::string& invariant, const std::string& detail) {
+    std::ostringstream os;
+    os << detail << " | stored " << index_.size() << ", tentative "
+       << tentative_.size() << ", waiters " << waiters_.size();
+    audit::fail("LocalTupleSpace", checkpoint, invariant, os.str());
+  };
+  for (const auto& [id, expiry] : expiries_) {
+    (void)expiry;
+    if (!index_.contains(id)) {
+      std::ostringstream os;
+      os << "expiry recorded for id " << id << " which is not stored";
+      trap("expiry-bookkeeping", os.str());
+      return;
+    }
+  }
+  for (const auto& [id, ev] : expiry_events_) {
+    (void)ev;
+    if (!expiries_.contains(id)) {
+      std::ostringstream os;
+      os << "expiry timer armed for id " << id << " with no expiry on file";
+      trap("expiry-bookkeeping", os.str());
+      return;
+    }
+  }
+  for (const auto& [id, t] : tentative_) {
+    (void)t;
+    if (index_.contains(id)) {
+      std::ostringstream os;
+      os << "tentative id " << id << " still visible in the index";
+      trap("tentative-visibility", os.str());
+      return;
+    }
+    if (id >= next_tuple_id_) {
+      std::ostringstream os;
+      os << "tentative id " << id << " >= next id " << next_tuple_id_;
+      trap("id-allocation", os.str());
+      return;
+    }
+  }
+  for (const auto& [id, expiry] : tentative_expiry_) {
+    (void)expiry;
+    if (!tentative_.contains(id)) {
+      std::ostringstream os;
+      os << "parked expiry for id " << id << " which is not tentative";
+      trap("tentative-visibility", os.str());
+      return;
+    }
+  }
+  index_.for_each([&](TupleId id, const Tuple&) {
+    if (id >= next_tuple_id_) {
+      std::ostringstream os;
+      os << "stored id " << id << " >= next id " << next_tuple_id_;
+      trap("id-allocation", os.str());
+    }
+  });
+}
+#endif  // TIAMAT_AUDIT_ENABLED
 
 LocalTupleSpace::LocalTupleSpace(sim::EventQueue& queue, sim::Rng& rng,
                                  Options opts)
@@ -32,6 +98,7 @@ TupleId LocalTupleSpace::out(Tuple t, sim::Time expiry) {
   TupleId id = next_tuple_id_++;
   if (offer_to_waiters(id, t)) {
     // A destructive waiter consumed the tuple before it hit storage.
+    TIAMAT_AUDIT_CHECK(audit_check("out"));
     return tuples::kNoTuple;
   }
   index_.insert(id, std::move(t));
@@ -39,6 +106,7 @@ TupleId LocalTupleSpace::out(Tuple t, sim::Time expiry) {
     expiries_[id] = expiry;
     schedule_tuple_expiry(id, expiry);
   }
+  TIAMAT_AUDIT_CHECK(audit_check("out"));
   return id;
 }
 
@@ -66,7 +134,9 @@ std::optional<Tuple> LocalTupleSpace::inp(const Pattern& p) {
   ++stats_.hits;
   drop_tuple_timer(*id);
   expiries_.erase(*id);
-  return index_.erase(*id);
+  auto t = index_.erase(*id);
+  TIAMAT_AUDIT_CHECK(audit_check("inp"));
+  return t;
 }
 
 // ---- Blocking ops -----------------------------------------------------------
@@ -123,6 +193,7 @@ bool LocalTupleSpace::cancel_waiter(WaiterId id) {
   if (e->payload.deadline_event != sim::kInvalidEvent) {
     queue_.cancel(e->payload.deadline_event);
   }
+  TIAMAT_AUDIT_CHECK(audit_check("cancel_waiter"));
   return true;
 }
 
@@ -133,6 +204,7 @@ WaiterId LocalTupleSpace::add_waiter(tuples::CompiledPattern p, Waiter w) {
         w.deadline, [this, id] { waiter_deadline(id); });
   }
   waiters_.add(id, std::move(p), std::move(w));
+  TIAMAT_AUDIT_CHECK(audit_check("add_waiter"));
   return id;
 }
 
@@ -211,6 +283,7 @@ std::optional<std::pair<TupleId, Tuple>> LocalTupleSpace::take_tentative(
   drop_tuple_timer(*id);
   auto t = index_.erase(*id);
   tentative_.emplace(*id, *t);
+  TIAMAT_AUDIT_CHECK(audit_check("take_tentative"));
   return std::make_pair(*id, *t);
 }
 
@@ -251,12 +324,16 @@ bool LocalTupleSpace::release_tentative(TupleId id) {
     ++stats_.tuples_expired;
     return true;  // released, but its lease lapsed meanwhile: reclaim now
   }
-  if (offer_to_waiters(id, t)) return true;
+  if (offer_to_waiters(id, t)) {
+    TIAMAT_AUDIT_CHECK(audit_check("release_tentative"));
+    return true;
+  }
   index_.insert(id, std::move(t));
   if (expiry != sim::kNever) {
     expiries_[id] = expiry;
     schedule_tuple_expiry(id, expiry);
   }
+  TIAMAT_AUDIT_CHECK(audit_check("release_tentative"));
   return true;
 }
 
@@ -266,6 +343,7 @@ bool LocalTupleSpace::confirm_tentative(TupleId id) {
   tentative_.erase(it);
   tentative_expiry_.erase(id);
   ++stats_.tentative_confirmed;
+  TIAMAT_AUDIT_CHECK(audit_check("confirm_tentative"));
   return true;
 }
 
@@ -279,6 +357,7 @@ void LocalTupleSpace::schedule_tuple_expiry(TupleId id, sim::Time expiry) {
       expiries_.erase(id);
       ++stats_.tuples_expired;
     }
+    TIAMAT_AUDIT_CHECK(audit_check("expiry_timer"));
   });
 }
 
@@ -302,6 +381,7 @@ void LocalTupleSpace::purge_expired() {
     expiries_.erase(id);
     ++stats_.tuples_expired;
   }
+  TIAMAT_AUDIT_CHECK(audit_check("purge_expired"));
 }
 
 bool LocalTupleSpace::reclaim(TupleId id) {
@@ -310,6 +390,7 @@ bool LocalTupleSpace::reclaim(TupleId id) {
   expiries_.erase(id);
   index_.erase(id);
   ++stats_.tuples_expired;
+  TIAMAT_AUDIT_CHECK(audit_check("reclaim"));
   return true;
 }
 
@@ -322,6 +403,7 @@ bool LocalTupleSpace::set_tuple_expiry(TupleId id, sim::Time expiry) {
     expiries_[id] = expiry;
     schedule_tuple_expiry(id, expiry);
   }
+  TIAMAT_AUDIT_CHECK(audit_check("set_tuple_expiry"));
   return true;
 }
 

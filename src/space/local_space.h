@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "audit/audit.h"
 #include "obs/metrics.h"
 #include "sim/clock.h"
 #include "sim/event_queue.h"
@@ -170,6 +171,21 @@ class LocalTupleSpace {
     waiters_.bind_metrics(r);
   }
 
+#if TIAMAT_AUDIT_ENABLED
+  /// Cross-structure re-verification (audit builds only): delegates to the
+  /// engine audits, then checks the space's own bookkeeping — expiry
+  /// timers only for leased stored tuples, tentative tuples invisible to
+  /// the index, id allocation monotonic. Traps through audit::fail.
+  void audit_check(const char* checkpoint) const;
+
+  /// Test hooks: direct engine access so the corruption-trap tests can
+  /// break an invariant and watch the next operation's checkpoint fire.
+  tuples::TupleIndex& audit_index() { return index_; }
+  void audit_corrupt_waiter_fifo_for_test() {
+    waiters_.audit_corrupt_fifo_for_test();
+  }
+#endif
+
  private:
   /// Waiter bookkeeping; the pattern lives in the WaiterIndex entry.
   struct Waiter {
@@ -204,8 +220,10 @@ class LocalTupleSpace {
   tuples::WaiterIndex<Waiter> waiters_;
   std::unordered_map<TupleId, Tuple> tentative_;
   std::unordered_map<TupleId, sim::Time> tentative_expiry_;
-  std::unordered_map<TupleId, sim::EventId> expiry_events_;
-  std::unordered_map<TupleId, sim::Time> expiries_;
+  // Ordered: purge_expired and teardown walk these, so reclamation order
+  // must be ascending-id, not hash order.
+  std::map<TupleId, sim::EventId> expiry_events_;
+  std::map<TupleId, sim::Time> expiries_;
   SpaceStats stats_;
 };
 

@@ -50,7 +50,7 @@ class ComputationRegistry {
   }
 
   bool knows(const std::string& name) const {
-    return entries_.count(name) != 0;
+    return entries_.contains(name);
   }
 
   const NamedComputation* find(const std::string& name) const {

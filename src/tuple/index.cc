@@ -2,6 +2,12 @@
 
 #include <algorithm>
 
+#if TIAMAT_AUDIT_ENABLED
+#include <functional>
+#include <sstream>
+#include <string>
+#endif
+
 namespace tiamat::tuples {
 
 namespace {
@@ -21,6 +27,17 @@ void sorted_erase(std::vector<TupleId>& v, TupleId id) {
   auto it = std::lower_bound(v.begin(), v.end(), id);
   if (it != v.end() && *it == id) v.erase(it);
 }
+
+#if TIAMAT_AUDIT_ENABLED
+bool sorted_contains(const std::vector<TupleId>& v, TupleId id) {
+  return std::binary_search(v.begin(), v.end(), id);
+}
+
+bool strictly_ascending(const std::vector<TupleId>& v) {
+  return std::adjacent_find(v.begin(), v.end(),
+                            std::greater_equal<TupleId>()) == v.end();
+}
+#endif
 
 }  // namespace
 
@@ -66,6 +83,8 @@ std::vector<TupleId> TupleIndex::find_matches(const CompiledPattern& p,
     out.push_back(id);
     return limit == 0 || out.size() < limit;
   });
+  TIAMAT_AUDIT_CHECK(if (p.keyed() && audit::sample())
+                         audit_differential(p, out, limit));
   return out;
 }
 
@@ -104,5 +123,175 @@ void TupleIndex::for_each(
     const std::function<void(TupleId, const Tuple&)>& fn) const {
   for (const auto& [id, t] : by_id_) fn(id, t);
 }
+
+#if TIAMAT_AUDIT_ENABLED
+
+namespace {
+
+std::string describe(TupleId id, const Tuple& t) {
+  std::ostringstream os;
+  os << "tuple id " << id << " arity " << t.arity() << " " << t.to_string();
+  return os.str();
+}
+
+}  // namespace
+
+void TupleIndex::audit_check(const char* checkpoint) const {
+  auto trap = [&](const std::string& invariant, const std::string& detail) {
+    std::ostringstream os;
+    os << detail << " | index size " << by_id_.size() << ", shards "
+       << shards_.size() << ", footprint " << footprint_;
+    audit::fail("TupleIndex", checkpoint, invariant, os.str());
+  };
+
+  // Ordering first: the membership checks below binary-search the id
+  // vectors, so an unsorted list must trap as itself rather than as a
+  // bogus membership miss.
+  for (const auto& [arity, shard] : shards_) {
+    if (shard.ids.empty()) {
+      std::ostringstream os;
+      os << "empty shard for arity " << arity << " not pruned";
+      trap("shard-pruning", os.str());
+      return;
+    }
+    if (!strictly_ascending(shard.ids)) {
+      std::ostringstream os;
+      os << "arity " << arity << " shard id list not strictly ascending";
+      trap("id-order", os.str());
+      return;
+    }
+    for (const auto& [key, ids] : shard.buckets) {
+      if (ids.empty()) {
+        trap("bucket-pruning",
+             "empty bucket key=" + key.to_string() + " not pruned");
+        return;
+      }
+      if (!strictly_ascending(ids)) {
+        trap("id-order", "bucket key=" + key.to_string() +
+                             " id list not strictly ascending");
+        return;
+      }
+    }
+  }
+
+  // Forward direction: every stored tuple is reachable through its shard.
+  std::size_t footprint_sum = 0;
+  for (const auto& [id, t] : by_id_) {
+    footprint_sum += t.footprint();
+    auto sit = shards_.find(t.arity());
+    if (sit == shards_.end()) {
+      trap("shard-membership", describe(id, t) + " has no arity shard");
+      return;
+    }
+    const Shard& shard = sit->second;
+    if (!sorted_contains(shard.ids, id)) {
+      trap("shard-membership",
+           describe(id, t) + " missing from its shard id list");
+      return;
+    }
+    if (t.arity() > 0) {
+      auto bit = shard.buckets.find(t[0]);
+      if (bit == shard.buckets.end() || !sorted_contains(bit->second, id)) {
+        trap("bucket-membership",
+             describe(id, t) + " missing from bucket key=" +
+                 t[0].to_string());
+        return;
+      }
+      if (ValueHash{}(bit->first) != ValueHash{}(t[0])) {
+        trap("bucket-key-hash",
+             describe(id, t) + " bucket key " + bit->first.to_string() +
+                 " hashes differently from first field " + t[0].to_string());
+        return;
+      }
+    }
+  }
+  if (footprint_sum != footprint_) {
+    std::ostringstream os;
+    os << "cached footprint " << footprint_ << " != recomputed "
+       << footprint_sum;
+    trap("footprint", os.str());
+    return;
+  }
+
+  // Reverse direction: every shard/bucket id is a live tuple in the right
+  // place and the membership counts balance — together with the forward
+  // pass this proves "exactly one bucket" (no duplicates, no strays).
+  std::size_t shard_ids_total = 0;
+  std::size_t bucket_ids_total = 0;
+  std::size_t keyed_tuples = 0;
+  for (const auto& [id, t] : by_id_) {
+    if (t.arity() > 0) ++keyed_tuples;
+  }
+  for (const auto& [arity, shard] : shards_) {
+    shard_ids_total += shard.ids.size();
+    for (TupleId id : shard.ids) {
+      const Tuple* t = get(id);
+      if (t == nullptr || t->arity() != arity) {
+        std::ostringstream os;
+        os << "shard arity " << arity << " lists id " << id
+           << (t == nullptr ? " which is not stored"
+                            : " whose tuple has a different arity");
+        trap("shard-membership", os.str());
+        return;
+      }
+    }
+    for (const auto& [key, ids] : shard.buckets) {
+      bucket_ids_total += ids.size();
+      for (TupleId id : ids) {
+        const Tuple* t = get(id);
+        if (t == nullptr || t->arity() == 0 || !((*t)[0] == key)) {
+          std::ostringstream os;
+          os << "bucket key=" << key.to_string() << " lists id " << id
+             << (t == nullptr ? " which is not stored"
+                              : " whose first field differs");
+          trap("bucket-membership", os.str());
+          return;
+        }
+      }
+    }
+  }
+  if (shard_ids_total != by_id_.size()) {
+    std::ostringstream os;
+    os << "shard id lists hold " << shard_ids_total << " ids for "
+       << by_id_.size() << " stored tuples";
+    trap("membership-count", os.str());
+    return;
+  }
+  if (bucket_ids_total != keyed_tuples) {
+    std::ostringstream os;
+    os << "buckets hold " << bucket_ids_total << " ids for " << keyed_tuples
+       << " keyed tuples";
+    trap("membership-count", os.str());
+  }
+}
+
+void TupleIndex::audit_corrupt_bucket_for_test(TupleId id) {
+  const Tuple* t = get(id);
+  if (t == nullptr || t->arity() == 0) return;
+  auto sit = shards_.find(t->arity());
+  if (sit == shards_.end()) return;
+  auto bit = sit->second.buckets.find((*t)[0]);
+  if (bit != sit->second.buckets.end()) sorted_erase(bit->second, id);
+}
+
+void TupleIndex::audit_differential(const CompiledPattern& p,
+                                    const std::vector<TupleId>& got,
+                                    std::size_t limit) const {
+  // Linear-scan oracle: what a bucketless index would have returned.
+  std::vector<TupleId> expect;
+  for (const auto& [id, t] : by_id_) {
+    if (!p.matches(t)) continue;
+    expect.push_back(id);
+    if (limit != 0 && expect.size() == limit) break;
+  }
+  if (expect == got) return;
+  std::ostringstream os;
+  os << "keyed probe returned " << got.size() << " ids, linear oracle "
+     << expect.size() << " for pattern key=" << p.key().to_string()
+     << " arity " << p.arity();
+  audit::fail("TupleIndex", "find_matches", "probe-vs-oracle", os.str());
+}
+
+#endif  // TIAMAT_AUDIT_ENABLED
 
 }  // namespace tiamat::tuples

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "audit/audit.h"
 #include "tuple/matcher.h"
 #include "tuple/pattern.h"
 #include "tuple/tuple.h"
@@ -39,7 +40,7 @@ class TupleIndex {
   std::optional<Tuple> erase(TupleId id);
 
   const Tuple* get(TupleId id) const;
-  bool contains(TupleId id) const { return by_id_.count(id) != 0; }
+  bool contains(TupleId id) const { return by_id_.contains(id); }
 
   /// Ids of all stored tuples matching `p`, in ascending id order (the
   /// caller applies its own selection policy). `limit` == 0 means no limit.
@@ -80,6 +81,29 @@ class TupleIndex {
   const MatchStats& match_stats() const { return stats_; }
   void reset_match_stats() { stats_.reset(); }
   void bind_metrics(obs::Registry& r) { metrics_.bind(r, "match"); }
+
+#if TIAMAT_AUDIT_ENABLED
+  /// Full structural re-verification (audit builds only): every stored
+  /// tuple in its arity shard's id list and — for arity > 0 — in exactly
+  /// one bucket whose key equals (and hashes equal to) the tuple's first
+  /// field; all id vectors strictly ascending; footprint accounting exact.
+  /// Traps through audit::fail on violation.
+  void audit_check(const char* checkpoint) const;
+
+  /// Test hook: removes `id` from its shard bucket while leaving it in
+  /// by_id_ and the shard id list, manufacturing a bucket-membership
+  /// violation for the corruption-trap tests.
+  void audit_corrupt_bucket_for_test(TupleId id);
+
+ private:
+  /// Differential oracle: re-runs a keyed find_matches as a linear scan of
+  /// by_id_ and traps if the bucket probe returned a different id sequence.
+  void audit_differential(const CompiledPattern& p,
+                          const std::vector<TupleId>& got,
+                          std::size_t limit) const;
+
+ public:
+#endif
 
  private:
   // One shard per arity: hash buckets by first field for keyed probes, plus

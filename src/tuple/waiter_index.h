@@ -25,9 +25,14 @@
 #include <utility>
 #include <vector>
 
+#include "audit/audit.h"
 #include "tuple/matcher.h"
 #include "tuple/tuple.h"
 #include "tuple/value.h"
+
+#if TIAMAT_AUDIT_ENABLED
+#include <sstream>
+#endif
 
 namespace tiamat::tuples {
 
@@ -60,7 +65,7 @@ class WaiterIndex {
     return out;
   }
 
-  bool contains(std::uint64_t id) const { return entries_.count(id) != 0; }
+  bool contains(std::uint64_t id) const { return entries_.contains(id); }
 
   W* payload(std::uint64_t id) {
     auto it = entries_.find(id);
@@ -125,6 +130,140 @@ class WaiterIndex {
   const MatchStats& match_stats() const { return stats_; }
   void reset_match_stats() { stats_.reset(); }
   void bind_metrics(obs::Registry& r) { metrics_.bind(r, "waiters"); }
+
+#if TIAMAT_AUDIT_ENABLED
+  /// Full structural re-verification (audit builds only): every waiter in
+  /// exactly one keyed bucket or the overflow per its pattern's keyed();
+  /// all id vectors strictly ascending, so the two-way candidates() merge
+  /// stays FIFO-monotonic; precomputed key hashes consistent. Traps
+  /// through audit::fail on violation.
+  void audit_check(const char* checkpoint) const {
+    auto trap = [&](const std::string& invariant, const std::string& detail) {
+      std::ostringstream os;
+      os << detail << " | waiters " << entries_.size() << ", overflow "
+         << overflow_.size();
+      audit::fail("WaiterIndex", checkpoint, invariant, os.str());
+    };
+    auto ascending = [](const std::vector<std::uint64_t>& v) {
+      return std::adjacent_find(v.begin(), v.end(),
+                                std::greater_equal<std::uint64_t>()) ==
+             v.end();
+    };
+    auto member = [](const std::vector<std::uint64_t>& v, std::uint64_t id) {
+      return std::binary_search(v.begin(), v.end(), id);
+    };
+
+    // Ordering first: the membership checks below binary-search these
+    // vectors, so an unsorted list must trap as itself rather than as a
+    // bogus membership miss.
+    if (!ascending(overflow_)) {
+      trap("fifo-monotonic", "overflow id list not strictly ascending");
+      return;
+    }
+    for (const auto& [arity, by_key] : buckets_) {
+      for (const auto& [key, ids] : by_key) {
+        if (ids.empty()) {
+          trap("bucket-pruning",
+               "empty bucket key=" + key.to_string() + " not pruned");
+          return;
+        }
+        if (!ascending(ids)) {
+          std::ostringstream os;
+          os << "bucket key=" << key.to_string() << " arity " << arity
+             << " id list not strictly ascending";
+          trap("fifo-monotonic", os.str());
+          return;
+        }
+      }
+    }
+
+    for (const auto& [id, e] : entries_) {
+      const CompiledPattern& p = e.pattern;
+      if (p.keyed()) {
+        if (ValueHash{}(p.key()) != p.key_hash()) {
+          std::ostringstream os;
+          os << "waiter id " << id << " precomputed key hash is stale";
+          trap("key-hash", os.str());
+          return;
+        }
+        bool indexed_here = false;
+        auto ait = buckets_.find(p.arity());
+        if (ait != buckets_.end()) {
+          auto bit = ait->second.find(p.key());
+          if (bit != ait->second.end()) indexed_here = member(bit->second, id);
+        }
+        if (!indexed_here) {
+          std::ostringstream os;
+          os << "keyed waiter id " << id << " missing from bucket key="
+             << p.key().to_string() << " arity " << p.arity();
+          trap("bucket-membership", os.str());
+          return;
+        }
+      } else if (!member(overflow_, id)) {
+        std::ostringstream os;
+        os << "unkeyed waiter id " << id << " missing from overflow";
+        trap("bucket-membership", os.str());
+        return;
+      }
+    }
+
+    std::size_t indexed = overflow_.size();
+    for (std::uint64_t id : overflow_) {
+      auto it = entries_.find(id);
+      if (it == entries_.end() || it->second.pattern.keyed()) {
+        std::ostringstream os;
+        os << "overflow lists id " << id
+           << (it == entries_.end() ? " which is not registered"
+                                    : " whose pattern is keyed");
+        trap("bucket-membership", os.str());
+        return;
+      }
+    }
+    for (const auto& [arity, by_key] : buckets_) {
+      for (const auto& [key, ids] : by_key) {
+        indexed += ids.size();
+        for (std::uint64_t id : ids) {
+          auto it = entries_.find(id);
+          if (it == entries_.end() || !it->second.pattern.keyed() ||
+              it->second.pattern.arity() != arity ||
+              !(it->second.pattern.key() == key)) {
+            std::ostringstream os;
+            os << "bucket key=" << key.to_string() << " arity " << arity
+               << " lists id " << id << " which does not belong there";
+            trap("bucket-membership", os.str());
+            return;
+          }
+        }
+      }
+    }
+    if (indexed != entries_.size()) {
+      std::ostringstream os;
+      os << "bucket/overflow lists hold " << indexed << " ids for "
+         << entries_.size() << " registered waiters";
+      trap("membership-count", os.str());
+    }
+  }
+
+  /// Test hook: swaps the first two ids of the overflow (or, failing that,
+  /// of the first keyed bucket), breaking FIFO monotonicity for the
+  /// corruption-trap tests.
+  void audit_corrupt_fifo_for_test() {
+    if (overflow_.size() >= 2) {
+      std::swap(overflow_[0], overflow_[1]);
+      return;
+    }
+    for (auto& [arity, by_key] : buckets_) {
+      (void)arity;
+      for (auto& [key, ids] : by_key) {
+        (void)key;
+        if (ids.size() >= 2) {
+          std::swap(ids[0], ids[1]);
+          return;
+        }
+      }
+    }
+  }
+#endif
 
  private:
   struct Entry {

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "core/instance.h"
+#include "core/routing.h"
 #include "tests/test_util.h"
 
 namespace tiamat::core {
@@ -574,5 +575,27 @@ TEST_F(CoreFixture, WholeScenarioIsDeterministic) {
   EXPECT_EQ(run_scenario(11), run_scenario(11));
 }
 
+
+// ---------------- Determinism regressions ----------------
+
+// DeferredRouter teardown walks the route table cancelling retry timers;
+// the table is ordered now, and no cancelled retry may fire afterwards.
+TEST(DeferredRouterTest, TeardownCancelsRetryTimers) {
+  World w;
+  int attempts = 0;
+  {
+    DeferredRouter r(
+        w.queue, sim::milliseconds(10),
+        [&](sim::NodeId, const Tuple&, std::uint64_t, sim::Duration) {
+          ++attempts;
+        });
+    for (std::int64_t i = 0; i < 4; ++i) {
+      r.enqueue(99, Tuple{"x", i}, w.queue.now() + sim::seconds(5));
+    }
+    EXPECT_EQ(attempts, 4);  // enqueue tries once immediately
+  }
+  w.run_all();
+  EXPECT_EQ(attempts, 4);  // no retry timer survived the router
+}
 }  // namespace
 }  // namespace tiamat::core

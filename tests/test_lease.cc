@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <vector>
+
 #include "lease/factory.h"
 #include "lease/lease.h"
 #include "lease/manager.h"
@@ -434,5 +438,26 @@ TEST(Renewal, SaturatedPolicyRefusesRenewal) {
   EXPECT_TRUE(l->active()) << "a refused renewal does not end the lease";
 }
 
+
+// ---------------- Determinism regressions ----------------
+
+// revoke_all (and manager teardown) used to walk an unordered_map, so the
+// order lease-end callbacks fired in depended on hash iteration order. The
+// active table is ordered now: revocation sweeps in grant (id) order.
+TEST(Manager, RevokeAllFiresEndCallbacksInGrantOrder) {
+  EventQueue q;
+  LeaseManager m(q, default_policy());
+  std::vector<LeaseId> order;
+  std::vector<std::shared_ptr<Lease>> held;
+  for (int i = 0; i < 16; ++i) {
+    auto l = m.negotiate(FlexibleRequester{});
+    ASSERT_TRUE(l);
+    l->on_end([&order, id = l->id()](LeaseState) { order.push_back(id); });
+    held.push_back(std::move(l));
+  }
+  m.revoke_all();
+  ASSERT_EQ(order.size(), 16u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
 }  // namespace
 }  // namespace tiamat::lease

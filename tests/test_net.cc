@@ -347,5 +347,23 @@ TEST_F(DiscoveryFixture, OutOfRangeNodesNotDiscovered) {
   EXPECT_FALSE(a.cache->contains(b.ep->node()));
 }
 
+
+// Correlator teardown walks the open-exchange table cancelling deadline
+// events; the table is ordered now so teardown is deterministic, and no
+// cancelled deadline may fire afterwards.
+TEST(CorrelatorTest, TeardownCancelsOpenDeadlines) {
+  World w;
+  bool timed_out = false;
+  {
+    Correlator c(w.queue);
+    for (int i = 0; i < 8; ++i) {
+      c.expect(
+          c.next_op_id(), [](sim::NodeId, const Message&) { return true; },
+          w.queue.now() + sim::seconds(1), [&] { timed_out = true; });
+    }
+  }
+  w.run_all();
+  EXPECT_FALSE(timed_out);
+}
 }  // namespace
 }  // namespace tiamat::net

@@ -495,5 +495,56 @@ TEST(Stats, RateCounter) {
   EXPECT_NEAR(r.rate(), 2.0 / 3.0, 1e-9);
 }
 
+
+// ---------------- Determinism regressions ----------------
+
+// connected_components used to seed each BFS from *unvisited.begin() of an
+// unordered_set; it now scans the caller's vector, so the answer (and the
+// traversal) cannot depend on hash order or enumeration order.
+TEST(Topology, ComponentsIndependentOfEnumerationOrder) {
+  World w;
+  w.net.set_radio_range(5.0);
+  std::vector<NodeId> ids;
+  ids.push_back(w.net.add_node({0, 0}));
+  ids.push_back(w.net.add_node({1, 0}));
+  ids.push_back(w.net.add_node({50, 0}));
+  ids.push_back(w.net.add_node({100, 0}));
+  ids.push_back(w.net.add_node({101, 0}));
+  ids.push_back(w.net.add_node({102, 0}));
+  EXPECT_EQ(connected_components(w.net, ids), 3u);
+  std::vector<NodeId> rev(ids.rbegin(), ids.rend());
+  EXPECT_EQ(connected_components(w.net, rev), 3u);
+}
+
+// RandomWaypoint::tick consumes rng draws per node; the state table is
+// ordered now, so identically-seeded runs move every node identically.
+TEST(RandomWaypointTest, TicksAreSeedDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    World w(seed);
+    RandomWaypointParams p;
+    p.arena_w = 100;
+    p.arena_h = 100;
+    p.min_speed = 10;
+    p.max_speed = 20;
+    RandomWaypoint rw(w.net, w.rng, p);
+    std::vector<NodeId> ids;
+    for (int i = 0; i < 6; ++i) {
+      NodeId n = w.net.add_node({static_cast<double>(i) * 10.0, 0});
+      ids.push_back(n);
+      rw.add(n);
+    }
+    rw.start();
+    w.run_for(seconds(3));
+    rw.stop();
+    std::vector<std::pair<double, double>> pos;
+    for (NodeId n : ids) {
+      Position at = w.net.position(n);
+      pos.emplace_back(at.x, at.y);
+    }
+    w.run_all();
+    return pos;
+  };
+  EXPECT_EQ(run(9), run(9));
+}
 }  // namespace
 }  // namespace tiamat::sim

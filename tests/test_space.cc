@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "space/eval.h"
 #include "space/handle.h"
@@ -440,5 +443,29 @@ TEST_F(SpaceFixture, FootprintFollowsContents) {
   EXPECT_EQ(space.footprint(), 0u);
 }
 
+
+// ---------------- Determinism regressions ----------------
+
+// The expiry tables are ordered now (reclamation used to walk an
+// unordered_map): identically-seeded runs must expire the same tuples and
+// leave identical survivors.
+TEST(SpaceDeterminism, ExpiryReclaimsIdenticallyAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    sim::EventQueue q;
+    sim::Rng r{seed};
+    LocalTupleSpace s(q, r);
+    for (std::int64_t i = 0; i < 24; ++i) {
+      s.out(Tuple{"t", i}, /*expiry=*/(i % 3 == 0) ? 100 : 200);
+    }
+    q.run_until(150);  // the i%3==0 cohort expires, the rest survive
+    std::vector<std::int64_t> left;
+    for (const auto& t : s.snapshot()) left.push_back(t[1].as_int());
+    return std::make_pair(left, s.stats().tuples_expired);
+  };
+  auto a = run(5);
+  EXPECT_EQ(a, run(5));
+  EXPECT_EQ(a.second, 8u);
+  EXPECT_TRUE(std::is_sorted(a.first.begin(), a.first.end()));
+}
 }  // namespace
 }  // namespace tiamat::space
