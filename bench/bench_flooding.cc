@@ -76,6 +76,7 @@ Result run_tiamat(std::size_t n, std::uint64_t seed,
   for (std::size_t i = 0; i < n; ++i) {
     nodes.push_back(std::make_unique<core::Instance>(
         w.net, bench::bench_config("n" + std::to_string(i))));
+    bench::maybe_trace(*nodes.back());
   }
   for (int k = 0; k < 50; ++k) {
     nodes[1 + w.rng.index(n - 1)]->out(Tuple{"item", k});

@@ -4,6 +4,10 @@
 // is `BENCH_<name>.json` in the current directory — commit those at the
 // repo root so the perf trajectory stays diffable PR-over-PR.
 //
+// `--trace[=path]` additionally streams every operation trace event from
+// instances the bench opts in via `maybe_trace()` into a JSONL dump
+// (default `TRACE_<name>.jsonl`) for `tiamat-inspect` / Perfetto.
+//
 // Usage:
 //   ... register benchmarks, record into tiamat::bench::registry() ...
 //   TIAMAT_BENCH_MAIN("churn");
@@ -16,9 +20,12 @@
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tiamat::bench {
 
@@ -28,12 +35,21 @@ inline obs::Registry& registry() {
   return r;
 }
 
+/// Shared JSONL sink created by `--trace`; null when tracing is off. Bench
+/// bodies attach it per instance via `maybe_trace()` (bench_util.h).
+inline std::shared_ptr<obs::TraceSink>& trace_sink() {
+  static std::shared_ptr<obs::TraceSink> s;
+  return s;
+}
+
 inline int run_main(int argc, char** argv, const std::string& bench_name) {
   std::string json_path;
   bool want_json = false;
+  std::string trace_path;
+  bool want_trace = false;
 
-  // Strip --json[=path] (or --json <path>) before benchmark::Initialize,
-  // which rejects flags it does not know.
+  // Strip --json[=path] / --trace[=path] (or the two-token spelling) before
+  // benchmark::Initialize, which rejects flags it does not know.
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
@@ -42,6 +58,12 @@ inline int run_main(int argc, char** argv, const std::string& bench_name) {
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       want_json = true;
       json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      want_trace = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') trace_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      want_trace = true;
+      trace_path = argv[i] + 8;
     } else {
       argv[out++] = argv[i];
     }
@@ -49,6 +71,15 @@ inline int run_main(int argc, char** argv, const std::string& bench_name) {
   argc = out;
   if (want_json && json_path.empty()) {
     json_path = "BENCH_" + bench_name + ".json";
+  }
+  if (want_trace) {
+    if (trace_path.empty()) trace_path = "TRACE_" + bench_name + ".jsonl";
+    auto sink = std::make_shared<obs::JsonlSink>(trace_path);
+    if (!sink->ok()) {
+      std::cerr << "failed to open " << trace_path << " for tracing\n";
+      return 1;
+    }
+    trace_sink() = std::move(sink);
   }
 
   benchmark::Initialize(&argc, argv);
@@ -87,6 +118,10 @@ inline int run_main(int argc, char** argv, const std::string& bench_name) {
     }
     std::cout << "metrics snapshot written to " << json_path << " ("
               << reloaded.size() << " instruments, reload verified)\n";
+  }
+  if (want_trace) {
+    trace_sink().reset();  // flush + close the JSONL stream
+    std::cout << "operation trace written to " << trace_path << "\n";
   }
   return 0;
 }

@@ -53,6 +53,13 @@ inline core::Config bench_config(const std::string& name,
 /// Milliseconds of virtual time, for counters.
 inline double sim_ms(double microseconds) { return microseconds / 1000.0; }
 
+/// Attaches the bench-wide `--trace` JSONL sink to an instance's tracer
+/// (no-op when the flag was not given, keeping the traced and untraced
+/// runs otherwise identical).
+inline void maybe_trace(core::Instance& i) {
+  if (trace_sink()) i.tracer().set_sink(trace_sink());
+}
+
 /// Observe one virtual-time operation latency (µs) into the exportable
 /// registry under `op.latency_us{scenario=...}` — fixed-bucket, so p50/p95/
 /// p99 come out in BENCH_<name>.json without storing samples.

@@ -35,7 +35,8 @@ fi
 # perf diff.
 echo "== bench_match: smoke =="
 smoke_json=$(mktemp /tmp/BENCH_match_smoke.XXXXXX.json)
-trap 'rm -f "${smoke_json}"' EXIT
+flood_json=$(mktemp /tmp/BENCH_flooding_fresh.XXXXXX.json)
+trap 'rm -f "${smoke_json}" "${flood_json}"' EXIT
 build/bench/bench_match --benchmark_min_time=0.01 \
   --benchmark_filter='BM_(KeyedFindFirst|UnkeyedFindFirst|WaiterOffer)' \
   --json="${smoke_json}" >/dev/null
@@ -43,5 +44,19 @@ grep -q '"engine.bucket_probes"' "${smoke_json}" || {
   echo "bench_match smoke: engine counters missing from ${smoke_json}" >&2
   exit 1
 }
+# Engine-shape gate: counters accumulate across google-benchmark calibration
+# reruns (soft), but per-lookup ratios are workload-determined — drift there
+# is an engine behaviour change.
+python3 scripts/bench_compare.py BENCH_match.json "${smoke_json}" \
+  --soft 'counter:*' --gauge-tol 10 --quiet
+
+# Perf-regression gate: bench_flooding runs entirely in virtual time with
+# fixed seeds (Iterations(1)), so every exported counter and histogram
+# bucket is deterministic — any drift against the committed baseline is a
+# protocol behaviour change and hard-fails. Wall-clock noise never enters
+# the comparison (timing lives in google-benchmark output, not the export).
+echo "== bench_flooding: perf-regression gate =="
+build/bench/bench_flooding --json="${flood_json}" >/dev/null
+python3 scripts/bench_compare.py BENCH_flooding.json "${flood_json}"
 
 echo "All checks passed."

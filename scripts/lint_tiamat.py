@@ -28,11 +28,17 @@ Rules (each finding is `path:line: [rule] message`):
                   never "x.h" or "../tuple/x.h") and must resolve to a file
                   under src/.
   layering        The engine layers may only include downward:
-                  src/sim -> {sim}; src/obs -> {obs};
-                  src/tuple -> {tuple, obs}; src/audit -> {audit, tuple,
-                  sim, obs}.
+                  src/audit -> {audit}; src/sim -> {sim};
+                  src/obs -> {obs, sim, audit};
+                  src/tuple -> {tuple, obs, sim, audit}.
   unused-include  #include <unordered_map> / <unordered_set> / <iostream> /
-                  <cstdio> with no matching token use in the file.
+                  <cstdio> / <fstream> with no matching token use in the
+                  file (headers dragging <fstream> tax every includer).
+  metric-name     Every metric name passed to Registry::counter/gauge/
+                  histogram in src/ or bench/ (string literal, or the
+                  `prefix + ".suffix"` idiom) must appear in the checked-in
+                  catalog src/obs/metric_names.h, so a typo cannot silently
+                  mint a fresh forever-zero instrument.
 
 Audited exceptions live in scripts/lint_allowlist.txt; see that file for
 the format and policy.
@@ -54,7 +60,7 @@ SRC_EXTS = (".h", ".cc")
 LAYERS = {
     "audit": ("audit/",),  # trap infra sits below everything it audits
     "sim": ("sim/",),
-    "obs": ("obs/", "sim/"),
+    "obs": ("obs/", "sim/", "audit/"),  # flight recorder feeds trap reports
     "tuple": ("tuple/", "obs/", "sim/", "audit/"),
 }
 
@@ -63,6 +69,7 @@ UNUSED_INCLUDE_TOKENS = {
     "unordered_set": "unordered_set",
     "iostream": r"std::(cin|cout|cerr|clog)",
     "cstdio": r"\b(printf|fprintf|sprintf|snprintf|puts|fputs|fopen)\b",
+    "fstream": r"std::(i|o)?fstream|std::filebuf",
 }
 
 RULES = (
@@ -74,6 +81,17 @@ RULES = (
     "include-path",
     "layering",
     "unused-include",
+    "metric-name",
+)
+
+METRIC_CATALOG_HEADER = os.path.join("src", "obs", "metric_names.h")
+
+# Registry instrument factories with a first argument we can check
+# statically: a string literal, or the `<expr> + ".suffix"` idiom used by
+# prefix-parameterised helpers (tuple/matcher.h MatchMetrics).
+METRIC_CALL_RE = re.compile(
+    r'\b(?:counter|gauge|histogram)\s*\(\s*'
+    r'(?:"(?P<name>[^"]+)"|[\w().\->\[\]]+\s*\+\s*"(?P<suffix>\.[^"]+)")'
 )
 
 WALL_CLOCK_RE = re.compile(
@@ -194,6 +212,17 @@ class Linter:
                                             "lint_allowlist.txt"))
         self.findings = []
         self._decl_cache = {}
+        self.catalog = self._load_metric_catalog()
+
+    def _load_metric_catalog(self):
+        """String literals in the checked-in metric-name catalog header."""
+        path = os.path.join(self.root, METRIC_CATALOG_HEADER)
+        try:
+            with open(path, encoding="utf-8") as f:
+                text = strip_comments(f.read())
+        except OSError:
+            return None
+        return set(re.findall(r'"([^"]+)"', text))
 
     def rel(self, path):
         return os.path.relpath(path, self.root).replace(os.sep, "/")
@@ -246,9 +275,33 @@ class Linter:
                         "header lacks '#pragma once'")
 
         self._lint_includes(path, rel, lines, text)
+        self._lint_metric_names(path, text)
 
         for i, line in enumerate(lines, 1):
             self._lint_line(path, i, line, unordered)
+
+    def _lint_metric_names(self, path, text):
+        """Registry factory calls must use catalogued names (or suffixes)."""
+        if self.catalog is None:
+            if self.rel(path) != METRIC_CATALOG_HEADER:
+                self.report(path, 1, "metric-name",
+                            f"{METRIC_CATALOG_HEADER} is missing; the metric "
+                            "name catalog is a checked-in contract")
+            return
+        if self.rel(path) == METRIC_CATALOG_HEADER:
+            return
+        for m in METRIC_CALL_RE.finditer(text):
+            lineno = text.count("\n", 0, m.start()) + 1
+            name, suffix = m.group("name"), m.group("suffix")
+            if name is not None and name not in self.catalog:
+                self.report(path, lineno, "metric-name",
+                            f'metric name "{name}" is not in '
+                            f"{METRIC_CATALOG_HEADER}", m.group(0))
+            elif suffix is not None and not any(
+                    c.endswith(suffix) for c in self.catalog):
+                self.report(path, lineno, "metric-name",
+                            f'no catalogued metric name ends in "{suffix}" '
+                            f"({METRIC_CATALOG_HEADER})", m.group(0))
 
     def _lint_includes(self, path, rel, lines, text):
         layer = rel.split("/")[1] if rel.count("/") >= 2 else ""
@@ -315,7 +368,27 @@ class Linter:
     def run(self):
         for path in self.source_files():
             self.lint_file(path)
+        self._lint_bench_metric_names()
         return self.findings
+
+    def _lint_bench_metric_names(self):
+        """bench/ records into the same registry; names share the catalog
+        contract (the other rules stay src/-only: benches legitimately use
+        stdio, wall clocks, google-benchmark internals)."""
+        bench = os.path.join(self.root, "bench")
+        if not os.path.isdir(bench):
+            return
+        for dirpath, _, files in os.walk(bench):
+            for f in sorted(files):
+                if not f.endswith(SRC_EXTS):
+                    continue
+                path = os.path.join(dirpath, f)
+                try:
+                    with open(path, encoding="utf-8") as fh:
+                        text = strip_comments(fh.read())
+                except OSError:
+                    continue
+                self._lint_metric_names(path, text)
 
 
 def main():

@@ -1,0 +1,232 @@
+// tiamat-inspect: offline analysis of the observability artifacts the sim
+// and benches emit.
+//
+//   tiamat-inspect report [--slowest N] TRACE.jsonl...
+//       joins JSONL trace dumps (from `--trace` bench runs or JsonlSink
+//       tests) into causal per-op timelines and prints the aggregate
+//       report: outcomes, per-op-kind stage latency attribution, the
+//       slowest operations, orphans.
+//
+//   tiamat-inspect chrome [-o OUT.json] TRACE.jsonl...
+//       exports the joined timelines as a Chrome trace-event document
+//       (open in Perfetto / chrome://tracing): one track per instance,
+//       flow arrows for the cross-instance protocol edges.
+//
+//   tiamat-inspect bench BENCH_*.json...
+//       prints a metrics snapshot: counters/gauges, histogram count, mean
+//       and derived p50/p95/p99, and flags instrument names missing from
+//       the checked-in catalog (src/obs/metric_names.h).
+//
+// Everything prints deterministically (ordered joins, ordered registry),
+// so output is diffable across same-seed runs.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/analysis.h"
+#include "obs/chrome_trace.h"
+#include "obs/json.h"
+#include "obs/metric_names.h"
+
+namespace {
+
+using tiamat::obs::TraceAnalysis;
+using tiamat::obs::json::Value;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  tiamat-inspect report [--slowest N] TRACE.jsonl...\n"
+         "  tiamat-inspect chrome [-o OUT.json] TRACE.jsonl...\n"
+         "  tiamat-inspect bench BENCH.json...\n";
+  return 2;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::in | std::ios::binary);
+  if (!f.is_open()) return std::nullopt;
+  return std::string((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Loads every trace file (argv order = deterministic tie-break order).
+bool load_traces(const std::vector<std::string>& paths, TraceAnalysis& a) {
+  if (paths.empty()) {
+    std::cerr << "no trace files given\n";
+    return false;
+  }
+  for (const std::string& p : paths) {
+    const auto text = read_file(p);
+    if (!text) {
+      std::cerr << "cannot read " << p << "\n";
+      return false;
+    }
+    std::size_t rejected = 0;
+    const std::size_t n = a.add_jsonl(*text, &rejected);
+    std::cerr << p << ": " << n << " events";
+    if (rejected != 0) std::cerr << " (" << rejected << " lines rejected)";
+    std::cerr << "\n";
+  }
+  return true;
+}
+
+int cmd_report(const std::vector<std::string>& args) {
+  std::size_t slowest = 5;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--slowest" && i + 1 < args.size()) {
+      slowest = static_cast<std::size_t>(std::stoul(args[++i]));
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  TraceAnalysis a;
+  if (!load_traces(paths, a)) return 1;
+  std::cout << a.report_text(slowest);
+  return 0;
+}
+
+int cmd_chrome(const std::vector<std::string>& args) {
+  std::string out_path;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if ((args[i] == "-o" || args[i] == "--out") && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  TraceAnalysis a;
+  if (!load_traces(paths, a)) return 1;
+  const Value doc = tiamat::obs::to_chrome_trace(a.timelines());
+  if (out_path.empty()) {
+    std::cout << doc.dump(1) << "\n";
+  } else {
+    std::ofstream f(out_path, std::ios::out | std::ios::trunc);
+    f << doc.dump(1) << "\n";
+    if (!f.good()) {
+      std::cerr << "failed to write " << out_path << "\n";
+      return 1;
+    }
+    std::cerr << "chrome trace written to " << out_path << "\n";
+  }
+  return 0;
+}
+
+std::string labels_text(const Value& instrument) {
+  const Value* labels = instrument.find("labels");
+  if (labels == nullptr || !labels->is_object() ||
+      labels->as_object().empty()) {
+    return "";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels->as_object()) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=" + (v.is_string() ? v.as_string() : v.dump());
+  }
+  return out + "}";
+}
+
+/// Name check against the catalog; bench-side names carry the same
+/// contract as src/ instrumentation.
+void check_catalogued(const Value& instrument, std::size_t& unknown) {
+  const Value* name = instrument.find("name");
+  if (name == nullptr || !name->is_string()) return;
+  if (!tiamat::obs::metric_names::catalogued(name->as_string())) {
+    std::cout << "  !! uncatalogued metric name: " << name->as_string()
+              << " (add it to src/obs/metric_names.h)\n";
+    ++unknown;
+  }
+}
+
+int cmd_bench(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr << "no bench files given\n";
+    return 1;
+  }
+  std::size_t unknown = 0;
+  for (const std::string& p : args) {
+    const auto text = read_file(p);
+    if (!text) {
+      std::cerr << "cannot read " << p << "\n";
+      return 1;
+    }
+    const auto doc = Value::parse(*text);
+    if (!doc) {
+      std::cerr << p << " is not valid JSON\n";
+      return 1;
+    }
+    const Value* bench = doc->find("bench");
+    const Value* metrics = doc->find("metrics");
+    std::cout << p << " (bench "
+              << (bench != nullptr && bench->is_string() ? bench->as_string()
+                                                         : "?")
+              << ")\n";
+    if (metrics == nullptr) {
+      std::cerr << "  no metrics section\n";
+      return 1;
+    }
+    if (const Value* counters = metrics->find("counters")) {
+      std::cout << " counters:\n";
+      for (const Value& c : counters->as_array()) {
+        const Value* name = c.find("name");
+        const Value* value = c.find("value");
+        if (name == nullptr || value == nullptr) continue;
+        std::cout << "  " << name->as_string() << labels_text(c) << " = "
+                  << value->dump() << "\n";
+        check_catalogued(c, unknown);
+      }
+    }
+    if (const Value* gauges = metrics->find("gauges")) {
+      std::cout << " gauges:\n";
+      for (const Value& g : gauges->as_array()) {
+        const Value* name = g.find("name");
+        const Value* value = g.find("value");
+        if (name == nullptr || value == nullptr) continue;
+        std::cout << "  " << name->as_string() << labels_text(g) << " = "
+                  << value->dump() << "\n";
+        check_catalogued(g, unknown);
+      }
+    }
+    if (const Value* hists = metrics->find("histograms")) {
+      std::cout << " histograms (count / mean / p50 / p95 / p99):\n";
+      for (const Value& h : hists->as_array()) {
+        const Value* name = h.find("name");
+        if (name == nullptr) continue;
+        auto num = [&](const char* key) {
+          const Value* v = h.find(key);
+          return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+        };
+        std::cout << "  " << name->as_string() << labels_text(h) << "  "
+                  << static_cast<std::int64_t>(num("count")) << " / "
+                  << num("mean") << " / " << num("p50") << " / " << num("p95")
+                  << " / " << num("p99") << "\n";
+        check_catalogued(h, unknown);
+      }
+    }
+  }
+  if (unknown != 0) {
+    std::cout << unknown << " uncatalogued metric name(s)\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (cmd == "report") return cmd_report(args);
+  if (cmd == "chrome") return cmd_chrome(args);
+  if (cmd == "bench") return cmd_bench(args);
+  return usage();
+}

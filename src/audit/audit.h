@@ -47,6 +47,13 @@ using FailureHandler = std::function<void(const std::string& report)>;
 /// single-threaded; see the tsan preset note in DESIGN.md §9).
 void set_failure_handler(FailureHandler handler);
 
+/// Supplies extra context appended to every trap report (the flight
+/// recorders' recent causal history, registered by the obs layer). The
+/// provider runs only on failure, so it may be arbitrarily expensive;
+/// pass nullptr to detach.
+using ContextProvider = std::function<std::string()>;
+void set_context_provider(ContextProvider provider);
+
 /// Reports an invariant violation: formats a diagnostic dump from the
 /// pieces and routes it to the failure handler. `component` names the
 /// structure ("TupleIndex"), `checkpoint` the call site ("out"),

@@ -24,10 +24,19 @@ std::uint64_t& failure_counter() {
   return n;
 }
 
+ContextProvider& context_slot() {
+  static ContextProvider provider;
+  return provider;
+}
+
 }  // namespace
 
 void set_failure_handler(FailureHandler handler) {
   handler_slot() = std::move(handler);
+}
+
+void set_context_provider(ContextProvider provider) {
+  context_slot() = std::move(provider);
 }
 
 void fail(const std::string& component, const std::string& checkpoint,
@@ -39,6 +48,7 @@ void fail(const std::string& component, const std::string& checkpoint,
       << "  checkpoint: " << checkpoint << "\n"
       << "  invariant:  " << invariant << "\n"
       << "  detail:     " << detail << "\n";
+  if (context_slot()) out << context_slot()();
   const std::string report = out.str();
   if (handler_slot()) {
     handler_slot()(report);

@@ -55,6 +55,7 @@ Instance::Instance(sim::Network& net, Config cfg,
       cfg_(std::move(cfg)),
       node_(net_.add_node(pos)),
       tracer_(node_, cfg_.trace_capacity),
+      flight_(node_),
       rng_(net_.rng().fork()),
       endpoint_(net_, node_),
       leases_(net_.queue(), make_policy(std::move(policy), cfg_)),

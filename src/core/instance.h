@@ -34,6 +34,7 @@
 #include "net/endpoint.h"
 #include "net/responder_cache.h"
 #include "net/rpc.h"
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "sim/network.h"
 #include "space/eval.h"
@@ -181,6 +182,9 @@ class Instance {
   obs::Registry& metrics() { return monitor_.registry(); }
   /// Per-instance operation tracer (ring buffer + optional sink).
   obs::Tracer& tracer() { return tracer_; }
+
+  /// Always-on bounded tail of recent trace events; dumped by audit traps.
+  const obs::FlightRecorder& flight_recorder() const { return flight_; }
   DeferredRouter& router() { return router_; }
   const Config& config() const { return cfg_; }
   sim::Time now() const { return net_.now(); }
@@ -268,12 +272,14 @@ class Instance {
 
   /// Records one step of an operation's causal chain; `origin` + `op_id`
   /// identify the operation globally (also across instances, for served
-  /// requests). Free when tracing is disabled.
+  /// requests). The flight recorder always keeps the tail (bounded ring, a
+  /// handful of stores per event); the full tracer runs only when enabled.
   void trace(obs::EventKind kind, sim::NodeId origin, std::uint64_t op_id,
              sim::NodeId peer = sim::kNoNode, std::int64_t detail = 0) {
-    if (tracer_.enabled()) {
-      tracer_.record(net_.now(), origin, op_id, kind, peer, detail);
-    }
+    const obs::TraceEvent e{net_.now(), node_, origin, op_id,
+                            kind,       peer,  detail};
+    flight_.record(e);
+    if (tracer_.enabled()) tracer_.record(e);
   }
 
   sim::Network& net_;
@@ -281,6 +287,7 @@ class Instance {
   AdaptiveLeasePolicy* adaptive_ = nullptr;  ///< set iff the policy adapts
   sim::NodeId node_;
   obs::Tracer tracer_;
+  obs::FlightRecorder flight_;
   sim::Rng rng_;
   net::Endpoint endpoint_;
   lease::LeaseManager leases_;

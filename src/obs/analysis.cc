@@ -1,0 +1,423 @@
+#include "obs/analysis.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tiamat::obs {
+
+namespace {
+
+// Mirror of core::OpKind's to_string — obs sits below core in the layering,
+// so the two-line table is duplicated here rather than inverting the
+// dependency. The encoding is part of the trace schema (kOpIssued.detail).
+const char* op_kind_name(std::int64_t kind) {
+  switch (kind) {
+    case 0:
+      return "rd";
+    case 1:
+      return "rdp";
+    case 2:
+      return "in";
+    case 3:
+      return "inp";
+    default:
+      return "?";
+  }
+}
+
+/// First event of `kind` in `events` (already time-ordered); nullptr if none.
+const TraceEvent* first_of(const std::vector<TraceEvent>& events,
+                           EventKind kind) {
+  for (const TraceEvent& e : events) {
+    if (e.kind == kind) return &e;
+  }
+  return nullptr;
+}
+
+sim::Duration clamp0(sim::Duration d) { return d < 0 ? 0 : d; }
+
+json::Value stages_json(const StageLatency& s) {
+  json::Object o;
+  o.emplace_back("lease", json::Value(s.lease_us));
+  o.emplace_back("queue", json::Value(s.queue_us));
+  o.emplace_back("match", json::Value(s.match_us));
+  o.emplace_back("network", json::Value(s.network_us));
+  o.emplace_back("reinsert", json::Value(s.reinsert_us));
+  o.emplace_back("total", json::Value(s.total_us));
+  return json::Value(std::move(o));
+}
+
+/// Accumulates stage sums for mean reporting.
+struct StageSums {
+  double lease = 0, queue = 0, match = 0, network = 0, reinsert = 0,
+         total = 0;
+  std::size_t n = 0;
+
+  void add(const StageLatency& s) {
+    lease += static_cast<double>(s.lease_us);
+    queue += static_cast<double>(s.queue_us);
+    match += static_cast<double>(s.match_us);
+    network += static_cast<double>(s.network_us);
+    reinsert += static_cast<double>(s.reinsert_us);
+    total += static_cast<double>(s.total_us);
+    ++n;
+  }
+
+  json::Value mean_json() const {
+    const double d = n == 0 ? 1.0 : static_cast<double>(n);
+    json::Object o;
+    o.emplace_back("lease", json::Value(lease / d));
+    o.emplace_back("queue", json::Value(queue / d));
+    o.emplace_back("match", json::Value(match / d));
+    o.emplace_back("network", json::Value(network / d));
+    o.emplace_back("reinsert", json::Value(reinsert / d));
+    o.emplace_back("total", json::Value(total / d));
+    return json::Value(std::move(o));
+  }
+};
+
+}  // namespace
+
+const char* to_string(OpOutcome o) {
+  switch (o) {
+    case OpOutcome::kAccepted:
+      return "accepted";
+    case OpOutcome::kNoMatch:
+      return "no_match";
+    case OpOutcome::kExpired:
+      return "expired";
+    case OpOutcome::kLeaseRefused:
+      return "lease_refused";
+    case OpOutcome::kOrphaned:
+      return "orphaned";
+  }
+  return "?";
+}
+
+const char* OpTimeline::kind_name() const { return op_kind_name(kind); }
+
+void TraceAnalysis::add(const TraceEvent& e) {
+  by_op_[OpKey{e.origin, e.op_id}].push_back(e);
+  ++total_events_;
+}
+
+void TraceAnalysis::add_all(const std::vector<TraceEvent>& events) {
+  for (const TraceEvent& e : events) add(e);
+}
+
+std::size_t TraceAnalysis::add_jsonl(std::string_view text,
+                                     std::size_t* rejected) {
+  std::size_t added = 0;
+  std::size_t bad = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? nl : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    auto doc = json::Value::parse(line);
+    if (!doc) {
+      ++bad;
+      continue;
+    }
+    auto e = TraceEvent::from_json(*doc);
+    if (!e) {
+      ++bad;
+      continue;
+    }
+    add(*e);
+    ++added;
+  }
+  if (rejected != nullptr) *rejected = bad;
+  return added;
+}
+
+std::vector<OpTimeline> TraceAnalysis::timelines() const {
+  std::vector<OpTimeline> out;
+  out.reserve(by_op_.size());
+  for (const auto& [key, raw] : by_op_) {
+    OpTimeline t;
+    t.key = key;
+    t.events = raw;
+    // Stable: virtual-time ties resolve to arrival order, which the caller
+    // controls (sinks added in node order / files in argv order).
+    std::stable_sort(
+        t.events.begin(), t.events.end(),
+        [](const TraceEvent& a, const TraceEvent& b) { return a.at < b.at; });
+
+    for (const TraceEvent& e : t.events) {
+      if (std::find(t.nodes.begin(), t.nodes.end(), e.node) ==
+          t.nodes.end()) {
+        t.nodes.push_back(e.node);
+      }
+      switch (e.kind) {
+        case EventKind::kPeerRequest:
+          ++t.fanout;
+          break;
+        case EventKind::kReinsert:
+        case EventKind::kServeReinsert:
+          ++t.reinserts;
+          break;
+        default:
+          break;
+      }
+    }
+    std::sort(t.nodes.begin(), t.nodes.end());
+
+    const TraceEvent* issued = first_of(t.events, EventKind::kOpIssued);
+    const TraceEvent* lease = first_of(t.events, EventKind::kLeaseGranted);
+    const TraceEvent* refused = first_of(t.events, EventKind::kLeaseRefused);
+    const TraceEvent* accept = first_of(t.events, EventKind::kAccept);
+    const TraceEvent* no_match = first_of(t.events, EventKind::kOpNoMatch);
+    const TraceEvent* expired = first_of(t.events, EventKind::kOpExpired);
+    if (issued != nullptr) t.kind = issued->detail;
+
+    const TraceEvent* terminal = nullptr;
+    if (accept != nullptr) {
+      t.outcome = OpOutcome::kAccepted;
+      t.accept_source = accept->peer;
+      terminal = accept;
+    } else if (no_match != nullptr) {
+      t.outcome = OpOutcome::kNoMatch;
+      terminal = no_match;
+    } else if (expired != nullptr) {
+      t.outcome = OpOutcome::kExpired;
+      terminal = expired;
+    } else if (refused != nullptr) {
+      t.outcome = OpOutcome::kLeaseRefused;
+      terminal = refused;
+    } else {
+      t.outcome = OpOutcome::kOrphaned;
+    }
+
+    // ---- Stage attribution (header comment documents the decomposition).
+    StageLatency& s = t.stages;
+    if (issued != nullptr && terminal != nullptr) {
+      s.total_us = clamp0(terminal->at - issued->at);
+      if (lease != nullptr) s.lease_us = clamp0(lease->at - issued->at);
+
+      if (t.outcome == OpOutcome::kAccepted && lease != nullptr) {
+        const bool local = t.accept_source == key.origin;
+        if (local) {
+          s.match_us = clamp0(terminal->at - lease->at);
+        } else {
+          // The peer_request that reached the eventual winner.
+          const TraceEvent* win_req = nullptr;
+          const TraceEvent* serve_start = nullptr;
+          const TraceEvent* serve_match = nullptr;
+          for (const TraceEvent& e : t.events) {
+            if (win_req == nullptr && e.kind == EventKind::kPeerRequest &&
+                e.peer == t.accept_source) {
+              win_req = &e;
+            }
+            if (e.node == t.accept_source) {
+              if (serve_start == nullptr &&
+                  e.kind == EventKind::kServeStart) {
+                serve_start = &e;
+              }
+              if (serve_match == nullptr &&
+                  e.kind == EventKind::kServeMatch) {
+                serve_match = &e;
+              }
+            }
+          }
+          if (win_req != nullptr) {
+            s.queue_us = clamp0(win_req->at - lease->at);
+          }
+          if (serve_start != nullptr && serve_match != nullptr) {
+            s.match_us = clamp0(serve_match->at - serve_start->at);
+          }
+          s.network_us =
+              clamp0(s.total_us - s.lease_us - s.queue_us - s.match_us);
+        }
+      } else {
+        // Unsatisfied (or partially observed): all post-lease time is
+        // "looking for a match".
+        s.queue_us = clamp0(s.total_us - s.lease_us);
+      }
+
+      // Cleanup tail: reinserts land after the terminal event.
+      for (const TraceEvent& e : t.events) {
+        if ((e.kind == EventKind::kReinsert ||
+             e.kind == EventKind::kServeReinsert) &&
+            e.at > terminal->at) {
+          s.reinsert_us = std::max(s.reinsert_us, e.at - terminal->at);
+        }
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+json::Value TraceAnalysis::report(std::size_t slowest_n) const {
+  const std::vector<OpTimeline> tls = timelines();
+
+  std::map<std::string, std::uint64_t> outcomes;
+  // Per-kind aggregation keyed by kind name; std::map gives lexicographic,
+  // deterministic section order.
+  struct KindAgg {
+    std::uint64_t count = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t reinserts = 0;
+    double fanout = 0;
+    sim::Duration max_total = 0;
+    StageSums accepted_stages;
+  };
+  std::map<std::string, KindAgg> by_kind;
+
+  for (const OpTimeline& t : tls) {
+    ++outcomes[to_string(t.outcome)];
+    KindAgg& k = by_kind[t.kind_name()];
+    ++k.count;
+    k.fanout += static_cast<double>(t.fanout);
+    k.reinserts += t.reinserts;
+    k.max_total = std::max(k.max_total, t.stages.total_us);
+    if (t.outcome == OpOutcome::kAccepted) {
+      ++k.accepted;
+      k.accepted_stages.add(t.stages);
+    }
+  }
+
+  auto timeline_json = [](const OpTimeline& t) {
+    json::Object o;
+    o.emplace_back("origin", json::Value(static_cast<std::int64_t>(t.key.origin)));
+    o.emplace_back("op", json::Value(static_cast<std::int64_t>(t.key.op_id)));
+    o.emplace_back("kind", json::Value(t.kind_name()));
+    o.emplace_back("outcome", json::Value(to_string(t.outcome)));
+    o.emplace_back("nodes", json::Value(static_cast<std::int64_t>(t.nodes.size())));
+    o.emplace_back("fanout", json::Value(static_cast<std::int64_t>(t.fanout)));
+    o.emplace_back("reinserts",
+                   json::Value(static_cast<std::int64_t>(t.reinserts)));
+    o.emplace_back("stages_us", stages_json(t.stages));
+    return json::Value(std::move(o));
+  };
+
+  // Slowest accepted ops by total, ties broken by (origin, op) for
+  // determinism.
+  std::vector<const OpTimeline*> accepted;
+  for (const OpTimeline& t : tls) {
+    if (t.outcome == OpOutcome::kAccepted) accepted.push_back(&t);
+  }
+  std::sort(accepted.begin(), accepted.end(),
+            [](const OpTimeline* a, const OpTimeline* b) {
+              if (a->stages.total_us != b->stages.total_us) {
+                return a->stages.total_us > b->stages.total_us;
+              }
+              return a->key < b->key;
+            });
+  if (accepted.size() > slowest_n) accepted.resize(slowest_n);
+
+  json::Object doc;
+  doc.emplace_back("events", json::Value(static_cast<std::int64_t>(total_events_)));
+  doc.emplace_back("ops", json::Value(static_cast<std::int64_t>(tls.size())));
+  {
+    json::Object o;
+    for (const auto& [name, n] : outcomes) o.emplace_back(name, json::Value(n));
+    doc.emplace_back("outcomes", json::Value(std::move(o)));
+  }
+  {
+    json::Array arr;
+    for (const auto& [name, k] : by_kind) {
+      json::Object o;
+      o.emplace_back("kind", json::Value(name));
+      o.emplace_back("count", json::Value(k.count));
+      o.emplace_back("accepted", json::Value(k.accepted));
+      o.emplace_back("fanout_mean",
+                     json::Value(k.count == 0
+                                     ? 0.0
+                                     : k.fanout / static_cast<double>(k.count)));
+      o.emplace_back("reinserts", json::Value(k.reinserts));
+      o.emplace_back("max_total_us",
+                     json::Value(static_cast<std::int64_t>(k.max_total)));
+      o.emplace_back("accepted_stage_mean_us", k.accepted_stages.mean_json());
+      arr.emplace_back(std::move(o));
+    }
+    doc.emplace_back("by_kind", json::Value(std::move(arr)));
+  }
+  {
+    json::Array arr;
+    for (const OpTimeline* t : accepted) arr.push_back(timeline_json(*t));
+    doc.emplace_back("slowest", json::Value(std::move(arr)));
+  }
+  {
+    // Orphans are the "never-confirmed" bucket the audit story cares
+    // about; cap the listing, report the full count.
+    json::Array arr;
+    std::uint64_t orphan_count = 0;
+    for (const OpTimeline& t : tls) {
+      if (t.outcome != OpOutcome::kOrphaned) continue;
+      ++orphan_count;
+      if (arr.size() < 10) arr.push_back(timeline_json(t));
+    }
+    doc.emplace_back("orphan_count", json::Value(orphan_count));
+    doc.emplace_back("orphans", json::Value(std::move(arr)));
+  }
+  return json::Value(std::move(doc));
+}
+
+std::string TraceAnalysis::report_text(std::size_t slowest_n) const {
+  const json::Value r = report(slowest_n);
+  std::ostringstream out;
+  out << "trace analysis: " << r.find("events")->as_int() << " events, "
+      << r.find("ops")->as_int() << " ops\n";
+
+  out << "outcomes:";
+  for (const auto& [name, v] : r.find("outcomes")->as_object()) {
+    out << "  " << name << "=" << v.as_int();
+  }
+  out << "\n";
+
+  auto stage_line = [&](const json::Value& s, bool mean) {
+    const char* names[] = {"lease", "queue", "match", "network", "reinsert"};
+    out << "total=" << (mean ? s.find("total")->as_double()
+                             : static_cast<double>(s.find("total")->as_int()))
+        << "us (";
+    bool first = true;
+    for (const char* n : names) {
+      if (!first) out << " ";
+      first = false;
+      out << n << "="
+          << (mean ? s.find(n)->as_double()
+                   : static_cast<double>(s.find(n)->as_int()));
+    }
+    out << ")";
+  };
+
+  out << "per-kind stage breakdown (accepted ops, mean us):\n";
+  for (const json::Value& k : r.find("by_kind")->as_array()) {
+    out << "  " << k.find("kind")->as_string() << ": count="
+        << k.find("count")->as_int() << " accepted="
+        << k.find("accepted")->as_int() << " fanout_mean="
+        << k.find("fanout_mean")->as_double() << " reinserts="
+        << k.find("reinserts")->as_int() << "\n    ";
+    stage_line(*k.find("accepted_stage_mean_us"), /*mean=*/true);
+    out << " max_total=" << k.find("max_total_us")->as_int() << "us\n";
+  }
+
+  const auto& slowest = r.find("slowest")->as_array();
+  if (!slowest.empty()) {
+    out << "slowest accepted ops:\n";
+    for (const json::Value& t : slowest) {
+      out << "  " << t.find("kind")->as_string() << " "
+          << t.find("origin")->as_int() << ":" << t.find("op")->as_int()
+          << " across " << t.find("nodes")->as_int() << " node(s) ";
+      stage_line(*t.find("stages_us"), /*mean=*/false);
+      out << "\n";
+    }
+  }
+
+  const std::int64_t orphans = r.find("orphan_count")->as_int();
+  if (orphans > 0) {
+    out << "ORPHANED ops (no terminal record): " << orphans << "\n";
+    for (const json::Value& t : r.find("orphans")->as_array()) {
+      out << "  " << t.find("kind")->as_string() << " "
+          << t.find("origin")->as_int() << ":" << t.find("op")->as_int()
+          << " nodes=" << t.find("nodes")->as_int() << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace tiamat::obs

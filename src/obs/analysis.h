@@ -1,0 +1,126 @@
+// Causal trace analysis: joins TraceEvents captured at many instances into
+// per-operation timelines and aggregate reports.
+//
+// The protocol's whole point (§2.2–§2.5) is that one logical operation is a
+// *distributed* story — fan-out to the responder list, tentative removes at
+// several instances, exactly one accept, reinserts everywhere else, a lease
+// governing the lot. A per-instance span ring shows only one instance's
+// slice of that story; this layer joins the slices on the global
+// (origin node, op id) key and attributes each operation's latency to
+// protocol stages:
+//
+//   lease    op_issued -> lease_granted (negotiation)
+//   queue    lease_granted -> the peer_request that eventually won
+//            (local try + walking earlier responders)
+//   match    serve_start -> serve_match at the winning instance
+//            (includes remote blocking time for `in`/`rd`)
+//   network  the remainder of issued -> accept (wire time both ways)
+//   reinsert accept -> last (serve_)reinsert — cleanup tail, *after* the
+//            operation completed, so it is reported next to `total`, not
+//            inside it
+//
+// For locally satisfied ops `match` is lease_granted -> accept and the
+// network stages are zero. For unsatisfied ops everything after `lease`
+// is `queue` (time spent looking).
+//
+// Everything here is deterministic: inputs are added in caller order, ties
+// in virtual time are broken by that order, and reports serialize through
+// the ordered obs JSON — same seed, byte-identical report.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+#include "sim/network.h"
+
+namespace tiamat::obs {
+
+/// Global identity of one logical-space operation.
+struct OpKey {
+  sim::NodeId origin = sim::kNoNode;
+  std::uint64_t op_id = 0;
+
+  bool operator<(const OpKey& o) const {
+    return origin != o.origin ? origin < o.origin : op_id < o.op_id;
+  }
+  bool operator==(const OpKey& o) const {
+    return origin == o.origin && op_id == o.op_id;
+  }
+};
+
+/// How the operation's story ended, as far as the joined trace can tell.
+enum class OpOutcome : std::uint8_t {
+  kAccepted = 0,      ///< exactly one accept record
+  kNoMatch,           ///< non-blocking op concluded empty
+  kExpired,           ///< lease ended before a match
+  kLeaseRefused,      ///< dead on arrival (Figure 2)
+  kOrphaned,          ///< no terminal record — lost, or trace truncated
+};
+
+const char* to_string(OpOutcome o);
+
+/// Per-stage latency attribution, virtual-time microseconds.
+struct StageLatency {
+  sim::Duration lease_us = 0;
+  sim::Duration queue_us = 0;
+  sim::Duration match_us = 0;
+  sim::Duration network_us = 0;
+  sim::Duration reinsert_us = 0;  ///< cleanup tail beyond `total_us`
+  sim::Duration total_us = 0;     ///< issued -> terminal
+};
+
+/// One operation's joined, time-ordered causal story.
+struct OpTimeline {
+  OpKey key;
+  std::int64_t kind = -1;  ///< core::OpKind as recorded (0 rd, 1 rdp, 2 in,
+                           ///< 3 inp); -1 when op_issued was not captured
+  OpOutcome outcome = OpOutcome::kOrphaned;
+  sim::NodeId accept_source = sim::kNoNode;
+  std::size_t fanout = 0;     ///< peer_request records
+  std::size_t reinserts = 0;  ///< reinsert + serve_reinsert records
+  std::vector<sim::NodeId> nodes;  ///< instances that recorded events, sorted
+  StageLatency stages;
+  std::vector<TraceEvent> events;  ///< merged, time-ordered
+
+  /// Operation kind as text ("rd", "in", ... or "?").
+  const char* kind_name() const;
+};
+
+/// Accumulates trace records (from live sinks or JSONL dumps), joins them
+/// by (origin, op_id) and derives timelines + aggregate reports.
+class TraceAnalysis {
+ public:
+  void add(const TraceEvent& e);
+  void add_all(const std::vector<TraceEvent>& events);
+
+  /// Parses a JSONL trace dump (one event object per line; blank lines
+  /// allowed). Returns the number of events added; malformed or unknown
+  /// lines are counted in `rejected` when non-null.
+  std::size_t add_jsonl(std::string_view text, std::size_t* rejected = nullptr);
+
+  std::size_t event_count() const { return total_events_; }
+
+  /// Joined per-op timelines, ordered by (origin, op_id).
+  std::vector<OpTimeline> timelines() const;
+
+  /// Aggregate machine-readable report: outcome counts, per-op-kind stage
+  /// breakdown, the slowest-N accepted timelines, orphaned ops.
+  json::Value report(std::size_t slowest_n = 5) const;
+
+  /// The same report rendered for humans (tiamat-inspect).
+  std::string report_text(std::size_t slowest_n = 5) const;
+
+ private:
+  // Events per op in arrival order; arrival order breaks virtual-time ties
+  // so a deterministic input order yields a deterministic join.
+  std::map<OpKey, std::vector<TraceEvent>> by_op_;
+  std::size_t total_events_ = 0;
+};
+
+}  // namespace tiamat::obs

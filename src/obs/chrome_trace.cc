@@ -1,0 +1,169 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace tiamat::obs {
+
+namespace {
+
+constexpr std::int64_t kPid = 1;
+
+json::Value base_event(const char* ph, const std::string& name,
+                       const char* cat, sim::Time ts, sim::NodeId tid) {
+  json::Object o;
+  o.emplace_back("name", json::Value(name));
+  o.emplace_back("cat", json::Value(cat));
+  o.emplace_back("ph", json::Value(ph));
+  o.emplace_back("ts", json::Value(static_cast<std::int64_t>(ts)));
+  o.emplace_back("pid", json::Value(kPid));
+  o.emplace_back("tid", json::Value(static_cast<std::int64_t>(tid)));
+  return json::Value(std::move(o));
+}
+
+/// Emits one flow-start/flow-finish pair binding `from` to `to`.
+void emit_flow(json::Array& events, const std::string& name,
+               const TraceEvent& from, const TraceEvent& to,
+               std::int64_t& next_flow_id) {
+  const std::int64_t id = next_flow_id++;
+  json::Value s = base_event("s", name, "flow", from.at, from.node);
+  s.set("id", json::Value(id));
+  events.push_back(std::move(s));
+  json::Value f = base_event("f", name, "flow", to.at, to.node);
+  f.set("id", json::Value(id));
+  f.set("bp", json::Value("e"));  // bind to the enclosing slice
+  events.push_back(std::move(f));
+}
+
+}  // namespace
+
+json::Value to_chrome_trace(const std::vector<OpTimeline>& timelines) {
+  json::Array events;
+  std::int64_t next_flow_id = 1;
+
+  // Track metadata: every node that appears anywhere, named once.
+  std::map<sim::NodeId, bool> nodes;
+  for (const OpTimeline& t : timelines) {
+    for (sim::NodeId n : t.nodes) nodes[n] = true;
+  }
+  for (const auto& [n, unused] : nodes) {
+    (void)unused;
+    json::Object o;
+    o.emplace_back("name", json::Value("thread_name"));
+    o.emplace_back("ph", json::Value("M"));
+    o.emplace_back("pid", json::Value(kPid));
+    o.emplace_back("tid", json::Value(static_cast<std::int64_t>(n)));
+    json::Object args;
+    args.emplace_back("name",
+                      json::Value("instance " + std::to_string(n)));
+    o.emplace_back("args", json::Value(std::move(args)));
+    events.emplace_back(std::move(o));
+  }
+  {
+    json::Object o;
+    o.emplace_back("name", json::Value("process_name"));
+    o.emplace_back("ph", json::Value("M"));
+    o.emplace_back("pid", json::Value(kPid));
+    o.emplace_back("tid", json::Value(std::int64_t{0}));
+    json::Object args;
+    args.emplace_back("name", json::Value("tiamat sim"));
+    o.emplace_back("args", json::Value(std::move(args)));
+    events.emplace_back(std::move(o));
+  }
+
+  for (const OpTimeline& t : timelines) {
+    const std::string op_name = std::string(t.kind_name()) + " " +
+                                std::to_string(t.key.origin) + ":" +
+                                std::to_string(t.key.op_id);
+
+    // Per-node slice: first..last event this node recorded for the op.
+    std::map<sim::NodeId, std::pair<sim::Time, sim::Time>> spans;
+    for (const TraceEvent& e : t.events) {
+      auto it = spans.find(e.node);
+      if (it == spans.end()) {
+        spans.emplace(e.node, std::make_pair(e.at, e.at));
+      } else {
+        it->second.second = std::max(it->second.second, e.at);
+      }
+    }
+    for (const auto& [node, span] : spans) {
+      json::Value x = base_event("X", op_name, "op", span.first, node);
+      x.set("dur", json::Value(span.second - span.first));
+      json::Object args;
+      args.emplace_back("outcome", json::Value(to_string(t.outcome)));
+      x.set("args", json::Value(std::move(args)));
+      events.push_back(std::move(x));
+    }
+
+    // Instant markers for every recorded step.
+    for (const TraceEvent& e : t.events) {
+      json::Value i = base_event("i", to_string(e.kind), "event", e.at, e.node);
+      i.set("s", json::Value("t"));  // thread-scoped instant
+      events.push_back(std::move(i));
+    }
+
+    // Cross-node flow edges. For each edge we pair the first qualifying
+    // source with the first qualifying destination after it; events are
+    // time-ordered, so a linear scan per peer suffices.
+    auto first_at_node_after = [&](EventKind kind, sim::NodeId node,
+                                   sim::Time at) -> const TraceEvent* {
+      for (const TraceEvent& e : t.events) {
+        if (e.kind == kind && e.node == node && e.at >= at) return &e;
+      }
+      return nullptr;
+    };
+    for (const TraceEvent& e : t.events) {
+      if (e.node != t.key.origin) continue;
+      switch (e.kind) {
+        case EventKind::kPeerRequest: {
+          if (const TraceEvent* d = first_at_node_after(EventKind::kServeStart,
+                                                        e.peer, e.at)) {
+            emit_flow(events, "fan-out", e, *d, next_flow_id);
+          }
+          break;
+        }
+        case EventKind::kAccept: {
+          if (e.peer == t.key.origin) break;  // local hit: no wire edge
+          // Winning reply: serve_match at the source precedes the accept.
+          const TraceEvent* match = nullptr;
+          for (const TraceEvent& m : t.events) {
+            if (m.kind == EventKind::kServeMatch && m.node == e.peer &&
+                m.at <= e.at) {
+              match = &m;  // latest qualifying match
+            }
+          }
+          if (match != nullptr) {
+            emit_flow(events, "accept", *match, e, next_flow_id);
+          }
+          break;
+        }
+        case EventKind::kConfirm: {
+          if (const TraceEvent* d = first_at_node_after(
+                  EventKind::kServeConfirm, e.peer, e.at)) {
+            emit_flow(events, "confirm", e, *d, next_flow_id);
+          }
+          break;
+        }
+        case EventKind::kCancel:
+        case EventKind::kReinsert: {
+          if (const TraceEvent* d = first_at_node_after(
+                  EventKind::kServeReinsert, e.peer, e.at)) {
+            emit_flow(events, "reinsert", e, *d, next_flow_id);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  json::Object doc;
+  doc.emplace_back("traceEvents", json::Value(std::move(events)));
+  doc.emplace_back("displayTimeUnit", json::Value("ms"));
+  return json::Value(std::move(doc));
+}
+
+}  // namespace tiamat::obs

@@ -1,0 +1,33 @@
+// Chrome trace-event export: turns joined OpTimelines into a JSON document
+// loadable in Perfetto / chrome://tracing.
+//
+// Mapping:
+//   - one process (pid 1, "tiamat sim"), one track (tid) per instance,
+//     named via metadata events;
+//   - per (op, node): a complete event ("ph":"X") spanning that instance's
+//     slice of the operation, named "<kind> <origin>:<op>";
+//   - every TraceEvent: an instant event ("ph":"i") on its node's track;
+//   - cross-node causality: flow events ("ph":"s" start / "ph":"f" finish,
+//     bp:"e") for the four protocol edges —
+//       peer_request @origin  -> serve_start    @peer   (fan-out)
+//       serve_match  @peer    -> accept         @origin (winning reply)
+//       confirm      @origin  -> serve_confirm  @winner
+//       cancel/reinsert @origin -> serve_reinsert @peer (loser cleanup)
+//
+// Timestamps are virtual-time microseconds, which is exactly the unit the
+// trace-event format wants; exported documents are deterministic (ordered
+// timelines in, ordered events out, sequential flow ids).
+
+#pragma once
+
+#include <vector>
+
+#include "obs/analysis.h"
+#include "obs/json.h"
+
+namespace tiamat::obs {
+
+/// Builds the {"traceEvents": [...]} document from joined timelines.
+json::Value to_chrome_trace(const std::vector<OpTimeline>& timelines);
+
+}  // namespace tiamat::obs

@@ -1,0 +1,81 @@
+#include "obs/flight_recorder.h"
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "audit/audit.h"
+
+namespace tiamat::obs {
+
+namespace {
+
+// Live recorders keyed (node, registration seq): node ids restart per
+// simulated world, so the monotonic sequence disambiguates instances from
+// different worlds while keeping dump order deterministic.
+using RecorderKey = std::pair<sim::NodeId, std::uint64_t>;
+
+std::map<RecorderKey, const FlightRecorder*>& registry() {
+  static std::map<RecorderKey, const FlightRecorder*> recorders;
+  return recorders;
+}
+
+std::uint64_t next_seq() {
+  static std::uint64_t seq = 0;
+  return ++seq;
+}
+
+void install_audit_context_once() {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+  audit::set_context_provider([] { return FlightRecorder::dump_all(); });
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(sim::NodeId node, std::size_t capacity)
+    : node_(node), capacity_(capacity == 0 ? 1 : capacity), seq_(next_seq()) {
+  ring_.reserve(capacity_);
+  install_audit_context_once();
+  registry().emplace(RecorderKey{node_, seq_}, this);
+}
+
+FlightRecorder::~FlightRecorder() {
+  registry().erase(RecorderKey{node_, seq_});
+}
+
+std::vector<TraceEvent> FlightRecorder::tail() const {
+  if (ring_.size() < capacity_) return ring_;
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % capacity_]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::dump_all() {
+  std::ostringstream out;
+  bool any = false;
+  for (const auto& [key, rec] : registry()) {
+    const auto tail = rec->tail();
+    if (tail.empty()) continue;
+    if (!any) out << "  flight recorder (last events per instance):\n";
+    any = true;
+    out << "    node " << key.first << " (" << rec->recorded()
+        << " recorded, showing " << tail.size() << "):\n";
+    for (const TraceEvent& e : tail) {
+      out << "      at=" << e.at << " " << to_string(e.kind) << " op="
+          << e.origin << ":" << e.op_id;
+      if (e.peer != sim::kNoNode) out << " peer=" << e.peer;
+      if (e.detail != 0) out << " detail=" << e.detail;
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::size_t FlightRecorder::live_count() { return registry().size(); }
+
+}  // namespace tiamat::obs

@@ -1,0 +1,98 @@
+// Checked-in catalog of every metric name the codebase instruments.
+//
+// Why a catalog: instruments are created on first use by *string name*, so
+// a typo'd name ("op.strated") silently creates a fresh, forever-zero
+// instrument instead of failing. `scripts/lint_tiamat.py`'s `metric-name`
+// rule cross-checks every `counter(...)` / `gauge(...)` / `histogram(...)`
+// call in src/ and bench/ against this list, making the name set a
+// reviewed, diffable contract. Add the name here in the same PR that
+// introduces the instrument.
+//
+// Names follow `<subsystem>.<what>` with label dimensions (peer, op,
+// scenario, ...) supplied at the call site, never baked into the name.
+
+#pragma once
+
+#include <string_view>
+
+namespace tiamat::obs::metric_names {
+
+inline constexpr std::string_view kCatalog[] = {
+    // engine accounting (src/tuple, mirrored by MatchMetrics under the
+    // "match." / "waiters." prefixes; bench_match exports "engine.")
+    "engine.bucket_probes",
+    "engine.candidates",
+    "engine.candidates_per_lookup",
+    "engine.rejected",
+    "engine.scan_fallbacks",
+    "match.bucket_probes",
+    "match.candidates",
+    "match.rejected",
+    "match.rejected_per_lookup",
+    "match.scan_fallbacks",
+    "waiters.bucket_probes",
+    "waiters.candidates",
+    "waiters.rejected",
+    "waiters.rejected_per_lookup",
+    "waiters.scan_fallbacks",
+    // eval engine
+    "eval.started",
+    // lease subsystem (src/lease)
+    "lease.active",
+    "lease.expired",
+    "lease.granted",
+    "lease.refused_by_policy",
+    "lease.refused_by_requester",
+    "lease.released",
+    "lease.revoked",
+    // network cost (bench export, from sim::Network accounting)
+    "net.bytes",
+    "net.deliveries",
+    "net.drops",
+    "net.multicasts",
+    "net.peer.bytes",
+    "net.peer.messages",
+    "net.unicasts",
+    // logical-space operations (core::Monitor)
+    "op.cancels_sent",
+    "op.latency_us",
+    "op.lease_expired",
+    "op.lease_refused",
+    "op.no_match",
+    "op.probes",
+    "op.satisfied_local",
+    "op.satisfied_remote",
+    "op.started",
+    // local outs/evals
+    "out.local",
+    "out.refused",
+    // responder cache / peer reliability (src/net)
+    "peer.response_rate",
+    "remote_out.abandoned",
+    "remote_out.delivered",
+    "remote_out.routed",
+    "responders.added",
+    "responders.removed",
+    "responders.size",
+    // rpc correlator (src/net)
+    "rpc.deadline_expired",
+    "rpc.open_exchanges",
+    "rpc.routed",
+    "rpc.stale",
+    "rpc.timeouts",
+    // serving side (core::Monitor)
+    "serve.refused",
+    "serve.reinserted",
+    "serve.requests",
+};
+
+/// True when `name` is a catalogued metric name (tiamat-inspect flags
+/// snapshots containing uncatalogued instruments).
+inline constexpr bool catalogued(std::string_view name) {
+  for (std::string_view n : kCatalog) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+}  // namespace tiamat::obs::metric_names

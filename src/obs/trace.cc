@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include <fstream>
+
 namespace tiamat::obs {
 
 const char* to_string(EventKind k) {
@@ -44,6 +46,15 @@ const char* to_string(EventKind k) {
   return "?";
 }
 
+std::optional<EventKind> event_kind_from_string(std::string_view name) {
+  // Walk the enum once; the table stays in one place (to_string's switch).
+  for (int k = 0; k <= static_cast<int>(EventKind::kServeConfirm); ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
 json::Value TraceEvent::to_json() const {
   json::Object o;
   o.emplace_back("at", json::Value(at));
@@ -58,10 +69,63 @@ json::Value TraceEvent::to_json() const {
   return json::Value(std::move(o));
 }
 
+std::optional<TraceEvent> TraceEvent::from_json(const json::Value& v) {
+  const json::Value* at = v.find("at");
+  const json::Value* node = v.find("node");
+  const json::Value* origin = v.find("origin");
+  const json::Value* op = v.find("op");
+  const json::Value* kind = v.find("kind");
+  if (at == nullptr || !at->is_int() || node == nullptr || !node->is_int() ||
+      origin == nullptr || !origin->is_int() || op == nullptr ||
+      !op->is_int() || kind == nullptr || !kind->is_string()) {
+    return std::nullopt;
+  }
+  auto k = event_kind_from_string(kind->as_string());
+  if (!k) return std::nullopt;
+  TraceEvent e;
+  e.at = at->as_int();
+  e.node = static_cast<sim::NodeId>(node->as_int());
+  e.origin = static_cast<sim::NodeId>(origin->as_int());
+  e.op_id = static_cast<std::uint64_t>(op->as_int());
+  e.kind = *k;
+  if (const json::Value* peer = v.find("peer"); peer != nullptr && peer->is_int()) {
+    e.peer = static_cast<sim::NodeId>(peer->as_int());
+  }
+  if (const json::Value* d = v.find("detail"); d != nullptr && d->is_int()) {
+    e.detail = d->as_int();
+  }
+  return e;
+}
+
+// ---- JsonlSink --------------------------------------------------------------
+
+struct JsonlSink::Out {
+  explicit Out(const std::string& path)
+      : f(path, std::ios::out | std::ios::trunc) {}
+  std::ofstream f;
+};
+
+JsonlSink::JsonlSink(const std::string& path)
+    : out_(std::make_unique<Out>(path)) {}
+
+JsonlSink::~JsonlSink() = default;
+
+void JsonlSink::on_event(const TraceEvent& e) {
+  out_->f << e.to_json().dump() << '\n';
+}
+
+bool JsonlSink::ok() const { return out_->f.good(); }
+
+// ---- Tracer -----------------------------------------------------------------
+
 void Tracer::record(sim::Time at, sim::NodeId origin, std::uint64_t op_id,
                     EventKind kind, sim::NodeId peer, std::int64_t detail) {
   if (!enabled_) return;
-  TraceEvent e{at, node_, origin, op_id, kind, peer, detail};
+  record(TraceEvent{at, node_, origin, op_id, kind, peer, detail});
+}
+
+void Tracer::record(const TraceEvent& e) {
+  if (!enabled_) return;
   if (ring_.size() < capacity_) {
     ring_.push_back(e);
   } else {

@@ -16,9 +16,10 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/json.h"
@@ -53,6 +54,10 @@ enum class EventKind : std::uint8_t {
 
 const char* to_string(EventKind k);
 
+/// Inverse of to_string; nullopt for unknown names (forward compatibility:
+/// analysis tools skip records they do not understand).
+std::optional<EventKind> event_kind_from_string(std::string_view name);
+
 struct TraceEvent {
   sim::Time at = 0;             ///< virtual time of the step
   sim::NodeId node = sim::kNoNode;    ///< instance that recorded the event
@@ -63,6 +68,10 @@ struct TraceEvent {
   std::int64_t detail = 0;      ///< kind-specific extra (see EventKind)
 
   json::Value to_json() const;
+
+  /// Inverse of to_json (JSONL trace dumps). Rejects records missing a
+  /// required field or naming an unknown event kind.
+  static std::optional<TraceEvent> from_json(const json::Value& v);
 };
 
 /// Receives every recorded event. Implementations must not re-enter the
@@ -84,18 +93,19 @@ class MemorySink : public TraceSink {
   std::vector<TraceEvent> events_;
 };
 
-/// Streams one compact JSON object per event (JSONL), suitable for `jq`.
+/// Streams one compact JSON object per event (JSONL), suitable for `jq` and
+/// for `tiamat-inspect`. The file handle lives behind a pimpl so that the
+/// many includers of this header do not all pay for <fstream>.
 class JsonlSink : public TraceSink {
  public:
-  explicit JsonlSink(const std::string& path)
-      : out_(path, std::ios::out | std::ios::trunc) {}
-  void on_event(const TraceEvent& e) override {
-    out_ << e.to_json().dump() << '\n';
-  }
-  bool ok() const { return out_.good(); }
+  explicit JsonlSink(const std::string& path);
+  ~JsonlSink() override;
+  void on_event(const TraceEvent& e) override;
+  bool ok() const;
 
  private:
-  std::ofstream out_;
+  struct Out;
+  std::unique_ptr<Out> out_;
 };
 
 /// Per-instance recorder: bounded ring of recent events plus an optional
@@ -117,6 +127,10 @@ class Tracer {
   void record(sim::Time at, sim::NodeId origin, std::uint64_t op_id,
               EventKind kind, sim::NodeId peer = sim::kNoNode,
               std::int64_t detail = 0);
+
+  /// Records a pre-built event as-is (the caller stamps every field,
+  /// including `node`); shared path with the always-on FlightRecorder.
+  void record(const TraceEvent& e);
 
   /// Ring contents, oldest first.
   std::vector<TraceEvent> recent() const;

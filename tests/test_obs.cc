@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -67,6 +68,64 @@ TEST(ObsJson, RejectsMalformed) {
   EXPECT_FALSE(obs::json::Value::parse("[1,]").has_value());
   EXPECT_FALSE(obs::json::Value::parse("{\"a\":1} trailing").has_value());
   EXPECT_FALSE(obs::json::Value::parse("nope").has_value());
+}
+
+TEST(ObsJson, StringEscapesRoundTrip) {
+  // Every escape the emitter can produce parses back to the same bytes.
+  const std::string raw = "tab\t quote\" slash\\ nl\n cr\r bs\b ff\f ctl\x01";
+  obs::json::Object o;
+  o.emplace_back("s", obs::json::Value(raw));
+  const std::string dumped = obs::json::Value{std::move(o)}.dump();
+  auto back = obs::json::Value::parse(dumped);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_NE(back->find("s"), nullptr);
+  EXPECT_EQ(back->find("s")->as_string(), raw);
+
+  // \uXXXX escapes in input decode (ASCII range used by \u-escaped control
+  // characters in foreign dumps).
+  auto u = obs::json::Value::parse("\"a\\u0041\\u000a\"");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->as_string(), "aA\n");
+
+  // Truncated/invalid escapes are rejected, not mangled.
+  EXPECT_FALSE(obs::json::Value::parse("\"\\u12\"").has_value());
+  EXPECT_FALSE(obs::json::Value::parse("\"\\x41\"").has_value());
+  EXPECT_FALSE(obs::json::Value::parse("\"unterminated").has_value());
+}
+
+TEST(ObsJson, NestedEmptyContainers) {
+  const std::string text = "{\"a\":[],\"b\":{},\"c\":[[],{}],\"d\":[{},[[]]]}";
+  auto v = obs::json::Value::parse(text);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->find("a")->is_array());
+  EXPECT_TRUE(v->find("a")->as_array().empty());
+  EXPECT_TRUE(v->find("b")->is_object());
+  EXPECT_TRUE(v->find("b")->as_object().empty());
+  EXPECT_EQ(v->find("c")->as_array().size(), 2u);
+  // Compact re-dump is canonical and reparses to the same document.
+  const std::string dumped = v->dump();
+  auto again = obs::json::Value::parse(dumped);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->dump(), dumped);
+}
+
+TEST(ObsJson, Int64BoundariesSurviveExactly) {
+  const std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  const std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  obs::json::Object o;
+  o.emplace_back("min", obs::json::Value(kMin));
+  o.emplace_back("max", obs::json::Value(kMax));
+  o.emplace_back("zero", obs::json::Value(std::int64_t{0}));
+  const std::string dumped = obs::json::Value{std::move(o)}.dump();
+  auto back = obs::json::Value::parse(dumped);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->find("min")->is_int());
+  EXPECT_EQ(back->find("min")->as_int(), kMin);
+  EXPECT_TRUE(back->find("max")->is_int());
+  EXPECT_EQ(back->find("max")->as_int(), kMax);
+  EXPECT_EQ(back->find("zero")->as_int(), 0);
+  // A second round trip is byte-stable.
+  EXPECT_EQ(back->dump(), dumped);
 }
 
 // ---------------- Metrics ----------------
