@@ -53,6 +53,14 @@ Result run(std::size_t nodes_n, double speed, bool late_arrivals,
   for (auto& n : nodes) mob.add(n->node());
   if (speed > 0) mob.start();
 
+  // Continuous telemetry (--series): sample every instance's registry and
+  // health probes once per simulated second.
+  auto rec = bench::maybe_series(w, obs::SeriesOptions{sim::seconds(1)});
+  if (rec) {
+    for (auto& n : nodes) n->register_telemetry(*rec);
+    rec->start();
+  }
+
   // Workload: each node produces tuples keyed by its own index and blocks
   // taking its ring-partner's — every take requires the partner (or its
   // tuple) to become reachable within the lease.
@@ -86,7 +94,11 @@ Result run(std::size_t nodes_n, double speed, bool late_arrivals,
   double expiries = 0;
   for (auto& n : nodes) {
     expiries += static_cast<double>(n->monitor().counters().lease_expired);
+    bench::export_space_memory(*n, scenario);
   }
+  // The recorder samples the instances' registries: export (and drop) it
+  // before the nodes themselves go away.
+  bench::export_series(std::move(rec), scenario);
   nodes.clear();
   bench::export_net(w, scenario);
 

@@ -8,6 +8,12 @@
 // instances the bench opts in via `maybe_trace()` into a JSONL dump
 // (default `TRACE_<name>.jsonl`) for `tiamat-inspect` / Perfetto.
 //
+// `--series[=path]` turns on continuous telemetry for benches that opt in
+// via `maybe_series()` (bench_util.h): each scenario's TimeSeriesRecorder
+// document is collected and written to `SERIES_<name>.json` (or the given
+// path), and embedded as a `series` section of the `--json` snapshot when
+// both flags are active. Render with `tiamat-inspect series`.
+//
 // Usage:
 //   ... register benchmarks, record into tiamat::bench::registry() ...
 //   TIAMAT_BENCH_MAIN("churn");
@@ -42,14 +48,31 @@ inline std::shared_ptr<obs::TraceSink>& trace_sink() {
   return s;
 }
 
+/// True when `--series` was given; bench bodies consult it through
+/// `maybe_series()` (bench_util.h).
+inline bool& series_enabled() {
+  static bool enabled = false;
+  return enabled;
+}
+
+/// Per-scenario series documents collected by `export_series()`, written
+/// out after the benchmarks run.
+inline obs::json::Array& series_runs() {
+  static obs::json::Array runs;
+  return runs;
+}
+
 inline int run_main(int argc, char** argv, const std::string& bench_name) {
   std::string json_path;
   bool want_json = false;
   std::string trace_path;
   bool want_trace = false;
+  std::string series_path;
+  bool want_series = false;
 
-  // Strip --json[=path] / --trace[=path] (or the two-token spelling) before
-  // benchmark::Initialize, which rejects flags it does not know.
+  // Strip --json[=path] / --trace[=path] / --series[=path] (or the
+  // two-token spelling) before benchmark::Initialize, which rejects flags
+  // it does not know.
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
@@ -64,6 +87,12 @@ inline int run_main(int argc, char** argv, const std::string& bench_name) {
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       want_trace = true;
       trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--series") == 0) {
+      want_series = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') series_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--series=", 9) == 0) {
+      want_series = true;
+      series_path = argv[i] + 9;
     } else {
       argv[out++] = argv[i];
     }
@@ -72,6 +101,10 @@ inline int run_main(int argc, char** argv, const std::string& bench_name) {
   if (want_json && json_path.empty()) {
     json_path = "BENCH_" + bench_name + ".json";
   }
+  if (want_series && series_path.empty()) {
+    series_path = "SERIES_" + bench_name + ".json";
+  }
+  series_enabled() = want_series;
   if (want_trace) {
     if (trace_path.empty()) trace_path = "TRACE_" + bench_name + ".jsonl";
     auto sink = std::make_shared<obs::JsonlSink>(trace_path);
@@ -87,10 +120,29 @@ inline int run_main(int argc, char** argv, const std::string& bench_name) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
+  obs::json::Value series_doc;
+  if (want_series) {
+    obs::json::Object sd;
+    sd.emplace_back("runs", obs::json::Value(std::move(series_runs())));
+    series_doc = obs::json::Value(std::move(sd));
+    obs::json::Object standalone;
+    standalone.emplace_back("bench", obs::json::Value(bench_name));
+    standalone.emplace_back("series", series_doc);
+    std::ofstream f(series_path, std::ios::out | std::ios::trunc);
+    f << obs::json::Value(std::move(standalone)).dump(2) << '\n';
+    if (!f.good()) {
+      std::cerr << "failed to write " << series_path << "\n";
+      return 1;
+    }
+    std::cout << "telemetry series written to " << series_path << " ("
+              << series_doc.find("runs")->as_array().size() << " runs)\n";
+  }
+
   if (want_json) {
     obs::json::Object doc;
     doc.emplace_back("bench", obs::json::Value(bench_name));
     doc.emplace_back("metrics", registry().snapshot());
+    if (want_series) doc.emplace_back("series", std::move(series_doc));
     {
       std::ofstream f(json_path, std::ios::out | std::ios::trunc);
       f << obs::json::Value(std::move(doc)).dump(2) << '\n';

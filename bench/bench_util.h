@@ -16,6 +16,7 @@
 #include "bench/bench_main.h"
 #include "core/instance.h"
 #include "obs/metrics.h"
+#include "obs/series.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
 #include "sim/random.h"
@@ -61,10 +62,50 @@ inline void maybe_trace(core::Instance& i) {
 }
 
 /// Observe one virtual-time operation latency (µs) into the exportable
-/// registry under `op.latency_us{scenario=...}` — fixed-bucket, so p50/p95/
-/// p99 come out in BENCH_<name>.json without storing samples.
+/// registry under `op.latency_us{scenario=...}` — a log-bucketed quantile
+/// sketch, so p50/p90/p99 come out in BENCH_<name>.json without storing
+/// samples.
 inline void observe_latency(const std::string& scenario, double us) {
-  registry().histogram("op.latency_us", {{"scenario", scenario}}).observe(us);
+  registry().sketch("op.latency_us", {{"scenario", scenario}}).observe(us);
+}
+
+/// Continuous-telemetry recorder for one scenario run, or null when
+/// `--series` was not given (the untouched path costs nothing). The bench
+/// body registers instances (Instance::register_telemetry), starts it, and
+/// hands it back through `export_series()` BEFORE tearing the instances
+/// down — the recorder holds registry pointers into them.
+inline std::unique_ptr<obs::TimeSeriesRecorder> maybe_series(
+    World& w, obs::SeriesOptions opts = {}) {
+  if (!series_enabled()) return nullptr;
+  return std::make_unique<obs::TimeSeriesRecorder>(w.queue, opts);
+}
+
+/// Collects a finished recorder's document under `scenario` for the
+/// `--series` output; no-op on null (flag off).
+inline void export_series(std::unique_ptr<obs::TimeSeriesRecorder> rec,
+                          const std::string& scenario) {
+  if (!rec) return;
+  rec->stop();
+  obs::json::Object run;
+  run.emplace_back("scenario", obs::json::Value(scenario));
+  run.emplace_back("data", rec->to_json());
+  series_runs().emplace_back(std::move(run));
+}
+
+/// Folds one instance's space memory accounting into the exportable
+/// registry as scenario-labeled gauges (`.add`, so multi-node scenarios sum
+/// across their instances).
+inline void export_space_memory(core::Instance& i,
+                                const std::string& scenario) {
+  auto& r = registry();
+  const obs::Labels l{{"scenario", scenario}};
+  const space::LocalTupleSpace::MemoryStats m = i.local_space().memory();
+  r.gauge("space.tuples", l).add(static_cast<double>(m.tuple_count));
+  r.gauge("space.tuple_bytes", l).add(static_cast<double>(m.tuple_bytes));
+  r.gauge("space.waiters", l).add(static_cast<double>(m.waiter_count));
+  r.gauge("space.waiter_bytes", l).add(static_cast<double>(m.waiter_bytes));
+  r.gauge("space.tentative", l).add(static_cast<double>(m.tentative_count));
+  r.gauge("space.bytes", l).add(static_cast<double>(m.total_bytes()));
 }
 
 /// Fold a finished World's network accounting into the exportable registry:

@@ -13,10 +13,11 @@ Every instrument is classified hard or soft:
   hard   difference beyond tolerance fails the gate (exit 1)
   soft   difference beyond tolerance prints a warning only
 
-Defaults: counters and histogram bucket counts are hard with 0% tolerance
-(deterministic under a fixed seed); gauges are hard with --gauge-tol
-relative tolerance (ratios like engine.candidates_per_lookup are stable
-but float); histogram sum/mean/p50/p95/p99 are soft. `--hard PATTERN` /
+Defaults: counters and histogram/sketch bucket counts are hard with 0%
+tolerance (deterministic under a fixed seed); gauges are hard with
+--gauge-tol relative tolerance (ratios like engine.candidates_per_lookup
+are stable but float); histogram and quantile-sketch summary fields
+(sum/mean/percentiles/max) are soft. `--hard PATTERN` /
 `--soft PATTERN` (fnmatch over `kind:name`, first match wins, repeatable)
 override the defaults per metric — e.g. bench_match accumulates counters
 across google-benchmark calibration reruns, so its gate passes
@@ -24,7 +25,10 @@ across google-benchmark calibration reruns, so its gate passes
 
 Only instruments present in BOTH files are compared; added/removed
 instruments are reported as warnings (new instrumentation should update
-the committed baseline in the same PR).
+the committed baseline in the same PR). Unknown metric kinds and extra
+top-level sections (e.g. the `series` telemetry document emitted by
+`--series` runs) are ignored, so exporter additions never break old
+baselines.
 
 Usage:
   scripts/bench_compare.py BASELINE.json FRESH.json
@@ -41,6 +45,8 @@ import sys
 
 HIST_HARD_FIELDS = ("count", "counts")
 HIST_SOFT_FIELDS = ("sum", "mean", "p50", "p95", "p99")
+SKETCH_HARD_FIELDS = ("count", "buckets")
+SKETCH_SOFT_FIELDS = ("sum", "mean", "p50", "p90", "p99", "max")
 
 
 def load_metrics(path):
@@ -53,10 +59,12 @@ def load_metrics(path):
         return None
     metrics = doc.get("metrics", doc)
     out = {}
-    for kind in ("counters", "gauges", "histograms"):
+    kinds = {"counters": "counter", "gauges": "gauge",
+             "histograms": "histogram", "sketches": "sketch"}
+    for kind, singular in kinds.items():
         for inst in metrics.get(kind, []):
             labels = tuple(sorted(inst.get("labels", {}).items()))
-            key = (kind[:-1], inst.get("name", "?"), labels)
+            key = (singular, inst.get("name", "?"), labels)
             out[key] = inst
     return out
 
@@ -95,7 +103,7 @@ class Gate:
             return True, self.args.counter_tol
         if kind == "gauge":
             return True, self.args.gauge_tol
-        return True, self.args.counter_tol  # histogram: hard fields only
+        return True, self.args.counter_tol  # histogram/sketch: hard fields only
 
     def check(self, key, field, old, new, hard, tol):
         d = rel_delta(old, new)
@@ -116,6 +124,25 @@ class Gate:
         if kind in ("counter", "gauge"):
             self.check(key, "", old.get("value", 0), new.get("value", 0),
                        hard, tol)
+            return
+        if kind == "sketch":
+            # Quantile sketch: bucket shape gates, derived stats warn.
+            for f in SKETCH_HARD_FIELDS:
+                ov, nv = old.get(f), new.get(f)
+                if ov is None or nv is None:
+                    continue
+                if f == "buckets":
+                    if ov != nv:
+                        self.check(key, " buckets",
+                                   sum(n for _, n in ov),
+                                   sum(n for _, n in nv), hard, tol)
+                else:
+                    self.check(key, f" {f}", ov, nv, hard, tol)
+            for f in SKETCH_SOFT_FIELDS:
+                ov, nv = old.get(f), new.get(f)
+                if ov is None or nv is None:
+                    continue
+                self.check(key, f" {f}", ov, nv, False, self.args.soft_tol)
             return
         # Histogram: deterministic shape fields gate, timing fields warn.
         for f in HIST_HARD_FIELDS:

@@ -36,7 +36,9 @@ fi
 echo "== bench_match: smoke =="
 smoke_json=$(mktemp /tmp/BENCH_match_smoke.XXXXXX.json)
 flood_json=$(mktemp /tmp/BENCH_flooding_fresh.XXXXXX.json)
-trap 'rm -f "${smoke_json}" "${flood_json}"' EXIT
+series_a=$(mktemp /tmp/SERIES_churn_a.XXXXXX.json)
+series_b=$(mktemp /tmp/SERIES_churn_b.XXXXXX.json)
+trap 'rm -f "${smoke_json}" "${flood_json}" "${series_a}" "${series_b}"' EXIT
 build/bench/bench_match --benchmark_min_time=0.01 \
   --benchmark_filter='BM_(KeyedFindFirst|UnkeyedFindFirst|WaiterOffer)' \
   --json="${smoke_json}" >/dev/null
@@ -58,5 +60,20 @@ python3 scripts/bench_compare.py BENCH_match.json "${smoke_json}" \
 echo "== bench_flooding: perf-regression gate =="
 build/bench/bench_flooding --json="${flood_json}" >/dev/null
 python3 scripts/bench_compare.py BENCH_flooding.json "${flood_json}"
+
+# Telemetry determinism smoke: the same seeded churn config run twice with
+# --series must emit byte-identical time-series documents (the recorder is
+# driven purely by the sim clock and ordered registry walks), and the
+# inspector must be able to render them.
+echo "== bench_churn: telemetry series determinism =="
+build/bench/bench_churn --benchmark_filter='BM_Churn/12/0/1' \
+  --series="${series_a}" >/dev/null
+build/bench/bench_churn --benchmark_filter='BM_Churn/12/0/1' \
+  --series="${series_b}" >/dev/null
+cmp "${series_a}" "${series_b}" || {
+  echo "telemetry series not byte-identical across identical seeded runs" >&2
+  exit 1
+}
+build/src/apps/tiamat-inspect series "${series_a}" >/dev/null
 
 echo "All checks passed."

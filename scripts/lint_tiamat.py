@@ -90,7 +90,7 @@ METRIC_CATALOG_HEADER = os.path.join("src", "obs", "metric_names.h")
 # statically: a string literal, or the `<expr> + ".suffix"` idiom used by
 # prefix-parameterised helpers (tuple/matcher.h MatchMetrics).
 METRIC_CALL_RE = re.compile(
-    r'\b(?:counter|gauge|histogram)\s*\(\s*'
+    r'\b(?:counter|gauge|histogram|sketch)\s*\(\s*'
     r'(?:"(?P<name>[^"]+)"|[\w().\->\[\]]+\s*\+\s*"(?P<suffix>\.[^"]+)")'
 )
 

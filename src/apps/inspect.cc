@@ -14,12 +14,21 @@
 //
 //   tiamat-inspect bench BENCH_*.json...
 //       prints a metrics snapshot: counters/gauges, histogram count, mean
-//       and derived p50/p95/p99, and flags instrument names missing from
-//       the checked-in catalog (src/obs/metric_names.h).
+//       and derived p50/p95/p99, quantile-sketch p50/p90/p99/max, and flags
+//       instrument names missing from the checked-in catalog
+//       (src/obs/metric_names.h).
+//
+//   tiamat-inspect series SERIES_*.json...
+//       renders continuous-telemetry documents (bench `--series` runs, or
+//       BENCH_*.json files with an embedded `series` section): per scenario
+//       and source, every recorded series with point counts and
+//       min/mean/max/last, plus the health probes and their breach counts.
 //
 // Everything prints deterministically (ordered joins, ordered registry),
 // so output is diffable across same-seed runs.
 
+#include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -43,7 +52,8 @@ int usage() {
       << "usage:\n"
          "  tiamat-inspect report [--slowest N] TRACE.jsonl...\n"
          "  tiamat-inspect chrome [-o OUT.json] TRACE.jsonl...\n"
-         "  tiamat-inspect bench BENCH.json...\n";
+         "  tiamat-inspect bench BENCH.json...\n"
+         "  tiamat-inspect series SERIES.json...\n";
   return 2;
 }
 
@@ -195,6 +205,22 @@ int cmd_bench(const std::vector<std::string>& args) {
         check_catalogued(g, unknown);
       }
     }
+    if (const Value* sketches = metrics->find("sketches")) {
+      std::cout << " sketches (count / mean / p50 / p90 / p99 / max):\n";
+      for (const Value& s : sketches->as_array()) {
+        const Value* name = s.find("name");
+        if (name == nullptr) continue;
+        auto num = [&](const char* key) {
+          const Value* v = s.find(key);
+          return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+        };
+        std::cout << "  " << name->as_string() << labels_text(s) << "  "
+                  << static_cast<std::int64_t>(num("count")) << " / "
+                  << num("mean") << " / " << num("p50") << " / " << num("p90")
+                  << " / " << num("p99") << " / " << num("max") << "\n";
+        check_catalogued(s, unknown);
+      }
+    }
     if (const Value* hists = metrics->find("histograms")) {
       std::cout << " histograms (count / mean / p50 / p95 / p99):\n";
       for (const Value& h : hists->as_array()) {
@@ -219,6 +245,133 @@ int cmd_bench(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Summary line for one recorded series: raw-point min/mean/max/last plus
+/// the evicted history folded in from the rollup windows.
+void print_series_line(const Value& s, const std::string& title) {
+  double mn = 0, mx = 0, sum = 0, last = 0;
+  std::uint64_t n = 0;
+  auto fold = [&](double v) {
+    if (n == 0) {
+      mn = mx = v;
+    } else {
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    sum += v;
+    ++n;
+  };
+  if (const Value* rollups = s.find("rollups")) {
+    for (const Value& r : rollups->as_array()) {
+      const auto& e = r.as_array();  // [from, to, min, max, sum, n]
+      if (e.size() != 6) continue;
+      const auto rn = static_cast<std::uint64_t>(e[5].as_int());
+      if (rn == 0) continue;
+      mn = n == 0 ? e[2].as_double() : std::min(mn, e[2].as_double());
+      mx = n == 0 ? e[3].as_double() : std::max(mx, e[3].as_double());
+      sum += e[4].as_double();
+      n += rn;
+    }
+  }
+  if (const Value* points = s.find("points")) {
+    for (const Value& p : points->as_array()) {
+      const auto& pair = p.as_array();  // [tick index, value]
+      if (pair.size() != 2) continue;
+      last = pair[1].as_double();
+      fold(last);
+    }
+  }
+  std::cout << "  " << title << "  " << n << " pts";
+  if (n != 0) {
+    std::cout << "  min " << mn << "  mean " << (sum / static_cast<double>(n))
+              << "  max " << mx << "  last " << last;
+  }
+  if (const Value* dropped = s.find("dropped")) {
+    std::cout << "  (" << dropped->dump() << " rollup windows dropped)";
+  }
+  std::cout << "\n";
+}
+
+int cmd_series(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::cerr << "no series files given\n";
+    return 1;
+  }
+  for (const std::string& p : args) {
+    const auto text = read_file(p);
+    if (!text) {
+      std::cerr << "cannot read " << p << "\n";
+      return 1;
+    }
+    const auto doc = Value::parse(*text);
+    if (!doc) {
+      std::cerr << p << " is not valid JSON\n";
+      return 1;
+    }
+    const Value* series = doc->find("series");
+    const Value* runs = series != nullptr ? series->find("runs") : nullptr;
+    if (runs == nullptr || !runs->is_array()) {
+      std::cerr << p << " has no series section (run the bench with "
+                   "--series)\n";
+      return 1;
+    }
+    const Value* bench = doc->find("bench");
+    std::cout << p << " (bench "
+              << (bench != nullptr && bench->is_string() ? bench->as_string()
+                                                         : "?")
+              << ", " << runs->as_array().size() << " runs)\n";
+    for (const Value& run : runs->as_array()) {
+      const Value* scenario = run.find("scenario");
+      const Value* data = run.find("data");
+      if (data == nullptr) continue;
+      auto num = [&](const char* key) {
+        const Value* v = data->find(key);
+        return v != nullptr && v->is_number() ? v->as_int() : 0;
+      };
+      std::cout << " scenario "
+                << (scenario != nullptr && scenario->is_string()
+                        ? scenario->as_string()
+                        : "?")
+                << ": interval " << num("interval_us") << "us, "
+                << num("samples") << " samples, " << num("breaches")
+                << " breaches\n";
+      const Value* sources = data->find("sources");
+      if (sources == nullptr) continue;
+      for (const Value& src : sources->as_array()) {
+        const Value* label = src.find("source");
+        std::cout << " source "
+                  << (label != nullptr && label->is_string()
+                          ? label->as_string()
+                          : "?")
+                  << ":\n";
+        if (const Value* list = src.find("series")) {
+          for (const Value& s : list->as_array()) {
+            const Value* kind = s.find("kind");
+            const Value* name = s.find("name");
+            if (kind == nullptr || name == nullptr) continue;
+            print_series_line(
+                s, kind->as_string() + " " + name->as_string() +
+                       labels_text(s));
+          }
+        }
+        if (const Value* probes = src.find("probes")) {
+          for (const Value& pr : probes->as_array()) {
+            const Value* name = pr.find("name");
+            const Value* threshold = pr.find("threshold");
+            const Value* breaches = pr.find("breaches");
+            if (name == nullptr) continue;
+            print_series_line(
+                pr, "probe " + name->as_string() + " (threshold " +
+                        (threshold != nullptr ? threshold->dump() : "?") +
+                        ", breaches " +
+                        (breaches != nullptr ? breaches->dump() : "0") + ")");
+          }
+        }
+      }
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -228,5 +381,6 @@ int main(int argc, char** argv) {
   if (cmd == "report") return cmd_report(args);
   if (cmd == "chrome") return cmd_chrome(args);
   if (cmd == "bench") return cmd_bench(args);
+  if (cmd == "series") return cmd_series(args);
   return usage();
 }

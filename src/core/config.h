@@ -75,6 +75,19 @@ struct Config {
   /// chain of every logical-space operation.
   bool trace_ops = false;
   std::size_t trace_capacity = 512;  ///< ring-buffer size per instance
+
+  /// Health-probe thresholds, evaluated once per telemetry sample tick when
+  /// the instance is registered with a TimeSeriesRecorder
+  /// (Instance::register_telemetry). A breach emits a kProbeBreach trace
+  /// event and bumps the "probe.breaches" counter; it never changes
+  /// behaviour. Probes fire when value >= threshold.
+  struct ProbeThresholds {
+    double waiter_backlog = 16;        ///< blocked rd/in waiters parked
+    double pending_acks = 32;          ///< unresolved responder replies
+    double lease_expiry_per_tick = 8;  ///< blocking ops timed out this tick
+    double match_p99_us = 2e6;         ///< windowed op-latency p99 (µs)
+  };
+  ProbeThresholds probe_thresholds;
 };
 
 }  // namespace tiamat::core

@@ -6,6 +6,7 @@
 
 #include <utility>
 
+#include "obs/series.h"
 #include "tuple/codec.h"
 
 namespace tiamat::core {
@@ -115,6 +116,67 @@ Instance::~Instance() {
 
 space::SpaceHandle Instance::handle() const {
   return space::SpaceHandle{node_, cfg_.name, cfg_.persistent_space};
+}
+
+void Instance::register_telemetry(obs::TimeSeriesRecorder& rec) {
+  const std::string label = cfg_.name;
+  rec.add_source(label, &monitor_.registry(),
+                 [this] { space_.export_memory_gauges(monitor_.registry()); });
+
+  // Every breach leaves the same two footprints: a kProbeBreach trace event
+  // (detail = the sampled value, truncated) and a per-probe breach counter.
+  auto breach = [this](const char* probe) {
+    return [this, probe](double value, sim::Time) {
+      trace(obs::EventKind::kProbeBreach, node_, 0, sim::kNoNode,
+            static_cast<std::int64_t>(value));
+      ++monitor_.registry().counter("probe.breaches", {{"probe", probe}});
+    };
+  };
+
+  const Config::ProbeThresholds& th = cfg_.probe_thresholds;
+  rec.add_probe(label, obs::Probe{
+                           "waiter_backlog",
+                           th.waiter_backlog,
+                           [this] {
+                             return static_cast<double>(space_.waiter_count());
+                           },
+                           breach("waiter_backlog"),
+                       });
+  rec.add_probe(label, obs::Probe{
+                           "pending_acks",
+                           th.pending_acks,
+                           [this] {
+                             return static_cast<double>(pending_ack_count());
+                           },
+                           breach("pending_acks"),
+                       });
+  // Rate probes are windowed: each tick samples the change since the
+  // previous tick, not the lifetime total.
+  rec.add_probe(label,
+                obs::Probe{
+                    "lease_expiry_rate",
+                    th.lease_expiry_per_tick,
+                    [this, prev = std::uint64_t{0}]() mutable {
+                      const std::uint64_t cur =
+                          monitor_.counters().lease_expired.value();
+                      const double d = static_cast<double>(cur - prev);
+                      prev = cur;
+                      return d;
+                    },
+                    breach("lease_expiry_rate"),
+                });
+  rec.add_probe(label,
+                obs::Probe{
+                    "match_latency_p99_us",
+                    th.match_p99_us,
+                    [this, prev = obs::QuantileSketch{}]() mutable {
+                      const obs::QuantileSketch& cur = monitor_.op_latency();
+                      const obs::QuantileSketch win = cur.delta_since(prev);
+                      prev = cur;
+                      return win.count() == 0 ? 0.0 : win.p99();
+                    },
+                    breach("match_latency_p99_us"),
+                });
 }
 
 // ---- out / eval -------------------------------------------------------------

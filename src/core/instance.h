@@ -42,6 +42,10 @@
 #include "space/handle.h"
 #include "space/local_space.h"
 
+namespace tiamat::obs {
+class TimeSeriesRecorder;  // obs/series.h; only register_telemetry needs it
+}
+
 namespace tiamat::core {
 
 using tuples::Pattern;
@@ -193,6 +197,26 @@ class Instance {
   std::size_t open_ops() const { return ops_.size(); }
   /// Remote requests this instance is currently serving.
   std::size_t serving_count() const { return serving_.size(); }
+  /// Responder replies still outstanding: contacted responders that have
+  /// not answered any open op, plus Confirms awaiting acknowledgement. The
+  /// pending-ack health probe samples this.
+  std::size_t pending_ack_count() const {
+    std::size_t n = confirms_.size();
+    for (const auto& [id, op] : ops_) {
+      (void)id;
+      n += op.awaiting_first.size();
+    }
+    return n;
+  }
+
+  /// Registers this instance with a telemetry recorder: its metric registry
+  /// as a source (label = config().name, refreshing the space memory gauges
+  /// each tick) plus the health-probe catalog — waiter backlog, pending-ack
+  /// depth, per-tick lease-expiry rate and windowed match-latency p99, with
+  /// thresholds from config().probe_thresholds. Breaches emit a
+  /// kProbeBreach trace event and bump "probe.breaches". The instance must
+  /// outlive the recorder (or the recorder must be stopped first).
+  void register_telemetry(obs::TimeSeriesRecorder& rec);
 
  private:
   // ---- Originator side of the logical-space protocol (logical_space.cc) --

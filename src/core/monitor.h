@@ -5,8 +5,9 @@
 // field-access API (++monitor.counters().x, monitor.counters().x == 1u) but
 // every field is a reference into the registry, so the same numbers appear
 // in JSON snapshots with no second bookkeeping path. Per-operation latency
-// goes into fixed-bucket histograms (aggregate + per-op-kind), replacing
-// the old unbounded sim::Summary sample vector on the hot path.
+// goes into log-bucketed quantile sketches (aggregate + per-op-kind):
+// bounded memory on the hot path, and p50/p90/p99 queries with a fixed
+// relative-error bound instead of the old coarse fixed-bucket interpolation.
 
 #pragma once
 
@@ -66,16 +67,16 @@ class Monitor {
 
   Monitor()
       : counters_(registry_),
-        op_latency_(registry_.histogram("op.latency_us")) {}
+        op_latency_(registry_.sketch("op.latency_us")) {}
 
   Monitor(const Monitor&) = delete;
   Monitor& operator=(const Monitor&) = delete;
 
-  /// `kind` labels the per-op-kind histogram ("rd", "inp", ...).
+  /// `kind` labels the per-op-kind sketch ("rd", "inp", ...).
   void op_finished(const char* kind, sim::Duration latency) {
     const auto v = static_cast<double>(latency);
     op_latency_.observe(v);
-    registry_.histogram("op.latency_us", {{"op", kind}}).observe(v);
+    registry_.sketch("op.latency_us", {{"op", kind}}).observe(v);
   }
 
   /// Per-peer reliability accounting (ack timeouts by responder).
@@ -86,14 +87,14 @@ class Monitor {
 
   Counters& counters() { return counters_; }
   const Counters& counters() const { return counters_; }
-  obs::Histogram& op_latency() { return op_latency_; }
+  obs::QuantileSketch& op_latency() { return op_latency_; }
   obs::Registry& registry() { return registry_; }
   const obs::Registry& registry() const { return registry_; }
 
  private:
   obs::Registry registry_;
   Counters counters_;
-  obs::Histogram& op_latency_;
+  obs::QuantileSketch& op_latency_;
 };
 
 }  // namespace tiamat::core

@@ -3,9 +3,9 @@
 // Why a catalog: instruments are created on first use by *string name*, so
 // a typo'd name ("op.strated") silently creates a fresh, forever-zero
 // instrument instead of failing. `scripts/lint_tiamat.py`'s `metric-name`
-// rule cross-checks every `counter(...)` / `gauge(...)` / `histogram(...)`
-// call in src/ and bench/ against this list, making the name set a
-// reviewed, diffable contract. Add the name here in the same PR that
+// rule cross-checks every `counter(...)` / `gauge(...)` / `histogram(...)` /
+// `sketch(...)` call in src/ and bench/ against this list, making the name
+// set a reviewed, diffable contract. Add the name here in the same PR that
 // introduces the instrument.
 //
 // Names follow `<subsystem>.<what>` with label dimensions (peer, op,
@@ -66,6 +66,8 @@ inline constexpr std::string_view kCatalog[] = {
     // local outs/evals
     "out.local",
     "out.refused",
+    // health probes (core::Instance::register_telemetry)
+    "probe.breaches",
     // responder cache / peer reliability (src/net)
     "peer.response_rate",
     "remote_out.abandoned",
@@ -84,6 +86,14 @@ inline constexpr std::string_view kCatalog[] = {
     "serve.refused",
     "serve.reinserted",
     "serve.requests",
+    // space memory accounting (LocalTupleSpace::export_memory_gauges and
+    // the bench-side export_space_memory)
+    "space.bytes",
+    "space.tentative",
+    "space.tuple_bytes",
+    "space.tuples",
+    "space.waiter_bytes",
+    "space.waiters",
 };
 
 /// True when `name` is a catalogued metric name (tiamat-inspect flags

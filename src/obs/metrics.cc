@@ -116,6 +116,29 @@ Histogram& Registry::histogram(const std::string& name, Labels labels,
   });
 }
 
+QuantileSketch& Registry::sketch(const std::string& name, Labels labels) {
+  return lookup(sketches_, name, std::move(labels),
+                [] { return std::make_unique<QuantileSketch>(); });
+}
+
+void Registry::for_each_counter(
+    const std::function<void(const std::string&, const Labels&,
+                             const Counter&)>& fn) const {
+  for (const auto& [key, c] : counters_) fn(key.first, key.second, *c);
+}
+
+void Registry::for_each_gauge(
+    const std::function<void(const std::string&, const Labels&, const Gauge&)>&
+        fn) const {
+  for (const auto& [key, g] : gauges_) fn(key.first, key.second, *g);
+}
+
+void Registry::for_each_sketch(
+    const std::function<void(const std::string&, const Labels&,
+                             const QuantileSketch&)>& fn) const {
+  for (const auto& [key, s] : sketches_) fn(key.first, key.second, *s);
+}
+
 json::Value Registry::snapshot() const {
   json::Array counters;
   for (const auto& [key, c] : counters_) {
@@ -152,10 +175,33 @@ json::Value Registry::snapshot() const {
     e.emplace_back("p99", json::Value(h->percentile(99)));
     histograms.emplace_back(std::move(e));
   }
+  json::Array sketches;
+  for (const auto& [key, s] : sketches_) {
+    json::Object e;
+    e.emplace_back("name", json::Value(key.first));
+    e.emplace_back("labels", labels_json(key.second));
+    json::Array buckets;
+    for (const auto& [index, n] : s->buckets()) {
+      json::Array pair;
+      pair.emplace_back(static_cast<std::int64_t>(index));
+      pair.emplace_back(n);
+      buckets.emplace_back(std::move(pair));
+    }
+    e.emplace_back("buckets", json::Value(std::move(buckets)));
+    e.emplace_back("count", json::Value(s->count()));
+    e.emplace_back("sum", json::Value(s->sum()));
+    e.emplace_back("mean", json::Value(s->mean()));
+    e.emplace_back("p50", json::Value(s->p50()));
+    e.emplace_back("p90", json::Value(s->p90()));
+    e.emplace_back("p99", json::Value(s->p99()));
+    e.emplace_back("max", json::Value(s->max()));
+    sketches.emplace_back(std::move(e));
+  }
   json::Object doc;
   doc.emplace_back("counters", json::Value(std::move(counters)));
   doc.emplace_back("gauges", json::Value(std::move(gauges)));
   doc.emplace_back("histograms", json::Value(std::move(histograms)));
+  doc.emplace_back("sketches", json::Value(std::move(sketches)));
   return json::Value(std::move(doc));
 }
 
@@ -222,6 +268,37 @@ bool Registry::load(const json::Value& doc) {
                  static_cast<std::uint64_t>(count->as_int()));
     return true;
   });
+  // Sketches are optional so pre-sketch snapshots still load (the schema
+  // grows without invalidating committed BENCH_*.json files).
+  if (doc.find("sketches") != nullptr) {
+    ok = ok && each("sketches", [&](const json::Value& e,
+                                    const std::string& name, Labels l) {
+      const json::Value* buckets = e.find("buckets");
+      const json::Value* count = e.find("count");
+      const json::Value* sum = e.find("sum");
+      const json::Value* max = e.find("max");
+      if (buckets == nullptr || !buckets->is_array() || count == nullptr ||
+          !count->is_number() || sum == nullptr || !sum->is_number() ||
+          max == nullptr || !max->is_number()) {
+        return false;
+      }
+      QuantileSketch::Buckets b;
+      for (const json::Value& pair : buckets->as_array()) {
+        if (!pair.is_array() || pair.as_array().size() != 2 ||
+            !pair.as_array()[0].is_number() ||
+            !pair.as_array()[1].is_number()) {
+          return false;
+        }
+        b.emplace(static_cast<std::uint32_t>(pair.as_array()[0].as_int()),
+                  static_cast<std::uint64_t>(pair.as_array()[1].as_int()));
+      }
+      sketch(name, std::move(l))
+          .restore(std::move(b), sum->as_double(),
+                   static_cast<std::uint64_t>(count->as_int()),
+                   max->as_double());
+      return true;
+    });
+  }
   return ok;
 }
 

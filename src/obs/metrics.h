@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -24,6 +25,7 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/quantile.h"
 
 namespace tiamat::obs {
 
@@ -115,11 +117,29 @@ class Registry {
   /// (name, labels) return the existing histogram unchanged.
   Histogram& histogram(const std::string& name, Labels labels = {},
                        std::vector<double> bounds = {});
+  /// Log-bucketed quantile sketch (obs/quantile.h): the instrument of
+  /// choice for latency-shaped metrics — principled p50/p90/p99/max with
+  /// no bound configuration, mergeable across instances and windows.
+  QuantileSketch& sketch(const std::string& name, Labels labels = {});
 
   /// Serializes every instrument. Histograms carry bounds/counts/sum plus
-  /// derived p50/p95/p99 so exported files are directly consumable.
+  /// derived p50/p95/p99; sketches carry sparse buckets plus derived
+  /// p50/p90/p99/max, so exported files are directly consumable.
   json::Value snapshot() const;
   std::string snapshot_json(int indent = 2) const;
+
+  // ---- Deterministic iteration (lexicographic (name, labels) order) ------
+  // The TimeSeriesRecorder samples registries through these each tick; the
+  // ordered walk is what keeps series output byte-identical across runs.
+  void for_each_counter(
+      const std::function<void(const std::string&, const Labels&,
+                               const Counter&)>& fn) const;
+  void for_each_gauge(
+      const std::function<void(const std::string&, const Labels&,
+                               const Gauge&)>& fn) const;
+  void for_each_sketch(
+      const std::function<void(const std::string&, const Labels&,
+                               const QuantileSketch&)>& fn) const;
 
   /// Rebuilds instruments from a snapshot() document. Returns false (and
   /// leaves the registry partially populated) on malformed input. Used to
@@ -127,7 +147,8 @@ class Registry {
   bool load(const json::Value& doc);
 
   std::size_t size() const {
-    return counters_.size() + gauges_.size() + histograms_.size();
+    return counters_.size() + gauges_.size() + histograms_.size() +
+           sketches_.size();
   }
 
  private:
@@ -136,6 +157,7 @@ class Registry {
   std::map<Key, std::unique_ptr<Counter>> counters_;
   std::map<Key, std::unique_ptr<Gauge>> gauges_;
   std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  std::map<Key, std::unique_ptr<QuantileSketch>> sketches_;
 };
 
 }  // namespace tiamat::obs

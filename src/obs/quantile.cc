@@ -1,0 +1,97 @@
+#include "obs/quantile.h"
+
+#include <bit>
+#include <cmath>
+
+namespace tiamat::obs {
+
+namespace {
+
+constexpr std::uint64_t kSub = std::uint64_t{1} << QuantileSketch::kSubBits;
+
+// Values at or beyond 2^62 all land in one terminal bucket; virtual-time
+// latencies are microseconds, so this is ~146k years of headroom.
+constexpr double kValueCap = 4.6e18;
+
+}  // namespace
+
+std::uint32_t QuantileSketch::bucket_of(double v) {
+  if (!(v > 0.0)) return 0;  // negatives, zero and NaN clamp to bucket 0
+  const auto x = static_cast<std::uint64_t>(v >= kValueCap ? kValueCap : v);
+  if (x < kSub) return static_cast<std::uint32_t>(x);
+  const int msb = 63 - std::countl_zero(x);
+  const int shift = msb - kSubBits;
+  const auto sub = static_cast<std::uint32_t>((x >> shift) & (kSub - 1));
+  return (static_cast<std::uint32_t>(msb - kSubBits + 1) << kSubBits) | sub;
+}
+
+double QuantileSketch::upper_edge(std::uint32_t index) {
+  const std::uint32_t group = index >> kSubBits;
+  const std::uint64_t sub = index & (kSub - 1);
+  if (group == 0) return static_cast<double>(sub);  // exact linear region
+  const int shift = static_cast<int>(group) - 1;
+  return static_cast<double>(((kSub + sub + 1) << shift) - 1);
+}
+
+void QuantileSketch::observe(double v) {
+  ++buckets_[bucket_of(v)];
+  const double clamped = v < 0.0 ? 0.0 : v;
+  sum_ += clamped;
+  ++count_;
+  if (clamped > max_) max_ = clamped;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  const double clamped = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(clamped * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (const auto& [index, n] : buckets_) {
+    seen += n;
+    if (seen >= rank) {
+      // The top occupied bucket's edge may overshoot the true maximum; the
+      // exact max is tracked, so report it instead.
+      const double edge = upper_edge(index);
+      return seen == count_ && edge > max_ ? max_ : edge;
+    }
+  }
+  return max_;  // unreachable when bucket counts sum to count_
+}
+
+void QuantileSketch::merge(const QuantileSketch& o) {
+  for (const auto& [index, n] : o.buckets_) buckets_[index] += n;
+  sum_ += o.sum_;
+  count_ += o.count_;
+  if (o.max_ > max_) max_ = o.max_;
+}
+
+QuantileSketch QuantileSketch::delta_since(const QuantileSketch& prev) const {
+  QuantileSketch out;
+  if (prev.count_ > count_) return out;
+  for (const auto& [index, n] : buckets_) {
+    auto it = prev.buckets_.find(index);
+    const std::uint64_t before = it == prev.buckets_.end() ? 0 : it->second;
+    if (n > before) out.buckets_.emplace(index, n - before);
+  }
+  out.count_ = count_ - prev.count_;
+  out.sum_ = sum_ - prev.sum_;
+  // The window's true max is unknown (only cumulative max is tracked);
+  // the top occupied bucket's edge is the tightest deterministic bound.
+  out.max_ = out.buckets_.empty()
+                 ? 0.0
+                 : upper_edge(out.buckets_.rbegin()->first);
+  if (out.max_ > max_) out.max_ = max_;
+  return out;
+}
+
+void QuantileSketch::restore(Buckets buckets, double sum, std::uint64_t count,
+                             double max) {
+  buckets_ = std::move(buckets);
+  sum_ = sum;
+  count_ = count;
+  max_ = max;
+}
+
+}  // namespace tiamat::obs

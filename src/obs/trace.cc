@@ -42,13 +42,15 @@ const char* to_string(EventKind k) {
       return "serve_reinsert";
     case EventKind::kServeConfirm:
       return "serve_confirm";
+    case EventKind::kProbeBreach:
+      return "probe_breach";
   }
   return "?";
 }
 
 std::optional<EventKind> event_kind_from_string(std::string_view name) {
   // Walk the enum once; the table stays in one place (to_string's switch).
-  for (int k = 0; k <= static_cast<int>(EventKind::kServeConfirm); ++k) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kProbeBreach); ++k) {
     const auto kind = static_cast<EventKind>(k);
     if (name == to_string(kind)) return kind;
   }

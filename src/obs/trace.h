@@ -50,6 +50,8 @@ enum class EventKind : std::uint8_t {
   kServeMatch,       ///< match sent back; destructive ops hold it tentative
   kServeReinsert,    ///< tentative tuple placed back into the local space
   kServeConfirm,     ///< tentative removal made permanent
+  // Continuous telemetry (obs/series.h).
+  kProbeBreach,      ///< health probe crossed its threshold; detail = value
 };
 
 const char* to_string(EventKind k);

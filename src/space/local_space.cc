@@ -36,8 +36,9 @@ void LocalTupleSpace::audit_check(const char* checkpoint) const {
       return;
     }
   }
+  std::size_t parked_bytes = 0;
   for (const auto& [id, t] : tentative_) {
-    (void)t;
+    parked_bytes += t.footprint();
     if (index_.contains(id)) {
       std::ostringstream os;
       os << "tentative id " << id << " still visible in the index";
@@ -50,6 +51,13 @@ void LocalTupleSpace::audit_check(const char* checkpoint) const {
       trap("id-allocation", os.str());
       return;
     }
+  }
+  if (parked_bytes != tentative_bytes_) {
+    std::ostringstream os;
+    os << "tentative_bytes_ " << tentative_bytes_ << " != parked footprints "
+       << parked_bytes;
+    trap("memory-accounting", os.str());
+    return;
   }
   for (const auto& [id, expiry] : tentative_expiry_) {
     (void)expiry;
@@ -253,6 +261,7 @@ bool LocalTupleSpace::offer_to_waiters(TupleId id, const Tuple& t) {
     if (taker->tentative) {
       // The tuple is consumed from the visible space but parked as
       // tentative so a remote loser can put it back.
+      tentative_bytes_ += t.footprint();
       tentative_.emplace(id, t);
       if (taker->tcb) taker->tcb(std::make_pair(id, t));
     } else {
@@ -282,6 +291,7 @@ std::optional<std::pair<TupleId, Tuple>> LocalTupleSpace::take_tentative(
   }
   drop_tuple_timer(*id);
   auto t = index_.erase(*id);
+  tentative_bytes_ += t->footprint();
   tentative_.emplace(*id, *t);
   TIAMAT_AUDIT_CHECK(audit_check("take_tentative"));
   return std::make_pair(*id, *t);
@@ -312,6 +322,7 @@ bool LocalTupleSpace::release_tentative(TupleId id) {
   if (it == tentative_.end()) return false;
   Tuple t = std::move(it->second);
   tentative_.erase(it);
+  tentative_bytes_ -= t.footprint();
   ++stats_.tentative_released;
 
   sim::Time expiry = sim::kNever;
@@ -340,6 +351,7 @@ bool LocalTupleSpace::release_tentative(TupleId id) {
 bool LocalTupleSpace::confirm_tentative(TupleId id) {
   auto it = tentative_.find(id);
   if (it == tentative_.end()) return false;
+  tentative_bytes_ -= it->second.footprint();
   tentative_.erase(it);
   tentative_expiry_.erase(id);
   ++stats_.tentative_confirmed;
@@ -425,6 +437,27 @@ LocalTupleSpace::snapshot_with_expiry() const {
     out.emplace_back(t, it == expiries_.end() ? sim::kNever : it->second);
   });
   return out;
+}
+
+LocalTupleSpace::MemoryStats LocalTupleSpace::memory() const {
+  MemoryStats m;
+  m.tuple_count = index_.size();
+  m.tuple_bytes = index_.approx_bytes();
+  m.waiter_count = waiters_.size();
+  m.waiter_bytes = waiters_.approx_bytes();
+  m.tentative_count = tentative_.size();
+  m.tentative_bytes = tentative_bytes_;
+  return m;
+}
+
+void LocalTupleSpace::export_memory_gauges(obs::Registry& r) const {
+  const MemoryStats m = memory();
+  r.gauge("space.tuples").set(static_cast<double>(m.tuple_count));
+  r.gauge("space.tuple_bytes").set(static_cast<double>(m.tuple_bytes));
+  r.gauge("space.waiters").set(static_cast<double>(m.waiter_count));
+  r.gauge("space.waiter_bytes").set(static_cast<double>(m.waiter_bytes));
+  r.gauge("space.tentative").set(static_cast<double>(m.tentative_count));
+  r.gauge("space.bytes").set(static_cast<double>(m.total_bytes()));
 }
 
 std::size_t LocalTupleSpace::count_matches(const Pattern& p) const {

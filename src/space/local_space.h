@@ -137,6 +137,27 @@ class LocalTupleSpace {
   std::size_t footprint() const { return index_.total_footprint(); }
   std::size_t waiter_count() const { return waiters_.size(); }
 
+  /// Approximate resident memory of the space engine's structures. Every
+  /// figure is a deterministic formula over entry counts and tuple
+  /// footprints (no allocator introspection), so the telemetry layer can
+  /// sample it into gauges without breaking byte-determinism.
+  struct MemoryStats {
+    std::size_t tuple_count = 0;
+    std::size_t tuple_bytes = 0;      ///< TupleIndex::approx_bytes
+    std::size_t waiter_count = 0;
+    std::size_t waiter_bytes = 0;     ///< WaiterIndex::approx_bytes
+    std::size_t tentative_count = 0;
+    std::size_t tentative_bytes = 0;  ///< parked tentative tuple footprints
+    std::size_t total_bytes() const {
+      return tuple_bytes + waiter_bytes + tentative_bytes;
+    }
+  };
+  MemoryStats memory() const;
+
+  /// Sets memory() into `r`'s "space.*" gauges (absolute set, so repeated
+  /// sample-tick refreshes never accumulate).
+  void export_memory_gauges(obs::Registry& r) const;
+
   /// Copy of every visible tuple (tests / examples).
   std::vector<Tuple> snapshot() const;
 
@@ -220,6 +241,7 @@ class LocalTupleSpace {
   tuples::WaiterIndex<Waiter> waiters_;
   std::unordered_map<TupleId, Tuple> tentative_;
   std::unordered_map<TupleId, sim::Time> tentative_expiry_;
+  std::size_t tentative_bytes_ = 0;  ///< sum of parked tuple footprints
   // Ordered: purge_expired and teardown walk these, so reclamation order
   // must be ascending-id, not hash order.
   std::map<TupleId, sim::EventId> expiry_events_;

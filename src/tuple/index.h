@@ -72,6 +72,16 @@ class TupleIndex {
   /// Sum of footprints of stored tuples; the storage figure leases charge.
   std::size_t total_footprint() const { return footprint_; }
 
+  /// Approximate resident bytes: stored tuple footprints plus a fixed
+  /// per-entry estimate of index overhead (by_id_ map node, shard id slot,
+  /// bucket slot). Deliberately a deterministic formula over entry counts —
+  /// the telemetry layer samples it into gauges, so it must not depend on
+  /// allocator behaviour.
+  std::size_t approx_bytes() const {
+    return footprint_ + by_id_.size() * kApproxEntryOverhead;
+  }
+  static constexpr std::size_t kApproxEntryOverhead = 64;
+
   /// Visits every (id, tuple) in ascending id order.
   void for_each(const std::function<void(TupleId, const Tuple&)>& fn) const;
 

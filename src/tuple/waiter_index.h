@@ -121,6 +121,16 @@ class WaiterIndex {
   bool empty() const { return entries_.empty(); }
   std::size_t overflow_size() const { return overflow_.size(); }
 
+  /// Approximate resident bytes: inline entry size plus a fixed per-entry
+  /// estimate of map-node and bucket overhead. A deterministic formula over
+  /// entry counts (see TupleIndex::approx_bytes) sampled into gauges by the
+  /// telemetry layer.
+  std::size_t approx_bytes() const {
+    return entries_.size() * (sizeof(Entry) + kApproxEntryOverhead) +
+           overflow_.size() * sizeof(std::uint64_t);
+  }
+  static constexpr std::size_t kApproxEntryOverhead = 56;
+
   /// Visits every waiter oldest-first (tests / teardown).
   template <typename Fn>  // Fn: (std::uint64_t id, W& payload)
   void for_each(Fn&& fn) {

@@ -353,9 +353,8 @@ TEST_F(ObsFixture, RemoteInCausalChainAcrossThreeInstances) {
   // truth for Monitor counters).
   EXPECT_EQ(loser.metrics().counter("serve.reinserted").value(), 1u);
   EXPECT_EQ(a->metrics().counter("op.satisfied_remote").value(), 1u);
-  EXPECT_EQ(a->metrics().histogram("op.latency_us").count(), 1u);
-  EXPECT_EQ(a->metrics().histogram("op.latency_us", {{"op", "in"}}).count(),
-            1u);
+  EXPECT_EQ(a->metrics().sketch("op.latency_us").count(), 1u);
+  EXPECT_EQ(a->metrics().sketch("op.latency_us", {{"op", "in"}}).count(), 1u);
 }
 
 // Churn: a cached responder that stops answering shows up as a per-peer
