@@ -36,14 +36,14 @@ A1Result run_ordering(bool stability, std::uint64_t seed) {
   cfg.cache_ordering = stability
                            ? net::ResponderCache::Ordering::kByStability
                            : net::ResponderCache::Ordering::kPaperList;
-  core::Instance origin(w.net, cfg);
+  core::Instance origin(w.tx, cfg);
 
   // 12 peers: the even ones are flaky (offline half the time on a cycle),
   // odd ones are rock solid. All hold matching data.
   std::vector<std::unique_ptr<core::Instance>> peers;
   for (int i = 0; i < 12; ++i) {
     peers.push_back(std::make_unique<core::Instance>(
-        w.net, bench::bench_config("p" + std::to_string(i))));
+        w.tx, bench::bench_config("p" + std::to_string(i))));
     for (int k = 0; k < 16; ++k) {
       peers.back()->out(Tuple{"data", k});
     }
@@ -129,7 +129,7 @@ A2Result run_hold(sim::Duration hold, std::uint64_t seed) {
   cfg.tentative_hold = hold;
   std::vector<std::unique_ptr<core::Instance>> nodes;
   for (int i = 0; i < 4; ++i) {
-    nodes.push_back(std::make_unique<core::Instance>(w.net, cfg));
+    nodes.push_back(std::make_unique<core::Instance>(w.tx, cfg));
   }
   const int kItems = 200;
   for (int k = 0; k < kItems; ++k) {
@@ -205,11 +205,11 @@ void BM_ProbeWindow(benchmark::State& state) {
     World w(seed++);
     core::Config cfg = bench::bench_config("origin");
     cfg.probe_window = window;
-    core::Instance origin(w.net, cfg);
+    core::Instance origin(w.tx, cfg);
     std::vector<std::unique_ptr<core::Instance>> peers;
     for (int i = 0; i < 16; ++i) {
       peers.push_back(std::make_unique<core::Instance>(
-          w.net, bench::bench_config("p" + std::to_string(i))));
+          w.tx, bench::bench_config("p" + std::to_string(i))));
     }
     peers.back()->out(Tuple{"needle"});
     const sim::Time t0 = w.net.now();

@@ -42,14 +42,14 @@ sim::RandomWaypointParams mobility_params() {
 Result run_central(double range, std::uint64_t seed) {
   World w(seed);
   w.net.set_radio_range(range);
-  baselines::CentralServer server(w.net, {kArena / 2, kArena / 2});
+  baselines::CentralServer server(w.tx, {kArena / 2, kArena / 2});
 
   std::vector<std::unique_ptr<baselines::CentralClient>> clients;
   sim::RandomWaypoint mob(w.net, w.rng, mobility_params());
   for (std::size_t i = 0; i < kClients; ++i) {
     clients.push_back(std::make_unique<baselines::CentralClient>(
-        w.net, server.node(),
-        sim::Position{w.rng.real(0, kArena), w.rng.real(0, kArena)}));
+        w.tx, server.node(),
+        transport::NodeOptions{w.rng.real(0, kArena), w.rng.real(0, kArena)}));
     mob.add(clients.back()->node());
   }
   mob.start();
@@ -91,9 +91,9 @@ Result run_tiamat(double range, std::uint64_t seed) {
   sim::RandomWaypoint mob(w.net, w.rng, mobility_params());
   for (std::size_t i = 0; i < kClients; ++i) {
     nodes.push_back(std::make_unique<core::Instance>(
-        w.net, bench::bench_config("n" + std::to_string(i), sim::seconds(5)),
+        w.tx, bench::bench_config("n" + std::to_string(i), sim::seconds(5)),
         nullptr,
-        sim::Position{w.rng.real(0, kArena), w.rng.real(0, kArena)}));
+        transport::NodeOptions{w.rng.real(0, kArena), w.rng.real(0, kArena)}));
     mob.add(nodes.back()->node());
   }
   mob.start();

@@ -39,8 +39,8 @@ Result run(std::size_t nodes_n, double speed, bool late_arrivals,
     auto cfg = bench::bench_config("n" + std::to_string(i), sim::seconds(8));
     cfg.propagate_to_late_arrivals = late_arrivals;
     nodes.push_back(std::make_unique<core::Instance>(
-        w.net, cfg, nullptr,
-        sim::Position{w.rng.real(0, 300), w.rng.real(0, 300)}));
+        w.tx, cfg, nullptr,
+        transport::NodeOptions{w.rng.real(0, 300), w.rng.real(0, 300)}));
   }
 
   sim::RandomWaypointParams mp;

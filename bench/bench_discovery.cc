@@ -33,12 +33,12 @@ Result run_scenario(std::size_t peers, bool cached, double churn_rate,
                     std::uint64_t seed, const std::string& scenario) {
   World w(seed);
   auto cfg = bench::bench_config("origin");
-  core::Instance origin(w.net, cfg);
+  core::Instance origin(w.tx, cfg);
 
   std::vector<std::unique_ptr<core::Instance>> others;
   for (std::size_t i = 0; i < peers; ++i) {
     others.push_back(std::make_unique<core::Instance>(
-        w.net, bench::bench_config("p" + std::to_string(i))));
+        w.tx, bench::bench_config("p" + std::to_string(i))));
   }
 
   sim::ChurnProcess churn(w.net, w.rng,

@@ -32,7 +32,7 @@ Result run_peers(std::size_t n, int ttl, std::uint64_t seed,
   World w(seed);
   std::vector<std::unique_ptr<baselines::PeersNode>> nodes;
   for (std::size_t i = 0; i < n; ++i) {
-    nodes.push_back(std::make_unique<baselines::PeersNode>(w.net));
+    nodes.push_back(std::make_unique<baselines::PeersNode>(w.tx));
   }
   // One random holder per key; lookups from node 0.
   for (int k = 0; k < 50; ++k) {
@@ -75,7 +75,7 @@ Result run_tiamat(std::size_t n, std::uint64_t seed,
   std::vector<std::unique_ptr<core::Instance>> nodes;
   for (std::size_t i = 0; i < n; ++i) {
     nodes.push_back(std::make_unique<core::Instance>(
-        w.net, bench::bench_config("n" + std::to_string(i))));
+        w.tx, bench::bench_config("n" + std::to_string(i))));
     bench::maybe_trace(*nodes.back());
   }
   for (int k = 0; k < 50; ++k) {

@@ -30,12 +30,12 @@ Params image() {
 
 double run_tiamat(int workers, bool churn, std::uint64_t seed) {
   World w(seed);
-  core::Instance m_node(w.net, bench::bench_config("master"));
+  core::Instance m_node(w.tx, bench::bench_config("master"));
   std::vector<std::unique_ptr<core::Instance>> nodes;
   std::vector<std::unique_ptr<apps::fractal::Worker>> ws;
   for (int i = 0; i < workers; ++i) {
     nodes.push_back(std::make_unique<core::Instance>(
-        w.net, bench::bench_config("w" + std::to_string(i))));
+        w.tx, bench::bench_config("w" + std::to_string(i))));
     ws.push_back(std::make_unique<apps::fractal::Worker>(
         *nodes.back(), sim::milliseconds(50)));
     ws.back()->start();
@@ -52,7 +52,7 @@ double run_tiamat(int workers, bool churn, std::uint64_t seed) {
     });
     w.queue.schedule_after(sim::seconds(1), [&] {
       nodes.push_back(std::make_unique<core::Instance>(
-          w.net, bench::bench_config("late")));
+          w.tx, bench::bench_config("late")));
       ws.push_back(std::make_unique<apps::fractal::Worker>(
           *nodes.back(), sim::milliseconds(50)));
       ws.back()->start();
@@ -64,14 +64,14 @@ double run_tiamat(int workers, bool churn, std::uint64_t seed) {
 
 double run_lb(int workers, std::uint64_t seed) {
   World w(seed);
-  apps::loadbalance::LoadBalancingServer server(w.net);
+  apps::loadbalance::LoadBalancingServer server(w.tx);
   std::vector<std::unique_ptr<apps::loadbalance::LbWorker>> ws;
   for (int i = 0; i < workers; ++i) {
     ws.push_back(std::make_unique<apps::loadbalance::LbWorker>(
-        w.net, server.node(), sim::milliseconds(50)));
+        w.tx, server.node(), sim::milliseconds(50)));
     ws.back()->start();
   }
-  apps::loadbalance::LbMaster master(w.net, server.node(), image(), 1);
+  apps::loadbalance::LbMaster master(w.tx, server.node(), image(), 1);
   bool done = false;
   w.queue.run_for(sim::milliseconds(50));
   master.start([&] { done = true; });

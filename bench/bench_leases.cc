@@ -38,7 +38,7 @@ Result run(bool leased, int producers, int tuples_each, std::uint64_t seed) {
     cfg.lease_caps.default_ttl = sim::seconds(100000);
     cfg.lease_caps.max_ttl = sim::seconds(100000);
   }
-  core::Instance kiosk(w.net, cfg);
+  core::Instance kiosk(w.tx, cfg);
 
   double peak_tuples = 0, peak_bytes = 0;
 
@@ -46,7 +46,7 @@ Result run(bool leased, int producers, int tuples_each, std::uint64_t seed) {
   // out, §2.4 — e.g. leaving notes at a public display), then vanish.
   for (int pi = 0; pi < producers; ++pi) {
     core::Instance producer(
-        w.net, bench::bench_config("p" + std::to_string(pi)));
+        w.tx, bench::bench_config("p" + std::to_string(pi)));
     w.queue.run_for(sim::milliseconds(10));
     for (int k = 0; k < tuples_each; ++k) {
       lease::LeaseTerms t;

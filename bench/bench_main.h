@@ -14,6 +14,11 @@
 // path), and embedded as a `series` section of the `--json` snapshot when
 // both flags are active. Render with `tiamat-inspect series`.
 //
+// `--transport=sim|loopback` (default sim) selects the transport backend
+// for benches that consult `transport_backend()` (bench_loopback): the
+// deterministic single-threaded simulator, or the multi-threaded
+// in-process loopback (DESIGN.md §10).
+//
 // Usage:
 //   ... register benchmarks, record into tiamat::bench::registry() ...
 //   TIAMAT_BENCH_MAIN("churn");
@@ -55,6 +60,15 @@ inline bool& series_enabled() {
   return enabled;
 }
 
+/// Backend selected with `--transport=sim|loopback` ("sim" by default).
+/// Benches whose workload is backend-agnostic consult this to pick the
+/// substrate; label exported metrics with the value so snapshots from the
+/// two backends stay distinguishable.
+inline std::string& transport_backend() {
+  static std::string backend = "sim";
+  return backend;
+}
+
 /// Per-scenario series documents collected by `export_series()`, written
 /// out after the benchmarks run.
 inline obs::json::Array& series_runs() {
@@ -93,6 +107,12 @@ inline int run_main(int argc, char** argv, const std::string& bench_name) {
     } else if (std::strncmp(argv[i], "--series=", 9) == 0) {
       want_series = true;
       series_path = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--transport") == 0) {
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        transport_backend() = argv[++i];
+      }
+    } else if (std::strncmp(argv[i], "--transport=", 12) == 0) {
+      transport_backend() = argv[i] + 12;
     } else {
       argv[out++] = argv[i];
     }
@@ -103,6 +123,11 @@ inline int run_main(int argc, char** argv, const std::string& bench_name) {
   }
   if (want_series && series_path.empty()) {
     series_path = "SERIES_" + bench_name + ".json";
+  }
+  if (transport_backend() != "sim" && transport_backend() != "loopback") {
+    std::cerr << "--transport must be 'sim' or 'loopback', got '"
+              << transport_backend() << "'\n";
+    return 1;
   }
   series_enabled() = want_series;
   if (want_trace) {

@@ -37,7 +37,7 @@ Result run_limbo(std::size_t nodes_n, int tuples_per_node,
   constexpr sim::GroupId kGroup = 5;
   std::vector<std::unique_ptr<baselines::LimboNode>> nodes;
   for (std::size_t i = 0; i < nodes_n; ++i) {
-    nodes.push_back(std::make_unique<baselines::LimboNode>(w.net, kGroup));
+    nodes.push_back(std::make_unique<baselines::LimboNode>(w.tx, kGroup));
   }
 
   // Everyone publishes.
@@ -85,7 +85,7 @@ Result run_tiamat(std::size_t nodes_n, int tuples_per_node,
   std::vector<std::unique_ptr<core::Instance>> nodes;
   for (std::size_t i = 0; i < nodes_n; ++i) {
     nodes.push_back(std::make_unique<core::Instance>(
-        w.net, bench::bench_config("n" + std::to_string(i))));
+        w.tx, bench::bench_config("n" + std::to_string(i))));
   }
   for (auto& n : nodes) {
     for (int k = 0; k < tuples_per_node; ++k) {

@@ -38,14 +38,14 @@ Result run_tiamat(std::size_t hosts, bool churn, std::uint64_t seed) {
   std::vector<std::unique_ptr<core::Instance>> nodes;
   for (std::size_t i = 0; i < hosts - 1; ++i) {
     nodes.push_back(std::make_unique<core::Instance>(
-        w.net, bench::bench_config("h" + std::to_string(i))));
+        w.tx, bench::bench_config("h" + std::to_string(i))));
   }
   w.queue.run_for(sim::milliseconds(100));
 
   // Join cost: time until a new instance can complete its first logical op.
   const sim::Time join_start = w.net.now();
   nodes.push_back(std::make_unique<core::Instance>(
-      w.net, bench::bench_config("joiner")));
+      w.tx, bench::bench_config("joiner")));
   nodes[0]->out(Tuple{"join-probe", 1});
   sim::Time join_done = join_start;
   nodes.back()->rdp(Pattern{"join-probe", any_int()},
@@ -101,9 +101,9 @@ Result run_lime(std::size_t hosts, bool churn, std::uint64_t seed) {
   World w(seed);
   constexpr sim::GroupId kFed = 9;
   std::vector<std::unique_ptr<baselines::LimeHost>> nodes;
-  nodes.push_back(std::make_unique<baselines::LimeHost>(w.net, kFed, true));
+  nodes.push_back(std::make_unique<baselines::LimeHost>(w.tx, kFed, true));
   for (std::size_t i = 1; i + 1 < hosts; ++i) {
-    nodes.push_back(std::make_unique<baselines::LimeHost>(w.net, kFed, false));
+    nodes.push_back(std::make_unique<baselines::LimeHost>(w.tx, kFed, false));
     nodes.back()->engage();
     w.queue.run_for(sim::seconds(2));
   }
@@ -115,7 +115,7 @@ Result run_lime(std::size_t hosts, bool churn, std::uint64_t seed) {
 
   // Join cost: last host's engagement barrier.
   const sim::Time join_start = w.net.now();
-  nodes.push_back(std::make_unique<baselines::LimeHost>(w.net, kFed, false));
+  nodes.push_back(std::make_unique<baselines::LimeHost>(w.tx, kFed, false));
   sim::Time join_done = join_start;
   nodes.back()->engage([&](bool) { join_done = w.net.now(); });
   w.queue.run_for(sim::seconds(5));

@@ -20,11 +20,13 @@
 #include "sim/event_queue.h"
 #include "sim/network.h"
 #include "sim/random.h"
+#include "transport/sim_transport.h"
 
 namespace tiamat::bench {
 
 struct World {
-  explicit World(std::uint64_t seed = 42) : rng(seed), net(queue, rng, model()) {}
+  explicit World(std::uint64_t seed = 42)
+      : rng(seed), net(queue, rng, model()), tx(net) {}
 
   static sim::LinkModel model() {
     sim::LinkModel m;
@@ -38,6 +40,7 @@ struct World {
   sim::EventQueue queue;
   sim::Rng rng;
   sim::Network net;
+  transport::SimTransport tx;
 };
 
 inline core::Config bench_config(const std::string& name,

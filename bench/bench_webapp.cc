@@ -36,7 +36,7 @@ Result run_throughput(int proxies, int clients, std::uint64_t seed) {
   std::vector<std::unique_ptr<apps::web::ProxyServer>> proxy_objs;
   for (int i = 0; i < proxies; ++i) {
     nodes.push_back(std::make_unique<core::Instance>(
-        w.net, bench::bench_config("proxy" + std::to_string(i))));
+        w.tx, bench::bench_config("proxy" + std::to_string(i))));
     proxy_objs.push_back(std::make_unique<apps::web::ProxyServer>(
         *nodes.back(), origin, /*cache=*/false));
     proxy_objs.back()->start();
@@ -46,7 +46,7 @@ Result run_throughput(int proxies, int clients, std::uint64_t seed) {
   std::vector<std::unique_ptr<apps::web::WebClient>> client_objs;
   for (int i = 0; i < clients; ++i) {
     client_nodes.push_back(std::make_unique<core::Instance>(
-        w.net, bench::bench_config("client" + std::to_string(i))));
+        w.tx, bench::bench_config("client" + std::to_string(i))));
     client_objs.push_back(
         std::make_unique<apps::web::WebClient>(*client_nodes.back()));
   }
@@ -92,11 +92,11 @@ Result run_failover(std::uint64_t seed) {
   origin.add_page("http://site/x", "body");
 
   auto p1_node = std::make_unique<core::Instance>(
-      w.net, bench::bench_config("proxy1"));
+      w.tx, bench::bench_config("proxy1"));
   auto p1 = std::make_unique<apps::web::ProxyServer>(*p1_node, origin);
   p1->start();
 
-  core::Instance c_node(w.net, bench::bench_config("client"));
+  core::Instance c_node(w.tx, bench::bench_config("client"));
   apps::web::WebClient client(c_node);
 
   auto loop = std::make_shared<std::function<void()>>();
@@ -114,7 +114,7 @@ Result run_failover(std::uint64_t seed) {
   p1_node.reset();
   w.queue.run_for(sim::seconds(2));
   // ...and bring up a replacement.
-  core::Instance p2_node(w.net, bench::bench_config("proxy2"));
+  core::Instance p2_node(w.tx, bench::bench_config("proxy2"));
   apps::web::ProxyServer p2(p2_node, origin);
   p2.start();
   w.queue.run_for(sim::seconds(18));

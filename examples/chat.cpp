@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "core/instance.h"
+#include "sim/network.h"
+#include "transport/sim_transport.h"
 #include "sim/mobility.h"
 
 using namespace tiamat;  // NOLINT
@@ -74,11 +76,12 @@ int main() {
   sim::EventQueue queue;
   sim::Rng rng(77);
   sim::Network net(queue, rng);
+  transport::SimTransport tx(net);
   net.set_radio_range(60.0);  // short-range radios in a 150x150 arena
 
-  core::Instance ada_node(net, cfg("ada"), nullptr, {10, 10});
-  core::Instance bob_node(net, cfg("bob"), nullptr, {140, 140});
-  core::Instance cyn_node(net, cfg("cyn"), nullptr, {75, 75});
+  core::Instance ada_node(tx, cfg("ada"), nullptr, {10, 10});
+  core::Instance bob_node(tx, cfg("bob"), nullptr, {140, 140});
+  core::Instance cyn_node(tx, cfg("cyn"), nullptr, {75, 75});
 
   ChatUser ada(ada_node, "ada", queue);
   ChatUser bob(bob_node, "bob", queue);

@@ -16,6 +16,8 @@
 #include <cstdlib>
 
 #include "core/instance.h"
+#include "sim/network.h"
+#include "transport/sim_transport.h"
 
 using namespace tiamat;  // NOLINT
 using core::Instance;
@@ -51,6 +53,7 @@ int main() {
   sim::EventQueue queue;
   sim::Rng rng(7);
   sim::Network net(queue, rng);
+  transport::SimTransport tx(net);
   net.set_radio_range(10.0);  // visibility derives from position
 
   core::Config ca, cb, cc;
@@ -59,9 +62,9 @@ int main() {
   cc.name = "C";
 
   // Positions: A at 0, B far away at 100, C farther at 200 — all isolated.
-  Instance a(net, ca, nullptr, {0, 0});
-  Instance b(net, cb, nullptr, {100, 0});
-  Instance c(net, cc, nullptr, {200, 0});
+  Instance a(tx, ca, nullptr, {0, 0});
+  Instance b(tx, cb, nullptr, {100, 0});
+  Instance c(tx, cc, nullptr, {200, 0});
 
   a.out(Tuple{"at-a"});
   b.out(Tuple{"at-b"});

@@ -8,6 +8,8 @@
 #include <cstdlib>
 
 #include "core/instance.h"
+#include "sim/network.h"
+#include "transport/sim_transport.h"
 
 using namespace tiamat;  // NOLINT
 
@@ -23,6 +25,7 @@ int main() {
   sim::EventQueue queue;
   sim::Rng rng(9);
   sim::Network net(queue, rng);
+  transport::SimTransport tx(net);
 
   std::printf("Figure 2: lease manager -> local tuple space -> comms manager\n\n");
 
@@ -30,9 +33,9 @@ int main() {
   {
     core::Config cfg;
     cfg.name = "starved";
-    core::Instance starved(net, cfg,
+    core::Instance starved(tx, cfg,
                            std::make_unique<lease::DenyAllPolicy>());
-    core::Instance peer(net, core::Config{});
+    core::Instance peer(tx, core::Config{});
     peer.out(tuples::Tuple{"bait"});
     queue.run_for(sim::milliseconds(10));
 
@@ -58,8 +61,8 @@ int main() {
   {
     core::Config cfg;
     cfg.name = "healthy";
-    core::Instance healthy(net, cfg);
-    core::Instance remote(net, core::Config{});
+    core::Instance healthy(tx, cfg);
+    core::Instance remote(tx, core::Config{});
     remote.out(tuples::Tuple{"elsewhere"});
     queue.run_for(sim::milliseconds(10));
 
@@ -86,7 +89,7 @@ int main() {
     core::Config cfg;
     cfg.name = "negotiating";
     cfg.lease_caps.max_ttl = sim::seconds(1);  // instance offers at most 1 s
-    core::Instance inst(net, cfg);
+    core::Instance inst(tx, cfg);
 
     // The application insists on >= 90% of a 100 s lease: negotiation fails.
     lease::StrictRequester demanding(lease::for_duration(sim::seconds(100)),
@@ -101,7 +104,7 @@ int main() {
   // --- Resource factories (§3.1.1) ---------------------------------------
   {
     core::Config cfg;
-    core::Instance inst(net, cfg);
+    core::Instance inst(tx, cfg);
     auto& threads = inst.leases().pool("threads", 2);
     auto t1 = threads.try_acquire();
     auto t2 = threads.try_acquire();

@@ -9,6 +9,8 @@
 
 #include "apps/fractal.h"
 #include "core/instance.h"
+#include "sim/network.h"
+#include "transport/sim_transport.h"
 
 using namespace tiamat;  // NOLINT
 
@@ -26,6 +28,7 @@ int main() {
   sim::EventQueue queue;
   sim::Rng rng(1234);
   sim::Network net(queue, rng);
+  transport::SimTransport tx(net);
 
   apps::fractal::Params params;
   params.width = 78;
@@ -36,7 +39,7 @@ int main() {
   params.y0 = -1.2;
   params.y1 = 1.2;
 
-  core::Instance master_node(net, cfg("master"));
+  core::Instance master_node(tx, cfg("master"));
   apps::fractal::Master master(master_node, params, /*job=*/1);
   master.reissue_interval = sim::seconds(3);
 
@@ -44,7 +47,7 @@ int main() {
   std::vector<std::unique_ptr<apps::fractal::Worker>> workers;
   auto add_worker = [&](sim::Duration row_cost) {
     worker_nodes.push_back(std::make_unique<core::Instance>(
-        net, cfg("worker-" + std::to_string(workers.size()))));
+        tx, cfg("worker-" + std::to_string(workers.size()))));
     workers.push_back(std::make_unique<apps::fractal::Worker>(
         *worker_nodes.back(), row_cost));
     workers.back()->start();

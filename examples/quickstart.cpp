@@ -7,6 +7,8 @@
 #include <cstdio>
 
 #include "core/instance.h"
+#include "sim/network.h"
+#include "transport/sim_transport.h"
 
 using namespace tiamat;  // NOLINT
 
@@ -15,6 +17,7 @@ int main() {
   sim::EventQueue queue;
   sim::Rng rng(/*seed=*/42);
   sim::Network net(queue, rng);
+  transport::SimTransport tx(net);
 
   // 2. Two Tiamat instances join the environment. Each owns a local tuple
   //    space, a lease manager and a communications manager (Figure 2).
@@ -22,8 +25,8 @@ int main() {
   alice_cfg.name = "alice";
   core::Config bob_cfg;
   bob_cfg.name = "bob";
-  core::Instance alice(net, alice_cfg);
-  core::Instance bob(net, bob_cfg);
+  core::Instance alice(tx, alice_cfg);
+  core::Instance bob(tx, bob_cfg);
 
   // 3. Alice outs a tuple. By default out acts on her *local* space only.
   //    Every operation is leased (§2.5): this greeting is stored for ten

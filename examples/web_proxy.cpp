@@ -11,6 +11,8 @@
 
 #include "apps/web.h"
 #include "core/instance.h"
+#include "sim/network.h"
+#include "transport/sim_transport.h"
 
 using namespace tiamat;  // NOLINT
 
@@ -28,16 +30,17 @@ int main() {
   sim::EventQueue queue;
   sim::Rng rng(2026);
   sim::Network net(queue, rng);
+  transport::SimTransport tx(net);
 
   apps::web::OriginServer origin(queue, sim::milliseconds(25));
   origin.add_page("http://news/", "today's headlines");
   origin.add_page("http://mail/", "2 unread messages");
   origin.add_page("http://map/", "you are here");
 
-  core::Instance client_node(net, cfg("pda"));
+  core::Instance client_node(tx, cfg("pda"));
   apps::web::WebClient client(client_node);
 
-  auto p1_node = std::make_unique<core::Instance>(net, cfg("proxy-1"));
+  auto p1_node = std::make_unique<core::Instance>(tx, cfg("proxy-1"));
   auto p1 = std::make_unique<apps::web::ProxyServer>(*p1_node, origin);
   p1->start();
 
@@ -55,7 +58,7 @@ int main() {
   queue.run_for(sim::seconds(2));
 
   std::printf("-- second proxy added: invisible to the client --\n");
-  core::Instance p2_node(net, cfg("proxy-2"));
+  core::Instance p2_node(tx, cfg("proxy-2"));
   apps::web::ProxyServer p2(p2_node, origin);
   p2.start();
   fetch("http://map/");

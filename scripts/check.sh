@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full local gate: lint, then build + test the release tree (the tier-1
-# configuration), the asan/ubsan tree, and the invariant-audit tree.
+# configuration), the asan/ubsan tree, the invariant-audit tree, and the
+# transport suites under ThreadSanitizer.
 # Usage: scripts/check.sh [--release-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,6 +28,17 @@ if [[ "${1:-}" != "--release-only" ]]; then
   # mutation re-verifies the engine's structural invariants, and the
   # corruption-trap tests (test_audit) prove the auditor actually fires.
   run_preset audit
+  # The loopback transport backend is the tree's one threaded component
+  # (the lint `concurrency` rule keeps it that way); run the transport
+  # conformance + loopback differential suites under ThreadSanitizer.
+  # Only test_transport is built — the rest of the tree is single-strand
+  # and already covered by the presets above.
+  echo "== tsan: configure =="
+  cmake --preset tsan
+  echo "== tsan: build (test_transport) =="
+  cmake --build --preset tsan --target test_transport -j "${jobs}"
+  echo "== tsan: transport tests =="
+  ctest --preset tsan -R Transport -j "${jobs}"
 fi
 
 # Matching-engine bench smoke: a sub-second run whose --json export is

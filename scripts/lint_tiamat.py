@@ -15,7 +15,9 @@ Rules (each finding is `path:line: [rule] message`):
                   file's direct include scope. Results, replies and victim
                   selection must flow through sorted-id or engine paths.
   wall-clock      std::chrono clocks / time() / gettimeofday in src/:
-                  simulation code must use sim::Clock time only.
+                  protocol code must read time via transport::Clock only.
+                  Exempt under src/transport/ — the loopback backend is the
+                  one place that legitimately consults steady_clock.
   raw-random      rand()/srand()/std::random_device/std::mt19937 outside
                   src/sim/random.h: all randomness flows through sim::Rng
                   so runs are seed-reproducible.
@@ -28,9 +30,19 @@ Rules (each finding is `path:line: [rule] message`):
                   never "x.h" or "../tuple/x.h") and must resolve to a file
                   under src/.
   layering        The engine layers may only include downward:
-                  src/audit -> {audit}; src/sim -> {sim};
-                  src/obs -> {obs, sim, audit};
-                  src/tuple -> {tuple, obs, sim, audit}.
+                  src/audit -> {audit}; src/sim -> {sim, transport};
+                  src/transport -> {transport, sim};
+                  src/obs -> {obs, transport, audit};
+                  src/tuple -> {tuple, obs, transport, audit}.
+  sim-network     `#include "sim/network.h"` is confined to src/sim/ and the
+                  SimTransport adapter (src/transport/sim_transport.h).
+                  Everything else talks transport::Transport; naming the sim
+                  directly would silently couple protocol code to one
+                  backend.
+  concurrency     <thread>/<mutex>/<atomic>/<condition_variable> (and kin)
+                  only under src/transport/. Protocol and engine code is
+                  single-strand by contract — serialized per node by the
+                  transport — and must not grow its own locking.
   unused-include  #include <unordered_map> / <unordered_set> / <iostream> /
                   <cstdio> / <fstream> with no matching token use in the
                   file (headers dragging <fstream> tax every includer).
@@ -59,9 +71,31 @@ SRC_EXTS = (".h", ".cc")
 # unconstrained (they sit above the engine layers).
 LAYERS = {
     "audit": ("audit/",),  # trap infra sits below everything it audits
-    "sim": ("sim/",),
-    "obs": ("obs/", "sim/", "audit/"),  # flight recorder feeds trap reports
-    "tuple": ("tuple/", "obs/", "sim/", "audit/"),
+    # sim/event_queue.h implements transport::TimerService (the queue IS the
+    # simulator's timer backend), so sim reaches up to that one vocabulary
+    # layer; everything else in sim stays self-contained.
+    "sim": ("sim/", "transport/"),
+    # transport's vocabulary aliases the sim's leaf headers (clock, random)
+    # and SimTransport adapts the full simulator; the sim-network rule below
+    # still confines sim/network.h to that single adapter.
+    "transport": ("transport/", "sim/"),
+    "obs": ("obs/", "transport/", "audit/"),  # time/ids via transport types
+    "tuple": ("tuple/", "obs/", "transport/", "audit/"),
+}
+
+# The one file outside src/sim/ that may include the simulator's network
+# header. Protocol code (src/net, src/core, src/lease, src/space, ...) must
+# reach the substrate exclusively through transport::Transport; scenario
+# scripting in tests/benches goes through SimTransport::network().
+SIM_NETWORK_HEADER = "sim/network.h"
+SIM_NETWORK_ADAPTER = "src/transport/sim_transport.h"
+
+# Real-thread machinery is the loopback backend's implementation detail;
+# protocol and engine code must stay single-strand (deterministic under the
+# sim, strand-serialized under loopback) and so may not name it.
+CONCURRENCY_HEADERS = {
+    "thread", "mutex", "shared_mutex", "atomic", "condition_variable",
+    "future", "stop_token", "semaphore", "barrier", "latch",
 }
 
 UNUSED_INCLUDE_TOKENS = {
@@ -80,6 +114,8 @@ RULES = (
     "pragma-once",
     "include-path",
     "layering",
+    "sim-network",
+    "concurrency",
     "unused-include",
     "metric-name",
 )
@@ -324,7 +360,21 @@ class Linter:
                                 f"src/{layer} may only include "
                                 f"{{{', '.join(allowed)}}}, got \"{inc}\"",
                                 line)
+                if (inc == SIM_NETWORK_HEADER
+                        and not rel.startswith("src/sim/")
+                        and rel != SIM_NETWORK_ADAPTER):
+                    self.report(path, i, "sim-network",
+                                f'"{SIM_NETWORK_HEADER}" may only be '
+                                "included by src/sim/ and "
+                                f"{SIM_NETWORK_ADAPTER}; go through "
+                                "transport::Transport", line)
             else:
+                if (inc in CONCURRENCY_HEADERS
+                        and not rel.startswith("src/transport/")):
+                    self.report(path, i, "concurrency",
+                                f"<{inc}> outside src/transport/: protocol "
+                                "code is single-strand; threads and locks "
+                                "live in the transport backends", line)
                 token = UNUSED_INCLUDE_TOKENS.get(inc)
                 if token:
                     body = "\n".join(l for j, l in enumerate(lines, 1)
@@ -335,10 +385,10 @@ class Linter:
 
     def _lint_line(self, path, lineno, line, unordered):
         m = WALL_CLOCK_RE.search(line)
-        if m:
+        if m and not self.rel(path).startswith("src/transport/"):
             self.report(path, lineno, "wall-clock",
                         f"wall-clock source '{m.group(0).strip()}' in "
-                        "library code (use sim::Clock)", line)
+                        "library code (use transport::Clock)", line)
         m = RAW_RANDOM_RE.search(line)
         if m:
             self.report(path, lineno, "raw-random",

@@ -55,7 +55,7 @@ Master::Master(core::Instance& instance, Params params, std::uint64_t job_id)
   image_.resize(static_cast<std::size_t>(params_.height));
 }
 
-void Master::start(std::function<void()> done, sim::Duration task_ttl) {
+void Master::start(std::function<void()> done, transport::Duration task_ttl) {
   done_ = std::move(done);
   started_at_ = instance_.now();
   result_ttl_ = task_ttl;
@@ -65,7 +65,7 @@ void Master::start(std::function<void()> done, sim::Duration task_ttl) {
   collect_one();
 }
 
-void Master::out_task(int row, sim::Duration ttl) {
+void Master::out_task(int row, transport::Duration ttl) {
   LeaseTerms store;
   store.ttl = ttl;
   Tuple task{kTaskTag,
@@ -119,8 +119,8 @@ void Master::collect_one() {
 }
 
 Worker::~Worker() {
-  auto& q = instance_.endpoint().network().queue();
-  for (sim::EventId ev : pending_) q.cancel(ev);
+  auto& q = instance_.timers();
+  for (transport::EventId ev : pending_) q.cancel(ev);
 }
 
 void Worker::start() {
@@ -132,7 +132,7 @@ void Worker::start() {
 void Worker::await_task() {
   if (!running_) return;
   LeaseTerms wait;
-  wait.ttl = sim::seconds(30);
+  wait.ttl = transport::seconds(30);
   Pattern task{kTaskTag,      any_int(),    any_int(),
                any_int(),     any_int(),    any_int(),
                any_double(),  any_double(), any_double(),
@@ -160,8 +160,8 @@ void Worker::await_task() {
         p.y0 = t[8].as_double();
         p.y1 = t[9].as_double();
         // The computation takes simulated time on this device...
-        auto ev = std::make_shared<sim::EventId>(sim::kInvalidEvent);
-        *ev = instance_.endpoint().network().queue().schedule_after(
+        auto ev = std::make_shared<transport::EventId>(transport::kInvalidEvent);
+        *ev = instance_.timers().schedule_after(
             row_cost_, [this, p, job, row, ev] {
               pending_.erase(*ev);
               if (!running_) return;
@@ -169,7 +169,7 @@ void Worker::await_task() {
               auto pixels = compute_row(p, row);
               ++stats_.rows_computed;
               LeaseTerms store;
-              store.ttl = sim::seconds(120);
+              store.ttl = transport::seconds(120);
               instance_.out(Tuple{kResultTag, job, row, pack_row(pixels)},
                             FlexibleRequester{store});
               await_task();

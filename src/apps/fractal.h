@@ -48,20 +48,20 @@ class Master {
   /// Outs every task tuple and blocks (logically) on results. `done` fires
   /// when the full image is assembled. `task_ttl` leases the task tuples.
   void start(std::function<void()> done,
-             sim::Duration task_ttl = sim::seconds(120));
+             transport::Duration task_ttl = transport::seconds(120));
 
   std::size_t rows_done() const { return rows_done_; }
 
   /// If no result arrives for this long, the master re-outs task tuples
   /// for every missing row — the bag-of-tasks answer to a worker that took
   /// a task and then vanished. (Duplicate results are ignored.)
-  sim::Duration reissue_interval = sim::seconds(5);
+  transport::Duration reissue_interval = transport::seconds(5);
   std::uint64_t reissues() const { return reissues_; }
   bool complete() const { return rows_done_ == static_cast<std::size_t>(params_.height); }
   const std::vector<std::vector<std::uint16_t>>& image() const {
     return image_;
   }
-  sim::Duration elapsed() const { return finished_at_ - started_at_; }
+  transport::Duration elapsed() const { return finished_at_ - started_at_; }
   const Params& params() const { return params_; }
 
  private:
@@ -73,12 +73,12 @@ class Master {
   std::vector<std::vector<std::uint16_t>> image_;
   std::size_t rows_done_ = 0;
   std::uint64_t reissues_ = 0;
-  sim::Time started_at_ = 0;
-  sim::Time finished_at_ = 0;
-  sim::Duration result_ttl_ = sim::seconds(120);
+  transport::Time started_at_ = 0;
+  transport::Time finished_at_ = 0;
+  transport::Duration result_ttl_ = transport::seconds(120);
   std::function<void()> done_;
 
-  void out_task(int row, sim::Duration ttl);
+  void out_task(int row, transport::Duration ttl);
 };
 
 /// An anonymous worker: takes any task tuple, computes, produces a result.
@@ -91,7 +91,7 @@ class Worker {
   /// `row_cost` is the simulated wall time one row takes on this device —
   /// heterogeneous hardware is modelled by varying it per worker.
   Worker(core::Instance& instance,
-         sim::Duration row_cost = sim::milliseconds(20))
+         transport::Duration row_cost = transport::milliseconds(20))
       : instance_(instance), row_cost_(row_cost) {}
   ~Worker();
 
@@ -105,9 +105,9 @@ class Worker {
   void await_task();
 
   core::Instance& instance_;
-  sim::Duration row_cost_;
+  transport::Duration row_cost_;
   bool running_ = false;
-  std::set<sim::EventId> pending_;
+  std::set<transport::EventId> pending_;
   Stats stats_;
 };
 

@@ -10,9 +10,10 @@ using fractal::Params;
 
 // ---- Server ------------------------------------------------------------------
 
-LoadBalancingServer::LoadBalancingServer(sim::Network& net, sim::Position pos)
-    : net_(net), endpoint_(net, net.add_node(pos)) {
-  auto handler = [this](sim::NodeId from, const net::Message& m) {
+LoadBalancingServer::LoadBalancingServer(transport::Transport& net, transport::NodeOptions pos)
+    : net_(net), endpoint_(net, net.add_node(pos)),
+      timers_(net.timers(endpoint_.node())) {
+  auto handler = [this](transport::NodeId from, const net::Message& m) {
     handle(from, m);
   };
   for (std::uint16_t t : {kLbRegister, kLbResult, kLbSubmit}) {
@@ -20,7 +21,7 @@ LoadBalancingServer::LoadBalancingServer(sim::Network& net, sim::Position pos)
   }
 }
 
-void LoadBalancingServer::handle(sim::NodeId from, const net::Message& m) {
+void LoadBalancingServer::handle(transport::NodeId from, const net::Message& m) {
   switch (m.type) {
     case kLbRegister: {
       if (std::find(workers_.begin(), workers_.end(), from) ==
@@ -46,8 +47,8 @@ void LoadBalancingServer::handle(sim::NodeId from, const net::Message& m) {
       const auto task_id = static_cast<std::uint64_t>(m.hint(0));
       auto it = tasks_.find(task_id);
       if (it == tasks_.end()) return;  // duplicate after reassignment
-      if (it->second.timeout != sim::kInvalidEvent) {
-        net_.queue().cancel(it->second.timeout);
+      if (it->second.timeout != transport::kInvalidEvent) {
+        timers_.cancel(it->second.timeout);
       }
       net::Message deliver = m;
       deliver.type = kLbDeliver;
@@ -73,7 +74,7 @@ void LoadBalancingServer::assign(std::uint64_t task_id) {
   auto it = tasks_.find(task_id);
   if (it == tasks_.end() || workers_.empty()) return;
   Task& t = it->second;
-  sim::NodeId worker = workers_[next_worker_ % workers_.size()];
+  transport::NodeId worker = workers_[next_worker_ % workers_.size()];
   ++next_worker_;
   t.assigned_to = worker;
   ++stats_.tasks_assigned;
@@ -84,15 +85,15 @@ void LoadBalancingServer::assign(std::uint64_t task_id) {
   endpoint_.send(worker, task);
 
   // Hand-rolled failover: if the worker never answers, drop it and retry.
-  t.timeout = net_.queue().schedule_after(task_timeout, [this, task_id] {
+  t.timeout = timers_.schedule_after(task_timeout, [this, task_id] {
     auto it2 = tasks_.find(task_id);
     if (it2 == tasks_.end()) return;
     ++stats_.reassignments;
     workers_.erase(std::remove(workers_.begin(), workers_.end(),
                                it2->second.assigned_to),
                    workers_.end());
-    it2->second.assigned_to = sim::kNoNode;
-    it2->second.timeout = sim::kInvalidEvent;
+    it2->second.assigned_to = transport::kNoNode;
+    it2->second.timeout = transport::kInvalidEvent;
     queue_.push_back(task_id);
     pump();
   });
@@ -100,19 +101,20 @@ void LoadBalancingServer::assign(std::uint64_t task_id) {
 
 // ---- Worker ------------------------------------------------------------------
 
-LbWorker::LbWorker(sim::Network& net, sim::NodeId server,
-                   sim::Duration row_cost, sim::Position pos)
+LbWorker::LbWorker(transport::Transport& net, transport::NodeId server,
+                   transport::Duration row_cost, transport::NodeOptions pos)
     : net_(net),
       endpoint_(net, net.add_node(pos)),
+      timers_(net.timers(endpoint_.node())),
       server_(server),
       row_cost_(row_cost) {
-  endpoint_.on(kLbTask, [this](sim::NodeId from, const net::Message& m) {
+  endpoint_.on(kLbTask, [this](transport::NodeId from, const net::Message& m) {
     handle(from, m);
   });
 }
 
 LbWorker::~LbWorker() {
-  for (sim::EventId ev : pending_) net_.queue().cancel(ev);
+  for (transport::EventId ev : pending_) timers_.cancel(ev);
 }
 
 void LbWorker::start() {
@@ -123,7 +125,7 @@ void LbWorker::start() {
   endpoint_.send(server_, reg);
 }
 
-void LbWorker::handle(sim::NodeId, const net::Message& m) {
+void LbWorker::handle(transport::NodeId, const net::Message& m) {
   if (!running_ || m.headers.size() < 9) return;
   if (busy_) {
     backlog_.push_back(m);  // one CPU: queue behind the current row
@@ -152,8 +154,8 @@ void LbWorker::work_on(const net::Message& m) {
   p.y0 = m.hdouble(7);
   p.y1 = m.hdouble(8);
   const std::uint64_t task_id = m.op_id;
-  auto ev = std::make_shared<sim::EventId>(sim::kInvalidEvent);
-  *ev = net_.queue().schedule_after(row_cost_, [this, p, job, row, task_id,
+  auto ev = std::make_shared<transport::EventId>(transport::kInvalidEvent);
+  *ev = timers_.schedule_after(row_cost_, [this, p, job, row, task_id,
                                                 ev] {
     pending_.erase(*ev);
     if (!running_) return;
@@ -175,16 +177,17 @@ void LbWorker::work_on(const net::Message& m) {
 
 // ---- Master ---------------------------------------------------------------------
 
-LbMaster::LbMaster(sim::Network& net, sim::NodeId server,
+LbMaster::LbMaster(transport::Transport& net, transport::NodeId server,
                    fractal::Params params, std::uint64_t job,
-                   sim::Position pos)
+                   transport::NodeOptions pos)
     : net_(net),
       endpoint_(net, net.add_node(pos)),
+      timers_(net.timers(endpoint_.node())),
       server_(server),
       params_(params),
       job_(job) {
   image_.resize(static_cast<std::size_t>(params_.height));
-  endpoint_.on(kLbDeliver, [this](sim::NodeId from, const net::Message& m) {
+  endpoint_.on(kLbDeliver, [this](transport::NodeId from, const net::Message& m) {
     handle(from, m);
   });
 }
@@ -209,7 +212,7 @@ void LbMaster::start(std::function<void()> done) {
   }
 }
 
-void LbMaster::handle(sim::NodeId, const net::Message& m) {
+void LbMaster::handle(transport::NodeId, const net::Message& m) {
   if (m.headers.size() < 3 || !m.tuple) return;
   const int row = static_cast<int>(m.hint(2));
   if (row < 0 || row >= params_.height) return;

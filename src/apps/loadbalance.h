@@ -34,31 +34,32 @@ class LoadBalancingServer {
     std::uint64_t results_forwarded = 0;
   };
 
-  explicit LoadBalancingServer(sim::Network& net, sim::Position pos = {});
+  explicit LoadBalancingServer(transport::Transport& net, transport::NodeOptions pos = {});
 
-  sim::NodeId node() const { return endpoint_.node(); }
+  transport::NodeId node() const { return endpoint_.node(); }
   std::size_t workers() const { return workers_.size(); }
   const Stats& stats() const { return stats_; }
 
   /// How long a worker may sit on a task before it is reassigned.
-  sim::Duration task_timeout = sim::seconds(2);
+  transport::Duration task_timeout = transport::seconds(2);
 
  private:
   struct Task {
     std::uint64_t id;
     net::Message payload;       // the original kLbSubmit
-    sim::NodeId master;
-    sim::NodeId assigned_to = sim::kNoNode;
-    sim::EventId timeout = sim::kInvalidEvent;
+    transport::NodeId master;
+    transport::NodeId assigned_to = transport::kNoNode;
+    transport::EventId timeout = transport::kInvalidEvent;
   };
 
-  void handle(sim::NodeId from, const net::Message& m);
+  void handle(transport::NodeId from, const net::Message& m);
   void pump();
   void assign(std::uint64_t task_id);
 
-  sim::Network& net_;
+  transport::Transport& net_;
   net::Endpoint endpoint_;
-  std::vector<sim::NodeId> workers_;
+  transport::TimerService& timers_;  ///< this node's timer strand
+  std::vector<transport::NodeId> workers_;
   std::size_t next_worker_ = 0;
   std::uint64_t next_task_ = 1;
   std::deque<std::uint64_t> queue_;       // unassigned task ids
@@ -68,29 +69,30 @@ class LoadBalancingServer {
 
 class LbWorker {
  public:
-  LbWorker(sim::Network& net, sim::NodeId server,
-           sim::Duration row_cost = sim::milliseconds(20),
-           sim::Position pos = {});
+  LbWorker(transport::Transport& net, transport::NodeId server,
+           transport::Duration row_cost = transport::milliseconds(20),
+           transport::NodeOptions pos = {});
   ~LbWorker();
 
-  sim::NodeId node() const { return endpoint_.node(); }
+  transport::NodeId node() const { return endpoint_.node(); }
   void start();  ///< registers with the server
   void stop() { running_ = false; }
 
   std::uint64_t rows_computed() const { return rows_computed_; }
 
  private:
-  void handle(sim::NodeId from, const net::Message& m);
+  void handle(transport::NodeId from, const net::Message& m);
 
-  sim::Network& net_;
+  transport::Transport& net_;
   net::Endpoint endpoint_;
-  sim::NodeId server_;
-  sim::Duration row_cost_;
+  transport::TimerService& timers_;  ///< this node's timer strand
+  transport::NodeId server_;
+  transport::Duration row_cost_;
   bool running_ = false;
   bool busy_ = false;  ///< one CPU: tasks are computed serially
   std::deque<net::Message> backlog_;
   std::uint64_t rows_computed_ = 0;
-  std::set<sim::EventId> pending_;
+  std::set<transport::EventId> pending_;
 
   void work_on(const net::Message& m);
   void next_from_backlog();
@@ -98,33 +100,34 @@ class LbWorker {
 
 class LbMaster {
  public:
-  LbMaster(sim::Network& net, sim::NodeId server, fractal::Params params,
-           std::uint64_t job, sim::Position pos = {});
+  LbMaster(transport::Transport& net, transport::NodeId server, fractal::Params params,
+           std::uint64_t job, transport::NodeOptions pos = {});
 
-  sim::NodeId node() const { return endpoint_.node(); }
+  transport::NodeId node() const { return endpoint_.node(); }
   void start(std::function<void()> done);
 
   std::size_t rows_done() const { return rows_done_; }
   bool complete() const {
     return rows_done_ == static_cast<std::size_t>(params_.height);
   }
-  sim::Duration elapsed() const { return finished_at_ - started_at_; }
+  transport::Duration elapsed() const { return finished_at_ - started_at_; }
   const std::vector<std::vector<std::uint16_t>>& image() const {
     return image_;
   }
 
  private:
-  void handle(sim::NodeId from, const net::Message& m);
+  void handle(transport::NodeId from, const net::Message& m);
 
-  sim::Network& net_;
+  transport::Transport& net_;
   net::Endpoint endpoint_;
-  sim::NodeId server_;
+  transport::TimerService& timers_;  ///< this node's timer strand
+  transport::NodeId server_;
   fractal::Params params_;
   std::uint64_t job_;
   std::vector<std::vector<std::uint16_t>> image_;
   std::size_t rows_done_ = 0;
-  sim::Time started_at_ = 0;
-  sim::Time finished_at_ = 0;
+  transport::Time started_at_ = 0;
+  transport::Time finished_at_ = 0;
   std::function<void()> done_;
 };
 

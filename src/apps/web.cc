@@ -17,10 +17,10 @@ std::uint64_t WebClient::request_id() {
 
 void WebClient::get(const std::string& url,
                     std::function<void(std::optional<std::string>)> cb,
-                    sim::Duration patience) {
+                    transport::Duration patience) {
   ++stats_.issued;
   const std::uint64_t id = request_id();
-  const sim::Time started = instance_.now();
+  const transport::Time started = instance_.now();
 
   // The request tuple lives as long as the client is willing to wait; a
   // proxy that appears within that window can still serve it (§3.2's
@@ -68,7 +68,7 @@ void ProxyServer::await_request() {
   if (!running_ || in_flight_ >= max_concurrent) return;
   ++in_flight_;
   LeaseTerms wait;
-  wait.ttl = sim::seconds(30);  // renewed each loop iteration
+  wait.ttl = transport::seconds(30);  // renewed each loop iteration
   Pattern req{kReqTag, any_int(), any_string()};
   instance_.in(
       req,

@@ -35,8 +35,8 @@ inline constexpr const char* kRespTag = "web:resp";
 /// the paper's setup.
 class OriginServer {
  public:
-  explicit OriginServer(sim::EventQueue& queue,
-                        sim::Duration fetch_latency = sim::milliseconds(30))
+  explicit OriginServer(transport::TimerService& queue,
+                        transport::Duration fetch_latency = transport::milliseconds(30))
       : queue_(queue), fetch_latency_(fetch_latency) {}
 
   void add_page(std::string url, std::string body) {
@@ -60,8 +60,8 @@ class OriginServer {
   std::uint64_t fetches() const { return fetches_; }
 
  private:
-  sim::EventQueue& queue_;
-  sim::Duration fetch_latency_;
+  transport::TimerService& queue_;
+  transport::Duration fetch_latency_;
   std::map<std::string, std::string> pages_;
   std::uint64_t fetches_ = 0;
 };
@@ -83,7 +83,7 @@ class WebClient {
   /// the lease it requests for the blocking retrieval.
   void get(const std::string& url,
            std::function<void(std::optional<std::string>)> cb,
-           sim::Duration patience = sim::seconds(10));
+           transport::Duration patience = transport::seconds(10));
 
   core::Instance& instance() { return instance_; }
   const Stats& stats() const { return stats_; }

@@ -2,12 +2,13 @@
 
 namespace tiamat::baselines {
 
-CentralServer::CentralServer(sim::Network& net, sim::Position pos)
+CentralServer::CentralServer(transport::Transport& net, transport::NodeOptions pos)
     : net_(net),
       endpoint_(net, net.add_node(pos)),
-      rng_(net.rng().fork()),
-      space_(net.queue(), rng_, space::SpaceOptions{"central", true}) {
-  auto handler = [this](sim::NodeId from, const net::Message& m) {
+      timers_(net.timers(endpoint_.node())),
+      rng_(net.fork_rng()),
+      space_(timers_, rng_, space::SpaceOptions{"central", true}) {
+  auto handler = [this](transport::NodeId from, const net::Message& m) {
     handle(from, m);
   };
   for (std::uint16_t t :
@@ -16,7 +17,7 @@ CentralServer::CentralServer(sim::Network& net, sim::Position pos)
   }
 }
 
-void CentralServer::reply(sim::NodeId to, std::uint64_t op_id,
+void CentralServer::reply(transport::NodeId to, std::uint64_t op_id,
                           const std::optional<Tuple>& t) {
   net::Message r;
   r.type = kCentralReply;
@@ -27,7 +28,7 @@ void CentralServer::reply(sim::NodeId to, std::uint64_t op_id,
   endpoint_.send(to, r);
 }
 
-void CentralServer::handle(sim::NodeId from, const net::Message& m) {
+void CentralServer::handle(transport::NodeId from, const net::Message& m) {
   ++stats_.ops_served;
   switch (m.type) {
     case kCentralOut: {
@@ -50,7 +51,7 @@ void CentralServer::handle(sim::NodeId from, const net::Message& m) {
     case kCentralRd:
     case kCentralIn: {
       if (!m.pattern || m.headers.empty()) return;
-      const sim::Time deadline = static_cast<sim::Time>(m.hint(0));
+      const transport::Time deadline = static_cast<transport::Time>(m.hint(0));
       ++stats_.waiters_created;
       auto cb = [this, from, op_id = m.op_id](std::optional<Tuple> t) {
         reply(from, op_id, t);
@@ -67,17 +68,18 @@ void CentralServer::handle(sim::NodeId from, const net::Message& m) {
   }
 }
 
-CentralClient::CentralClient(sim::Network& net, sim::NodeId server,
-                             sim::Position pos)
+CentralClient::CentralClient(transport::Transport& net, transport::NodeId server,
+                             transport::NodeOptions pos)
     : net_(net),
       endpoint_(net, net.add_node(pos)),
-      correlator_(net.queue()),
+      timers_(net.timers(endpoint_.node())),
+      correlator_(timers_),
       server_(server) {
-  endpoint_.on(kCentralReply, [this](sim::NodeId from, const net::Message& m) {
+  endpoint_.on(kCentralReply, [this](transport::NodeId from, const net::Message& m) {
     correlator_.route(from, m);
   });
   endpoint_.on(kCentralOutAck,
-               [this](sim::NodeId from, const net::Message& m) {
+               [this](transport::NodeId from, const net::Message& m) {
                  correlator_.route(from, m);
                });
 }
@@ -92,7 +94,7 @@ void CentralClient::out(Tuple t, std::function<void(bool)> cb) {
   m.tuple = std::move(t);
   correlator_.expect(
       id,
-      [this, cb](sim::NodeId, const net::Message&) {
+      [this, cb](transport::NodeId, const net::Message&) {
         if (cb) cb(true);
         return false;  // one ack ends the exchange
       },
@@ -105,7 +107,7 @@ void CentralClient::out(Tuple t, std::function<void(bool)> cb) {
 }
 
 void CentralClient::request(std::uint16_t type, const Pattern& p,
-                            sim::Time deadline, MatchCb cb) {
+                            transport::Time deadline, MatchCb cb) {
   ++stats_.ops;
   const std::uint64_t id = correlator_.next_op_id();
   net::Message m;
@@ -114,12 +116,12 @@ void CentralClient::request(std::uint16_t type, const Pattern& p,
   m.origin = node();
   m.pattern = p;
   m.h(static_cast<std::int64_t>(deadline));
-  const sim::Time local_timeout =
-      (deadline == sim::kNever ? net_.now() + sim::seconds(3600) : deadline) +
+  const transport::Time local_timeout =
+      (deadline == transport::kNever ? net_.now() + transport::seconds(3600) : deadline) +
       rpc_timeout;
   correlator_.expect(
       id,
-      [cb](sim::NodeId, const net::Message& r) {
+      [cb](transport::NodeId, const net::Message& r) {
         if (!r.headers.empty() && r.hbool(0) && r.tuple) {
           cb(*r.tuple);
         } else {
@@ -141,10 +143,10 @@ void CentralClient::rdp(const Pattern& p, MatchCb cb) {
 void CentralClient::inp(const Pattern& p, MatchCb cb) {
   request(kCentralInp, p, net_.now(), std::move(cb));
 }
-void CentralClient::rd(const Pattern& p, sim::Time deadline, MatchCb cb) {
+void CentralClient::rd(const Pattern& p, transport::Time deadline, MatchCb cb) {
   request(kCentralRd, p, deadline, std::move(cb));
 }
-void CentralClient::in(const Pattern& p, sim::Time deadline, MatchCb cb) {
+void CentralClient::in(const Pattern& p, transport::Time deadline, MatchCb cb) {
   request(kCentralIn, p, deadline, std::move(cb));
 }
 

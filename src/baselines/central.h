@@ -31,9 +31,9 @@ enum CentralMsg : std::uint16_t {
 
 class CentralServer {
  public:
-  explicit CentralServer(sim::Network& net, sim::Position pos = {});
+  explicit CentralServer(transport::Transport& net, transport::NodeOptions pos = {});
 
-  sim::NodeId node() const { return endpoint_.node(); }
+  transport::NodeId node() const { return endpoint_.node(); }
   space::LocalTupleSpace& space() { return space_; }
 
   struct Stats {
@@ -43,22 +43,23 @@ class CentralServer {
   const Stats& stats() const { return stats_; }
 
  private:
-  void handle(sim::NodeId from, const net::Message& m);
-  void reply(sim::NodeId to, std::uint64_t op_id,
+  void handle(transport::NodeId from, const net::Message& m);
+  void reply(transport::NodeId to, std::uint64_t op_id,
              const std::optional<Tuple>& t);
 
-  sim::Network& net_;
+  transport::Transport& net_;
   net::Endpoint endpoint_;
-  sim::Rng rng_;
+  transport::TimerService& timers_;  ///< this node's timer strand
+  transport::Rng rng_;
   space::LocalTupleSpace space_;
   Stats stats_;
 };
 
 class CentralClient {
  public:
-  CentralClient(sim::Network& net, sim::NodeId server, sim::Position pos = {});
+  CentralClient(transport::Transport& net, transport::NodeId server, transport::NodeOptions pos = {});
 
-  sim::NodeId node() const { return endpoint_.node(); }
+  transport::NodeId node() const { return endpoint_.node(); }
 
   /// Fire-and-forget out with ack tracking. `cb` (optional) reports whether
   /// the server acknowledged within the timeout.
@@ -68,8 +69,8 @@ class CentralClient {
   void inp(const Pattern& p, MatchCb cb);
   /// Blocking forms carry an absolute deadline enforced server-side; the
   /// client also times out locally (covers server loss).
-  void rd(const Pattern& p, sim::Time deadline, MatchCb cb);
-  void in(const Pattern& p, sim::Time deadline, MatchCb cb);
+  void rd(const Pattern& p, transport::Time deadline, MatchCb cb);
+  void in(const Pattern& p, transport::Time deadline, MatchCb cb);
 
   struct Stats {
     std::uint64_t ops = 0;
@@ -78,16 +79,17 @@ class CentralClient {
   const Stats& stats() const { return stats_; }
 
   /// Extra slack past the deadline before declaring the server lost.
-  sim::Duration rpc_timeout = sim::milliseconds(200);
+  transport::Duration rpc_timeout = transport::milliseconds(200);
 
  private:
-  void request(std::uint16_t type, const Pattern& p, sim::Time deadline,
+  void request(std::uint16_t type, const Pattern& p, transport::Time deadline,
                MatchCb cb);
 
-  sim::Network& net_;
+  transport::Transport& net_;
   net::Endpoint endpoint_;
+  transport::TimerService& timers_;  ///< this node's timer strand
   net::Correlator correlator_;
-  sim::NodeId server_;
+  transport::NodeId server_;
   Stats stats_;
 };
 

@@ -9,8 +9,8 @@
 #include <functional>
 #include <optional>
 
-#include "sim/clock.h"
-#include "sim/network.h"
+#include "transport/types.h"
+#include "transport/transport.h"
 #include "tuple/pattern.h"
 #include "tuple/tuple.h"
 

@@ -2,24 +2,25 @@
 
 namespace tiamat::baselines {
 
-CoreLimeHost::CoreLimeHost(sim::Network& net, sim::Position pos)
+CoreLimeHost::CoreLimeHost(transport::Transport& net, transport::NodeOptions pos)
     : net_(net),
       endpoint_(net, net.add_node(pos)),
-      rng_(net.rng().fork()),
-      space_(net.queue(), rng_, space::SpaceOptions{"corelime-host", false}),
-      correlator_(net.queue()) {
-  endpoint_.on(kAgentGo, [this](sim::NodeId from, const net::Message& m) {
+      timers_(net.timers(endpoint_.node())),
+      rng_(net.fork_rng()),
+      space_(timers_, rng_, space::SpaceOptions{"corelime-host", false}),
+      correlator_(timers_) {
+  endpoint_.on(kAgentGo, [this](transport::NodeId from, const net::Message& m) {
     handle(from, m);
   });
   endpoint_.on(kAgentReturn,
-               [this](sim::NodeId from, const net::Message& m) {
+               [this](transport::NodeId from, const net::Message& m) {
                  correlator_.route(from, m);
                });
 }
 
-void CoreLimeHost::agent_op(sim::NodeId dest, bool destructive,
+void CoreLimeHost::agent_op(transport::NodeId dest, bool destructive,
                             const Pattern& p, MatchCb cb,
-                            sim::Duration timeout) {
+                            transport::Duration timeout) {
   ++stats_.agents_sent;
   const std::uint64_t id = correlator_.next_op_id();
   net::Message m;
@@ -32,7 +33,7 @@ void CoreLimeHost::agent_op(sim::NodeId dest, bool destructive,
   m.pattern = p;
   correlator_.expect(
       id,
-      [cb](sim::NodeId, const net::Message& r) {
+      [cb](transport::NodeId, const net::Message& r) {
         if (!r.headers.empty() && r.hbool(0) && r.tuple) {
           cb(*r.tuple);
         } else {
@@ -48,7 +49,7 @@ void CoreLimeHost::agent_op(sim::NodeId dest, bool destructive,
   endpoint_.send(dest, m);
 }
 
-void CoreLimeHost::handle(sim::NodeId from, const net::Message& m) {
+void CoreLimeHost::handle(transport::NodeId from, const net::Message& m) {
   if (!m.pattern || m.headers.empty()) return;
   ++stats_.agents_hosted;
   const bool destructive = m.hbool(0);

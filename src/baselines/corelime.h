@@ -36,9 +36,9 @@ class CoreLimeHost {
     std::uint64_t agents_lost = 0;  ///< migration failed / timed out
   };
 
-  explicit CoreLimeHost(sim::Network& net, sim::Position pos = {});
+  explicit CoreLimeHost(transport::Transport& net, transport::NodeOptions pos = {});
 
-  sim::NodeId node() const { return endpoint_.node(); }
+  transport::NodeId node() const { return endpoint_.node(); }
 
   /// The host-level tuple space; local agents/clients use it directly.
   space::LocalTupleSpace& space() { return space_; }
@@ -47,8 +47,8 @@ class CoreLimeHost {
   /// there and back. `agent_code_size` pads the migration messages to model
   /// shipping the agent's code+state both ways. Times out (cb nullopt)
   /// after `timeout`.
-  void agent_op(sim::NodeId dest, bool destructive, const Pattern& p,
-                MatchCb cb, sim::Duration timeout = sim::milliseconds(500));
+  void agent_op(transport::NodeId dest, bool destructive, const Pattern& p,
+                MatchCb cb, transport::Duration timeout = transport::milliseconds(500));
 
   /// Bytes of agent code/state shipped per migration leg.
   std::size_t agent_code_size = 2048;
@@ -56,11 +56,12 @@ class CoreLimeHost {
   const Stats& stats() const { return stats_; }
 
  private:
-  void handle(sim::NodeId from, const net::Message& m);
+  void handle(transport::NodeId from, const net::Message& m);
 
-  sim::Network& net_;
+  transport::Transport& net_;
   net::Endpoint endpoint_;
-  sim::Rng rng_;
+  transport::TimerService& timers_;  ///< this node's timer strand
+  transport::Rng rng_;
   space::LocalTupleSpace space_;
   net::Correlator correlator_;
   Stats stats_;

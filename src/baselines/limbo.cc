@@ -4,11 +4,12 @@
 
 namespace tiamat::baselines {
 
-LimboNode::LimboNode(sim::Network& net, sim::GroupId space_group,
-                     sim::Position pos)
-    : net_(net), endpoint_(net, net.add_node(pos)), group_(space_group) {
+LimboNode::LimboNode(transport::Transport& net, transport::GroupId space_group,
+                     transport::NodeOptions pos)
+    : net_(net), endpoint_(net, net.add_node(pos)),
+      timers_(net.timers(endpoint_.node())), group_(space_group) {
   endpoint_.join_group(group_);
-  auto handler = [this](sim::NodeId from, const net::Message& m) {
+  auto handler = [this](transport::NodeId from, const net::Message& m) {
     handle(from, m);
   };
   for (std::uint16_t t : {kLimboAdd, kLimboDel, kLimboSyncReq,
@@ -19,7 +20,7 @@ LimboNode::LimboNode(sim::Network& net, sim::GroupId space_group,
 
 // ---- Replica maintenance ------------------------------------------------------
 
-void LimboNode::apply_add(const GlobalId& id, Tuple t, sim::NodeId owner) {
+void LimboNode::apply_add(const GlobalId& id, Tuple t, transport::NodeId owner) {
   const std::uint64_t k = id.key();
   if (tombstones_.contains(k)) return;  // deleted before we saw the add
   if (replica_.contains(k)) return;       // duplicate
@@ -38,7 +39,7 @@ void LimboNode::apply_del(const GlobalId& id) {
 }
 
 void LimboNode::broadcast_add(const GlobalId& id, const Tuple& t,
-                              sim::NodeId owner) {
+                              transport::NodeId owner) {
   net::Message m;
   m.type = kLimboAdd;
   m.origin = node();
@@ -93,7 +94,7 @@ std::optional<std::pair<GlobalId, Tuple>> LimboNode::rd_with_id(
   return std::make_pair(ids_.at(*k), *replica_.get(*k));
 }
 
-void LimboNode::rd_blocking(const Pattern& p, sim::Time deadline,
+void LimboNode::rd_blocking(const Pattern& p, transport::Time deadline,
                             MatchCb cb) {
   if (auto t = rd(p)) {
     cb(t);
@@ -106,7 +107,7 @@ void LimboNode::rd_blocking(const Pattern& p, sim::Time deadline,
   const std::uint64_t wid = next_waiter_++;
   Waiter w;
   w.cb = std::move(cb);
-  w.deadline_event = net_.queue().schedule_at(deadline, [this, wid] {
+  w.deadline_event = timers_.schedule_at(deadline, [this, wid] {
     if (auto e = waiters_.extract(wid)) e->payload.cb(std::nullopt);
   });
   waiters_.add(wid, tuples::CompiledPattern(p), std::move(w));
@@ -120,8 +121,8 @@ void LimboNode::serve_waiters(const Tuple& t) {
     const tuples::CompiledPattern* cp = waiters_.pattern_of(wid);
     if (cp == nullptr || !cp->matches(t)) continue;
     auto e = waiters_.extract(wid);
-    if (e->payload.deadline_event != sim::kInvalidEvent) {
-      net_.queue().cancel(e->payload.deadline_event);
+    if (e->payload.deadline_event != transport::kInvalidEvent) {
+      timers_.cancel(e->payload.deadline_event);
     }
     fired.push_back(std::move(e->payload));
   }
@@ -148,7 +149,7 @@ std::optional<Tuple> LimboNode::in_owned(const Pattern& p) {
   return t;
 }
 
-bool LimboNode::transfer_ownership(const GlobalId& id, sim::NodeId new_owner) {
+bool LimboNode::transfer_ownership(const GlobalId& id, transport::NodeId new_owner) {
   auto it = owners_.find(id.key());
   if (it == owners_.end() || it->second != node()) return false;
   // Ownership handover requires direct, synchronous contact with the
@@ -205,29 +206,29 @@ std::size_t LimboNode::owned_tuples() const {
 
 // ---- Protocol -----------------------------------------------------------------------
 
-void LimboNode::handle(sim::NodeId from, const net::Message& m) {
+void LimboNode::handle(transport::NodeId from, const net::Message& m) {
   switch (m.type) {
     case kLimboAdd: {
       if (!m.tuple || m.headers.size() < 3) return;
-      GlobalId id{static_cast<sim::NodeId>(m.hint(0)),
+      GlobalId id{static_cast<transport::NodeId>(m.hint(0)),
                   static_cast<std::uint64_t>(m.hint(1))};
-      apply_add(id, *m.tuple, static_cast<sim::NodeId>(m.hint(2)));
+      apply_add(id, *m.tuple, static_cast<transport::NodeId>(m.hint(2)));
       return;
     }
     case kLimboDel: {
       if (m.headers.size() < 2) return;
-      GlobalId id{static_cast<sim::NodeId>(m.hint(0)),
+      GlobalId id{static_cast<transport::NodeId>(m.hint(0)),
                   static_cast<std::uint64_t>(m.hint(1))};
       apply_del(id);
       return;
     }
     case kLimboTransfer: {
       if (m.headers.size() < 3) return;
-      auto it = owners_.find(GlobalId{static_cast<sim::NodeId>(m.hint(0)),
+      auto it = owners_.find(GlobalId{static_cast<transport::NodeId>(m.hint(0)),
                                       static_cast<std::uint64_t>(m.hint(1))}
                                  .key());
       if (it != owners_.end()) {
-        it->second = static_cast<sim::NodeId>(m.hint(2));
+        it->second = static_cast<transport::NodeId>(m.hint(2));
       }
       return;
     }
@@ -250,9 +251,9 @@ void LimboNode::handle(sim::NodeId from, const net::Message& m) {
     case kLimboSyncState: {
       if (!m.tuple || m.headers.size() < 3) return;
       ++stats_.sync_tuples_received;
-      GlobalId id{static_cast<sim::NodeId>(m.hint(0)),
+      GlobalId id{static_cast<transport::NodeId>(m.hint(0)),
                   static_cast<std::uint64_t>(m.hint(1))};
-      apply_add(id, *m.tuple, static_cast<sim::NodeId>(m.hint(2)));
+      apply_add(id, *m.tuple, static_cast<transport::NodeId>(m.hint(2)));
       return;
     }
     default:

@@ -39,7 +39,7 @@ enum LimboMsg : std::uint16_t {
 
 /// Globally unique tuple identity: creator node + creator-local sequence.
 struct GlobalId {
-  sim::NodeId creator = 0;
+  transport::NodeId creator = 0;
   std::uint64_t seq = 0;
 
   std::uint64_t key() const {
@@ -52,10 +52,10 @@ struct GlobalId {
 
 class LimboNode {
  public:
-  LimboNode(sim::Network& net, sim::GroupId space_group,
-            sim::Position pos = {});
+  LimboNode(transport::Transport& net, transport::GroupId space_group,
+            transport::NodeOptions pos = {});
 
-  sim::NodeId node() const { return endpoint_.node(); }
+  transport::NodeId node() const { return endpoint_.node(); }
 
   // ---- Operations (all answered from the local replica) -----------------
 
@@ -68,7 +68,7 @@ class LimboNode {
   std::optional<std::pair<GlobalId, Tuple>> rd_with_id(const Pattern& p);
 
   /// Blocking read: waits for a replica insert until `deadline`.
-  void rd_blocking(const Pattern& p, sim::Time deadline, MatchCb cb);
+  void rd_blocking(const Pattern& p, transport::Time deadline, MatchCb cb);
 
   /// Take: permitted only on tuples this node owns (§4.3).
   std::optional<Tuple> in_owned(const Pattern& p);
@@ -76,7 +76,7 @@ class LimboNode {
   /// Hands ownership of a tuple to another node. Requires knowing (and
   /// being able to reach) the recipient — the decoupling break the paper
   /// criticises. Returns false if the tuple is not present or not ours.
-  bool transfer_ownership(const GlobalId& id, sim::NodeId new_owner);
+  bool transfer_ownership(const GlobalId& id, transport::NodeId new_owner);
 
   // ---- Disconnected operation -------------------------------------------
 
@@ -108,19 +108,20 @@ class LimboNode {
  private:
   struct Waiter {
     MatchCb cb;
-    sim::EventId deadline_event = sim::kInvalidEvent;
+    transport::EventId deadline_event = transport::kInvalidEvent;
   };
 
-  void apply_add(const GlobalId& id, Tuple t, sim::NodeId owner);
+  void apply_add(const GlobalId& id, Tuple t, transport::NodeId owner);
   void apply_del(const GlobalId& id);
-  void broadcast_add(const GlobalId& id, const Tuple& t, sim::NodeId owner);
+  void broadcast_add(const GlobalId& id, const Tuple& t, transport::NodeId owner);
   void broadcast_del(const GlobalId& id);
-  void handle(sim::NodeId from, const net::Message& m);
+  void handle(transport::NodeId from, const net::Message& m);
   void serve_waiters(const Tuple& t);
 
-  sim::Network& net_;
+  transport::Transport& net_;
   net::Endpoint endpoint_;
-  sim::GroupId group_;
+  transport::TimerService& timers_;  ///< this node's timer strand
+  transport::GroupId group_;
   bool connected_ = true;
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_waiter_ = 1;
@@ -130,7 +131,7 @@ class LimboNode {
   // ascending-key iteration reproduces the old std::map scan order. Owner
   // and full-id bookkeeping ride in side maps.
   tuples::TupleIndex replica_;
-  std::map<std::uint64_t, sim::NodeId> owners_;  // key() -> owner
+  std::map<std::uint64_t, transport::NodeId> owners_;  // key() -> owner
   std::map<std::uint64_t, GlobalId> ids_;        // key() -> full id
   std::set<std::uint64_t> tombstones_;
   tuples::WaiterIndex<Waiter> waiters_;

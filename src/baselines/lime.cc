@@ -4,10 +4,11 @@
 
 namespace tiamat::baselines {
 
-LimeHost::LimeHost(sim::Network& net, sim::GroupId federation, bool first,
-                   sim::Position pos)
-    : net_(net), endpoint_(net, net.add_node(pos)), group_(federation) {
-  auto handler = [this](sim::NodeId from, const net::Message& m) {
+LimeHost::LimeHost(transport::Transport& net, transport::GroupId federation, bool first,
+                   transport::NodeOptions pos)
+    : net_(net), endpoint_(net, net.add_node(pos)),
+      timers_(net.timers(endpoint_.node())), group_(federation) {
+  auto handler = [this](transport::NodeId from, const net::Message& m) {
     handle(from, m);
   };
   for (std::uint16_t t = net::kLimeBase + 1; t <= net::kLimeBase + 10; ++t) {
@@ -20,7 +21,7 @@ LimeHost::LimeHost(sim::Network& net, sim::GroupId federation, bool first,
   }
 }
 
-sim::NodeId LimeHost::coordinator() const {
+transport::NodeId LimeHost::coordinator() const {
   if (members_.empty()) return node();
   return *members_.begin();  // lowest node id
 }
@@ -41,8 +42,8 @@ void LimeHost::engage(std::function<void(bool)> done) {
   m.origin = node();
   endpoint_.multicast(group_, m);
   // Retry until some coordinator lets us in (it may be mid-engagement).
-  engage_timeout_ = net_.queue().schedule_after(sim::seconds(1), [this] {
-    engage_timeout_ = sim::kInvalidEvent;
+  engage_timeout_ = timers_.schedule_after(transport::seconds(1), [this] {
+    engage_timeout_ = transport::kInvalidEvent;
     if (joining_) {
       joining_ = false;
       engage(std::move(join_done_));
@@ -50,14 +51,14 @@ void LimeHost::engage(std::function<void(bool)> done) {
   });
 }
 
-void LimeHost::begin_engagement(sim::NodeId newcomer) {
+void LimeHost::begin_engagement(transport::NodeId newcomer) {
   if (pausing_) return;  // barrier already running; newcomer will retry
   ++stats_.engagements;
   pausing_ = true;
   pause_started_ = net_.now();
   pending_newcomer_ = newcomer;
   pause_acks_pending_.clear();
-  for (sim::NodeId m : members_) {
+  for (transport::NodeId m : members_) {
     if (m == node()) continue;
     pause_acks_pending_.insert(m);
     net::Message p;
@@ -70,10 +71,10 @@ void LimeHost::begin_engagement(sim::NodeId newcomer) {
     finish_engagement();
   } else {
     // Expel silent members rather than deadlock.
-    net_.queue().schedule_after(ack_timeout, [this, newcomer] {
+    timers_.schedule_after(ack_timeout, [this, newcomer] {
       if (pausing_ && pending_newcomer_ == newcomer &&
           !pause_acks_pending_.empty()) {
-        for (sim::NodeId dead : pause_acks_pending_) members_.erase(dead);
+        for (transport::NodeId dead : pause_acks_pending_) members_.erase(dead);
         pause_acks_pending_.clear();
         finish_engagement();
       }
@@ -97,7 +98,7 @@ void LimeHost::finish_engagement() {
   net::Message end;
   end.type = kLimeEngageEnd;
   end.origin = node();
-  for (sim::NodeId m : members_) end.h(static_cast<std::int64_t>(m));
+  for (transport::NodeId m : members_) end.h(static_cast<std::int64_t>(m));
   endpoint_.multicast(group_, end);
   // Apply locally too (multicast skips the sender).
   stats_.total_engagement_stall += net_.now() - pause_started_;
@@ -190,7 +191,7 @@ void LimeHost::submit(PendingOp op) {
   } else {
     m.pattern = *op.pattern;
   }
-  const sim::NodeId coord = coordinator();
+  const transport::NodeId coord = coordinator();
   in_flight_.emplace(op.id, std::move(op));
   if (coord == node()) {
     coord_sequence(node(), m);
@@ -199,7 +200,7 @@ void LimeHost::submit(PendingOp op) {
   }
   // Originator-side failure timeout (coordinator loss).
   const std::uint64_t op_id = m.op_id;
-  net_.queue().schedule_after(ack_timeout * 3, [this, op_id] {
+  timers_.schedule_after(ack_timeout * 3, [this, op_id] {
     auto it = in_flight_.find(op_id);
     if (it == in_flight_.end()) return;
     PendingOp failed = std::move(it->second);
@@ -221,7 +222,7 @@ void LimeHost::flush_queue() {
 
 // ---- Coordinator side ------------------------------------------------------------------
 
-void LimeHost::coord_sequence(sim::NodeId origin, const net::Message& m) {
+void LimeHost::coord_sequence(transport::NodeId origin, const net::Message& m) {
   CoordOp c;
   c.seq = next_seq_++;
   c.origin = origin;
@@ -276,18 +277,18 @@ void LimeHost::coord_sequence(sim::NodeId origin, const net::Message& m) {
     replica_.erase(victim);
   }
 
-  for (sim::NodeId member : members_) {
+  for (transport::NodeId member : members_) {
     if (member == node()) continue;
     c.awaiting.insert(member);
     endpoint_.send(member, apply);
   }
   const std::uint64_t seq = c.seq;
   if (!c.awaiting.empty()) {
-    c.timeout = net_.queue().schedule_after(ack_timeout, [this, seq] {
+    c.timeout = timers_.schedule_after(ack_timeout, [this, seq] {
       auto it = coord_ops_.find(seq);
       if (it == coord_ops_.end()) return;
       // Expel silent members and finish.
-      for (sim::NodeId dead : it->second.awaiting) members_.erase(dead);
+      for (transport::NodeId dead : it->second.awaiting) members_.erase(dead);
       it->second.awaiting.clear();
       ++epoch_;
       coord_maybe_finish(seq);
@@ -302,7 +303,7 @@ void LimeHost::coord_maybe_finish(std::uint64_t seq) {
   if (it == coord_ops_.end() || !it->second.awaiting.empty()) return;
   CoordOp c = std::move(it->second);
   coord_ops_.erase(it);
-  if (c.timeout != sim::kInvalidEvent) net_.queue().cancel(c.timeout);
+  if (c.timeout != transport::kInvalidEvent) timers_.cancel(c.timeout);
   net::Message res;
   res.type = kLimeOpResult;
   res.op_id = c.origin_op;
@@ -333,7 +334,7 @@ void LimeHost::apply(const net::Message& m) {
 
 // ---- Blocking waiters -------------------------------------------------------------------------
 
-void LimeHost::rd(const Pattern& p, sim::Time deadline, MatchCb cb) {
+void LimeHost::rd(const Pattern& p, transport::Time deadline, MatchCb cb) {
   if (auto t = local_match(p)) {
     cb(t);
     return;
@@ -347,13 +348,13 @@ void LimeHost::rd(const Pattern& p, sim::Time deadline, MatchCb cb) {
   w.destructive = false;
   w.deadline = deadline;
   w.cb = std::move(cb);
-  w.deadline_event = net_.queue().schedule_at(deadline, [this, wid] {
+  w.deadline_event = timers_.schedule_at(deadline, [this, wid] {
     if (auto e = waiters_.extract(wid)) e->payload.cb(std::nullopt);
   });
   waiters_.add(wid, tuples::CompiledPattern(p), std::move(w));
 }
 
-void LimeHost::in(const Pattern& p, sim::Time deadline, MatchCb cb) {
+void LimeHost::in(const Pattern& p, transport::Time deadline, MatchCb cb) {
   // Optimistic: try a coordinated take; if the federation has no match,
   // wait for an insert and retry.
   inp(p, [this, p, deadline, cb](std::optional<Tuple> t) {
@@ -370,7 +371,7 @@ void LimeHost::in(const Pattern& p, sim::Time deadline, MatchCb cb) {
     w.destructive = true;
     w.deadline = deadline;
     w.cb = cb;
-    w.deadline_event = net_.queue().schedule_at(deadline, [this, wid] {
+    w.deadline_event = timers_.schedule_at(deadline, [this, wid] {
       if (auto e = waiters_.extract(wid)) e->payload.cb(std::nullopt);
     });
     waiters_.add(wid, tuples::CompiledPattern(p), std::move(w));
@@ -391,8 +392,8 @@ void LimeHost::serve_waiters_on_insert(const Tuple& t) {
       continue;
     }
     auto e = waiters_.extract(wid);
-    if (e->payload.deadline_event != sim::kInvalidEvent) {
-      net_.queue().cancel(e->payload.deadline_event);
+    if (e->payload.deadline_event != transport::kInvalidEvent) {
+      timers_.cancel(e->payload.deadline_event);
     }
     e->payload.cb(t);
   }
@@ -402,8 +403,8 @@ void LimeHost::serve_waiters_on_insert(const Tuple& t) {
 void LimeHost::waiter_retry_in(std::uint64_t waiter_id) {
   auto e = waiters_.extract(waiter_id);
   if (!e) return;
-  if (e->payload.deadline_event != sim::kInvalidEvent) {
-    net_.queue().cancel(e->payload.deadline_event);
+  if (e->payload.deadline_event != transport::kInvalidEvent) {
+    timers_.cancel(e->payload.deadline_event);
   }
   // Re-runs the coordinated take.
   in(e->pattern.pattern(), e->payload.deadline, std::move(e->payload.cb));
@@ -411,7 +412,7 @@ void LimeHost::waiter_retry_in(std::uint64_t waiter_id) {
 
 // ---- Dispatch ------------------------------------------------------------------------------------
 
-void LimeHost::handle(sim::NodeId from, const net::Message& m) {
+void LimeHost::handle(transport::NodeId from, const net::Message& m) {
   switch (m.type) {
     case kLimeJoinReq:
       if (engaged_ && is_coordinator()) begin_engagement(m.origin);
@@ -445,15 +446,15 @@ void LimeHost::handle(sim::NodeId from, const net::Message& m) {
     case kLimeEngageEnd: {
       members_.clear();
       for (const auto& h : m.headers) {
-        members_.insert(static_cast<sim::NodeId>(h.as_int()));
+        members_.insert(static_cast<transport::NodeId>(h.as_int()));
       }
       ++epoch_;
       if (joining_ && members_.contains(node())) {
         joining_ = false;
         engaged_ = true;
-        if (engage_timeout_ != sim::kInvalidEvent) {
-          net_.queue().cancel(engage_timeout_);
-          engage_timeout_ = sim::kInvalidEvent;
+        if (engage_timeout_ != transport::kInvalidEvent) {
+          timers_.cancel(engage_timeout_);
+          engage_timeout_ = transport::kInvalidEvent;
         }
         stats_.total_engagement_stall += net_.now() - pause_started_;
         if (join_done_) {

@@ -52,16 +52,16 @@ class LimeHost {
     std::uint64_t ops_failed = 0;
     std::uint64_t ops_stalled_by_engagement = 0;
     std::uint64_t engagements = 0;
-    sim::Duration total_engagement_stall = 0;  ///< summed pause time
+    transport::Duration total_engagement_stall = 0;  ///< summed pause time
     std::uint64_t state_tuples_sent = 0;
   };
 
   /// The first host of a federation constructs with `first=true`; later
   /// hosts call `engage()` to join.
-  LimeHost(sim::Network& net, sim::GroupId federation, bool first,
-           sim::Position pos = {});
+  LimeHost(transport::Transport& net, transport::GroupId federation, bool first,
+           transport::NodeOptions pos = {});
 
-  sim::NodeId node() const { return endpoint_.node(); }
+  transport::NodeId node() const { return endpoint_.node(); }
   bool engaged() const { return engaged_; }
   bool engagement_in_progress() const { return pausing_ || joining_; }
   std::size_t members() const { return members_.size(); }
@@ -80,14 +80,14 @@ class LimeHost {
   void out(Tuple t, std::function<void(bool)> done = nullptr);
   void rdp(const Pattern& p, MatchCb cb);
   void inp(const Pattern& p, MatchCb cb);
-  void rd(const Pattern& p, sim::Time deadline, MatchCb cb);
-  void in(const Pattern& p, sim::Time deadline, MatchCb cb);
+  void rd(const Pattern& p, transport::Time deadline, MatchCb cb);
+  void in(const Pattern& p, transport::Time deadline, MatchCb cb);
 
   const Stats& stats() const { return stats_; }
 
   /// Coordinator ack-collection timeout; a silent member is expelled so
   /// the federation does not deadlock (crude failure handling).
-  sim::Duration ack_timeout = sim::milliseconds(400);
+  transport::Duration ack_timeout = transport::milliseconds(400);
 
  private:
   struct PendingOp {
@@ -102,19 +102,19 @@ class LimeHost {
 
   struct CoordOp {
     std::uint64_t seq = 0;
-    sim::NodeId origin = 0;
+    transport::NodeId origin = 0;
     std::uint64_t origin_op = 0;
     bool is_out = false;
     Tuple tuple;          // out payload, or the tuple removed by inp
     std::uint64_t victim = 0;  // replica key removed (0 = none)
     bool found = false;
-    std::set<sim::NodeId> awaiting;
-    sim::EventId timeout = sim::kInvalidEvent;
+    std::set<transport::NodeId> awaiting;
+    transport::EventId timeout = transport::kInvalidEvent;
   };
 
-  sim::NodeId coordinator() const;
+  transport::NodeId coordinator() const;
   bool is_coordinator() const { return coordinator() == node(); }
-  void handle(sim::NodeId from, const net::Message& m);
+  void handle(transport::NodeId from, const net::Message& m);
 
   // originator side
   void submit(PendingOp op);
@@ -124,20 +124,21 @@ class LimeHost {
   void replica_put(std::uint64_t key, const Tuple& t);
 
   // coordinator side
-  void coord_sequence(sim::NodeId origin, const net::Message& m);
+  void coord_sequence(transport::NodeId origin, const net::Message& m);
   void coord_maybe_finish(std::uint64_t seq);
-  void begin_engagement(sim::NodeId newcomer);
+  void begin_engagement(transport::NodeId newcomer);
   void finish_engagement();
 
   // member side
   void apply(const net::Message& m);
 
-  sim::Network& net_;
+  transport::Transport& net_;
   net::Endpoint endpoint_;
-  sim::GroupId group_;
+  transport::TimerService& timers_;  ///< this node's timer strand
+  transport::GroupId group_;
   bool engaged_ = false;
 
-  std::set<sim::NodeId> members_;  // includes self when engaged
+  std::set<transport::NodeId> members_;  // includes self when engaged
   std::uint64_t epoch_ = 0;        // bumped on every membership change
 
   // Consistent replica, stored in the shared matching engine: tuple id =
@@ -150,12 +151,12 @@ class LimeHost {
   // Engagement state.
   bool pausing_ = false;   // coordinator barrier in progress (all hosts)
   bool joining_ = false;   // we are the newcomer waiting for ENGAGE_END
-  sim::Time pause_started_ = 0;
+  transport::Time pause_started_ = 0;
   std::function<void(bool)> join_done_;
   // coordinator-only engagement bookkeeping
-  std::set<sim::NodeId> pause_acks_pending_;
-  sim::NodeId pending_newcomer_ = 0;
-  sim::EventId engage_timeout_ = sim::kInvalidEvent;
+  std::set<transport::NodeId> pause_acks_pending_;
+  transport::NodeId pending_newcomer_ = 0;
+  transport::EventId engage_timeout_ = transport::kInvalidEvent;
 
   // Operation plumbing.
   std::uint64_t next_op_ = 1;
@@ -168,8 +169,8 @@ class LimeHost {
   // engine; the pattern lives in the WaiterIndex entry.
   struct Waiter {
     bool destructive;
-    sim::Time deadline;
-    sim::EventId deadline_event = sim::kInvalidEvent;
+    transport::Time deadline;
+    transport::EventId deadline_event = transport::kInvalidEvent;
     MatchCb cb;
   };
   tuples::WaiterIndex<Waiter> waiters_;

@@ -2,21 +2,22 @@
 
 namespace tiamat::baselines {
 
-PeersNode::PeersNode(sim::Network& net, sim::Position pos)
+PeersNode::PeersNode(transport::Transport& net, transport::NodeOptions pos)
     : net_(net),
       endpoint_(net, net.add_node(pos)),
-      rng_(net.rng().fork()),
-      space_(net.queue(), rng_, space::SpaceOptions{"peer", false}) {
-  endpoint_.on(kPeersRequest, [this](sim::NodeId from, const net::Message& m) {
+      timers_(net.timers(endpoint_.node())),
+      rng_(net.fork_rng()),
+      space_(timers_, rng_, space::SpaceOptions{"peer", false}) {
+  endpoint_.on(kPeersRequest, [this](transport::NodeId from, const net::Message& m) {
     handle_request(from, m);
   });
   endpoint_.on(kPeersResponse,
-               [this](sim::NodeId from, const net::Message& m) {
+               [this](transport::NodeId from, const net::Message& m) {
                  handle_response(from, m);
                });
 }
 
-void PeersNode::lookup(const Pattern& p, int ttl, sim::Duration lease,
+void PeersNode::lookup(const Pattern& p, int ttl, transport::Duration lease,
                        MatchCb cb, bool destructive) {
   ++stats_.requests_originated;
   // Local space first — free.
@@ -29,7 +30,7 @@ void PeersNode::lookup(const Pattern& p, int ttl, sim::Duration lease,
   const std::uint64_t op = next_op_++;
   Origin o;
   o.cb = std::move(cb);
-  o.lease_event = net_.queue().schedule_after(lease, [this, op] {
+  o.lease_event = timers_.schedule_after(lease, [this, op] {
     auto it = origins_.find(op);
     if (it == origins_.end()) return;
     auto cb2 = std::move(it->second.cb);
@@ -47,18 +48,18 @@ void PeersNode::lookup(const Pattern& p, int ttl, sim::Duration lease,
   m.h(destructive);
   m.pattern = p;
   seen_.insert(OpKeyHash{}(OpKey{node(), op}));
-  forward(m, sim::kNoNode);
+  forward(m, transport::kNoNode);
 }
 
-void PeersNode::forward(const net::Message& m, sim::NodeId except) {
-  for (sim::NodeId n : net_.visible_from(node())) {
+void PeersNode::forward(const net::Message& m, transport::NodeId except) {
+  for (transport::NodeId n : net_.visible_from(node())) {
     if (n == except || n == m.origin) continue;
     ++stats_.requests_forwarded;
     endpoint_.send(n, m);
   }
 }
 
-void PeersNode::handle_request(sim::NodeId from, const net::Message& m) {
+void PeersNode::handle_request(transport::NodeId from, const net::Message& m) {
   if (!m.pattern || m.headers.size() < 2) return;
   const OpKey key{m.origin, m.op_id};
   const std::uint64_t kh = OpKeyHash{}(key);
@@ -90,13 +91,13 @@ void PeersNode::handle_request(sim::NodeId from, const net::Message& m) {
   forward(fwd, from);
 }
 
-void PeersNode::handle_response(sim::NodeId, const net::Message& m) {
+void PeersNode::handle_response(transport::NodeId, const net::Message& m) {
   if (m.origin == node()) {
     // It is ours.
     auto it = origins_.find(m.op_id);
     if (it == origins_.end()) return;  // late duplicate: dropped
-    if (it->second.lease_event != sim::kInvalidEvent) {
-      net_.queue().cancel(it->second.lease_event);
+    if (it->second.lease_event != transport::kInvalidEvent) {
+      timers_.cancel(it->second.lease_event);
     }
     auto cb = std::move(it->second.cb);
     origins_.erase(it);

@@ -38,9 +38,9 @@ class PeersNode {
     std::uint64_t timeouts = 0;
   };
 
-  explicit PeersNode(sim::Network& net, sim::Position pos = {});
+  explicit PeersNode(transport::Transport& net, transport::NodeOptions pos = {});
 
-  sim::NodeId node() const { return endpoint_.node(); }
+  transport::NodeId node() const { return endpoint_.node(); }
   space::LocalTupleSpace& space() { return space_; }
 
   void out(Tuple t) { space_.out(std::move(t)); }
@@ -49,14 +49,14 @@ class PeersNode {
   /// concurrent floods can remove several copies — a known weakness of the
   /// scheme). `lease` is the fault-tolerance timeout; the first response
   /// wins, later ones are dropped.
-  void lookup(const Pattern& p, int ttl, sim::Duration lease, MatchCb cb,
+  void lookup(const Pattern& p, int ttl, transport::Duration lease, MatchCb cb,
               bool destructive = false);
 
   const Stats& stats() const { return stats_; }
 
  private:
   struct OpKey {
-    sim::NodeId origin;
+    transport::NodeId origin;
     std::uint64_t op;
     bool operator==(const OpKey& o) const {
       return origin == o.origin && op == o.op;
@@ -68,23 +68,24 @@ class PeersNode {
     }
   };
 
-  void handle_request(sim::NodeId from, const net::Message& m);
-  void handle_response(sim::NodeId from, const net::Message& m);
-  void forward(const net::Message& m, sim::NodeId except);
+  void handle_request(transport::NodeId from, const net::Message& m);
+  void handle_response(transport::NodeId from, const net::Message& m);
+  void forward(const net::Message& m, transport::NodeId except);
 
-  sim::Network& net_;
+  transport::Transport& net_;
   net::Endpoint endpoint_;
-  sim::Rng rng_;
+  transport::TimerService& timers_;  ///< this node's timer strand
+  transport::Rng rng_;
   space::LocalTupleSpace space_;
   std::uint64_t next_op_ = 1;
 
   /// Reverse-path routing state: who to send a response back through.
-  std::unordered_map<OpKey, sim::NodeId, OpKeyHash> route_back_;
+  std::unordered_map<OpKey, transport::NodeId, OpKeyHash> route_back_;
   std::unordered_set<std::uint64_t> seen_;  // OpKeyHash values (dedupe)
 
   struct Origin {
     MatchCb cb;
-    sim::EventId lease_event = sim::kInvalidEvent;
+    transport::EventId lease_event = transport::kInvalidEvent;
   };
   std::unordered_map<std::uint64_t, Origin> origins_;  // my own op id -> cb
 

@@ -13,7 +13,7 @@ AdaptiveLeasePolicy::AdaptiveLeasePolicy(lease::DefaultLeasePolicy::Caps caps,
 
 std::optional<lease::LeaseTerms> AdaptiveLeasePolicy::offer(
     const lease::LeaseTerms& requested, const lease::ResourceUsage& usage,
-    sim::Time now) {
+    transport::Time now) {
   // Resource pressure always wins (§5.6): delegate saturation/refusal and
   // clamping to the base policy, but substitute the *adapted* defaults for
   // unbounded request dimensions.
@@ -23,8 +23,8 @@ std::optional<lease::LeaseTerms> AdaptiveLeasePolicy::offer(
   return base_.offer(effective, usage, now);
 }
 
-void AdaptiveLeasePolicy::observe_match(sim::Duration used,
-                                        sim::Duration granted) {
+void AdaptiveLeasePolicy::observe_match(transport::Duration used,
+                                        transport::Duration granted) {
   ++observations_;
   if (granted > 0 && used * 4 <= granted) ++quick_matches_;
   maybe_adapt();
@@ -53,13 +53,13 @@ void AdaptiveLeasePolicy::maybe_adapt() {
 
   if (expiry_rate > tuning_.expiry_rate_high) {
     // Matches take longer to appear than we wait: stretch grants.
-    ttl_ = std::min<sim::Duration>(
+    ttl_ = std::min<transport::Duration>(
         tuning_.max_ttl,
-        static_cast<sim::Duration>(static_cast<double>(ttl_) * tuning_.grow));
+        static_cast<transport::Duration>(static_cast<double>(ttl_) * tuning_.grow));
   } else if (expiry_rate < tuning_.expiry_rate_low && quick_rate > 0.7) {
     // Nearly everything matches almost immediately: stop over-promising.
-    ttl_ = std::max<sim::Duration>(
-        tuning_.min_ttl, static_cast<sim::Duration>(static_cast<double>(ttl_) *
+    ttl_ = std::max<transport::Duration>(
+        tuning_.min_ttl, static_cast<transport::Duration>(static_cast<double>(ttl_) *
                                                     tuning_.shrink));
   }
 

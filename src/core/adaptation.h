@@ -30,8 +30,8 @@ namespace tiamat::core {
 
 struct AdaptiveTuning {
   /// Bounds adaptation may move the default TTL within.
-  sim::Duration min_ttl = sim::seconds(1);
-  sim::Duration max_ttl = sim::seconds(120);
+  transport::Duration min_ttl = transport::seconds(1);
+  transport::Duration max_ttl = transport::seconds(120);
   /// Bounds for the default contact budget.
   std::uint32_t min_contacts = 2;
   std::uint32_t max_contacts = 64;
@@ -55,12 +55,12 @@ class AdaptiveLeasePolicy final : public lease::LeasePolicy {
   // ---- LeasePolicy -------------------------------------------------------
   std::optional<lease::LeaseTerms> offer(const lease::LeaseTerms& requested,
                                          const lease::ResourceUsage& usage,
-                                         sim::Time now) override;
+                                         transport::Time now) override;
 
   // ---- Behaviour feedback (§5.4: run-time monitoring) ---------------------
 
   /// An operation finished with a match, `used` of its `granted` TTL spent.
-  void observe_match(sim::Duration used, sim::Duration granted);
+  void observe_match(transport::Duration used, transport::Duration granted);
 
   /// An operation's lease expired without a match.
   void observe_expiry();
@@ -71,7 +71,7 @@ class AdaptiveLeasePolicy final : public lease::LeasePolicy {
 
   // ---- Introspection --------------------------------------------------------
 
-  sim::Duration current_ttl() const { return ttl_; }
+  transport::Duration current_ttl() const { return ttl_; }
   std::uint32_t current_contacts() const { return contacts_; }
   std::uint64_t adaptation_rounds() const { return rounds_; }
 
@@ -80,7 +80,7 @@ class AdaptiveLeasePolicy final : public lease::LeasePolicy {
 
   lease::DefaultLeasePolicy base_;
   Tuning tuning_;
-  sim::Duration ttl_;
+  transport::Duration ttl_;
   std::uint32_t contacts_;
 
   // Current observation window.

@@ -7,7 +7,7 @@
 
 #include "lease/policy.h"
 #include "net/responder_cache.h"
-#include "sim/clock.h"
+#include "transport/types.h"
 
 namespace tiamat::core {
 
@@ -45,21 +45,21 @@ struct Config {
   bool propagate_to_late_arrivals = true;
 
   /// How long a multicast probe collects replies.
-  sim::Duration probe_window = sim::milliseconds(25);
+  transport::Duration probe_window = transport::milliseconds(25);
 
   /// How long to wait for a responder's first reply to an OpRequest before
   /// declaring it unresponsive and dropping it from the responder list.
-  sim::Duration response_timeout = sim::milliseconds(60);
+  transport::Duration response_timeout = transport::milliseconds(60);
 
   /// How long a serving instance parks a tentatively-removed tuple waiting
   /// for Confirm/Release before auto-releasing it (covers originator loss).
-  sim::Duration tentative_hold = sim::milliseconds(750);
+  transport::Duration tentative_hold = transport::milliseconds(750);
 
   /// Re-probe period for blocking ops when propagate_to_late_arrivals.
-  sim::Duration late_arrival_poll = sim::milliseconds(250);
+  transport::Duration late_arrival_poll = transport::milliseconds(250);
 
   /// Retry period for store-and-forward routing (UnavailablePolicy::kRoute).
-  sim::Duration route_retry = sim::milliseconds(500);
+  transport::Duration route_retry = transport::milliseconds(500);
 
   /// Lease caps handed to the default policy (ignored if a policy is
   /// injected at construction).

@@ -49,26 +49,27 @@ std::unique_ptr<lease::LeasePolicy> make_policy(
 }
 }  // namespace
 
-Instance::Instance(sim::Network& net, Config cfg,
+Instance::Instance(transport::Transport& tx, Config cfg,
                    std::unique_ptr<lease::LeasePolicy> policy,
-                   sim::Position pos)
-    : net_(net),
+                   transport::NodeOptions pos)
+    : tx_(tx),
       cfg_(std::move(cfg)),
-      node_(net_.add_node(pos)),
+      node_(tx_.add_node(pos)),
+      timers_(tx_.timers(node_)),
       tracer_(node_, cfg_.trace_capacity),
       flight_(node_),
-      rng_(net_.rng().fork()),
-      endpoint_(net_, node_),
-      leases_(net_.queue(), make_policy(std::move(policy), cfg_)),
-      space_(net_.queue(), rng_,
+      rng_(tx_.fork_rng()),
+      endpoint_(tx_, node_),
+      leases_(timers_, make_policy(std::move(policy), cfg_)),
+      space_(timers_, rng_,
              space::SpaceOptions{cfg_.name, cfg_.persistent_space}),
-      evals_(net_.queue(), space_),
+      evals_(timers_, space_),
       cache_(cfg_.cache_ordering),
-      discovery_(endpoint_, net_.queue(), cache_),
-      correlator_(net_.queue()),
-      router_(net_.queue(), cfg_.route_retry,
-              [this](sim::NodeId dest, const Tuple& t, std::uint64_t id,
-                     sim::Duration ttl) { send_remote_out(dest, t, id, ttl); }) {
+      discovery_(endpoint_, timers_, cache_),
+      correlator_(timers_),
+      router_(timers_, cfg_.route_retry,
+              [this](transport::NodeId dest, const Tuple& t, std::uint64_t id,
+                     transport::Duration ttl) { send_remote_out(dest, t, id, ttl); }) {
   leases_.set_usage_probe([this] {
     lease::ResourceUsage u;
     u.stored_bytes = space_.footprint();
@@ -84,6 +85,11 @@ Instance::Instance(sim::Network& net, Config cfg,
   cache_.bind_metrics(monitor_.registry());
   correlator_.bind_metrics(monitor_.registry());
   discovery_.enable_responder();
+  // Endpoint drop paths surface in the metric snapshot and the trace.
+  endpoint_.publish_stats(monitor_.registry());
+  endpoint_.set_decode_failure_hook([this](transport::NodeId from) {
+    trace(obs::EventKind::kDecodeFailure, node_, 0, from);
+  });
   install_handlers();
   // Publish this space's handle tuple (§2.4). It carries no lease: the
   // handle lives exactly as long as the instance.
@@ -92,26 +98,26 @@ Instance::Instance(sim::Network& net, Config cfg,
 
 Instance::~Instance() {
   // Cancel every timer that captures `this` before members are torn down.
-  auto& q = net_.queue();
+  transport::TimerService& q = timers_;
   for (auto& [id, op] : ops_) {
     (void)id;
     for (auto& [node, ev] : op.ack_timers) {
       (void)node;
       q.cancel(ev);
     }
-    if (op.repoll_timer != sim::kInvalidEvent) q.cancel(op.repoll_timer);
+    if (op.repoll_timer != transport::kInvalidEvent) q.cancel(op.repoll_timer);
   }
   for (auto& [key, s] : serving_) {
     (void)key;
-    if (s.hold_timer != sim::kInvalidEvent) q.cancel(s.hold_timer);
+    if (s.hold_timer != transport::kInvalidEvent) q.cancel(s.hold_timer);
   }
   for (auto& [id, pc] : confirms_) {
     (void)id;
-    if (pc.timer != sim::kInvalidEvent) q.cancel(pc.timer);
+    if (pc.timer != transport::kInvalidEvent) q.cancel(pc.timer);
   }
   // Model departure from the environment: in-flight packets to this node
   // are dropped and it stops being visible.
-  if (net_.node_exists(node_)) net_.remove_node(node_);
+  if (tx_.node_exists(node_)) tx_.remove_node(node_);
 }
 
 space::SpaceHandle Instance::handle() const {
@@ -126,8 +132,8 @@ void Instance::register_telemetry(obs::TimeSeriesRecorder& rec) {
   // Every breach leaves the same two footprints: a kProbeBreach trace event
   // (detail = the sampled value, truncated) and a per-probe breach counter.
   auto breach = [this](const char* probe) {
-    return [this, probe](double value, sim::Time) {
-      trace(obs::EventKind::kProbeBreach, node_, 0, sim::kNoNode,
+    return [this, probe](double value, transport::Time) {
+      trace(obs::EventKind::kProbeBreach, node_, 0, transport::kNoNode,
             static_cast<std::int64_t>(value));
       ++monitor_.registry().counter("probe.breaches", {{"probe", probe}});
     };
@@ -236,7 +242,7 @@ Status Instance::do_eval(space::ActiveTuple at,
     return Status::kLeaseRefused;
   }
   ++monitor_.counters().evals_started;
-  const sim::Time halt_by = l->expiry_time();
+  const transport::Time halt_by = l->expiry_time();
   // The resultant tuple inherits the operation's lease horizon: "when the
   // lease expires the resultant computation (if it has not already
   // finished) may be halted and the tuple may be removed" (§2.5).
@@ -273,7 +279,7 @@ Status Instance::out_to_origin(const ReadResult& from, Tuple t,
   return do_directed_out(from.source, std::move(t), requester, policy);
 }
 
-Status Instance::do_directed_out(sim::NodeId dest, Tuple t,
+Status Instance::do_directed_out(transport::NodeId dest, Tuple t,
                                  const lease::LeaseRequester& requester,
                                  UnavailablePolicy policy) {
   if (dest == node_) return do_out(std::move(t), requester);
@@ -283,13 +289,13 @@ Status Instance::do_directed_out(sim::NodeId dest, Tuple t,
     ++monitor_.counters().outs_refused;
     return Status::kLeaseRefused;
   }
-  const sim::Time expiry = l->expiry_time();
+  const transport::Time expiry = l->expiry_time();
   // The local negotiation bounds *our* effort; the destination negotiates
   // its own storage lease when the tuple arrives (§2.5: leases are not
   // transferable across instances).
   l->release();
 
-  if (net_.visible(node_, dest)) {
+  if (tx_.visible(node_, dest)) {
     std::uint64_t route_id = router_.enqueue(dest, std::move(t), expiry);
     (void)route_id;  // first attempt fires inside enqueue
     ++monitor_.counters().remote_outs_delivered;
@@ -312,13 +318,13 @@ Status Instance::do_directed_out(sim::NodeId dest, Tuple t,
   return Status::kUnavailable;
 }
 
-void Instance::send_remote_out(sim::NodeId dest, const Tuple& t,
-                               std::uint64_t route_id, sim::Duration ttl) {
+void Instance::send_remote_out(transport::NodeId dest, const Tuple& t,
+                               std::uint64_t route_id, transport::Duration ttl) {
   Message m;
   m.type = net::kRemoteOut;
   m.op_id = route_id;
   m.origin = node_;
-  m.h(static_cast<std::int64_t>(ttl == sim::kNever ? -1 : ttl));
+  m.h(static_cast<std::int64_t>(ttl == transport::kNever ? -1 : ttl));
   m.tuple = t;
   endpoint_.send(dest, m);
 }
@@ -339,7 +345,7 @@ Status Instance::eval_at(const space::SpaceHandle& dest,
       return Status::kLeaseRefused;
     }
     ++monitor_.counters().evals_started;
-    const sim::Time halt_by = l->expiry_time();
+    const transport::Time halt_by = l->expiry_time();
     space::EvalId eid = evals_.submit_fn([c, args] { return c->fn(args); },
                                          c->cost(args), halt_by, halt_by);
     l->on_end([this, eid](lease::LeaseState st) {
@@ -355,9 +361,9 @@ Status Instance::eval_at(const space::SpaceHandle& dest,
     if (done) done(false);
     return Status::kLeaseRefused;
   }
-  const sim::Time expiry = l->expiry_time();
+  const transport::Time expiry = l->expiry_time();
   l->release();  // local effort only; the destination leases the real work
-  if (!net_.visible(node_, dest.node)) {
+  if (!tx_.visible(node_, dest.node)) {
     ++monitor_.counters().remote_outs_abandoned;
     if (done) done(false);
     return Status::kUnavailable;
@@ -369,16 +375,16 @@ Status Instance::eval_at(const space::SpaceHandle& dest,
   m.origin = node_;
   m.h(name);
   m.h(static_cast<std::int64_t>(
-      expiry == sim::kNever ? -1 : expiry - net_.now()));
+      expiry == transport::kNever ? -1 : expiry - tx_.now()));
   m.tuple = std::move(args);
   if (done) {
     correlator_.expect(
         id,
-        [done](sim::NodeId, const Message& r) {
+        [done](transport::NodeId, const Message& r) {
           done(!r.headers.empty() && r.hbool(0));
           return false;
         },
-        net_.now() + cfg_.response_timeout * 4,
+        tx_.now() + cfg_.response_timeout * 4,
         [done] { done(false); });
   }
   endpoint_.send(dest.node, m);
@@ -458,7 +464,7 @@ void Instance::enumerate_handles(
       }
       if (--*remaining == 0) cb(*handles);
     };
-    for (sim::NodeId target : order) {
+    for (transport::NodeId target : order) {
       space::SpaceHandle dest;
       dest.node = target;
       if (!rdp_at(dest, space::handle_pattern(), done_one)) {
@@ -494,9 +500,12 @@ std::optional<ReadResult> run_op(Instance& i, OpKind kind, const Pattern& p) {
       break;
   }
   if (!granted) return std::nullopt;
-  auto& q = i.endpoint().network().queue();
-  while (!*fired && q.step()) {
-  }
+  // Blocking ops wait up to their lease TTL; leave headroom beyond it so the
+  // expiry path itself can run before the wait gives up.
+  i.transport().wait_until(
+      [&] { return *fired; },
+      i.config().lease_caps.max_ttl + 10 * transport::kSecond);
+  if (!*fired) return std::nullopt;
   return *out;
 }
 }  // namespace

@@ -4,14 +4,14 @@
 //
 // Public-API summary
 // ------------------
-//   Instance node(network);                       // joins the environment
+//   Instance node(transport);                     // joins the environment
 //   node.out({"greeting", "hello"});              // local space (default)
 //   node.rd(Pattern{"greeting", any_string()},    // logical space: local +
 //           [](auto r){ ... });                   //   every visible instance
 //   node.in_at(handle, pattern, cb);              // directed at one space
 //   node.out_to_origin(result, policy);           // §2.4 reply-to-source
 //
-// All read/take operations are continuation-style (the simulator owns the
+// All read/take operations are continuation-style (the transport owns the
 // clock); every operation is leased — a refused lease fails the operation
 // before any other work happens (Figure 2's flow).
 
@@ -36,7 +36,7 @@
 #include "net/rpc.h"
 #include "obs/flight_recorder.h"
 #include "obs/trace.h"
-#include "sim/network.h"
+#include "transport/transport.h"
 #include "space/eval.h"
 #include "space/registry.h"
 #include "space/handle.h"
@@ -66,7 +66,7 @@ const char* to_string(Status s);
 /// what out_to_origin (§2.4) consumes.
 struct ReadResult {
   Tuple tuple;
-  sim::NodeId source = sim::kNoNode;
+  transport::NodeId source = transport::kNoNode;
 };
 
 /// Invoked exactly once per read/take operation: a result, or nullopt when
@@ -76,11 +76,11 @@ using ReadCallback = std::function<void(std::optional<ReadResult>)>;
 class Instance {
  public:
   using Message = net::Message;
-  /// Creates the instance on a fresh network node. A null `policy` gets the
-  /// stock DefaultLeasePolicy with cfg.lease_caps.
-  Instance(sim::Network& net, Config cfg = {},
+  /// Creates the instance on a fresh transport node. A null `policy` gets
+  /// the stock DefaultLeasePolicy with cfg.lease_caps.
+  Instance(transport::Transport& tx, Config cfg = {},
            std::unique_ptr<lease::LeasePolicy> policy = nullptr,
-           sim::Position pos = {});
+           transport::NodeOptions pos = {});
 
   ~Instance();
 
@@ -89,7 +89,7 @@ class Instance {
 
   // ---- Identity -----------------------------------------------------------
 
-  sim::NodeId node() const { return node_; }
+  transport::NodeId node() const { return node_; }
   const std::string& name() const { return cfg_.name; }
   space::SpaceHandle handle() const;
 
@@ -179,6 +179,12 @@ class Instance {
   net::ResponderCache& responders() { return cache_; }
   net::Discovery& discovery() { return discovery_; }
   net::Endpoint& endpoint() { return endpoint_; }
+  /// The transport this instance is attached to (backend-agnostic).
+  transport::Transport& transport() { return tx_; }
+  /// This node's timer strand: callbacks scheduled here run serialized with
+  /// message delivery for the node (the simulator's event queue, or the
+  /// node's owner worker under the loopback backend).
+  transport::TimerService& timers() { return timers_; }
   space::EvalEngine& evals() { return evals_; }
   Monitor& monitor() { return monitor_; }
   /// The instance's metric registry (owned by the Monitor): every counter,
@@ -191,7 +197,7 @@ class Instance {
   const obs::FlightRecorder& flight_recorder() const { return flight_; }
   DeferredRouter& router() { return router_; }
   const Config& config() const { return cfg_; }
-  sim::Time now() const { return net_.now(); }
+  transport::Time now() const { return tx_.now(); }
 
   /// Number of logical-space operations currently outstanding.
   std::size_t open_ops() const { return ops_.size(); }
@@ -226,15 +232,15 @@ class Instance {
     Pattern pattern;
     std::shared_ptr<lease::Lease> lease;
     ReadCallback cb;
-    sim::Time started_at = 0;
+    transport::Time started_at = 0;
     space::WaiterId local_waiter = space::kNoWaiter;
-    std::set<sim::NodeId> contacted;        ///< OpRequest sent
-    std::set<sim::NodeId> awaiting_first;   ///< no reply yet (ack timeout)
-    std::set<sim::NodeId> exhausted;        ///< replied not-serving / no match
-    std::vector<sim::NodeId> contact_queue; ///< responders still to try
+    std::set<transport::NodeId> contacted;        ///< OpRequest sent
+    std::set<transport::NodeId> awaiting_first;   ///< no reply yet (ack timeout)
+    std::set<transport::NodeId> exhausted;        ///< replied not-serving / no match
+    std::vector<transport::NodeId> contact_queue; ///< responders still to try
     // Ordered: op teardown cancels these in node-id order (determinism).
-    std::map<sim::NodeId, sim::EventId> ack_timers;
-    sim::EventId repoll_timer = sim::kInvalidEvent;
+    std::map<transport::NodeId, transport::EventId> ack_timers;
+    transport::EventId repoll_timer = transport::kInvalidEvent;
     bool probing = false;
     bool probed_once = false;
     bool directed = false;  ///< §2.4 single-target op: no propagation
@@ -245,11 +251,11 @@ class Instance {
                 const lease::LeaseRequester& requester);
   void op_try_local(LogicalOp& op);
   void op_advance(std::uint64_t op_id);
-  void op_contact(LogicalOp& op, sim::NodeId target);
+  void op_contact(LogicalOp& op, transport::NodeId target);
   void op_probe(std::uint64_t op_id);
   void op_schedule_repoll(LogicalOp& op);
-  void op_on_response(std::uint64_t op_id, sim::NodeId from, const Message& m);
-  void op_ack_timeout(std::uint64_t op_id, sim::NodeId target);
+  void op_on_response(std::uint64_t op_id, transport::NodeId from, const Message& m);
+  void op_ack_timeout(std::uint64_t op_id, transport::NodeId target);
   void op_finish(std::uint64_t op_id, std::optional<ReadResult> result);
   void op_lease_ended(std::uint64_t op_id, lease::LeaseState state);
   LogicalOp* find_op(std::uint64_t op_id);
@@ -259,14 +265,14 @@ class Instance {
   // ---- Serving side (remote_ops.cc) ---------------------------------------
   struct Serving {
     std::uint64_t op_id = 0;         ///< originator's op id
-    sim::NodeId origin = sim::kNoNode;
+    transport::NodeId origin = transport::kNoNode;
     OpKind kind{};
     std::shared_ptr<lease::Lease> lease;
     space::WaiterId waiter = space::kNoWaiter;
     tuples::TupleId tentative = tuples::kNoTuple;
-    sim::EventId hold_timer = sim::kInvalidEvent;
+    transport::EventId hold_timer = transport::kInvalidEvent;
     Pattern pattern;          ///< for re-arming blocking in (lost reply)
-    sim::Time deadline = 0;   ///< effective waiter deadline
+    transport::Time deadline = 0;   ///< effective waiter deadline
   };
 
   /// (Re-)arms a blocking destructive waiter for a served `in` request;
@@ -274,45 +280,46 @@ class Instance {
   void arm_serving_in(std::uint64_t key);
 
   void install_handlers();
-  void serve_op_request(sim::NodeId from, const Message& m);
-  void serve_cancel(sim::NodeId from, const Message& m);
-  void serve_confirm(sim::NodeId from, const Message& m);
-  void serve_release(sim::NodeId from, const Message& m);
-  void serve_remote_out(sim::NodeId from, const Message& m);
-  void serve_remote_eval(sim::NodeId from, const Message& m);
+  void serve_op_request(transport::NodeId from, const Message& m);
+  void serve_cancel(transport::NodeId from, const Message& m);
+  void serve_confirm(transport::NodeId from, const Message& m);
+  void serve_release(transport::NodeId from, const Message& m);
+  void serve_remote_out(transport::NodeId from, const Message& m);
+  void serve_remote_eval(transport::NodeId from, const Message& m);
   void serving_deliver(std::uint64_t key, std::optional<Tuple> t,
                        tuples::TupleId tentative_id);
   void serving_drop(std::uint64_t key, bool release_tentative);
   /// Serving table key: origin node + their op id (op ids are per-instance).
-  static std::uint64_t serving_key(sim::NodeId origin, std::uint64_t op_id);
+  static std::uint64_t serving_key(transport::NodeId origin, std::uint64_t op_id);
 
   Status do_out(Tuple t, const lease::LeaseRequester& requester);
   Status do_eval(space::ActiveTuple at, const lease::LeaseRequester& requester);
-  Status do_directed_out(sim::NodeId dest, Tuple t,
+  Status do_directed_out(transport::NodeId dest, Tuple t,
                          const lease::LeaseRequester& requester,
                          UnavailablePolicy policy);
-  void send_remote_out(sim::NodeId dest, const Tuple& t, std::uint64_t route_id,
-                       sim::Duration ttl);
+  void send_remote_out(transport::NodeId dest, const Tuple& t, std::uint64_t route_id,
+                       transport::Duration ttl);
 
   /// Records one step of an operation's causal chain; `origin` + `op_id`
   /// identify the operation globally (also across instances, for served
   /// requests). The flight recorder always keeps the tail (bounded ring, a
   /// handful of stores per event); the full tracer runs only when enabled.
-  void trace(obs::EventKind kind, sim::NodeId origin, std::uint64_t op_id,
-             sim::NodeId peer = sim::kNoNode, std::int64_t detail = 0) {
-    const obs::TraceEvent e{net_.now(), node_, origin, op_id,
+  void trace(obs::EventKind kind, transport::NodeId origin, std::uint64_t op_id,
+             transport::NodeId peer = transport::kNoNode, std::int64_t detail = 0) {
+    const obs::TraceEvent e{tx_.now(), node_, origin, op_id,
                             kind,       peer,  detail};
     flight_.record(e);
     if (tracer_.enabled()) tracer_.record(e);
   }
 
-  sim::Network& net_;
+  transport::Transport& tx_;
   Config cfg_;
   AdaptiveLeasePolicy* adaptive_ = nullptr;  ///< set iff the policy adapts
-  sim::NodeId node_;
+  transport::NodeId node_;
+  transport::TimerService& timers_;  ///< tx_.timers(node_): this node's strand
   obs::Tracer tracer_;
   obs::FlightRecorder flight_;
-  sim::Rng rng_;
+  transport::Rng rng_;
   net::Endpoint endpoint_;
   lease::LeaseManager leases_;
   space::LocalTupleSpace space_;
@@ -331,18 +338,20 @@ class Instance {
   /// would otherwise make the serving side put an already-delivered tuple
   /// back (duplicate delivery).
   struct PendingConfirm {
-    sim::NodeId winner = sim::kNoNode;
+    transport::NodeId winner = transport::kNoNode;
     int tries_left = 6;
-    sim::EventId timer = sim::kInvalidEvent;
+    transport::EventId timer = transport::kInvalidEvent;
   };
   std::map<std::uint64_t, PendingConfirm> confirms_;  // op_id ->
   void send_confirm(std::uint64_t op_id);
 };
 
-// ---- Synchronous conveniences (drive the simulator until resolution) ------
+// ---- Synchronous conveniences (block until resolution) --------------------
 
-/// Runs the network's event queue until the operation completes; returns its
-/// result. Only for tests/examples — real applications stay asynchronous.
+/// Waits on the transport until the operation completes; returns its result.
+/// Steps the event queue under the sim backend, parks the calling thread
+/// under loopback. Only for tests/examples — real applications stay
+/// asynchronous.
 std::optional<ReadResult> run_rd(Instance& i, const Pattern& p);
 std::optional<ReadResult> run_rdp(Instance& i, const Pattern& p);
 std::optional<ReadResult> run_in(Instance& i, const Pattern& p);

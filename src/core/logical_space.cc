@@ -28,8 +28,8 @@ namespace tiamat::core {
 namespace {
 constexpr std::int64_t kNoDeadline = -1;
 
-std::int64_t encode_deadline(sim::Time t) {
-  return t == sim::kNever ? kNoDeadline : static_cast<std::int64_t>(t);
+std::int64_t encode_deadline(transport::Time t) {
+  return t == transport::kNever ? kNoDeadline : static_cast<std::int64_t>(t);
 }
 }  // namespace
 
@@ -42,7 +42,7 @@ bool Instance::start_op(OpKind kind, const Pattern& p, ReadCallback cb,
                         const lease::LeaseRequester& requester) {
   ++monitor_.counters().ops_started;
   const std::uint64_t id = correlator_.next_op_id();
-  trace(obs::EventKind::kOpIssued, node_, id, sim::kNoNode,
+  trace(obs::EventKind::kOpIssued, node_, id, transport::kNoNode,
         static_cast<std::int64_t>(kind));
   auto l = leases_.negotiate(requester);
   if (!l) {
@@ -52,7 +52,7 @@ bool Instance::start_op(OpKind kind, const Pattern& p, ReadCallback cb,
     trace(obs::EventKind::kLeaseRefused, node_, id);
     return false;
   }
-  trace(obs::EventKind::kLeaseGranted, node_, id, sim::kNoNode,
+  trace(obs::EventKind::kLeaseGranted, node_, id, transport::kNoNode,
         static_cast<std::int64_t>(l->id()));
 
   LogicalOp& op = ops_[id];
@@ -61,7 +61,7 @@ bool Instance::start_op(OpKind kind, const Pattern& p, ReadCallback cb,
   op.pattern = p;
   op.lease = l;
   op.cb = std::move(cb);
-  op.started_at = net_.now();
+  op.started_at = tx_.now();
 
   l->on_end([this, id](lease::LeaseState st) { op_lease_ended(id, st); });
 
@@ -73,7 +73,7 @@ bool Instance::start_op(OpKind kind, const Pattern& p, ReadCallback cb,
 
   // Route kOpResponse traffic for this op id. Lifetime is lease-driven, so
   // the correlator itself carries no deadline.
-  correlator_.expect(id, [this, id](sim::NodeId from, const Message& m) {
+  correlator_.expect(id, [this, id](transport::NodeId from, const Message& m) {
     op_on_response(id, from, m);
     return ops_.contains(id);  // keep routing while the op is open
   });
@@ -101,7 +101,7 @@ bool Instance::op_at(OpKind kind, const space::SpaceHandle& dest,
     trace(obs::EventKind::kLeaseRefused, node_, id);
     return false;
   }
-  trace(obs::EventKind::kLeaseGranted, node_, id, sim::kNoNode,
+  trace(obs::EventKind::kLeaseGranted, node_, id, transport::kNoNode,
         static_cast<std::int64_t>(l->id()));
   LogicalOp& op = ops_[id];
   op.id = id;
@@ -109,11 +109,11 @@ bool Instance::op_at(OpKind kind, const space::SpaceHandle& dest,
   op.pattern = p;
   op.lease = l;
   op.cb = std::move(cb);
-  op.started_at = net_.now();
+  op.started_at = tx_.now();
   op.directed = true;
 
   l->on_end([this, id](lease::LeaseState st) { op_lease_ended(id, st); });
-  correlator_.expect(id, [this, id](sim::NodeId from, const Message& m) {
+  correlator_.expect(id, [this, id](transport::NodeId from, const Message& m) {
     op_on_response(id, from, m);
     return ops_.contains(id);
   });
@@ -139,7 +139,7 @@ void Instance::op_try_local(LogicalOp& op) {
     }
     case OpKind::kRd: {
       // Register a deadline-less waiter; the lease governs its lifetime.
-      auto wid = space_.rd(op.pattern, sim::kNever,
+      auto wid = space_.rd(op.pattern, transport::kNever,
                            [this, id](std::optional<Tuple> t) {
                              if (!t) return;
                              if (LogicalOp* o = find_op(id)) {
@@ -153,7 +153,7 @@ void Instance::op_try_local(LogicalOp& op) {
       return;
     }
     case OpKind::kIn: {
-      auto wid = space_.in(op.pattern, sim::kNever,
+      auto wid = space_.in(op.pattern, transport::kNever,
                            [this, id](std::optional<Tuple> t) {
                              if (!t) return;
                              if (LogicalOp* o = find_op(id)) {
@@ -179,7 +179,7 @@ void Instance::op_advance(std::uint64_t op_id) {
   while (!op->contact_queue.empty()) {
     if (!is_blocking(op->kind) && !op->awaiting_first.empty()) return;
 
-    sim::NodeId target = op->contact_queue.front();
+    transport::NodeId target = op->contact_queue.front();
     op->contact_queue.erase(op->contact_queue.begin());
     if (target == node_ || op->contacted.contains(target)) continue;
 
@@ -205,7 +205,7 @@ void Instance::op_advance(std::uint64_t op_id) {
   }
 }
 
-void Instance::op_contact(LogicalOp& op, sim::NodeId target) {
+void Instance::op_contact(LogicalOp& op, transport::NodeId target) {
   op.contacted.insert(target);
   op.awaiting_first.insert(target);
 
@@ -220,7 +220,7 @@ void Instance::op_contact(LogicalOp& op, sim::NodeId target) {
   trace(obs::EventKind::kPeerRequest, node_, op.id, target);
 
   const std::uint64_t id = op.id;
-  op.ack_timers[target] = net_.queue().schedule_after(
+  op.ack_timers[target] = timers_.schedule_after(
       cfg_.response_timeout,
       [this, id, target] { op_ack_timeout(id, target); });
 }
@@ -237,7 +237,7 @@ void Instance::op_probe(std::uint64_t op_id) {
     o->probing = false;
     o->probed_once = true;
     // Anyone in the refreshed list we have not tried yet joins the queue.
-    for (sim::NodeId n : cache_.contact_order()) {
+    for (transport::NodeId n : cache_.contact_order()) {
       if (n != node_ && !o->contacted.contains(n) &&
           std::find(o->contact_queue.begin(), o->contact_queue.end(), n) ==
               o->contact_queue.end()) {
@@ -249,13 +249,13 @@ void Instance::op_probe(std::uint64_t op_id) {
 }
 
 void Instance::op_schedule_repoll(LogicalOp& op) {
-  if (op.repoll_timer != sim::kInvalidEvent) return;
+  if (op.repoll_timer != transport::kInvalidEvent) return;
   const std::uint64_t id = op.id;
   op.repoll_timer =
-      net_.queue().schedule_after(cfg_.late_arrival_poll, [this, id] {
+      timers_.schedule_after(cfg_.late_arrival_poll, [this, id] {
         LogicalOp* o = find_op(id);
         if (o == nullptr || o->done) return;
-        o->repoll_timer = sim::kInvalidEvent;
+        o->repoll_timer = transport::kInvalidEvent;
         if (!o->lease->contacts_remaining()) {
           // Cannot contact anyone new; keep the armed waiters and stop
           // polling.
@@ -269,7 +269,7 @@ void Instance::op_schedule_repoll(LogicalOp& op) {
       });
 }
 
-void Instance::op_on_response(std::uint64_t op_id, sim::NodeId from,
+void Instance::op_on_response(std::uint64_t op_id, transport::NodeId from,
                               const Message& m) {
   LogicalOp* op = find_op(op_id);
   if (op == nullptr) return;
@@ -284,7 +284,7 @@ void Instance::op_on_response(std::uint64_t op_id, sim::NodeId from,
   op->awaiting_first.erase(from);
   auto at = op->ack_timers.find(from);
   if (at != op->ack_timers.end()) {
-    net_.queue().cancel(at->second);
+    timers_.cancel(at->second);
     op->ack_timers.erase(at);
   }
   cache_.record_success(from);
@@ -314,7 +314,7 @@ void Instance::op_on_response(std::uint64_t op_id, sim::NodeId from,
   }
 }
 
-void Instance::op_ack_timeout(std::uint64_t op_id, sim::NodeId target) {
+void Instance::op_ack_timeout(std::uint64_t op_id, transport::NodeId target) {
   LogicalOp* op = find_op(op_id);
   if (op == nullptr || op->done) return;
   op->ack_timers.erase(target);
@@ -354,18 +354,18 @@ void Instance::op_finish(std::uint64_t op_id,
   if (op.local_waiter != space::kNoWaiter) {
     space_.cancel_waiter(op.local_waiter);
   }
-  if (op.repoll_timer != sim::kInvalidEvent) {
-    net_.queue().cancel(op.repoll_timer);
+  if (op.repoll_timer != transport::kInvalidEvent) {
+    timers_.cancel(op.repoll_timer);
   }
   for (auto& [node, ev] : op.ack_timers) {
     (void)node;
-    net_.queue().cancel(ev);
+    timers_.cancel(ev);
   }
   correlator_.finish(op_id);
 
-  const sim::NodeId winner =
-      result && result->source != node_ ? result->source : sim::kNoNode;
-  for (sim::NodeId contacted : op.contacted) {
+  const transport::NodeId winner =
+      result && result->source != node_ ? result->source : transport::kNoNode;
+  for (transport::NodeId contacted : op.contacted) {
     if (contacted == winner) continue;
     // Non-blocking responders that already reported a miss hold no state.
     if (!is_blocking(op.kind) && op.exhausted.contains(contacted)) continue;
@@ -377,8 +377,8 @@ void Instance::op_finish(std::uint64_t op_id,
     ++monitor_.counters().cancelled;
     trace(obs::EventKind::kCancel, node_, op_id, contacted);
   }
-  if (winner != sim::kNoNode && is_destructive(op.kind)) {
-    confirms_[op_id] = PendingConfirm{winner, 6, sim::kInvalidEvent};
+  if (winner != transport::kNoNode && is_destructive(op.kind)) {
+    confirms_[op_id] = PendingConfirm{winner, 6, transport::kInvalidEvent};
     send_confirm(op_id);
     trace(obs::EventKind::kConfirm, node_, op_id, winner);
   }
@@ -399,14 +399,14 @@ void Instance::op_finish(std::uint64_t op_id,
     ++c.lease_expired;
     trace(obs::EventKind::kOpExpired, node_, op_id);
   }
-  monitor_.op_finished(to_string(op.kind), net_.now() - op.started_at);
+  monitor_.op_finished(to_string(op.kind), tx_.now() - op.started_at);
 
   // §5.4/§5.5: feed the adaptive policy, if installed.
   if (adaptive_ != nullptr) {
-    const sim::Duration granted =
+    const transport::Duration granted =
         op.lease->terms().ttl ? *op.lease->terms().ttl : 0;
     if (result) {
-      adaptive_->observe_match(net_.now() - op.started_at, granted);
+      adaptive_->observe_match(tx_.now() - op.started_at, granted);
     } else if (!op.lease->active()) {
       adaptive_->observe_expiry();
     }
@@ -440,11 +440,11 @@ void Instance::send_confirm(std::uint64_t op_id) {
   confirm.op_id = op_id;
   confirm.origin = node_;
   endpoint_.send(pc.winner, confirm);
-  pc.timer = net_.queue().schedule_after(
+  pc.timer = timers_.schedule_after(
       cfg_.response_timeout, [this, op_id] { send_confirm(op_id); });
 }
 
-std::uint64_t Instance::serving_key(sim::NodeId origin, std::uint64_t op_id) {
+std::uint64_t Instance::serving_key(transport::NodeId origin, std::uint64_t op_id) {
   return (static_cast<std::uint64_t>(origin) << 32) ^ (op_id & 0xffffffffull);
 }
 

@@ -14,7 +14,7 @@
 #include <cstdint>
 
 #include "obs/metrics.h"
-#include "sim/clock.h"
+#include "transport/types.h"
 
 namespace tiamat::core {
 
@@ -73,7 +73,7 @@ class Monitor {
   Monitor& operator=(const Monitor&) = delete;
 
   /// `kind` labels the per-op-kind sketch ("rd", "inp", ...).
-  void op_finished(const char* kind, sim::Duration latency) {
+  void op_finished(const char* kind, transport::Duration latency) {
     const auto v = static_cast<double>(latency);
     op_latency_.observe(v);
     registry_.sketch("op.latency_us", {{"op", kind}}).observe(v);

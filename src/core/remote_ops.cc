@@ -15,16 +15,16 @@ namespace tiamat::core {
 namespace {
 constexpr std::int64_t kNoDeadline = -1;
 
-sim::Time decode_deadline(std::int64_t v) {
-  return v == kNoDeadline ? sim::kNever : static_cast<sim::Time>(v);
+transport::Time decode_deadline(std::int64_t v) {
+  return v == kNoDeadline ? transport::kNever : static_cast<transport::Time>(v);
 }
 }  // namespace
 
 void Instance::install_handlers() {
-  endpoint_.on(net::kOpRequest, [this](sim::NodeId from, const Message& m) {
+  endpoint_.on(net::kOpRequest, [this](transport::NodeId from, const Message& m) {
     serve_op_request(from, m);
   });
-  endpoint_.on(net::kOpResponse, [this](sim::NodeId from, const Message& m) {
+  endpoint_.on(net::kOpResponse, [this](transport::NodeId from, const Message& m) {
     if (!correlator_.route(from, m)) {
       // Stale response to a finished operation. If it carried a match the
       // responder is holding a tentative tuple for us: release it.
@@ -38,44 +38,44 @@ void Instance::install_handlers() {
       }
     }
   });
-  endpoint_.on(net::kCancelOp, [this](sim::NodeId from, const Message& m) {
+  endpoint_.on(net::kCancelOp, [this](transport::NodeId from, const Message& m) {
     serve_cancel(from, m);
   });
-  endpoint_.on(net::kConfirm, [this](sim::NodeId from, const Message& m) {
+  endpoint_.on(net::kConfirm, [this](transport::NodeId from, const Message& m) {
     serve_confirm(from, m);
   });
-  endpoint_.on(net::kConfirmAck, [this](sim::NodeId, const Message& m) {
+  endpoint_.on(net::kConfirmAck, [this](transport::NodeId, const Message& m) {
     auto it = confirms_.find(m.op_id);
     if (it != confirms_.end()) {
-      if (it->second.timer != sim::kInvalidEvent) {
-        net_.queue().cancel(it->second.timer);
+      if (it->second.timer != transport::kInvalidEvent) {
+        timers_.cancel(it->second.timer);
       }
       confirms_.erase(it);
     }
   });
-  endpoint_.on(net::kRelease, [this](sim::NodeId from, const Message& m) {
+  endpoint_.on(net::kRelease, [this](transport::NodeId from, const Message& m) {
     serve_release(from, m);
   });
-  endpoint_.on(net::kRemoteOut, [this](sim::NodeId from, const Message& m) {
+  endpoint_.on(net::kRemoteOut, [this](transport::NodeId from, const Message& m) {
     serve_remote_out(from, m);
   });
-  endpoint_.on(net::kRemoteOutAck, [this](sim::NodeId, const Message& m) {
+  endpoint_.on(net::kRemoteOutAck, [this](transport::NodeId, const Message& m) {
     if (!m.headers.empty() && m.hbool(0)) router_.acked(m.op_id);
   });
-  endpoint_.on(net::kRemoteEval, [this](sim::NodeId from, const Message& m) {
+  endpoint_.on(net::kRemoteEval, [this](transport::NodeId from, const Message& m) {
     serve_remote_eval(from, m);
   });
   endpoint_.on(net::kRemoteEvalAck,
-               [this](sim::NodeId from, const Message& m) {
+               [this](transport::NodeId from, const Message& m) {
                  correlator_.route(from, m);
                });
 }
 
-void Instance::serve_op_request(sim::NodeId from, const Message& m) {
+void Instance::serve_op_request(transport::NodeId from, const Message& m) {
   if (m.headers.size() < 2 || !m.pattern) return;
   const auto kind = static_cast<OpKind>(m.hint(0));
-  const sim::Time requester_deadline = decode_deadline(m.hint(1));
-  const sim::NodeId origin = m.origin != sim::kNoNode ? m.origin : from;
+  const transport::Time requester_deadline = decode_deadline(m.hint(1));
+  const transport::NodeId origin = m.origin != transport::kNoNode ? m.origin : from;
   const std::uint64_t op_id = m.op_id;
   const std::uint64_t key = serving_key(origin, op_id);
 
@@ -94,8 +94,8 @@ void Instance::serve_op_request(sim::NodeId from, const Message& m) {
   // Negotiate a local lease covering the served work; refusal means this
   // instance declines to participate in the operation.
   lease::LeaseTerms want;
-  if (requester_deadline != sim::kNever) {
-    const sim::Duration remaining = requester_deadline - net_.now();
+  if (requester_deadline != transport::kNever) {
+    const transport::Duration remaining = requester_deadline - tx_.now();
     if (remaining <= 0) return;  // arrived after the originator gave up
     want.ttl = remaining;
   }
@@ -110,7 +110,7 @@ void Instance::serve_op_request(sim::NodeId from, const Message& m) {
   trace(obs::EventKind::kServeStart, origin, op_id, origin,
         static_cast<std::int64_t>(kind));
 
-  const sim::Time deadline =
+  const transport::Time deadline =
       std::min(requester_deadline, l->expiry_time());
 
   switch (kind) {
@@ -135,7 +135,7 @@ void Instance::serve_op_request(sim::NodeId from, const Message& m) {
       s.kind = kind;
       s.lease = l;
       s.tentative = taken->first;
-      s.hold_timer = net_.queue().schedule_after(
+      s.hold_timer = timers_.schedule_after(
           cfg_.tentative_hold, [this, key] { serving_drop(key, true); });
       serving_[key] = std::move(s);
       reply(true, true, taken->second);
@@ -204,7 +204,7 @@ void Instance::arm_serving_in(std::uint64_t key) {
   auto sit = serving_.find(key);
   if (sit == serving_.end()) return;
   Serving& s = sit->second;
-  const sim::NodeId origin = s.origin;
+  const transport::NodeId origin = s.origin;
   const std::uint64_t op_id = s.op_id;
   auto reply = [this, origin, op_id](bool found, const std::optional<Tuple>& t) {
     Message r;
@@ -239,11 +239,11 @@ void Instance::arm_serving_in(std::uint64_t key) {
         // arrives (the reply was lost — the originator moved out of range),
         // put the tuple back and re-arm: the next match retransmits the
         // reply, converging once the originator is reachable again.
-        it->second.hold_timer = net_.queue().schedule_after(
+        it->second.hold_timer = timers_.schedule_after(
             cfg_.tentative_hold, [this, key] {
               auto it2 = serving_.find(key);
               if (it2 == serving_.end()) return;
-              it2->second.hold_timer = sim::kInvalidEvent;
+              it2->second.hold_timer = transport::kInvalidEvent;
               if (it2->second.tentative != tuples::kNoTuple) {
                 space_.release_tentative(it2->second.tentative);
                 it2->second.tentative = tuples::kNoTuple;
@@ -251,7 +251,7 @@ void Instance::arm_serving_in(std::uint64_t key) {
                 trace(obs::EventKind::kServeReinsert, it2->second.origin,
                       it2->second.op_id, it2->second.origin);
               }
-              if (it2->second.deadline > net_.now()) {
+              if (it2->second.deadline > tx_.now()) {
                 arm_serving_in(key);
               } else {
                 serving_drop(key, false);
@@ -271,7 +271,7 @@ void Instance::serving_drop(std::uint64_t key, bool release_tentative) {
   Serving s = std::move(it->second);
   serving_.erase(it);
   if (s.waiter != space::kNoWaiter) space_.cancel_waiter(s.waiter);
-  if (s.hold_timer != sim::kInvalidEvent) net_.queue().cancel(s.hold_timer);
+  if (s.hold_timer != transport::kInvalidEvent) timers_.cancel(s.hold_timer);
   if (s.tentative != tuples::kNoTuple && release_tentative) {
     space_.release_tentative(s.tentative);
     // §2.2 multi-match protocol: we matched but another instance won the
@@ -282,12 +282,12 @@ void Instance::serving_drop(std::uint64_t key, bool release_tentative) {
   if (s.lease && s.lease->active()) s.lease->release();
 }
 
-void Instance::serve_cancel(sim::NodeId from, const Message& m) {
+void Instance::serve_cancel(transport::NodeId from, const Message& m) {
   // Originator is done with us; put any tentative tuple back.
   serving_drop(serving_key(from, m.op_id), true);
 }
 
-void Instance::serve_confirm(sim::NodeId from, const Message& m) {
+void Instance::serve_confirm(transport::NodeId from, const Message& m) {
   const std::uint64_t key = serving_key(from, m.op_id);
   auto it = serving_.find(key);
   if (it != serving_.end()) {
@@ -307,11 +307,11 @@ void Instance::serve_confirm(sim::NodeId from, const Message& m) {
   endpoint_.send(from, ack);
 }
 
-void Instance::serve_release(sim::NodeId from, const Message& m) {
+void Instance::serve_release(transport::NodeId from, const Message& m) {
   serving_drop(serving_key(from, m.op_id), true);
 }
 
-void Instance::serve_remote_out(sim::NodeId from, const Message& m) {
+void Instance::serve_remote_out(transport::NodeId from, const Message& m) {
   if (m.headers.empty() || !m.tuple) return;
   const std::int64_t ttl = m.hint(0);
 
@@ -344,7 +344,7 @@ void Instance::serve_remote_out(sim::NodeId from, const Message& m) {
   ack(true);
 }
 
-void Instance::serve_remote_eval(sim::NodeId from, const Message& m) {
+void Instance::serve_remote_eval(transport::NodeId from, const Message& m) {
   if (m.headers.size() < 2 || !m.tuple) return;
   const std::string& name = m.hstr(0);
   const std::int64_t ttl = m.hint(1);
@@ -375,7 +375,7 @@ void Instance::serve_remote_eval(sim::NodeId from, const Message& m) {
     return;
   }
   ++monitor_.counters().evals_started;
-  const sim::Time halt_by = l->expiry_time();
+  const transport::Time halt_by = l->expiry_time();
   const Tuple args = *m.tuple;
   space::EvalId eid = evals_.submit_fn([c, args] { return c->fn(args); },
                                        c->cost(args), halt_by, halt_by);

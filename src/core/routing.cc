@@ -2,8 +2,8 @@
 
 namespace tiamat::core {
 
-DeferredRouter::DeferredRouter(sim::EventQueue& queue,
-                               sim::Duration retry_interval, AttemptFn attempt)
+DeferredRouter::DeferredRouter(transport::TimerService& queue,
+                               transport::Duration retry_interval, AttemptFn attempt)
     : queue_(queue),
       retry_interval_(retry_interval),
       attempt_(std::move(attempt)) {}
@@ -11,12 +11,12 @@ DeferredRouter::DeferredRouter(sim::EventQueue& queue,
 DeferredRouter::~DeferredRouter() {
   for (auto& [id, e] : entries_) {
     (void)id;
-    if (e.timer != sim::kInvalidEvent) queue_.cancel(e.timer);
+    if (e.timer != transport::kInvalidEvent) queue_.cancel(e.timer);
   }
 }
 
-std::uint64_t DeferredRouter::enqueue(sim::NodeId dest, tuples::Tuple t,
-                                      sim::Time expiry) {
+std::uint64_t DeferredRouter::enqueue(transport::NodeId dest, tuples::Tuple t,
+                                      transport::Time expiry) {
   std::uint64_t id = next_id_++;
   Entry e;
   e.dest = dest;
@@ -32,15 +32,15 @@ void DeferredRouter::try_deliver(std::uint64_t id) {
   auto it = entries_.find(id);
   if (it == entries_.end()) return;
   Entry& e = it->second;
-  const sim::Time now = queue_.now();
-  if (e.expiry != sim::kNever && now >= e.expiry) {
+  const transport::Time now = queue_.now();
+  if (e.expiry != transport::kNever && now >= e.expiry) {
     ++stats_.expired;
     entries_.erase(it);
     return;
   }
   ++stats_.attempts;
-  const sim::Duration remaining =
-      e.expiry == sim::kNever ? sim::kNever : e.expiry - now;
+  const transport::Duration remaining =
+      e.expiry == transport::kNever ? transport::kNever : e.expiry - now;
   attempt_(e.dest, e.tuple, id, remaining);
   // Schedule the next retry; a successful ack cancels it.
   e.timer = queue_.schedule_after(retry_interval_,
@@ -50,7 +50,7 @@ void DeferredRouter::try_deliver(std::uint64_t id) {
 bool DeferredRouter::acked(std::uint64_t route_id) {
   auto it = entries_.find(route_id);
   if (it == entries_.end()) return false;
-  if (it->second.timer != sim::kInvalidEvent) queue_.cancel(it->second.timer);
+  if (it->second.timer != transport::kInvalidEvent) queue_.cancel(it->second.timer);
   entries_.erase(it);
   ++stats_.delivered;
   return true;

@@ -8,9 +8,9 @@
 #include <functional>
 #include <map>
 
-#include "sim/clock.h"
-#include "sim/event_queue.h"
-#include "sim/network.h"
+#include "transport/types.h"
+#include "transport/timer.h"
+#include "transport/transport.h"
 #include "tuple/tuple.h"
 
 namespace tiamat::core {
@@ -27,10 +27,10 @@ class DeferredRouter {
   /// `attempt(dest, tuple, route_id, remaining_ttl)` transmits one delivery
   /// try; the owner must call `acked(route_id)` when the destination
   /// acknowledges.
-  using AttemptFn = std::function<void(sim::NodeId, const tuples::Tuple&,
-                                       std::uint64_t, sim::Duration)>;
+  using AttemptFn = std::function<void(transport::NodeId, const tuples::Tuple&,
+                                       std::uint64_t, transport::Duration)>;
 
-  DeferredRouter(sim::EventQueue& queue, sim::Duration retry_interval,
+  DeferredRouter(transport::TimerService& queue, transport::Duration retry_interval,
                  AttemptFn attempt);
   ~DeferredRouter();
 
@@ -39,7 +39,7 @@ class DeferredRouter {
 
   /// Queues `t` for `dest`; tries immediately, then every retry interval
   /// until `expiry`. Returns the route id.
-  std::uint64_t enqueue(sim::NodeId dest, tuples::Tuple t, sim::Time expiry);
+  std::uint64_t enqueue(transport::NodeId dest, tuples::Tuple t, transport::Time expiry);
 
   /// Destination acknowledged; stops retrying. False if unknown (stale ack).
   bool acked(std::uint64_t route_id);
@@ -49,16 +49,16 @@ class DeferredRouter {
 
  private:
   struct Entry {
-    sim::NodeId dest;
+    transport::NodeId dest;
     tuples::Tuple tuple;
-    sim::Time expiry;
-    sim::EventId timer = sim::kInvalidEvent;
+    transport::Time expiry;
+    transport::EventId timer = transport::kInvalidEvent;
   };
 
   void try_deliver(std::uint64_t id);
 
-  sim::EventQueue& queue_;
-  sim::Duration retry_interval_;
+  transport::TimerService& queue_;
+  transport::Duration retry_interval_;
   AttemptFn attempt_;
   std::uint64_t next_id_ = 1;
   // Ordered: teardown cancels retry timers in ascending route-id order.

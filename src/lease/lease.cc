@@ -30,7 +30,7 @@ std::string LeaseTerms::to_string() const {
   return os.str();
 }
 
-LeaseTerms for_duration(sim::Duration ttl) {
+LeaseTerms for_duration(transport::Duration ttl) {
   LeaseTerms t;
   t.ttl = ttl;
   return t;
@@ -64,11 +64,11 @@ const char* to_string(LeaseState s) {
   return "?";
 }
 
-Lease::Lease(LeaseId id, LeaseTerms terms, sim::Time granted_at)
+Lease::Lease(LeaseId id, LeaseTerms terms, transport::Time granted_at)
     : id_(id), terms_(std::move(terms)), granted_at_(granted_at) {}
 
-sim::Time Lease::expiry_time() const {
-  if (!terms_.ttl) return sim::kNever;
+transport::Time Lease::expiry_time() const {
+  if (!terms_.ttl) return transport::kNever;
   return granted_at_ + *terms_.ttl;
 }
 

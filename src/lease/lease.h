@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "sim/clock.h"
+#include "transport/types.h"
 
 namespace tiamat::lease {
 
@@ -27,7 +27,7 @@ inline constexpr LeaseId kNoLease = 0;
 /// dimension" as far as the *request* goes; the granting policy will usually
 /// clamp it.
 struct LeaseTerms {
-  std::optional<sim::Duration> ttl;                ///< virtual time to live
+  std::optional<transport::Duration> ttl;                ///< virtual time to live
   std::optional<std::uint32_t> max_remote_contacts;  ///< instances contacted
   std::optional<std::uint64_t> max_bytes;          ///< storage/transfer bytes
 
@@ -40,7 +40,7 @@ struct LeaseTerms {
 };
 
 /// Convenience constructors for the common shapes.
-LeaseTerms for_duration(sim::Duration ttl);
+LeaseTerms for_duration(transport::Duration ttl);
 LeaseTerms for_contacts(std::uint32_t n);
 LeaseTerms for_bytes(std::uint64_t n);
 LeaseTerms unbounded();
@@ -58,17 +58,17 @@ const char* to_string(LeaseState s);
 /// drives expiry, and the operation holding it, which charges budgets.
 class Lease {
  public:
-  Lease(LeaseId id, LeaseTerms terms, sim::Time granted_at);
+  Lease(LeaseId id, LeaseTerms terms, transport::Time granted_at);
 
   LeaseId id() const { return id_; }
   const LeaseTerms& terms() const { return terms_; }
-  sim::Time granted_at() const { return granted_at_; }
+  transport::Time granted_at() const { return granted_at_; }
 
-  /// Absolute expiry instant, or sim::kNever without a TTL.
-  sim::Time expiry_time() const;
+  /// Absolute expiry instant, or transport::kNever without a TTL.
+  transport::Time expiry_time() const;
 
   /// Manager-only: replaces the TTL after a successful renewal.
-  void set_ttl(sim::Duration ttl) { terms_.ttl = ttl; }
+  void set_ttl(transport::Duration ttl) { terms_.ttl = ttl; }
 
   LeaseState state() const { return state_; }
   bool active() const { return state_ == LeaseState::kActive; }
@@ -105,7 +105,7 @@ class Lease {
 
   LeaseId id_;
   LeaseTerms terms_;
-  sim::Time granted_at_;
+  transport::Time granted_at_;
   LeaseState state_ = LeaseState::kActive;
   std::uint32_t contacts_used_ = 0;
   std::uint64_t bytes_used_ = 0;

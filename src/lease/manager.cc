@@ -44,8 +44,8 @@ void LeaseManager::audit_check(const char* checkpoint) const {
     // charging the policy's usage accounting forever.
     if (!entry.lease->active()) {
       const bool mid_expiry = entry.lease->state() == LeaseState::kExpired &&
-                              entry.expiry_event == sim::kInvalidEvent &&
-                              entry.lease->expiry_time() != sim::kNever &&
+                              entry.expiry_event == transport::kInvalidEvent &&
+                              entry.lease->expiry_time() != transport::kNever &&
                               entry.lease->expiry_time() <= queue_.now();
       if (!mid_expiry) {
         std::ostringstream os;
@@ -55,9 +55,9 @@ void LeaseManager::audit_check(const char* checkpoint) const {
       }
       continue;
     }
-    const sim::Time expiry = entry.lease->expiry_time();
-    if (expiry != sim::kNever) {
-      if (entry.expiry_event == sim::kInvalidEvent) {
+    const transport::Time expiry = entry.lease->expiry_time();
+    if (expiry != transport::kNever) {
+      if (entry.expiry_event == transport::kInvalidEvent) {
         std::ostringstream os;
         os << "lease " << id << " has a TTL but no expiry timer armed";
         trap("expiry-armed", os.str());
@@ -75,14 +75,14 @@ void LeaseManager::audit_check(const char* checkpoint) const {
 }
 #endif  // TIAMAT_AUDIT_ENABLED
 
-LeaseManager::LeaseManager(sim::EventQueue& queue,
+LeaseManager::LeaseManager(transport::TimerService& queue,
                            std::unique_ptr<LeasePolicy> policy)
     : queue_(queue), policy_(std::move(policy)) {}
 
 LeaseManager::~LeaseManager() {
   for (auto& [id, entry] : active_) {
     (void)id;
-    if (entry.expiry_event != sim::kInvalidEvent) {
+    if (entry.expiry_event != transport::kInvalidEvent) {
       queue_.cancel(entry.expiry_event);
     }
   }
@@ -117,7 +117,7 @@ std::shared_ptr<Lease> LeaseManager::negotiate(
           auto it = active_.find(id);
           if (it == active_.end()) return;
           auto l = it->second.lease;
-          it->second.expiry_event = sim::kInvalidEvent;
+          it->second.expiry_event = transport::kInvalidEvent;
           l->expire();  // fires end callbacks; bookkeeping below
           finish_bookkeeping(id, LeaseState::kExpired);
         });
@@ -138,7 +138,7 @@ std::shared_ptr<Lease> LeaseManager::negotiate(
 void LeaseManager::finish_bookkeeping(LeaseId id, LeaseState state) {
   auto it = active_.find(id);
   if (it == active_.end()) return;
-  if (it->second.expiry_event != sim::kInvalidEvent) {
+  if (it->second.expiry_event != transport::kInvalidEvent) {
     queue_.cancel(it->second.expiry_event);
   }
   active_.erase(it);
@@ -162,8 +162,8 @@ void LeaseManager::finish_bookkeeping(LeaseId id, LeaseState state) {
   TIAMAT_AUDIT_CHECK(audit_check("finish_bookkeeping"));
 }
 
-std::optional<sim::Time> LeaseManager::renew(LeaseId id,
-                                             sim::Duration extra) {
+std::optional<transport::Time> LeaseManager::renew(LeaseId id,
+                                             transport::Duration extra) {
   auto it = active_.find(id);
   if (it == active_.end()) return std::nullopt;
   auto lease = it->second.lease;
@@ -174,18 +174,18 @@ std::optional<sim::Time> LeaseManager::renew(LeaseId id,
   if (usage_probe_) usage = usage_probe_();
   usage.active_leases = active_.size();
   usage.active_ops = active_.size();
-  const sim::Time now = queue_.now();
-  const sim::Duration remaining =
-      lease->expiry_time() == sim::kNever ? 0 : lease->expiry_time() - now;
+  const transport::Time now = queue_.now();
+  const transport::Duration remaining =
+      lease->expiry_time() == transport::kNever ? 0 : lease->expiry_time() - now;
   LeaseTerms ask;
   ask.ttl = (remaining > 0 ? remaining : 0) + extra;
   auto offer = policy_->offer(ask, usage, now);
   if (!offer || !offer->ttl) return std::nullopt;
 
   // Rebase the lease's TTL at `now` and reschedule expiry.
-  const sim::Time new_expiry = now + *offer->ttl;
+  const transport::Time new_expiry = now + *offer->ttl;
   lease->set_ttl(new_expiry - lease->granted_at());
-  if (it->second.expiry_event != sim::kInvalidEvent) {
+  if (it->second.expiry_event != transport::kInvalidEvent) {
     queue_.cancel(it->second.expiry_event);
   }
   it->second.expiry_event =
@@ -193,7 +193,7 @@ std::optional<sim::Time> LeaseManager::renew(LeaseId id,
         auto it2 = active_.find(id);
         if (it2 == active_.end()) return;
         auto l = it2->second.lease;
-        it2->second.expiry_event = sim::kInvalidEvent;
+        it2->second.expiry_event = transport::kInvalidEvent;
         l->expire();
         finish_bookkeeping(id, LeaseState::kExpired);
       });

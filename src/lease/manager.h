@@ -16,7 +16,7 @@
 #include "lease/policy.h"
 #include "lease/requester.h"
 #include "obs/metrics.h"
-#include "sim/event_queue.h"
+#include "transport/timer.h"
 
 namespace tiamat::lease {
 
@@ -31,7 +31,7 @@ class LeaseManager {
     std::uint64_t released = 0;
   };
 
-  LeaseManager(sim::EventQueue& queue, std::unique_ptr<LeasePolicy> policy);
+  LeaseManager(transport::TimerService& queue, std::unique_ptr<LeasePolicy> policy);
 
   /// Cancels every scheduled expiry event *without* firing lease-end
   /// callbacks: at destruction time the structures those callbacks touch
@@ -53,7 +53,7 @@ class LeaseManager {
   /// — renewal is a fresh request, not a right). Returns the new expiry
   /// time, or nullopt if the lease is unknown/inactive or the policy
   /// refuses. Budgets (contacts/bytes) are unchanged.
-  std::optional<sim::Time> renew(LeaseId id, sim::Duration extra);
+  std::optional<transport::Time> renew(LeaseId id, transport::Duration extra);
 
   /// Last-resort revocation (§2.5): ends the lease early, firing its end
   /// callbacks so held resources are reclaimed.
@@ -82,7 +82,7 @@ class LeaseManager {
 
   std::size_t active() const { return active_.size(); }
   const Stats& stats() const { return stats_; }
-  sim::Time now() const { return queue_.now(); }
+  transport::Time now() const { return queue_.now(); }
 
 #if TIAMAT_AUDIT_ENABLED
   /// Lease-table re-verification (audit builds only): every tracked lease
@@ -95,14 +95,14 @@ class LeaseManager {
  private:
   void finish_bookkeeping(LeaseId id, LeaseState state);
 
-  sim::EventQueue& queue_;
+  transport::TimerService& queue_;
   std::unique_ptr<LeasePolicy> policy_;
   std::function<ResourceUsage()> usage_probe_;
   LeaseId next_id_ = 1;
 
   struct Active {
     std::shared_ptr<Lease> lease;
-    sim::EventId expiry_event = sim::kInvalidEvent;
+    transport::EventId expiry_event = transport::kInvalidEvent;
   };
   // Ordered so teardown and revoke_all fire in ascending-id (grant) order —
   // lease-end callbacks are observable, so their order must be

@@ -5,7 +5,7 @@
 namespace tiamat::lease {
 
 std::optional<LeaseTerms> DefaultLeasePolicy::offer(
-    const LeaseTerms& requested, const ResourceUsage& usage, sim::Time) {
+    const LeaseTerms& requested, const ResourceUsage& usage, transport::Time) {
   // Saturated instances refuse outright.
   if (usage.stored_bytes >= caps_.max_stored_bytes) return std::nullopt;
   if (usage.active_ops >= caps_.max_active_ops) return std::nullopt;
@@ -21,13 +21,13 @@ std::optional<LeaseTerms> DefaultLeasePolicy::offer(
                         (1.0 - caps_.pressure_threshold));
   }
 
-  auto scale_dur = [factor](sim::Duration d) {
-    return static_cast<sim::Duration>(static_cast<double>(d) * factor);
+  auto scale_dur = [factor](transport::Duration d) {
+    return static_cast<transport::Duration>(static_cast<double>(d) * factor);
   };
 
   LeaseTerms granted;
   {
-    sim::Duration want = requested.ttl.value_or(caps_.default_ttl);
+    transport::Duration want = requested.ttl.value_or(caps_.default_ttl);
     granted.ttl = std::min(scale_dur(want), caps_.max_ttl);
   }
   {

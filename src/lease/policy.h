@@ -32,7 +32,7 @@ class LeasePolicy {
   /// nullopt to refuse outright.
   virtual std::optional<LeaseTerms> offer(const LeaseTerms& requested,
                                           const ResourceUsage& usage,
-                                          sim::Time now) = 0;
+                                          transport::Time now) = 0;
 };
 
 /// The stock policy: clamps requests to per-dimension caps, substitutes
@@ -44,8 +44,8 @@ class LeasePolicy {
 class DefaultLeasePolicy final : public LeasePolicy {
  public:
   struct Caps {
-    sim::Duration max_ttl = sim::seconds(60);
-    sim::Duration default_ttl = sim::seconds(10);
+    transport::Duration max_ttl = transport::seconds(60);
+    transport::Duration default_ttl = transport::seconds(10);
     std::uint32_t max_contacts = 32;
     std::uint32_t default_contacts = 8;
     std::uint64_t max_bytes = 1 << 20;      // 1 MiB per lease
@@ -66,7 +66,7 @@ class DefaultLeasePolicy final : public LeasePolicy {
 
   std::optional<LeaseTerms> offer(const LeaseTerms& requested,
                                   const ResourceUsage& usage,
-                                  sim::Time now) override;
+                                  transport::Time now) override;
 
   const Caps& caps() const { return caps_; }
   void set_caps(Caps caps) { caps_ = caps; }
@@ -80,7 +80,7 @@ class DefaultLeasePolicy final : public LeasePolicy {
 class AcceptAllPolicy final : public LeasePolicy {
  public:
   std::optional<LeaseTerms> offer(const LeaseTerms& requested,
-                                  const ResourceUsage&, sim::Time) override {
+                                  const ResourceUsage&, transport::Time) override {
     return requested;
   }
 };
@@ -90,7 +90,7 @@ class AcceptAllPolicy final : public LeasePolicy {
 class DenyAllPolicy final : public LeasePolicy {
  public:
   std::optional<LeaseTerms> offer(const LeaseTerms&, const ResourceUsage&,
-                                  sim::Time) override {
+                                  transport::Time) override {
     return std::nullopt;
   }
 };

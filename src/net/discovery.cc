@@ -2,10 +2,10 @@
 
 namespace tiamat::net {
 
-Discovery::Discovery(Endpoint& endpoint, sim::EventQueue& queue,
+Discovery::Discovery(Endpoint& endpoint, transport::TimerService& queue,
                      ResponderCache& cache)
     : endpoint_(endpoint), queue_(queue), cache_(cache) {
-  endpoint_.on(kProbeReply, [this](sim::NodeId from, const Message& m) {
+  endpoint_.on(kProbeReply, [this](transport::NodeId from, const Message& m) {
     ++stats_.replies_received;
     if (!probe_open_ || m.op_id != probe_id_) return;  // stale reply
     if (!cache_.contains(from)) {
@@ -16,13 +16,13 @@ Discovery::Discovery(Endpoint& endpoint, sim::EventQueue& queue,
 }
 
 Discovery::~Discovery() {
-  if (window_event_ != sim::kInvalidEvent) queue_.cancel(window_event_);
+  if (window_event_ != transport::kInvalidEvent) queue_.cancel(window_event_);
 }
 
 void Discovery::enable_responder(std::function<bool()> available) {
   endpoint_.join_group(kDiscoveryGroup);
   endpoint_.on(kProbe, [this, available = std::move(available)](
-                           sim::NodeId from, const Message& m) {
+                           transport::NodeId from, const Message& m) {
     if (available && !available()) return;
     Message reply;
     reply.type = kProbeReply;
@@ -33,7 +33,7 @@ void Discovery::enable_responder(std::function<bool()> available) {
   });
 }
 
-void Discovery::probe(sim::Duration window,
+void Discovery::probe(transport::Duration window,
                       std::function<void(std::size_t)> done) {
   waiting_.push_back(std::move(done));
   if (probe_open_) return;  // share the in-flight probe
@@ -50,7 +50,7 @@ void Discovery::probe(sim::Duration window,
   endpoint_.multicast(kDiscoveryGroup, m);
 
   window_event_ = queue_.schedule_after(window, [this] {
-    window_event_ = sim::kInvalidEvent;
+    window_event_ = transport::kInvalidEvent;
     finish_probe();
   });
 }

@@ -18,12 +18,12 @@
 
 #include "net/endpoint.h"
 #include "net/responder_cache.h"
-#include "sim/event_queue.h"
+#include "transport/timer.h"
 
 namespace tiamat::net {
 
 /// Well-known multicast group all Tiamat instances join.
-inline constexpr sim::GroupId kDiscoveryGroup = 1;
+inline constexpr transport::GroupId kDiscoveryGroup = 1;
 
 class Discovery {
  public:
@@ -33,7 +33,7 @@ class Discovery {
     std::uint64_t replies_received = 0;
   };
 
-  Discovery(Endpoint& endpoint, sim::EventQueue& queue, ResponderCache& cache);
+  Discovery(Endpoint& endpoint, transport::TimerService& queue, ResponderCache& cache);
   ~Discovery();
 
   /// Joins the discovery group and starts answering probes. `available`
@@ -42,7 +42,7 @@ class Discovery {
 
   /// Sends one probe; after `window`, calls `done(new_responders)`.
   /// Concurrent probes coalesce: callers during an open window share it.
-  void probe(sim::Duration window, std::function<void(std::size_t)> done);
+  void probe(transport::Duration window, std::function<void(std::size_t)> done);
 
   bool probing() const { return probe_open_; }
   const Stats& stats() const { return stats_; }
@@ -51,12 +51,12 @@ class Discovery {
   void finish_probe();
 
   Endpoint& endpoint_;
-  sim::EventQueue& queue_;
+  transport::TimerService& queue_;
   ResponderCache& cache_;
   Stats stats_;
 
   bool probe_open_ = false;
-  sim::EventId window_event_ = sim::kInvalidEvent;
+  transport::EventId window_event_ = transport::kInvalidEvent;
   std::uint64_t probe_id_ = 0;
   std::size_t new_in_window_ = 0;
   std::vector<std::function<void(std::size_t)>> waiting_;

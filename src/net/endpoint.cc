@@ -1,16 +1,19 @@
 #include "net/endpoint.h"
 
+#include "obs/metric_names.h"
+
 namespace tiamat::net {
 
-Endpoint::Endpoint(sim::Network& net, sim::NodeId node)
-    : net_(net), node_(node) {
-  net_.bind(node_, [this](sim::NodeId from, const sim::Payload& bytes) {
-    deliver(from, bytes);
-  });
+Endpoint::Endpoint(transport::Transport& tx, transport::NodeId node)
+    : tx_(tx), node_(node) {
+  tx_.bind(node_,
+           [this](transport::NodeId from, const transport::Payload& bytes) {
+             deliver(from, bytes);
+           });
 }
 
 Endpoint::~Endpoint() {
-  if (net_.node_exists(node_)) net_.bind(node_, nullptr);
+  if (tx_.node_exists(node_)) tx_.bind(node_, nullptr);
 }
 
 void Endpoint::on(std::uint16_t type, Handler handler) {
@@ -21,26 +24,39 @@ void Endpoint::set_default_handler(Handler handler) {
   default_handler_ = std::move(handler);
 }
 
-void Endpoint::send(sim::NodeId to, const Message& m) {
+void Endpoint::publish_stats(obs::Registry& registry) {
+  decode_failures_ = &registry.counter("net.decode_failures");
+  unhandled_ = &registry.counter("net.unhandled");
+  // Catch up on drops recorded before the registry was attached.
+  decode_failures_->add(stats_.decode_failures);
+  unhandled_->add(stats_.unhandled);
+}
+
+void Endpoint::send(transport::NodeId to, const Message& m) {
   ++stats_.sent;
-  net_.send(node_, to, encode_message(m));
+  tx_.send(node_, to, encode_message(m));
 }
 
-void Endpoint::multicast(sim::GroupId group, const Message& m) {
+void Endpoint::multicast(transport::GroupId group, const Message& m) {
   ++stats_.multicast;
-  net_.multicast(node_, group, encode_message(m));
+  tx_.multicast(node_, group, encode_message(m));
 }
 
-void Endpoint::join_group(sim::GroupId group) { net_.join_group(node_, group); }
-
-void Endpoint::leave_group(sim::GroupId group) {
-  net_.leave_group(node_, group);
+void Endpoint::join_group(transport::GroupId group) {
+  tx_.join_group(node_, group);
 }
 
-void Endpoint::deliver(sim::NodeId from, const sim::Payload& bytes) {
+void Endpoint::leave_group(transport::GroupId group) {
+  tx_.leave_group(node_, group);
+}
+
+void Endpoint::deliver(transport::NodeId from,
+                       const transport::Payload& bytes) {
   auto m = decode_message(bytes);
   if (!m) {
     ++stats_.decode_failures;
+    if (decode_failures_) ++*decode_failures_;
+    if (decode_failure_hook_) decode_failure_hook_(from);
     return;
   }
   ++stats_.received;
@@ -51,6 +67,7 @@ void Endpoint::deliver(sim::NodeId from, const sim::Payload& bytes) {
     default_handler_(from, *m);
   } else {
     ++stats_.unhandled;
+    if (unhandled_) ++*unhandled_;
   }
 }
 

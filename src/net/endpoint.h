@@ -1,6 +1,10 @@
-// Endpoint: a node's attachment to the simulated network, with typed
-// message dispatch. Encoding/decoding happens here, so everything above it
-// deals in Message values and everything below in raw bytes.
+// Endpoint: a node's attachment to the transport, with typed message
+// dispatch. Encoding/decoding happens here, so everything above it deals in
+// Message values and everything below in raw bytes.
+//
+// The endpoint is backend-agnostic: it talks to the abstract
+// transport::Transport, so the same protocol code runs over the
+// deterministic simulator and the multi-threaded loopback backend.
 
 #pragma once
 
@@ -9,13 +13,14 @@
 #include <unordered_map>
 
 #include "net/message.h"
-#include "sim/network.h"
+#include "obs/metrics.h"
+#include "transport/transport.h"
 
 namespace tiamat::net {
 
 class Endpoint {
  public:
-  using Handler = std::function<void(sim::NodeId from, const Message&)>;
+  using Handler = std::function<void(transport::NodeId from, const Message&)>;
 
   struct Stats {
     std::uint64_t sent = 0;
@@ -25,15 +30,15 @@ class Endpoint {
     std::uint64_t unhandled = 0;
   };
 
-  Endpoint(sim::Network& net, sim::NodeId node);
+  Endpoint(transport::Transport& tx, transport::NodeId node);
 
   Endpoint(const Endpoint&) = delete;
   Endpoint& operator=(const Endpoint&) = delete;
 
   ~Endpoint();
 
-  sim::NodeId node() const { return node_; }
-  sim::Network& network() { return net_; }
+  transport::NodeId node() const { return node_; }
+  transport::Transport& transport() { return tx_; }
 
   /// Registers the handler for one message type (replacing any previous).
   void on(std::uint16_t type, Handler handler);
@@ -41,23 +46,37 @@ class Endpoint {
   /// Fallback for types with no specific handler.
   void set_default_handler(Handler handler);
 
-  void send(sim::NodeId to, const Message& m);
-  void multicast(sim::GroupId group, const Message& m);
+  void send(transport::NodeId to, const Message& m);
+  void multicast(transport::GroupId group, const Message& m);
 
-  void join_group(sim::GroupId group);
-  void leave_group(sim::GroupId group);
+  void join_group(transport::GroupId group);
+  void leave_group(transport::GroupId group);
+
+  /// Mirrors the drop-path stats into registry counters
+  /// ("net.decode_failures" / "net.unhandled"), so silent message loss is
+  /// visible in metric snapshots, not just in the endpoint's own Stats.
+  void publish_stats(obs::Registry& registry);
+
+  /// Invoked (with the claimed sender) whenever an arriving payload fails to
+  /// decode; Instance uses it to emit a kDecodeFailure trace event.
+  void set_decode_failure_hook(std::function<void(transport::NodeId)> hook) {
+    decode_failure_hook_ = std::move(hook);
+  }
 
   const Stats& stats() const { return stats_; }
-  sim::Time now() const { return net_.now(); }
+  transport::Time now() const { return tx_.now(); }
 
  private:
-  void deliver(sim::NodeId from, const sim::Payload& bytes);
+  void deliver(transport::NodeId from, const transport::Payload& bytes);
 
-  sim::Network& net_;
-  sim::NodeId node_;
+  transport::Transport& tx_;
+  transport::NodeId node_;
   std::unordered_map<std::uint16_t, Handler> handlers_;
   Handler default_handler_;
   Stats stats_;
+  obs::Counter* decode_failures_ = nullptr;  ///< set by publish_stats
+  obs::Counter* unhandled_ = nullptr;        ///< set by publish_stats
+  std::function<void(transport::NodeId)> decode_failure_hook_;
 };
 
 }  // namespace tiamat::net

@@ -4,32 +4,32 @@
 
 namespace tiamat::net {
 
-void ResponderCache::add(sim::NodeId id) {
+void ResponderCache::add(transport::NodeId id) {
   if (contains(id)) return;
   list_.push_back(id);
   if (added_) ++*added_;
   gauge_size();
 }
 
-void ResponderCache::remove(sim::NodeId id) {
+void ResponderCache::remove(transport::NodeId id) {
   const std::size_t before = list_.size();
   list_.erase(std::remove(list_.begin(), list_.end(), id), list_.end());
   if (removed_ && list_.size() != before) ++*removed_;
   gauge_size();
 }
 
-bool ResponderCache::contains(sim::NodeId id) const {
+bool ResponderCache::contains(transport::NodeId id) const {
   return std::find(list_.begin(), list_.end(), id) != list_.end();
 }
 
-std::vector<sim::NodeId> ResponderCache::contact_order() const {
-  std::vector<sim::NodeId> order = list_;
+std::vector<transport::NodeId> ResponderCache::contact_order() const {
+  std::vector<transport::NodeId> order = list_;
   if (ordering_ == Ordering::kByStability) {
     std::vector<std::size_t> pos(order.size());
-    std::unordered_map<sim::NodeId, std::size_t> at;
+    std::unordered_map<transport::NodeId, std::size_t> at;
     for (std::size_t i = 0; i < order.size(); ++i) at[order[i]] = i;
     std::stable_sort(order.begin(), order.end(),
-                     [this, &at](sim::NodeId a, sim::NodeId b) {
+                     [this, &at](transport::NodeId a, transport::NodeId b) {
                        double ra = response_rate(a);
                        double rb = response_rate(b);
                        if (ra != rb) return ra > rb;
@@ -39,12 +39,12 @@ std::vector<sim::NodeId> ResponderCache::contact_order() const {
   return order;
 }
 
-void ResponderCache::record_success(sim::NodeId id) {
+void ResponderCache::record_success(transport::NodeId id) {
   ++history_[id].successes;
   gauge_rate(id);
 }
 
-void ResponderCache::record_failure(sim::NodeId id) {
+void ResponderCache::record_failure(transport::NodeId id) {
   ++history_[id].failures;
   gauge_rate(id);
 }
@@ -60,7 +60,7 @@ void ResponderCache::gauge_size() {
   if (size_) size_->set(static_cast<double>(list_.size()));
 }
 
-void ResponderCache::gauge_rate(sim::NodeId id) {
+void ResponderCache::gauge_rate(transport::NodeId id) {
   if (registry_ == nullptr) return;
   auto it = rate_gauges_.find(id);
   if (it == rate_gauges_.end()) {
@@ -72,7 +72,7 @@ void ResponderCache::gauge_rate(sim::NodeId id) {
   it->second->set(response_rate(id));
 }
 
-double ResponderCache::response_rate(sim::NodeId id) const {
+double ResponderCache::response_rate(transport::NodeId id) const {
   auto it = history_.find(id);
   if (it == history_.end()) return 0.5;  // unknown peers rank mid-table
   const auto& h = it->second;

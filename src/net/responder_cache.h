@@ -22,7 +22,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
-#include "sim/network.h"
+#include "transport/transport.h"
 
 namespace tiamat::net {
 
@@ -37,13 +37,13 @@ class ResponderCache {
       : ordering_(ordering) {}
 
   /// Appends a responder at the bottom (no-op if already present).
-  void add(sim::NodeId id);
+  void add(transport::NodeId id);
 
   /// Drops a non-responder from the list. Its stability history is kept so
   /// a flaky peer that keeps re-appearing does not look pristine.
-  void remove(sim::NodeId id);
+  void remove(transport::NodeId id);
 
-  bool contains(sim::NodeId id) const;
+  bool contains(transport::NodeId id) const;
   std::size_t size() const { return list_.size(); }
   bool empty() const { return list_.empty(); }
   void clear() {
@@ -54,12 +54,12 @@ class ResponderCache {
   /// Contact order for the next operation: top first. In kByStability mode
   /// the list is ordered by response rate (descending, list position as
   /// tie-break) instead.
-  std::vector<sim::NodeId> contact_order() const;
+  std::vector<transport::NodeId> contact_order() const;
 
   /// Stability bookkeeping (feeds kByStability, harmless in paper mode).
-  void record_success(sim::NodeId id);
-  void record_failure(sim::NodeId id);
-  double response_rate(sim::NodeId id) const;
+  void record_success(transport::NodeId id);
+  void record_failure(transport::NodeId id);
+  double response_rate(transport::NodeId id) const;
 
   Ordering ordering() const { return ordering_; }
   void set_ordering(Ordering o) { ordering_ = o; }
@@ -72,20 +72,20 @@ class ResponderCache {
 
  private:
   void gauge_size();
-  void gauge_rate(sim::NodeId id);
+  void gauge_rate(transport::NodeId id);
   struct History {
     std::uint64_t successes = 0;
     std::uint64_t failures = 0;
   };
 
   Ordering ordering_;
-  std::vector<sim::NodeId> list_;  // top = front
-  std::unordered_map<sim::NodeId, History> history_;
+  std::vector<transport::NodeId> list_;  // top = front
+  std::unordered_map<transport::NodeId, History> history_;
   obs::Registry* registry_ = nullptr;
   obs::Counter* added_ = nullptr;
   obs::Counter* removed_ = nullptr;
   obs::Gauge* size_ = nullptr;
-  std::unordered_map<sim::NodeId, obs::Gauge*> rate_gauges_;
+  std::unordered_map<transport::NodeId, obs::Gauge*> rate_gauges_;
 };
 
 }  // namespace tiamat::net

@@ -5,18 +5,18 @@ namespace tiamat::net {
 Correlator::~Correlator() {
   for (auto& [id, open] : open_) {
     (void)id;
-    if (open.deadline_event != sim::kInvalidEvent) {
+    if (open.deadline_event != transport::kInvalidEvent) {
       queue_.cancel(open.deadline_event);
     }
   }
 }
 
 void Correlator::expect(std::uint64_t op_id, OnMessage on_message,
-                        sim::Time deadline, OnDeadline on_deadline) {
+                        transport::Time deadline, OnDeadline on_deadline) {
   Open open;
   open.on_message = std::move(on_message);
   open.on_deadline = std::move(on_deadline);
-  if (deadline != sim::kNever) {
+  if (deadline != transport::kNever) {
     open.deadline_event = queue_.schedule_at(deadline, [this, op_id] {
       auto it = open_.find(op_id);
       if (it == open_.end()) return;
@@ -31,7 +31,7 @@ void Correlator::expect(std::uint64_t op_id, OnMessage on_message,
   gauge_open();
 }
 
-bool Correlator::route(sim::NodeId from, const Message& m) {
+bool Correlator::route(transport::NodeId from, const Message& m) {
   auto it = open_.find(m.op_id);
   if (it == open_.end()) {
     if (metrics_.stale) ++*metrics_.stale;
@@ -49,7 +49,7 @@ bool Correlator::route(sim::NodeId from, const Message& m) {
 bool Correlator::finish(std::uint64_t op_id) {
   auto it = open_.find(op_id);
   if (it == open_.end()) return false;
-  if (it->second.deadline_event != sim::kInvalidEvent) {
+  if (it->second.deadline_event != transport::kInvalidEvent) {
     queue_.cancel(it->second.deadline_event);
   }
   open_.erase(it);

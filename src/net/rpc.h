@@ -14,8 +14,8 @@
 
 #include "net/message.h"
 #include "obs/metrics.h"
-#include "sim/event_queue.h"
-#include "sim/network.h"
+#include "transport/timer.h"
+#include "transport/transport.h"
 
 namespace tiamat::net {
 
@@ -23,10 +23,10 @@ class Correlator {
  public:
   /// Called for every message routed to the op. Return false to finish the
   /// exchange (deadline timer cancelled, state dropped).
-  using OnMessage = std::function<bool(sim::NodeId from, const Message&)>;
+  using OnMessage = std::function<bool(transport::NodeId from, const Message&)>;
   using OnDeadline = std::function<void()>;
 
-  explicit Correlator(sim::EventQueue& queue) : queue_(queue) {}
+  explicit Correlator(transport::TimerService& queue) : queue_(queue) {}
   ~Correlator();
 
   Correlator(const Correlator&) = delete;
@@ -34,14 +34,14 @@ class Correlator {
 
   std::uint64_t next_op_id() { return next_id_++; }
 
-  /// Registers an exchange. `deadline` == sim::kNever disables the timer.
+  /// Registers an exchange. `deadline` == transport::kNever disables the timer.
   void expect(std::uint64_t op_id, OnMessage on_message,
-              sim::Time deadline = sim::kNever,
+              transport::Time deadline = transport::kNever,
               OnDeadline on_deadline = nullptr);
 
   /// Routes an incoming message by op id. Returns false when no exchange is
   /// waiting for it (stale response — common and harmless after expiry).
-  bool route(sim::NodeId from, const Message& m);
+  bool route(transport::NodeId from, const Message& m);
 
   /// Ends an exchange early (lease released / cancelled).
   bool finish(std::uint64_t op_id);
@@ -57,10 +57,10 @@ class Correlator {
   struct Open {
     OnMessage on_message;
     OnDeadline on_deadline;
-    sim::EventId deadline_event = sim::kInvalidEvent;
+    transport::EventId deadline_event = transport::kInvalidEvent;
   };
 
-  sim::EventQueue& queue_;
+  transport::TimerService& queue_;
   std::uint64_t next_id_ = 1;
   // Ordered: teardown cancels deadline events in ascending op-id order.
   std::map<std::uint64_t, Open> open_;

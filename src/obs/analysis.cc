@@ -34,7 +34,7 @@ const TraceEvent* first_of(const std::vector<TraceEvent>& events,
   return nullptr;
 }
 
-sim::Duration clamp0(sim::Duration d) { return d < 0 ? 0 : d; }
+transport::Duration clamp0(transport::Duration d) { return d < 0 ? 0 : d; }
 
 json::Value stages_json(const StageLatency& s) {
   json::Object o;
@@ -262,7 +262,7 @@ json::Value TraceAnalysis::report(std::size_t slowest_n) const {
     std::uint64_t accepted = 0;
     std::uint64_t reinserts = 0;
     double fanout = 0;
-    sim::Duration max_total = 0;
+    transport::Duration max_total = 0;
     StageSums accepted_stages;
   };
   std::map<std::string, KindAgg> by_kind;

@@ -37,13 +37,13 @@
 
 #include "obs/json.h"
 #include "obs/trace.h"
-#include "sim/network.h"
+#include "transport/types.h"
 
 namespace tiamat::obs {
 
 /// Global identity of one logical-space operation.
 struct OpKey {
-  sim::NodeId origin = sim::kNoNode;
+  transport::NodeId origin = transport::kNoNode;
   std::uint64_t op_id = 0;
 
   bool operator<(const OpKey& o) const {
@@ -67,12 +67,12 @@ const char* to_string(OpOutcome o);
 
 /// Per-stage latency attribution, virtual-time microseconds.
 struct StageLatency {
-  sim::Duration lease_us = 0;
-  sim::Duration queue_us = 0;
-  sim::Duration match_us = 0;
-  sim::Duration network_us = 0;
-  sim::Duration reinsert_us = 0;  ///< cleanup tail beyond `total_us`
-  sim::Duration total_us = 0;     ///< issued -> terminal
+  transport::Duration lease_us = 0;
+  transport::Duration queue_us = 0;
+  transport::Duration match_us = 0;
+  transport::Duration network_us = 0;
+  transport::Duration reinsert_us = 0;  ///< cleanup tail beyond `total_us`
+  transport::Duration total_us = 0;     ///< issued -> terminal
 };
 
 /// One operation's joined, time-ordered causal story.
@@ -81,10 +81,10 @@ struct OpTimeline {
   std::int64_t kind = -1;  ///< core::OpKind as recorded (0 rd, 1 rdp, 2 in,
                            ///< 3 inp); -1 when op_issued was not captured
   OpOutcome outcome = OpOutcome::kOrphaned;
-  sim::NodeId accept_source = sim::kNoNode;
+  transport::NodeId accept_source = transport::kNoNode;
   std::size_t fanout = 0;     ///< peer_request records
   std::size_t reinserts = 0;  ///< reinsert + serve_reinsert records
-  std::vector<sim::NodeId> nodes;  ///< instances that recorded events, sorted
+  std::vector<transport::NodeId> nodes;  ///< instances that recorded events, sorted
   StageLatency stages;
   std::vector<TraceEvent> events;  ///< merged, time-ordered
 

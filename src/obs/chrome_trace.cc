@@ -12,7 +12,7 @@ namespace {
 constexpr std::int64_t kPid = 1;
 
 json::Value base_event(const char* ph, const std::string& name,
-                       const char* cat, sim::Time ts, sim::NodeId tid) {
+                       const char* cat, transport::Time ts, transport::NodeId tid) {
   json::Object o;
   o.emplace_back("name", json::Value(name));
   o.emplace_back("cat", json::Value(cat));
@@ -44,9 +44,9 @@ json::Value to_chrome_trace(const std::vector<OpTimeline>& timelines) {
   std::int64_t next_flow_id = 1;
 
   // Track metadata: every node that appears anywhere, named once.
-  std::map<sim::NodeId, bool> nodes;
+  std::map<transport::NodeId, bool> nodes;
   for (const OpTimeline& t : timelines) {
-    for (sim::NodeId n : t.nodes) nodes[n] = true;
+    for (transport::NodeId n : t.nodes) nodes[n] = true;
   }
   for (const auto& [n, unused] : nodes) {
     (void)unused;
@@ -79,7 +79,7 @@ json::Value to_chrome_trace(const std::vector<OpTimeline>& timelines) {
                                 std::to_string(t.key.op_id);
 
     // Per-node slice: first..last event this node recorded for the op.
-    std::map<sim::NodeId, std::pair<sim::Time, sim::Time>> spans;
+    std::map<transport::NodeId, std::pair<transport::Time, transport::Time>> spans;
     for (const TraceEvent& e : t.events) {
       auto it = spans.find(e.node);
       if (it == spans.end()) {
@@ -107,8 +107,8 @@ json::Value to_chrome_trace(const std::vector<OpTimeline>& timelines) {
     // Cross-node flow edges. For each edge we pair the first qualifying
     // source with the first qualifying destination after it; events are
     // time-ordered, so a linear scan per peer suffices.
-    auto first_at_node_after = [&](EventKind kind, sim::NodeId node,
-                                   sim::Time at) -> const TraceEvent* {
+    auto first_at_node_after = [&](EventKind kind, transport::NodeId node,
+                                   transport::Time at) -> const TraceEvent* {
       for (const TraceEvent& e : t.events) {
         if (e.kind == kind && e.node == node && e.at >= at) return &e;
       }

@@ -13,7 +13,7 @@ namespace {
 // Live recorders keyed (node, registration seq): node ids restart per
 // simulated world, so the monotonic sequence disambiguates instances from
 // different worlds while keeping dump order deterministic.
-using RecorderKey = std::pair<sim::NodeId, std::uint64_t>;
+using RecorderKey = std::pair<transport::NodeId, std::uint64_t>;
 
 std::map<RecorderKey, const FlightRecorder*>& registry() {
   static std::map<RecorderKey, const FlightRecorder*> recorders;
@@ -34,7 +34,7 @@ void install_audit_context_once() {
 
 }  // namespace
 
-FlightRecorder::FlightRecorder(sim::NodeId node, std::size_t capacity)
+FlightRecorder::FlightRecorder(transport::NodeId node, std::size_t capacity)
     : node_(node), capacity_(capacity == 0 ? 1 : capacity), seq_(next_seq()) {
   ring_.reserve(capacity_);
   install_audit_context_once();
@@ -68,7 +68,7 @@ std::string FlightRecorder::dump_all() {
     for (const TraceEvent& e : tail) {
       out << "      at=" << e.at << " " << to_string(e.kind) << " op="
           << e.origin << ":" << e.op_id;
-      if (e.peer != sim::kNoNode) out << " peer=" << e.peer;
+      if (e.peer != transport::kNoNode) out << " peer=" << e.peer;
       if (e.detail != 0) out << " detail=" << e.detail;
       out << "\n";
     }

@@ -24,7 +24,7 @@
 #include <vector>
 
 #include "obs/trace.h"
-#include "sim/network.h"
+#include "transport/types.h"
 
 namespace tiamat::obs {
 
@@ -32,7 +32,7 @@ class FlightRecorder {
  public:
   static constexpr std::size_t kDefaultCapacity = 64;
 
-  explicit FlightRecorder(sim::NodeId node,
+  explicit FlightRecorder(transport::NodeId node,
                           std::size_t capacity = kDefaultCapacity);
   ~FlightRecorder();
 
@@ -53,7 +53,7 @@ class FlightRecorder {
   /// Ring contents, oldest first.
   std::vector<TraceEvent> tail() const;
 
-  sim::NodeId node() const { return node_; }
+  transport::NodeId node() const { return node_; }
   std::uint64_t recorded() const { return recorded_; }
   std::size_t capacity() const { return capacity_; }
 
@@ -66,7 +66,7 @@ class FlightRecorder {
   static std::size_t live_count();
 
  private:
-  sim::NodeId node_;
+  transport::NodeId node_;
   std::size_t capacity_;
   std::uint64_t seq_;             ///< registration order (dump tiebreak)
   std::vector<TraceEvent> ring_;  ///< grows to capacity_, then wraps

@@ -47,11 +47,14 @@ inline constexpr std::string_view kCatalog[] = {
     "lease.revoked",
     // network cost (bench export, from sim::Network accounting)
     "net.bytes",
+    // endpoint drop paths (net::Endpoint::publish_stats)
+    "net.decode_failures",
     "net.deliveries",
     "net.drops",
     "net.multicasts",
     "net.peer.bytes",
     "net.peer.messages",
+    "net.unhandled",
     "net.unicasts",
     // logical-space operations (core::Monitor)
     "op.cancels_sent",
@@ -94,6 +97,15 @@ inline constexpr std::string_view kCatalog[] = {
     "space.tuples",
     "space.waiter_bytes",
     "space.waiters",
+    // transport-backend accounting (bench_loopback: delivery totals from
+    // the selected backend plus the wall-clock throughput headline)
+    "transport.bytes",
+    "transport.deliveries",
+    "transport.multicasts",
+    "transport.ops",
+    "transport.ops_per_sec",
+    "transport.unicasts",
+    "transport.workers",
 };
 
 /// True when `name` is a catalogued metric name (tiamat-inspect flags

@@ -5,7 +5,7 @@
 //   1. Hot-path cost. An instrument is looked up (or created) once and held
 //      by reference; updating it is an integer add. Histograms use fixed
 //      buckets so observation is a binary search plus two adds — no
-//      unbounded sample vectors on per-op paths (sim::Summary keeps that
+//      unbounded sample vectors on per-op paths (transport::Summary keeps that
 //      role for bench-side aggregation only).
 //   2. Determinism. The registry iterates instruments in lexicographic
 //      (name, labels) order, so two runs with the same seed produce

@@ -4,10 +4,10 @@
 
 namespace tiamat::obs {
 
-TimeSeriesRecorder::TimeSeriesRecorder(sim::EventQueue& queue,
+TimeSeriesRecorder::TimeSeriesRecorder(transport::TimerService& queue,
                                        SeriesOptions opts)
     : queue_(queue), opts_(opts) {
-  if (opts_.interval <= 0) opts_.interval = sim::kMillisecond;
+  if (opts_.interval <= 0) opts_.interval = transport::kMillisecond;
   if (opts_.capacity == 0) opts_.capacity = 1;
   if (opts_.rollup_width == 0) opts_.rollup_width = 1;
   if (opts_.rollup_capacity == 0) opts_.rollup_capacity = 1;
@@ -40,18 +40,18 @@ TimeSeriesRecorder::Source& TimeSeriesRecorder::source_of(
 }
 
 void TimeSeriesRecorder::start() {
-  if (timer_ != sim::kInvalidEvent) return;
+  if (timer_ != transport::kInvalidEvent) return;
   timer_ = queue_.schedule_after(opts_.interval, [this] {
-    timer_ = sim::kInvalidEvent;
+    timer_ = transport::kInvalidEvent;
     sample_now();
     start();
   });
 }
 
 void TimeSeriesRecorder::stop() {
-  if (timer_ == sim::kInvalidEvent) return;
+  if (timer_ == transport::kInvalidEvent) return;
   queue_.cancel(timer_);
-  timer_ = sim::kInvalidEvent;
+  timer_ = transport::kInvalidEvent;
 }
 
 void TimeSeriesRecorder::append(SeriesData& d, std::uint64_t index, double v) {
@@ -77,7 +77,7 @@ void TimeSeriesRecorder::append(SeriesData& d, std::uint64_t index, double v) {
 }
 
 void TimeSeriesRecorder::sample_now() {
-  const sim::Time at = queue_.now();
+  const transport::Time at = queue_.now();
   const std::uint64_t index = samples_++;
 
   ticks_.emplace_back(index, at);

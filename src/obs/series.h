@@ -39,14 +39,14 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/quantile.h"
-#include "sim/clock.h"
-#include "sim/event_queue.h"
+#include "transport/types.h"
+#include "transport/timer.h"
 
 namespace tiamat::obs {
 
 struct SeriesOptions {
   /// Sim-time distance between samples.
-  sim::Duration interval = 250 * sim::kMillisecond;
+  transport::Duration interval = 250 * transport::kMillisecond;
   /// Raw points kept per series before eviction into rollups.
   std::size_t capacity = 64;
   /// Evicted points folded per rollup window.
@@ -62,12 +62,12 @@ struct Probe {
   std::string name;
   double threshold = 0.0;
   std::function<double()> value;
-  std::function<void(double value, sim::Time at)> on_breach;
+  std::function<void(double value, transport::Time at)> on_breach;
 };
 
 class TimeSeriesRecorder {
  public:
-  TimeSeriesRecorder(sim::EventQueue& queue, SeriesOptions opts = {});
+  TimeSeriesRecorder(transport::TimerService& queue, SeriesOptions opts = {});
   ~TimeSeriesRecorder();
 
   TimeSeriesRecorder(const TimeSeriesRecorder&) = delete;
@@ -89,14 +89,14 @@ class TimeSeriesRecorder {
   /// Invoked for every breach, after the probe's own on_breach.
   using BreachHandler = std::function<void(
       const std::string& source, const std::string& probe, double value,
-      sim::Time at)>;
+      transport::Time at)>;
   void set_breach_handler(BreachHandler h) { on_breach_ = std::move(h); }
 
   /// Schedules the periodic tick (first sample one interval from now).
   void start();
   /// Cancels the pending tick; sampling stops until start() again.
   void stop();
-  bool running() const { return timer_ != sim::kInvalidEvent; }
+  bool running() const { return timer_ != transport::kInvalidEvent; }
 
   /// Takes one sample immediately (the timer path calls this too).
   void sample_now();
@@ -155,14 +155,14 @@ class TimeSeriesRecorder {
 
   static json::Value series_json(const SeriesData& d);
 
-  sim::EventQueue& queue_;
+  transport::TimerService& queue_;
   SeriesOptions opts_;
   std::vector<Source> sources_;  ///< registration order
-  std::deque<std::pair<std::uint64_t, sim::Time>> ticks_;
+  std::deque<std::pair<std::uint64_t, transport::Time>> ticks_;
   std::uint64_t ticks_dropped_ = 0;
   std::uint64_t samples_ = 0;
   std::uint64_t breaches_ = 0;
-  sim::EventId timer_ = sim::kInvalidEvent;
+  transport::EventId timer_ = transport::kInvalidEvent;
   BreachHandler on_breach_;
 };
 

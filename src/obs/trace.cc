@@ -44,13 +44,15 @@ const char* to_string(EventKind k) {
       return "serve_confirm";
     case EventKind::kProbeBreach:
       return "probe_breach";
+    case EventKind::kDecodeFailure:
+      return "decode_failure";
   }
   return "?";
 }
 
 std::optional<EventKind> event_kind_from_string(std::string_view name) {
   // Walk the enum once; the table stays in one place (to_string's switch).
-  for (int k = 0; k <= static_cast<int>(EventKind::kProbeBreach); ++k) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kDecodeFailure); ++k) {
     const auto kind = static_cast<EventKind>(k);
     if (name == to_string(kind)) return kind;
   }
@@ -64,7 +66,7 @@ json::Value TraceEvent::to_json() const {
   o.emplace_back("origin", json::Value(static_cast<std::int64_t>(origin)));
   o.emplace_back("op", json::Value(static_cast<std::int64_t>(op_id)));
   o.emplace_back("kind", json::Value(to_string(kind)));
-  if (peer != sim::kNoNode) {
+  if (peer != transport::kNoNode) {
     o.emplace_back("peer", json::Value(static_cast<std::int64_t>(peer)));
   }
   if (detail != 0) o.emplace_back("detail", json::Value(detail));
@@ -86,12 +88,12 @@ std::optional<TraceEvent> TraceEvent::from_json(const json::Value& v) {
   if (!k) return std::nullopt;
   TraceEvent e;
   e.at = at->as_int();
-  e.node = static_cast<sim::NodeId>(node->as_int());
-  e.origin = static_cast<sim::NodeId>(origin->as_int());
+  e.node = static_cast<transport::NodeId>(node->as_int());
+  e.origin = static_cast<transport::NodeId>(origin->as_int());
   e.op_id = static_cast<std::uint64_t>(op->as_int());
   e.kind = *k;
   if (const json::Value* peer = v.find("peer"); peer != nullptr && peer->is_int()) {
-    e.peer = static_cast<sim::NodeId>(peer->as_int());
+    e.peer = static_cast<transport::NodeId>(peer->as_int());
   }
   if (const json::Value* d = v.find("detail"); d != nullptr && d->is_int()) {
     e.detail = d->as_int();
@@ -120,8 +122,8 @@ bool JsonlSink::ok() const { return out_->f.good(); }
 
 // ---- Tracer -----------------------------------------------------------------
 
-void Tracer::record(sim::Time at, sim::NodeId origin, std::uint64_t op_id,
-                    EventKind kind, sim::NodeId peer, std::int64_t detail) {
+void Tracer::record(transport::Time at, transport::NodeId origin, std::uint64_t op_id,
+                    EventKind kind, transport::NodeId peer, std::int64_t detail) {
   if (!enabled_) return;
   record(TraceEvent{at, node_, origin, op_id, kind, peer, detail});
 }

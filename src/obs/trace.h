@@ -23,8 +23,7 @@
 #include <vector>
 
 #include "obs/json.h"
-#include "sim/clock.h"
-#include "sim/network.h"
+#include "transport/types.h"
 
 namespace tiamat::obs {
 
@@ -52,6 +51,8 @@ enum class EventKind : std::uint8_t {
   kServeConfirm,     ///< tentative removal made permanent
   // Continuous telemetry (obs/series.h).
   kProbeBreach,      ///< health probe crossed its threshold; detail = value
+  // Endpoint drop paths (net::Endpoint).
+  kDecodeFailure,    ///< arriving payload failed to decode; peer = sender
 };
 
 const char* to_string(EventKind k);
@@ -61,12 +62,12 @@ const char* to_string(EventKind k);
 std::optional<EventKind> event_kind_from_string(std::string_view name);
 
 struct TraceEvent {
-  sim::Time at = 0;             ///< virtual time of the step
-  sim::NodeId node = sim::kNoNode;    ///< instance that recorded the event
-  sim::NodeId origin = sim::kNoNode;  ///< operation's originating instance
+  transport::Time at = 0;             ///< virtual time of the step
+  transport::NodeId node = transport::kNoNode;    ///< instance that recorded the event
+  transport::NodeId origin = transport::kNoNode;  ///< operation's originating instance
   std::uint64_t op_id = 0;      ///< originator-scoped operation id
   EventKind kind{};
-  sim::NodeId peer = sim::kNoNode;    ///< counterparty, when applicable
+  transport::NodeId peer = transport::kNoNode;    ///< counterparty, when applicable
   std::int64_t detail = 0;      ///< kind-specific extra (see EventKind)
 
   json::Value to_json() const;
@@ -114,7 +115,7 @@ class JsonlSink : public TraceSink {
 /// sink fed with every event. Disabled (the default) it records nothing.
 class Tracer {
  public:
-  explicit Tracer(sim::NodeId node, std::size_t capacity = 512)
+  explicit Tracer(transport::NodeId node, std::size_t capacity = 512)
       : node_(node), capacity_(capacity == 0 ? 1 : capacity) {}
 
   bool enabled() const { return enabled_; }
@@ -126,8 +127,8 @@ class Tracer {
     if (sink_) enabled_ = true;
   }
 
-  void record(sim::Time at, sim::NodeId origin, std::uint64_t op_id,
-              EventKind kind, sim::NodeId peer = sim::kNoNode,
+  void record(transport::Time at, transport::NodeId origin, std::uint64_t op_id,
+              EventKind kind, transport::NodeId peer = transport::kNoNode,
               std::int64_t detail = 0);
 
   /// Records a pre-built event as-is (the caller stamps every field,
@@ -141,7 +142,7 @@ class Tracer {
   std::size_t capacity() const { return capacity_; }
 
  private:
-  sim::NodeId node_;
+  transport::NodeId node_;
   std::size_t capacity_;
   bool enabled_ = false;
   std::shared_ptr<TraceSink> sink_;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/clock.h"
+#include "transport/timer.h"
 
 namespace tiamat::sim {
 
@@ -28,18 +29,23 @@ inline constexpr EventId kInvalidEvent = 0;
 /// time" (message latency, lease expiry, compute delays, mobility ticks) is
 /// an event. `run_until_idle` therefore terminates exactly when the modelled
 /// system has quiesced.
-class EventQueue {
+///
+/// The queue IS the simulator's transport::TimerService: protocol code that
+/// schedules through the transport clock abstraction runs unchanged on
+/// virtual time, and existing call sites can pass an EventQueue wherever a
+/// TimerService is expected.
+class EventQueue : public transport::TimerService {
  public:
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
   /// Current virtual time. Starts at 0.
-  Time now() const { return now_; }
+  Time now() const override { return now_; }
 
   /// Schedules `fn` to run at absolute time `when` (>= now) and returns a
   /// handle usable with `cancel`. Scheduling in the past clamps to `now`.
-  EventId schedule_at(Time when, std::function<void()> fn);
+  EventId schedule_at(Time when, std::function<void()> fn) override;
 
   /// Schedules `fn` to run `delay` from now.
   EventId schedule_after(Duration delay, std::function<void()> fn) {
@@ -49,7 +55,7 @@ class EventQueue {
   /// Cancels a pending event. Returns false if it already fired, was already
   /// cancelled, or never existed. Cancellation is O(1); the tombstone is
   /// discarded when the event surfaces.
-  bool cancel(EventId id);
+  bool cancel(EventId id) override;
 
   /// Runs events until the queue is empty. Returns the number fired.
   std::size_t run_until_idle();

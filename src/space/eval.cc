@@ -2,8 +2,8 @@
 
 namespace tiamat::space {
 
-sim::Duration ActiveTuple::total_cost() const {
-  sim::Duration total = 0;
+transport::Duration ActiveTuple::total_cost() const {
+  transport::Duration total = 0;
   for (const auto& slot : slots_) {
     if (const auto* c = std::get_if<Computation>(&slot)) total += c->cost;
   }
@@ -23,35 +23,35 @@ tuples::Tuple ActiveTuple::materialise() const {
   return tuples::Tuple(std::move(fields));
 }
 
-EvalEngine::EvalEngine(sim::EventQueue& queue, LocalTupleSpace& target)
+EvalEngine::EvalEngine(transport::TimerService& queue, LocalTupleSpace& target)
     : queue_(queue), target_(target) {}
 
 EvalEngine::~EvalEngine() {
   for (auto& [id, r] : running_) {
     (void)id;
-    if (r.completion != sim::kInvalidEvent) queue_.cancel(r.completion);
-    if (r.halt_event != sim::kInvalidEvent) queue_.cancel(r.halt_event);
+    if (r.completion != transport::kInvalidEvent) queue_.cancel(r.completion);
+    if (r.halt_event != transport::kInvalidEvent) queue_.cancel(r.halt_event);
   }
 }
 
-EvalId EvalEngine::submit(ActiveTuple at, sim::Time halt_by,
-                          sim::Time tuple_expiry) {
-  const sim::Duration cost = at.total_cost();
+EvalId EvalEngine::submit(ActiveTuple at, transport::Time halt_by,
+                          transport::Time tuple_expiry) {
+  const transport::Duration cost = at.total_cost();
   return submit_fn(
       [at = std::move(at)] { return at.materialise(); }, cost, halt_by,
       tuple_expiry);
 }
 
 EvalId EvalEngine::submit_fn(std::function<tuples::Tuple()> fn,
-                             sim::Duration cost, sim::Time halt_by,
-                             sim::Time tuple_expiry) {
+                             transport::Duration cost, transport::Time halt_by,
+                             transport::Time tuple_expiry) {
   EvalId id = next_id_++;
   ++stats_.started;
   Running r;
   r.tuple_expiry = tuple_expiry;
   r.job = std::move(fn);
-  const sim::Time done_at = queue_.now() + cost;
-  if (halt_by != sim::kNever && halt_by <= done_at) {
+  const transport::Time done_at = queue_.now() + cost;
+  if (halt_by != transport::kNever && halt_by <= done_at) {
     // The lease will lapse before the computation finishes; schedule the
     // halt. (We still "run" until then — the effort is spent, the tuple
     // never appears.)
@@ -68,7 +68,7 @@ void EvalEngine::complete(EvalId id) {
   if (it == running_.end()) return;
   Running r = std::move(it->second);
   running_.erase(it);
-  if (r.halt_event != sim::kInvalidEvent) queue_.cancel(r.halt_event);
+  if (r.halt_event != transport::kInvalidEvent) queue_.cancel(r.halt_event);
   ++stats_.completed;
   target_.out(r.job(), r.tuple_expiry);
 }
@@ -78,8 +78,8 @@ bool EvalEngine::halt(EvalId id) {
   if (it == running_.end()) return false;
   Running r = std::move(it->second);
   running_.erase(it);
-  if (r.completion != sim::kInvalidEvent) queue_.cancel(r.completion);
-  if (r.halt_event != sim::kInvalidEvent) queue_.cancel(r.halt_event);
+  if (r.completion != transport::kInvalidEvent) queue_.cancel(r.completion);
+  if (r.halt_event != transport::kInvalidEvent) queue_.cancel(r.halt_event);
   ++stats_.halted;
   return true;
 }

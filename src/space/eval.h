@@ -14,8 +14,8 @@
 #include <variant>
 #include <vector>
 
-#include "sim/clock.h"
-#include "sim/event_queue.h"
+#include "transport/types.h"
+#include "transport/timer.h"
 #include "space/local_space.h"
 #include "tuple/tuple.h"
 
@@ -25,7 +25,7 @@ namespace tiamat::space {
 /// and its simulated cost.
 struct Computation {
   std::function<tuples::Value()> fn;
-  sim::Duration cost = sim::milliseconds(1);
+  transport::Duration cost = transport::milliseconds(1);
 };
 
 /// An active tuple: a mix of ready values and computations. The resultant
@@ -43,14 +43,14 @@ class ActiveTuple {
     return *this;
   }
   ActiveTuple& add(std::function<tuples::Value()> fn,
-                   sim::Duration cost = sim::milliseconds(1)) {
+                   transport::Duration cost = transport::milliseconds(1)) {
     return add(Computation{std::move(fn), cost});
   }
 
   std::size_t arity() const { return slots_.size(); }
 
   /// Total simulated compute cost (computations are carried out serially).
-  sim::Duration total_cost() const;
+  transport::Duration total_cost() const;
 
   /// Runs every computation now and materialises the passive tuple.
   tuples::Tuple materialise() const;
@@ -71,7 +71,7 @@ class EvalEngine {
     std::uint64_t halted = 0;  ///< lease expired mid-computation
   };
 
-  EvalEngine(sim::EventQueue& queue, LocalTupleSpace& target);
+  EvalEngine(transport::TimerService& queue, LocalTupleSpace& target);
   ~EvalEngine();
 
   EvalEngine(const EvalEngine&) = delete;
@@ -81,15 +81,15 @@ class EvalEngine {
   /// space after the active tuple's total cost, with `tuple_expiry` as its
   /// storage lease. If `halt_by` (the operation lease's expiry) arrives
   /// first, the computation is halted and nothing appears.
-  EvalId submit(ActiveTuple at, sim::Time halt_by = sim::kNever,
-                sim::Time tuple_expiry = sim::kNever);
+  EvalId submit(ActiveTuple at, transport::Time halt_by = transport::kNever,
+                transport::Time tuple_expiry = transport::kNever);
 
   /// Generalised form: an arbitrary whole-tuple computation with an
   /// explicit simulated cost. Used by remote eval (§2.4), where the
   /// computation comes from the ComputationRegistry.
-  EvalId submit_fn(std::function<tuples::Tuple()> fn, sim::Duration cost,
-                   sim::Time halt_by = sim::kNever,
-                   sim::Time tuple_expiry = sim::kNever);
+  EvalId submit_fn(std::function<tuples::Tuple()> fn, transport::Duration cost,
+                   transport::Time halt_by = transport::kNever,
+                   transport::Time tuple_expiry = transport::kNever);
 
   /// Halts a running computation (lease revocation path). False if it
   /// already completed.
@@ -101,14 +101,14 @@ class EvalEngine {
  private:
   struct Running {
     std::function<tuples::Tuple()> job;
-    sim::EventId completion = sim::kInvalidEvent;
-    sim::EventId halt_event = sim::kInvalidEvent;
-    sim::Time tuple_expiry;
+    transport::EventId completion = transport::kInvalidEvent;
+    transport::EventId halt_event = transport::kInvalidEvent;
+    transport::Time tuple_expiry;
   };
 
   void complete(EvalId id);
 
-  sim::EventQueue& queue_;
+  transport::TimerService& queue_;
   LocalTupleSpace& target_;
   EvalId next_id_ = 1;
   // Ordered: teardown cancels completion/halt events in id order.

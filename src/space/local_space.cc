@@ -78,7 +78,7 @@ void LocalTupleSpace::audit_check(const char* checkpoint) const {
 }
 #endif  // TIAMAT_AUDIT_ENABLED
 
-LocalTupleSpace::LocalTupleSpace(sim::EventQueue& queue, sim::Rng& rng,
+LocalTupleSpace::LocalTupleSpace(transport::TimerService& queue, transport::Rng& rng,
                                  Options opts)
     : queue_(queue), rng_(rng), opts_(std::move(opts)) {}
 
@@ -89,15 +89,15 @@ LocalTupleSpace::~LocalTupleSpace() {
     queue_.cancel(ev);
   }
   waiters_.for_each([this](WaiterId, Waiter& w) {
-    if (w.deadline_event != sim::kInvalidEvent) queue_.cancel(w.deadline_event);
+    if (w.deadline_event != transport::kInvalidEvent) queue_.cancel(w.deadline_event);
   });
 }
 
 // ---- out ------------------------------------------------------------------
 
-TupleId LocalTupleSpace::out(Tuple t, sim::Time expiry) {
+TupleId LocalTupleSpace::out(Tuple t, transport::Time expiry) {
   ++stats_.outs;
-  if (expiry != sim::kNever && expiry <= queue_.now()) {
+  if (expiry != transport::kNever && expiry <= queue_.now()) {
     // Lease already expired: the tuple may be reclaimed at any time — and
     // "any time" includes immediately.
     ++stats_.tuples_expired;
@@ -110,7 +110,7 @@ TupleId LocalTupleSpace::out(Tuple t, sim::Time expiry) {
     return tuples::kNoTuple;
   }
   index_.insert(id, std::move(t));
-  if (expiry != sim::kNever) {
+  if (expiry != transport::kNever) {
     expiries_[id] = expiry;
     schedule_tuple_expiry(id, expiry);
   }
@@ -149,7 +149,7 @@ std::optional<Tuple> LocalTupleSpace::inp(const Pattern& p) {
 
 // ---- Blocking ops -----------------------------------------------------------
 
-WaiterId LocalTupleSpace::rd(const Pattern& p, sim::Time deadline,
+WaiterId LocalTupleSpace::rd(const Pattern& p, transport::Time deadline,
                              MatchCallback cb) {
   ++stats_.reads;
   tuples::CompiledPattern cp(p);
@@ -171,7 +171,7 @@ WaiterId LocalTupleSpace::rd(const Pattern& p, sim::Time deadline,
   return add_waiter(std::move(cp), std::move(w));
 }
 
-WaiterId LocalTupleSpace::in(const Pattern& p, sim::Time deadline,
+WaiterId LocalTupleSpace::in(const Pattern& p, transport::Time deadline,
                              MatchCallback cb) {
   ++stats_.takes;
   tuples::CompiledPattern cp(p);
@@ -198,7 +198,7 @@ WaiterId LocalTupleSpace::in(const Pattern& p, sim::Time deadline,
 bool LocalTupleSpace::cancel_waiter(WaiterId id) {
   auto e = waiters_.extract(id);
   if (!e) return false;
-  if (e->payload.deadline_event != sim::kInvalidEvent) {
+  if (e->payload.deadline_event != transport::kInvalidEvent) {
     queue_.cancel(e->payload.deadline_event);
   }
   TIAMAT_AUDIT_CHECK(audit_check("cancel_waiter"));
@@ -207,7 +207,7 @@ bool LocalTupleSpace::cancel_waiter(WaiterId id) {
 
 WaiterId LocalTupleSpace::add_waiter(tuples::CompiledPattern p, Waiter w) {
   const WaiterId id = next_waiter_id_++;
-  if (w.deadline != sim::kNever) {
+  if (w.deadline != transport::kNever) {
     w.deadline_event = queue_.schedule_at(
         w.deadline, [this, id] { waiter_deadline(id); });
   }
@@ -244,7 +244,7 @@ bool LocalTupleSpace::offer_to_waiters(TupleId id, const Tuple& t) {
     if (cp == nullptr || !cp->matches(t)) continue;
     if (taker && waiters_.payload(wid)->destructive) continue;
     auto e = waiters_.extract(wid);
-    if (e->payload.deadline_event != sim::kInvalidEvent) {
+    if (e->payload.deadline_event != transport::kInvalidEvent) {
       queue_.cancel(e->payload.deadline_event);
     }
     if (e->payload.destructive) {
@@ -298,7 +298,7 @@ std::optional<std::pair<TupleId, Tuple>> LocalTupleSpace::take_tentative(
 }
 
 WaiterId LocalTupleSpace::take_tentative_blocking(
-    const Pattern& p, sim::Time deadline,
+    const Pattern& p, transport::Time deadline,
     std::function<void(std::optional<std::pair<TupleId, Tuple>>)> cb) {
   if (auto taken = take_tentative(p)) {
     cb(taken);
@@ -325,13 +325,13 @@ bool LocalTupleSpace::release_tentative(TupleId id) {
   tentative_bytes_ -= t.footprint();
   ++stats_.tentative_released;
 
-  sim::Time expiry = sim::kNever;
+  transport::Time expiry = transport::kNever;
   auto eit = tentative_expiry_.find(id);
   if (eit != tentative_expiry_.end()) {
     expiry = eit->second;
     tentative_expiry_.erase(eit);
   }
-  if (expiry != sim::kNever && expiry <= queue_.now()) {
+  if (expiry != transport::kNever && expiry <= queue_.now()) {
     ++stats_.tuples_expired;
     return true;  // released, but its lease lapsed meanwhile: reclaim now
   }
@@ -340,7 +340,7 @@ bool LocalTupleSpace::release_tentative(TupleId id) {
     return true;
   }
   index_.insert(id, std::move(t));
-  if (expiry != sim::kNever) {
+  if (expiry != transport::kNever) {
     expiries_[id] = expiry;
     schedule_tuple_expiry(id, expiry);
   }
@@ -361,7 +361,7 @@ bool LocalTupleSpace::confirm_tentative(TupleId id) {
 
 // ---- Expiry ---------------------------------------------------------------------
 
-void LocalTupleSpace::schedule_tuple_expiry(TupleId id, sim::Time expiry) {
+void LocalTupleSpace::schedule_tuple_expiry(TupleId id, transport::Time expiry) {
   expiry_events_[id] = queue_.schedule_at(expiry, [this, id] {
     expiry_events_.erase(id);
     if (index_.contains(id)) {
@@ -382,7 +382,7 @@ void LocalTupleSpace::drop_tuple_timer(TupleId id) {
 }
 
 void LocalTupleSpace::purge_expired() {
-  const sim::Time now = queue_.now();
+  const transport::Time now = queue_.now();
   std::vector<TupleId> doomed;
   for (const auto& [id, expiry] : expiries_) {
     if (expiry <= now) doomed.push_back(id);
@@ -406,10 +406,10 @@ bool LocalTupleSpace::reclaim(TupleId id) {
   return true;
 }
 
-bool LocalTupleSpace::set_tuple_expiry(TupleId id, sim::Time expiry) {
+bool LocalTupleSpace::set_tuple_expiry(TupleId id, transport::Time expiry) {
   if (!index_.contains(id)) return false;
   drop_tuple_timer(id);
-  if (expiry == sim::kNever) {
+  if (expiry == transport::kNever) {
     expiries_.erase(id);
   } else {
     expiries_[id] = expiry;
@@ -428,13 +428,13 @@ std::vector<Tuple> LocalTupleSpace::snapshot() const {
   return out;
 }
 
-std::vector<std::pair<Tuple, sim::Time>>
+std::vector<std::pair<Tuple, transport::Time>>
 LocalTupleSpace::snapshot_with_expiry() const {
-  std::vector<std::pair<Tuple, sim::Time>> out;
+  std::vector<std::pair<Tuple, transport::Time>> out;
   out.reserve(index_.size());
   index_.for_each([&](TupleId id, const Tuple& t) {
     auto it = expiries_.find(id);
-    out.emplace_back(t, it == expiries_.end() ? sim::kNever : it->second);
+    out.emplace_back(t, it == expiries_.end() ? transport::kNever : it->second);
   });
   return out;
 }

@@ -20,9 +20,8 @@
 
 #include "audit/audit.h"
 #include "obs/metrics.h"
-#include "sim/clock.h"
-#include "sim/event_queue.h"
-#include "sim/random.h"
+#include "transport/types.h"
+#include "transport/timer.h"
 #include "tuple/index.h"
 #include "tuple/matcher.h"
 #include "tuple/pattern.h"
@@ -63,7 +62,7 @@ class LocalTupleSpace {
  public:
   using Options = SpaceOptions;
 
-  LocalTupleSpace(sim::EventQueue& queue, sim::Rng& rng, Options opts = {});
+  LocalTupleSpace(transport::TimerService& queue, transport::Rng& rng, Options opts = {});
 
   LocalTupleSpace(const LocalTupleSpace&) = delete;
   LocalTupleSpace& operator=(const LocalTupleSpace&) = delete;
@@ -77,7 +76,7 @@ class LocalTupleSpace {
   /// blocked destructive waiter matches, the tuple goes straight to it and
   /// is never stored. Returns the stored tuple's id (kNoTuple when it was
   /// consumed immediately by a waiter).
-  TupleId out(Tuple t, sim::Time expiry = sim::kNever);
+  TupleId out(Tuple t, transport::Time expiry = transport::kNever);
 
   /// Non-blocking read: copy of a matching tuple, chosen nondeterministically
   /// among all matches, or nullopt.
@@ -89,10 +88,10 @@ class LocalTupleSpace {
   /// Blocking read: calls back immediately on a present match, otherwise
   /// registers a waiter until `deadline` (the lease expiry). Returns a
   /// waiter id (kNoWaiter if satisfied synchronously).
-  WaiterId rd(const Pattern& p, sim::Time deadline, MatchCallback cb);
+  WaiterId rd(const Pattern& p, transport::Time deadline, MatchCallback cb);
 
   /// Blocking take; otherwise as rd.
-  WaiterId in(const Pattern& p, sim::Time deadline, MatchCallback cb);
+  WaiterId in(const Pattern& p, transport::Time deadline, MatchCallback cb);
 
   /// Cancels a pending waiter without invoking its callback. Returns false
   /// if it already completed.
@@ -106,7 +105,7 @@ class LocalTupleSpace {
   /// Same, but waits until `deadline` for a match (remote blocking in).
   /// The callback receives the id+tuple once tentatively removed.
   WaiterId take_tentative_blocking(
-      const Pattern& p, sim::Time deadline,
+      const Pattern& p, transport::Time deadline,
       std::function<void(std::optional<std::pair<TupleId, Tuple>>)> cb);
 
   /// Loser path: puts a tentatively-removed tuple back (it becomes visible
@@ -125,7 +124,7 @@ class LocalTupleSpace {
   void purge_expired();
 
   /// Re-leases a stored tuple (e.g. its producer renewed).
-  bool set_tuple_expiry(TupleId id, sim::Time expiry);
+  bool set_tuple_expiry(TupleId id, transport::Time expiry);
 
   /// Lease-driven reclamation: removes a stored tuple because its storage
   /// lease ended (counts as an expiry). False if it is no longer stored.
@@ -162,8 +161,8 @@ class LocalTupleSpace {
   std::vector<Tuple> snapshot() const;
 
   /// Copy of every visible tuple with its absolute expiry instant
-  /// (sim::kNever when unleased). Feeds the persistence mechanism.
-  std::vector<std::pair<Tuple, sim::Time>> snapshot_with_expiry() const;
+  /// (transport::kNever when unleased). Feeds the persistence mechanism.
+  std::vector<std::pair<Tuple, transport::Time>> snapshot_with_expiry() const;
 
   /// Number of visible tuples matching `p`, via the engine's counting path
   /// (no match vector is materialized).
@@ -175,7 +174,7 @@ class LocalTupleSpace {
 
   const SpaceStats& stats() const { return stats_; }
   const Options& options() const { return opts_; }
-  sim::Time now() const { return queue_.now(); }
+  transport::Time now() const { return queue_.now(); }
 
   /// Engine accounting: keyed bucket probes vs unkeyed scan fallbacks for
   /// tuple lookups and waiter wakeups.
@@ -212,8 +211,8 @@ class LocalTupleSpace {
   struct Waiter {
     bool destructive;
     bool tentative;  ///< deliver (id, tuple) and keep it recoverable
-    sim::Time deadline;
-    sim::EventId deadline_event = sim::kInvalidEvent;
+    transport::Time deadline;
+    transport::EventId deadline_event = transport::kInvalidEvent;
     MatchCallback cb;  // used when !tentative
     std::function<void(std::optional<std::pair<TupleId, Tuple>>)> tcb;
   };
@@ -227,11 +226,11 @@ class LocalTupleSpace {
   /// Offers a newly visible tuple to waiters; returns true if a destructive
   /// waiter consumed it.
   bool offer_to_waiters(TupleId id, const Tuple& t);
-  void schedule_tuple_expiry(TupleId id, sim::Time expiry);
+  void schedule_tuple_expiry(TupleId id, transport::Time expiry);
   void drop_tuple_timer(TupleId id);
 
-  sim::EventQueue& queue_;
-  sim::Rng& rng_;
+  transport::TimerService& queue_;
+  transport::Rng& rng_;
   Options opts_;
   tuples::TupleIndex index_;
   TupleId next_tuple_id_ = 1;
@@ -240,12 +239,12 @@ class LocalTupleSpace {
   // waiter wins") within and across buckets.
   tuples::WaiterIndex<Waiter> waiters_;
   std::unordered_map<TupleId, Tuple> tentative_;
-  std::unordered_map<TupleId, sim::Time> tentative_expiry_;
+  std::unordered_map<TupleId, transport::Time> tentative_expiry_;
   std::size_t tentative_bytes_ = 0;  ///< sum of parked tuple footprints
   // Ordered: purge_expired and teardown walk these, so reclamation order
   // must be ascending-id, not hash order.
-  std::map<TupleId, sim::EventId> expiry_events_;
-  std::map<TupleId, sim::Time> expiries_;
+  std::map<TupleId, transport::EventId> expiry_events_;
+  std::map<TupleId, transport::Time> expiries_;
   SpaceStats stats_;
 };
 

@@ -4,7 +4,7 @@
 
 namespace tiamat::space {
 
-tuples::Bytes snapshot(const LocalTupleSpace& space, sim::Time now) {
+tuples::Bytes snapshot(const LocalTupleSpace& space, transport::Time now) {
   tuples::Writer w;
   auto contents = space.snapshot_with_expiry();
   // Handle tuples are identity-bound (they name a node address); a
@@ -16,8 +16,8 @@ tuples::Bytes snapshot(const LocalTupleSpace& space, sim::Time now) {
     // 0 = unleased; otherwise remaining ttl + 1 (so a just-expiring tuple
     // is distinguishable and dropped on restore).
     std::uint64_t remaining = 0;
-    if (expiry != sim::kNever) {
-      const sim::Duration left = expiry - now;
+    if (expiry != transport::kNever) {
+      const transport::Duration left = expiry - now;
       remaining = left > 0 ? static_cast<std::uint64_t>(left) + 1 : 1;
     }
     w.varint(remaining);
@@ -36,10 +36,10 @@ std::optional<std::size_t> restore(LocalTupleSpace& space,
       const std::uint64_t remaining = r.varint();
       tuples::Tuple t = tuples::decode_tuple(r);
       if (remaining == 1) continue;  // lease lapsed at snapshot time
-      const sim::Time expiry =
+      const transport::Time expiry =
           remaining == 0
-              ? sim::kNever
-              : space.now() + static_cast<sim::Duration>(remaining - 1);
+              ? transport::kNever
+              : space.now() + static_cast<transport::Duration>(remaining - 1);
       if (space.out(std::move(t), expiry) != tuples::kNoTuple) ++restored;
     }
     if (!r.done()) return std::nullopt;

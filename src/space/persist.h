@@ -23,7 +23,7 @@ namespace tiamat::space {
 /// Serialises the visible contents of `space` at time `now`. Format:
 /// varint count, then per tuple: varint remaining-ttl-plus-one (0 = no
 /// expiry) and the encoded tuple.
-tuples::Bytes snapshot(const LocalTupleSpace& space, sim::Time now);
+tuples::Bytes snapshot(const LocalTupleSpace& space, transport::Time now);
 
 /// Loads a snapshot into `space` (which need not be empty; tuples are
 /// added). Tuples whose remaining lease was <= 0 at snapshot time are

@@ -18,7 +18,7 @@
 #include <optional>
 #include <string>
 
-#include "sim/clock.h"
+#include "transport/types.h"
 #include "space/eval.h"
 #include "tuple/tuple.h"
 
@@ -28,8 +28,8 @@ namespace tiamat::space {
 /// (which may depend on the arguments — e.g. proportional to input size).
 struct NamedComputation {
   std::function<tuples::Tuple(const tuples::Tuple& args)> fn;
-  std::function<sim::Duration(const tuples::Tuple& args)> cost =
-      [](const tuples::Tuple&) { return sim::milliseconds(1); };
+  std::function<transport::Duration(const tuples::Tuple& args)> cost =
+      [](const tuples::Tuple&) { return transport::milliseconds(1); };
 };
 
 class ComputationRegistry {
@@ -42,7 +42,7 @@ class ComputationRegistry {
   /// Convenience: fixed cost.
   void install(std::string name,
                std::function<tuples::Tuple(const tuples::Tuple&)> fn,
-               sim::Duration cost = sim::milliseconds(1)) {
+               transport::Duration cost = transport::milliseconds(1)) {
     NamedComputation c;
     c.fn = std::move(fn);
     c.cost = [cost](const tuples::Tuple&) { return cost; };

@@ -1,0 +1,352 @@
+#include "transport/loopback_transport.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tiamat::transport {
+
+namespace {
+constexpr Duration kMaxSleepSlice = kSecond;  // bound cv waits (kNever timers)
+constexpr Duration kPollInterval = 200;       // wait_until poll cadence (us)
+}  // namespace
+
+LoopbackTransport::LoopbackTransport(LoopbackOptions opts)
+    : opts_(opts),
+      start_(std::chrono::steady_clock::now()),
+      rng_(opts.seed) {
+  const unsigned n = std::max(1u, opts_.workers);
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (unsigned i = 0; i < n; ++i) {
+    workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+LoopbackTransport::~LoopbackTransport() {
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lk(w->mu);
+      w->stop = true;
+    }
+    w->cv.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+Time LoopbackTransport::now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+NodeId LoopbackTransport::add_node(NodeOptions) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const NodeId id = next_node_++;
+  Node node;
+  node.worker = (id - 1) % workers_.size();
+  node.timers = std::make_unique<NodeTimers>(this, id, node.worker);
+  nodes_.emplace(id, std::move(node));
+  return id;
+}
+
+void LoopbackTransport::remove_node(NodeId id) {
+  std::size_t worker;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = nodes_.find(id);
+    if (it == nodes_.end() || it->second.closed) return;
+    it->second.closed = true;
+    it->second.handler = nullptr;
+    it->second.groups.clear();
+    worker = it->second.worker;
+  }
+  // Quiesce: once the fence is acquired, no callback of this node is in
+  // flight and none will start (execution checks `closed` first).
+  fence(worker);
+}
+
+bool LoopbackTransport::node_exists(NodeId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = nodes_.find(id);
+  return it != nodes_.end() && !it->second.closed;
+}
+
+void LoopbackTransport::set_online(NodeId id, bool online) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = nodes_.find(id);
+  if (it != nodes_.end() && !it->second.closed) it->second.online = online;
+}
+
+bool LoopbackTransport::online(NodeId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = nodes_.find(id);
+  return it != nodes_.end() && !it->second.closed && it->second.online;
+}
+
+bool LoopbackTransport::visible(NodeId a, NodeId b) const {
+  if (a == b) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto ia = nodes_.find(a);
+  auto ib = nodes_.find(b);
+  return ia != nodes_.end() && !ia->second.closed && ia->second.online &&
+         ib != nodes_.end() && !ib->second.closed && ib->second.online;
+}
+
+std::vector<NodeId> LoopbackTransport::visible_from(NodeId id) const {
+  std::vector<NodeId> out;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto self = nodes_.find(id);
+  if (self == nodes_.end() || self->second.closed || !self->second.online) {
+    return out;
+  }
+  for (const auto& [nid, node] : nodes_) {
+    if (nid != id && !node.closed && node.online) out.push_back(nid);
+  }
+  return out;
+}
+
+void LoopbackTransport::bind(NodeId id, DeliveryHandler handler) {
+  std::size_t worker;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = nodes_.find(id);
+    if (it == nodes_.end() || it->second.closed) return;
+    it->second.handler = std::move(handler);
+    worker = it->second.worker;
+  }
+  // Synchronize with any in-flight invocation of the previous handler.
+  fence(worker);
+}
+
+void LoopbackTransport::join_group(NodeId id, GroupId group) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = nodes_.find(id);
+  if (it != nodes_.end() && !it->second.closed) it->second.groups.insert(group);
+}
+
+void LoopbackTransport::leave_group(NodeId id, GroupId group) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = nodes_.find(id);
+  if (it != nodes_.end() && !it->second.closed) it->second.groups.erase(group);
+}
+
+void LoopbackTransport::deliver_one(NodeId from, NodeId to, const Node& dest,
+                                    Payload payload) {
+  // Caller holds mu_ (for the group walk / stats / rng draws).
+  stats_.bytes_sent += payload.size();
+  if (opts_.loss > 0.0 && rng_.chance(opts_.loss)) {
+    ++stats_.drops_loss;
+    return;
+  }
+  Duration delay = opts_.delivery_delay;
+  if (opts_.delivery_jitter > 0) {
+    delay += rng_.uniform(0, opts_.delivery_jitter);
+  }
+  Task task;
+  task.due = now() + (delay < 0 ? 0 : delay);
+  task.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  task.kind = TaskKind::kDeliver;
+  task.node = to;
+  task.from = from;
+  task.payload = std::move(payload);
+  enqueue(dest.worker, std::move(task));
+}
+
+void LoopbackTransport::send(NodeId from, NodeId to, Payload payload) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.unicasts_sent;
+  auto src = nodes_.find(from);
+  auto dst = nodes_.find(to);
+  if (src == nodes_.end() || src->second.closed || !src->second.online ||
+      dst == nodes_.end() || dst->second.closed || !dst->second.online) {
+    ++stats_.drops_dead;
+    stats_.bytes_sent += payload.size();
+    return;
+  }
+  deliver_one(from, to, dst->second, std::move(payload));
+}
+
+void LoopbackTransport::multicast(NodeId from, GroupId group, Payload payload) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.multicasts_sent;
+  auto src = nodes_.find(from);
+  if (src == nodes_.end() || src->second.closed || !src->second.online) {
+    ++stats_.drops_dead;
+    return;
+  }
+  // Ordered map: members are reached in ascending node-id order, so equal
+  // delays keep a deterministic per-multicast fan-out order.
+  for (const auto& [nid, node] : nodes_) {
+    if (nid == from || node.closed || !node.online) continue;
+    if (!node.groups.contains(group)) continue;
+    deliver_one(from, nid, node, payload);
+  }
+}
+
+TimerService& LoopbackTransport::timers(NodeId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = nodes_.find(id);
+  // Nodes are never forgotten (only closed), so a live caller always finds
+  // its service; a bogus id is a programming error.
+  return *it->second.timers;
+}
+
+TimerId LoopbackTransport::schedule_timer(NodeId node, std::size_t worker,
+                                          Time when, std::function<void()> fn) {
+  Task task;
+  const Time t = now();
+  task.due = when < t ? t : when;
+  task.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  task.kind = TaskKind::kTimer;
+  task.node = node;
+  task.timer = next_timer_.fetch_add(1, std::memory_order_relaxed);
+  task.fn = std::move(fn);
+  const TimerId id = task.timer;
+  {
+    Worker& w = *workers_[worker];
+    std::lock_guard<std::mutex> lk(w.mu);
+    w.live_timers.insert(id);
+    w.inbox.push_back(std::move(task));
+    std::push_heap(w.inbox.begin(), w.inbox.end(), TaskLater{});
+  }
+  workers_[worker]->cv.notify_all();
+  return id;
+}
+
+bool LoopbackTransport::cancel_timer(std::size_t worker, TimerId id) {
+  if (id == kInvalidTimer) return false;
+  Worker& w = *workers_[worker];
+  std::lock_guard<std::mutex> lk(w.mu);
+  // The heap entry becomes a tombstone, discarded when it surfaces.
+  return w.live_timers.erase(id) > 0;
+}
+
+void LoopbackTransport::post(NodeId id, std::function<void()> fn) {
+  std::size_t worker;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = nodes_.find(id);
+    if (it == nodes_.end() || it->second.closed) return;
+    worker = it->second.worker;
+  }
+  Task task;
+  task.due = now();
+  task.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  task.kind = TaskKind::kPost;
+  task.node = id;
+  task.fn = std::move(fn);
+  enqueue(worker, std::move(task));
+}
+
+void LoopbackTransport::enqueue(std::size_t worker, Task task) {
+  Worker& w = *workers_[worker];
+  {
+    std::lock_guard<std::mutex> lk(w.mu);
+    if (w.stop) return;
+    w.inbox.push_back(std::move(task));
+    std::push_heap(w.inbox.begin(), w.inbox.end(), TaskLater{});
+  }
+  w.cv.notify_all();
+}
+
+bool LoopbackTransport::wait_until(const std::function<bool()>& pred,
+                                   Duration max_wait) {
+  const Time deadline = now() + (max_wait < 0 ? 0 : max_wait);
+  for (;;) {
+    {
+      // Exclusive with every strand: pred may read protocol state that
+      // callbacks write, and the lock handoff orders those writes before
+      // the read.
+      std::vector<std::unique_lock<std::mutex>> locks;
+      locks.reserve(workers_.size());
+      for (auto& w : workers_) locks.emplace_back(w->exec_mu);
+      if (pred()) return true;
+      if (now() >= deadline) return false;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(kPollInterval));
+  }
+}
+
+Rng LoopbackTransport::fork_rng() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rng_.fork();
+}
+
+LoopbackTransport::Stats LoopbackTransport::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+void LoopbackTransport::fence(std::size_t worker) {
+  Worker& w = *workers_[worker];
+  if (std::this_thread::get_id() == w.thread.get_id()) return;
+  std::lock_guard<std::mutex> ex(w.exec_mu);
+}
+
+void LoopbackTransport::run_task(Worker& w, Task& task) {
+  std::lock_guard<std::mutex> ex(w.exec_mu);
+  DeliveryHandler handler;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = nodes_.find(task.node);
+    if (it == nodes_.end() || it->second.closed) {
+      // Delivery-after-close safety: a payload or timer racing with
+      // remove_node is dropped here, on the strand, never observed by
+      // protocol code.
+      if (task.kind == TaskKind::kDeliver) ++stats_.drops_dead;
+      return;
+    }
+    if (task.kind == TaskKind::kDeliver) {
+      if (!it->second.online) {
+        ++stats_.drops_dead;
+        return;
+      }
+      handler = it->second.handler;  // copy out: handler may rebind
+      ++stats_.deliveries;
+    }
+  }
+  switch (task.kind) {
+    case TaskKind::kDeliver:
+      if (handler) handler(task.from, task.payload);
+      break;
+    case TaskKind::kTimer:
+    case TaskKind::kPost:
+      if (task.fn) task.fn();
+      break;
+  }
+}
+
+void LoopbackTransport::worker_loop(std::size_t index) {
+  Worker& w = *workers_[index];
+  std::unique_lock<std::mutex> lk(w.mu);
+  for (;;) {
+    if (w.stop) return;
+    if (w.inbox.empty()) {
+      w.cv.wait(lk);
+      continue;
+    }
+    const Time due = w.inbox.front().due;
+    const Time t = now();
+    if (t < due) {
+      const Duration wait = std::min(due - t, kMaxSleepSlice);
+      w.cv.wait_for(lk, std::chrono::microseconds(wait));
+      continue;
+    }
+    std::pop_heap(w.inbox.begin(), w.inbox.end(), TaskLater{});
+    Task task = std::move(w.inbox.back());
+    w.inbox.pop_back();
+    if (task.kind == TaskKind::kTimer &&
+        w.live_timers.erase(task.timer) == 0) {
+      continue;  // cancelled: discard the tombstone
+    }
+    lk.unlock();
+    run_task(w, task);
+    lk.lock();
+  }
+}
+
+}  // namespace tiamat::transport

@@ -1,0 +1,181 @@
+// In-process multi-threaded Transport backend.
+//
+// The second backend of ROADMAP item 1: the same protocol stack that runs
+// on the deterministic simulator serves real concurrent traffic here. Nodes
+// are multiplexed onto a small pool of worker threads; each node's inbox
+// (deliveries, timers, posted closures) is a time-ordered queue drained by
+// exactly one worker, which is what implements the strand contract from
+// transport/transport.h — per-node callbacks are serialized without any
+// locking inside protocol code, while distinct nodes run genuinely in
+// parallel. Time is the machine's monotonic clock (microseconds since
+// transport construction) behind the transport::Clock abstraction, so
+// protocol code stays wall-clock-free by construction; delivery delay,
+// jitter and loss are configurable to keep the sim's failure modes
+// exercisable under real threads.
+//
+// This file (and the rest of src/transport/) is the only place in the tree
+// where <thread>/<mutex>/<atomic>/steady_clock are permitted — the linter's
+// concurrency rule keeps the simulator and the protocol layers
+// deterministic by construction.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "transport/transport.h"
+
+namespace tiamat::transport {
+
+struct LoopbackOptions {
+  /// Worker threads the node strands are multiplexed onto (clamped to >=1).
+  unsigned workers = 4;
+  /// Fixed latency added to every delivery.
+  Duration delivery_delay = 0;
+  /// Uniform extra delivery latency in [0, jitter]. Non-zero jitter may
+  /// reorder same-sender deliveries (per-sender FIFO holds at jitter 0).
+  Duration delivery_jitter = 0;
+  /// Independent per-delivery drop probability.
+  double loss = 0.0;
+  /// Seeds fork_rng() and the loss/jitter draws.
+  std::uint64_t seed = 0x7113a7u;
+};
+
+class LoopbackTransport final : public Transport {
+ public:
+  /// Aggregate traffic counters (snapshot; maintained under the registry
+  /// lock, so concurrent senders never lose updates).
+  struct Stats {
+    std::uint64_t unicasts_sent = 0;
+    std::uint64_t multicasts_sent = 0;
+    std::uint64_t deliveries = 0;
+    std::uint64_t drops_loss = 0;
+    std::uint64_t drops_dead = 0;    ///< destination removed/offline
+    std::uint64_t bytes_sent = 0;
+  };
+
+  explicit LoopbackTransport(LoopbackOptions opts = {});
+  ~LoopbackTransport() override;
+
+  LoopbackTransport(const LoopbackTransport&) = delete;
+  LoopbackTransport& operator=(const LoopbackTransport&) = delete;
+
+  // ---- Transport -----------------------------------------------------------
+  NodeId add_node(NodeOptions opts = {}) override;
+  void remove_node(NodeId id) override;
+  bool node_exists(NodeId id) const override;
+  void set_online(NodeId id, bool online) override;
+  bool online(NodeId id) const override;
+  bool visible(NodeId a, NodeId b) const override;
+  std::vector<NodeId> visible_from(NodeId id) const override;
+  void bind(NodeId id, DeliveryHandler handler) override;
+  void join_group(NodeId id, GroupId group) override;
+  void leave_group(NodeId id, GroupId group) override;
+  void send(NodeId from, NodeId to, Payload payload) override;
+  void multicast(NodeId from, GroupId group, Payload payload) override;
+  Time now() const override;
+  TimerService& timers(NodeId id) override;
+  void post(NodeId id, std::function<void()> fn) override;
+  bool wait_until(const std::function<bool()>& pred,
+                  Duration max_wait = 30 * kSecond) override;
+  Rng fork_rng() override;
+
+  Stats stats() const;
+  unsigned worker_count() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  enum class TaskKind : std::uint8_t { kDeliver, kTimer, kPost };
+
+  /// One unit of strand work: a delivery, a due timer, or a posted closure.
+  struct Task {
+    Time due = 0;            ///< transport-time deadline
+    std::uint64_t seq = 0;   ///< global enqueue order; FIFO tie-break
+    TaskKind kind = TaskKind::kPost;
+    NodeId node = kNoNode;   ///< strand owner (the destination)
+    NodeId from = kNoNode;   ///< sender, for deliveries
+    TimerId timer = kInvalidTimer;
+    Payload payload;
+    std::function<void()> fn;
+  };
+  struct TaskLater {
+    bool operator()(const Task& a, const Task& b) const {
+      if (a.due != b.due) return a.due > b.due;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// One worker thread: the merged, time-ordered inbox of every node strand
+  /// assigned to it, plus the execution lock that serializes its callbacks
+  /// against fences (bind/remove_node) and wait_until.
+  struct Worker {
+    std::mutex mu;  ///< guards inbox, live_timers, stop
+    std::condition_variable cv;
+    std::vector<Task> inbox;  ///< min-heap by (due, seq)
+    std::unordered_set<TimerId> live_timers;  ///< scheduled, not yet fired
+    bool stop = false;
+    std::mutex exec_mu;  ///< held for the duration of every callback
+    std::thread thread;
+  };
+
+  /// Per-node TimerService facade; lives until the transport dies (remove_
+  /// node only quiesces it), so teardown-order cancels stay safe.
+  class NodeTimers final : public TimerService {
+   public:
+    NodeTimers(LoopbackTransport* t, NodeId node, std::size_t worker)
+        : t_(t), node_(node), worker_(worker) {}
+    Time now() const override { return t_->now(); }
+    TimerId schedule_at(Time when, std::function<void()> fn) override {
+      return t_->schedule_timer(node_, worker_, when, std::move(fn));
+    }
+    bool cancel(TimerId id) override { return t_->cancel_timer(worker_, id); }
+
+   private:
+    LoopbackTransport* t_;
+    NodeId node_;
+    std::size_t worker_;
+  };
+
+  struct Node {
+    std::size_t worker = 0;
+    bool online = true;
+    bool closed = false;
+    DeliveryHandler handler;
+    std::set<GroupId> groups;
+    std::unique_ptr<NodeTimers> timers;
+  };
+
+  TimerId schedule_timer(NodeId node, std::size_t worker, Time when,
+                         std::function<void()> fn);
+  bool cancel_timer(std::size_t worker, TimerId id);
+  void enqueue(std::size_t worker, Task task);
+  void deliver_one(NodeId from, NodeId to, const Node& dest, Payload payload);
+  void worker_loop(std::size_t index);
+  void run_task(Worker& w, Task& task);
+  /// Blocks until no callback of `node`'s strand is in flight. No-op when
+  /// already on that strand's worker thread (the caller IS the callback).
+  void fence(std::size_t worker);
+
+  const LoopbackOptions opts_;
+  const std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;  ///< node registry + groups + stats + rng
+  std::map<NodeId, Node> nodes_;
+  NodeId next_node_ = 1;
+  Rng rng_;
+  Stats stats_;
+
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::atomic<TimerId> next_timer_{1};
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace tiamat::transport

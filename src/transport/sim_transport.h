@@ -1,0 +1,92 @@
+// Transport backend over the deterministic simulator.
+//
+// This adapter is the ONLY file outside src/sim that may include
+// sim/network.h (enforced by scripts/lint_tiamat.py's layering rule): the
+// simulated radio network, its scripted visibility and its discrete-event
+// queue stay the canonical test substrate, and protocol code reaches them
+// exclusively through the Transport interface. Scenario scripting (link
+// overrides, mobility, positions) keeps full access via network().
+
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/network.h"
+#include "transport/transport.h"
+
+namespace tiamat::transport {
+
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(sim::Network& net) : net_(net) {}
+
+  // ---- Transport -----------------------------------------------------------
+  NodeId add_node(NodeOptions opts = {}) override {
+    return net_.add_node(sim::Position{opts.x, opts.y});
+  }
+  void remove_node(NodeId id) override {
+    if (net_.node_exists(id)) net_.remove_node(id);
+  }
+  bool node_exists(NodeId id) const override { return net_.node_exists(id); }
+  void set_online(NodeId id, bool online) override {
+    net_.set_online(id, online);
+  }
+  bool online(NodeId id) const override { return net_.online(id); }
+  bool visible(NodeId a, NodeId b) const override {
+    return net_.visible(a, b);
+  }
+  std::vector<NodeId> visible_from(NodeId id) const override {
+    return net_.visible_from(id);
+  }
+  void bind(NodeId id, DeliveryHandler handler) override {
+    net_.bind(id, std::move(handler));
+  }
+  void join_group(NodeId id, GroupId group) override {
+    net_.join_group(id, group);
+  }
+  void leave_group(NodeId id, GroupId group) override {
+    net_.leave_group(id, group);
+  }
+  void send(NodeId from, NodeId to, Payload payload) override {
+    net_.send(from, to, std::move(payload));
+  }
+  void multicast(NodeId from, GroupId group, Payload payload) override {
+    net_.multicast(from, group, std::move(payload));
+  }
+  Time now() const override { return net_.now(); }
+
+  /// One shared TimerService: the event queue. Single-threaded, so strand
+  /// affinity is vacuous.
+  TimerService& timers(NodeId) override { return net_.queue(); }
+
+  /// Synchronous: the caller IS the only strand.
+  void post(NodeId, std::function<void()> fn) override {
+    if (fn) fn();
+  }
+
+  bool wait_until(const std::function<bool()>& pred,
+                  Duration max_wait = 30 * kSecond) override {
+    const Time deadline = max_wait >= kNever - net_.now()
+                              ? kNever
+                              : net_.now() + (max_wait < 0 ? 0 : max_wait);
+    while (!pred()) {
+      if (net_.now() >= deadline) break;
+      if (!net_.queue().step()) break;  // quiesced: no progress possible
+    }
+    return pred();
+  }
+
+  Rng fork_rng() override { return net_.rng().fork(); }
+
+  // ---- Scenario scripting escape hatch ------------------------------------
+  sim::Network& network() { return net_; }
+  const sim::Network& network() const { return net_; }
+  sim::EventQueue& queue() { return net_.queue(); }
+
+ private:
+  sim::Network& net_;
+};
+
+}  // namespace tiamat::transport

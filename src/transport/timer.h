@@ -1,0 +1,49 @@
+// Clock + timer scheduling, abstracted from the backend that drives them.
+//
+// Everything in Tiamat that "takes time" — lease expiry, ack timeouts,
+// probe windows, store-and-forward retries — schedules through this
+// interface. Under the deterministic simulator the implementation is the
+// discrete-event queue (sim::EventQueue derives from TimerService), so a run
+// is still a pure function of configuration and seed; under the loopback
+// backend timers are driven by the machine's monotonic clock on the owning
+// node's worker thread.
+
+#pragma once
+
+#include <functional>
+
+#include "transport/types.h"
+
+namespace tiamat::transport {
+
+/// A clock: the current Time in microseconds. Virtual (simulated) or
+/// steady-clock-derived, depending on the backend.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Time now() const = 0;
+};
+
+/// Clock + one-shot timer scheduling with cancellation.
+///
+/// Callback execution contract: timers obtained from Transport::timers(n)
+/// fire on n's delivery strand — never concurrently with n's message
+/// handlers or other timers of n. Cancellation of a not-yet-fired timer
+/// guarantees the callback never runs.
+class TimerService : public Clock {
+ public:
+  /// Schedules `fn` at absolute time `when` (>= now; the past clamps to
+  /// now). Returns a handle usable with `cancel`.
+  virtual TimerId schedule_at(Time when, std::function<void()> fn) = 0;
+
+  /// Schedules `fn` to run `delay` from now.
+  TimerId schedule_after(Duration delay, std::function<void()> fn) {
+    return schedule_at(now() + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Cancels a pending timer. Returns false if it already fired, was already
+  /// cancelled, or never existed.
+  virtual bool cancel(TimerId id) = 0;
+};
+
+}  // namespace tiamat::transport

@@ -1,0 +1,109 @@
+// The pluggable communication substrate (ROADMAP item 1).
+//
+// Every protocol path — discovery, fan-out, first-response-wins,
+// reinsertion, leasing — runs against this interface and nothing below it.
+// Two backends implement it:
+//
+//   SimTransport       adapter over sim::Network: deterministic virtual
+//                      time, scripted visibility, seeded loss/jitter. The
+//                      test substrate; byte-reproducible runs.
+//   LoopbackTransport  in-process multi-threaded backend: per-node inbox
+//                      queues drained by worker threads, steady-clock
+//                      timers, configurable delivery delay/loss. Real
+//                      concurrency; the stepping stone to sockets.
+//
+// Threading contract (what makes single-threaded protocol code safe on a
+// concurrent backend): every callback belonging to node n — message
+// delivery, timers from timers(n), closures via post(n, ...) — runs on n's
+// *strand*: serialized, in order, never concurrently with each other.
+// Callbacks of different nodes may run in parallel. send/multicast/post are
+// safe to call from any strand (and from outside).
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "transport/timer.h"
+#include "transport/types.h"
+
+namespace tiamat::transport {
+
+class Transport : public Clock {
+ public:
+  ~Transport() override = default;
+
+  // ---- Membership ----------------------------------------------------------
+
+  /// Adds a node; it starts online with no handler bound. `opts` is a
+  /// placement hint for spatial backends.
+  virtual NodeId add_node(NodeOptions opts = {}) = 0;
+
+  /// Permanently removes a node. In-flight deliveries to it are dropped,
+  /// and — on concurrent backends — the call does not return while any of
+  /// the node's callbacks is still executing (so the caller may destroy
+  /// handler state immediately afterwards). Timers owned by the node are
+  /// quiesced: none fires after remove_node returns. The node's
+  /// TimerService stays valid (cancellation of stale handles remains safe).
+  virtual void remove_node(NodeId id) = 0;
+
+  virtual bool node_exists(NodeId id) const = 0;
+
+  /// Radio on/off without forgetting state: an offline node is invisible
+  /// and receives nothing.
+  virtual void set_online(NodeId id, bool online) = 0;
+  virtual bool online(NodeId id) const = 0;
+
+  /// True when a and b could exchange a packet right now. Visibility is the
+  /// paper's only connectivity concept (§2.2); the sim derives it from
+  /// positions/range/overrides, loopback from liveness alone (a LAN).
+  virtual bool visible(NodeId a, NodeId b) const = 0;
+
+  /// All nodes visible from `id` (excluding itself), in ascending id order.
+  virtual std::vector<NodeId> visible_from(NodeId id) const = 0;
+
+  // ---- Traffic -------------------------------------------------------------
+
+  /// Installs the function invoked on id's strand when a payload arrives.
+  /// Binding nullptr detaches; on concurrent backends the call synchronizes
+  /// with in-flight invocations of the previous handler.
+  virtual void bind(NodeId id, DeliveryHandler handler) = 0;
+
+  virtual void join_group(NodeId id, GroupId group) = 0;
+  virtual void leave_group(NodeId id, GroupId group) = 0;
+
+  /// Unicast. Delivery requires visibility; per-sender order is preserved
+  /// for same-destination sends (absent jitter/loss).
+  virtual void send(NodeId from, NodeId to, Payload payload) = 0;
+
+  /// Multicast to every currently visible member of `group` except the
+  /// sender. The sender need not be a member.
+  virtual void multicast(NodeId from, GroupId group, Payload payload) = 0;
+
+  // ---- Time, execution, randomness ----------------------------------------
+
+  /// The node's clock + timer scheduler. Callbacks fire on id's strand. The
+  /// returned reference stays valid until the Transport is destroyed (also
+  /// across remove_node, so teardown-order cancellation is safe).
+  virtual TimerService& timers(NodeId id) = 0;
+
+  /// Runs `fn` on id's strand. This is how code *outside* a node's strand
+  /// (tests, benchmark driver threads) interacts with protocol objects
+  /// bound to a concurrent backend. The sim backend executes synchronously.
+  virtual void post(NodeId id, std::function<void()> fn) = 0;
+
+  /// Drives the backend until `pred()` holds, no further progress is
+  /// possible, or `max_wait` of transport time passes; returns the final
+  /// pred(). Sim: steps the event queue (max_wait rarely binds — an idle
+  /// queue ends the wait). Loopback: polls with pred evaluated mutually
+  /// exclusive with every strand, so the caller may read protocol state
+  /// written by callbacks.
+  virtual bool wait_until(const std::function<bool()>& pred,
+                          Duration max_wait = 30 * kSecond) = 0;
+
+  /// Derives an independent seeded random stream (per-instance streams keep
+  /// runs reproducible under the sim; loopback forks from its option seed).
+  virtual Rng fork_rng() = 0;
+};
+
+}  // namespace tiamat::transport

@@ -1,0 +1,68 @@
+// Vocabulary types of the transport layer.
+//
+// Protocol code (src/net, src/core, src/lease, src/space, src/obs) speaks
+// these names exclusively; it never names `sim::` directly. The deterministic
+// simulator remains the canonical definition of virtual time and seeded
+// randomness, so the time/rng vocabulary re-exports sim's leaf headers
+// (sim/clock.h, sim/random.h — pure value types, no event machinery); the
+// addressing vocabulary (node/group ids, payloads) is defined here and
+// structurally identical to the simulator's, which is what lets the
+// SimTransport adapter pass them through unconverted.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/random.h"
+
+namespace tiamat::transport {
+
+// ---- Time (microseconds; virtual under sim, steady-clock under loopback) --
+using Time = sim::Time;
+using Duration = sim::Duration;
+inline constexpr Duration kMicrosecond = sim::kMicrosecond;
+inline constexpr Duration kMillisecond = sim::kMillisecond;
+inline constexpr Duration kSecond = sim::kSecond;
+inline constexpr Time kNever = sim::kNever;
+using sim::milliseconds;
+using sim::seconds;
+using sim::to_seconds;
+
+// ---- Seeded randomness -----------------------------------------------------
+using Rng = sim::Rng;
+
+// ---- Addressing ------------------------------------------------------------
+
+/// Identifies a node for the lifetime of a transport. Never reused.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0;
+
+/// Identifies a multicast group.
+using GroupId = std::uint32_t;
+
+using Payload = std::vector<std::uint8_t>;
+using DeliveryHandler = std::function<void(NodeId from, const Payload&)>;
+
+/// Placement hint passed to Transport::add_node. The simulated radio network
+/// uses (x, y) as the node's position (visibility derives from positions and
+/// radio range); backends without a spatial model ignore it.
+struct NodeOptions {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+// ---- Timers ----------------------------------------------------------------
+
+/// Identifies a scheduled timer so it can be cancelled before it fires.
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+// Compatibility spellings: protocol code predating the transport layer used
+// the simulator's event vocabulary for timer handles.
+using EventId = TimerId;
+inline constexpr TimerId kInvalidEvent = kInvalidTimer;
+
+}  // namespace tiamat::transport

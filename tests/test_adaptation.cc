@@ -117,8 +117,8 @@ TEST(AdaptiveE2E, InstanceStretchesLeasesInSlowEnvironment) {
   auto policy = std::make_unique<AdaptiveLeasePolicy>(small_caps(),
                                                       fast_tuning());
   auto* policy_ptr = policy.get();
-  Instance consumer(w.net, cfg, std::move(policy));
-  Instance producer(w.net, Config{});
+  Instance consumer(w.tx, cfg, std::move(policy));
+  Instance producer(w.tx, Config{});
 
   const auto ttl_before = policy_ptr->current_ttl();
 
@@ -153,8 +153,8 @@ TEST(AdaptiveE2E, InstanceShrinksLeasesInFastEnvironment) {
   auto policy = std::make_unique<AdaptiveLeasePolicy>(small_caps(),
                                                       fast_tuning());
   auto* policy_ptr = policy.get();
-  Instance consumer(w.net, cfg, std::move(policy));
-  Instance producer(w.net, Config{});
+  Instance consumer(w.tx, cfg, std::move(policy));
+  Instance producer(w.tx, Config{});
 
   const auto ttl_before = policy_ptr->current_ttl();
   for (int i = 0; i < 20; ++i) {

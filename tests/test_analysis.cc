@@ -54,7 +54,7 @@ Scenario run_remote_in(World& w) {
     Config cfg;
     cfg.name = name;
     auto sink = std::make_shared<obs::MemorySink>();
-    nodes.push_back(std::make_unique<Instance>(w.net, cfg));
+    nodes.push_back(std::make_unique<Instance>(w.tx, cfg));
     nodes.back()->tracer().set_sink(sink);
     s.sinks.push_back(std::move(sink));
   }
@@ -289,8 +289,8 @@ TEST(FlightRecorder, AlwaysRecordsEvenWithTracingDisabled) {
   World w;
   Config cfg;
   cfg.name = "f";
-  Instance a(w.net, cfg);
-  Instance b(w.net, cfg);
+  Instance a(w.tx, cfg);
+  Instance b(w.tx, cfg);
   ASSERT_FALSE(a.tracer().enabled());
 
   b.out(Tuple{"k", 1});
@@ -325,7 +325,7 @@ TEST(FlightRecorder, AuditTrapReportIncludesFlightTail) {
   World w;
   Config cfg;
   cfg.name = "f";
-  Instance a(w.net, cfg);
+  Instance a(w.tx, cfg);
   a.out(Tuple{"k", 1});
   std::optional<core::ReadResult> r;
   a.rdp(Pattern{"k", any_int()}, [&](auto res) { r = std::move(res); });

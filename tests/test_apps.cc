@@ -32,9 +32,9 @@ struct WebFixture : ::testing::Test {
   web::OriginServer origin{w.queue};
 
   std::unique_ptr<core::Instance> client_node =
-      std::make_unique<core::Instance>(w.net, app_config("client"));
+      std::make_unique<core::Instance>(w.tx, app_config("client"));
   std::unique_ptr<core::Instance> proxy_node =
-      std::make_unique<core::Instance>(w.net, app_config("proxy"));
+      std::make_unique<core::Instance>(w.tx, app_config("proxy"));
 
   web::WebClient client{*client_node};
   web::ProxyServer proxy{*proxy_node, origin};
@@ -93,7 +93,7 @@ TEST_F(WebFixture, ProxyAddedInvisiblyToClient) {
   EXPECT_FALSE(body.has_value());
   // A brand-new proxy appears — dynamically, "without the clients'
   // knowledge" — and serves the queued request tuple.
-  auto new_node = std::make_unique<core::Instance>(w.net, app_config("p2"));
+  auto new_node = std::make_unique<core::Instance>(w.tx, app_config("p2"));
   web::ProxyServer late_proxy(*new_node, origin);
   late_proxy.start();
   w.run_for(sim::seconds(5));
@@ -113,7 +113,7 @@ TEST_F(WebFixture, FailedProxyReplacedWithoutPerturbingClient) {
   proxy_node.reset();
   // ...and a replacement appears. The client code never changes.
   auto replacement_node =
-      std::make_unique<core::Instance>(w.net, app_config("p2"));
+      std::make_unique<core::Instance>(w.tx, app_config("p2"));
   web::ProxyServer replacement(*replacement_node, origin);
   replacement.start();
 
@@ -128,7 +128,7 @@ TEST_F(WebFixture, FailedProxyReplacedWithoutPerturbingClient) {
 
 TEST_F(WebFixture, TwoProxiesLoadBalance) {
   proxy.start();
-  auto node2 = std::make_unique<core::Instance>(w.net, app_config("p2"));
+  auto node2 = std::make_unique<core::Instance>(w.tx, app_config("p2"));
   web::ProxyServer proxy2(*node2, origin, /*cache=*/false);
   proxy2.start();
   int done = 0;
@@ -210,8 +210,8 @@ TEST_F(FractalFixture, PackUnpackRoundTrip) {
 }
 
 TEST_F(FractalFixture, MasterAndOneWorkerComplete) {
-  core::Instance m_node(w.net, app_config("master"));
-  core::Instance w_node(w.net, app_config("worker"));
+  core::Instance m_node(w.tx, app_config("master"));
+  core::Instance w_node(w.tx, app_config("worker"));
   fractal::Master master(m_node, small_image(), 1);
   fractal::Worker worker(w_node, sim::milliseconds(5));
   worker.start();
@@ -229,12 +229,12 @@ TEST_F(FractalFixture, MasterAndOneWorkerComplete) {
 TEST_F(FractalFixture, MoreWorkersFinishFaster) {
   auto run_with_workers = [&](int n) {
     World w2;
-    core::Instance m_node(w2.net, app_config("master"));
+    core::Instance m_node(w2.tx, app_config("master"));
     std::vector<std::unique_ptr<core::Instance>> nodes;
     std::vector<std::unique_ptr<fractal::Worker>> workers;
     for (int i = 0; i < n; ++i) {
       nodes.push_back(std::make_unique<core::Instance>(
-          w2.net, app_config("w" + std::to_string(i))));
+          w2.tx, app_config("w" + std::to_string(i))));
       workers.push_back(std::make_unique<fractal::Worker>(
           *nodes.back(), sim::milliseconds(100)));
       workers.back()->start();
@@ -255,8 +255,8 @@ TEST_F(FractalFixture, MoreWorkersFinishFaster) {
 }
 
 TEST_F(FractalFixture, WorkerJoinMidRunHelps) {
-  core::Instance m_node(w.net, app_config("master"));
-  core::Instance w1_node(w.net, app_config("w1"));
+  core::Instance m_node(w.tx, app_config("master"));
+  core::Instance w1_node(w.tx, app_config("w1"));
   fractal::Params p;
   p.width = 16;
   p.height = 16;
@@ -268,7 +268,7 @@ TEST_F(FractalFixture, WorkerJoinMidRunHelps) {
   w.run_for(sim::milliseconds(900));
   EXPECT_FALSE(done);
   // A second worker wanders in mid-computation.
-  core::Instance w2_node(w.net, app_config("w2"));
+  core::Instance w2_node(w.tx, app_config("w2"));
   fractal::Worker w2(w2_node, sim::milliseconds(200));
   w2.start();
   w.run_for(sim::seconds(60));
@@ -277,8 +277,8 @@ TEST_F(FractalFixture, WorkerJoinMidRunHelps) {
 }
 
 TEST_F(FractalFixture, WorkerLeavingDoesNotLoseJob) {
-  core::Instance m_node(w.net, app_config("master"));
-  auto w1_node = std::make_unique<core::Instance>(w.net, app_config("w1"));
+  core::Instance m_node(w.tx, app_config("master"));
+  auto w1_node = std::make_unique<core::Instance>(w.tx, app_config("w1"));
   fractal::Params p;
   p.width = 8;
   p.height = 8;
@@ -295,7 +295,7 @@ TEST_F(FractalFixture, WorkerLeavingDoesNotLoseJob) {
   w1_node.reset();
   // A replacement appears; remaining task tuples are still leased in the
   // master's space.
-  core::Instance w2_node(w.net, app_config("w2"));
+  core::Instance w2_node(w.tx, app_config("w2"));
   fractal::Worker w2(w2_node, sim::milliseconds(100));
   w2.start();
   w.run_for(sim::seconds(60));
@@ -305,13 +305,13 @@ TEST_F(FractalFixture, WorkerLeavingDoesNotLoseJob) {
 // ---------------- Load-balancing baseline ----------------
 
 TEST_F(FractalFixture, LbBaselineCompletes) {
-  loadbalance::LoadBalancingServer server(w.net);
-  loadbalance::LbWorker worker(w.net, server.node(), sim::milliseconds(5));
+  loadbalance::LoadBalancingServer server(w.tx);
+  loadbalance::LbWorker worker(w.tx, server.node(), sim::milliseconds(5));
   worker.start();
   fractal::Params p;
   p.width = 16;
   p.height = 8;
-  loadbalance::LbMaster master(w.net, server.node(), p, 1);
+  loadbalance::LbMaster master(w.tx, server.node(), p, 1);
   bool done = false;
   w.run_for(sim::milliseconds(50));  // let registration land
   master.start([&] { done = true; });
@@ -323,16 +323,16 @@ TEST_F(FractalFixture, LbBaselineCompletes) {
 }
 
 TEST_F(FractalFixture, LbBaselineReassignsOnWorkerDeath) {
-  loadbalance::LoadBalancingServer server(w.net);
+  loadbalance::LoadBalancingServer server(w.tx);
   server.task_timeout = sim::milliseconds(500);
   auto dying = std::make_unique<loadbalance::LbWorker>(
-      w.net, server.node(), sim::seconds(10) /*too slow: will "die"*/);
+      w.tx, server.node(), sim::seconds(10) /*too slow: will "die"*/);
   dying->start();
-  loadbalance::LbWorker healthy(w.net, server.node(), sim::milliseconds(5));
+  loadbalance::LbWorker healthy(w.tx, server.node(), sim::milliseconds(5));
   fractal::Params p;
   p.width = 8;
   p.height = 4;
-  loadbalance::LbMaster master(w.net, server.node(), p, 1);
+  loadbalance::LbMaster master(w.tx, server.node(), p, 1);
   bool done = false;
   w.run_for(sim::milliseconds(50));
   master.start([&] { done = true; });
@@ -346,11 +346,11 @@ TEST_F(FractalFixture, LbBaselineReassignsOnWorkerDeath) {
 }
 
 TEST_F(FractalFixture, LbBaselineStallsWithNoWorkers) {
-  loadbalance::LoadBalancingServer server(w.net);
+  loadbalance::LoadBalancingServer server(w.tx);
   fractal::Params p;
   p.width = 8;
   p.height = 4;
-  loadbalance::LbMaster master(w.net, server.node(), p, 1);
+  loadbalance::LbMaster master(w.tx, server.node(), p, 1);
   bool done = false;
   master.start([&] { done = true; });
   w.run_for(sim::seconds(5));
@@ -358,7 +358,7 @@ TEST_F(FractalFixture, LbBaselineStallsWithNoWorkers) {
   // Tasks queue at the server until a worker registers (same as Tiamat's
   // task tuples waiting in the space — but here only because the server
   // implements queueing explicitly).
-  loadbalance::LbWorker worker(w.net, server.node(), sim::milliseconds(5));
+  loadbalance::LbWorker worker(w.tx, server.node(), sim::milliseconds(5));
   worker.start();
   w.run_for(sim::seconds(30));
   EXPECT_TRUE(done);

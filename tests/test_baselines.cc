@@ -24,8 +24,8 @@ using tiamat::testing::World;
 
 struct CentralFixture : ::testing::Test {
   World w;
-  CentralServer server{w.net};
-  CentralClient client{w.net, server.node()};
+  CentralServer server{w.tx};
+  CentralClient client{w.tx, server.node()};
 };
 
 TEST_F(CentralFixture, OutThenRdp) {
@@ -59,7 +59,7 @@ TEST_F(CentralFixture, BlockingRdServedWhenTupleArrives) {
   });
   w.run_for(sim::milliseconds(200));
   EXPECT_FALSE(fired);
-  CentralClient other(w.net, server.node());
+  CentralClient other(w.tx, server.node());
   other.out(Tuple{"later"});
   w.run_for(sim::milliseconds(200));
   EXPECT_TRUE(fired);
@@ -67,7 +67,7 @@ TEST_F(CentralFixture, BlockingRdServedWhenTupleArrives) {
 }
 
 TEST_F(CentralFixture, TwoClientsShareTheSpace) {
-  CentralClient other(w.net, server.node());
+  CentralClient other(w.tx, server.node());
   client.out(Tuple{"shared", 9});
   w.run_for(sim::milliseconds(50));
   std::optional<Tuple> got;
@@ -79,8 +79,8 @@ TEST_F(CentralFixture, TwoClientsShareTheSpace) {
 TEST(Central, UnreachableServerFailsOps) {
   World w;
   w.net.set_radio_range(10.0);
-  CentralServer server(w.net, {0, 0});
-  CentralClient client(w.net, server.node(), {500, 0});  // out of range
+  CentralServer server(w.tx, {0, 0});
+  CentralClient client(w.tx, server.node(), {500, 0});  // out of range
   bool fired = false;
   std::optional<Tuple> got;
   client.rdp(Pattern{"x"}, [&](auto t) {
@@ -98,9 +98,9 @@ TEST(Central, UnreachableServerFailsOps) {
 struct LimboFixture : ::testing::Test {
   static constexpr sim::GroupId kGroup = 77;
   World w;
-  LimboNode a{w.net, kGroup};
-  LimboNode b{w.net, kGroup};
-  LimboNode c{w.net, kGroup};
+  LimboNode a{w.tx, kGroup};
+  LimboNode b{w.tx, kGroup};
+  LimboNode c{w.tx, kGroup};
 };
 
 TEST_F(LimboFixture, OutReplicatesEverywhere) {
@@ -217,7 +217,7 @@ struct LimeFixture : ::testing::Test {
   std::vector<std::unique_ptr<LimeHost>> hosts;
 
   LimeHost& make_host(bool first = false) {
-    hosts.push_back(std::make_unique<LimeHost>(w.net, kFed, first));
+    hosts.push_back(std::make_unique<LimeHost>(w.tx, kFed, first));
     return *hosts.back();
   }
 };
@@ -352,7 +352,7 @@ TEST_F(LimeFixture, UnengagedHostCannotOperate) {
 
 TEST(CoreLime, AgentReadsRemoteHostSpace) {
   World w;
-  CoreLimeHost a(w.net), b(w.net);
+  CoreLimeHost a(w.tx), b(w.tx);
   b.space().out(Tuple{"remote", 5});
   std::optional<Tuple> got;
   a.agent_op(b.node(), false, Pattern{"remote", any_int()},
@@ -366,7 +366,7 @@ TEST(CoreLime, AgentReadsRemoteHostSpace) {
 
 TEST(CoreLime, AgentTakeRemovesRemotely) {
   World w;
-  CoreLimeHost a(w.net), b(w.net);
+  CoreLimeHost a(w.tx), b(w.tx);
   b.space().out(Tuple{"take"});
   std::optional<Tuple> got;
   a.agent_op(b.node(), true, Pattern{"take"}, [&](auto t) { got = t; });
@@ -378,7 +378,7 @@ TEST(CoreLime, AgentTakeRemovesRemotely) {
 TEST(CoreLime, MigrationToUnreachableHostTimesOut) {
   World w;
   w.net.set_radio_range(5.0);
-  CoreLimeHost a(w.net, {0, 0}), b(w.net, {500, 0});
+  CoreLimeHost a(w.tx, {0, 0}), b(w.tx, {500, 0});
   bool fired = false;
   std::optional<Tuple> got;
   a.agent_op(b.node(), false, Pattern{"x"}, [&](auto t) {
@@ -393,7 +393,7 @@ TEST(CoreLime, MigrationToUnreachableHostTimesOut) {
 
 TEST(CoreLime, AgentTrafficIncludesCodeSize) {
   World w;
-  CoreLimeHost a(w.net), b(w.net);
+  CoreLimeHost a(w.tx), b(w.tx);
   a.agent_code_size = 4096;
   b.space().out(Tuple{"x"});
   a.agent_op(b.node(), false, Pattern{"x"}, [](auto) {});
@@ -412,7 +412,7 @@ TEST(Peers, FloodFindsTupleSeveralHopsAway) {
   std::vector<std::unique_ptr<PeersNode>> nodes;
   for (int i = 0; i < 5; ++i) {
     nodes.push_back(
-        std::make_unique<PeersNode>(w.net, sim::Position{i * 10.0, 0}));
+        std::make_unique<PeersNode>(w.tx, transport::NodeOptions{i * 10.0, 0}));
   }
   nodes[4]->out(Tuple{"far", 1});
   std::optional<Tuple> got;
@@ -429,7 +429,7 @@ TEST(Peers, TtlLimitsReach) {
   std::vector<std::unique_ptr<PeersNode>> nodes;
   for (int i = 0; i < 5; ++i) {
     nodes.push_back(
-        std::make_unique<PeersNode>(w.net, sim::Position{i * 10.0, 0}));
+        std::make_unique<PeersNode>(w.tx, transport::NodeOptions{i * 10.0, 0}));
   }
   nodes[4]->out(Tuple{"far"});
   std::optional<Tuple> got;
@@ -447,7 +447,7 @@ TEST(Peers, TtlLimitsReach) {
 
 TEST(Peers, LocalHitAvoidsFlood) {
   World w;
-  PeersNode a(w.net), b(w.net);
+  PeersNode a(w.tx), b(w.tx);
   a.out(Tuple{"local"});
   std::optional<Tuple> got;
   a.lookup(Pattern{"local"}, 4, sim::seconds(1), [&](auto t) { got = t; });
@@ -458,7 +458,7 @@ TEST(Peers, LocalHitAvoidsFlood) {
 TEST(Peers, DuplicateRequestsSuppressed) {
   World w;
   // Triangle: every node sees both others; floods arrive twice.
-  PeersNode a(w.net), b(w.net), c(w.net);
+  PeersNode a(w.tx), b(w.tx), c(w.tx);
   c.out(Tuple{"dup"});
   std::optional<Tuple> got;
   a.lookup(Pattern{"dup"}, 4, sim::seconds(1), [&](auto t) { got = t; });
@@ -470,7 +470,7 @@ TEST(Peers, DuplicateRequestsSuppressed) {
 
 TEST(Peers, DestructiveLookupRemoves) {
   World w;
-  PeersNode a(w.net), b(w.net);
+  PeersNode a(w.tx), b(w.tx);
   b.out(Tuple{"take"});
   std::optional<Tuple> got;
   a.lookup(Pattern{"take"}, 2, sim::seconds(1), [&](auto t) { got = t; },
@@ -486,7 +486,7 @@ TEST(Peers, FloodTrafficGrowsWithFanout) {
     World w;
     std::vector<std::unique_ptr<PeersNode>> nodes;
     for (std::size_t i = 0; i < n; ++i) {
-      nodes.push_back(std::make_unique<PeersNode>(w.net));
+      nodes.push_back(std::make_unique<PeersNode>(w.tx));
     }
     nodes[0]->lookup(Pattern{"missing"}, 3, sim::milliseconds(500),
                      [](auto) {});

@@ -38,7 +38,7 @@ struct CoreFixture : ::testing::Test {
   std::unique_ptr<Instance> make(const std::string& name = "t",
                                  Config cfg = {}) {
     cfg.name = name;
-    return std::make_unique<Instance>(w.net, cfg);
+    return std::make_unique<Instance>(w.tx, cfg);
   }
 };
 
@@ -216,7 +216,7 @@ TEST_F(CoreFixture, LosersTupleRemainsReadable) {
 TEST_F(CoreFixture, LeaseRefusalFailsOperationBeforeAnyWork) {
   Config cfg;
   cfg.name = "denied";
-  auto a = std::make_unique<Instance>(w.net, cfg,
+  auto a = std::make_unique<Instance>(w.tx, cfg,
                                       std::make_unique<lease::DenyAllPolicy>());
   bool cb_fired = false;
   EXPECT_FALSE(a->rd(Pattern{"x"}, [&](auto) { cb_fired = true; }));
@@ -228,7 +228,7 @@ TEST_F(CoreFixture, LeaseRefusalFailsOperationBeforeAnyWork) {
 
 TEST_F(CoreFixture, BlockedOpReturnsNothingWhenLeaseExpires) {
   auto a = std::make_unique<Instance>(
-      w.net, with_ttl(fast_config("a"), sim::seconds(2)));
+      w.tx, with_ttl(fast_config("a"), sim::seconds(2)));
   bool fired = false;
   std::optional<ReadResult> got;
   ASSERT_TRUE(a->in(Pattern{"never"}, [&](auto r) {
@@ -244,7 +244,7 @@ TEST_F(CoreFixture, BlockedOpReturnsNothingWhenLeaseExpires) {
 
 TEST_F(CoreFixture, OutTupleReclaimedAtLeaseExpiry) {
   auto a = std::make_unique<Instance>(
-      w.net, with_ttl(fast_config("a"), sim::seconds(1)));
+      w.tx, with_ttl(fast_config("a"), sim::seconds(1)));
   a->out(Tuple{"fleeting"});
   EXPECT_EQ(a->local_space().count_matches(Pattern{"fleeting"}), 1u);
   w.run_for(sim::seconds(2));
@@ -255,7 +255,7 @@ TEST_F(CoreFixture, ContactBudgetLimitsPropagation) {
   Config cfg = fast_config("a");
   cfg.lease_caps.default_contacts = 1;
   cfg.lease_caps.max_contacts = 1;
-  auto a = std::make_unique<Instance>(w.net, cfg);
+  auto a = std::make_unique<Instance>(w.tx, cfg);
   std::vector<std::unique_ptr<Instance>> others;
   for (int i = 0; i < 5; ++i) others.push_back(make("o" + std::to_string(i)));
   // Only the last holds the tuple; with a 1-contact budget we usually miss.
@@ -274,7 +274,7 @@ TEST_F(CoreFixture, ContactBudgetLimitsPropagation) {
 
 TEST_F(CoreFixture, EvalHaltedByShortLease) {
   auto a = std::make_unique<Instance>(
-      w.net, with_ttl(fast_config("a"), sim::seconds(1)));
+      w.tx, with_ttl(fast_config("a"), sim::seconds(1)));
   space::ActiveTuple at;
   at.add("slow");
   at.add([] { return tuples::Value(1); }, sim::seconds(10));
@@ -301,7 +301,7 @@ TEST_F(CoreFixture, LateArrivalSatisfiesBlockedOp) {
   // operation's lifetime participates.
   Config cfg = with_ttl(fast_config("a"), sim::seconds(20));
   cfg.propagate_to_late_arrivals = true;
-  auto a = std::make_unique<Instance>(w.net, cfg);
+  auto a = std::make_unique<Instance>(w.tx, cfg);
   std::optional<ReadResult> got;
   ASSERT_TRUE(a->rd(Pattern{"late"}, [&](auto r) { got = r; }));
   w.run_for(sim::seconds(1));
@@ -318,7 +318,7 @@ TEST_F(CoreFixture, PrototypeModeIgnoresLateArrivals) {
   // of the operation are included.
   Config cfg = with_ttl(fast_config("a"), sim::seconds(5));
   cfg.propagate_to_late_arrivals = false;
-  auto a = std::make_unique<Instance>(w.net, cfg);
+  auto a = std::make_unique<Instance>(w.tx, cfg);
   std::optional<ReadResult> got;
   bool fired = false;
   ASSERT_TRUE(a->rd(Pattern{"late"}, [&](auto r) {
@@ -363,12 +363,12 @@ TEST_F(CoreFixture, IsolatedLogicalSpacesDiffer) {
   // Figure 1(c): B sees A and C; A and C see only B.
   w.net.set_radio_range(10.0);
   Config cfg;
-  auto a = std::make_unique<Instance>(w.net, fast_config("A"), nullptr,
-                                      sim::Position{0, 0});
-  auto b = std::make_unique<Instance>(w.net, fast_config("B"), nullptr,
-                                      sim::Position{8, 0});
-  auto c = std::make_unique<Instance>(w.net, fast_config("C"), nullptr,
-                                      sim::Position{16, 0});
+  auto a = std::make_unique<Instance>(w.tx, fast_config("A"), nullptr,
+                                      transport::NodeOptions{0, 0});
+  auto b = std::make_unique<Instance>(w.tx, fast_config("B"), nullptr,
+                                      transport::NodeOptions{8, 0});
+  auto c = std::make_unique<Instance>(w.tx, fast_config("C"), nullptr,
+                                      transport::NodeOptions{16, 0});
   ASSERT_TRUE(w.net.visible(a->node(), b->node()));
   ASSERT_TRUE(w.net.visible(b->node(), c->node()));
   ASSERT_FALSE(w.net.visible(a->node(), c->node()));
@@ -397,10 +397,10 @@ TEST_F(CoreFixture, OutAtPlacesTupleRemotely) {
 
 TEST_F(CoreFixture, OutAtUnreachableAbandons) {
   w.net.set_radio_range(5.0);
-  auto a = std::make_unique<Instance>(w.net, fast_config("a"), nullptr,
-                                      sim::Position{0, 0});
-  auto b = std::make_unique<Instance>(w.net, fast_config("b"), nullptr,
-                                      sim::Position{100, 0});
+  auto a = std::make_unique<Instance>(w.tx, fast_config("a"), nullptr,
+                                      transport::NodeOptions{0, 0});
+  auto b = std::make_unique<Instance>(w.tx, fast_config("b"), nullptr,
+                                      transport::NodeOptions{100, 0});
   EXPECT_EQ(a->out_at(b->handle(), Tuple{"lost"}, UnavailablePolicy::kAbandon),
             Status::kUnavailable);
   w.run_for(sim::seconds(1));
@@ -409,10 +409,10 @@ TEST_F(CoreFixture, OutAtUnreachableAbandons) {
 
 TEST_F(CoreFixture, OutAtUnreachableFallsBackLocal) {
   w.net.set_radio_range(5.0);
-  auto a = std::make_unique<Instance>(w.net, fast_config("a"), nullptr,
-                                      sim::Position{0, 0});
-  auto b = std::make_unique<Instance>(w.net, fast_config("b"), nullptr,
-                                      sim::Position{100, 0});
+  auto a = std::make_unique<Instance>(w.tx, fast_config("a"), nullptr,
+                                      transport::NodeOptions{0, 0});
+  auto b = std::make_unique<Instance>(w.tx, fast_config("b"), nullptr,
+                                      transport::NodeOptions{100, 0});
   EXPECT_EQ(a->out_at(b->handle(), Tuple{"kept"}, UnavailablePolicy::kLocal),
             Status::kOk);
   EXPECT_EQ(a->local_space().count_matches(Pattern{"kept"}), 1u);
@@ -423,10 +423,10 @@ TEST_F(CoreFixture, OutAtRouteDeliversWhenVisibleAgain) {
   Config cfg = fast_config("a");
   cfg.lease_caps.default_ttl = sim::seconds(30);
   cfg.lease_caps.max_ttl = sim::seconds(30);
-  auto a = std::make_unique<Instance>(w.net, cfg, nullptr,
-                                      sim::Position{0, 0});
-  auto b = std::make_unique<Instance>(w.net, fast_config("b"), nullptr,
-                                      sim::Position{100, 0});
+  auto a = std::make_unique<Instance>(w.tx, cfg, nullptr,
+                                      transport::NodeOptions{0, 0});
+  auto b = std::make_unique<Instance>(w.tx, fast_config("b"), nullptr,
+                                      transport::NodeOptions{100, 0});
   EXPECT_EQ(a->out_at(b->handle(), Tuple{"routed"}, UnavailablePolicy::kRoute),
             Status::kQueued);
   w.run_for(sim::seconds(2));
@@ -517,7 +517,7 @@ TEST_F(CoreFixture, EnumerateHandlesFindsAllVisible) {
 TEST_F(CoreFixture, HandleCarriesPersistenceFlag) {
   Config cfg = fast_config("store");
   cfg.persistent_space = true;
-  auto a = std::make_unique<Instance>(w.net, cfg);
+  auto a = std::make_unique<Instance>(w.tx, cfg);
   auto b = make("b");
   // Key the pattern on the space name so b's own handle does not match.
   Pattern p{space::kHandleTag, any_int(), "store", tuples::any_bool()};
@@ -564,7 +564,7 @@ TEST_F(CoreFixture, WholeScenarioIsDeterministic) {
   auto run_scenario = [](std::uint64_t seed) {
     World w2(seed);
     Config ca = fast_config("a"), cb = fast_config("b");
-    Instance a(w2.net, ca), b(w2.net, cb);
+    Instance a(w2.tx, ca), b(w2.tx, cb);
     b.out(Tuple{"x", 1});
     std::int64_t result = -1;
     a.inp(Pattern{"x", any_int()},

@@ -32,8 +32,8 @@ Config cfg(const char* name) {
 
 TEST(Revocation, MidOperationRevocationReturnsNothing) {
   World w;
-  Instance a(w.net, cfg("a"));
-  Instance b(w.net, cfg("b"));
+  Instance a(w.tx, cfg("a"));
+  Instance b(w.tx, cfg("b"));
   bool fired = false;
   std::optional<ReadResult> got;
   ASSERT_TRUE(a.in(Pattern{"never"}, [&](auto r) {
@@ -55,7 +55,7 @@ TEST(Revocation, MidOperationRevocationReturnsNothing) {
 
 TEST(Revocation, RevokedStorageLeaseReclaimsTuple) {
   World w;
-  Instance a(w.net, cfg("a"));
+  Instance a(w.tx, cfg("a"));
   a.out(Tuple{"doomed"});
   EXPECT_EQ(a.local_space().count_matches(Pattern{"doomed"}), 1u);
   a.leases().revoke_all();
@@ -69,11 +69,11 @@ TEST(Budget, BlockingOpStopsContactingWhenBudgetSpent) {
   Config c = cfg("a");
   c.lease_caps.default_contacts = 2;
   c.lease_caps.max_contacts = 2;
-  Instance a(w.net, c);
+  Instance a(w.tx, c);
   std::vector<std::unique_ptr<Instance>> peers;
   for (int i = 0; i < 6; ++i) {
     peers.push_back(std::make_unique<Instance>(
-        w.net, cfg(("p" + std::to_string(i)).c_str())));
+        w.tx, cfg(("p" + std::to_string(i)).c_str())));
   }
   ASSERT_TRUE(a.rd(Pattern{"scarce"}, [](auto) {}));
   w.run_for(sim::seconds(2));
@@ -93,12 +93,12 @@ TEST(Budget, LateProducerBeyondBudgetStillMissed) {
   c.lease_caps.max_contacts = 1;
   c.lease_caps.default_ttl = sim::seconds(5);
   c.lease_caps.max_ttl = sim::seconds(5);
-  Instance a(w.net, c);
-  Instance first(w.net, cfg("first"));  // consumes the only contact
+  Instance a(w.tx, c);
+  Instance first(w.tx, cfg("first"));  // consumes the only contact
   bool got = false;
   ASSERT_TRUE(a.rd(Pattern{"late"}, [&](auto r) { got = r.has_value(); }));
   w.run_for(sim::seconds(1));
-  Instance late(w.net, cfg("late"));
+  Instance late(w.tx, cfg("late"));
   late.out(Tuple{"late"});
   w.run_for(sim::seconds(10));
   EXPECT_FALSE(got) << "the single contact went to `first`; the lease "
@@ -109,7 +109,7 @@ TEST(Budget, LateProducerBeyondBudgetStillMissed) {
 
 TEST(Robustness, GarbageAndForeignMessagesIgnored) {
   World w;
-  Instance a(w.net, cfg("a"));
+  Instance a(w.tx, cfg("a"));
   auto attacker = w.net.add_node();
   // Raw garbage.
   w.net.send(attacker, a.node(), sim::Payload{0xDE, 0xAD, 0xBE, 0xEF});
@@ -140,7 +140,7 @@ TEST(Robustness, GarbageAndForeignMessagesIgnored) {
 
 TEST(Robustness, TruncatedOpRequestIgnored) {
   World w;
-  Instance a(w.net, cfg("a"));
+  Instance a(w.tx, cfg("a"));
   auto attacker = w.net.add_node();
   net::Message bad;
   bad.type = net::kOpRequest;  // missing headers and pattern
@@ -155,8 +155,8 @@ TEST(Robustness, TruncatedOpRequestIgnored) {
 
 TEST(TentativeRecovery, OriginatorDiesBeforeConfirm) {
   World w;
-  auto taker = std::make_unique<Instance>(w.net, cfg("taker"));
-  Instance holder(w.net, cfg("holder"));
+  auto taker = std::make_unique<Instance>(w.tx, cfg("taker"));
+  Instance holder(w.tx, cfg("holder"));
   holder.out(Tuple{"prize"},
              lease::FlexibleRequester{lease::for_duration(sim::seconds(50))});
 
@@ -177,8 +177,8 @@ TEST(TentativeRecovery, OriginatorDiesBeforeConfirm) {
 
 TEST(Misc, RdDoesNotConsumeEvenRemotely) {
   World w;
-  Instance a(w.net, cfg("a"));
-  Instance b(w.net, cfg("b"));
+  Instance a(w.tx, cfg("a"));
+  Instance b(w.tx, cfg("b"));
   b.out(Tuple{"shared"},
         lease::FlexibleRequester{lease::for_duration(sim::seconds(50))});
   for (int i = 0; i < 5; ++i) {
@@ -190,8 +190,8 @@ TEST(Misc, RdDoesNotConsumeEvenRemotely) {
 
 TEST(Misc, ConcurrentOpsOnOneInstanceAreIndependent) {
   World w;
-  Instance a(w.net, cfg("a"));
-  Instance b(w.net, cfg("b"));
+  Instance a(w.tx, cfg("a"));
+  Instance b(w.tx, cfg("b"));
   int fired = 0;
   std::optional<ReadResult> r1, r2, r3;
   a.in(Pattern{"x", 1}, [&](auto r) { ++fired; r1 = r; });
@@ -212,7 +212,7 @@ TEST(Misc, ConcurrentOpsOnOneInstanceAreIndependent) {
 
 TEST(Misc, SelfDirectedOpsBehaveLikeLocal) {
   World w;
-  Instance a(w.net, cfg("a"));
+  Instance a(w.tx, cfg("a"));
   a.out(Tuple{"mine", 5});
   std::optional<ReadResult> got;
   ASSERT_TRUE(a.inp_at(a.handle(), Pattern{"mine", any_int()},
@@ -225,8 +225,8 @@ TEST(Misc, SelfDirectedOpsBehaveLikeLocal) {
 
 TEST(Misc, ZeroArityTuplesWorkEndToEnd) {
   World w;
-  Instance a(w.net, cfg("a"));
-  Instance b(w.net, cfg("b"));
+  Instance a(w.tx, cfg("a"));
+  Instance b(w.tx, cfg("b"));
   b.out(Tuple{});
   auto r = run_inp(a, Pattern{});
   ASSERT_TRUE(r.has_value());
@@ -235,8 +235,8 @@ TEST(Misc, ZeroArityTuplesWorkEndToEnd) {
 
 TEST(Misc, LargeTupleCrossesNetworkIntact) {
   World w;
-  Instance a(w.net, cfg("a"));
-  Instance b(w.net, cfg("b"));
+  Instance a(w.tx, cfg("a"));
+  Instance b(w.tx, cfg("b"));
   tuples::Blob big(64 * 1024, 0x5A);
   // The default byte budget (64 KiB) cannot cover the tuple + overhead:
   EXPECT_EQ(b.out(Tuple{"blob", tuples::Value(big)},
@@ -267,7 +267,7 @@ TEST(Misc, StatusToStringCoversAll) {
 
 TEST(Misc, OutRefusedWhenByteBudgetTooSmall) {
   World w;
-  Instance a(w.net, cfg("a"));
+  Instance a(w.tx, cfg("a"));
   lease::LeaseTerms tiny;
   tiny.max_bytes = 4;  // cannot cover any real tuple
   EXPECT_EQ(a.out(Tuple{"big", std::string(100, 'x')},

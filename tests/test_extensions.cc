@@ -84,8 +84,8 @@ TEST(EvalFn, HaltBeforeCompletion) {
 
 struct RemoteEvalFixture : ::testing::Test {
   World w;
-  Instance a{w.net, cfg("a")};
-  Instance b{w.net, cfg("b")};
+  Instance a{w.tx, cfg("a")};
+  Instance b{w.tx, cfg("b")};
 
   void SetUp() override {
     // Both ends know "square" — the registry models pre-shared code.
@@ -240,8 +240,8 @@ TEST_F(PersistFixture, RestartedInstanceScenario) {
   // available after it.
   core::Config kiosk_cfg = cfg("kiosk");
   kiosk_cfg.persistent_space = true;
-  auto kiosk = std::make_unique<Instance>(w.net, kiosk_cfg);
-  Instance visitor(w.net, cfg("visitor"));
+  auto kiosk = std::make_unique<Instance>(w.tx, kiosk_cfg);
+  Instance visitor(w.tx, cfg("visitor"));
   visitor.out_at(kiosk->handle(), Tuple{"note", "remember me"},
                  core::UnavailablePolicy::kAbandon);
   w.run_for(sim::seconds(1));
@@ -253,7 +253,7 @@ TEST_F(PersistFixture, RestartedInstanceScenario) {
   auto image = space::snapshot(kiosk->local_space(), w.queue.now());
   kiosk.reset();
   w.run_for(sim::seconds(1));
-  auto kiosk2 = std::make_unique<Instance>(w.net, kiosk_cfg);
+  auto kiosk2 = std::make_unique<Instance>(w.tx, kiosk_cfg);
   ASSERT_TRUE(space::restore(kiosk2->local_space(), image).has_value());
 
   auto r = core::run_rdp(visitor, Pattern{"note", tuples::any_string()});

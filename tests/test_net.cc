@@ -79,7 +79,7 @@ TEST(EndpointTest, DispatchesByType) {
   World w;
   auto a = w.net.add_node();
   auto b = w.net.add_node();
-  Endpoint ea(w.net, a), eb(w.net, b);
+  Endpoint ea(w.tx, a), eb(w.tx, b);
   int got1 = 0, got2 = 0, other = 0;
   eb.on(1, [&](sim::NodeId, const Message&) { ++got1; });
   eb.on(2, [&](sim::NodeId, const Message&) { ++got2; });
@@ -103,7 +103,7 @@ TEST(EndpointTest, GarbagePayloadCountsDecodeFailure) {
   World w;
   auto a = w.net.add_node();
   auto b = w.net.add_node();
-  Endpoint eb(w.net, b);
+  Endpoint eb(w.tx, b);
   w.net.send(a, b, sim::Payload{0xFF, 0xFF, 0x01});
   w.run_all();
   EXPECT_EQ(eb.stats().decode_failures, 1u);
@@ -114,7 +114,7 @@ TEST(EndpointTest, UnhandledTypeCounted) {
   World w;
   auto a = w.net.add_node();
   auto b = w.net.add_node();
-  Endpoint ea(w.net, a), eb(w.net, b);
+  Endpoint ea(w.tx, a), eb(w.tx, b);
   Message m;
   m.type = 77;
   ea.send(b, m);
@@ -127,7 +127,7 @@ TEST(EndpointTest, MulticastToGroup) {
   auto a = w.net.add_node();
   auto b = w.net.add_node();
   auto c = w.net.add_node();
-  Endpoint ea(w.net, a), eb(w.net, b), ec(w.net, c);
+  Endpoint ea(w.tx, a), eb(w.tx, b), ec(w.tx, c);
   eb.join_group(5);
   int b_got = 0, c_got = 0;
   eb.on(1, [&](sim::NodeId, const Message&) { ++b_got; });
@@ -280,7 +280,7 @@ struct DiscoveryFixture : ::testing::Test {
   Node make_node() {
     Node n;
     auto id = w.net.add_node();
-    n.ep = std::make_unique<Endpoint>(w.net, id);
+    n.ep = std::make_unique<Endpoint>(w.tx, id);
     n.cache = std::make_unique<ResponderCache>();
     n.disc = std::make_unique<Discovery>(*n.ep, w.queue, *n.cache);
     n.disc->enable_responder();
@@ -325,7 +325,7 @@ TEST_F(DiscoveryFixture, ConcurrentProbesCoalesce) {
 TEST_F(DiscoveryFixture, UnavailableResponderStaysSilent) {
   auto a = make_node();
   auto id = w.net.add_node();
-  Endpoint ep(w.net, id);
+  Endpoint ep(w.tx, id);
   ResponderCache cache;
   Discovery disc(ep, w.queue, cache);
   disc.enable_responder([] { return false; });  // declines all probes

@@ -245,7 +245,7 @@ struct ObsFixture : ::testing::Test {
                                  std::shared_ptr<obs::MemorySink> sink) {
     Config cfg;
     cfg.name = name;
-    auto inst = std::make_unique<Instance>(w.net, cfg);
+    auto inst = std::make_unique<Instance>(w.tx, cfg);
     inst->tracer().set_sink(std::move(sink));  // implies enabled
     return inst;
   }
@@ -400,7 +400,7 @@ TEST_F(ObsFixture, ConfigEnablesRingTracing) {
   cfg.name = "t";
   cfg.trace_ops = true;
   cfg.trace_capacity = 8;
-  Instance a(w.net, cfg);
+  Instance a(w.tx, cfg);
   EXPECT_TRUE(a.tracer().enabled());
   EXPECT_EQ(a.tracer().capacity(), 8u);
 

@@ -60,7 +60,7 @@ Trace run_workload(std::uint64_t seed, std::size_t n, int ops_per_node,
   std::vector<std::unique_ptr<Instance>> nodes;
   for (std::size_t i = 0; i < n; ++i) {
     nodes.push_back(std::make_unique<Instance>(
-        w.net, stress_config("s" + std::to_string(i))));
+        w.tx, stress_config("s" + std::to_string(i))));
   }
 
   Trace trace;
@@ -199,7 +199,7 @@ TEST_P(ContentionSweep, SingleTupleSingleWinner) {
   std::vector<std::unique_ptr<Instance>> nodes;
   for (std::size_t i = 0; i < kNodes; ++i) {
     nodes.push_back(std::make_unique<Instance>(
-        w.net, stress_config("c" + std::to_string(i))));
+        w.tx, stress_config("c" + std::to_string(i))));
   }
   for (int round = 0; round < 10; ++round) {
     nodes[round % kNodes]->out(Tuple{"prize", round});

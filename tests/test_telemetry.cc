@@ -215,8 +215,8 @@ std::string record_run(std::uint64_t seed) {
   ca.name = "a";
   Config cb;
   cb.name = "b";
-  auto a = std::make_unique<Instance>(w.net, ca);
-  auto b = std::make_unique<Instance>(w.net, cb);
+  auto a = std::make_unique<Instance>(w.tx, ca);
+  auto b = std::make_unique<Instance>(w.tx, cb);
 
   TimeSeriesRecorder rec(w.queue,
                          obs::SeriesOptions{sim::milliseconds(50), 16, 4, 8});
@@ -270,7 +270,7 @@ TEST(SeriesRecorder, WaiterBacklogProbeFiresInPartition) {
   Config cfg;
   cfg.name = "isolated";
   cfg.probe_thresholds.waiter_backlog = 4;
-  auto node = std::make_unique<Instance>(w.net, cfg);
+  auto node = std::make_unique<Instance>(w.tx, cfg);
 
   TimeSeriesRecorder rec(w.queue,
                          obs::SeriesOptions{sim::milliseconds(100)});

@@ -1,0 +1,462 @@
+// Transport conformance suite (ROADMAP item 1).
+//
+// Every test in TransportConformance runs twice — once over the
+// deterministic simulator backend, once over the multi-threaded loopback
+// backend — pinning down the contract protocol code relies on: per-sender
+// delivery order, group membership, timer firing/cancellation, and
+// delivery-after-close safety. The loopback-only suite then exercises the
+// concurrent backend's specifics (real delay, loss, worker parallelism) and
+// runs a keyed-probe differential: the same Tiamat workload executed over
+// both backends must produce identical results.
+//
+// Tests are composition roots: they may name sim:: and transport backends
+// directly. Protocol code may not (lint-enforced).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "sim/network.h"
+#include "tests/test_util.h"
+#include "transport/loopback_transport.h"
+#include "transport/sim_transport.h"
+#include "transport/transport.h"
+
+namespace tiamat {
+namespace {
+
+using transport::Duration;
+using transport::GroupId;
+using transport::kMillisecond;
+using transport::NodeId;
+using transport::Payload;
+using transport::Time;
+using transport::Transport;
+
+Payload bytes(std::initializer_list<std::uint8_t> v) { return Payload(v); }
+
+// ---------------------------------------------------------------------------
+// Backend harness: owns one transport of either flavour.
+
+enum class Backend { kSim, kLoopback };
+
+const char* to_string(Backend b) {
+  return b == Backend::kSim ? "sim" : "loopback";
+}
+
+class BackendHarness {
+ public:
+  explicit BackendHarness(Backend kind, Duration delivery_delay = 0)
+      : kind_(kind) {
+    if (kind == Backend::kSim) {
+      sim::LinkModel model = testing::World::quiet_links();
+      if (delivery_delay > 0) model.base_latency = delivery_delay;
+      world_ = std::make_unique<testing::World>(/*seed=*/7, model);
+    } else {
+      transport::LoopbackOptions opts;
+      opts.workers = 4;
+      opts.delivery_delay =
+          delivery_delay > 0 ? delivery_delay : 1 * kMillisecond;
+      loop_ = std::make_unique<transport::LoopbackTransport>(opts);
+    }
+  }
+
+  Transport& tx() {
+    return kind_ == Backend::kSim ? static_cast<Transport&>(world_->tx)
+                                  : static_cast<Transport&>(*loop_);
+  }
+
+  Backend kind() const { return kind_; }
+
+ private:
+  Backend kind_;
+  std::unique_ptr<testing::World> world_;
+  std::unique_ptr<transport::LoopbackTransport> loop_;
+};
+
+class TransportConformance : public ::testing::TestWithParam<Backend> {
+ protected:
+  BackendHarness harness_{GetParam()};
+  Transport& tx() { return harness_.tx(); }
+};
+
+// ---------------------------------------------------------------------------
+// Membership
+
+TEST_P(TransportConformance, AddRemoveNodeLifecycle) {
+  auto& t = tx();
+  const NodeId a = t.add_node();
+  EXPECT_NE(a, transport::kNoNode);
+  EXPECT_TRUE(t.node_exists(a));
+  EXPECT_TRUE(t.online(a));
+  t.remove_node(a);
+  EXPECT_FALSE(t.node_exists(a));
+}
+
+TEST_P(TransportConformance, VisibleFromExcludesSelfAndOffline) {
+  auto& t = tx();
+  const NodeId a = t.add_node();
+  const NodeId b = t.add_node();
+  const NodeId c = t.add_node();
+  t.set_online(c, false);
+  const std::vector<NodeId> from_a = t.visible_from(a);
+  EXPECT_EQ(from_a, std::vector<NodeId>{b});
+  EXPECT_TRUE(t.visible(a, b));
+  EXPECT_FALSE(t.visible(a, c));
+}
+
+// ---------------------------------------------------------------------------
+// Traffic
+
+TEST_P(TransportConformance, SendDeliversPayloadWithSender) {
+  auto& t = tx();
+  const NodeId a = t.add_node();
+  const NodeId b = t.add_node();
+  auto got = std::make_shared<std::optional<std::pair<NodeId, Payload>>>();
+  t.bind(b, [got](NodeId from, const Payload& p) { *got = {from, p}; });
+  t.send(a, b, bytes({1, 2, 3}));
+  ASSERT_TRUE(t.wait_until([&] { return got->has_value(); }));
+  EXPECT_EQ((*got)->first, a);
+  EXPECT_EQ((*got)->second, bytes({1, 2, 3}));
+}
+
+TEST_P(TransportConformance, PerSenderOrderIsPreserved) {
+  auto& t = tx();
+  const NodeId a = t.add_node();
+  const NodeId b = t.add_node();
+  constexpr int kN = 200;
+  auto seen = std::make_shared<std::vector<std::uint8_t>>();
+  t.bind(b, [seen](NodeId, const Payload& p) { seen->push_back(p.at(0)); });
+  for (int i = 0; i < kN; ++i) {
+    t.send(a, b, Payload{static_cast<std::uint8_t>(i)});
+  }
+  ASSERT_TRUE(t.wait_until([&] { return seen->size() == kN; }));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ((*seen)[i], static_cast<std::uint8_t>(i)) << "at " << i;
+  }
+}
+
+TEST_P(TransportConformance, MulticastHonoursJoinAndLeave) {
+  auto& t = tx();
+  constexpr GroupId kGroup = 40;
+  const NodeId a = t.add_node();
+  const NodeId b = t.add_node();
+  const NodeId c = t.add_node();
+  auto b_got = std::make_shared<int>(0);
+  auto c_got = std::make_shared<int>(0);
+  t.bind(b, [b_got](NodeId, const Payload&) { ++*b_got; });
+  t.bind(c, [c_got](NodeId, const Payload&) { ++*c_got; });
+  t.join_group(b, kGroup);
+  t.join_group(c, kGroup);
+  t.multicast(a, kGroup, bytes({1}));
+  ASSERT_TRUE(t.wait_until([&] { return *b_got == 1 && *c_got == 1; }));
+  t.leave_group(c, kGroup);
+  t.multicast(a, kGroup, bytes({2}));
+  ASSERT_TRUE(t.wait_until([&] { return *b_got == 2; }));
+  EXPECT_EQ(*c_got, 1);  // c left before the second round
+}
+
+TEST_P(TransportConformance, MulticastSkipsTheSender) {
+  auto& t = tx();
+  constexpr GroupId kGroup = 41;
+  const NodeId a = t.add_node();
+  const NodeId b = t.add_node();
+  auto a_got = std::make_shared<int>(0);
+  auto b_got = std::make_shared<int>(0);
+  t.bind(a, [a_got](NodeId, const Payload&) { ++*a_got; });
+  t.bind(b, [b_got](NodeId, const Payload&) { ++*b_got; });
+  t.join_group(a, kGroup);
+  t.join_group(b, kGroup);
+  t.multicast(a, kGroup, bytes({9}));
+  ASSERT_TRUE(t.wait_until([&] { return *b_got == 1; }));
+  EXPECT_EQ(*a_got, 0);
+}
+
+TEST_P(TransportConformance, OfflineNodeReceivesNothing) {
+  auto& t = tx();
+  const NodeId a = t.add_node();
+  const NodeId b = t.add_node();
+  auto got = std::make_shared<int>(0);
+  t.bind(b, [got](NodeId, const Payload&) { ++*got; });
+  t.set_online(b, false);
+  t.send(a, b, bytes({1}));  // dropped: b's radio is off
+  t.set_online(b, true);
+  t.send(a, b, bytes({2}));
+  ASSERT_TRUE(t.wait_until([&] { return *got >= 1; }));
+  EXPECT_EQ(*got, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+
+TEST_P(TransportConformance, TimerFiresOnceAtOrAfterDeadline) {
+  auto& t = tx();
+  const NodeId a = t.add_node();
+  auto& timers = t.timers(a);
+  const Time scheduled = t.now() + 5 * kMillisecond;
+  auto fired_at = std::make_shared<Time>(-1);
+  timers.schedule_at(scheduled, [&t, fired_at] { *fired_at = t.now(); });
+  ASSERT_TRUE(t.wait_until([&] { return *fired_at >= 0; }));
+  EXPECT_GE(*fired_at, scheduled);
+}
+
+TEST_P(TransportConformance, CancelledTimerNeverFires) {
+  auto& t = tx();
+  const NodeId a = t.add_node();
+  auto& timers = t.timers(a);
+  auto early = std::make_shared<bool>(false);
+  auto late = std::make_shared<bool>(false);
+  const auto id =
+      timers.schedule_after(5 * kMillisecond, [early] { *early = true; });
+  timers.schedule_after(20 * kMillisecond, [late] { *late = true; });
+  EXPECT_TRUE(timers.cancel(id));
+  EXPECT_FALSE(timers.cancel(id));  // second cancel is stale
+  ASSERT_TRUE(t.wait_until([&] { return *late; }));
+  EXPECT_FALSE(*early);
+}
+
+TEST_P(TransportConformance, TimerServiceSurvivesRemoveNode) {
+  auto& t = tx();
+  const NodeId a = t.add_node();
+  auto& timers = t.timers(a);
+  auto fired = std::make_shared<bool>(false);
+  const auto id =
+      timers.schedule_after(5 * kMillisecond, [fired] { *fired = true; });
+  t.remove_node(a);
+  // The handle outlives the node: cancelling a quiesced timer is safe, and
+  // the timer must not fire.
+  timers.cancel(id);
+  const NodeId b = t.add_node();
+  auto sentinel = std::make_shared<bool>(false);
+  t.timers(b).schedule_after(20 * kMillisecond, [sentinel] { *sentinel = true; });
+  ASSERT_TRUE(t.wait_until([&] { return *sentinel; }));
+  EXPECT_FALSE(*fired);
+}
+
+// ---------------------------------------------------------------------------
+// Teardown safety
+
+TEST_P(TransportConformance, DeliveryAfterCloseIsDropped) {
+  auto& t = tx();
+  const NodeId a = t.add_node();
+  const NodeId b = t.add_node();
+  auto got = std::make_shared<int>(0);
+  t.bind(b, [got](NodeId, const Payload&) { ++*got; });
+  // A burst in flight when the destination disappears must be dropped
+  // without touching the unbound handler (tsan cross-checks this suite).
+  for (int i = 0; i < 64; ++i) t.send(a, b, bytes({7}));
+  t.remove_node(b);
+  t.send(a, b, bytes({8}));  // post-removal send: silently dropped
+  const NodeId c = t.add_node();
+  auto sentinel = std::make_shared<bool>(false);
+  t.bind(c, [sentinel](NodeId, const Payload&) { *sentinel = true; });
+  t.send(a, c, bytes({9}));
+  ASSERT_TRUE(t.wait_until([&] { return *sentinel; }));
+}
+
+TEST_P(TransportConformance, RebindSwapsHandlerSafely) {
+  auto& t = tx();
+  const NodeId a = t.add_node();
+  const NodeId b = t.add_node();
+  auto first = std::make_shared<int>(0);
+  auto second = std::make_shared<int>(0);
+  t.bind(b, [first](NodeId, const Payload&) { ++*first; });
+  for (int i = 0; i < 32; ++i) t.send(a, b, bytes({1}));
+  // Rebinding synchronizes with in-flight invocations of the old handler.
+  t.bind(b, [second](NodeId, const Payload&) { ++*second; });
+  for (int i = 0; i < 32; ++i) t.send(a, b, bytes({2}));
+  ASSERT_TRUE(t.wait_until([&] { return *first + *second == 64; }));
+  EXPECT_EQ(*first + *second, 64);
+}
+
+TEST_P(TransportConformance, WaitUntilReportsTimeout) {
+  auto& t = tx();
+  (void)t.add_node();
+  EXPECT_FALSE(
+      t.wait_until([] { return false; }, /*max_wait=*/10 * kMillisecond));
+  EXPECT_TRUE(t.wait_until([] { return true; }, 10 * kMillisecond));
+}
+
+TEST_P(TransportConformance, ForkRngYieldsDistinctStreams) {
+  auto& t = tx();
+  transport::Rng r1 = t.fork_rng();
+  transport::Rng r2 = t.fork_rng();
+  bool diverged = false;
+  for (int i = 0; i < 16 && !diverged; ++i) {
+    diverged = r1.uniform(0, 1 << 30) != r2.uniform(0, 1 << 30);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TransportConformance,
+                         ::testing::Values(Backend::kSim, Backend::kLoopback),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           return to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Loopback-specific behaviour
+
+TEST(LoopbackTransport, DeliveryDelayIsRespected) {
+  transport::LoopbackOptions opts;
+  opts.delivery_delay = 20 * kMillisecond;
+  transport::LoopbackTransport t(opts);
+  const NodeId a = t.add_node();
+  const NodeId b = t.add_node();
+  auto arrived_at = std::make_shared<Time>(-1);
+  t.bind(b, [&t, arrived_at](NodeId, const Payload&) { *arrived_at = t.now(); });
+  const Time sent_at = t.now();
+  t.send(a, b, bytes({1}));
+  ASSERT_TRUE(t.wait_until([&] { return *arrived_at >= 0; }));
+  EXPECT_GE(*arrived_at - sent_at, 20 * kMillisecond);
+}
+
+TEST(LoopbackTransport, TotalLossDropsEverything) {
+  transport::LoopbackOptions opts;
+  opts.loss = 1.0;
+  transport::LoopbackTransport t(opts);
+  const NodeId a = t.add_node();
+  const NodeId b = t.add_node();
+  auto got = std::make_shared<int>(0);
+  t.bind(b, [got](NodeId, const Payload&) { ++*got; });
+  for (int i = 0; i < 32; ++i) t.send(a, b, bytes({1}));
+  EXPECT_FALSE(t.wait_until([&] { return *got > 0; }, 20 * kMillisecond));
+  const auto s = t.stats();
+  EXPECT_EQ(s.deliveries, 0u);
+  EXPECT_EQ(s.drops_loss, 32u);
+}
+
+TEST(LoopbackTransport, ManySendersAllDeliveredAcrossWorkers) {
+  transport::LoopbackOptions opts;
+  opts.workers = 4;
+  transport::LoopbackTransport t(opts);
+  constexpr int kSenders = 16;
+  constexpr int kEach = 50;
+  const NodeId sink = t.add_node();
+  auto got = std::make_shared<std::atomic<int>>(0);
+  t.bind(sink, [got](NodeId, const Payload&) { ++*got; });
+  std::vector<NodeId> senders;
+  for (int i = 0; i < kSenders; ++i) senders.push_back(t.add_node());
+  // Fan the sends out via each sender's own strand so enqueueing itself is
+  // concurrent across workers.
+  for (NodeId s : senders) {
+    t.post(s, [&t, s, sink] {
+      for (int i = 0; i < kEach; ++i) t.send(s, sink, Payload{1});
+    });
+  }
+  ASSERT_TRUE(t.wait_until([&] { return *got == kSenders * kEach; },
+                           10 * transport::kSecond));
+  EXPECT_EQ(t.stats().deliveries,
+            static_cast<std::uint64_t>(kSenders * kEach));
+}
+
+// ---------------------------------------------------------------------------
+// Keyed-probe differential: the same Tiamat workload over both backends
+// must produce the same answers. Three instances each publish tuples under
+// distinct keys; a fourth probes every key through the logical space
+// (rdp = keyed probe) and takes one of them (inp). The key -> value map a
+// backend produces is its behavioural fingerprint.
+
+std::map<std::string, std::int64_t> run_keyed_probe_workload(
+    Transport& t, Duration settle) {
+  core::Config cfg;
+  cfg.lease_caps.default_ttl = transport::seconds(5);
+  cfg.lease_caps.max_ttl = transport::seconds(5);
+  auto named = [&](const char* n) {
+    core::Config c = cfg;
+    c.name = n;
+    return c;
+  };
+  core::Instance alpha(t, named("alpha"));
+  core::Instance beta(t, named("beta"));
+  core::Instance gamma(t, named("gamma"));
+  core::Instance prober(t, named("prober"));
+
+  const std::map<std::string, std::int64_t> published{
+      {"k0", 10}, {"k1", 11}, {"k2", 12}, {"k3", 13}, {"k4", 14}, {"k5", 15}};
+  // Spread the keys across the three publishers; drive each out() on its
+  // owner's strand (required on the concurrent backend).
+  core::Instance* owners[] = {&alpha, &beta, &gamma};
+  auto outs_done = std::make_shared<std::atomic<int>>(0);
+  int idx = 0;
+  for (const auto& [key, value] : published) {
+    core::Instance* owner = owners[idx++ % 3];
+    const std::string k = key;
+    const std::int64_t v = value;
+    t.post(owner->node(), [owner, k, v, outs_done] {
+      owner->out(tuples::Tuple{"kv", k, v});
+      ++*outs_done;
+    });
+  }
+  if (!t.wait_until([&] { return *outs_done == 6; }, settle)) return {};
+
+  // Probe every key (plus one that was never published) from the fourth
+  // instance; collect what the logical space answers.
+  auto results =
+      std::make_shared<std::map<std::string, std::optional<std::int64_t>>>();
+  auto pending = std::make_shared<std::atomic<int>>(0);
+  std::vector<std::string> keys{"k0", "k1", "k2", "k3", "k4", "k5", "ghost"};
+  for (const std::string& key : keys) {
+    ++*pending;
+    t.post(prober.node(), [&prober, key, results, pending] {
+      const bool granted = prober.rdp(
+          tuples::Pattern{"kv", key, tuples::any_int()},
+          [key, results, pending](std::optional<core::ReadResult> r) {
+            (*results)[key] =
+                r ? std::optional<std::int64_t>(r->tuple[2].as_int())
+                  : std::nullopt;
+            --*pending;
+          });
+      if (!granted) {
+        (*results)[key] = std::nullopt;
+        --*pending;
+      }
+    });
+  }
+  if (!t.wait_until([&] { return *pending == 0; }, settle)) return {};
+
+  // Phase 2, sequenced after every probe resolved: one destructive keyed
+  // take — exactly one backend-independent removal.
+  ++*pending;
+  t.post(prober.node(), [&prober, results, pending] {
+    prober.inp(tuples::Pattern{"kv", std::string("k0"), tuples::any_int()},
+               [results, pending](std::optional<core::ReadResult> r) {
+                 (*results)["k0.taken"] =
+                     r ? std::optional<std::int64_t>(r->tuple[2].as_int())
+                       : std::nullopt;
+                 --*pending;
+               });
+  });
+  if (!t.wait_until([&] { return *pending == 0; }, settle)) return {};
+
+  std::map<std::string, std::int64_t> fingerprint;
+  for (const auto& [key, value] : *results) {
+    fingerprint[key] = value.value_or(-1);
+  }
+  return fingerprint;
+}
+
+TEST(TransportDifferential, KeyedProbesAgreeAcrossBackends) {
+  BackendHarness sim_h(Backend::kSim);
+  BackendHarness loop_h(Backend::kLoopback);
+  const auto sim_fp =
+      run_keyed_probe_workload(sim_h.tx(), 30 * transport::kSecond);
+  const auto loop_fp =
+      run_keyed_probe_workload(loop_h.tx(), 30 * transport::kSecond);
+  ASSERT_FALSE(sim_fp.empty()) << "sim workload did not complete";
+  ASSERT_FALSE(loop_fp.empty()) << "loopback workload did not complete";
+  EXPECT_EQ(sim_fp, loop_fp);
+  // And the answers are the published values.
+  EXPECT_EQ(sim_fp.at("k1"), 11);
+  EXPECT_EQ(sim_fp.at("ghost"), -1);
+  EXPECT_EQ(sim_fp.at("k0.taken"), 10);
+}
+
+}  // namespace
+}  // namespace tiamat

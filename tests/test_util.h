@@ -10,14 +10,16 @@
 #include "sim/event_queue.h"
 #include "sim/network.h"
 #include "sim/random.h"
+#include "transport/sim_transport.h"
 
 namespace tiamat::testing {
 
-/// A simulated world: queue + rng + network. Link jitter/loss are disabled
-/// by default so tests are easy to reason about; individual tests opt in.
+/// A simulated world: queue + rng + network, plus the Transport facade over
+/// it that protocol objects attach to. Link jitter/loss are disabled by
+/// default so tests are easy to reason about; individual tests opt in.
 struct World {
   explicit World(std::uint64_t seed = 42, sim::LinkModel model = quiet_links())
-      : rng(seed), net(queue, rng, model) {}
+      : rng(seed), net(queue, rng, model), tx(net) {}
 
   static sim::LinkModel quiet_links() {
     sim::LinkModel m;
@@ -34,6 +36,7 @@ struct World {
   sim::EventQueue queue;
   sim::Rng rng;
   sim::Network net;
+  transport::SimTransport tx;
 };
 
 }  // namespace tiamat::testing
