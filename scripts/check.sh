@@ -24,6 +24,20 @@ run_preset() {
 run_preset release
 if [[ "${1:-}" != "--release-only" ]]; then
   run_preset asan
+  # UB is a hard failure here (-fno-sanitize-recover=all), unlike the asan
+  # tree's recover-and-report UBSan: the same suite, but any UB aborts.
+  run_preset ubsan
+  # Thread Safety Analysis: compile-time proof of the transport locking
+  # discipline (DESIGN.md §11). clang-only — gated on availability like
+  # clang-tidy in lint.sh; CI installs clang and always runs it.
+  if command -v clang++ >/dev/null 2>&1; then
+    echo "== tsa: configure =="
+    cmake --preset tsa
+    echo "== tsa: build (-Werror=thread-safety) =="
+    cmake --build --preset tsa -j "${jobs}"
+  else
+    echo "== tsa: clang++ not installed; skipping thread-safety build =="
+  fi
   # Same suite again with the invariant checkpoints compiled in: every
   # mutation re-verifies the engine's structural invariants, and the
   # corruption-trap tests (test_audit) prove the auditor actually fires.

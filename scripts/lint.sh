@@ -14,7 +14,11 @@ cd "$(dirname "$0")/.."
 stage=${1:-all}
 
 if [[ "${stage}" != "--tidy-only" ]]; then
-  echo "== lint: custom determinism linter =="
+  echo "== lint: fixture self-tests (analyzer rules, pass + fail) =="
+  python3 tests/lint_fixtures/run_lint_fixtures.py
+  echo "== lint: custom determinism + concurrency analyzer =="
+  # The cross-TU rules read build/compile_commands.json when present; the
+  # release preset exports it. Without it they fall back to walking src/.
   python3 scripts/lint_tiamat.py
 fi
 

@@ -1,6 +1,5 @@
 #include "baselines/limbo.h"
 
-#include <set>
 
 namespace tiamat::baselines {
 

@@ -13,7 +13,6 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>

@@ -15,7 +15,6 @@
 
 #include <functional>
 #include <map>
-#include <optional>
 #include <string>
 
 #include "transport/types.h"

@@ -16,22 +16,24 @@
 // This file (and the rest of src/transport/) is the only place in the tree
 // where <thread>/<mutex>/<atomic>/steady_clock are permitted — the linter's
 // concurrency rule keeps the simulator and the protocol layers
-// deterministic by construction.
+// deterministic by construction. The locking discipline itself is proven at
+// compile time: every mutex here is a transport::Mutex carrying clang
+// Thread Safety Analysis attributes (transport/thread_annotations.h), and
+// the `tsa` preset builds with -Werror=thread-safety.
 
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <unordered_set>
 #include <vector>
 
+#include "transport/thread_annotations.h"
 #include "transport/transport.h"
 
 namespace tiamat::transport {
@@ -117,12 +119,17 @@ class LoopbackTransport final : public Transport {
   /// assigned to it, plus the execution lock that serializes its callbacks
   /// against fences (bind/remove_node) and wait_until.
   struct Worker {
-    std::mutex mu;  ///< guards inbox, live_timers, stop
-    std::condition_variable cv;
-    std::vector<Task> inbox;  ///< min-heap by (due, seq)
-    std::unordered_set<TimerId> live_timers;  ///< scheduled, not yet fired
-    bool stop = false;
-    std::mutex exec_mu;  ///< held for the duration of every callback
+    Mutex mu;
+    CondVar cv;  ///< signaled on enqueue and stop; waits under mu
+    std::vector<Task> inbox TIAMAT_GUARDED_BY(mu);  ///< min-heap by (due, seq)
+    /// Scheduled, not yet fired; a cancelled id's heap entry is a tombstone.
+    std::unordered_set<TimerId> live_timers TIAMAT_GUARDED_BY(mu);
+    bool stop TIAMAT_GUARDED_BY(mu) = false;
+    /// Held for the duration of every callback. Guards no data — it exists
+    /// so fence() and wait_until() can exclude themselves from the strand
+    /// (see the TIAMAT_EXCLUDES contracts on run_task/fence below). Never
+    /// nested with mu; run_task acquires it before the registry mu_.
+    Mutex exec_mu;
     std::thread thread;
   };
 
@@ -157,21 +164,28 @@ class LoopbackTransport final : public Transport {
                          std::function<void()> fn);
   bool cancel_timer(std::size_t worker, TimerId id);
   void enqueue(std::size_t worker, Task task);
-  void deliver_one(NodeId from, NodeId to, const Node& dest, Payload payload);
+  void deliver_one(NodeId from, NodeId to, const Node& dest, Payload payload)
+      TIAMAT_REQUIRES(mu_);
   void worker_loop(std::size_t index);
-  void run_task(Worker& w, Task& task);
-  /// Blocks until no callback of `node`'s strand is in flight. No-op when
+  /// Runs one task on its strand: exec_mu held across the callback, the
+  /// registry lock only for the closed/online/handler snapshot.
+  void run_task(Worker& w, Task& task) TIAMAT_EXCLUDES(w.mu, w.exec_mu, mu_);
+  /// Blocks until no callback of `w`'s strand is in flight. No-op when
   /// already on that strand's worker thread (the caller IS the callback).
-  void fence(std::size_t worker);
+  void fence(Worker& w) TIAMAT_EXCLUDES(w.exec_mu);
 
   const LoopbackOptions opts_;
   const std::chrono::steady_clock::time_point start_;
 
-  mutable std::mutex mu_;  ///< node registry + groups + stats + rng
-  std::map<NodeId, Node> nodes_;
-  NodeId next_node_ = 1;
-  Rng rng_;
-  Stats stats_;
+  /// Registry lock: node table + groups + stats ledger + rng. Lock order
+  /// is exec_mu -> mu_ -> Worker::mu (run_task snapshots the registry under
+  /// the strand's exec_mu; the send path enqueues into a worker inbox while
+  /// holding mu_); no path takes them in the reverse direction.
+  mutable Mutex mu_;
+  std::map<NodeId, Node> nodes_ TIAMAT_GUARDED_BY(mu_);
+  NodeId next_node_ TIAMAT_GUARDED_BY(mu_) = 1;
+  Rng rng_ TIAMAT_GUARDED_BY(mu_);
+  Stats stats_ TIAMAT_GUARDED_BY(mu_);
 
   std::atomic<std::uint64_t> next_seq_{1};
   std::atomic<TimerId> next_timer_{1};

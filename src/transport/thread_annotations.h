@@ -1,0 +1,145 @@
+// Clang Thread Safety Analysis vocabulary for the threaded transport
+// backends (DESIGN.md #11).
+//
+// The repo's concurrency story rests on one contract: protocol code is
+// single-strand (lint-enforced — the `concurrency` rule confines thread
+// machinery to src/transport/), and the transport backends that DO use
+// threads prove their locking discipline at compile time with clang's
+// -Wthread-safety. This header defines both halves of that proof:
+//
+//   1. TIAMAT_* attribute macros wrapping clang's thread-safety
+//      attributes. Under any non-clang compiler they expand to nothing, so
+//      the annotations are free documentation everywhere and a hard gate
+//      under `cmake --preset tsa` (clang, -Werror=thread-safety).
+//
+//   2. Mutex / MutexLock / CondVar — thin, zero-overhead wrappers over
+//      <mutex>/<condition_variable> that carry the capability attributes
+//      std::mutex itself lacks. Every mutex in src/ must be a
+//      transport::Mutex: the linter's `annotation-coverage` rule rejects
+//      raw std::mutex members (TSA cannot see through them) and requires
+//      every Mutex member to appear in at least one TIAMAT_GUARDED_BY /
+//      TIAMAT_REQUIRES / TIAMAT_ACQUIRE / TIAMAT_EXCLUDES relationship.
+//
+// Convention (see DESIGN.md #11 for the full catalog):
+//   - data members:   guarded data is declared `T x TIAMAT_GUARDED_BY(mu_);`
+//   - private helpers called under a lock: `TIAMAT_REQUIRES(mu_)`
+//   - functions that must NOT be entered with a lock held (they take it,
+//     or they block on work that does): `TIAMAT_EXCLUDES(mu_)`
+//   - the rare site TSA cannot model (a lock set whose cardinality is only
+//     known at run time) is marked TIAMAT_NO_THREAD_SAFETY_ANALYSIS with a
+//     comment and stays covered by the tsan preset.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define TIAMAT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define TIAMAT_THREAD_ANNOTATION(x)  // no-op: gcc/msvc have no TSA
+#endif
+
+/// Marks a type as a lockable capability; `x` names it in diagnostics.
+#define TIAMAT_CAPABILITY(x) TIAMAT_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define TIAMAT_SCOPED_CAPABILITY TIAMAT_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only while holding `x`.
+#define TIAMAT_GUARDED_BY(x) TIAMAT_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose *pointee* is guarded by `x`.
+#define TIAMAT_PT_GUARDED_BY(x) TIAMAT_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function precondition: the listed capabilities are held by the caller.
+#define TIAMAT_REQUIRES(...) \
+  TIAMAT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the listed capabilities (and does not release them).
+#define TIAMAT_ACQUIRE(...) \
+  TIAMAT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the listed capabilities.
+#define TIAMAT_RELEASE(...) \
+  TIAMAT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define TIAMAT_TRY_ACQUIRE(...) \
+  TIAMAT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function precondition: the listed capabilities are NOT held.
+#define TIAMAT_EXCLUDES(...) \
+  TIAMAT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Runtime assertion that the capability is held (no acquire/release).
+#define TIAMAT_ASSERT_CAPABILITY(x) \
+  TIAMAT_THREAD_ANNOTATION(assert_capability(x))
+/// Function returns a reference to the capability guarding its result.
+#define TIAMAT_RETURN_CAPABILITY(x) TIAMAT_THREAD_ANNOTATION(lock_returned(x))
+/// Lock-ordering documentation: this capability is acquired before `...`.
+#define TIAMAT_ACQUIRED_BEFORE(...) \
+  TIAMAT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+/// Lock-ordering documentation: this capability is acquired after `...`.
+#define TIAMAT_ACQUIRED_AFTER(...) \
+  TIAMAT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/// Escape hatch for the one shape TSA cannot model; always pair with a
+/// comment saying why, and keep the site under the tsan gate.
+#define TIAMAT_NO_THREAD_SAFETY_ANALYSIS \
+  TIAMAT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace tiamat::transport {
+
+/// std::mutex with the capability attribute TSA needs. Same size, same
+/// cost; the only addition is that -Wthread-safety now tracks it.
+class TIAMAT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() TIAMAT_ACQUIRE() { mu_.lock(); }
+  void unlock() TIAMAT_RELEASE() { mu_.unlock(); }
+  bool try_lock() TIAMAT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex (the annotated std::lock_guard).
+class TIAMAT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TIAMAT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() TIAMAT_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to Mutex. wait/wait_for atomically release and
+/// reacquire the mutex, so — exactly like std::condition_variable — the
+/// caller holds it across the call; TSA sees that through TIAMAT_REQUIRES.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) TIAMAT_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // ownership returns to the caller's scope
+  }
+
+  template <class Rep, class Period>
+  void wait_for(Mutex& mu, std::chrono::duration<Rep, Period> d)
+      TIAMAT_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait_for(lk, d);
+    lk.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tiamat::transport

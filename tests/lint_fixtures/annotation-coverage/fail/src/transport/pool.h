@@ -1,0 +1,6 @@
+#pragma once
+class Pool {
+ private:
+  std::mutex raw_mu_;
+  Mutex orphan_mu_;
+};

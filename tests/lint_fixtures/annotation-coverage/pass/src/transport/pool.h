@@ -1,0 +1,6 @@
+#pragma once
+class Pool {
+ private:
+  Mutex mu_;
+  int jobs_ TIAMAT_GUARDED_BY(mu_);
+};

@@ -1,0 +1,4 @@
+#pragma once
+#include <mutex>
+#include <thread>
+struct Pool {};

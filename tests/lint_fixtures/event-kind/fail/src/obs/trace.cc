@@ -1,0 +1,17 @@
+#include "obs/trace.h"
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kAlpha: return "alpha";
+    case EventKind::kBeta: return "beta";
+  }
+  return "?";
+}
+bool event_kind_from_string(const char* s, EventKind* out) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kBeta); ++k) {
+    if (to_string(static_cast<EventKind>(k)) == s) {
+      *out = static_cast<EventKind>(k);
+      return true;
+    }
+  }
+  return false;
+}

@@ -1,0 +1,8 @@
+#pragma once
+enum class EventKind {
+  kAlpha = 0,
+  kBeta,
+  kGamma,
+};
+const char* to_string(EventKind k);
+bool event_kind_from_string(const char* s, EventKind* out);

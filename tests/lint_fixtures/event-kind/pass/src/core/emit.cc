@@ -1,0 +1,3 @@
+#include "obs/trace.h"
+EventKind issue() { return EventKind::kAlpha; }
+EventKind settle() { return EventKind::kBeta; }

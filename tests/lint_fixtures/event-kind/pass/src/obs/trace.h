@@ -1,0 +1,7 @@
+#pragma once
+enum class EventKind {
+  kAlpha = 0,
+  kBeta,
+};
+const char* to_string(EventKind k);
+bool event_kind_from_string(const char* s, EventKind* out);

@@ -1,0 +1,4 @@
+#pragma once
+#include "c.h"
+#include "a/missing.h"
+struct B {};

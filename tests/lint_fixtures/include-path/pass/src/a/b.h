@@ -1,0 +1,3 @@
+#pragma once
+#include "a/c.h"
+struct B { C c; };

@@ -1,0 +1,3 @@
+#pragma once
+#include "tuple/t.h"
+struct Obs { T t; };

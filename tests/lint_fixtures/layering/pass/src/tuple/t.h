@@ -1,0 +1,3 @@
+#pragma once
+#include "obs/o.h"
+struct T { Obs o; };

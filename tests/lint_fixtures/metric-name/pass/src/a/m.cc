@@ -1,0 +1,5 @@
+#include <string>
+void record(int v, const std::string& prefix) {
+  reg.counter("ops.count")->add(v);
+  reg.counter(prefix + ".probe.count")->add(v);
+}

@@ -1,0 +1,3 @@
+#pragma once
+inline constexpr const char* kOpsCount = "ops.count";
+inline constexpr const char* kMatchProbeCount = "match.probe.count";

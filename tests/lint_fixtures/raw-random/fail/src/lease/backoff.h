@@ -1,0 +1,6 @@
+#pragma once
+#include <random>
+struct Backoff {
+  std::mt19937 gen_;
+  int jitter() { return static_cast<int>(gen_() % 7); }
+};

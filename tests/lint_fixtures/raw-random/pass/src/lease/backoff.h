@@ -1,0 +1,4 @@
+#pragma once
+struct Backoff {
+  int jitter(int seed) const { return (seed * 2654435761u) % 7; }
+};

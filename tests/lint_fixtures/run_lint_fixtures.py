@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/lint_tiamat.py: every rule, both directions.
+
+Layout (one directory per rule under tests/lint_fixtures/):
+
+    <rule>/
+      rules.txt     optional comma-separated rule filter; default: <rule>
+      pass/         a mini repo root (its own src/ tree, scripts/, ...)
+                    that must lint CLEAN under the filter
+      fail/         a mini root that must produce findings, every one of
+                    which matches a line of fail/expect.txt
+      fail/expect.txt   one line per required finding:
+                        <rule>[<space><substring of path or message>]
+
+The contract is exact in both directions: each expect.txt line must match
+at least one finding, and each finding must match at least one expect.txt
+line — so a rule that silently stops firing AND a rule that over-fires both
+break the suite. The linter was the only untested component in the repo;
+this runner is wired into scripts/lint.sh, ctest (LintFixtures) and CI.
+
+Stdlib-only by design (the container pins its python); exit 0 on success,
+1 on any fixture failure.
+"""
+
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+sys.path.insert(0, os.path.join(REPO, "scripts"))
+
+import lint_tiamat  # noqa: E402
+
+
+def read_rules(rule_dir, rule):
+    path = os.path.join(rule_dir, "rules.txt")
+    if os.path.exists(path):
+        with open(path, encoding="utf-8") as f:
+            return [r.strip() for r in f.read().split(",") if r.strip()]
+    return [rule]
+
+
+def run_linter(root, rules):
+    linter = lint_tiamat.Linter(root, active_rules=rules)
+    return linter.run()
+
+
+def load_expect(path):
+    expected = []
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            expected.append((parts[0], parts[1] if len(parts) > 1 else ""))
+    return expected
+
+
+def matches(finding, rule, substring):
+    if finding["rule"] != rule:
+        return False
+    hay = f"{finding['path']}:{finding['line']} {finding['message']}"
+    return substring in hay
+
+
+def main():
+    failures = []
+    checked = 0
+    rule_dirs = sorted(
+        d for d in os.listdir(HERE)
+        if os.path.isdir(os.path.join(HERE, d)))
+    known = set(lint_tiamat.RULES)
+
+    for rule in rule_dirs:
+        rule_dir = os.path.join(HERE, rule)
+        rules = read_rules(rule_dir, rule)
+        unknown = [r for r in rules if r not in known]
+        if unknown:
+            failures.append(f"{rule}: unknown rule(s) in filter: {unknown}")
+            continue
+
+        pass_root = os.path.join(rule_dir, "pass")
+        fail_root = os.path.join(rule_dir, "fail")
+        expect_path = os.path.join(fail_root, "expect.txt")
+        for required in (pass_root, fail_root, expect_path):
+            if not os.path.exists(required):
+                failures.append(f"{rule}: missing {required}")
+        if failures and failures[-1].startswith(f"{rule}:"):
+            continue
+
+        findings = run_linter(pass_root, rules)
+        if findings:
+            failures.append(
+                f"{rule}/pass: expected clean, got "
+                + "; ".join(f"{f['path']}:{f['line']} [{f['rule']}] "
+                            f"{f['message']}" for f in findings))
+        checked += 1
+
+        findings = run_linter(fail_root, rules)
+        expected = load_expect(expect_path)
+        if not expected:
+            failures.append(f"{rule}/fail: expect.txt is empty")
+        for erule, esub in expected:
+            if not any(matches(f, erule, esub) for f in findings):
+                failures.append(
+                    f"{rule}/fail: no finding matched expected "
+                    f"[{erule}] ...{esub!r}... (got: "
+                    + ("; ".join(f"[{f['rule']}] {f['path']}:{f['line']}"
+                                 for f in findings) or "none") + ")")
+        for f in findings:
+            if not any(matches(f, erule, esub) for erule, esub in expected):
+                failures.append(
+                    f"{rule}/fail: unexpected finding [{f['rule']}] "
+                    f"{f['path']}:{f['line']} {f['message']}")
+        checked += 1
+
+    missing = known - set(rule_dirs)
+    if missing:
+        failures.append(
+            "rules with no fixture directory: " + ", ".join(sorted(missing)))
+
+    if failures:
+        for f in failures:
+            print(f"FAIL {f}")
+        print(f"lint fixtures: {len(failures)} failure(s) "
+              f"across {checked} fixture roots")
+        return 1
+    print(f"lint fixtures: {checked} fixture roots OK "
+          f"({len(rule_dirs)} rules, pass+fail each)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,3 @@
+#pragma once
+#include "sim/network.h"
+struct SimTransport { Network net; };

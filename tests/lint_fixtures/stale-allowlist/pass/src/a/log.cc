@@ -1,0 +1,2 @@
+#include <iostream>
+void dump(int x) { std::cout << x; }

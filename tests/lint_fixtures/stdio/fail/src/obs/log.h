@@ -1,0 +1,5 @@
+#pragma once
+#include <iostream>
+struct Log {
+  void note(int x) { std::cout << x; }
+};

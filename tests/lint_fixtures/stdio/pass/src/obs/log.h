@@ -1,0 +1,6 @@
+#pragma once
+#include <string>
+struct Log {
+  std::string last;
+  void note(const std::string& s) { last = s; }
+};

@@ -1,0 +1,11 @@
+#pragma once
+#include "transport/transport.h"
+class Peer {
+ public:
+  void go() {
+    tx_.subscribe([this] { step(); });
+  }
+  void step();
+ private:
+  Transport& tx_;
+};

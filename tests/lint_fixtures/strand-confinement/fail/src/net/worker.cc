@@ -1,0 +1,5 @@
+#include "net/peer.h"
+void spawn() {
+  std::thread helper([] {});
+  helper.join();
+}

@@ -1,0 +1,11 @@
+#pragma once
+#include "transport/transport.h"
+class Peer {
+ public:
+  void start() {
+    tx_.post(1, [this] { step(); });
+  }
+  void step();
+ private:
+  Transport& tx_;
+};

@@ -1,0 +1,7 @@
+#pragma once
+#include <functional>
+struct Transport {
+  virtual ~Transport() = default;
+  virtual void post(int node, std::function<void()> fn) = 0;
+  virtual void bind(int node, std::function<void(int)> handler) = 0;
+};

@@ -1,0 +1,13 @@
+#pragma once
+#include <unordered_map>
+#include <unordered_set>
+struct Walk {
+  std::unordered_map<int, int> items_;
+  std::unordered_set<int> picks_;
+  int sum() const {
+    int s = 0;
+    for (const auto& kv : items_) s += kv.second;
+    return s;
+  }
+  int first() const { return *picks_.begin(); }
+};

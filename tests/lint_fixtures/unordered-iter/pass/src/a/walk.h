@@ -1,0 +1,10 @@
+#pragma once
+#include <map>
+struct Walk {
+  std::map<int, int> items_;
+  int sum() const {
+    int s = 0;
+    for (const auto& kv : items_) s += kv.second;
+    return s;
+  }
+};

@@ -1,0 +1,6 @@
+#pragma once
+#include <sstream>
+#include <unordered_map>
+struct U {
+  int m;
+};

@@ -1,0 +1,7 @@
+#pragma once
+#include <sstream>
+#include <unordered_map>
+struct U {
+  std::unordered_map<int, int> m;
+  std::ostringstream out;
+};

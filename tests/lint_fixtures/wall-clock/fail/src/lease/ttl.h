@@ -1,0 +1,7 @@
+#pragma once
+#include <chrono>
+struct Ttl {
+  long stamp() const {
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+  }
+};

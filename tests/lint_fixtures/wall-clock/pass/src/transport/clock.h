@@ -1,0 +1,9 @@
+#pragma once
+#include <chrono>
+struct LoopClock {
+  long now_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
