@@ -123,6 +123,9 @@ inline void export_net(const World& w, const std::string& scenario) {
   r.counter("net.deliveries", base).add(s.deliveries);
   r.counter("net.drops", base)
       .add(s.drops_invisible + s.drops_loss + s.drops_dead);
+  r.counter("net.drops.invisible", base).add(s.drops_invisible);
+  r.counter("net.drops.loss", base).add(s.drops_loss);
+  r.counter("net.drops.dead", base).add(s.drops_dead);
   r.counter("net.bytes", base).add(s.bytes_sent);
   std::map<sim::NodeId, sim::LinkStats> per_peer;
   for (const auto& [link, ls] : w.net.link_stats()) {

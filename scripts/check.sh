@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full local gate: lint, then build + test the release tree (the tier-1
 # configuration), the asan/ubsan tree, the invariant-audit tree, and the
-# transport suites under ThreadSanitizer.
+# transport suites under ThreadSanitizer; then the bench smokes and a
+# bounded chaos-fuzz pass (scripts/fuzz_smoke.sh).
 # Usage: scripts/check.sh [--release-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -101,5 +102,16 @@ cmp "${series_a}" "${series_b}" || {
   exit 1
 }
 build/src/apps/tiamat-inspect series "${series_a}" >/dev/null
+
+# Bounded chaos-fuzz pass (DESIGN.md §12): regression corpus, determinism,
+# and a handful of fresh schedules against the release binary; with the
+# audit tree built, also the inject->artifact->replay death path. A trap
+# leaves its minimized repro_<seed>.json in FUZZ_OUT_DIR.
+echo "== tiamat-fuzz: bounded chaos pass =="
+audit_fuzz=""
+if [[ "${1:-}" != "--release-only" ]]; then
+  audit_fuzz="build-audit/src/apps/tiamat-fuzz"
+fi
+scripts/fuzz_smoke.sh build/src/apps/tiamat-fuzz ${audit_fuzz}
 
 echo "All checks passed."

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Bounded chaos-fuzz pass (DESIGN.md §12): the shared driver behind
+# scripts/check.sh and the CI fuzz job.
+#
+#   scripts/fuzz_smoke.sh <tiamat-fuzz> [<audit-tiamat-fuzz>]
+#
+# Four phases:
+#   1. regression corpus — every seed in tests/fuzz_corpus/seeds.txt must
+#      run clean (schedules that once found bugs stay green forever);
+#   2. determinism — one seed run twice must print byte-identical
+#      summaries (the P4 contract: fingerprint included);
+#   3. fresh seeds — a small budget of new schedules per invocation
+#      (FUZZ_FRESH_SEED pins the base seed; defaults to the date so CI
+#      explores, while any trap's artifact pins the exact schedule);
+#   4. audit death path (if an audit-preset binary is given) — an injected
+#      index corruption must trap, write repro_<seed>.json, and --replay
+#      must reproduce it exactly.
+#
+# Trap artifacts land in FUZZ_OUT_DIR (default /tmp/tiamat-fuzz-smoke) for
+# CI upload. Exit 0 iff every phase passes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fuzz_bin=${1:?usage: fuzz_smoke.sh <tiamat-fuzz> [<audit-tiamat-fuzz>]}
+audit_bin=${2:-}
+out_dir=${FUZZ_OUT_DIR:-/tmp/tiamat-fuzz-smoke}
+fresh_seed=${FUZZ_FRESH_SEED:-$(date +%Y%m%d)}
+fresh_runs=${FUZZ_FRESH_RUNS:-4}
+mkdir -p "${out_dir}"
+
+echo "== fuzz: regression corpus =="
+while read -r seed profile; do
+  [[ -z "${seed}" || "${seed}" == \#* ]] && continue
+  "${fuzz_bin}" --seed "${seed}" --profile "${profile}" --runs 1 \
+    --out-dir "${out_dir}" || {
+    echo "fuzz corpus regression: seed ${seed} (${profile}) trapped" >&2
+    exit 1
+  }
+done < tests/fuzz_corpus/seeds.txt
+
+echo "== fuzz: determinism (same seed, byte-identical summary) =="
+a=$("${fuzz_bin}" --seed 7 --runs 1 --no-shrink --out-dir "${out_dir}")
+b=$("${fuzz_bin}" --seed 7 --runs 1 --no-shrink --out-dir "${out_dir}")
+[[ "${a}" == "${b}" ]] || {
+  echo "fuzz determinism: two runs of seed 7 differ:" >&2
+  diff <(echo "${a}") <(echo "${b}") >&2 || true
+  exit 1
+}
+
+echo "== fuzz: fresh seeds (base ${fresh_seed}, ${fresh_runs} runs) =="
+"${fuzz_bin}" --seed "${fresh_seed}" --runs "${fresh_runs}" \
+  --max-events 160 --out-dir "${out_dir}" || {
+  echo "fresh-seed fuzz trapped; minimized artifact in ${out_dir}" >&2
+  exit 1
+}
+
+if [[ -n "${audit_bin}" ]]; then
+  echo "== fuzz: audit death path (inject -> artifact -> replay) =="
+  if "${audit_bin}" --seed 42 --inject-corruption --runs 1 \
+      --out-dir "${out_dir}" > /dev/null; then
+    echo "audit death path: injected corruption did not trap" >&2
+    exit 1
+  fi
+  [[ -f "${out_dir}/repro_42.json" ]] || {
+    echo "audit death path: no repro_42.json written" >&2
+    exit 1
+  }
+  "${audit_bin}" --replay="${out_dir}/repro_42.json" || {
+    echo "audit death path: replay did not reproduce the trap" >&2
+    exit 1
+  }
+fi
+
+echo "fuzz smoke passed."

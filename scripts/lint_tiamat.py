@@ -39,7 +39,8 @@ Per-file rules (each finding is `path:line: [rule] message`):
                   src/transport -> {transport, sim};
                   src/obs -> {obs, transport, audit};
                   src/tuple -> {tuple, obs, transport, audit}.
-  sim-network     `#include "sim/network.h"` is confined to src/sim/ and the
+  sim-network     `#include "sim/network.h"` is confined to src/sim/, the
+                  fault-scripting chaos harness (src/chaos/), and the
                   SimTransport adapter (src/transport/sim_transport.h).
                   Everything else talks transport::Transport; naming the sim
                   directly would silently couple protocol code to one
@@ -128,11 +129,15 @@ LAYERS = {
     "tuple": ("tuple/", "obs/", "transport/", "audit/"),
 }
 
-# The one file outside src/sim/ that may include the simulator's network
-# header. Protocol code (src/net, src/core, src/lease, src/space, ...) must
-# reach the substrate exclusively through transport::Transport; scenario
-# scripting in tests/benches goes through SimTransport::network().
+# Who may include the simulator's network header. Protocol code (src/net,
+# src/core, src/lease, src/space, ...) must reach the substrate exclusively
+# through transport::Transport; scenario scripting in tests/benches goes
+# through SimTransport::network(). The chaos harness is scenario scripting
+# that lives in src/ (it drives partitions, loss bursts and mobility against
+# the simulated network directly), so src/chaos/ joins src/sim/ and the
+# SimTransport adapter on the allowed list.
 SIM_NETWORK_HEADER = "sim/network.h"
+SIM_NETWORK_SCRIPTING = ("src/sim/", "src/chaos/")
 SIM_NETWORK_ADAPTER = "src/transport/sim_transport.h"
 
 # Real-thread machinery is the loopback backend's implementation detail;
@@ -651,11 +656,11 @@ class Linter:
                                 f"{{{', '.join(allowed)}}}, got \"{inc}\"",
                                 line)
                 if (inc == SIM_NETWORK_HEADER
-                        and not rel.startswith("src/sim/")
+                        and not rel.startswith(SIM_NETWORK_SCRIPTING)
                         and rel != SIM_NETWORK_ADAPTER):
                     self.report(path, i, "sim-network",
                                 f'"{SIM_NETWORK_HEADER}" may only be '
-                                "included by src/sim/ and "
+                                f"included by {', '.join(SIM_NETWORK_SCRIPTING)} and "
                                 f"{SIM_NETWORK_ADAPTER}; go through "
                                 "transport::Transport", line)
             else:

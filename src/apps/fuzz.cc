@@ -1,0 +1,194 @@
+// tiamat-fuzz: the seeded chaos/fuzz harness (DESIGN.md §12, ROADMAP item 5).
+//
+//   tiamat-fuzz --seed N [--runs R] [--max-events E] [--instances I]
+//               [--profile mixed|calm|crashy|hostile|mobile]
+//               [--out-dir DIR] [--no-shrink] [--inject-corruption]
+//       Expands seeds N..N+R-1 into fault-schedule plans (chaos/plan.h),
+//       executes each against a fresh simulated fleet and checks the
+//       oracle bank continuously (chaos/oracles.h). On the first trap it
+//       writes repro_<seed>.json, delta-debugs the plan down to a
+//       near-minimal schedule (chaos/shrink.h), rewrites the artifact with
+//       the minimized plan, and exits 1.
+//
+//   tiamat-fuzz --replay=FILE
+//       Re-runs the plan embedded in a repro artifact and verifies the
+//       same oracle trips with byte-identical flight-recorder tails and
+//       the same run fingerprint (the determinism contract of
+//       chaos/runner.h). Exits 0 iff the trap reproduces exactly.
+//
+// Every run is a pure function of its seed: same seed, same build flags ⇒
+// same fingerprint, same trap, same artifact. kInjectCorruption events
+// only trap under the audit preset (-DTIAMAT_AUDIT=ON); elsewhere the
+// corruption hook is compiled out and the event is counted as skipped.
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "chaos/artifact.h"
+#include "chaos/plan.h"
+#include "chaos/runner.h"
+#include "chaos/shrink.h"
+
+namespace {
+
+using namespace tiamat::chaos;
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  tiamat-fuzz --seed N [--runs R] [--max-events E]\n"
+               "              [--instances I] [--profile P] [--out-dir DIR]\n"
+               "              [--no-shrink] [--inject-corruption]\n"
+               "  tiamat-fuzz --replay=FILE\n";
+  return 2;
+}
+
+struct Args {
+  std::uint64_t seed = 1;
+  std::uint64_t runs = 1;
+  Options options;
+  std::string out_dir = ".";
+  std::string replay;
+  bool shrink = true;
+};
+
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&](const std::string& flag) -> std::optional<std::string> {
+      if (a.rfind(flag + "=", 0) == 0) return a.substr(flag.size() + 1);
+      if (a == flag && i + 1 < argc) return std::string(argv[++i]);
+      return std::nullopt;
+    };
+    if (auto v = value("--seed")) {
+      auto n = parse_u64(*v);
+      if (!n) return std::nullopt;
+      args.seed = *n;
+    } else if (auto v = value("--runs")) {
+      auto n = parse_u64(*v);
+      if (!n || *n == 0) return std::nullopt;
+      args.runs = *n;
+    } else if (auto v = value("--max-events")) {
+      auto n = parse_u64(*v);
+      if (!n || *n == 0) return std::nullopt;
+      args.options.max_events = static_cast<std::uint32_t>(*n);
+    } else if (auto v = value("--instances")) {
+      auto n = parse_u64(*v);
+      if (!n) return std::nullopt;
+      args.options.instances = static_cast<std::uint32_t>(*n);
+    } else if (auto v = value("--profile")) {
+      args.options.profile = *v;
+    } else if (auto v = value("--out-dir")) {
+      args.out_dir = *v;
+    } else if (auto v = value("--replay")) {
+      args.replay = *v;
+    } else if (a == "--no-shrink") {
+      args.shrink = false;
+    } else if (a == "--inject-corruption") {
+      args.options.inject_corruption = true;
+    } else {
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+void print_summary(std::uint64_t seed, const RunResult& r) {
+  std::cout << "seed " << seed << ": events=" << r.executed
+            << " ops=" << r.ops << " faults=" << r.faults
+            << " callbacks=" << r.callbacks << " delivered=" << r.delivered
+            << " tainted=" << r.tainted << " fingerprint=" << std::hex
+            << r.fingerprint << std::dec
+            << (r.ok() ? " OK" : " TRAP[" + r.trap->oracle + "]") << "\n";
+}
+
+int replay(const std::string& path) {
+  auto artifact = Artifact::load(path);
+  if (!artifact) {
+    std::cerr << "tiamat-fuzz: cannot load artifact " << path << "\n";
+    return 2;
+  }
+  const RunResult r = Runner(artifact->plan).run();
+  print_summary(artifact->plan.seed, r);
+  if (!r.trap) {
+    std::cerr << "replay FAILED: no trap (artifact oracle "
+              << artifact->oracle << ")\n";
+    return 1;
+  }
+  if (r.trap->oracle != artifact->oracle) {
+    std::cerr << "replay FAILED: oracle " << r.trap->oracle
+              << " != artifact oracle " << artifact->oracle << "\n";
+    return 1;
+  }
+  if (r.fingerprint != artifact->fingerprint) {
+    std::cerr << "replay FAILED: fingerprint mismatch\n";
+    return 1;
+  }
+  if (r.trap->flight_tails != artifact->flight_tails) {
+    std::cerr << "replay FAILED: flight-recorder tails differ\n";
+    return 1;
+  }
+  std::cout << "replay OK: " << artifact->oracle
+            << " reproduced with identical fingerprint and tails\n";
+  return 0;
+}
+
+int fuzz(const Args& args) {
+  for (std::uint64_t r = 0; r < args.runs; ++r) {
+    const std::uint64_t seed = args.seed + r;
+    const Plan plan = generate_plan(seed, args.options);
+    const RunResult result = Runner(plan).run();
+    print_summary(seed, result);
+    if (result.ok()) continue;
+
+    Artifact artifact = Artifact::from_run(plan, result);
+    const std::string path =
+        args.out_dir + "/" + artifact_filename(seed);
+    if (!artifact.save(path)) {
+      std::cerr << "tiamat-fuzz: cannot write " << path << "\n";
+      return 2;
+    }
+    std::cout << "trap: " << result.trap->oracle << " at event "
+              << result.trap->event_index << " — wrote " << path << "\n";
+    std::cout << result.trap->detail << "\n";
+
+    if (args.shrink) {
+      const ShrinkResult shrunk = shrink(plan, result.trap->oracle);
+      if (shrunk.plan.events.size() < plan.events.size()) {
+        const RunResult again = Runner(shrunk.plan).run();
+        Artifact min_artifact = Artifact::from_run(shrunk.plan, again);
+        min_artifact.minimized = shrunk.minimal;
+        min_artifact.original_events = plan.events.size();
+        if (min_artifact.save(path)) {
+          std::cout << "shrunk " << plan.events.size() << " -> "
+                    << shrunk.plan.events.size() << " events ("
+                    << shrunk.runs << " runs"
+                    << (shrunk.minimal ? ", 1-minimal" : ", budget hit")
+                    << "); rewrote " << path << "\n";
+        }
+      }
+    }
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = parse_args(argc, argv);
+  if (!args) return usage();
+  if (!args->replay.empty()) return replay(args->replay);
+  return fuzz(*args);
+}

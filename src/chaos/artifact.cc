@@ -1,0 +1,104 @@
+#include "chaos/artifact.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace tiamat::chaos {
+
+using obs::json::Object;
+using obs::json::Value;
+
+Artifact Artifact::from_run(const Plan& plan, const RunResult& result) {
+  Artifact a;
+  a.plan = plan;
+  if (result.trap) {
+    a.oracle = result.trap->oracle;
+    a.detail = result.trap->detail;
+    a.at = result.trap->at;
+    a.event_index = result.trap->event_index;
+    a.flight_tails = result.trap->flight_tails;
+  }
+  a.fingerprint = result.fingerprint;
+  a.original_events = plan.events.size();
+  return a;
+}
+
+Value Artifact::to_json() const {
+  Object o{
+      {"version", Value(kVersion)},
+      {"oracle", Value(oracle)},
+      {"detail", Value(detail)},
+      {"at", Value(static_cast<std::int64_t>(at))},
+      {"event_index", Value(static_cast<std::int64_t>(event_index))},
+      {"fingerprint", Value(static_cast<std::int64_t>(fingerprint))},
+      {"minimized", Value(minimized)},
+      {"original_events", Value(static_cast<std::int64_t>(original_events))},
+      {"flight_tails", Value(flight_tails)},
+      {"plan", plan.to_json()},
+  };
+  return Value(std::move(o));
+}
+
+std::optional<Artifact> Artifact::from_json(const Value& v) {
+  const Value* version = v.find("version");
+  const Value* oracle = v.find("oracle");
+  const Value* plan = v.find("plan");
+  if (version == nullptr || !version->is_int() ||
+      version->as_int() != kVersion || oracle == nullptr ||
+      !oracle->is_string() || plan == nullptr) {
+    return std::nullopt;
+  }
+  auto p = Plan::from_json(*plan);
+  if (!p) return std::nullopt;
+  Artifact a;
+  a.plan = std::move(*p);
+  a.oracle = oracle->as_string();
+  if (const Value* d = v.find("detail"); d != nullptr && d->is_string()) {
+    a.detail = d->as_string();
+  }
+  if (const Value* at = v.find("at"); at != nullptr && at->is_int()) {
+    a.at = static_cast<std::uint64_t>(at->as_int());
+  }
+  if (const Value* e = v.find("event_index"); e != nullptr && e->is_int()) {
+    a.event_index = static_cast<std::uint64_t>(e->as_int());
+  }
+  if (const Value* f = v.find("fingerprint"); f != nullptr && f->is_int()) {
+    a.fingerprint = static_cast<std::uint64_t>(f->as_int());
+  }
+  if (const Value* m = v.find("minimized"); m != nullptr && m->is_bool()) {
+    a.minimized = m->as_bool();
+  }
+  if (const Value* oe = v.find("original_events");
+      oe != nullptr && oe->is_int()) {
+    a.original_events = static_cast<std::uint64_t>(oe->as_int());
+  }
+  if (const Value* t = v.find("flight_tails");
+      t != nullptr && t->is_string()) {
+    a.flight_tails = t->as_string();
+  }
+  return a;
+}
+
+bool Artifact::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::out | std::ios::trunc);
+  if (!f.good()) return false;
+  f << to_json().dump(2) << '\n';
+  return f.good();
+}
+
+std::optional<Artifact> Artifact::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.good()) return std::nullopt;
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  auto v = Value::parse(buf.str());
+  if (!v) return std::nullopt;
+  return from_json(*v);
+}
+
+std::string artifact_filename(std::uint64_t seed) {
+  return "repro_" + std::to_string(seed) + ".json";
+}
+
+}  // namespace tiamat::chaos

@@ -1,0 +1,48 @@
+// Repro artifacts: the self-contained JSON files (`repro_<seed>.json`) the
+// fuzz harness writes when an oracle trips. An artifact carries everything
+// a later `tiamat-fuzz --replay=<file>` needs to reproduce the trap with no
+// other state: the full materialised plan, the violated oracle, the run
+// fingerprint and the flight-recorder tails captured at the violation.
+// Replay re-runs the embedded plan and compares all three — the tails must
+// match byte-for-byte (the determinism contract of chaos/runner.h).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "chaos/plan.h"
+#include "chaos/runner.h"
+#include "obs/json.h"
+
+namespace tiamat::chaos {
+
+struct Artifact {
+  static constexpr std::int64_t kVersion = 1;
+
+  Plan plan;                   ///< minimized plan (or original if not shrunk)
+  std::string oracle;          ///< Trap::oracle
+  std::string detail;
+  std::uint64_t at = 0;        ///< Trap::at (virtual ticks)
+  std::uint64_t event_index = 0;
+  std::uint64_t fingerprint = 0;
+  std::string flight_tails;    ///< byte-compare target for --replay
+  bool minimized = false;
+  std::uint64_t original_events = 0;  ///< plan size before shrinking
+
+  /// Builds an artifact from a trapped run.
+  static Artifact from_run(const Plan& plan, const RunResult& result);
+
+  obs::json::Value to_json() const;
+  static std::optional<Artifact> from_json(const obs::json::Value& v);
+
+  /// Writes the artifact as indented JSON. Returns false on I/O failure.
+  bool save(const std::string& path) const;
+  static std::optional<Artifact> load(const std::string& path);
+};
+
+/// Canonical artifact name for a seed: "repro_<seed>.json".
+std::string artifact_filename(std::uint64_t seed);
+
+}  // namespace tiamat::chaos

@@ -1,0 +1,81 @@
+#include "chaos/oracles.h"
+
+namespace tiamat::chaos {
+
+std::vector<Finding> check_instance_quiescent(core::Instance& inst) {
+  std::vector<Finding> findings;
+  const std::string& name = inst.name();
+  if (const std::size_t n = inst.local_space().tentative_count(); n != 0) {
+    findings.push_back({"tentative-leak",
+                        name + ": " + std::to_string(n) +
+                            " tentative removal(s) never confirmed/released"});
+  }
+  if (const std::size_t n = inst.open_ops(); n != 0) {
+    findings.push_back({"termination",
+                        name + ": " + std::to_string(n) +
+                            " operation(s) outlived their leases"});
+  }
+  if (const std::size_t n = inst.serving_count(); n != 0) {
+    findings.push_back({"lease-accounting",
+                        name + ": " + std::to_string(n) +
+                            " serving entr(ies) leaked"});
+  }
+  if (const std::size_t n = inst.leases().active(); n != 0) {
+    findings.push_back({"lease-accounting",
+                        name + ": " + std::to_string(n) +
+                            " lease(s) still active after drain"});
+  }
+  return findings;
+}
+
+std::optional<Finding> check_exactly_once(
+    const std::multiset<std::int64_t>& taken) {
+  for (auto it = taken.begin(); it != taken.end();) {
+    const std::size_t copies = taken.count(*it);
+    if (copies > 1) {
+      return Finding{"exactly-once",
+                     "seq " + std::to_string(*it) + " delivered to " +
+                         std::to_string(copies) + " destructive takers"};
+    }
+    it = taken.upper_bound(*it);
+  }
+  return std::nullopt;
+}
+
+std::optional<Finding> check_termination(std::uint64_t callbacks,
+                                         std::uint64_t delivered,
+                                         std::uint64_t empty) {
+  if (callbacks == delivered + empty) return std::nullopt;
+  return Finding{"termination",
+                 "callbacks=" + std::to_string(callbacks) +
+                     " != delivered=" + std::to_string(delivered) +
+                     " + empty=" + std::to_string(empty)};
+}
+
+std::optional<Finding> check_keyed_differential(
+    const space::LocalTupleSpace& space,
+    const std::vector<tuples::Pattern>& probes) {
+  const std::vector<tuples::Tuple> all = space.snapshot();
+  for (const tuples::Pattern& p : probes) {
+    std::size_t scan = 0;
+    for (const tuples::Tuple& t : all) {
+      if (p.matches(t)) ++scan;
+    }
+    const std::size_t engine = space.count_matches(p);
+    if (engine != scan) {
+      return Finding{"differential",
+                     "count_matches(" + p.to_string() + ") = " +
+                         std::to_string(engine) + " but linear scan found " +
+                         std::to_string(scan)};
+    }
+    if (space.has_match(p) != (scan != 0)) {
+      return Finding{"differential",
+                     "has_match(" + p.to_string() +
+                         ") disagrees with linear scan (" +
+                         std::to_string(scan) + " match(es))"};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tiamat::chaos

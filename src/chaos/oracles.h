@@ -1,0 +1,70 @@
+// The oracle bank: the reusable invariant checks the chaos runner (and the
+// property-test suite) evaluate against a fleet of Instances.
+//
+// These are the P1-P5 properties of tests/test_properties.cc, factored out
+// so one implementation serves both the gtest stress sweeps and the fuzz
+// harness's per-step checking:
+//
+//   P1  exactly-once removal  (check_exactly_once)
+//   P2  no tentative leaks    (check_instance_quiescent)
+//   P3  termination           (check_termination + the runner's per-op
+//                              double-callback guard)
+//   P4  seed-determinism      (Runner fingerprints; compared by callers)
+//   P5  lease accounting      (check_instance_quiescent)
+//
+// plus the keyed-probe-vs-linear-scan differential the audit build samples
+// internally, exposed here as an on-demand oracle so non-audit builds get
+// the same cross-check on fuzz schedules.
+//
+// Every check returns findings instead of asserting, so the runner can turn
+// a violation into a repro artifact and tests can turn it into EXPECT
+// failures with context.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "space/local_space.h"
+#include "tuple/pattern.h"
+
+namespace tiamat::chaos {
+
+/// One violated invariant: which oracle tripped, and the specifics.
+struct Finding {
+  std::string oracle;  ///< "exactly-once" | "tentative-leak" | ...
+  std::string detail;
+};
+
+/// P2/P5: after the drain window an instance must be fully quiescent — no
+/// parked tentative removals, no open logical-space operations, no serving
+/// entries, no active leases. Non-const: lease introspection is mutating
+/// (expiry sweeps) on some paths.
+std::vector<Finding> check_instance_quiescent(core::Instance& inst);
+
+/// P1: no sequence id delivered to two destructive takers. `taken` is the
+/// run's ledger of delivered ids, with ids held by crashed incarnations
+/// already removed (a tuple re-served after its taker died mid-protocol is
+/// legitimate redelivery, not a violation).
+std::optional<Finding> check_exactly_once(
+    const std::multiset<std::int64_t>& taken);
+
+/// P3: every granted operation called back exactly once — the callback
+/// total must equal delivered + empty outcomes.
+std::optional<Finding> check_termination(std::uint64_t callbacks,
+                                         std::uint64_t delivered,
+                                         std::uint64_t empty);
+
+/// Differential check: for each probe, the engine's keyed counting path
+/// must agree with a linear scan over a space snapshot (count and
+/// has_match). This is the audit preset's sampled cross-check, runnable on
+/// demand in any build.
+std::optional<Finding> check_keyed_differential(
+    const space::LocalTupleSpace& space,
+    const std::vector<tuples::Pattern>& probes);
+
+}  // namespace tiamat::chaos

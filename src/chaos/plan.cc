@@ -1,0 +1,618 @@
+#include "chaos/plan.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/random.h"
+
+namespace tiamat::chaos {
+
+using obs::json::Array;
+using obs::json::Object;
+using obs::json::Value;
+using tuples::Field;
+using tuples::Pattern;
+using tuples::Tuple;
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kOut:
+      return "out";
+    case EventKind::kRead:
+      return "rd";
+    case EventKind::kReadNb:
+      return "rdp";
+    case EventKind::kTake:
+      return "in";
+    case EventKind::kTakeNb:
+      return "inp";
+    case EventKind::kEval:
+      return "eval";
+    case EventKind::kLossBurst:
+      return "loss_burst";
+    case EventKind::kPartition:
+      return "partition";
+    case EventKind::kHeal:
+      return "heal";
+    case EventKind::kCrash:
+      return "crash";
+    case EventKind::kRestart:
+      return "restart";
+    case EventKind::kLeaseStorm:
+      return "lease_storm";
+    case EventKind::kOffline:
+      return "offline";
+    case EventKind::kOnline:
+      return "online";
+    case EventKind::kMove:
+      return "move";
+    case EventKind::kInjectCorruption:
+      return "inject_corruption";
+  }
+  return "?";
+}
+
+std::optional<EventKind> event_kind_from_string(std::string_view name) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kInjectCorruption); ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+bool is_fault(EventKind k) {
+  return static_cast<int>(k) >= static_cast<int>(EventKind::kLossBurst);
+}
+
+// ---- Tuple/pattern JSON -----------------------------------------------------
+
+namespace {
+
+Value value_to_json(const tuples::Value& v) {
+  Object o;
+  switch (v.type()) {
+    case tuples::Type::kInt:
+      o.emplace_back("t", Value("i"));
+      o.emplace_back("v", Value(v.as_int()));
+      break;
+    case tuples::Type::kDouble:
+      o.emplace_back("t", Value("d"));
+      o.emplace_back("v", Value(v.as_double()));
+      break;
+    case tuples::Type::kBool:
+      o.emplace_back("t", Value("b"));
+      o.emplace_back("v", Value(v.as_bool()));
+      break;
+    case tuples::Type::kString:
+      o.emplace_back("t", Value("s"));
+      o.emplace_back("v", Value(v.as_string()));
+      break;
+    case tuples::Type::kBlob: {
+      o.emplace_back("t", Value("x"));
+      Array bytes;
+      for (std::uint8_t b : v.as_blob()) {
+        bytes.emplace_back(static_cast<std::int64_t>(b));
+      }
+      o.emplace_back("v", Value(std::move(bytes)));
+      break;
+    }
+  }
+  return Value(std::move(o));
+}
+
+std::optional<tuples::Value> value_from_json(const Value& j) {
+  const Value* t = j.find("t");
+  const Value* v = j.find("v");
+  if (t == nullptr || !t->is_string() || v == nullptr) return std::nullopt;
+  const std::string& tag = t->as_string();
+  if (tag == "i" && v->is_int()) return tuples::Value(v->as_int());
+  if (tag == "d" && v->is_number()) return tuples::Value(v->as_double());
+  if (tag == "b" && v->is_bool()) return tuples::Value(v->as_bool());
+  if (tag == "s" && v->is_string()) return tuples::Value(v->as_string());
+  if (tag == "x" && v->is_array()) {
+    tuples::Blob blob;
+    for (const Value& b : v->as_array()) {
+      if (!b.is_int()) return std::nullopt;
+      blob.push_back(static_cast<std::uint8_t>(b.as_int()));
+    }
+    return tuples::Value(std::move(blob));
+  }
+  return std::nullopt;
+}
+
+Value field_to_json(const Field& f) {
+  Object o;
+  switch (f.kind()) {
+    case Field::Kind::kActual:
+      o.emplace_back("k", Value("a"));
+      o.emplace_back("v", value_to_json(f.actual()));
+      break;
+    case Field::Kind::kFormal:
+      o.emplace_back("k", Value("f"));
+      o.emplace_back("t", Value(static_cast<int>(f.formal_type())));
+      break;
+    case Field::Kind::kWildcard:
+      o.emplace_back("k", Value("w"));
+      break;
+    case Field::Kind::kRange:
+      o.emplace_back("k", Value("r"));
+      o.emplace_back("lo", Value(f.range_lo()));
+      o.emplace_back("hi", Value(f.range_hi()));
+      break;
+    case Field::Kind::kPrefix:
+      o.emplace_back("k", Value("p"));
+      o.emplace_back("v", Value(f.prefix_str()));
+      break;
+  }
+  return Value(std::move(o));
+}
+
+std::optional<Field> field_from_json(const Value& j) {
+  const Value* k = j.find("k");
+  if (k == nullptr || !k->is_string()) return std::nullopt;
+  const std::string& tag = k->as_string();
+  if (tag == "a") {
+    const Value* v = j.find("v");
+    if (v == nullptr) return std::nullopt;
+    auto val = value_from_json(*v);
+    if (!val) return std::nullopt;
+    return Field(*val);
+  }
+  if (tag == "f") {
+    const Value* t = j.find("t");
+    if (t == nullptr || !t->is_int() || t->as_int() < 0 ||
+        t->as_int() > static_cast<int>(tuples::Type::kBlob)) {
+      return std::nullopt;
+    }
+    return Field::formal(static_cast<tuples::Type>(t->as_int()));
+  }
+  if (tag == "w") return Field::wildcard();
+  if (tag == "r") {
+    const Value* lo = j.find("lo");
+    const Value* hi = j.find("hi");
+    if (lo == nullptr || !lo->is_number() || hi == nullptr ||
+        !hi->is_number()) {
+      return std::nullopt;
+    }
+    return Field::range(lo->as_double(), hi->as_double());
+  }
+  if (tag == "p") {
+    const Value* v = j.find("v");
+    if (v == nullptr || !v->is_string()) return std::nullopt;
+    return Field::prefix(v->as_string());
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Value tuple_to_json(const Tuple& t) {
+  Array a;
+  for (const tuples::Value& v : t.fields()) a.push_back(value_to_json(v));
+  return Value(std::move(a));
+}
+
+std::optional<Tuple> tuple_from_json(const Value& v) {
+  if (!v.is_array()) return std::nullopt;
+  std::vector<tuples::Value> fields;
+  for (const Value& f : v.as_array()) {
+    auto val = value_from_json(f);
+    if (!val) return std::nullopt;
+    fields.push_back(std::move(*val));
+  }
+  return Tuple(std::move(fields));
+}
+
+Value pattern_to_json(const Pattern& p) {
+  Array a;
+  for (const Field& f : p.fields()) a.push_back(field_to_json(f));
+  return Value(std::move(a));
+}
+
+std::optional<Pattern> pattern_from_json(const Value& v) {
+  if (!v.is_array()) return std::nullopt;
+  std::vector<Field> fields;
+  for (const Value& f : v.as_array()) {
+    auto field = field_from_json(f);
+    if (!field) return std::nullopt;
+    fields.push_back(std::move(*field));
+  }
+  return Pattern(std::move(fields));
+}
+
+// ---- Event JSON -------------------------------------------------------------
+
+Value Event::to_json() const {
+  Object o;
+  o.emplace_back("kind", Value(to_string(kind)));
+  o.emplace_back("at_ms", Value(static_cast<std::int64_t>(at_ms)));
+  o.emplace_back("slot", Value(static_cast<std::int64_t>(slot)));
+  if (arg != 0) o.emplace_back("arg", Value(arg));
+  if (arg2 != 0) o.emplace_back("arg2", Value(arg2));
+  switch (kind) {
+    case EventKind::kOut:
+    case EventKind::kEval:
+      o.emplace_back("tuple", tuple_to_json(tuple));
+      break;
+    case EventKind::kRead:
+    case EventKind::kReadNb:
+    case EventKind::kTake:
+    case EventKind::kTakeNb:
+      o.emplace_back("pattern", pattern_to_json(pattern));
+      break;
+    default:
+      break;
+  }
+  return Value(std::move(o));
+}
+
+std::optional<Event> Event::from_json(const Value& v) {
+  const Value* kind = v.find("kind");
+  const Value* at = v.find("at_ms");
+  const Value* slot = v.find("slot");
+  if (kind == nullptr || !kind->is_string() || at == nullptr ||
+      !at->is_int() || slot == nullptr || !slot->is_int()) {
+    return std::nullopt;
+  }
+  auto k = event_kind_from_string(kind->as_string());
+  if (!k) return std::nullopt;
+  Event e;
+  e.kind = *k;
+  e.at_ms = static_cast<std::uint64_t>(at->as_int());
+  e.slot = static_cast<std::uint32_t>(slot->as_int());
+  if (const Value* a = v.find("arg"); a != nullptr && a->is_int()) {
+    e.arg = a->as_int();
+  }
+  if (const Value* a = v.find("arg2"); a != nullptr && a->is_int()) {
+    e.arg2 = a->as_int();
+  }
+  if (const Value* t = v.find("tuple")) {
+    auto tup = tuple_from_json(*t);
+    if (!tup) return std::nullopt;
+    e.tuple = std::move(*tup);
+  }
+  if (const Value* p = v.find("pattern")) {
+    auto pat = pattern_from_json(*p);
+    if (!pat) return std::nullopt;
+    e.pattern = std::move(*pat);
+  }
+  return e;
+}
+
+// ---- Options / Plan JSON ----------------------------------------------------
+
+Value Options::to_json() const {
+  Object o;
+  o.emplace_back("instances", Value(static_cast<std::int64_t>(instances)));
+  o.emplace_back("max_events", Value(static_cast<std::int64_t>(max_events)));
+  o.emplace_back("profile", Value(profile));
+  o.emplace_back("key_universe",
+                 Value(static_cast<std::int64_t>(key_universe)));
+  o.emplace_back("zipf_s", Value(zipf_s));
+  o.emplace_back("horizon_ms", Value(static_cast<std::int64_t>(horizon_ms)));
+  o.emplace_back("drain_ms", Value(static_cast<std::int64_t>(drain_ms)));
+  o.emplace_back("inject_corruption", Value(inject_corruption));
+  return Value(std::move(o));
+}
+
+std::optional<Options> Options::from_json(const Value& v) {
+  if (!v.is_object()) return std::nullopt;
+  Options o;
+  const auto read_u32 = [&v](const char* key, std::uint32_t& out) {
+    if (const Value* f = v.find(key); f != nullptr && f->is_int()) {
+      out = static_cast<std::uint32_t>(f->as_int());
+    }
+  };
+  const auto read_u64 = [&v](const char* key, std::uint64_t& out) {
+    if (const Value* f = v.find(key); f != nullptr && f->is_int()) {
+      out = static_cast<std::uint64_t>(f->as_int());
+    }
+  };
+  read_u32("instances", o.instances);
+  read_u32("max_events", o.max_events);
+  read_u32("key_universe", o.key_universe);
+  read_u64("horizon_ms", o.horizon_ms);
+  read_u64("drain_ms", o.drain_ms);
+  if (const Value* f = v.find("profile"); f != nullptr && f->is_string()) {
+    o.profile = f->as_string();
+  }
+  if (const Value* f = v.find("zipf_s"); f != nullptr && f->is_number()) {
+    o.zipf_s = f->as_double();
+  }
+  if (const Value* f = v.find("inject_corruption");
+      f != nullptr && f->is_bool()) {
+    o.inject_corruption = f->as_bool();
+  }
+  return o;
+}
+
+Value Plan::to_json() const {
+  Object o;
+  o.emplace_back("seed", Value(static_cast<std::int64_t>(seed)));
+  o.emplace_back("options", options.to_json());
+  Array evs;
+  for (const Event& e : events) evs.push_back(e.to_json());
+  o.emplace_back("events", Value(std::move(evs)));
+  return Value(std::move(o));
+}
+
+std::optional<Plan> Plan::from_json(const Value& v) {
+  const Value* seed = v.find("seed");
+  const Value* options = v.find("options");
+  const Value* events = v.find("events");
+  if (seed == nullptr || !seed->is_int() || options == nullptr ||
+      events == nullptr || !events->is_array()) {
+    return std::nullopt;
+  }
+  auto opts = Options::from_json(*options);
+  if (!opts) return std::nullopt;
+  Plan p;
+  p.seed = static_cast<std::uint64_t>(seed->as_int());
+  p.options = std::move(*opts);
+  for (const Value& e : events->as_array()) {
+    auto ev = Event::from_json(e);
+    if (!ev) return std::nullopt;
+    p.events.push_back(std::move(*ev));
+  }
+  return p;
+}
+
+// ---- Generation -------------------------------------------------------------
+
+namespace {
+
+/// Zipf(s) sampler over [0, n): precomputed CDF + one uniform draw, so key
+/// popularity is head-heavy the way real tuple traffic is.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double s) {
+    cdf_.reserve(n);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += 1.0 / power(static_cast<double>(i + 1), s);
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::size_t sample(sim::Rng& rng) const {
+    const double r = rng.real();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), r);
+    return it == cdf_.end() ? cdf_.size() - 1
+                            : static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  // std::pow is not guaranteed bit-identical across libms; the exponents
+  // here are small, so an exp/log-free ladder keeps plans portable.
+  static double power(double base, double exp) {
+    double out = 1.0;
+    int whole = static_cast<int>(exp);
+    for (int i = 0; i < whole; ++i) out *= base;
+    // Fractional part via sqrt ladder (IEEE-exact): 8 bits of exponent.
+    double frac = exp - whole;
+    double root = base;
+    for (int bit = 0; bit < 8; ++bit) {
+      root = sqrt_newton(root);
+      frac *= 2.0;
+      if (frac >= 1.0) {
+        out *= root;
+        frac -= 1.0;
+      }
+    }
+    return out;
+  }
+
+  static double sqrt_newton(double x) {
+    if (x <= 0.0) return 0.0;
+    double g = x > 1.0 ? x : 1.0;
+    for (int i = 0; i < 32; ++i) g = 0.5 * (g + x / g);
+    return g;
+  }
+
+  std::vector<double> cdf_;
+};
+
+/// Per-profile generation weights.
+struct Weights {
+  double fault = 0.14;    ///< P(entry is a fault, not an op)
+  double hostile = 0.08;  ///< P(adversarial tuple/pattern shape)
+  // Fault-kind mix (relative weights; normalised at draw time).
+  double loss = 0.22;
+  double partition = 0.12;
+  double heal = 0.10;
+  double crash = 0.16;
+  double lease_storm = 0.14;
+  double offline = 0.18;
+  double move = 0.08;
+};
+
+Weights weights_for(const std::string& profile) {
+  Weights w;
+  if (profile == "calm") {
+    w.fault = 0.05;
+    w.hostile = 0.03;
+  } else if (profile == "crashy") {
+    w.fault = 0.25;
+    w.crash = 0.40;
+    w.offline = 0.10;
+  } else if (profile == "hostile") {
+    w.fault = 0.10;
+    w.hostile = 0.35;
+  } else if (profile == "mobile") {
+    w.fault = 0.20;
+    w.move = 0.35;
+    w.offline = 0.25;
+    w.crash = 0.08;
+  }
+  return w;
+}
+
+/// First-field key: Zipf-ranked strings, or (hostile) ints shaped to share
+/// low-order hash bits so they pile into the same index buckets.
+tuples::Value make_key(sim::Rng& rng, const Zipf& zipf, const Weights& w) {
+  const std::size_t k = zipf.sample(rng);
+  if (rng.chance(w.hostile)) {
+    return tuples::Value(static_cast<std::int64_t>((k << 16) | 0x5));
+  }
+  return tuples::Value("key" + std::to_string(k));
+}
+
+tuples::Value pad_value(sim::Rng& rng, std::size_t i) {
+  switch (rng.index(5)) {
+    case 0:
+      return tuples::Value(static_cast<std::int64_t>(i));
+    case 1:
+      return tuples::Value("pad" + std::to_string(i));
+    case 2:
+      return tuples::Value(0.5 * static_cast<double>(i));
+    case 3:
+      return tuples::Value(i % 2 == 0);
+    default:
+      return tuples::Value(tuples::Blob{0xde, 0xad, static_cast<std::uint8_t>(i)});
+  }
+}
+
+/// {key, seq, padding...}: seq (field 1) is the plan-unique int the
+/// exactly-once oracle ledgers. Hostile shapes: zero arity, huge arity.
+Tuple make_tuple(sim::Rng& rng, const Zipf& zipf, const Weights& w,
+                 std::int64_t& next_seq) {
+  const double r = rng.real();
+  if (r < w.hostile * 0.20) return Tuple{};  // zero-arity probe
+  Tuple t;
+  t.push_back(make_key(rng, zipf, w));
+  t.push_back(tuples::Value(next_seq++));
+  const std::size_t pad = r < w.hostile * 0.60
+                              ? 6 + rng.index(34)  // huge arity, capped at 40
+                              : rng.index(3);
+  for (std::size_t i = 0; i < pad; ++i) t.push_back(pad_value(rng, i));
+  return t;
+}
+
+/// Keyed {key, any_int, wildcards...} probes (plus unkeyed and zero-arity
+/// shapes) whose arities line up with make_tuple's 0-2 padding fields.
+Pattern make_pattern(sim::Rng& rng, const Zipf& zipf, const Weights& w) {
+  const double r = rng.real();
+  if (r < w.hostile * 0.15) return Pattern{};  // zero-arity probe
+  std::vector<Field> fields;
+  if (rng.chance(0.15)) {
+    fields.emplace_back(tuples::any_string());  // unkeyed: scan path
+  } else {
+    fields.emplace_back(Field(make_key(rng, zipf, w)));
+  }
+  fields.emplace_back(tuples::any_int());
+  const std::size_t tail = rng.index(3);
+  for (std::size_t i = 0; i < tail; ++i) {
+    fields.emplace_back(tuples::any());
+  }
+  return Pattern(std::move(fields));
+}
+
+}  // namespace
+
+Plan generate_plan(std::uint64_t seed, Options options) {
+  options.instances = std::clamp<std::uint32_t>(options.instances, 2, 32);
+  if (options.max_events == 0) options.max_events = 1;
+  if (options.key_universe == 0) options.key_universe = 1;
+  if (options.horizon_ms == 0) options.horizon_ms = 1000;
+
+  Plan plan;
+  plan.seed = seed;
+  plan.options = options;
+
+  sim::Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  const Weights w = weights_for(options.profile);
+  const Zipf zipf(options.key_universe, options.zipf_s);
+  const std::uint32_t n = options.instances;
+  std::int64_t next_seq = 1;
+
+  for (std::uint32_t i = 0; i < options.max_events; ++i) {
+    Event e;
+    e.at_ms = static_cast<std::uint64_t>(
+        rng.uniform(0, static_cast<std::int64_t>(options.horizon_ms) - 1));
+    e.slot = static_cast<std::uint32_t>(rng.index(n));
+
+    if (rng.chance(w.fault)) {
+      const double total = w.loss + w.partition + w.heal + w.crash +
+                           w.lease_storm + w.offline + w.move;
+      double pick = rng.real(0.0, total);
+      if ((pick -= w.loss) < 0) {
+        e.kind = EventKind::kLossBurst;
+        e.arg = rng.uniform(200, 3000);   // duration (ms)
+        e.arg2 = rng.uniform(100, 900);   // loss (permille)
+      } else if ((pick -= w.partition) < 0) {
+        e.kind = EventKind::kPartition;
+        e.arg = rng.uniform(1, n - 1);    // pivot
+      } else if ((pick -= w.heal) < 0) {
+        e.kind = EventKind::kHeal;
+      } else if ((pick -= w.crash) < 0) {
+        e.kind = EventKind::kCrash;
+        if (rng.chance(0.75)) {
+          Event restart;
+          restart.kind = EventKind::kRestart;
+          restart.slot = e.slot;
+          restart.at_ms = e.at_ms + static_cast<std::uint64_t>(
+                                        rng.uniform(500, 5000));
+          if (restart.at_ms < options.horizon_ms) {
+            plan.events.push_back(restart);
+          }
+        }
+      } else if ((pick -= w.lease_storm) < 0) {
+        e.kind = EventKind::kLeaseStorm;
+      } else if ((pick -= w.offline) < 0) {
+        e.kind = EventKind::kOffline;
+        Event online;
+        online.kind = EventKind::kOnline;
+        online.slot = e.slot;
+        online.at_ms = e.at_ms + static_cast<std::uint64_t>(
+                                     rng.uniform(300, 4000));
+        if (online.at_ms < options.horizon_ms) plan.events.push_back(online);
+      } else {
+        e.kind = EventKind::kMove;
+        e.arg = rng.uniform(0, 200);   // x
+        e.arg2 = rng.uniform(0, 200);  // y
+      }
+    } else {
+      const double r = rng.real();
+      if (r < 0.42) {
+        e.kind = EventKind::kOut;
+        e.tuple = make_tuple(rng, zipf, w, next_seq);
+      } else if (r < 0.60) {
+        e.kind = EventKind::kTake;
+        e.pattern = make_pattern(rng, zipf, w);
+      } else if (r < 0.72) {
+        e.kind = EventKind::kTakeNb;
+        e.pattern = make_pattern(rng, zipf, w);
+      } else if (r < 0.80) {
+        e.kind = EventKind::kRead;
+        e.pattern = make_pattern(rng, zipf, w);
+      } else if (r < 0.88) {
+        e.kind = EventKind::kReadNb;
+        e.pattern = make_pattern(rng, zipf, w);
+      } else {
+        e.kind = EventKind::kEval;
+        e.tuple = make_tuple(rng, zipf, w, next_seq);
+        e.arg = rng.uniform(1, 40);  // per-field compute cost (ms)
+      }
+    }
+    plan.events.push_back(e);
+  }
+
+  if (options.inject_corruption) {
+    // Mid-run, after the head of the op stream has stored keyed tuples the
+    // corruption hook can bite on.
+    Event e;
+    e.kind = EventKind::kInjectCorruption;
+    e.at_ms = options.horizon_ms / 2;
+    e.slot = 0;
+    plan.events.push_back(e);
+  }
+
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+  return plan;
+}
+
+}  // namespace tiamat::chaos

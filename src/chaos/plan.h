@@ -1,0 +1,113 @@
+// Chaos plans: the seeded fault-and-operation schedules the fuzz harness
+// executes (ROADMAP item 5, DESIGN.md §12).
+//
+// A Plan is the *entire* input of a fuzz run: one uint64 seed expands — via
+// generate_plan and nothing else — into a flat, time-sorted list of events
+// mixing an application-shaped op stream (Zipf-keyed out/in/rd/eval over a
+// fleet of Instances) with injected hostility (loss bursts, partitions,
+// crash/restart, lease-revocation storms, mobility, adversarial tuple
+// shapes). Everything a run needs is materialised here at generation time —
+// concrete tuples, concrete patterns, concrete fault parameters — so that a
+// plan replays bit-for-bit, survives JSON round-trips into repro artifacts,
+// and shrinks by plain event-list subsetting (delta debugging needs events
+// to be droppable without re-deriving the rest of the schedule).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "tuple/pattern.h"
+#include "tuple/tuple.h"
+
+namespace tiamat::chaos {
+
+/// What one schedule entry does. The op stream and the fault schedule share
+/// one vocabulary so the shrinker can treat a plan as a uniform event list.
+enum class EventKind : std::uint8_t {
+  // Op stream (executed against the slot's Instance).
+  kOut = 0,           ///< out(tuple)
+  kRead,              ///< rd(pattern, ...)   — blocking read
+  kReadNb,            ///< rdp(pattern, ...)  — non-blocking read
+  kTake,              ///< in(pattern, ...)   — blocking take
+  kTakeNb,            ///< inp(pattern, ...)  — non-blocking take
+  kEval,              ///< eval(active tuple); arg = per-field cost (ms)
+  // Fault schedule (executed against the simulated world).
+  kLossBurst,         ///< arg = duration (ms), arg2 = loss (permille)
+  kPartition,         ///< arg = pivot: slots [0,pivot) cut from [pivot,n)
+  kHeal,              ///< clear every link override
+  kCrash,             ///< destroy the slot's Instance (node removed)
+  kRestart,           ///< re-create a crashed slot (fresh node id)
+  kLeaseStorm,        ///< revoke every lease the slot's Instance holds
+  kOffline,           ///< radio off (node keeps state)
+  kOnline,            ///< radio back on
+  kMove,              ///< reposition: arg = x, arg2 = y
+  kInjectCorruption,  ///< break a space invariant (audit builds trap)
+};
+
+const char* to_string(EventKind k);
+std::optional<EventKind> event_kind_from_string(std::string_view name);
+
+/// True for the fault-schedule half of the vocabulary.
+bool is_fault(EventKind k);
+
+/// One schedule entry. Field meaning is kind-specific (see EventKind);
+/// unused fields stay zero/empty and are omitted from JSON.
+struct Event {
+  EventKind kind{};
+  std::uint64_t at_ms = 0;  ///< virtual-time offset from run start
+  std::uint32_t slot = 0;   ///< target instance slot
+  std::int64_t arg = 0;
+  std::int64_t arg2 = 0;
+  tuples::Tuple tuple;      ///< kOut / kEval payload
+  tuples::Pattern pattern;  ///< kRead* / kTake* probe
+
+  obs::json::Value to_json() const;
+  static std::optional<Event> from_json(const obs::json::Value& v);
+};
+
+/// Generation knobs. Plans embed a copy so artifacts are self-contained.
+struct Options {
+  std::uint32_t instances = 8;    ///< fleet size, clamped to [2, 32]
+  std::uint32_t max_events = 320;
+  /// Generation weights: "mixed" (default), "calm" (faults rare),
+  /// "crashy" (crash/restart-heavy), "hostile" (adversarial tuple shapes),
+  /// "mobile" (positions + radio range, movement faults).
+  std::string profile = "mixed";
+  std::uint32_t key_universe = 12;  ///< distinct Zipf-sampled keys
+  double zipf_s = 1.1;              ///< Zipf skew (>1: head-heavy)
+  std::uint64_t horizon_ms = 45000; ///< events spread over [0, horizon)
+  std::uint64_t drain_ms = 30000;   ///< post-horizon quiescence window
+  /// Appends one kInjectCorruption event mid-run. Only audit builds trap
+  /// on it (elsewhere the hook is compiled out and the event is skipped).
+  bool inject_corruption = false;
+
+  obs::json::Value to_json() const;
+  static std::optional<Options> from_json(const obs::json::Value& v);
+};
+
+struct Plan {
+  std::uint64_t seed = 0;
+  Options options;
+  std::vector<Event> events;
+
+  obs::json::Value to_json() const;
+  static std::optional<Plan> from_json(const obs::json::Value& v);
+};
+
+/// Expands `seed` into a full schedule. Deterministic: same (seed, options)
+/// always yields the same plan, on every platform the sim::Rng engine
+/// behaves identically on.
+Plan generate_plan(std::uint64_t seed, Options options = {});
+
+// ---- Tuple/pattern JSON (shared by Event and the repro artifacts) ---------
+
+obs::json::Value tuple_to_json(const tuples::Tuple& t);
+std::optional<tuples::Tuple> tuple_from_json(const obs::json::Value& v);
+obs::json::Value pattern_to_json(const tuples::Pattern& p);
+std::optional<tuples::Pattern> pattern_from_json(const obs::json::Value& v);
+
+}  // namespace tiamat::chaos

@@ -1,0 +1,73 @@
+// The chaos runner: executes one Plan against a fresh simulated fleet and
+// reports the first oracle violation (if any) plus a run fingerprint.
+//
+// A run is hermetic: it owns its EventQueue, Network, SimTransport and
+// Instances, schedules every plan event up-front at its virtual time, runs
+// the horizon, then heals the world and drains until every lease and hold
+// timer has fired. The oracle bank (chaos/oracles.h) is consulted
+// continuously — per-op callback accounting, a sampled keyed-vs-linear
+// differential, the compile-gated audit checkpoints — and once more in full
+// at quiescence. The first violation becomes the Trap; everything after it
+// still executes (so fingerprints stay comparable) but cannot re-trap.
+//
+// Determinism contract (P4): Runner(plan).run() is a pure function of the
+// plan. Same plan ⇒ identical fingerprint, identical trap, byte-identical
+// flight-recorder tails. This is what makes repro artifacts replayable and
+// delta-debugging sound.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "chaos/plan.h"
+#include "obs/json.h"
+
+namespace tiamat::chaos {
+
+/// The first oracle violation of a run.
+struct Trap {
+  std::string oracle;        ///< Finding::oracle, or "audit"
+  std::string detail;
+  std::uint64_t at = 0;      ///< virtual time (ticks) of the violation
+  std::size_t event_index = 0;  ///< plan event in flight when it tripped
+  /// obs::FlightRecorder::dump_all() captured at the violation — the
+  /// last-K cross-instance history replay runs must reproduce byte-for-byte.
+  std::string flight_tails;
+};
+
+struct RunResult {
+  std::optional<Trap> trap;
+  std::uint64_t fingerprint = 0;  ///< FNV-1a over the observable run
+  std::uint64_t executed = 0;     ///< plan events that ran
+  std::uint64_t faults = 0;       ///< fault-schedule events applied
+  std::uint64_t ops = 0;          ///< op-stream events issued
+  std::uint64_t skipped = 0;      ///< events with no live target / no hook
+  std::uint64_t callbacks = 0;    ///< op callbacks observed
+  std::uint64_t delivered = 0;    ///< callbacks carrying a tuple
+  std::uint64_t empty = 0;        ///< callbacks reporting no match
+  /// Destructive deliveries excluded from the exactly-once ledger because
+  /// a connectivity fault overlapped their confirm window (the protocol
+  /// only promises best-effort there; see runner.cc's taint rules).
+  std::uint64_t tainted = 0;
+  obs::json::Value metrics;       ///< chaos.* + net.drops.* registry snapshot
+
+  bool ok() const { return !trap.has_value(); }
+};
+
+class Runner {
+ public:
+  explicit Runner(Plan plan) : plan_(std::move(plan)) {}
+
+  const Plan& plan() const { return plan_; }
+
+  /// Executes the plan once. Safe to call repeatedly (each call builds a
+  /// fresh world); calls are independent and deterministic.
+  RunResult run();
+
+ private:
+  Plan plan_;
+};
+
+}  // namespace tiamat::chaos

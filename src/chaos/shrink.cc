@@ -1,0 +1,77 @@
+#include "chaos/shrink.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chaos/runner.h"
+
+namespace tiamat::chaos {
+namespace {
+
+Plan with_events(const Plan& base, std::vector<Event> events) {
+  Plan p;
+  p.seed = base.seed;
+  p.options = base.options;
+  p.events = std::move(events);
+  return p;
+}
+
+bool still_traps(const Plan& candidate, const std::string& oracle) {
+  const RunResult r = Runner(candidate).run();
+  return r.trap.has_value() && r.trap->oracle == oracle;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const Plan& plan, const std::string& oracle,
+                    std::uint64_t max_runs) {
+  ShrinkResult out;
+  std::vector<Event> events = plan.events;
+  std::size_t granularity = 2;
+
+  // Complement-removal ddmin: drop one of `granularity` chunks per
+  // candidate; a surviving trap commits the smaller list, otherwise the
+  // granularity doubles until single events are being removed.
+  while (events.size() >= 2 && out.runs < max_runs) {
+    const std::size_t n = std::min(granularity, events.size());
+    const std::size_t chunk = (events.size() + n - 1) / n;
+    bool reduced = false;
+    for (std::size_t i = 0; i < n && out.runs < max_runs; ++i) {
+      const std::size_t lo = i * chunk;
+      if (lo >= events.size()) break;
+      const std::size_t hi = std::min(lo + chunk, events.size());
+      std::vector<Event> candidate;
+      candidate.reserve(events.size() - (hi - lo));
+      candidate.insert(candidate.end(), events.begin(),
+                       events.begin() + static_cast<std::ptrdiff_t>(lo));
+      candidate.insert(candidate.end(),
+                       events.begin() + static_cast<std::ptrdiff_t>(hi),
+                       events.end());
+      if (candidate.empty()) continue;
+      ++out.runs;
+      if (still_traps(with_events(plan, candidate), oracle)) {
+        events = std::move(candidate);
+        granularity = std::max<std::size_t>(n - 1, 2);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= events.size()) {
+        out.minimal = true;  // every single-event removal failed
+        break;
+      }
+      granularity = std::min(events.size(), n * 2);
+    }
+  }
+
+  // A single surviving event is trivially 1-minimal (the empty plan cannot
+  // trap — no event ever executes).
+  if (events.size() <= 1) out.minimal = true;
+  out.plan = with_events(plan, std::move(events));
+  return out;
+}
+
+}  // namespace tiamat::chaos

@@ -1,0 +1,34 @@
+// Delta-debugging shrinker (ddmin over the plan's event list).
+//
+// A trapping plan usually carries hundreds of irrelevant events; the
+// shrinker reduces it to a near-1-minimal schedule that still trips the
+// *same oracle*. Classic ddmin: try dropping chunks (complements first) at
+// granularity 2, refine granularity on failure, stop at granularity ==
+// remaining events or when the run budget is spent. Because plans are fully
+// materialised, dropping events never invalidates the rest of the schedule
+// — each candidate is just a subsequence re-run through a fresh Runner.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "chaos/plan.h"
+
+namespace tiamat::chaos {
+
+struct ShrinkResult {
+  Plan plan;               ///< smallest trapping plan found
+  std::uint64_t runs = 0;  ///< candidate executions spent
+  /// True when ddmin reached 1-minimality (every single-event removal was
+  /// tried and failed); false when the run budget cut the search short.
+  bool minimal = false;
+};
+
+/// Shrinks `plan` (which must trap with `oracle` when run) to a smaller
+/// plan that still traps with the same oracle. `max_runs` bounds the total
+/// candidate executions.
+ShrinkResult shrink(const Plan& plan, const std::string& oracle,
+                    std::uint64_t max_runs = 256);
+
+}  // namespace tiamat::chaos

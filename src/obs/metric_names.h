@@ -37,6 +37,13 @@ inline constexpr std::string_view kCatalog[] = {
     "waiters.scan_fallbacks",
     // eval engine
     "eval.started",
+    // chaos/fuzz harness (chaos::Runner): schedule-entry accounting, so a
+    // run can assert its injected faults actually fired
+    "chaos.events",
+    "chaos.faults",
+    "chaos.ops",
+    "chaos.skipped",
+    "chaos.traps",
     // lease subsystem (src/lease)
     "lease.active",
     "lease.expired",
@@ -51,6 +58,12 @@ inline constexpr std::string_view kCatalog[] = {
     "net.decode_failures",
     "net.deliveries",
     "net.drops",
+    // per-cause drop counters from sim::Network accounting (bench export
+    // and chaos::Runner): invisible = no visibility at send/arrival,
+    // loss = random loss, dead = destination removed/offline/restarted
+    "net.drops.dead",
+    "net.drops.invisible",
+    "net.drops.loss",
     "net.multicasts",
     "net.peer.bytes",
     "net.peer.messages",

@@ -46,13 +46,15 @@ const char* to_string(EventKind k) {
       return "probe_breach";
     case EventKind::kDecodeFailure:
       return "decode_failure";
+    case EventKind::kFaultInjected:
+      return "fault_injected";
   }
   return "?";
 }
 
 std::optional<EventKind> event_kind_from_string(std::string_view name) {
   // Walk the enum once; the table stays in one place (to_string's switch).
-  for (int k = 0; k <= static_cast<int>(EventKind::kDecodeFailure); ++k) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kFaultInjected); ++k) {
     const auto kind = static_cast<EventKind>(k);
     if (name == to_string(kind)) return kind;
   }

@@ -53,6 +53,10 @@ enum class EventKind : std::uint8_t {
   kProbeBreach,      ///< health probe crossed its threshold; detail = value
   // Endpoint drop paths (net::Endpoint).
   kDecodeFailure,    ///< arriving payload failed to decode; peer = sender
+  // Chaos harness (src/chaos): one record per executed fault-schedule
+  // entry, so flight-recorder tails show the injected hostility inline
+  // with the protocol's causal history. detail = chaos::EventKind.
+  kFaultInjected,
 };
 
 const char* to_string(EventKind k);

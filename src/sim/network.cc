@@ -16,11 +16,36 @@ Network::Network(EventQueue& queue, Rng& rng, LinkModel model)
 
 NodeId Network::add_node(Position pos) {
   NodeId id = next_id_++;
-  nodes_[id].pos = pos;
+  NodeState& n = nodes_[id];
+  n.pos = pos;
+  n.incarnation = ++incarnations_[id];
   return id;
 }
 
-void Network::remove_node(NodeId id) { nodes_.erase(id); }
+bool Network::add_node_at(NodeId id, Position pos) {
+  if (nodes_.contains(id)) return false;
+  auto it = incarnations_.find(id);
+  if (it == incarnations_.end()) return false;  // never allocated
+  NodeState& n = nodes_[id];
+  n.pos = pos;
+  n.incarnation = ++it->second;
+  return true;
+}
+
+void Network::remove_node(NodeId id) {
+  if (nodes_.erase(id) == 0) return;
+  // A dead node keeps no scripted links: if the id is ever re-added it must
+  // start from a clean visibility state, not inherit its past overrides.
+  for (auto it = overrides_.begin(); it != overrides_.end();) {
+    const NodeId a = static_cast<NodeId>(it->first >> 32);
+    const NodeId b = static_cast<NodeId>(it->first & 0xFFFFFFFFu);
+    if (a == id || b == id) {
+      it = overrides_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
 
 void Network::set_online(NodeId id, bool online) {
   auto it = nodes_.find(id);
@@ -112,10 +137,17 @@ void Network::deliver_later(NodeId from, NodeId to, Payload payload) {
     return;
   }
   Duration delay = transmission_delay(payload.size());
+  const auto target = nodes_.find(to);
+  const std::uint64_t incarnation =
+      target == nodes_.end() ? 0 : target->second.incarnation;
   queue_.schedule_after(
-      delay, [this, from, to, payload = std::move(payload)]() mutable {
+      delay,
+      [this, from, to, incarnation, payload = std::move(payload)]() mutable {
         auto it = nodes_.find(to);
-        if (it == nodes_.end() || !it->second.online) {
+        // A packet addressed to an earlier incarnation of a restarted node
+        // is as dead as one addressed to a removed node.
+        if (it == nodes_.end() || !it->second.online ||
+            it->second.incarnation != incarnation) {
           ++stats_.drops_dead;
           return;
         }

@@ -13,7 +13,6 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -85,7 +84,17 @@ class Network {
   /// Adds a node at `pos`; it starts online with no handler bound.
   NodeId add_node(Position pos = {});
 
-  /// Permanently removes a node; in-flight packets to it are dropped.
+  /// Re-adds a previously removed node under its old id (crash/restart
+  /// scenarios: the restarted device keeps its address). The node comes
+  /// back in a clean state — online, no handler, no groups, no link
+  /// overrides — and packets in flight to the dead incarnation stay
+  /// dropped. Returns false when `id` is still present or was never
+  /// allocated by add_node.
+  bool add_node_at(NodeId id, Position pos = {});
+
+  /// Removes a node: in-flight packets to it are dropped, and every link
+  /// override naming it is cleared so a later add_node_at starts from a
+  /// clean visibility state.
   void remove_node(NodeId id);
 
   bool node_exists(NodeId id) const { return nodes_.contains(id); }
@@ -153,6 +162,11 @@ class Network {
   struct NodeState {
     Position pos;
     bool online = true;
+    /// Bumped on every (re-)add of this id: a packet captures the target's
+    /// incarnation at transmission and is dropped on arrival if the node
+    /// was removed (and possibly re-added) in between. A restarted node
+    /// never receives traffic addressed to its previous life.
+    std::uint64_t incarnation = 1;
     DeliveryHandler handler;
     std::unordered_set<GroupId> groups;
   };
@@ -168,7 +182,11 @@ class Network {
   double radio_range_ = 0.0;  // <=0: everyone visible
   NodeId next_id_ = 1;
   std::map<NodeId, NodeState> nodes_;  // ordered: deterministic iteration
-  std::unordered_map<std::uint64_t, bool> overrides_;
+  // Last incarnation of every id ever allocated; survives removal so
+  // add_node_at can restart the id with a fresh incarnation.
+  std::map<NodeId, std::uint64_t> incarnations_;
+  // Ordered: remove_node walks this to clear the dead node's entries.
+  std::map<std::uint64_t, bool> overrides_;
   NetStats stats_;
   std::map<std::pair<NodeId, NodeId>, LinkStats> link_stats_;
 };

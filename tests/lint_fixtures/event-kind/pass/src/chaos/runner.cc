@@ -1,0 +1,4 @@
+// Mirrors the real repo: the fault-injection trace kind is produced by the
+// chaos harness, not the protocol core.
+#include "obs/trace.h"
+EventKind inject() { return EventKind::kFaultInjected; }

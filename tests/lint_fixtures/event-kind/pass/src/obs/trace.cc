@@ -3,11 +3,12 @@ const char* to_string(EventKind k) {
   switch (k) {
     case EventKind::kAlpha: return "alpha";
     case EventKind::kBeta: return "beta";
+    case EventKind::kFaultInjected: return "fault_injected";
   }
   return "?";
 }
 bool event_kind_from_string(const char* s, EventKind* out) {
-  for (int k = 0; k <= static_cast<int>(EventKind::kBeta); ++k) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kFaultInjected); ++k) {
     if (to_string(static_cast<EventKind>(k)) == s) {
       *out = static_cast<EventKind>(k);
       return true;

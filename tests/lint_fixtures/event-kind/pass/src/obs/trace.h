@@ -2,6 +2,7 @@
 enum class EventKind {
   kAlpha = 0,
   kBeta,
+  kFaultInjected,
 };
 const char* to_string(EventKind k);
 bool event_kind_from_string(const char* s, EventKind* out);

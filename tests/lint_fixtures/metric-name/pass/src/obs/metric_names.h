@@ -1,3 +1,4 @@
 #pragma once
 inline constexpr const char* kOpsCount = "ops.count";
 inline constexpr const char* kMatchProbeCount = "match.probe.count";
+inline constexpr const char* kChaosFaults = "chaos.faults";

@@ -1,0 +1,4 @@
+// The chaos harness scripts faults against the simulator directly, so
+// src/chaos/ is on the sim-network allowed list.
+#include "sim/network.h"
+Network* chaos_net() { return nullptr; }

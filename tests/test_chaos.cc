@@ -1,0 +1,272 @@
+// The chaos/fuzz harness's own test suite (DESIGN.md §12):
+//
+//   - plan generation is a pure function of (seed, options) and survives a
+//     JSON round trip losslessly;
+//   - the runner satisfies P4: same seed ⇒ identical fingerprint, counters,
+//     and verdict;
+//   - calm schedules run clean (no oracle trips, real work happens);
+//   - the oracle bank detects planted violations;
+//   - repro artifacts round-trip through disk and, under the audit preset,
+//     an injected index corruption traps, minimizes, and replays with a
+//     byte-identical flight-recorder tail.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "audit/audit.h"
+#include "chaos/artifact.h"
+#include "chaos/oracles.h"
+#include "chaos/plan.h"
+#include "chaos/runner.h"
+#include "chaos/shrink.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "space/local_space.h"
+
+namespace tiamat::chaos {
+namespace {
+
+using tuples::any_int;
+using tuples::any_string;
+using tuples::Pattern;
+using tuples::Tuple;
+
+Options small_options(const char* profile = "mixed") {
+  Options o;
+  o.instances = 4;
+  o.max_events = 80;
+  o.profile = profile;
+  return o;
+}
+
+TEST(PlanGeneration, DeterministicInSeed) {
+  const Plan a = generate_plan(11, small_options());
+  const Plan b = generate_plan(11, small_options());
+  EXPECT_EQ(a.to_json().dump(), b.to_json().dump());
+
+  const Plan c = generate_plan(12, small_options());
+  EXPECT_NE(a.to_json().dump(), c.to_json().dump());
+}
+
+TEST(PlanGeneration, EventsAreOrderedAndSlotted) {
+  const Plan p = generate_plan(3, small_options("crashy"));
+  ASSERT_FALSE(p.events.empty());
+  std::uint64_t prev = 0;
+  for (const Event& e : p.events) {
+    EXPECT_GE(e.at_ms, prev);
+    prev = e.at_ms;
+    EXPECT_LE(e.at_ms, p.options.horizon_ms);
+  }
+}
+
+TEST(PlanJson, RoundTripsLosslessly) {
+  for (const char* profile : {"mixed", "calm", "crashy", "hostile", "mobile"}) {
+    const Plan p = generate_plan(21, small_options(profile));
+    auto back = Plan::from_json(p.to_json());
+    ASSERT_TRUE(back.has_value()) << profile;
+    EXPECT_EQ(p.to_json().dump(), back->to_json().dump()) << profile;
+  }
+}
+
+TEST(PlanJson, RejectsGarbage) {
+  EXPECT_FALSE(Plan::from_json(obs::json::Value(std::int64_t{42})).has_value());
+  auto v = obs::json::Value::parse(R"({"seed": 1})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_FALSE(Plan::from_json(*v).has_value());
+}
+
+// P4: the whole run — schedule execution, oracle checks, fingerprinting —
+// is a pure function of the seed.
+TEST(RunnerDeterminism, SameSeedSameFingerprint) {
+  const Plan plan = generate_plan(5, small_options());
+  const RunResult a = Runner(plan).run();
+  const RunResult b = Runner(plan).run();
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.executed, b.executed);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.faults, b.faults);
+  EXPECT_EQ(a.callbacks, b.callbacks);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.ok(), b.ok());
+}
+
+TEST(RunnerDeterminism, DifferentSeedsDiverge) {
+  const RunResult a = Runner(generate_plan(31, small_options())).run();
+  const RunResult b = Runner(generate_plan(32, small_options())).run();
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+}
+
+TEST(Runner, CalmScheduleRunsClean) {
+  const Plan plan = generate_plan(7, small_options("calm"));
+  const RunResult r = Runner(plan).run();
+  EXPECT_TRUE(r.ok()) << r.trap->oracle << ": " << r.trap->detail;
+  EXPECT_GT(r.ops, 0u);
+  EXPECT_EQ(r.executed, plan.events.size());
+}
+
+TEST(Runner, FaultyProfilesStillSatisfyOracles) {
+  for (const char* profile : {"crashy", "hostile", "mobile"}) {
+    const RunResult r = Runner(generate_plan(13, small_options(profile))).run();
+    EXPECT_TRUE(r.ok()) << profile << ": " << r.trap->oracle << ": "
+                        << r.trap->detail;
+    EXPECT_GT(r.faults, 0u) << profile;
+  }
+}
+
+TEST(Oracles, ExactlyOnceFlagsDuplicates) {
+  EXPECT_FALSE(check_exactly_once({1, 2, 3}).has_value());
+  auto f = check_exactly_once({1, 2, 2, 3});
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->oracle, "exactly-once");
+  EXPECT_NE(f->detail.find("seq 2"), std::string::npos);
+}
+
+TEST(Oracles, TerminationFlagsLostCallbacks) {
+  EXPECT_FALSE(check_termination(5, 3, 2).has_value());
+  auto f = check_termination(4, 3, 2);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->oracle, "termination");
+}
+
+TEST(Oracles, KeyedDifferentialAgreesOnRealSpace) {
+  sim::EventQueue queue;
+  sim::Rng rng(9);
+  space::LocalTupleSpace space(queue, rng);
+  space.out(Tuple{"key0", std::int64_t{1}});
+  space.out(Tuple{"key0", std::int64_t{2}});
+  space.out(Tuple{"key1", std::int64_t{3}, true});
+  const std::vector<Pattern> probes = {
+      Pattern{"key0", any_int()},
+      Pattern{"key1", any_int(), tuples::any()},
+      Pattern{any_string(), any_int()},
+      Pattern{"absent", any_int()},
+  };
+  EXPECT_FALSE(check_keyed_differential(space, probes).has_value());
+}
+
+TEST(Artifact, RoundTripsThroughDisk) {
+  const Plan plan = generate_plan(17, small_options());
+  Artifact a;
+  a.plan = plan;
+  a.oracle = "exactly-once";
+  a.detail = "seq 9 delivered twice";
+  a.at = 1234567;
+  a.event_index = 42;
+  a.fingerprint = 0xDEADBEEFCAFEull;
+  a.flight_tails = "  node 1:\n    at=1 probe op=1:1\n";
+  a.minimized = true;
+  a.original_events = 320;
+
+  const std::string path =
+      ::testing::TempDir() + "/" + artifact_filename(17);
+  ASSERT_TRUE(a.save(path));
+  auto b = Artifact::load(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a.to_json().dump(), b->to_json().dump());
+  EXPECT_EQ(b->plan.to_json().dump(), plan.to_json().dump());
+}
+
+TEST(Artifact, LoadRejectsMissingOrMalformed) {
+  EXPECT_FALSE(Artifact::load("/nonexistent/repro_0.json").has_value());
+}
+
+#if TIAMAT_AUDIT_ENABLED
+
+// The audit-preset death path, end to end: a schedule that plants an index
+// corruption must trap, shrink to (nearly) just the injection event, and
+// replay from the artifact with the same fingerprint and byte-identical
+// flight-recorder tails — the CI repro contract.
+TEST(AuditDeathPath, CorruptionTrapsMinimizesAndReplays) {
+  Plan plan;
+  plan.seed = 4242;
+  plan.options = small_options("calm");
+  plan.options.inject_corruption = true;
+  Event out;
+  out.kind = EventKind::kOut;
+  out.at_ms = 50;
+  out.slot = 0;
+  out.tuple = Tuple{"key0", std::int64_t{1}};
+  plan.events.push_back(out);
+  Event inject;
+  inject.kind = EventKind::kInjectCorruption;
+  inject.at_ms = 500;
+  inject.slot = 1;
+  plan.events.push_back(inject);
+
+  const RunResult r = Runner(plan).run();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.trap->oracle, "audit");
+  EXPECT_EQ(r.trap->event_index, 1u);
+  EXPECT_FALSE(r.trap->flight_tails.empty());
+
+  // Write the artifact, load it back, and re-run the embedded plan: the
+  // trap must reproduce exactly.
+  Artifact a = Artifact::from_run(plan, r);
+  const std::string path =
+      ::testing::TempDir() + "/" + artifact_filename(plan.seed);
+  ASSERT_TRUE(a.save(path));
+  auto loaded = Artifact::load(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(loaded.has_value());
+
+  const RunResult again = Runner(loaded->plan).run();
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.trap->oracle, loaded->oracle);
+  EXPECT_EQ(again.fingerprint, loaded->fingerprint);
+  EXPECT_EQ(again.trap->flight_tails, loaded->flight_tails);
+
+  // Delta-debugging drops the decoy out event.
+  const ShrinkResult s = shrink(plan, "audit");
+  EXPECT_EQ(s.plan.events.size(), 1u);
+  EXPECT_EQ(s.plan.events[0].kind, EventKind::kInjectCorruption);
+  EXPECT_TRUE(s.minimal);
+}
+
+TEST(AuditDeathPath, GeneratedCorruptionScheduleTraps) {
+  Options o = small_options();
+  o.inject_corruption = true;
+  o.max_events = 160;
+  // Corruption events are rare; scan a few seeds for a schedule that
+  // carries one (the scan itself is deterministic).
+  for (std::uint64_t seed = 1; seed < 32; ++seed) {
+    const Plan plan = generate_plan(seed, o);
+    bool has_injection = false;
+    for (const Event& e : plan.events) {
+      has_injection |= e.kind == EventKind::kInjectCorruption;
+    }
+    if (!has_injection) continue;
+    const RunResult r = Runner(plan).run();
+    ASSERT_FALSE(r.ok()) << "seed " << seed;
+    EXPECT_EQ(r.trap->oracle, "audit");
+    return;
+  }
+  FAIL() << "no generated schedule carried a corruption event";
+}
+
+#else  // !TIAMAT_AUDIT_ENABLED
+
+// Without the audit hooks compiled in, injection events are inert: counted
+// as skipped, never trapping.
+TEST(AuditDeathPath, CorruptionEventSkippedWithoutAudit) {
+  Plan plan;
+  plan.seed = 4242;
+  plan.options = small_options("calm");
+  plan.options.inject_corruption = true;
+  Event inject;
+  inject.kind = EventKind::kInjectCorruption;
+  inject.at_ms = 500;
+  inject.slot = 1;
+  plan.events.push_back(inject);
+
+  const RunResult r = Runner(plan).run();
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.skipped, 1u);
+}
+
+#endif  // TIAMAT_AUDIT_ENABLED
+
+}  // namespace
+}  // namespace tiamat::chaos

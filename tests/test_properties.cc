@@ -16,6 +16,7 @@
 #include <set>
 #include <vector>
 
+#include "chaos/oracles.h"
 #include "core/instance.h"
 #include "sim/mobility.h"
 #include "tests/test_util.h"
@@ -119,16 +120,12 @@ Trace run_workload(std::uint64_t seed, std::size_t n, int ops_per_node,
   churner.stop();
   w.queue.run_for(sim::seconds(30));  // drain every outstanding lease
 
-  // ---- Invariants checked while the world is still alive ----
+  // ---- Invariants checked while the world is still alive (P2/P5 via the
+  // shared oracle bank, chaos/oracles.h) ----
   for (auto& nd : nodes) {
-    EXPECT_EQ(nd->local_space().tentative_count(), 0u)
-        << "P2: tentative tuple leaked at " << nd->name();
-    EXPECT_EQ(nd->open_ops(), 0u)
-        << "P3/P5: operation outlived its lease at " << nd->name();
-    EXPECT_EQ(nd->serving_count(), 0u)
-        << "P5: serving entry leaked at " << nd->name();
-    EXPECT_EQ(nd->leases().active(), 0u)
-        << "P5: active lease leaked at " << nd->name();
+    for (const chaos::Finding& f : chaos::check_instance_quiescent(*nd)) {
+      ADD_FAILURE() << f.oracle << " at " << nd->name() << ": " << f.detail;
+    }
   }
   trace.net_bytes = w.net.stats().bytes_sent;
   for (auto& s2 : steppers) *s2 = nullptr;  // break the self-cycles
@@ -137,14 +134,20 @@ Trace run_workload(std::uint64_t seed, std::size_t n, int ops_per_node,
 
 class StressSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
+/// P1 + P3 through the shared oracle bank; `why` names the scenario in the
+/// failure message.
+void expect_p1_p3(const Trace& t, const char* why) {
+  if (auto f = chaos::check_exactly_once(t.taken_ids)) {
+    ADD_FAILURE() << f->oracle << " (" << why << "): " << f->detail;
+  }
+  if (auto f = chaos::check_termination(t.callbacks, t.delivered, t.empty)) {
+    ADD_FAILURE() << f->oracle << " (" << why << "): " << f->detail;
+  }
+}
+
 TEST_P(StressSweep, CleanNetworkInvariants) {
   Trace t = run_workload(GetParam(), 5, 40, /*loss=*/0.0, /*churn=*/false);
-  // P3: every take op called back exactly once.
-  EXPECT_EQ(t.callbacks, t.delivered + t.empty);
-  // P1: no tuple delivered twice.
-  std::set<std::int64_t> unique_ids(t.taken_ids.begin(), t.taken_ids.end());
-  EXPECT_EQ(unique_ids.size(), t.taken_ids.size())
-      << "a tuple id was taken twice";
+  expect_p1_p3(t, "clean network");
   // Sanity: the workload did real distributed work.
   EXPECT_GT(t.delivered, 0u);
   EXPECT_LE(t.delivered, t.produced);
@@ -153,19 +156,13 @@ TEST_P(StressSweep, CleanNetworkInvariants) {
 TEST_P(StressSweep, LossyNetworkInvariants) {
   Trace t = run_workload(GetParam() ^ 0x5050, 5, 30, /*loss=*/0.15,
                          /*churn=*/false);
-  std::set<std::int64_t> unique_ids(t.taken_ids.begin(), t.taken_ids.end());
-  EXPECT_EQ(unique_ids.size(), t.taken_ids.size())
-      << "packet loss must never cause duplicate delivery";
-  EXPECT_EQ(t.callbacks, t.delivered + t.empty);
+  expect_p1_p3(t, "packet loss must never cause duplicate delivery");
 }
 
 TEST_P(StressSweep, ChurningNetworkInvariants) {
   Trace t = run_workload(GetParam() ^ 0xC0C0, 6, 30, /*loss=*/0.05,
                          /*churn=*/true);
-  std::set<std::int64_t> unique_ids(t.taken_ids.begin(), t.taken_ids.end());
-  EXPECT_EQ(unique_ids.size(), t.taken_ids.size())
-      << "churn must never cause duplicate delivery";
-  EXPECT_EQ(t.callbacks, t.delivered + t.empty);
+  expect_p1_p3(t, "churn must never cause duplicate delivery");
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StressSweep,

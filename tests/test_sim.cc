@@ -286,6 +286,59 @@ TEST(Network, RemovedNodeDropsInFlight) {
   EXPECT_EQ(w.net.stats().drops_dead, 1u);
 }
 
+// Crash/restart semantics for the chaos harness: re-adding a removed node
+// id must start from a clean state — no inherited link overrides, groups,
+// handler, or in-flight traffic addressed to the previous incarnation.
+TEST(Network, ReAddedNodeStartsFromCleanState) {
+  World w;
+  auto a = w.net.add_node({0, 0});
+  auto b = w.net.add_node({5, 0});
+  const GroupId g = 3;
+  w.net.join_group(b, g);
+  w.net.set_link(a, b, false);  // scripted partition
+  EXPECT_FALSE(w.net.visible(a, b));
+
+  w.net.remove_node(b);
+  EXPECT_TRUE(w.net.add_node_at(b, {7, 0}));
+  // Clean slate: the old partition override and group membership are gone.
+  EXPECT_TRUE(w.net.visible(a, b));
+  int b_got = 0;
+  w.net.bind(b, [&](NodeId, const Payload&) { ++b_got; });
+  w.net.multicast(a, g, Payload{1});
+  w.run_all();
+  EXPECT_EQ(b_got, 0) << "restarted node inherited group membership";
+  w.net.send(a, b, Payload{2});
+  w.run_all();
+  EXPECT_EQ(b_got, 1);
+}
+
+TEST(Network, InFlightPacketNeverReachesRestartedIncarnation) {
+  World w;
+  auto a = w.net.add_node();
+  auto b = w.net.add_node();
+  w.net.send(a, b, Payload{1});  // in flight to the first incarnation
+  w.net.remove_node(b);
+  EXPECT_TRUE(w.net.add_node_at(b));
+  bool got = false;
+  w.net.bind(b, [&](NodeId, const Payload&) { got = true; });
+  w.run_all();
+  EXPECT_FALSE(got) << "restarted node received its past life's packet";
+  EXPECT_EQ(w.net.stats().drops_dead, 1u);
+}
+
+TEST(Network, AddNodeAtRejectsLiveAndUnknownIds) {
+  World w;
+  auto a = w.net.add_node();
+  EXPECT_FALSE(w.net.add_node_at(a));      // still present
+  EXPECT_FALSE(w.net.add_node_at(a + 7));  // never allocated
+  w.net.remove_node(a);
+  EXPECT_TRUE(w.net.add_node_at(a));
+  EXPECT_TRUE(w.net.node_exists(a));
+  // Fresh ids keep advancing past re-added ones.
+  auto c = w.net.add_node();
+  EXPECT_GT(c, a);
+}
+
 TEST(Network, MulticastReachesVisibleMembersOnly) {
   World w;
   w.net.set_radio_range(10.0);
