@@ -22,9 +22,18 @@
 // The committed BENCH_loopback.json is a `--transport=loopback --json` run;
 // its counters are traffic totals from the backend's own ledger plus the
 // ops/sec headline (wall-clock flavoured, so it is not perf-gated).
+//
+// `--contention` adds BM_SchedContention: a sweep over worker-pool sizes
+// running keyed chains plus timer churn while a TimeSeriesRecorder (driven
+// by the loopback's own timers, on its own strand) samples the scheduler
+// telemetry through obs::SchedExporter — per-worker queue depth, strand
+// lag, utilization, lock-wait and tombstone counts, exported as the
+// transport.sched.* families (`--series` records them; render with
+// `tiamat-inspect sched`).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -34,6 +43,8 @@
 #include "bench/bench_main.h"
 #include "bench/bench_util.h"
 #include "core/instance.h"
+#include "obs/sched.h"
+#include "obs/series.h"
 #include "transport/loopback_transport.h"
 #include "transport/transport.h"
 
@@ -43,6 +54,8 @@ namespace {
 constexpr unsigned kWorkers = 4;
 constexpr int kOpsPerChain = 256;
 constexpr int kTakesPerPair = 64;
+constexpr int kContentionOps = 1024;    // per-chain ops in --contention runs
+constexpr int kContentionChurn = 256;   // schedule+cancel pairs per run
 
 // Owns one transport of the flavour `--transport` selected. Both are driven
 // through the same `transport::Transport&`, so the workload code below is
@@ -251,10 +264,130 @@ void BM_RemoteTake(benchmark::State& state) {
   r.counter("transport.bytes", l).add(traffic.bytes_sent);
 }
 
+// ---------------------------------------------------------------------------
+// Scenario 3 (--contention): scheduler stress sweep over worker counts.
+
+// Always builds its own LoopbackTransport (the scenario measures the
+// loopback scheduler; --transport only labels the other scenarios).
+void BM_SchedContention(benchmark::State& state, unsigned workers) {
+  const std::string scenario = "contention/" + std::to_string(workers);
+  std::uint64_t total_ops = 0;
+  double total_secs = 0.0;
+  transport::LoopbackTransport::SchedStats sched;
+  for (auto _ : state) {
+    transport::LoopbackOptions opts;
+    opts.workers = workers;
+    transport::LoopbackTransport t(opts);
+    const int nodes = static_cast<int>(workers) * 2;
+    std::vector<std::unique_ptr<core::Instance>> insts;
+    insts.reserve(nodes);
+    for (int i = 0; i < nodes; ++i) {
+      insts.push_back(std::make_unique<core::Instance>(
+          t, chain_config("contend-" + std::to_string(i))));
+      maybe_trace(*insts.back());
+    }
+    // Scheduler telemetry: the exporter folds sched_stats() into its own
+    // registry as the recorder's refresh hook, so every tick — running on
+    // the recorder node's strand — samples fresh numbers.
+    obs::Registry sched_reg;
+    obs::SchedExporter exporter(sched_reg, t);
+    const transport::NodeId rec_node = t.add_node();
+    std::unique_ptr<obs::TimeSeriesRecorder> rec;
+    if (series_enabled()) {
+      obs::SeriesOptions sopts;
+      // Wall-clock time here, and the sweep runs only a few ms per worker
+      // count: sample densely enough to give the series some shape.
+      sopts.interval = transport::kMillisecond / 2;
+      rec = std::make_unique<obs::TimeSeriesRecorder>(t.timers(rec_node),
+                                                      sopts);
+      rec->add_source("sched", &sched_reg, [&exporter] { exporter.update(); });
+      rec->start();
+    }
+    auto live = std::make_shared<std::atomic<int>>(nodes);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < nodes; ++i) {
+      auto c = std::make_shared<ChainState>();
+      c->inst = insts[i].get();
+      c->key = "key-" + std::to_string(i);
+      c->remaining = kContentionOps;
+      c->live = live;
+      t.post(c->inst->node(), [&t, c] { chain_step(t, c); });
+    }
+    // Timer churn from the bench thread while the chains run:
+    // schedule-then-cancel feeds the cancel and tombstone accounting.
+    for (int k = 0; k < kContentionChurn; ++k) {
+      const auto id = t.timers(rec_node).schedule_at(0, [] {});
+      t.timers(rec_node).cancel(id);
+    }
+    const bool done = t.wait_until([&] { return *live == 0; },
+                                   120 * transport::kSecond);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (!done) {
+      state.SkipWithError("contention chains did not complete");
+      return;
+    }
+    if (rec) {
+      // stop() must be serialized with the self-rearming tick: run it on
+      // the recorder's own strand, then collect the document.
+      auto stopped = std::make_shared<std::atomic<bool>>(false);
+      t.post(rec_node, [&rec, stopped] {
+        rec->stop();
+        *stopped = true;
+      });
+      t.wait_until([&] { return stopped->load(); }, 30 * transport::kSecond);
+      export_series(std::move(rec), scenario);
+    }
+    sched = t.sched_stats();
+    for (auto& inst : insts) drain_trace(*inst);
+    total_ops += static_cast<std::uint64_t>(nodes) * kContentionOps * 2;
+    total_secs += std::chrono::duration<double>(t1 - t0).count();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_ops));
+  const obs::Labels l{{"scenario", scenario}, {"backend", "loopback"}};
+  auto& r = registry();
+  r.counter("transport.ops", l).add(total_ops);
+  r.gauge("transport.ops_per_sec", l)
+      .set(total_secs > 0 ? static_cast<double>(total_ops) / total_secs : 0);
+  r.gauge("transport.workers", l).set(workers);
+  std::uint64_t tasks = 0, tombstones = 0, cancels = 0, busy = 0;
+  std::uint64_t depth_max = 0, lag_max = 0;
+  for (const auto& w : sched.workers) {
+    tasks += w.tasks;
+    tombstones += w.tombstones;
+    cancels += w.cancels;
+    busy += w.busy_us;
+    depth_max = std::max(depth_max, w.queue_depth_max);
+    lag_max = std::max(lag_max, w.lag_us_max);
+  }
+  r.counter("transport.sched.tasks", l).add(tasks);
+  r.counter("transport.sched.tombstones", l).add(tombstones);
+  r.counter("transport.sched.cancels", l).add(cancels);
+  r.counter("transport.sched.lock_wait_us", l).add(sched.lock_wait_us);
+  r.gauge("transport.sched.queue_depth_max", l)
+      .set(static_cast<double>(depth_max));
+  r.gauge("transport.sched.strand_lag_max_us", l)
+      .set(static_cast<double>(lag_max));
+  const double wall =
+      static_cast<double>(sched.uptime_us) * static_cast<double>(workers);
+  r.gauge("transport.sched.utilization", l)
+      .set(wall > 0 ? static_cast<double>(busy) / wall : 0.0);
+}
+
 BENCHMARK(BM_KeyedTakeChain)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 BENCHMARK(BM_RemoteTake)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 }  // namespace tiamat::bench
 
-TIAMAT_BENCH_MAIN("loopback")
+int main(int argc, char** argv) {
+  return tiamat::bench::run_main(argc, argv, "loopback", [] {
+    if (!tiamat::bench::contention_enabled()) return;
+    for (const unsigned w : {1u, 2u, 4u, 8u}) {
+      benchmark::RegisterBenchmark(
+          ("BM_SchedContention/workers:" + std::to_string(w)).c_str(),
+          [w](benchmark::State& s) { tiamat::bench::BM_SchedContention(s, w); })
+          ->UseRealTime()
+          ->Iterations(1);
+    }
+  });
+}

@@ -19,6 +19,11 @@
 // deterministic single-threaded simulator, or the multi-threaded
 // in-process loopback (DESIGN.md §10).
 //
+// `--contention` opts into the scheduler-stress scenarios a bench registers
+// through run_main's `register_extra` hook (bench_loopback: worker-count
+// sweeps recording the transport.sched.* series). Off by default so the
+// perf-gated runs stay unchanged.
+//
 // Usage:
 //   ... register benchmarks, record into tiamat::bench::registry() ...
 //   TIAMAT_BENCH_MAIN("churn");
@@ -29,6 +34,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <iterator>
 #include <memory>
@@ -69,6 +75,13 @@ inline std::string& transport_backend() {
   return backend;
 }
 
+/// True when `--contention` was given; gates the scheduler-stress
+/// scenarios registered through run_main's `register_extra` hook.
+inline bool& contention_enabled() {
+  static bool enabled = false;
+  return enabled;
+}
+
 /// Per-scenario series documents collected by `export_series()`, written
 /// out after the benchmarks run.
 inline obs::json::Array& series_runs() {
@@ -76,7 +89,11 @@ inline obs::json::Array& series_runs() {
   return runs;
 }
 
-inline int run_main(int argc, char** argv, const std::string& bench_name) {
+/// `register_extra`, when given, runs after flag parsing and before
+/// benchmark::Initialize — the spot where flag-conditional benchmarks
+/// (benchmark::RegisterBenchmark) can still be added.
+inline int run_main(int argc, char** argv, const std::string& bench_name,
+                    const std::function<void()>& register_extra = {}) {
   std::string json_path;
   bool want_json = false;
   std::string trace_path;
@@ -113,6 +130,8 @@ inline int run_main(int argc, char** argv, const std::string& bench_name) {
       }
     } else if (std::strncmp(argv[i], "--transport=", 12) == 0) {
       transport_backend() = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--contention") == 0) {
+      contention_enabled() = true;
     } else {
       argv[out++] = argv[i];
     }
@@ -139,6 +158,8 @@ inline int run_main(int argc, char** argv, const std::string& bench_name) {
     }
     trace_sink() = std::move(sink);
   }
+
+  if (register_extra) register_extra();
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -59,9 +59,20 @@ inline double sim_ms(double microseconds) { return microseconds / 1000.0; }
 
 /// Attaches the bench-wide `--trace` JSONL sink to an instance's tracer
 /// (no-op when the flag was not given, keeping the traced and untraced
-/// runs otherwise identical).
+/// runs otherwise identical). Under the loopback backend the tracer is
+/// switched to per-thread rings: the shared JSONL sink is only safe to
+/// touch from one thread, so events buffer in SPSC rings until
+/// `drain_trace()` merges them on the bench main thread.
 inline void maybe_trace(core::Instance& i) {
-  if (trace_sink()) i.tracer().set_sink(trace_sink());
+  if (!trace_sink()) return;
+  i.tracer().set_sink(trace_sink());
+  if (transport_backend() == "loopback") i.tracer().set_thread_rings(true);
+}
+
+/// Final flush for a thread-ring tracer; call after the workload quiesces
+/// and before the instance dies. No-op in direct mode or with tracing off.
+inline void drain_trace(core::Instance& i) {
+  if (trace_sink() && i.tracer().thread_rings()) i.tracer().drain();
 }
 
 /// Observe one virtual-time operation latency (µs) into the exportable

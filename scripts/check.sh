@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full local gate: lint, then build + test the release tree (the tier-1
-# configuration), the asan/ubsan tree, the invariant-audit tree, and the
-# transport suites under ThreadSanitizer; then the bench smokes and a
-# bounded chaos-fuzz pass (scripts/fuzz_smoke.sh).
+# configuration), the asan/ubsan tree, the invariant-audit tree, the
+# transport suites under ThreadSanitizer, and the instrumentation-overhead
+# gate (release vs TIAMAT_OBS_OFF); then the bench smokes and a bounded
+# chaos-fuzz pass (scripts/fuzz_smoke.sh).
 # Usage: scripts/check.sh [--release-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -54,6 +55,10 @@ if [[ "${1:-}" != "--release-only" ]]; then
   cmake --build --preset tsan --target test_transport -j "${jobs}"
   echo "== tsan: transport tests =="
   ctest --preset tsan -R Transport -j "${jobs}"
+  # Instrumentation-overhead gate (DESIGN.md §13): bench the release tree
+  # against an identical tree with TIAMAT_OBS_OFF on the loopback hot path.
+  # Soft by default (wall-clock noise); OBS_OVERHEAD_HARD=1 enforces.
+  scripts/obs_overhead_gate.sh
 fi
 
 # Matching-engine bench smoke: a sub-second run whose --json export is

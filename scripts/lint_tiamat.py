@@ -48,7 +48,11 @@ Per-file rules (each finding is `path:line: [rule] message`):
   concurrency     <thread>/<mutex>/<atomic>/<condition_variable> (and kin)
                   only under src/transport/. Protocol and engine code is
                   single-strand by contract — serialized per node by the
-                  transport — and must not grow its own locking.
+                  transport — and must not grow its own locking. The two
+                  lock-free observability primitives (obs/cells.h relaxed
+                  cells, obs/trace_ring.h SPSC ring) are the explicit,
+                  file-by-file <atomic> allowlist — nothing else in obs/
+                  gets threads or locks.
   unused-include  A header from the watched set (<unordered_map>,
                   <iostream>, <fstream>, <sstream>, <map>, ...) included
                   with no matching token use in the file. Applies to src/
@@ -146,6 +150,16 @@ SIM_NETWORK_ADAPTER = "src/transport/sim_transport.h"
 CONCURRENCY_HEADERS = {
     "thread", "mutex", "shared_mutex", "atomic", "condition_variable",
     "future", "stop_token", "semaphore", "barrier", "latch",
+}
+
+# The concurrent-observability primitives: relaxed-atomic metric cells and
+# the per-thread SPSC trace ring. They may use <atomic> (and only <atomic>)
+# outside src/transport/ — writers are loopback strands, so the cells must
+# be lock-free, but threads/mutexes stay banned (drain/snapshot protocols
+# go through transport::Mutex via transport/thread_annotations.h).
+CONCURRENCY_OBS_ALLOWLIST = {
+    "src/obs/cells.h": {"atomic"},
+    "src/obs/trace_ring.h": {"atomic"},
 }
 
 UNUSED_INCLUDE_TOKENS = {
@@ -665,11 +679,15 @@ class Linter:
                                 "transport::Transport", line)
             else:
                 if (on("concurrency") and inc in CONCURRENCY_HEADERS
-                        and not rel.startswith("src/transport/")):
+                        and not rel.startswith("src/transport/")
+                        and inc not in CONCURRENCY_OBS_ALLOWLIST.get(
+                            rel, ())):
                     self.report(path, i, "concurrency",
                                 f"<{inc}> outside src/transport/: protocol "
                                 "code is single-strand; threads and locks "
-                                "live in the transport backends", line)
+                                "live in the transport backends (lock-free "
+                                "obs cells are allowlisted file-by-file)",
+                                line)
                 token = UNUSED_INCLUDE_TOKENS.get(inc)
                 if token and on("unused-include"):
                     body = "\n".join(l for j, l in enumerate(lines, 1)

@@ -24,6 +24,12 @@
 //       and source, every recorded series with point counts and
 //       min/mean/max/last, plus the health probes and their breach counts.
 //
+//   tiamat-inspect sched BENCH.json...
+//       the series view restricted to the transport scheduler telemetry
+//       (the transport.sched.* families recorded by bench_loopback
+//       --contention): per-worker queue depth, strand lag, utilization,
+//       lock-wait and tombstone series.
+//
 // Everything prints deterministically (ordered joins, ordered registry),
 // so output is diffable across same-seed runs.
 
@@ -53,7 +59,8 @@ int usage() {
          "  tiamat-inspect report [--slowest N] TRACE.jsonl...\n"
          "  tiamat-inspect chrome [-o OUT.json] TRACE.jsonl...\n"
          "  tiamat-inspect bench BENCH.json...\n"
-         "  tiamat-inspect series SERIES.json...\n";
+         "  tiamat-inspect series SERIES.json...\n"
+         "  tiamat-inspect sched BENCH.json...\n";
   return 2;
 }
 
@@ -291,7 +298,10 @@ void print_series_line(const Value& s, const std::string& title) {
   std::cout << "\n";
 }
 
-int cmd_series(const std::vector<std::string>& args) {
+/// Shared renderer for `series` (prefix empty: everything) and `sched`
+/// (prefix "transport.sched.": scheduler families only, probes omitted).
+int cmd_series_impl(const std::vector<std::string>& args,
+                    const std::string& name_prefix) {
   if (args.empty()) {
     std::cerr << "no series files given\n";
     return 1;
@@ -336,6 +346,7 @@ int cmd_series(const std::vector<std::string>& args) {
                 << " breaches\n";
       const Value* sources = data->find("sources");
       if (sources == nullptr) continue;
+      std::size_t matched = 0;
       for (const Value& src : sources->as_array()) {
         const Value* label = src.find("source");
         std::cout << " source "
@@ -348,11 +359,17 @@ int cmd_series(const std::vector<std::string>& args) {
             const Value* kind = s.find("kind");
             const Value* name = s.find("name");
             if (kind == nullptr || name == nullptr) continue;
+            if (!name_prefix.empty() &&
+                name->as_string().rfind(name_prefix, 0) != 0) {
+              continue;
+            }
+            ++matched;
             print_series_line(
                 s, kind->as_string() + " " + name->as_string() +
                        labels_text(s));
           }
         }
+        if (!name_prefix.empty()) continue;  // sched view: no probes
         if (const Value* probes = src.find("probes")) {
           for (const Value& pr : probes->as_array()) {
             const Value* name = pr.find("name");
@@ -367,9 +384,22 @@ int cmd_series(const std::vector<std::string>& args) {
           }
         }
       }
+      if (!name_prefix.empty() && matched == 0) {
+        std::cout << "  (no " << name_prefix
+                  << "* series in this run; record with bench_loopback "
+                     "--series --contention)\n";
+      }
     }
   }
   return 0;
+}
+
+int cmd_series(const std::vector<std::string>& args) {
+  return cmd_series_impl(args, "");
+}
+
+int cmd_sched(const std::vector<std::string>& args) {
+  return cmd_series_impl(args, "transport.sched.");
 }
 
 }  // namespace
@@ -382,5 +412,6 @@ int main(int argc, char** argv) {
   if (cmd == "chrome") return cmd_chrome(args);
   if (cmd == "bench") return cmd_bench(args);
   if (cmd == "series") return cmd_series(args);
+  if (cmd == "sched") return cmd_sched(args);
   return usage();
 }

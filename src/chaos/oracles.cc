@@ -52,6 +52,18 @@ std::optional<Finding> check_termination(std::uint64_t callbacks,
                      " + empty=" + std::to_string(empty)};
 }
 
+std::optional<Finding> check_trace_conservation(std::uint64_t pushed,
+                                                std::uint64_t drained,
+                                                std::uint64_t dropped,
+                                                const std::string& who) {
+  if (drained == pushed) return std::nullopt;
+  return Finding{"trace-conservation",
+                 who + ": " + std::to_string(pushed) +
+                     " event(s) accepted into thread rings but " +
+                     std::to_string(drained) + " drained (" +
+                     std::to_string(dropped) + " dropped at push)"};
+}
+
 std::optional<Finding> check_keyed_differential(
     const space::LocalTupleSpace& space,
     const std::vector<tuples::Pattern>& probes) {

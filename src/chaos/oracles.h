@@ -14,7 +14,8 @@
 //
 // plus the keyed-probe-vs-linear-scan differential the audit build samples
 // internally, exposed here as an on-demand oracle so non-audit builds get
-// the same cross-check on fuzz schedules.
+// the same cross-check on fuzz schedules, and the trace-ring conservation
+// law of DESIGN.md §13 (drained == pushed once producers quiesce).
 //
 // Every check returns findings instead of asserting, so the runner can turn
 // a violation into a repro artifact and tests can turn it into EXPECT
@@ -58,6 +59,17 @@ std::optional<Finding> check_exactly_once(
 std::optional<Finding> check_termination(std::uint64_t callbacks,
                                          std::uint64_t delivered,
                                          std::uint64_t empty);
+
+/// Trace conservation (DESIGN.md §13): once producers are quiet and a final
+/// Tracer::drain() has run, every event accepted into a thread ring must
+/// have been drained exactly once — `drained == pushed`. Drops are rejected
+/// at push time onto their own ledger, so bounded loss is legal; silent
+/// loss or duplication inside the rings is not. The caller passes the
+/// post-drain counter triple (Tracer::ring_pushed/ring_drained/ring_dropped).
+std::optional<Finding> check_trace_conservation(std::uint64_t pushed,
+                                                std::uint64_t drained,
+                                                std::uint64_t dropped,
+                                                const std::string& who);
 
 /// Differential check: for each probe, the engine's keyed counting path
 /// must agree with a linear scan over a space snapshot (count and

@@ -147,6 +147,11 @@ struct Execution {
     }
     slots[i].inst = std::make_unique<core::Instance>(tx, fleet_config(i),
                                                      nullptr, pos);
+    // Thread-ring collection on the sim backend degenerates to one ring per
+    // tracer (every strand runs on this thread), which makes the
+    // trace-conservation oracle's final-drain equation exact per run.
+    slots[i].inst->tracer().set_enabled(true);
+    slots[i].inst->tracer().set_thread_rings(true);
     slots[i].offline = false;
     node_to_slot[slots[i].inst->node()] = i;
   }
@@ -532,6 +537,16 @@ struct Execution {
       if (!slot.inst) continue;
       for (const Finding& f : check_instance_quiescent(*slot.inst)) {
         on_trap(f.oracle, f.detail);
+      }
+      // Producers are quiet (the drain window ran to completion), so the
+      // final drain must balance the ring ledgers exactly.
+      obs::Tracer& tr = slot.inst->tracer();
+      tr.drain();
+      if (auto f = check_trace_conservation(tr.ring_pushed(),
+                                            tr.ring_drained(),
+                                            tr.ring_dropped(),
+                                            slot.inst->name())) {
+        on_trap(f->oracle, f->detail);
       }
     }
     if (auto f = check_exactly_once(taken)) {

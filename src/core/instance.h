@@ -222,6 +222,12 @@ class Instance {
   /// thresholds from config().probe_thresholds. Breaches emit a
   /// kProbeBreach trace event and bump "probe.breaches". The instance must
   /// outlive the recorder (or the recorder must be stopped first).
+  ///
+  /// Strand contract (concurrent backends): the recorder must tick on THIS
+  /// instance's strand — i.e. be built over tx.timers(node()) — because the
+  /// probe lambdas and the memory-gauge refresh read strand-confined space
+  /// and protocol state. Registries themselves are striped and safe to
+  /// sample from any strand; it is the probe reads that are bound here.
   void register_telemetry(obs::TimeSeriesRecorder& rec);
 
  private:
@@ -306,10 +312,23 @@ class Instance {
   /// handful of stores per event); the full tracer runs only when enabled.
   void trace(obs::EventKind kind, transport::NodeId origin, std::uint64_t op_id,
              transport::NodeId peer = transport::kNoNode, std::int64_t detail = 0) {
-    const obs::TraceEvent e{tx_.now(), node_, origin, op_id,
-                            kind,       peer,  detail};
+#if defined(TIAMAT_OBS_OFF)
+    // Overhead-gate baseline (scripts/obs_overhead_gate.sh): the whole
+    // instrumentation point compiles away, clock read included.
+    (void)kind;
+    (void)origin;
+    (void)op_id;
+    (void)peer;
+    (void)detail;
+#else
+    // now_coarse(): exact virtual time on the sim (byte-identical runs),
+    // the cached task-start stamp on concurrent backends — a trace burst
+    // of ~10 events per op costs zero hardware-clock reads there.
+    const obs::TraceEvent e{tx_.now_coarse(), node_, origin, op_id,
+                            kind,             peer,  detail};
     flight_.record(e);
     if (tracer_.enabled()) tracer_.record(e);
+#endif
   }
 
   transport::Transport& tx_;

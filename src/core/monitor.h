@@ -74,9 +74,14 @@ class Monitor {
 
   /// `kind` labels the per-op-kind sketch ("rd", "inp", ...).
   void op_finished(const char* kind, transport::Duration latency) {
+#if defined(TIAMAT_OBS_OFF)
+    (void)kind;  // overhead-gate baseline: latency sketches compiled out
+    (void)latency;
+#else
     const auto v = static_cast<double>(latency);
     op_latency_.observe(v);
     registry_.sketch("op.latency_us", {{"op", kind}}).observe(v);
+#endif
   }
 
   /// Per-peer reliability accounting (ack timeouts by responder).

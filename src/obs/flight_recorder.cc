@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "audit/audit.h"
+#include "transport/thread_annotations.h"
 
 namespace tiamat::obs {
 
@@ -14,6 +15,15 @@ namespace {
 // simulated world, so the monotonic sequence disambiguates instances from
 // different worlds while keeping dump order deterministic.
 using RecorderKey = std::pair<transport::NodeId, std::uint64_t>;
+
+// Guards the process-wide recorder table and its sequence counter.
+// Instances on different loopback strands construct and destroy recorders
+// concurrently; the per-instance ring itself stays lock-free (record() is
+// strand-serialized by the owning instance).
+transport::Mutex& registry_mu() {
+  static transport::Mutex mu;
+  return mu;
+}
 
 std::map<RecorderKey, const FlightRecorder*>& registry() {
   static std::map<RecorderKey, const FlightRecorder*> recorders;
@@ -35,13 +45,16 @@ void install_audit_context_once() {
 }  // namespace
 
 FlightRecorder::FlightRecorder(transport::NodeId node, std::size_t capacity)
-    : node_(node), capacity_(capacity == 0 ? 1 : capacity), seq_(next_seq()) {
+    : node_(node), capacity_(capacity == 0 ? 1 : capacity) {
   ring_.reserve(capacity_);
+  transport::MutexLock lock(registry_mu());
+  seq_ = next_seq();
   install_audit_context_once();
   registry().emplace(RecorderKey{node_, seq_}, this);
 }
 
 FlightRecorder::~FlightRecorder() {
+  transport::MutexLock lock(registry_mu());
   registry().erase(RecorderKey{node_, seq_});
 }
 
@@ -58,6 +71,7 @@ std::vector<TraceEvent> FlightRecorder::tail() const {
 std::string FlightRecorder::dump_all() {
   std::ostringstream out;
   bool any = false;
+  transport::MutexLock lock(registry_mu());
   for (const auto& [key, rec] : registry()) {
     const auto tail = rec->tail();
     if (tail.empty()) continue;
@@ -76,6 +90,9 @@ std::string FlightRecorder::dump_all() {
   return out.str();
 }
 
-std::size_t FlightRecorder::live_count() { return registry().size(); }
+std::size_t FlightRecorder::live_count() {
+  transport::MutexLock lock(registry_mu());
+  return registry().size();
+}
 
 }  // namespace tiamat::obs

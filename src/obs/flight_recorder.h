@@ -8,14 +8,19 @@
 // the last thing every instance was doing, not just the broken structure.
 //
 // Cost model: one TraceEvent copy into a pre-sized ring per instrumentation
-// point. The simulator is single-threaded, so "lock-free" degenerates to
-// plain stores; there is nothing cheaper that still keeps history.
+// point. The ring is written only by its owning instance's strand (plain
+// stores — the sim serializes everything, LoopbackTransport serializes per
+// node), so record() needs no synchronization; there is nothing cheaper
+// that still keeps history. Building with TIAMAT_OBS_OFF compiles record()
+// down to nothing — the baseline the instrumentation-overhead gate
+// (scripts/obs_overhead_gate.sh) measures against.
 //
-// Every live recorder registers itself in a process-wide table; the first
-// registration installs an audit::ContextProvider so that audit::fail()
-// dumps every recorder's tail alongside the invariant diagnostic with no
-// further wiring. Dump order is (node id, registration sequence) — stable
-// and deterministic across runs.
+// Every live recorder registers itself in a process-wide table guarded by a
+// mutex (instances on different loopback strands construct and destroy
+// concurrently); the first registration installs an audit::ContextProvider
+// so that audit::fail() dumps every recorder's tail alongside the invariant
+// diagnostic with no further wiring. Dump order is (node id, registration
+// sequence) — stable and deterministic across runs.
 
 #pragma once
 
@@ -41,13 +46,19 @@ class FlightRecorder {
 
   /// Unconditional ring store (the whole point: no enabled check).
   void record(const TraceEvent& e) {
+#if defined(TIAMAT_OBS_OFF)
+    (void)e;  // overhead-gate baseline: instrumentation compiled out
+#else
     if (ring_.size() < capacity_) {
       ring_.push_back(e);
     } else {
       ring_[next_] = e;
     }
-    next_ = (next_ + 1) % capacity_;
+    // Compare-and-reset, not `% capacity_`: the modulo is a runtime integer
+    // division on this hot path (capacity is not a compile-time constant).
+    if (++next_ == capacity_) next_ = 0;
     ++recorded_;
+#endif
   }
 
   /// Ring contents, oldest first.

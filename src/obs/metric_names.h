@@ -117,6 +117,17 @@ inline constexpr std::string_view kCatalog[] = {
     "transport.multicasts",
     "transport.ops",
     "transport.ops_per_sec",
+    // loopback scheduler telemetry (obs::SchedExporter over
+    // LoopbackTransport::sched_stats(); labeled {worker} except lock_wait)
+    "transport.sched.cancels",
+    "transport.sched.lock_wait_us",
+    "transport.sched.queue_depth",
+    "transport.sched.queue_depth_max",
+    "transport.sched.strand_lag_avg_us",
+    "transport.sched.strand_lag_max_us",
+    "transport.sched.tasks",
+    "transport.sched.tombstones",
+    "transport.sched.utilization",
     "transport.unicasts",
     "transport.workers",
 };

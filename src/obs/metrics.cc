@@ -9,31 +9,33 @@ namespace tiamat::obs {
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   std::sort(bounds_.begin(), bounds_.end());
   bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
-  counts_.assign(bounds_.size() + 1, 0);
+  counts_.assign(bounds_.size() + 1, AtomicU64{});
 }
 
 void Histogram::observe(double v) {
   auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
-  sum_ += v;
-  ++count_;
+  counts_[static_cast<std::size_t>(it - bounds_.begin())].add(1);
+  sum_.add(v);
+  count_.add(1);
 }
 
 double Histogram::percentile(double p) const {
-  if (count_ == 0) return 0.0;
-  const double target = p / 100.0 * static_cast<double>(count_);
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(total);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    if (counts_[i] == 0) continue;
+    const std::uint64_t n = counts_[i].load();
+    if (n == 0) continue;
     const double lo_edge = i == 0 ? 0.0 : bounds_[i - 1];
     const double hi_edge = i < bounds_.size() ? bounds_[i]
                                               // Overflow bucket: no upper
                                               // bound; report its lower edge.
                                               : lo_edge;
-    const std::uint64_t next = seen + counts_[i];
+    const std::uint64_t next = seen + n;
     if (static_cast<double>(next) >= target) {
       const double into =
-          (target - static_cast<double>(seen)) / counts_[i];
+          (target - static_cast<double>(seen)) / static_cast<double>(n);
       return lo_edge + (hi_edge - lo_edge) * std::clamp(into, 0.0, 1.0);
     }
     seen = next;
@@ -41,11 +43,20 @@ double Histogram::percentile(double p) const {
   return bounds_.empty() ? 0.0 : bounds_.back();
 }
 
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(counts_.size());
+  for (const AtomicU64& c : counts_) out.push_back(c.load());
+  return out;
+}
+
 void Histogram::restore(std::vector<std::uint64_t> counts, double sum,
                         std::uint64_t count) {
-  if (counts.size() == counts_.size()) counts_ = std::move(counts);
-  sum_ = sum;
-  count_ = count;
+  if (counts.size() == counts_.size()) {
+    for (std::size_t i = 0; i < counts.size(); ++i) counts_[i].store(counts[i]);
+  }
+  sum_.store(sum);
+  count_.store(count);
 }
 
 std::vector<double> Histogram::exponential_bounds(double start, double factor,
@@ -81,6 +92,19 @@ decltype(auto) lookup(Map& map, const std::string& name, Labels labels,
   return *it->second;
 }
 
+// Ordered (key, instrument) pointer list, captured under the registry lock.
+// Map nodes are stable and instruments are never destroyed before the
+// registry, so the pointers stay valid after the lock is released — which
+// is what lets iteration callbacks run unlocked.
+template <typename Map, typename T>
+std::vector<std::pair<const std::pair<std::string, Labels>*, const T*>>
+collect(const Map& map) {
+  std::vector<std::pair<const std::pair<std::string, Labels>*, const T*>> out;
+  out.reserve(map.size());
+  for (const auto& [key, v] : map) out.emplace_back(&key, v.get());
+  return out;
+}
+
 json::Value labels_json(const Labels& labels) {
   json::Object o;
   for (const auto& [k, v] : labels) o.emplace_back(k, json::Value(v));
@@ -99,17 +123,20 @@ bool labels_from_json(const json::Value& v, Labels& out) {
 }  // namespace
 
 Counter& Registry::counter(const std::string& name, Labels labels) {
+  transport::MutexLock lock(mu_);
   return lookup(counters_, name, std::move(labels),
                 [] { return std::make_unique<Counter>(); });
 }
 
 Gauge& Registry::gauge(const std::string& name, Labels labels) {
+  transport::MutexLock lock(mu_);
   return lookup(gauges_, name, std::move(labels),
                 [] { return std::make_unique<Gauge>(); });
 }
 
 Histogram& Registry::histogram(const std::string& name, Labels labels,
                                std::vector<double> bounds) {
+  transport::MutexLock lock(mu_);
   return lookup(histograms_, name, std::move(labels), [&] {
     return std::make_unique<Histogram>(
         bounds.empty() ? Histogram::latency_bounds_us() : std::move(bounds));
@@ -117,6 +144,7 @@ Histogram& Registry::histogram(const std::string& name, Labels labels,
 }
 
 QuantileSketch& Registry::sketch(const std::string& name, Labels labels) {
+  transport::MutexLock lock(mu_);
   return lookup(sketches_, name, std::move(labels),
                 [] { return std::make_unique<QuantileSketch>(); });
 }
@@ -124,43 +152,69 @@ QuantileSketch& Registry::sketch(const std::string& name, Labels labels) {
 void Registry::for_each_counter(
     const std::function<void(const std::string&, const Labels&,
                              const Counter&)>& fn) const {
-  for (const auto& [key, c] : counters_) fn(key.first, key.second, *c);
+  std::vector<std::pair<const Key*, const Counter*>> items;
+  {
+    transport::MutexLock lock(mu_);
+    items = collect<decltype(counters_), Counter>(counters_);
+  }
+  for (const auto& [key, c] : items) fn(key->first, key->second, *c);
 }
 
 void Registry::for_each_gauge(
     const std::function<void(const std::string&, const Labels&, const Gauge&)>&
         fn) const {
-  for (const auto& [key, g] : gauges_) fn(key.first, key.second, *g);
+  std::vector<std::pair<const Key*, const Gauge*>> items;
+  {
+    transport::MutexLock lock(mu_);
+    items = collect<decltype(gauges_), Gauge>(gauges_);
+  }
+  for (const auto& [key, g] : items) fn(key->first, key->second, *g);
 }
 
 void Registry::for_each_sketch(
     const std::function<void(const std::string&, const Labels&,
                              const QuantileSketch&)>& fn) const {
-  for (const auto& [key, s] : sketches_) fn(key.first, key.second, *s);
+  std::vector<std::pair<const Key*, const QuantileSketch*>> items;
+  {
+    transport::MutexLock lock(mu_);
+    items = collect<decltype(sketches_), QuantileSketch>(sketches_);
+  }
+  for (const auto& [key, s] : items) fn(key->first, key->second, *s);
 }
 
 json::Value Registry::snapshot() const {
+  std::vector<std::pair<const Key*, const Counter*>> counter_items;
+  std::vector<std::pair<const Key*, const Gauge*>> gauge_items;
+  std::vector<std::pair<const Key*, const Histogram*>> histogram_items;
+  std::vector<std::pair<const Key*, const QuantileSketch*>> sketch_items;
+  {
+    transport::MutexLock lock(mu_);
+    counter_items = collect<decltype(counters_), Counter>(counters_);
+    gauge_items = collect<decltype(gauges_), Gauge>(gauges_);
+    histogram_items = collect<decltype(histograms_), Histogram>(histograms_);
+    sketch_items = collect<decltype(sketches_), QuantileSketch>(sketches_);
+  }
   json::Array counters;
-  for (const auto& [key, c] : counters_) {
+  for (const auto& [key, c] : counter_items) {
     json::Object e;
-    e.emplace_back("name", json::Value(key.first));
-    e.emplace_back("labels", labels_json(key.second));
+    e.emplace_back("name", json::Value(key->first));
+    e.emplace_back("labels", labels_json(key->second));
     e.emplace_back("value", json::Value(c->value()));
     counters.emplace_back(std::move(e));
   }
   json::Array gauges;
-  for (const auto& [key, g] : gauges_) {
+  for (const auto& [key, g] : gauge_items) {
     json::Object e;
-    e.emplace_back("name", json::Value(key.first));
-    e.emplace_back("labels", labels_json(key.second));
+    e.emplace_back("name", json::Value(key->first));
+    e.emplace_back("labels", labels_json(key->second));
     e.emplace_back("value", json::Value(g->value()));
     gauges.emplace_back(std::move(e));
   }
   json::Array histograms;
-  for (const auto& [key, h] : histograms_) {
+  for (const auto& [key, h] : histogram_items) {
     json::Object e;
-    e.emplace_back("name", json::Value(key.first));
-    e.emplace_back("labels", labels_json(key.second));
+    e.emplace_back("name", json::Value(key->first));
+    e.emplace_back("labels", labels_json(key->second));
     json::Array bounds;
     for (double b : h->bounds()) bounds.emplace_back(b);
     e.emplace_back("bounds", json::Value(std::move(bounds)));
@@ -176,10 +230,10 @@ json::Value Registry::snapshot() const {
     histograms.emplace_back(std::move(e));
   }
   json::Array sketches;
-  for (const auto& [key, s] : sketches_) {
+  for (const auto& [key, s] : sketch_items) {
     json::Object e;
-    e.emplace_back("name", json::Value(key.first));
-    e.emplace_back("labels", labels_json(key.second));
+    e.emplace_back("name", json::Value(key->first));
+    e.emplace_back("labels", labels_json(key->second));
     json::Array buckets;
     for (const auto& [index, n] : s->buckets()) {
       json::Array pair;
@@ -207,6 +261,12 @@ json::Value Registry::snapshot() const {
 
 std::string Registry::snapshot_json(int indent) const {
   return snapshot().dump(indent);
+}
+
+std::size_t Registry::size() const {
+  transport::MutexLock lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size() +
+         sketches_.size();
 }
 
 bool Registry::load(const json::Value& doc) {

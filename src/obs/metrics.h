@@ -3,16 +3,26 @@
 //
 // Design constraints, in order:
 //   1. Hot-path cost. An instrument is looked up (or created) once and held
-//      by reference; updating it is an integer add. Histograms use fixed
-//      buckets so observation is a binary search plus two adds — no
-//      unbounded sample vectors on per-op paths (transport::Summary keeps that
-//      role for bench-side aggregation only).
+//      by reference; updating it is a relaxed atomic add (obs/cells.h) —
+//      striped for counters so concurrent writers never share a cache
+//      line. Histograms use fixed buckets so observation is a binary
+//      search plus two adds — no unbounded sample vectors on per-op paths
+//      (transport::Summary keeps that role for bench-side aggregation
+//      only).
 //   2. Determinism. The registry iterates instruments in lexicographic
 //      (name, labels) order, so two runs with the same seed produce
 //      byte-identical snapshots — which is what makes BENCH_*.json
 //      trajectories diffable PR-over-PR.
 //   3. Stability. Instrument references remain valid for the registry's
 //      lifetime (node-based map storage).
+//   4. Thread safety. Instrument updates through held references are
+//      lock-free; the registry's instrument maps are guarded by a mutex
+//      taken only on lookup-or-create and on iteration/snapshot, so lazy
+//      minting from one loopback strand (Monitor's per-op sketches,
+//      per-peer timeout counters) cannot race a TimeSeriesRecorder
+//      sampling the same registry from another. Iteration callbacks run
+//      with the lock released — re-entrant minting from a callback is
+//      legal and writers are never stalled behind a serializing reader.
 
 #pragma once
 
@@ -24,8 +34,10 @@
 #include <utility>
 #include <vector>
 
+#include "obs/cells.h"
 #include "obs/json.h"
 #include "obs/quantile.h"
+#include "transport/thread_annotations.h"
 
 namespace tiamat::obs {
 
@@ -34,34 +46,34 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 
 /// Monotonically increasing integer. Supports the increment idioms already
 /// used throughout the codebase (++c.counters().x) and reads back as the
-/// underlying integer.
+/// underlying integer. Writes land on a per-thread stripe; value() sums.
 class Counter {
  public:
-  void add(std::uint64_t n = 1) { v_ += n; }
+  void add(std::uint64_t n = 1) { v_.add(n); }
   Counter& operator++() {
-    ++v_;
+    v_.add(1);
     return *this;
   }
   Counter& operator+=(std::uint64_t n) {
-    v_ += n;
+    v_.add(n);
     return *this;
   }
-  std::uint64_t value() const { return v_; }
-  operator std::uint64_t() const { return v_; }  // NOLINT(runtime/explicit)
+  std::uint64_t value() const { return v_.value(); }
+  operator std::uint64_t() const { return v_.value(); }  // NOLINT(runtime/explicit)
 
  private:
-  std::uint64_t v_ = 0;
+  StripedU64 v_;
 };
 
 /// A value that can go up and down.
 class Gauge {
  public:
-  void set(double v) { v_ = v; }
-  void add(double d) { v_ += d; }
-  double value() const { return v_; }
+  void set(double v) { v_.store(v); }
+  void add(double d) { v_.add(d); }
+  double value() const { return v_.load(); }
 
  private:
-  double v_ = 0.0;
+  AtomicF64 v_;
 };
 
 /// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the first
@@ -75,15 +87,19 @@ class Histogram {
 
   void observe(double v);
 
-  std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  std::uint64_t count() const { return count_.load(); }
+  double sum() const { return sum_.load(); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
 
   /// Percentile estimate, p in [0,100]; 0 on empty.
   double percentile(double p) const;
 
   const std::vector<double>& bounds() const { return bounds_; }
-  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  /// Per-bucket counts, materialized (bounds().size() + 1 entries).
+  std::vector<std::uint64_t> bucket_counts() const;
 
   /// Restores accumulated state from a snapshot (JSON round-trip).
   void restore(std::vector<std::uint64_t> counts, double sum,
@@ -97,10 +113,10 @@ class Histogram {
   static const std::vector<double>& latency_bounds_us();
 
  private:
-  std::vector<double> bounds_;          ///< ascending upper bounds
-  std::vector<std::uint64_t> counts_;   ///< bounds_.size() + 1 (overflow)
-  double sum_ = 0.0;
-  std::uint64_t count_ = 0;
+  std::vector<double> bounds_;      ///< ascending upper bounds
+  std::vector<AtomicU64> counts_;   ///< bounds_.size() + 1 (overflow)
+  AtomicF64 sum_;
+  AtomicU64 count_;
 };
 
 /// Owns every instrument. Lookup-or-create by (name, labels); references
@@ -111,53 +127,61 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  Counter& counter(const std::string& name, Labels labels = {});
-  Gauge& gauge(const std::string& name, Labels labels = {});
+  Counter& counter(const std::string& name, Labels labels = {})
+      TIAMAT_EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name, Labels labels = {})
+      TIAMAT_EXCLUDES(mu_);
   /// `bounds` is used on first creation only; later calls with the same
   /// (name, labels) return the existing histogram unchanged.
   Histogram& histogram(const std::string& name, Labels labels = {},
-                       std::vector<double> bounds = {});
+                       std::vector<double> bounds = {}) TIAMAT_EXCLUDES(mu_);
   /// Log-bucketed quantile sketch (obs/quantile.h): the instrument of
   /// choice for latency-shaped metrics — principled p50/p90/p99/max with
   /// no bound configuration, mergeable across instances and windows.
-  QuantileSketch& sketch(const std::string& name, Labels labels = {});
+  QuantileSketch& sketch(const std::string& name, Labels labels = {})
+      TIAMAT_EXCLUDES(mu_);
 
   /// Serializes every instrument. Histograms carry bounds/counts/sum plus
   /// derived p50/p95/p99; sketches carry sparse buckets plus derived
   /// p50/p90/p99/max, so exported files are directly consumable.
-  json::Value snapshot() const;
-  std::string snapshot_json(int indent = 2) const;
+  json::Value snapshot() const TIAMAT_EXCLUDES(mu_);
+  std::string snapshot_json(int indent = 2) const TIAMAT_EXCLUDES(mu_);
 
   // ---- Deterministic iteration (lexicographic (name, labels) order) ------
   // The TimeSeriesRecorder samples registries through these each tick; the
   // ordered walk is what keeps series output byte-identical across runs.
+  // The instrument list is captured under the lock, then fn runs with the
+  // lock released (instrument nodes are stable, so the references stay
+  // valid even if another thread mints concurrently).
   void for_each_counter(
       const std::function<void(const std::string&, const Labels&,
-                               const Counter&)>& fn) const;
+                               const Counter&)>& fn) const
+      TIAMAT_EXCLUDES(mu_);
   void for_each_gauge(
       const std::function<void(const std::string&, const Labels&,
-                               const Gauge&)>& fn) const;
+                               const Gauge&)>& fn) const TIAMAT_EXCLUDES(mu_);
   void for_each_sketch(
       const std::function<void(const std::string&, const Labels&,
-                               const QuantileSketch&)>& fn) const;
+                               const QuantileSketch&)>& fn) const
+      TIAMAT_EXCLUDES(mu_);
 
   /// Rebuilds instruments from a snapshot() document. Returns false (and
   /// leaves the registry partially populated) on malformed input. Used to
   /// prove snapshots round-trip and to diff persisted BENCH_*.json files.
   bool load(const json::Value& doc);
 
-  std::size_t size() const {
-    return counters_.size() + gauges_.size() + histograms_.size() +
-           sketches_.size();
-  }
+  std::size_t size() const TIAMAT_EXCLUDES(mu_);
 
  private:
   using Key = std::pair<std::string, Labels>;
 
-  std::map<Key, std::unique_ptr<Counter>> counters_;
-  std::map<Key, std::unique_ptr<Gauge>> gauges_;
-  std::map<Key, std::unique_ptr<Histogram>> histograms_;
-  std::map<Key, std::unique_ptr<QuantileSketch>> sketches_;
+  mutable transport::Mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_ TIAMAT_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ TIAMAT_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Histogram>> histograms_
+      TIAMAT_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<QuantileSketch>> sketches_
+      TIAMAT_GUARDED_BY(mu_);
 };
 
 }  // namespace tiamat::obs

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <utility>
 
 namespace tiamat::obs {
 
@@ -34,64 +35,85 @@ double QuantileSketch::upper_edge(std::uint32_t index) {
 }
 
 void QuantileSketch::observe(double v) {
-  ++buckets_[bucket_of(v)];
+  // Bucket cell first, total count last: a concurrent reader that saw the
+  // incremented count may still miss the cell, but one that sums the cells
+  // always covers every counted sample up to its earlier count read.
+  cells_.add(bucket_of(v));
   const double clamped = v < 0.0 ? 0.0 : v;
-  sum_ += clamped;
-  ++count_;
-  if (clamped > max_) max_ = clamped;
+  sum_.add(clamped);
+  max_.max_with(clamped);
+  count_.add(1);
 }
 
 double QuantileSketch::quantile(double q) const {
-  if (count_ == 0) return 0.0;
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
   const double clamped = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
   auto rank = static_cast<std::uint64_t>(
-      std::ceil(clamped * static_cast<double>(count_)));
+      std::ceil(clamped * static_cast<double>(total)));
   if (rank == 0) rank = 1;
   std::uint64_t seen = 0;
-  for (const auto& [index, n] : buckets_) {
+  double result = -1.0;
+  cells_.for_each([&](std::uint32_t index, std::uint64_t n) {
+    if (result >= 0.0) return;
     seen += n;
     if (seen >= rank) {
       // The top occupied bucket's edge may overshoot the true maximum; the
       // exact max is tracked, so report it instead.
       const double edge = upper_edge(index);
-      return seen == count_ && edge > max_ ? max_ : edge;
+      result = seen == total && edge > max() ? max() : edge;
     }
-  }
-  return max_;  // unreachable when bucket counts sum to count_
+  });
+  return result >= 0.0 ? result : max();
 }
 
 void QuantileSketch::merge(const QuantileSketch& o) {
-  for (const auto& [index, n] : o.buckets_) buckets_[index] += n;
-  sum_ += o.sum_;
-  count_ += o.count_;
-  if (o.max_ > max_) max_ = o.max_;
+  o.cells_.for_each([this](std::uint32_t index, std::uint64_t n) {
+    cells_.add(index, n);
+  });
+  sum_.add(o.sum());
+  count_.add(o.count());
+  max_.max_with(o.max());
 }
 
 QuantileSketch QuantileSketch::delta_since(const QuantileSketch& prev) const {
   QuantileSketch out;
-  if (prev.count_ > count_) return out;
-  for (const auto& [index, n] : buckets_) {
-    auto it = prev.buckets_.find(index);
-    const std::uint64_t before = it == prev.buckets_.end() ? 0 : it->second;
-    if (n > before) out.buckets_.emplace(index, n - before);
-  }
-  out.count_ = count_ - prev.count_;
-  out.sum_ = sum_ - prev.sum_;
+  if (prev.count() > count()) return out;
+  std::uint32_t top = 0;
+  bool any = false;
+  cells_.for_each([&](std::uint32_t index, std::uint64_t n) {
+    const std::uint64_t before = prev.cells_.get(index);
+    if (n > before) {
+      out.cells_.add(index, n - before);
+      top = index;
+      any = true;
+    }
+  });
+  out.count_.store(count() - prev.count());
+  out.sum_.store(sum() - prev.sum());
   // The window's true max is unknown (only cumulative max is tracked);
   // the top occupied bucket's edge is the tightest deterministic bound.
-  out.max_ = out.buckets_.empty()
-                 ? 0.0
-                 : upper_edge(out.buckets_.rbegin()->first);
-  if (out.max_ > max_) out.max_ = max_;
+  double wmax = any ? upper_edge(top) : 0.0;
+  if (wmax > max()) wmax = max();
+  out.max_.store(wmax);
+  return out;
+}
+
+QuantileSketch::Buckets QuantileSketch::buckets() const {
+  Buckets out;
+  cells_.for_each([&](std::uint32_t index, std::uint64_t n) {
+    out.emplace_hint(out.end(), index, n);
+  });
   return out;
 }
 
 void QuantileSketch::restore(Buckets buckets, double sum, std::uint64_t count,
                              double max) {
-  buckets_ = std::move(buckets);
-  sum_ = sum;
-  count_ = count;
-  max_ = max;
+  cells_.clear();
+  for (const auto& [index, n] : buckets) cells_.add(index, n);
+  sum_.store(sum);
+  count_.store(count);
+  max_.store(max);
 }
 
 }  // namespace tiamat::obs

@@ -10,20 +10,29 @@
 //
 // Properties the telemetry layer depends on:
 //   - Deterministic. Bucket indices are pure integer bit-math; quantile
-//     queries walk a std::map in ascending index order. Two runs with the
-//     same sample sequence produce byte-identical snapshots.
+//     queries and snapshots walk the occupied cells in ascending index
+//     order. Two runs with the same sample sequence produce byte-identical
+//     snapshots.
 //   - Mergeable. Two sketches add bucket-wise (cross-instance rollups), and
 //     `delta_since` subtracts an earlier snapshot of the *same* sketch to
 //     recover a window — which is how the TimeSeriesRecorder and the
 //     match-latency health probe compute per-interval p99 without ever
 //     storing samples.
-//   - Bounded. Storage is one map entry per distinct occupied bucket
-//     (typically a few dozen), independent of sample count.
+//   - Bounded. Storage is one 32-cell block per occupied octave group
+//     (obs/cells.h), independent of sample count.
+//   - Thread-safe to write. observe() is a handful of relaxed atomic adds
+//     (obs/cells.h), so writers on loopback strands never contend with a
+//     reader snapshotting the registry; every cell is monotone, so a
+//     concurrent reader sees a possibly-stale but never-torn state.
+//     Copying or restoring a sketch while another thread writes it is still
+//     a data race — snapshots-by-value belong to the owning strand.
 
 #pragma once
 
 #include <cstdint>
 #include <map>
+
+#include "obs/cells.h"
 
 namespace tiamat::obs {
 
@@ -39,11 +48,14 @@ class QuantileSketch {
   /// non-negative; a clamped observation still counts).
   void observe(double v);
 
-  std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  std::uint64_t count() const { return count_.load(); }
+  double sum() const { return sum_.load(); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
   /// Largest observed sample, kept exactly. 0 on empty.
-  double max() const { return max_; }
+  double max() const { return max_.load(); }
 
   /// Quantile estimate, q in [0, 1]: the upper edge of the bucket holding
   /// the rank-ceil(q*count) sample (<= ~1.6% above the true value), except
@@ -62,7 +74,8 @@ class QuantileSketch {
   /// approximated by its top occupied bucket edge.
   QuantileSketch delta_since(const QuantileSketch& prev) const;
 
-  const Buckets& buckets() const { return buckets_; }
+  /// Occupied buckets as an ordered map (materialized view of the cells).
+  Buckets buckets() const;
 
   /// Restores accumulated state from a snapshot (JSON round-trip).
   void restore(Buckets buckets, double sum, std::uint64_t count, double max);
@@ -75,10 +88,10 @@ class QuantileSketch {
   static double upper_edge(std::uint32_t index);
 
  private:
-  Buckets buckets_;
-  double sum_ = 0.0;
-  std::uint64_t count_ = 0;
-  double max_ = 0.0;
+  SketchCells cells_;
+  AtomicF64 sum_;
+  AtomicU64 count_;
+  AtomicF64 max_;
 };
 
 }  // namespace tiamat::obs

@@ -93,6 +93,13 @@ class TimeSeriesRecorder {
   void set_breach_handler(BreachHandler h) { on_breach_ = std::move(h); }
 
   /// Schedules the periodic tick (first sample one interval from now).
+  ///
+  /// Strand contract (concurrent backends): the recorder is confined to the
+  /// strand its TimerService belongs to. start()/stop() — like every other
+  /// mutating call — must run on that strand (post() there), because the
+  /// tick re-arms by writing the same timer handle start() assigns: an
+  /// off-strand start() races with its own first tick. On the sim this is
+  /// moot (one thread).
   void start();
   /// Cancels the pending tick; sampling stops until start() again.
   void stop();

@@ -1,8 +1,29 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <fstream>
 
+#include "obs/trace_ring.h"
+
 namespace tiamat::obs {
+
+namespace {
+
+// Per-thread cache of (tracer -> its ring for this thread), so the ring-mode
+// record() path is a vector scan (a handful of live tracers) instead of a
+// lock. Entries are invalidated wholesale whenever any Tracer is destroyed:
+// the generation bump makes a recycled Tracer address impossible to confuse
+// with the tracer that cached the entry.
+struct RingCacheEntry {
+  const void* tracer;
+  TraceRing* ring;
+};
+
+AtomicU64 g_tracer_generation{1};
+thread_local std::uint64_t t_cache_generation = 0;
+thread_local std::vector<RingCacheEntry> t_ring_cache;
+
+}  // namespace
 
 const char* to_string(EventKind k) {
   switch (k) {
@@ -124,6 +145,16 @@ bool JsonlSink::ok() const { return out_->f.good(); }
 
 // ---- Tracer -----------------------------------------------------------------
 
+Tracer::Tracer(transport::NodeId node, std::size_t capacity)
+    : node_(node), capacity_(capacity == 0 ? 1 : capacity) {}
+
+Tracer::~Tracer() {
+  // Flush every thread's ring cache: any entry pointing at this tracer's
+  // rings dies with it, and a future Tracer at the same address must not
+  // inherit them.
+  g_tracer_generation.add(1);
+}
+
 void Tracer::record(transport::Time at, transport::NodeId origin, std::uint64_t op_id,
                     EventKind kind, transport::NodeId peer, std::int64_t detail) {
   if (!enabled_) return;
@@ -132,6 +163,14 @@ void Tracer::record(transport::Time at, transport::NodeId origin, std::uint64_t 
 
 void Tracer::record(const TraceEvent& e) {
   if (!enabled_) return;
+  if (thread_rings_) {
+    thread_ring()->push(e, seq_.fetch_add(1));
+    return;
+  }
+  commit(e);
+}
+
+void Tracer::commit(const TraceEvent& e) {
   if (ring_.size() < capacity_) {
     ring_.push_back(e);
   } else {
@@ -140,6 +179,57 @@ void Tracer::record(const TraceEvent& e) {
   next_ = (next_ + 1) % capacity_;
   ++recorded_;
   if (sink_) sink_->on_event(e);
+}
+
+TraceRing* Tracer::thread_ring() {
+  const std::uint64_t gen = g_tracer_generation.load();
+  if (t_cache_generation != gen) {
+    t_ring_cache.clear();
+    t_cache_generation = gen;
+  }
+  for (const RingCacheEntry& entry : t_ring_cache) {
+    if (entry.tracer == this) return entry.ring;
+  }
+  TraceRing* ring = nullptr;
+  {
+    transport::MutexLock lock(mu_);
+    rings_.push_back(std::make_unique<TraceRing>(capacity_));
+    ring = rings_.back().get();
+  }
+  t_ring_cache.push_back(RingCacheEntry{this, ring});
+  return ring;
+}
+
+void Tracer::register_current_thread() { thread_ring(); }
+
+std::size_t Tracer::drain() {
+  std::vector<TraceRing::Entry> entries;
+  {
+    transport::MutexLock lock(mu_);
+    for (const auto& ring : rings_) ring->drain(entries);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const TraceRing::Entry& a, const TraceRing::Entry& b) {
+              return a.event.at != b.event.at ? a.event.at < b.event.at
+                                              : a.seq < b.seq;
+            });
+  for (const TraceRing::Entry& entry : entries) commit(entry.event);
+  ring_drained_.add(entries.size());
+  return entries.size();
+}
+
+std::uint64_t Tracer::ring_pushed() const {
+  transport::MutexLock lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->pushed();
+  return total;
+}
+
+std::uint64_t Tracer::ring_dropped() const {
+  transport::MutexLock lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_) total += ring->dropped();
+  return total;
 }
 
 std::vector<TraceEvent> Tracer::recent() const {

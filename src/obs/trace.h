@@ -22,7 +22,9 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/cells.h"
 #include "obs/json.h"
+#include "transport/thread_annotations.h"
 #include "transport/types.h"
 
 namespace tiamat::obs {
@@ -115,12 +117,36 @@ class JsonlSink : public TraceSink {
   std::unique_ptr<Out> out_;
 };
 
+class TraceRing;
+
 /// Per-instance recorder: bounded ring of recent events plus an optional
 /// sink fed with every event. Disabled (the default) it records nothing.
+///
+/// Two collection modes (DESIGN.md §13):
+///   - Direct (the default, and the only mode the sim backend ever uses):
+///     record() appends to the ring and the sink inline on the calling
+///     strand. Single-threaded behavior is exactly the pre-ring Tracer's,
+///     byte for byte.
+///   - Thread rings (set_thread_rings(true), for multi-threaded transport
+///     backends): each recording thread registers lazily and gets a
+///     private fixed-capacity SPSC ring (obs/trace_ring.h); record() is a
+///     lock-free push stamped with a tracer-wide sequence number, and the
+///     shared ring/sink are only touched by drain(), which merges every
+///     thread ring in (at, seq) order. The sink therefore sees events from
+///     exactly one thread at a time — that is the fix for the shared-sink
+///     race under LoopbackTransport.
+///
+/// Mode and enablement are configuration: flip them before concurrent
+/// recording starts (thread creation / strand hand-off publishes them).
+/// Destroying a tracer while another thread is still recording into it is
+/// a use-after-free in either mode, same as any other member.
 class Tracer {
  public:
-  explicit Tracer(transport::NodeId node, std::size_t capacity = 512)
-      : node_(node), capacity_(capacity == 0 ? 1 : capacity) {}
+  explicit Tracer(transport::NodeId node, std::size_t capacity = 512);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
 
   bool enabled() const { return enabled_; }
   void set_enabled(bool on) { enabled_ = on; }
@@ -130,6 +156,23 @@ class Tracer {
     sink_ = std::move(sink);
     if (sink_) enabled_ = true;
   }
+
+  /// Switches per-thread SPSC collection on or off. Call on the owning
+  /// strand with no concurrent recorders; buffered events survive (they
+  /// drain on the next drain() call).
+  void set_thread_rings(bool on) { thread_rings_ = on; }
+  bool thread_rings() const { return thread_rings_; }
+
+  /// Registers the calling thread (idempotent): allocates its private ring
+  /// on first use. record() does this lazily; explicit registration just
+  /// front-loads the one-time lock acquisition.
+  void register_current_thread() TIAMAT_EXCLUDES(mu_);
+
+  /// Merges every thread ring into the legacy ring + sink in (at, seq)
+  /// order and returns the number of events moved. Safe to call while
+  /// producers are still recording (each ring is SPSC; the caller is the
+  /// one consumer) — concurrent pushes simply wait for the next drain.
+  std::size_t drain() TIAMAT_EXCLUDES(mu_);
 
   void record(transport::Time at, transport::NodeId origin, std::uint64_t op_id,
               EventKind kind, transport::NodeId peer = transport::kNoNode,
@@ -145,14 +188,31 @@ class Tracer {
   std::uint64_t recorded() const { return recorded_; }
   std::size_t capacity() const { return capacity_; }
 
+  /// Thread-ring accounting. Drops are rejected at push time and counted
+  /// separately, so the conservation law the chaos oracle checks is
+  /// `drained == pushed` once producers are quiet and a final drain ran:
+  /// every accepted event reaches the sink exactly once, and every loss is
+  /// on the dropped ledger.
+  std::uint64_t ring_pushed() const TIAMAT_EXCLUDES(mu_);
+  std::uint64_t ring_dropped() const TIAMAT_EXCLUDES(mu_);
+  std::uint64_t ring_drained() const { return ring_drained_.load(); }
+
  private:
+  void commit(const TraceEvent& e);  ///< legacy ring + sink append
+  TraceRing* thread_ring() TIAMAT_EXCLUDES(mu_);
+
   transport::NodeId node_;
   std::size_t capacity_;
   bool enabled_ = false;
+  bool thread_rings_ = false;     ///< collection mode (config-time)
   std::shared_ptr<TraceSink> sink_;
   std::vector<TraceEvent> ring_;  ///< grows to capacity_, then wraps
   std::size_t next_ = 0;          ///< ring insertion cursor
   std::uint64_t recorded_ = 0;    ///< total events ever recorded
+  AtomicU64 seq_;                 ///< record-order stamp (merge tiebreak)
+  AtomicU64 ring_drained_;        ///< events moved out of thread rings
+  mutable transport::Mutex mu_;
+  std::vector<std::unique_ptr<TraceRing>> rings_ TIAMAT_GUARDED_BY(mu_);
 };
 
 }  // namespace tiamat::obs

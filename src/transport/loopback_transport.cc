@@ -8,6 +8,39 @@ namespace tiamat::transport {
 namespace {
 constexpr Duration kMaxSleepSlice = kSecond;  // bound cv waits (kNever timers)
 constexpr Duration kPollInterval = 200;       // wait_until poll cadence (us)
+
+/// MutexLock that attributes contention: the fast path is a plain try_lock
+/// (no clock read); only a sender that actually blocks pays two steady_clock
+/// reads, and the time it sat out lands in `waited_us`. The overhead-gate
+/// baseline (TIAMAT_OBS_OFF) compiles the accounting away entirely.
+class TIAMAT_SCOPED_CAPABILITY TimedMutexLock {
+ public:
+  TimedMutexLock(Mutex& mu, std::atomic<std::uint64_t>& waited_us)
+      TIAMAT_ACQUIRE(mu)
+      : mu_(mu) {
+#if defined(TIAMAT_OBS_OFF)
+    (void)waited_us;
+    mu_.lock();
+#else
+    if (mu_.try_lock()) return;
+    const auto t0 = std::chrono::steady_clock::now();
+    mu_.lock();
+    waited_us.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()),
+        std::memory_order_relaxed);
+#endif
+  }
+  ~TimedMutexLock() TIAMAT_RELEASE() { mu_.unlock(); }
+
+  TimedMutexLock(const TimedMutexLock&) = delete;
+  TimedMutexLock& operator=(const TimedMutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
 }  // namespace
 
 LoopbackTransport::LoopbackTransport(LoopbackOptions opts)
@@ -41,6 +74,22 @@ Time LoopbackTransport::now() const {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now() - start_)
       .count();
+}
+
+namespace {
+/// Task-start timestamp of the strand callback currently running on this
+/// worker thread; negative outside any callback (external threads). Each
+/// worker thread belongs to exactly one LoopbackTransport, so a plain
+/// thread_local is unambiguous — and it is what lets now_coarse() serve a
+/// per-op trace burst without touching the hardware clock.
+thread_local Time t_task_start = -1;
+}  // namespace
+
+Time LoopbackTransport::now_coarse() const {
+  // Inside a strand callback, reuse the stamp the worker loop took when it
+  // dequeued the task (instrumentation precision becomes task-granular;
+  // callbacks here run for microseconds). Anywhere else, read the clock.
+  return t_task_start >= 0 ? t_task_start : now();
 }
 
 NodeId LoopbackTransport::add_node(NodeOptions) {
@@ -157,7 +206,7 @@ void LoopbackTransport::deliver_one(NodeId from, NodeId to, const Node& dest,
 }
 
 void LoopbackTransport::send(NodeId from, NodeId to, Payload payload) {
-  MutexLock lk(mu_);
+  TimedMutexLock lk(mu_, lock_wait_us_);
   ++stats_.unicasts_sent;
   auto src = nodes_.find(from);
   auto dst = nodes_.find(to);
@@ -171,7 +220,7 @@ void LoopbackTransport::send(NodeId from, NodeId to, Payload payload) {
 }
 
 void LoopbackTransport::multicast(NodeId from, GroupId group, Payload payload) {
-  MutexLock lk(mu_);
+  TimedMutexLock lk(mu_, lock_wait_us_);
   ++stats_.multicasts_sent;
   auto src = nodes_.find(from);
   if (src == nodes_.end() || src->second.closed || !src->second.online) {
@@ -212,6 +261,7 @@ TimerId LoopbackTransport::schedule_timer(NodeId node, std::size_t worker,
     w.live_timers.insert(id);
     w.inbox.push_back(std::move(task));
     std::push_heap(w.inbox.begin(), w.inbox.end(), TaskLater{});
+    if (w.inbox.size() > w.depth_max) w.depth_max = w.inbox.size();
   }
   workers_[worker]->cv.notify_all();
   return id;
@@ -222,7 +272,9 @@ bool LoopbackTransport::cancel_timer(std::size_t worker, TimerId id) {
   Worker& w = *workers_[worker];
   MutexLock lk(w.mu);
   // The heap entry becomes a tombstone, discarded when it surfaces.
-  return w.live_timers.erase(id) > 0;
+  const bool hit = w.live_timers.erase(id) > 0;
+  if (hit) w.sched.cancels.fetch_add(1, std::memory_order_relaxed);
+  return hit;
 }
 
 void LoopbackTransport::post(NodeId id, std::function<void()> fn) {
@@ -249,6 +301,7 @@ void LoopbackTransport::enqueue(std::size_t worker, Task task) {
     if (w.stop) return;
     w.inbox.push_back(std::move(task));
     std::push_heap(w.inbox.begin(), w.inbox.end(), TaskLater{});
+    if (w.inbox.size() > w.depth_max) w.depth_max = w.inbox.size();
   }
   w.cv.notify_all();
 }
@@ -291,6 +344,30 @@ Rng LoopbackTransport::fork_rng() {
 LoopbackTransport::Stats LoopbackTransport::stats() const {
   MutexLock lk(mu_);
   return stats_;
+}
+
+LoopbackTransport::SchedStats LoopbackTransport::sched_stats() const {
+  SchedStats out;
+  out.workers.reserve(workers_.size());
+  for (const auto& wp : workers_) {
+    Worker& w = *wp;
+    WorkerSched ws;
+    ws.tasks = w.sched.tasks.load(std::memory_order_relaxed);
+    ws.lag_us_sum = w.sched.lag_sum.load(std::memory_order_relaxed);
+    ws.lag_us_max = w.sched.lag_max.load(std::memory_order_relaxed);
+    ws.busy_us = w.sched.busy.load(std::memory_order_relaxed);
+    ws.tombstones = w.sched.tombstones.load(std::memory_order_relaxed);
+    ws.cancels = w.sched.cancels.load(std::memory_order_relaxed);
+    {
+      MutexLock lk(w.mu);
+      ws.queue_depth = w.inbox.size();
+      ws.queue_depth_max = w.depth_max;
+    }
+    out.workers.push_back(ws);
+  }
+  out.lock_wait_us = lock_wait_us_.load(std::memory_order_relaxed);
+  out.uptime_us = now();
+  return out;
 }
 
 void LoopbackTransport::fence(Worker& w) {
@@ -355,10 +432,27 @@ void LoopbackTransport::worker_loop(std::size_t index) {
     w.inbox.pop_back();
     if (task.kind == TaskKind::kTimer &&
         w.live_timers.erase(task.timer) == 0) {
+      Worker::SchedCells::bump(w.sched.tombstones);
       continue;  // cancelled: discard the tombstone
     }
     w.mu.unlock();
+    t_task_start = t;  // serves now_coarse() for the callback's trace burst
+#if !defined(TIAMAT_OBS_OFF)
+    // Strand lag: the task was due at `due` and starts now-ish (`t` was
+    // read just before the pop; t >= due on this branch). The run itself is
+    // bracketed with one extra clock read for the busy/utilization series.
+    const auto lag = static_cast<std::uint64_t>(t - due);
+    Worker::SchedCells::bump(w.sched.lag_sum, lag);
+    if (lag > w.sched.lag_max.load(std::memory_order_relaxed)) {
+      w.sched.lag_max.store(lag, std::memory_order_relaxed);  // single writer
+    }
+#endif
     run_task(w, task);
+#if !defined(TIAMAT_OBS_OFF)
+    Worker::SchedCells::bump(w.sched.busy,
+                             static_cast<std::uint64_t>(now() - t));
+#endif
+    Worker::SchedCells::bump(w.sched.tasks);
     w.mu.lock();
   }
   w.mu.unlock();

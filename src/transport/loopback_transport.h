@@ -85,6 +85,7 @@ class LoopbackTransport final : public Transport {
   void send(NodeId from, NodeId to, Payload payload) override;
   void multicast(NodeId from, GroupId group, Payload payload) override;
   Time now() const override;
+  Time now_coarse() const override;
   TimerService& timers(NodeId id) override;
   void post(NodeId id, std::function<void()> fn) override;
   bool wait_until(const std::function<bool()>& pred,
@@ -93,6 +94,28 @@ class LoopbackTransport final : public Transport {
 
   Stats stats() const;
   unsigned worker_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Scheduler health of one worker (snapshot; cumulative since start).
+  /// Strand lag is run-start minus due time — how long ready work sat in
+  /// the inbox behind other strands' callbacks.
+  struct WorkerSched {
+    std::uint64_t tasks = 0;            ///< callbacks run to completion
+    std::uint64_t lag_us_sum = 0;       ///< total strand lag
+    std::uint64_t lag_us_max = 0;       ///< worst single strand lag
+    std::uint64_t busy_us = 0;          ///< time spent inside callbacks
+    std::uint64_t tombstones = 0;       ///< cancelled timer entries discarded
+    std::uint64_t cancels = 0;          ///< cancel_timer hits
+    std::uint64_t queue_depth = 0;      ///< inbox size right now
+    std::uint64_t queue_depth_max = 0;  ///< high-water inbox size
+  };
+  struct SchedStats {
+    std::vector<WorkerSched> workers;
+    std::uint64_t lock_wait_us = 0;  ///< sender time blocked on mu_
+    Time uptime_us = 0;              ///< wall time since construction
+  };
+  /// Snapshot of the scheduler telemetry (exported as the transport.sched.*
+  /// metric families by obs::SchedExporter; see DESIGN.md §13).
+  SchedStats sched_stats() const;
 
  private:
   enum class TaskKind : std::uint8_t { kDeliver, kTimer, kPost };
@@ -125,6 +148,28 @@ class LoopbackTransport final : public Transport {
     /// Scheduled, not yet fired; a cancelled id's heap entry is a tombstone.
     std::unordered_set<TimerId> live_timers TIAMAT_GUARDED_BY(mu);
     bool stop TIAMAT_GUARDED_BY(mu) = false;
+    std::uint64_t depth_max TIAMAT_GUARDED_BY(mu) = 0;  ///< inbox high water
+    /// Scheduler telemetry cells: written by the one worker thread (and
+    /// cancel_timer for cancels), read by sched_stats() from anywhere —
+    /// relaxed atomics, monotone, never torn. Cache-line aligned so the
+    /// per-task bumps never invalidate the line senders hit through `mu`,
+    /// and single-writer cells use load+store (no RMW) via `bump()`.
+    struct alignas(64) SchedCells {
+      std::atomic<std::uint64_t> tasks{0};
+      std::atomic<std::uint64_t> lag_sum{0};
+      std::atomic<std::uint64_t> lag_max{0};
+      std::atomic<std::uint64_t> busy{0};
+      std::atomic<std::uint64_t> tombstones{0};
+      std::atomic<std::uint64_t> cancels{0};  ///< multi-writer: RMW only here
+
+      /// Single-writer increment: plain load+store beats `lock xadd` on the
+      /// hot path, and relaxed ordering is all a monotone gauge needs.
+      static void bump(std::atomic<std::uint64_t>& c, std::uint64_t n = 1) {
+        c.store(c.load(std::memory_order_relaxed) + n,
+                std::memory_order_relaxed);
+      }
+    };
+    SchedCells sched;
     /// Held for the duration of every callback. Guards no data — it exists
     /// so fence() and wait_until() can exclude themselves from the strand
     /// (see the TIAMAT_EXCLUDES contracts on run_task/fence below). Never
@@ -189,6 +234,9 @@ class LoopbackTransport final : public Transport {
 
   std::atomic<std::uint64_t> next_seq_{1};
   std::atomic<TimerId> next_timer_{1};
+  /// Sender time spent blocked acquiring mu_ (send/multicast contention;
+  /// uncontended acquisitions cost no clock read).
+  std::atomic<std::uint64_t> lock_wait_us_{0};
   std::vector<std::unique_ptr<Worker>> workers_;
 };
 

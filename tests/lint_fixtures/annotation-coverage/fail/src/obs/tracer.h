@@ -1,0 +1,6 @@
+#pragma once
+class Tracer {
+ private:
+  std::mutex raw_obs_mu_;
+  Mutex orphan_obs_mu_;
+};

@@ -1,0 +1,6 @@
+#pragma once
+class Tracer {
+ private:
+  mutable Mutex mu_;
+  int rings_ TIAMAT_GUARDED_BY(mu_);
+};
